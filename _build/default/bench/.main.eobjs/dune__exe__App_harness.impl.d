@@ -1,0 +1,1 @@
+bench/app_harness.ml: Auth Ctb Dsig_bft Dsig_kv Dsig_simnet Dsig_trading Dsig_util Harness Hashtbl Net Printf Resource Sim Stats String Ubft

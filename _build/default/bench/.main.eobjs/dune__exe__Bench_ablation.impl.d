@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Batch Bechamel Config Dsig Dsig_costmodel Dsig_ed25519 Dsig_hbss Dsig_merkle Dsig_util Harness Hashtbl List Option Printf Staged String Sys System Test Verifier Wire

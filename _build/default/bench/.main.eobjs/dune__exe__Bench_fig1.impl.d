@@ -1,0 +1,1 @@
+bench/bench_fig1.ml: App_harness Auth Dsig Dsig_bft Dsig_costmodel Dsig_simnet Dsig_util Harness Printf

@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: Array Channel Dsig Dsig_costmodel Dsig_simnet Dsig_util Float Harness List Net Printf Resource Sim Stats

@@ -1,0 +1,1 @@
+bench/bench_fig11.ml: Array Channel Dsig Dsig_costmodel Dsig_simnet Harness List Net Printf Resource Sim

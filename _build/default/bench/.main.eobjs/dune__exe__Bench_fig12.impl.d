@@ -1,0 +1,1 @@
+bench/bench_fig12.ml: Array Dsig Dsig_costmodel Dsig_simnet Harness List Net Printf Resource Sim

@@ -1,0 +1,1 @@
+bench/bench_fig6.ml: Dsig Dsig_costmodel Dsig_hashes Dsig_hbss Harness List Printf Scanf

@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: App_harness Auth Dsig Dsig_bft Dsig_costmodel Dsig_util Harness List Printf

@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Dsig Dsig_costmodel Dsig_simnet Dsig_util Harness List Printf Stats

@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Dsig Dsig_costmodel Harness List

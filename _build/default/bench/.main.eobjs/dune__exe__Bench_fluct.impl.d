@@ -1,0 +1,1 @@
+bench/bench_fluct.ml: Auth Ctb Dsig Dsig_bft Dsig_costmodel Dsig_simnet Harness Hashtbl Sim Stats Ubft

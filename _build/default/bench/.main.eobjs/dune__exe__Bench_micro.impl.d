@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Bechamel Dsig_ed25519 Dsig_hashes Dsig_hbss Dsig_util Harness List Printf Staged Test

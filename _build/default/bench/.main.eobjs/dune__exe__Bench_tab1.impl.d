@@ -1,0 +1,1 @@
+bench/bench_tab1.ml: Batch Bechamel Config Dsig Dsig_costmodel Dsig_ed25519 Dsig_hashes Dsig_hbss Dsig_util Harness List Printf Staged System Test Verifier Wire

@@ -1,0 +1,1 @@
+bench/bench_tab2.ml: Dsig Harness List Printf

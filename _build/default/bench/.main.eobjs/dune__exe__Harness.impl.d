@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Char Dsig_costmodel Dsig_simnet Dsig_util Filename Hashtbl Instance List Measure Option Printf Stdlib String Sys Time Toolkit

@@ -1,0 +1,121 @@
+(* Simulated application deployments used by the Figure 1 and Figure 7
+   harnesses: a client-server request/response app (HERD, Redis,
+   Liquibook) and wrappers around the CTB / uBFT clusters, all on
+   simnet with costs charged from the calibrated model. *)
+
+open Dsig_simnet
+open Dsig_bft
+
+type cs_msg = Request of { t0 : float; op : string; signature : string } | Reply of { t0 : float }
+
+(* Client-server app: the client signs each operation (hint = server),
+   the server verifies before executing (§6), then replies. Requests are
+   issued one at a time, as in §8.1. *)
+let client_server ~(auth : Auth.t) ~exec_us ~op_gen ~requests ?(seed = 1L) () =
+  let sim = Sim.create () in
+  let rng = Dsig_util.Rng.create seed in
+  let net = Net.create sim ~nodes:2 () in
+  let client = 0 and server = 1 in
+  let server_core = Resource.create ~name:"server.core" sim in
+  let lat = Stats.create () in
+  Sim.spawn sim (fun () ->
+      while true do
+        match Net.recv net ~node:server with
+        | _, _, Request { t0; op; signature } ->
+            Resource.use server_core
+              (Harness.jitter rng
+                 (auth.Auth.verify_us ~me:server ~msg_bytes:(String.length op) ~signature));
+            if auth.Auth.verify ~me:server ~signer:client ~msg:op signature then begin
+              Resource.use server_core (Harness.jitter rng exec_us);
+              Net.send net ~src:server ~dst:client ~bytes:16 (Reply { t0 })
+            end
+        | _ -> ()
+      done);
+  Sim.spawn sim (fun () ->
+      for i = 1 to requests do
+        let op = op_gen i in
+        let t0 = Sim.now sim in
+        Sim.sleep (Harness.jitter rng (auth.Auth.sign_us ~msg_bytes:(String.length op)));
+        let signature = auth.Auth.sign ~me:client ~hint:[ server ] op in
+        Net.send net ~src:client ~dst:server
+          ~bytes:(String.length op + auth.Auth.sig_bytes)
+          (Request { t0; op; signature });
+        (match Net.recv net ~node:client with
+        | _, _, Reply { t0 } -> Stats.add lat (Sim.now sim -. t0)
+        | _ -> ())
+      done);
+  Sim.run ~until:1e9 sim;
+  lat
+
+(* CTB: latency from broadcast initiation to delivery at the
+   broadcaster, as in §8.1. [overhead_us] calibrates the non-crypto tail
+   machinery (DESIGN.md). *)
+let ctb_latency ~auth ?(overhead_us = 13.0) ~broadcasts ?(seed = 2L) () =
+  let sim = Sim.create () in
+  ignore seed;
+  let lat = Stats.create () in
+  let starts = Hashtbl.create 64 in
+  let cluster =
+    Ctb.create ~sim ~auth ~n:4 ~f:1 ~overhead_us
+      ~on_deliver:(fun ~node ~bcaster:_ ~bcast_id ~payload:_ ->
+        if node = 0 then Stats.add lat (Sim.now sim -. Hashtbl.find starts bcast_id))
+      ()
+  in
+  Sim.spawn sim (fun () ->
+      for i = 0 to broadcasts - 1 do
+        Hashtbl.replace starts i (Sim.now sim);
+        Ctb.broadcast cluster ~from:0 ~bcast_id:i "8-bytes!";
+        Sim.sleep 2000.0
+      done);
+  Sim.run ~until:1e9 sim;
+  lat
+
+(* uBFT: client-observed latency of slow-path SMR operations (the
+   signature-bearing path the paper replaces DSig into). *)
+let ubft_latency ~auth ?(slow_overhead_us = 50.0) ?(force_slow = true) ~requests ?(seed = 3L) () =
+  let sim = Sim.create () in
+  ignore seed;
+  let lat = Stats.create () in
+  let starts = Hashtbl.create 64 in
+  let cluster =
+    Ubft.create ~sim ~auth ~n:3 ~f:1 ~force_slow ~slow_overhead_us
+      ~on_commit:(fun ~replica:_ ~rid:_ ~payload:_ -> ())
+      ~on_reply:(fun ~rid ~path:_ -> Stats.add lat (Sim.now sim -. Hashtbl.find starts rid))
+      ()
+  in
+  Sim.spawn sim (fun () ->
+      for i = 0 to requests - 1 do
+        Hashtbl.replace starts i (Sim.now sim);
+        Ubft.request cluster ~rid:i "8-bytes!";
+        Sim.sleep 2000.0
+      done);
+  Sim.run ~until:1e9 sim;
+  lat
+
+(* §8.1 workloads *)
+
+let herd_op rng i =
+  ignore i;
+  (* 16 B keys, 32 B values; 20% PUT, 80% GET *)
+  let key = Printf.sprintf "key-%011d" (Dsig_util.Rng.int rng 1000) in
+  let cmd : Dsig_kv.Store.Command.t =
+    if Dsig_util.Rng.int rng 100 < 20 then Put (key, String.make 32 'v') else Get key
+  in
+  Dsig_kv.Store.Command.encode ~seq:i cmd
+
+let liquibook_op rng i =
+  let side = if Dsig_util.Rng.int rng 2 = 0 then Dsig_trading.Orderbook.Buy else Sell in
+  Dsig_trading.Orderbook.Request.encode ~seq:i
+    (Dsig_trading.Orderbook.Request.Limit
+       { side; price = 100 + Dsig_util.Rng.int rng 10; qty = 1 + Dsig_util.Rng.int rng 10 })
+
+(* Base (vanilla) processing times calibrated to the paper's quoted
+   unauthenticated latencies: HERD ~2.5 us, Redis ~12 us, Liquibook
+   ~3.6 us end to end. *)
+let apps ~requests =
+  let mk name exec_us op_gen = (name, exec_us, op_gen, requests) in
+  [
+    mk "herd" 0.3 herd_op;
+    mk "redis" 9.7 herd_op;
+    mk "liquibook" 1.4 liquibook_op;
+  ]

@@ -1,0 +1,48 @@
+(* Figure 13: choosing the EdDSA batch size (§8.7): latency and
+   single-core throughput as the batch grows from 1 (no batching) to
+   4096 keys, with the 10 Gbps NIC cap of the paper's setup.
+
+   Larger batches amortize the ~55 us EdDSA sign+verify across more
+   keys, but deepen the Merkle proof carried in every signature (32 B
+   and one BLAKE3 fold per level). *)
+
+module CM = Dsig_costmodel.Costmodel
+
+let cm () = Harness.cm ()
+
+let batch_sizes = [ 1; 4; 16; 32; 128; 512; 2048; 4096 ]
+
+let metrics b =
+  let cm = cm () in
+  let cfg = Dsig.Config.make ~batch_size:b ~queue_threshold:(max b 512) (Dsig.Config.wots ~d:4) in
+  let sig_bytes = Dsig.Wire.size_bytes cfg in
+  let sign = CM.dsig_sign_us cm cfg ~msg_bytes:8 in
+  let verify = CM.dsig_verify_fast_us cm cfg ~msg_bytes:8 in
+  (* 10 Gbps cap: serialization dominates the per-byte term *)
+  let tx = 1.05 +. (0.0008 *. float_of_int (8 + sig_bytes)) in
+  let keygen = CM.dsig_keygen_per_key_us cm cfg in
+  let vbg = CM.dsig_verifier_bg_per_key_us cm cfg in
+  let sign_tput = 1e6 /. (sign +. keygen) in
+  let verify_tput = 1e6 /. (verify +. vbg) in
+  (sig_bytes, sign, tx, verify, sign +. tx +. verify, sign_tput, verify_tput)
+
+let run () =
+  Harness.section "Figure 13: EdDSA batch-size sweep (10 Gbps NICs)";
+  Harness.print_table
+    ~header:
+      [ "batch"; "sig B"; "sign us"; "tx us"; "verify us"; "total us"; "sign k/s/core";
+        "verify k/s/core" ]
+    (List.map
+       (fun b ->
+         let bytes, s, t, v, total, st, vt = metrics b in
+         [
+           string_of_int b; string_of_int bytes; Harness.us2 s; Harness.us2 t; Harness.us2 v;
+           Harness.us2 total; Harness.kops st; Harness.kops vt;
+         ])
+       batch_sizes);
+  print_endline
+    "(paper: latency barely moves with batch size; signing throughput peaks around\n\
+     batches of 32 at ~135 k/s, verification keeps climbing to ~206 k/s at 4096;\n\
+     128 is the balanced choice. our keygen model keeps improving slightly with\n\
+     batch size instead of dipping past 32 — the paper attributes that dip to\n\
+     cache effects our model does not include; see EXPERIMENTS.md)"

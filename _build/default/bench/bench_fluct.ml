@@ -1,0 +1,65 @@
+(* uBFT latency fluctuation (§6): "The slow path is triggered even
+   without Byzantine behavior (e.g., due to process slowness), leading
+   to latency fluctuations between its two modes of operation."
+
+   One replica is an occasional laggard: its fast-path acknowledgment
+   sometimes arrives after the leader's timeout, pushing that request
+   through the signed slow path. With EdDSA the two modes are ~5 µs vs
+   ~160 µs; DSig compresses the slow mode to ~70 µs, flattening the
+   fluctuation — the reason §6 gives for replacing uBFT's signatures. *)
+
+open Dsig_simnet
+open Dsig_bft
+module CM = Dsig_costmodel.Costmodel
+
+let requests = 600
+
+let run_one ~auth ~name =
+  let sim = Sim.create () in
+  let lat = Stats.create () in
+  let starts = Hashtbl.create 64 in
+  let slow = ref 0 and fast = ref 0 in
+  let behavior i =
+    if i = 2 then Ctb.Laggard { probability = 0.25; delay_us = 60.0 } else Ctb.Honest
+  in
+  let cluster =
+    Ubft.create ~sim ~auth ~n:3 ~f:1 ~behavior ~slow_overhead_us:50.0 ~fast_timeout_us:20.0
+      ~view_timeout_us:100_000.0 (* no view changes here: the leader is honest *)
+      ~on_commit:(fun ~replica:_ ~rid:_ ~payload:_ -> ())
+      ~on_reply:(fun ~rid ~path ->
+        (match path with Ubft.Slow -> incr slow | Ubft.Fast -> incr fast);
+        Stats.add lat (Sim.now sim -. Hashtbl.find starts rid))
+      ()
+  in
+  Sim.spawn sim (fun () ->
+      for i = 0 to requests - 1 do
+        Hashtbl.replace starts i (Sim.now sim);
+        Ubft.request cluster ~rid:i "8-bytes!";
+        Sim.sleep 1000.0
+      done);
+  Sim.run ~until:1e9 sim;
+  let p10, p50, p90 = Harness.p10_50_90 lat in
+  [
+    name;
+    string_of_int !fast;
+    string_of_int !slow;
+    Harness.us p10;
+    Harness.us p50;
+    Harness.us p90;
+    Harness.us (Stats.percentile lat 99.0);
+  ]
+
+let run () =
+  Harness.section "uBFT latency fluctuation under benign slowness (§6)";
+  let rows =
+    [
+      run_one ~auth:(Auth.eddsa_modeled ~name:"dalek" (Harness.cm ())) ~name:"eddsa (dalek)";
+      run_one ~auth:(Auth.dsig_modeled (Harness.cm ()) Dsig.Config.default) ~name:"dsig";
+    ]
+  in
+  Harness.print_table
+    ~header:[ "scheme"; "fast"; "slow"; "p10 us"; "p50 us"; "p90 us"; "p99 us" ]
+    rows;
+  print_endline
+    "(one replica lags 25% of the time: the p90/p99 spikes are slow-path episodes;\n\
+     DSig shrinks the spike by ~2.5x, taming uBFT's bimodal latency)"

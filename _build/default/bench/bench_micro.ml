@@ -1,0 +1,56 @@
+(* Microbenchmarks of the real crypto substrates (Bechamel, monotonic
+   clock). These are this host's numbers for the pure-OCaml
+   implementations — the "measured" column of Table 1 builds on them. *)
+
+open Bechamel
+module H = Dsig_hashes
+module E = Dsig_ed25519.Eddsa
+
+let tests () =
+  let rng = Dsig_util.Rng.create 5L in
+  let b32 = Dsig_util.Rng.bytes rng 32 in
+  let b64 = Dsig_util.Rng.bytes rng 64 in
+  let b18 = Dsig_util.Rng.bytes rng 18 in
+  let sk, pk = E.generate rng in
+  let msg = "12345678" in
+  let signature = E.sign sk msg in
+  let p4 = Dsig_hbss.Params.Wots.make ~d:4 () in
+  let kp = Dsig_hbss.Wots.generate p4 ~seed:(Dsig_util.Rng.bytes rng 32) in
+  let nonce = Dsig_util.Rng.bytes rng 16 in
+  let wsig = Dsig_hbss.Wots.sign ~allow_reuse:true kp ~nonce msg in
+  let pseed = Dsig_hbss.Wots.public_seed kp in
+  let pdig = Dsig_hbss.Wots.public_key_digest kp in
+  [
+    Test.make ~name:"sha256/64B" (Staged.stage (fun () -> H.Sha256.digest b64));
+    Test.make ~name:"sha512/64B" (Staged.stage (fun () -> H.Sha512.digest b64));
+    Test.make ~name:"blake3/64B" (Staged.stage (fun () -> H.Blake3.digest b64));
+    Test.make ~name:"haraka256" (Staged.stage (fun () -> H.Haraka.haraka256 b32));
+    Test.make ~name:"haraka512" (Staged.stage (fun () -> H.Haraka.haraka512 b64));
+    Test.make ~name:"chain-hash-18B" (Staged.stage (fun () -> H.Hash.digest H.Hash.Haraka ~length:18 b18));
+    Test.make ~name:"eddsa-sign" (Staged.stage (fun () -> E.sign sk msg));
+    Test.make ~name:"eddsa-verify" (Staged.stage (fun () -> E.verify pk msg signature));
+    Test.make ~name:"wots4-sign(cached)"
+      (Staged.stage (fun () -> Dsig_hbss.Wots.sign ~allow_reuse:true kp ~nonce msg));
+    Test.make ~name:"wots4-verify"
+      (Staged.stage (fun () ->
+           Dsig_hbss.Wots.verify p4 ~public_seed:pseed ~pk_digest:pdig wsig msg));
+    Test.make ~name:"wots4-keygen"
+      (Staged.stage
+         (let c = ref 0 in
+          fun () ->
+            incr c;
+            Dsig_hbss.Wots.generate p4
+              ~seed:(H.Blake3.digest (string_of_int !c))));
+  ]
+
+let run () =
+  Harness.section "Microbenchmarks: real crypto on this host (pure OCaml, no SIMD)";
+  let results = Harness.run_bechamel (tests ()) in
+  let rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.2f" (ns /. 1000.0) ]) results
+    |> List.sort compare
+  in
+  Harness.print_table ~header:[ "operation"; "us/op" ] rows;
+  print_endline
+    "(the paper's AVX2/AES-NI numbers are 10-100x lower; figure harnesses use the\n\
+     paper-calibrated cost model so shapes do not depend on this host)"

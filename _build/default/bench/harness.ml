@@ -1,0 +1,137 @@
+(* Shared helpers for the benchmark harnesses: table printing, bechamel
+   wrappers, the modeled network-transmission formula, and compute-time
+   jitter for percentile spreads. *)
+
+open Bechamel
+open Toolkit
+module CM = Dsig_costmodel.Costmodel
+
+(* The cost model driving every modeled figure: the paper calibration by
+   default, or a host-measured one under --measured. Read at run() time,
+   never at module initialization. *)
+let selected_cm : CM.t option ref = ref None
+
+let cm () = Option.value ~default:CM.paper_dalek !selected_cm
+
+(* Sodium differs from Dalek only in EdDSA costs; under --measured there
+   is a single (our) EdDSA, so both baselines collapse to it. *)
+let cm_sodium () =
+  match !selected_cm with Some m -> m | None -> CM.paper_sodium
+
+let use_measured () =
+  let m = CM.measure () in
+  selected_cm := Some m;
+  Printf.printf
+    "using host-measured cost model: hash %.3f us, blake3 %.3f us, eddsa %.1f/%.1f us,\n     sign fixed %.2f us, keygen fixed %.2f us\n"
+    m.CM.hash_us m.CM.blake3_us m.CM.eddsa_sign_us m.CM.eddsa_verify_us m.CM.sign_fixed_us
+    m.CM.keygen_fixed_us
+
+(* Optional CSV mirroring (--csv DIR): every printed table also lands in
+   DIR/<section-slug>[-<n>].csv so figures can be replotted offline. *)
+let csv_dir : string option ref = ref None
+let current_slug = ref "untitled"
+let slug_counter : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let set_csv_dir dir =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  csv_dir := Some dir
+
+let slugify title =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | '0' .. '9' -> c | 'A' .. 'Z' -> Char.lowercase_ascii c | _ -> '-')
+    (String.concat "-" (String.split_on_char ' ' (String.lowercase_ascii title)))
+  |> fun s -> if String.length s > 40 then String.sub s 0 40 else s
+
+let section title =
+  current_slug := slugify title;
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title =
+  Printf.printf "\n-- %s --\n" title
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt slug_counter !current_slug) in
+      Hashtbl.replace slug_counter !current_slug (n + 1);
+      let name =
+        if n = 0 then Printf.sprintf "%s.csv" !current_slug
+        else Printf.sprintf "%s-%d.csv" !current_slug n
+      in
+      let oc = open_out (Filename.concat dir name) in
+      List.iter
+        (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
+        (header :: rows);
+      close_out oc
+
+(* column-aligned table printing *)
+let print_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "%-*s" w cell else Printf.printf "  %*s" w cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  write_csv ~header rows
+
+let us v = Printf.sprintf "%.1f" v
+let us2 v = Printf.sprintf "%.2f" v
+let kops v = Printf.sprintf "%.0f" (v /. 1000.0)
+
+(* --- bechamel --- *)
+
+(* Run a list of Test.t and return (full test name, ns per run). *)
+let run_bechamel ?(quota = 0.25) tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second quota) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.concat_map
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.fold
+        (fun name ols acc ->
+          match Analyze.OLS.estimates ols with
+          | Some [ ns ] -> (name, ns) :: acc
+          | Some _ | None -> acc)
+        results [])
+    tests
+
+(* --- transmission model (§8.2; see DESIGN.md) --- *)
+
+(* Incremental transmission time of a payload: ~1 µs base plus ~0.6 ns/B
+   of per-byte software/PCIe cost. Reproduces Table 1's measured 1.1 µs
+   (EdDSA, 72 B) and 2.0 µs (DSig, 1,592 B) transmissions. *)
+let tx_us ?(base = 1.05) ?(per_byte = 0.0006) bytes = base +. (per_byte *. float_of_int bytes)
+
+(* --- compute jitter --- *)
+
+(* Multiplicative noise with a light exponential tail: real systems show
+   flat CDFs with a small knee near p99 (Figure 8). *)
+let jitter rng v =
+  let u = 0.98 +. Dsig_util.Rng.float rng 0.04 in
+  (v *. u) +. Dsig_util.Rng.exponential rng ~mean:(0.01 *. v)
+
+(* percentile triple used throughout §8 *)
+let p10_50_90 stats =
+  ( Dsig_simnet.Stats.percentile stats 10.0,
+    Dsig_simnet.Stats.percentile stats 50.0,
+    Dsig_simnet.Stats.percentile stats 90.0 )

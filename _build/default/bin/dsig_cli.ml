@@ -1,0 +1,241 @@
+(* dsig — command-line front end to the DSig signature system.
+
+   Signatures produced here are self-standing (§4.2): `verify` needs
+   only the signer's Ed25519 public key, exercising the slow path of
+   Algorithm 2; inside an application deployment the background plane
+   would make verification fast. *)
+
+open Cmdliner
+module BU = Dsig_util.Bytesutil
+
+let config_of ~d ~batch = Dsig.Config.make ~batch_size:batch ~queue_threshold:batch (Dsig.Config.wots ~d)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* --- keygen --- *)
+
+let keygen out =
+  let rng = Dsig_util.Rng.system () in
+  let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+  write_file out (BU.to_hex (Dsig_ed25519.Eddsa.seed_of_secret sk) ^ "\n");
+  Printf.printf "secret seed written to %s\n" out;
+  Printf.printf "public key: %s\n" (BU.to_hex pk);
+  0
+
+let out_arg =
+  Arg.(value & opt string "dsig.key" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Secret-key output file.")
+
+let keygen_cmd =
+  Cmd.v
+    (Cmd.info "keygen" ~doc:"Generate an Ed25519 identity for DSig signing.")
+    Term.(const keygen $ out_arg)
+
+(* --- common args --- *)
+
+let key_arg =
+  Arg.(required & opt (some string) None & info [ "k"; "key" ] ~docv:"FILE" ~doc:"Secret-key file from $(b,keygen).")
+
+let msg_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MESSAGE" ~doc:"Message string, or @FILE to read a file.")
+
+let d_arg = Arg.(value & opt int 4 & info [ "d" ] ~doc:"W-OTS+ depth (power of two).")
+let batch_arg = Arg.(value & opt int 16 & info [ "batch" ] ~doc:"EdDSA batch size (power of two).")
+
+let load_msg m = if String.length m > 0 && m.[0] = '@' then read_file (String.sub m 1 (String.length m - 1)) else m
+
+(* --- sign --- *)
+
+let sign key_file msg_spec sig_out d batch =
+  let seed = BU.of_hex (String.trim (read_file key_file)) in
+  let sk = Dsig_ed25519.Eddsa.secret_of_seed seed in
+  let cfg = config_of ~d ~batch in
+  let rng = Dsig_util.Rng.system () in
+  let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~verifiers:[ 0 ] () in
+  let msg = load_msg msg_spec in
+  let signature = Dsig.Signer.sign signer msg in
+  write_file sig_out signature;
+  Printf.printf "signed %d-byte message; %d-byte DSig signature written to %s\n"
+    (String.length msg) (String.length signature) sig_out;
+  Printf.printf "verify with public key: %s\n" (BU.to_hex (Dsig_ed25519.Eddsa.public_key sk));
+  0
+
+let sig_out_arg =
+  Arg.(value & opt string "message.dsig" & info [ "s"; "signature" ] ~docv:"FILE" ~doc:"Signature output file.")
+
+let sign_cmd =
+  Cmd.v
+    (Cmd.info "sign" ~doc:"Sign a message with DSig (W-OTS+ over Haraka + batched Ed25519).")
+    Term.(const sign $ key_arg $ msg_arg $ sig_out_arg $ d_arg $ batch_arg)
+
+(* --- verify --- *)
+
+let verify pk_hex msg_spec sig_file d batch =
+  let cfg = config_of ~d ~batch in
+  let pki = Dsig.Pki.create () in
+  Dsig.Pki.register pki ~id:0 (BU.of_hex pk_hex);
+  let verifier = Dsig.Verifier.create cfg ~id:1 ~pki () in
+  let msg = load_msg msg_spec in
+  let signature = read_file sig_file in
+  if Dsig.Verifier.verify verifier ~msg signature then begin
+    Printf.printf "OK: signature valid for the %d-byte message\n" (String.length msg);
+    0
+  end
+  else begin
+    Printf.printf "FAILED: signature invalid\n";
+    1
+  end
+
+let pk_arg =
+  Arg.(required & opt (some string) None & info [ "p"; "public-key" ] ~docv:"HEX" ~doc:"Signer's Ed25519 public key (hex).")
+
+let sig_in_arg =
+  Arg.(value & opt string "message.dsig" & info [ "s"; "signature" ] ~docv:"FILE" ~doc:"Signature file.")
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a DSig signature (self-standing slow path).")
+    Term.(const verify $ pk_arg $ msg_arg $ sig_in_arg $ d_arg $ batch_arg)
+
+(* --- inspect --- *)
+
+let inspect sig_file d batch =
+  let cfg = config_of ~d ~batch in
+  let signature = read_file sig_file in
+  (match Dsig.Wire.decode cfg signature with
+  | Error e -> Printf.printf "undecodable: %s\n" e
+  | Ok w ->
+      Printf.printf "scheme:      %s\n" (Dsig.Config.describe cfg);
+      Printf.printf "total bytes: %d\n" (String.length signature);
+      Printf.printf "signer id:   %d\n" w.Dsig.Wire.signer_id;
+      Printf.printf "batch id:    %Ld\n" w.Dsig.Wire.batch_id;
+      Printf.printf "key index:   %d\n" (Dsig.Wire.key_index w);
+      Printf.printf "public seed: %s\n" (BU.to_hex w.Dsig.Wire.public_seed);
+      (match w.Dsig.Wire.body with
+      | Dsig.Wire.Wots_body s ->
+          Printf.printf "W-OTS+ elements: %d x %d bytes, nonce %s\n"
+            (Array.length s.Dsig_hbss.Wots.elements)
+            (String.length s.Dsig_hbss.Wots.elements.(0))
+            (BU.to_hex s.Dsig_hbss.Wots.nonce)
+      | Dsig.Wire.Hors_fact_body { hsig; complement } ->
+          Printf.printf "HORS revealed: %d, complement: %d\n"
+            (Array.length hsig.Dsig_hbss.Hors.revealed)
+            (Array.length complement)
+      | Dsig.Wire.Hors_merk_body { hsig; roots; proofs } ->
+          Printf.printf "HORS revealed: %d, roots: %d, proofs: %d\n"
+            (Array.length hsig.Dsig_hbss.Hors.revealed)
+            (Array.length roots) (Array.length proofs)
+      | Dsig.Wire.Hors_merk_mp_body { hsig; roots; mps } ->
+          Printf.printf "HORS revealed: %d, roots: %d, multiproofs: %d\n"
+            (Array.length hsig.Dsig_hbss.Hors.revealed)
+            (Array.length roots) (List.length mps)));
+  0
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Decode and print the structure of a DSig signature.")
+    Term.(const inspect $ sig_in_arg $ d_arg $ batch_arg)
+
+(* --- audit-log commands --- *)
+
+let log_arg =
+  Arg.(value & opt string "dsig.log" & info [ "l"; "log" ] ~docv:"FILE" ~doc:"Audit-log file.")
+
+let client_arg =
+  Arg.(value & opt int 0 & info [ "c"; "client" ] ~docv:"ID" ~doc:"Client (signer) id recorded in the log.")
+
+let log_sign key_file msg_spec log_file client d batch =
+  let seed = BU.of_hex (String.trim (read_file key_file)) in
+  let sk = Dsig_ed25519.Eddsa.secret_of_seed seed in
+  let cfg = config_of ~d ~batch in
+  let rng = Dsig_util.Rng.system () in
+  let signer = Dsig.Signer.create cfg ~id:client ~eddsa:sk ~rng ~verifiers:[ client ] () in
+  let op = load_msg msg_spec in
+  let signature = Dsig.Signer.sign signer op in
+  Dsig_audit.Logfile.append_entry log_file ~client ~op ~signature;
+  Printf.printf "appended signed entry (%d B op, %d B signature) to %s\n" (String.length op)
+    (String.length signature) log_file;
+  Printf.printf "audit with public key: %s\n" (BU.to_hex (Dsig_ed25519.Eddsa.public_key sk));
+  0
+
+let log_sign_cmd =
+  Cmd.v
+    (Cmd.info "log-sign" ~doc:"Sign an operation and append it to a durable audit log.")
+    Term.(const log_sign $ key_arg $ msg_arg $ log_arg $ client_arg $ d_arg $ batch_arg)
+
+let signer_pks_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "signer" ] ~docv:"ID=PKHEX" ~doc:"Client id to Ed25519 public key binding (repeatable).")
+
+let log_audit log_file signer_pks d batch =
+  let cfg = config_of ~d ~batch in
+  let pki = Dsig.Pki.create () in
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          let id = int_of_string (String.sub spec 0 i) in
+          let pk = BU.of_hex (String.sub spec (i + 1) (String.length spec - i - 1)) in
+          Dsig.Pki.register pki ~id pk
+      | None -> failwith ("bad --signer spec: " ^ spec))
+    signer_pks;
+  match Dsig_audit.Logfile.load log_file with
+  | Error e ->
+      Printf.printf "cannot load %s: %s\n" log_file e;
+      1
+  | Ok log ->
+      let verifier = Dsig.Verifier.create cfg ~id:(-1) ~pki () in
+      let (valid, invalid), bad =
+        Dsig_audit.Audit.audit log ~verify:(fun ~client:_ ~msg s ->
+            Dsig.Verifier.verify verifier ~msg s)
+      in
+      Printf.printf "%d entries: %d valid, %d invalid\n" (Dsig_audit.Audit.length log) valid
+        invalid;
+      List.iter
+        (fun e ->
+          Printf.printf "  INVALID entry %d (client %d, %d B op)\n" e.Dsig_audit.Audit.index
+            e.Dsig_audit.Audit.client
+            (String.length e.Dsig_audit.Audit.op))
+        bad;
+      if invalid = 0 then 0 else 1
+
+let log_audit_cmd =
+  Cmd.v
+    (Cmd.info "log-audit" ~doc:"Third-party audit of a durable signed log.")
+    Term.(const log_audit $ log_arg $ signer_pks_arg $ d_arg $ batch_arg)
+
+(* --- analyze --- *)
+
+let analyze () =
+  Printf.printf "%-14s %12s %10s %14s %10s\n" "config" "crit hashes" "sig B" "keygen hashes" "bg B/sig";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %12.0f %10d %14d %10.1f\n" r.Dsig.Analysis.label
+        r.Dsig.Analysis.critical_hashes r.Dsig.Analysis.signature_bytes
+        r.Dsig.Analysis.keygen_hashes r.Dsig.Analysis.bg_bytes_per_sig)
+    (Dsig.Analysis.table2 ());
+  0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the analytical configuration comparison (paper Table 2).")
+    Term.(const analyze $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "dsig" ~version:"1.0.0"
+       ~doc:"DSig: microsecond-scale hybrid digital signatures (OSDI 2024 reproduction).")
+    [ keygen_cmd; sign_cmd; verify_cmd; inspect_cmd; analyze_cmd; log_sign_cmd; log_audit_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

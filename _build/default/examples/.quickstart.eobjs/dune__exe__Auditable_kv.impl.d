@@ -1,0 +1,1 @@
+examples/auditable_kv.ml: Array Config Dsig Dsig_audit Dsig_kv Dsig_util Printf Store System Verifier

@@ -1,0 +1,1 @@
+examples/auditable_kv.mli:

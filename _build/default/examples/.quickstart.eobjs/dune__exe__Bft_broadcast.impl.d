@@ -1,0 +1,1 @@
+examples/bft_broadcast.ml: Auth Ctb Dsig Dsig_bft Dsig_costmodel Dsig_simnet Hashtbl Printf Sim Stats

@@ -1,0 +1,1 @@
+examples/bft_broadcast.mli:

@@ -1,0 +1,1 @@
+examples/dos_mitigation.ml: Config Dsig Dsig_util Float Int64 List Printf String Sys System Verifier

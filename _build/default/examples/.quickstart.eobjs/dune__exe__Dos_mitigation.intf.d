@@ -1,0 +1,1 @@
+examples/dos_mitigation.mli:

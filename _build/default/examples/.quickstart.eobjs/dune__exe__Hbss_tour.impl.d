@@ -1,0 +1,1 @@
+examples/hbss_tour.ml: Dsig Dsig_hbss Dsig_util Hors Lamport List Mss Params Printf String Sys Wots

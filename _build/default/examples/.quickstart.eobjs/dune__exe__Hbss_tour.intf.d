@@ -1,0 +1,1 @@
+examples/hbss_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Dsig Printf String System Verifier Wire

@@ -1,0 +1,1 @@
+examples/tcp_service.ml: Config Dsig Dsig_ed25519 Dsig_tcpnet Dsig_util List Mutex Pki Printf Runtime Thread Unix Verifier

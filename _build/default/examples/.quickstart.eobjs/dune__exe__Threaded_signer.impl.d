@@ -1,0 +1,1 @@
+examples/threaded_signer.ml: Array Config Domain Dsig Dsig_ed25519 Dsig_util List Pki Printf Runtime Sys Verifier

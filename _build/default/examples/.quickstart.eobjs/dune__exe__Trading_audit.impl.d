@@ -1,0 +1,1 @@
+examples/trading_audit.ml: Array Config Dsig Dsig_audit Dsig_trading List Orderbook Printf System Verifier

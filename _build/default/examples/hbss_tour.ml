@@ -1,0 +1,82 @@
+(* A tour of the hash-based signature design space behind DSig (§3.3,
+   §5, §9): Lamport, W-OTS+, one-time and few-time HORS, the stateful
+   many-time MSS baseline — and how DSig packages the fast ones. Run:
+
+     dune exec examples/hbss_tour.exe
+*)
+
+open Dsig_hbss
+module BU = Dsig_util.Bytesutil
+
+let line fmt = Printf.printf (fmt ^^ "\n")
+
+let () =
+  let rng = Dsig_util.Rng.create 7L in
+  let seed () = Dsig_util.Rng.bytes rng 32 in
+  let nonce () = Dsig_util.Rng.bytes rng 16 in
+  let msg = "the magic words are squeamish ossifrage" in
+
+  line "message: %S\n" msg;
+
+  (* Lamport (1979): the original. One bit of digest = one revealed secret. *)
+  let kp = Lamport.generate ~seed:(seed ()) () in
+  let s = Lamport.sign kp msg in
+  line "Lamport    sig %5d B  pk %5d B   verifies: %b" Lamport.signature_bytes
+    Lamport.public_key_bytes
+    (Lamport.verify ~elements:(Lamport.public_elements kp) s msg);
+
+  (* W-OTS+ (2013): chains of hashes; signature size / compute trade-off
+     via the depth d. DSig's recommendation is d = 4 (§5.4). *)
+  List.iter
+    (fun d ->
+      let p = Params.Wots.make ~d () in
+      let kp = Wots.generate p ~seed:(seed ()) in
+      let s = Wots.sign kp ~nonce:(nonce ()) msg in
+      line "W-OTS+ d=%-2d sig %5d B  keygen %4d hashes  verify ~%3.0f hashes  %3.0f-bit  verifies: %b"
+        d
+        (Wots.signature_wire_bytes p)
+        (Params.Wots.keygen_hashes p)
+        (Params.Wots.expected_verify_hashes p)
+        (Params.Wots.security_bits p)
+        (Wots.verify p ~public_seed:(Wots.public_seed kp)
+           ~pk_digest:(Wots.public_key_digest kp) s msg))
+    [ 2; 4; 16 ];
+
+  (* HORS (2002): reveal k of t secrets; tiny compute, big keys. *)
+  List.iter
+    (fun (k, r) ->
+      let p = Params.Hors.make ~k ~r () in
+      let kp = Hors.generate p ~seed:(seed ()) in
+      let s = Hors.sign kp ~nonce:(nonce ()) msg in
+      line "HORS k=%-3d r=%d sig %5d B  pk %7d B  verify %3d hashes  %3.0f-bit  verifies: %b" k r
+        (Params.Hors.signature_bytes p)
+        (Params.Hors.public_key_bytes p)
+        (Params.Hors.verify_hashes p)
+        (Params.Hors.security_bits p)
+        (Hors.verify_with_elements p ~public_seed:(Hors.public_seed kp)
+           ~elements:(Hors.public_elements kp) s msg))
+    [ (16, 1); (64, 1); (16, 4) ];
+
+  (* MSS (1989): many-time via one Merkle tree over W-OTS+ leaves. All
+     keys built up front; proofs checked online — this is the §9 design
+     DSig's background plane replaces. *)
+  let height = 4 in
+  let t0 = Sys.time () in
+  let kp = Mss.generate ~height ~seed:(seed ()) () in
+  let keygen_ms = (Sys.time () -. t0) *. 1000.0 in
+  let s = Mss.sign kp msg in
+  line "\nMSS h=%d: %d-message key generated in %.1f ms (all leaves up front)" height
+    (Mss.capacity kp) keygen_ms;
+  line "           sig %d B, root pk %d B, verifies: %b, %d uses left"
+    (Mss.signature_bytes ~height ())
+    (String.length (Mss.public_key kp))
+    (Mss.verify ~public_key:(Mss.public_key kp) s msg)
+    (Mss.remaining kp);
+
+  (* DSig: W-OTS+ foreground + batched EdDSA background. *)
+  let cfg = Dsig.Config.make ~batch_size:16 ~queue_threshold:16 (Dsig.Config.wots ~d:4) in
+  let sys = Dsig.System.create cfg ~n:2 () in
+  let signature = Dsig.System.sign sys ~signer:0 ~hint:[ 1 ] msg in
+  line "\nDSig (W-OTS+ d=4 + batched EdDSA): sig %d B, unlimited messages," (String.length signature);
+  line "background-refilled keys, fast-path verify: %b"
+    (Dsig.System.verify sys ~verifier:1 ~msg signature)

@@ -1,0 +1,75 @@
+(* A real deployment over localhost TCP: a verifier service listens on a
+   socket; a signer (with its background plane on a separate domain)
+   streams announcements and signed messages to it over genuine network
+   framing. The commodity-Ethernet equivalent of the paper's Figure 3
+   deployment. Run:
+
+     dune exec examples/tcp_service.exe
+*)
+
+open Dsig
+
+let () =
+  let cfg = Config.make ~batch_size:16 ~queue_threshold:32 ~cache_batches:64 (Config.wots ~d:4) in
+  let rng = Dsig_util.Rng.system () in
+  let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+  let pki = Pki.create () in
+  Pki.register pki ~id:0 pk;
+
+  (* verifier service: every inbound frame is handled on a receiver
+     thread; the verifier is guarded by a mutex *)
+  let verifier = Verifier.create cfg ~id:1 ~pki () in
+  let mu = Mutex.create () in
+  let verified = ref 0 and rejected = ref 0 and announcements = ref 0 in
+  let server =
+    Dsig_tcpnet.Tcpnet.listen ~port:0 ~on_message:(fun m ->
+        Mutex.lock mu;
+        (match m with
+        | Dsig_tcpnet.Tcpnet.Announcement a ->
+            if Verifier.deliver verifier a then incr announcements
+        | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
+            if Verifier.verify verifier ~msg signature then incr verified else incr rejected);
+        Mutex.unlock mu)
+  in
+  Printf.printf "verifier service listening on 127.0.0.1:%d\n"
+    (Dsig_tcpnet.Tcpnet.port server);
+
+  (* signer: foreground here, background plane on its own domain *)
+  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L () in
+  let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) in
+
+  let n = 40 in
+  for i = 1 to n do
+    (* push any fresh announcements ahead of the signatures they cover *)
+    List.iter
+      (fun a -> Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Announcement a))
+      (Runtime.drain_announcements rt);
+    let msg = Printf.sprintf "tcp payment #%d" i in
+    let signature = Runtime.sign rt msg in
+    Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Signed { msg; signature })
+  done;
+  (* one tampered message to show rejection end to end *)
+  let signature = Runtime.sign rt "genuine" in
+  Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Signed { msg = "tampered"; signature });
+
+  (* wait for the service to drain *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let done_ () =
+    Mutex.lock mu;
+    let d = !verified + !rejected >= n + 1 in
+    Mutex.unlock mu;
+    d
+  in
+  while (not (done_ ())) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+
+  Mutex.lock mu;
+  let st = Verifier.stats verifier in
+  Printf.printf "service processed: %d verified, %d rejected (announcements: %d)\n" !verified
+    !rejected !announcements;
+  Printf.printf "verification paths: fast=%d slow=%d\n" st.Verifier.fast st.Verifier.slow;
+  Mutex.unlock mu;
+  Dsig_tcpnet.Tcpnet.close conn;
+  Dsig_tcpnet.Tcpnet.stop server;
+  Runtime.shutdown rt

@@ -1,0 +1,1 @@
+lib/apps/audit/audit.ml: Hashtbl List Option Printf String

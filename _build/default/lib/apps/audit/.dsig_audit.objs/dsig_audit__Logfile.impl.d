@@ -1,0 +1,1 @@
+lib/apps/audit/logfile.ml: Audit Dsig_util Fun Int32 Int64 List String Sys

@@ -1,0 +1,1 @@
+lib/apps/audit/logfile.mli: Audit

@@ -1,0 +1,44 @@
+type entry = { index : int; client : int; op : string; signature : string }
+
+type t = {
+  mutable log : entry list; (* newest first *)
+  mutable n : int;
+  last_seq : (int, int) Hashtbl.t;
+}
+
+let create () = { log = []; n = 0; last_seq = Hashtbl.create 16 }
+
+let admit t ~verify ~client ~seq ~op ~signature =
+  let last = Option.value ~default:(-1) (Hashtbl.find_opt t.last_seq client) in
+  if seq <= last then Error (Printf.sprintf "stale sequence %d (last %d)" seq last)
+  else if not (verify ~msg:op signature) then Error "bad signature"
+  else begin
+    Hashtbl.replace t.last_seq client seq;
+    let e = { index = t.n; client; op; signature } in
+    t.log <- e :: t.log;
+    t.n <- t.n + 1;
+    Ok e
+  end
+
+let entries t = List.rev t.log
+let length t = t.n
+
+let storage_bytes t =
+  List.fold_left (fun acc e -> acc + String.length e.op + String.length e.signature + 16) 0 t.log
+
+let audit t ~verify =
+  let valid = ref 0 and bad = ref [] in
+  List.iter
+    (fun e ->
+      if verify ~client:e.client ~msg:e.op e.signature then incr valid else bad := e :: !bad)
+    (entries t);
+  ((!valid, List.length !bad), List.rev !bad)
+
+let of_entries entries =
+  let t = create () in
+  List.iteri
+    (fun i e ->
+      t.log <- { e with index = i } :: t.log;
+      t.n <- t.n + 1)
+    entries;
+  t

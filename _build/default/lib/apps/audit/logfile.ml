@@ -1,0 +1,68 @@
+module BU = Dsig_util.Bytesutil
+
+let magic = "DSIGLOG1"
+
+let encode_entry ~client ~op ~signature =
+  BU.concat
+    [
+      BU.u64_le (Int64.of_int client);
+      BU.u32_le (Int32.of_int (String.length op));
+      op;
+      BU.u32_le (Int32.of_int (String.length signature));
+      signature;
+    ]
+
+let save path log =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter
+        (fun e ->
+          output_string oc
+            (encode_entry ~client:e.Audit.client ~op:e.Audit.op ~signature:e.Audit.signature))
+        (Audit.entries log));
+  Sys.rename tmp path
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let data = really_input_string ic len in
+        if len < String.length magic || String.sub data 0 (String.length magic) <> magic then
+          Error "bad magic"
+        else begin
+          let pos = ref (String.length magic) in
+          let entries = ref [] in
+          let ok = ref true in
+          (try
+             while !pos < len do
+               if !pos + 12 > len then failwith "truncated";
+               let client = Int64.to_int (BU.get_u64_le data !pos) in
+               let op_len = Int32.to_int (BU.get_u32_le data (!pos + 8)) in
+               if op_len < 0 || !pos + 12 + op_len + 4 > len then failwith "truncated";
+               let op = String.sub data (!pos + 12) op_len in
+               let sig_len = Int32.to_int (BU.get_u32_le data (!pos + 12 + op_len)) in
+               if sig_len < 0 || !pos + 16 + op_len + sig_len > len then failwith "truncated";
+               let signature = String.sub data (!pos + 16 + op_len) sig_len in
+               entries := { Audit.index = 0; client; op; signature } :: !entries;
+               pos := !pos + 16 + op_len + sig_len
+             done
+           with Failure _ -> ok := false);
+          if !ok then Ok (Audit.of_entries (List.rev !entries)) else Error "truncated record"
+        end)
+  with Sys_error e -> Error e
+
+let append_entry path ~client ~op ~signature =
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if fresh then output_string oc magic;
+      output_string oc (encode_entry ~client ~op ~signature))

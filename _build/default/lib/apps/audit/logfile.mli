@@ -1,0 +1,20 @@
+(** Durable audit-log files.
+
+    The paper notes that logs "can be persisted at the microsecond scale
+    using persistent memory" (§6); this module provides the
+    commodity-hardware equivalent — a simple length-prefixed record
+    format — so security logs survive the process and third parties can
+    audit them offline (see the [dsig log-*] CLI commands).
+
+    Format: an 8-byte magic ["DSIGLOG1"], then per entry:
+    client (u64 LE) | op length (u32 LE) | op bytes |
+    signature length (u32 LE) | signature bytes. *)
+
+val save : string -> Audit.t -> unit
+(** Write the whole log to [path] (atomic via rename). *)
+
+val load : string -> (Audit.t, string) result
+(** Parse a log file; [Error] on bad magic or truncated records. *)
+
+val append_entry : string -> client:int -> op:string -> signature:string -> unit
+(** Append one record, creating the file (with magic) if missing. *)

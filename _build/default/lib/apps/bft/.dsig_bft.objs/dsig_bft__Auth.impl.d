@@ -1,0 +1,1 @@
+lib/apps/bft/auth.ml: Dsig Dsig_costmodel Dsig_hashes Dsig_util Int64 Option String

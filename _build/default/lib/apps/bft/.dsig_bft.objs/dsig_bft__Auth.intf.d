@@ -1,0 +1,1 @@
+lib/apps/bft/auth.mli: Dsig Dsig_costmodel

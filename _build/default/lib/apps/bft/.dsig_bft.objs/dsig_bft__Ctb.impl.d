@@ -1,0 +1,1 @@
+lib/apps/bft/ctb.ml: Auth Dsig_hashes Dsig_simnet Dsig_util Fun Hashtbl Int64 List Net Printf Resource Sim String

@@ -1,0 +1,1 @@
+lib/apps/bft/ctb.mli: Auth Dsig_simnet

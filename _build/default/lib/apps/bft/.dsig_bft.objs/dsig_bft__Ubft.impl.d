@@ -1,0 +1,1 @@
+lib/apps/bft/ubft.ml: Array Auth Ctb Dsig_hashes Dsig_simnet Dsig_util Fun Hashtbl Int64 List Net Printf Resource Sim String

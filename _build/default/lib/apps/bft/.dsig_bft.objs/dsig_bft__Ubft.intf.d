@@ -1,0 +1,1 @@
+lib/apps/bft/ubft.mli: Auth Ctb Dsig_simnet

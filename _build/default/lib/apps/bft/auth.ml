@@ -1,0 +1,80 @@
+module CM = Dsig_costmodel.Costmodel
+
+type t = {
+  name : string;
+  sig_bytes : int;
+  sign : me:int -> hint:int list -> string -> string;
+  verify : me:int -> signer:int -> msg:string -> string -> bool;
+  can_verify_fast : me:int -> string -> bool;
+  sign_us : msg_bytes:int -> float;
+  verify_us : me:int -> msg_bytes:int -> signature:string -> float;
+}
+
+let none =
+  {
+    name = "none";
+    sig_bytes = 0;
+    sign = (fun ~me:_ ~hint:_ _ -> "");
+    verify = (fun ~me:_ ~signer:_ ~msg:_ _ -> true);
+    can_verify_fast = (fun ~me:_ _ -> true);
+    sign_us = (fun ~msg_bytes:_ -> 0.0);
+    verify_us = (fun ~me:_ ~msg_bytes:_ ~signature:_ -> 0.0);
+  }
+
+let dsig_real sys cm =
+  let cfg = Dsig.System.config sys in
+  {
+    name = "dsig";
+    sig_bytes = Dsig.Wire.size_bytes cfg;
+    sign = (fun ~me ~hint msg -> Dsig.System.sign sys ~signer:me ~hint msg);
+    verify = (fun ~me ~signer:_ ~msg signature -> Dsig.System.verify sys ~verifier:me ~msg signature);
+    can_verify_fast =
+      (fun ~me signature -> Dsig.Verifier.can_verify_fast (Dsig.System.verifier sys me) signature);
+    sign_us = (fun ~msg_bytes -> CM.dsig_sign_us cm cfg ~msg_bytes);
+    verify_us =
+      (fun ~me ~msg_bytes ~signature ->
+        if Dsig.Verifier.can_verify_fast (Dsig.System.verifier sys me) signature then
+          CM.dsig_verify_fast_us cm cfg ~msg_bytes
+        else CM.dsig_verify_slow_us cm cfg ~msg_bytes);
+  }
+
+(* MAC-backed stand-ins: a keyed BLAKE3 over (signer, msg), padded to
+   the real scheme's wire size. Functionally sound within one simulation
+   (same implicit key), zero asymmetric crypto on the host. *)
+let mac_key = String.make 32 'K'
+
+let mac_sign ~size signer msg =
+  let core =
+    Dsig_hashes.Blake3.keyed ~key:mac_key
+      (Dsig_util.Bytesutil.u64_le (Int64.of_int signer) ^ msg)
+  in
+  if size <= 32 then String.sub core 0 size else core ^ String.make (size - 32) '\x00'
+
+let mac_verify ~size signer msg signature = String.equal signature (mac_sign ~size signer msg)
+
+let dsig_modeled ?(correct_hints = true) cm cfg =
+  let size = Dsig.Wire.size_bytes cfg in
+  {
+    name = "dsig-modeled";
+    sig_bytes = size;
+    sign = (fun ~me ~hint:_ msg -> mac_sign ~size me msg);
+    verify = (fun ~me:_ ~signer ~msg signature -> mac_verify ~size signer msg signature);
+    can_verify_fast = (fun ~me:_ _ -> correct_hints);
+    sign_us = (fun ~msg_bytes -> CM.dsig_sign_us cm cfg ~msg_bytes);
+    verify_us =
+      (fun ~me:_ ~msg_bytes ~signature:_ ->
+        if correct_hints then CM.dsig_verify_fast_us cm cfg ~msg_bytes
+        else CM.dsig_verify_slow_us cm cfg ~msg_bytes);
+  }
+
+let eddsa_modeled ?name cm =
+  let name = Option.value ~default:("eddsa-" ^ cm.CM.name) name in
+  {
+    name;
+    sig_bytes = 64;
+    sign = (fun ~me ~hint:_ msg -> mac_sign ~size:64 me msg);
+    verify = (fun ~me:_ ~signer ~msg signature -> mac_verify ~size:64 signer msg signature);
+    can_verify_fast = (fun ~me:_ _ -> true);
+    sign_us = (fun ~msg_bytes -> CM.eddsa_sign_total_us cm ~msg_bytes);
+    verify_us = (fun ~me:_ ~msg_bytes ~signature:_ -> CM.eddsa_verify_total_us cm ~msg_bytes);
+  }

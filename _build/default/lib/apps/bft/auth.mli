@@ -1,0 +1,33 @@
+(** Pluggable authenticator for the simulated protocols (CTB, uBFT, and
+    the client-server harnesses): real DSig, modeled DSig, modeled
+    EdDSA, or nothing. Every variant exposes both the functional
+    operations and their modeled compute cost in µs, so protocol code
+    charges virtual time and checks real bytes with one interface. *)
+
+type t = {
+  name : string;
+  sig_bytes : int;
+  sign : me:int -> hint:int list -> string -> string;
+  verify : me:int -> signer:int -> msg:string -> string -> bool;
+  can_verify_fast : me:int -> string -> bool;
+  sign_us : msg_bytes:int -> float;
+  verify_us : me:int -> msg_bytes:int -> signature:string -> float;
+}
+
+val none : t
+(** Empty signatures, zero cost, always-true verify. *)
+
+val dsig_real : Dsig.System.t -> Dsig_costmodel.Costmodel.t -> t
+(** Real DSig signatures from an in-process {!Dsig.System}; costs follow
+    the model (fast or slow verify depending on the verifier's cache). *)
+
+val dsig_modeled :
+  ?correct_hints:bool -> Dsig_costmodel.Costmodel.t -> Dsig.Config.t -> t
+(** MAC-backed stand-in with DSig's wire size and modeled costs, for
+    large simulations where running real hash chains per message would
+    dominate host time. [correct_hints] (default true) selects the
+    fast- or slow-path verify cost. *)
+
+val eddsa_modeled : ?name:string -> Dsig_costmodel.Costmodel.t -> t
+(** 64-byte MAC-backed stand-in priced as EdDSA (Dalek or Sodium,
+    depending on the cost model). *)

@@ -1,0 +1,145 @@
+open Dsig_simnet
+
+type behavior =
+  | Honest
+  | Silent
+  | Corrupt
+  | Laggard of { probability : float; delay_us : float }
+
+type msg =
+  | Start of { bcast_id : int; payload : string }
+  | Value of { bcast_id : int; bcaster : int; payload : string; vsig : string }
+  | Ack of { bcast_id : int; bcaster : int; digest : string; signer : int; asig : string }
+
+type pending = {
+  mutable payload : string option;
+  mutable ackers : (int * string) list; (* (process, acked digest) with valid signatures *)
+  mutable delivered : bool;
+}
+
+type cluster = {
+  sim : Sim.t;
+  net : msg Net.t;
+  auth : Auth.t;
+  n : int;
+  quorum : int;
+  mutable delivered_total : int;
+}
+
+let value_string ~bcaster ~bcast_id payload =
+  Printf.sprintf "ctb-value|%d|%d|%s" bcaster bcast_id payload
+
+let ack_string ~bcaster ~bcast_id ~digest = Printf.sprintf "ctb-ack|%d|%d|%s" bcaster bcast_id digest
+
+let create ~sim ~auth ~n ~f ?(behavior = fun _ -> Honest) ?(latency_us = 1.0)
+    ?(overhead_us = 0.0) ?message_loss ~on_deliver () =
+  if n < (3 * f) + 1 then invalid_arg "Ctb.create: need n >= 3f+1";
+  let net = Net.create sim ~nodes:n ~latency_us () in
+  (match message_loss with
+  | Some (drop, seed) -> Net.set_faults net ~drop ~seed ()
+  | None -> ());
+  let cluster = { sim; net; auth; n; quorum = (2 * f) + 1; delivered_total = 0 } in
+  let all = List.init n Fun.id in
+  for me = 0 to n - 1 do
+    let lag_rng = Dsig_util.Rng.create (Int64.of_int (7919 * (me + 1))) in
+    ignore lag_rng;
+    let core = Resource.create ~name:(Printf.sprintf "ctb%d.core" me) sim in
+    let pending : (int * int, pending) Hashtbl.t = Hashtbl.create 16 in
+    let slot ~bcaster ~bcast_id =
+      match Hashtbl.find_opt pending (bcaster, bcast_id) with
+      | Some s -> s
+      | None ->
+          let s = { payload = None; ackers = []; delivered = false } in
+          Hashtbl.add pending (bcaster, bcast_id) s;
+          s
+    in
+    let try_deliver ~bcaster ~bcast_id =
+      let s = slot ~bcaster ~bcast_id in
+      match s.payload with
+      | Some payload when not s.delivered ->
+          (* only acknowledgments of *our* value count towards the
+             quorum; this is what prevents equivocation *)
+          let digest = Dsig_hashes.Blake3.digest payload in
+          let matching = List.filter (fun (_, d) -> d = digest) s.ackers in
+          if List.length matching >= cluster.quorum then begin
+            s.delivered <- true;
+            cluster.delivered_total <- cluster.delivered_total + 1;
+            if overhead_us > 0.0 then Resource.use core overhead_us;
+            on_deliver ~node:me ~bcaster ~bcast_id ~payload
+          end
+      | _ -> ()
+    in
+    let send_ack ~bcaster ~bcast_id ~payload =
+      let digest = Dsig_hashes.Blake3.digest payload in
+      let astr = ack_string ~bcaster ~bcast_id ~digest in
+      let asig =
+        match behavior me with
+        | Corrupt -> String.make (max 1 auth.Auth.sig_bytes) '\x00'
+        | Honest | Silent | Laggard _ -> auth.Auth.sign ~me ~hint:all astr
+      in
+      Resource.use core (auth.Auth.sign_us ~msg_bytes:(String.length astr));
+      let m = Ack { bcast_id; bcaster; digest; signer = me; asig } in
+      let bytes = String.length astr + auth.Auth.sig_bytes in
+      List.iter (fun dst -> if dst <> me then Net.send cluster.net ~src:me ~dst ~bytes m) all;
+      (* count our own acknowledgment locally *)
+      let s = slot ~bcaster ~bcast_id in
+      if not (List.mem_assoc me s.ackers) then s.ackers <- (me, digest) :: s.ackers;
+      try_deliver ~bcaster ~bcast_id
+    in
+    Sim.spawn sim (fun () ->
+        while true do
+          let _src, _bytes, m = Net.recv net ~node:me in
+          match m with
+          | Start { bcast_id; payload } ->
+              (* we are the broadcaster *)
+              let vstr = value_string ~bcaster:me ~bcast_id payload in
+              let vsig = auth.Auth.sign ~me ~hint:all vstr in
+              Resource.use core (auth.Auth.sign_us ~msg_bytes:(String.length vstr));
+              let bytes = String.length vstr + auth.Auth.sig_bytes in
+              List.iter
+                (fun dst ->
+                  if dst <> me then
+                    Net.send net ~src:me ~dst ~bytes
+                      (Value { bcast_id; bcaster = me; payload; vsig }))
+                all;
+              (slot ~bcaster:me ~bcast_id).payload <- Some payload;
+              send_ack ~bcaster:me ~bcast_id ~payload
+          | Value { bcast_id; bcaster; payload; vsig } -> (
+              match behavior me with
+              | Silent -> ()
+              | Laggard { probability; delay_us } when Dsig_util.Rng.float lag_rng 1.0 < probability
+                ->
+                  Sim.sleep delay_us;
+                  Net.inject net ~node:me ~src:me (Value { bcast_id; bcaster; payload; vsig })
+              | Honest | Corrupt | Laggard _ ->
+                  let vstr = value_string ~bcaster ~bcast_id payload in
+                  Resource.use core
+                    (auth.Auth.verify_us ~me ~msg_bytes:(String.length vstr) ~signature:vsig);
+                  if auth.Auth.verify ~me ~signer:bcaster ~msg:vstr vsig then begin
+                    let s = slot ~bcaster ~bcast_id in
+                    if s.payload = None then begin
+                      s.payload <- Some payload;
+                      send_ack ~bcaster ~bcast_id ~payload
+                    end
+                  end)
+          | Ack { bcast_id; bcaster; digest; signer; asig } ->
+              let astr = ack_string ~bcaster ~bcast_id ~digest in
+              Resource.use core
+                (auth.Auth.verify_us ~me ~msg_bytes:(String.length astr) ~signature:asig);
+              if auth.Auth.verify ~me ~signer ~msg:astr asig then begin
+                let s = slot ~bcaster ~bcast_id in
+                (* one ack per process; digest filtering happens at
+                   delivery time *)
+                if not (List.mem_assoc signer s.ackers) then begin
+                  s.ackers <- (signer, digest) :: s.ackers;
+                  try_deliver ~bcaster ~bcast_id
+                end
+              end
+        done)
+  done;
+  cluster
+
+let broadcast cluster ~from ~bcast_id payload =
+  Net.inject cluster.net ~node:from ~src:from (Start { bcast_id; payload })
+
+let deliveries cluster = cluster.delivered_total

@@ -1,0 +1,50 @@
+(** Consistent (Tail) Broadcast — the signed-echo broadcast primitive of
+    uBFT (§6 "BFT broadcast (CTB)"), which prevents a Byzantine
+    broadcaster from equivocating.
+
+    Protocol (n = 3f+1 processes): the broadcaster signs and sends its
+    value to everyone; every process that receives a valid value signs
+    an acknowledgment of its digest and sends it to everyone; a process
+    {e delivers} the value once it holds valid acknowledgments from
+    2f+1 distinct processes. Two deliveries of the same broadcast id can
+    then never return different values (quorum intersection contains an
+    honest process that acknowledged only one value).
+
+    The critical-path crypto — verify value, sign ack, verify 2f foreign
+    acks — is exactly the cost Figure 1/7 measures under EdDSA and DSig. *)
+
+type behavior =
+  | Honest
+  | Silent  (** receives but never acknowledges (crash/slow) *)
+  | Corrupt  (** acknowledges with garbage signatures *)
+  | Laggard of { probability : float; delay_us : float }
+      (** occasionally responds late — the benign "process slowness" that
+          trips uBFT's fast path into its slow path (§6) *)
+
+type cluster
+
+val create :
+  sim:Dsig_simnet.Sim.t ->
+  auth:Auth.t ->
+  n:int ->
+  f:int ->
+  ?behavior:(int -> behavior) ->
+  ?latency_us:float ->
+  ?overhead_us:float ->
+  ?message_loss:float * int64 ->
+  on_deliver:(node:int -> bcaster:int -> bcast_id:int -> payload:string -> unit) ->
+  unit ->
+  cluster
+(** Starts the n node processes. [overhead_us] models the non-crypto
+    protocol machinery per delivery (tail management; calibrated in
+    DESIGN.md). [message_loss] is a (drop probability, seed) pair fed to
+    {!Dsig_simnet.Net.set_faults} — the all-to-all acknowledgment
+    pattern gives the protocol natural redundancy against it.
+    @raise Invalid_argument unless [n >= 3*f + 1]. *)
+
+val broadcast : cluster -> from:int -> bcast_id:int -> string -> unit
+(** Inject a broadcast at node [from] (asynchronous; deliveries arrive
+    through [on_deliver]). *)
+
+val deliveries : cluster -> int
+(** Total deliveries so far (across nodes). *)

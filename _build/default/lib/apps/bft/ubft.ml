@@ -1,0 +1,350 @@
+open Dsig_simnet
+
+type path = Fast | Slow
+
+type msg =
+  | Request of { rid : int; payload : string }
+  | Prepare of { rid : int; seq : int; payload : string; psig : string option }
+  | Fack of { rid : int; replica : int }
+  | CommitFast of { rid : int }
+  | Commit of { rid : int; seq : int; digest : string; replica : int; csig : string }
+  | ViewChange of { new_view : int; replica : int; vsig : string }
+  | Reply of { rid : int; path : path }
+  | Timeout of { rid : int }
+  | ProgressCheck of { rid : int }
+
+type replica_slot = {
+  mutable payload : string option;
+  mutable seq : int;
+  mutable commit_sigs : (int * string) list; (* (replica, digest) with valid sigs *)
+  mutable committed : bool;
+  mutable deferred : (int * int * string * int * string) list; (* slow-to-verify commits *)
+}
+
+type leader_slot = {
+  mutable req_payload : string;
+  mutable req_seq : int;
+  mutable facks : int;
+  mutable fast_done : bool;
+  mutable slow_started : bool;
+}
+
+type cluster = {
+  sim : Sim.t;
+  net : msg Net.t;
+  n : int;
+  quorum : int;
+  client : int;
+  logs : (int * string) list ref array; (* per replica, newest first *)
+  views : int array; (* per replica *)
+  force_slow : bool;
+}
+
+let prepare_string ~rid ~seq payload = Printf.sprintf "ubft-prep|%d|%d|%s" rid seq payload
+let commit_string ~rid ~seq ~digest = Printf.sprintf "ubft-commit|%d|%d|%s" rid seq digest
+let viewchange_string ~new_view = Printf.sprintf "ubft-vc|%d" new_view
+
+let create ~sim ~auth ~n ~f ?(behavior = fun _ -> Ctb.Honest) ?(latency_us = 1.0)
+    ?(slow_overhead_us = 0.0) ?(fast_timeout_us = 20.0) ?(force_slow = false)
+    ?(dos_mitigation = true) ?(view_timeout_us = 150.0) ~on_commit ~on_reply () =
+  if n < (2 * f) + 1 then invalid_arg "Ubft.create: need n >= 2f+1";
+  let net = Net.create sim ~nodes:(n + 1) ~latency_us () in
+  let client = n in
+  let cluster =
+    {
+      sim;
+      net;
+      n;
+      quorum = n - f;
+      client;
+      logs = Array.init n (fun _ -> ref []);
+      views = Array.make n 0;
+      force_slow;
+    }
+  in
+  let replicas = List.init n Fun.id in
+  for me = 0 to n - 1 do
+    let lag_rng = Dsig_util.Rng.create (Int64.of_int (104729 * (me + 1))) in
+    ignore lag_rng;
+    let core = Resource.create ~name:(Printf.sprintf "ubft%d.core" me) sim in
+    let slots : (int, replica_slot) Hashtbl.t = Hashtbl.create 16 in
+    let lslots : (int, leader_slot) Hashtbl.t = Hashtbl.create 16 in
+    (* all requests this replica has heard of: the new leader re-proposes
+       the uncommitted ones after a view change *)
+    let known_requests : (int, string) Hashtbl.t = Hashtbl.create 16 in
+    (* view-change votes: new_view -> replicas with valid signatures *)
+    let vc_votes : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+    let vc_sent : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+    let slot rid =
+      match Hashtbl.find_opt slots rid with
+      | Some s -> s
+      | None ->
+          let s =
+            { payload = None; seq = -1; commit_sigs = []; committed = false; deferred = [] }
+          in
+          Hashtbl.add slots rid s;
+          s
+    in
+    let lslot rid =
+      match Hashtbl.find_opt lslots rid with
+      | Some s -> s
+      | None ->
+          let s =
+            { req_payload = ""; req_seq = -1; facks = 0; fast_done = false; slow_started = false }
+          in
+          Hashtbl.add lslots rid s;
+          s
+    in
+    let my_view () = cluster.views.(me) in
+    let i_am_leader () = my_view () mod n = me in
+    let commit rid path =
+      let s = slot rid in
+      if not s.committed then begin
+        s.committed <- true;
+        (match s.payload with
+        | Some payload ->
+            cluster.logs.(me) := (rid, payload) :: !(cluster.logs.(me));
+            on_commit ~replica:me ~rid ~payload
+        | None -> ());
+        if i_am_leader () then
+          Net.send net ~src:me ~dst:client ~bytes:16 (Reply { rid; path })
+      end
+    in
+    let try_slow_commit rid =
+      let s = slot rid in
+      match s.payload with
+      | Some payload when not s.committed ->
+          let digest = Dsig_hashes.Blake3.digest payload in
+          let matching = List.filter (fun (_, d) -> d = digest) s.commit_sigs in
+          if List.length matching >= cluster.quorum then begin
+            if slow_overhead_us > 0.0 then Resource.use core slow_overhead_us;
+            commit rid Slow
+          end
+      | _ -> ()
+    in
+    let send_commit rid =
+      let s = slot rid in
+      match s.payload with
+      | None -> ()
+      | Some payload ->
+          let digest = Dsig_hashes.Blake3.digest payload in
+          let cstr = commit_string ~rid ~seq:s.seq ~digest in
+          let csig =
+            match behavior me with
+            | Ctb.Corrupt -> String.make (max 1 auth.Auth.sig_bytes) '\xff'
+            | Ctb.Honest | Ctb.Silent | Ctb.Laggard _ -> auth.Auth.sign ~me ~hint:replicas cstr
+          in
+          Resource.use core (auth.Auth.sign_us ~msg_bytes:(String.length cstr));
+          let m = Commit { rid; seq = s.seq; digest; replica = me; csig } in
+          let bytes = String.length cstr + auth.Auth.sig_bytes in
+          List.iter (fun dst -> if dst <> me then Net.send net ~src:me ~dst ~bytes m) replicas;
+          if not (List.mem_assoc me s.commit_sigs) then
+            s.commit_sigs <- (me, digest) :: s.commit_sigs;
+          try_slow_commit rid
+    in
+    let start_slow rid =
+      let ls = lslot rid in
+      if not ls.slow_started then begin
+        ls.slow_started <- true;
+        let s = slot rid in
+        s.payload <- Some ls.req_payload;
+        s.seq <- ls.req_seq;
+        let pstr = prepare_string ~rid ~seq:ls.req_seq ls.req_payload in
+        let psig = auth.Auth.sign ~me ~hint:replicas pstr in
+        Resource.use core (auth.Auth.sign_us ~msg_bytes:(String.length pstr));
+        let bytes = String.length pstr + auth.Auth.sig_bytes in
+        List.iter
+          (fun dst ->
+            if dst <> me then
+              Net.send net ~src:me ~dst ~bytes
+                (Prepare { rid; seq = ls.req_seq; payload = ls.req_payload; psig = Some psig }))
+          replicas;
+        send_commit rid
+      end
+    in
+    let initiate_view_change () =
+      let new_view = my_view () + 1 in
+      if (not (Hashtbl.mem vc_sent new_view)) && behavior me <> Ctb.Silent
+         && behavior me <> Ctb.Corrupt
+      then begin
+        Hashtbl.replace vc_sent new_view ();
+        let vstr = viewchange_string ~new_view in
+        let vsig = auth.Auth.sign ~me ~hint:replicas vstr in
+        Resource.use core (auth.Auth.sign_us ~msg_bytes:(String.length vstr));
+        let m = ViewChange { new_view; replica = me; vsig } in
+        let bytes = String.length vstr + auth.Auth.sig_bytes in
+        List.iter (fun dst -> if dst <> me then Net.send net ~src:me ~dst ~bytes m) replicas;
+        (* count own vote *)
+        Net.inject net ~node:me ~src:me (ViewChange { new_view; replica = me; vsig })
+      end
+    in
+    let install_view new_view =
+      if new_view > my_view () then begin
+        cluster.views.(me) <- new_view;
+        if i_am_leader () then
+          (* re-propose every known uncommitted request via the signed
+             slow path *)
+          Hashtbl.iter
+            (fun rid payload ->
+              if not (slot rid).committed then begin
+                let ls = lslot rid in
+                ls.req_payload <- payload;
+                ls.req_seq <- rid;
+                ls.slow_started <- false;
+                start_slow rid
+              end)
+            known_requests
+      end
+    in
+    let process_commit ~rid ~seq ~digest ~replica ~csig =
+      let cstr = commit_string ~rid ~seq ~digest in
+      Resource.use core (auth.Auth.verify_us ~me ~msg_bytes:(String.length cstr) ~signature:csig);
+      if auth.Auth.verify ~me ~signer:replica ~msg:cstr csig then begin
+        let s = slot rid in
+        if s.seq = -1 then s.seq <- seq;
+        if not (List.mem_assoc replica s.commit_sigs) then begin
+          s.commit_sigs <- (replica, digest) :: s.commit_sigs;
+          try_slow_commit rid
+        end
+      end
+    in
+    Sim.spawn sim (fun () ->
+        while true do
+          let _src, _bytes, m = Net.recv net ~node:me in
+          match m with
+          | Request { rid; payload } ->
+              (* clients broadcast; every replica records the request and
+                 watches its progress, the current leader drives it *)
+              Hashtbl.replace known_requests rid payload;
+              Sim.schedule sim ~delay:view_timeout_us (fun () ->
+                  Net.inject net ~node:me ~src:me (ProgressCheck { rid }));
+              if i_am_leader () && behavior me <> Ctb.Silent then begin
+                let ls = lslot rid in
+                ls.req_payload <- payload;
+                ls.req_seq <- rid;
+                if cluster.force_slow then start_slow rid
+                else begin
+                  let bytes = 24 + String.length payload in
+                  List.iter
+                    (fun dst ->
+                      if dst <> me then
+                        Net.send net ~src:me ~dst ~bytes
+                          (Prepare { rid; seq = rid; payload; psig = None }))
+                    replicas;
+                  ls.facks <- 1 (* self *);
+                  Sim.schedule sim ~delay:fast_timeout_us (fun () ->
+                      Net.inject net ~node:me ~src:me (Timeout { rid }))
+                end
+              end
+          | Prepare { rid; seq; payload; psig = None } -> (
+              match behavior me with
+              | Ctb.Silent -> ()
+              | Ctb.Laggard { probability; delay_us }
+                when Dsig_util.Rng.float lag_rng 1.0 < probability ->
+                  (* benign slowness: the ack arrives after the leader's
+                     fast-path timeout *)
+                  Sim.schedule sim ~delay:delay_us (fun () ->
+                      Net.inject net ~node:me ~src:me (Prepare { rid; seq; payload; psig = None }))
+              | Ctb.Honest | Ctb.Corrupt | Ctb.Laggard _ ->
+                  let s = slot rid in
+                  s.payload <- Some payload;
+                  s.seq <- seq;
+                  Net.send net ~src:me ~dst:(my_view () mod n) ~bytes:16
+                    (Fack { rid; replica = me }))
+          | Prepare { rid; seq; payload; psig = Some psig } -> (
+              match behavior me with
+              | Ctb.Silent -> ()
+              | Ctb.Honest | Ctb.Corrupt | Ctb.Laggard _ ->
+                  let pstr = prepare_string ~rid ~seq payload in
+                  Resource.use core
+                    (auth.Auth.verify_us ~me ~msg_bytes:(String.length pstr) ~signature:psig);
+                  (* the proposer must be a current or past leader; we
+                     accept any replica's valid proposal signature and
+                     rely on commit quorums for safety *)
+                  let proposer = my_view () mod n in
+                  let ok = auth.Auth.verify ~me ~signer:proposer ~msg:pstr psig in
+                  let ok =
+                    ok
+                    || List.exists
+                         (fun r -> auth.Auth.verify ~me ~signer:r ~msg:pstr psig)
+                         replicas
+                  in
+                  if ok then begin
+                    let s = slot rid in
+                    s.payload <- Some payload;
+                    s.seq <- seq;
+                    send_commit rid
+                  end)
+          | Fack { rid; replica = _ } ->
+              let ls = lslot rid in
+              if i_am_leader () && not (ls.fast_done || ls.slow_started) then begin
+                ls.facks <- ls.facks + 1;
+                if ls.facks >= cluster.n then begin
+                  ls.fast_done <- true;
+                  let s = slot rid in
+                  s.payload <- Some ls.req_payload;
+                  s.seq <- ls.req_seq;
+                  List.iter
+                    (fun dst ->
+                      if dst <> me then Net.send net ~src:me ~dst ~bytes:16 (CommitFast { rid }))
+                    replicas;
+                  commit rid Fast
+                end
+              end
+          | CommitFast { rid } -> commit rid Fast
+          | Commit { rid; seq; digest; replica; csig } ->
+              let s = slot rid in
+              if (not s.committed) && dos_mitigation && not (auth.Auth.can_verify_fast ~me csig)
+              then s.deferred <- (rid, seq, digest, replica, csig) :: s.deferred
+              else if not s.committed then process_commit ~rid ~seq ~digest ~replica ~csig
+          | ViewChange { new_view; replica; vsig } ->
+              let vstr = viewchange_string ~new_view in
+              if replica <> me then
+                Resource.use core
+                  (auth.Auth.verify_us ~me ~msg_bytes:(String.length vstr) ~signature:vsig);
+              if replica = me || auth.Auth.verify ~me ~signer:replica ~msg:vstr vsig then begin
+                let votes =
+                  match Hashtbl.find_opt vc_votes new_view with
+                  | Some v -> v
+                  | None ->
+                      let v = ref [] in
+                      Hashtbl.add vc_votes new_view v;
+                      v
+                in
+                if not (List.mem replica !votes) then begin
+                  votes := replica :: !votes;
+                  (* join an ongoing view change once f+1 others want it *)
+                  if List.length !votes > f && not (Hashtbl.mem vc_sent new_view) then
+                    initiate_view_change ();
+                  if List.length !votes >= cluster.quorum then install_view new_view
+                end
+              end
+          | Timeout { rid } ->
+              let ls = lslot rid in
+              if i_am_leader () && not ls.fast_done then start_slow rid
+          | ProgressCheck { rid } -> if not (slot rid).committed then initiate_view_change ()
+          | Reply _ -> () (* client messages; replicas ignore *)
+        done)
+  done;
+  (* client process: dispatch replies *)
+  Sim.spawn sim (fun () ->
+      while true do
+        match Net.recv net ~node:client with
+        | _, _, Reply { rid; path } -> on_reply ~rid ~path
+        | _ -> ()
+      done);
+  cluster
+
+let client_node cluster = cluster.client
+
+let request cluster ~rid payload =
+  (* broadcast to all replicas: a crashed or censoring leader cannot
+     hide the request from the others *)
+  for r = 0 to cluster.n - 1 do
+    Net.send_async cluster.net ~src:cluster.client ~dst:r
+      ~bytes:(24 + String.length payload)
+      (Request { rid; payload })
+  done
+
+let committed cluster ~replica = List.rev !(cluster.logs.(replica))
+let view cluster ~replica = cluster.views.(replica)

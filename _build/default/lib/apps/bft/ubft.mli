@@ -1,0 +1,58 @@
+(** A uBFT-style microsecond BFT state-machine replication (§6):
+    leader-driven, 2-round, with the fast/slow-path structure the paper
+    describes — the fast path commits without signatures when all
+    replicas respond promptly; the slow path signs PREPARE/COMMIT
+    messages and commits on a 2f+1 quorum of valid signatures.
+
+    DoS mitigation (§6): on the slow path, replicas and the leader
+    process fast-verifiable commits first ([Auth.can_verify_fast]),
+    deferring messages that would force an inline EdDSA verification;
+    a quorum of honest fast-verifiable messages suffices, so a Byzantine
+    replica cannot inflate the critical path.
+
+    {b View change.} Replicas monitor request progress: when a request
+    is known (via PREPARE or a client broadcast) but not committed
+    within a timeout, a replica signs and broadcasts a VIEWCHANGE for
+    the next view. Collecting 2f+1 valid VIEWCHANGE messages installs
+    the new view; its leader (view mod n) re-proposes every known
+    uncommitted request through the signed slow path. Clients broadcast
+    their requests to all replicas so a crashed leader cannot censor
+    them.
+
+    Replica [view mod n] leads; initially view 0, replica 0. Node [n]
+    hosts the client. *)
+
+type path = Fast | Slow
+
+type cluster
+
+val create :
+  sim:Dsig_simnet.Sim.t ->
+  auth:Auth.t ->
+  n:int ->
+  f:int ->
+  ?behavior:(int -> Ctb.behavior) ->
+  ?latency_us:float ->
+  ?slow_overhead_us:float ->
+  ?fast_timeout_us:float ->
+  ?force_slow:bool ->
+  ?dos_mitigation:bool ->
+  ?view_timeout_us:float ->
+  on_commit:(replica:int -> rid:int -> payload:string -> unit) ->
+  on_reply:(rid:int -> path:path -> unit) ->
+  unit ->
+  cluster
+(** [slow_overhead_us] models uBFT's non-crypto slow-path machinery
+    (disaggregated-memory requests; calibration in DESIGN.md).
+    [fast_timeout_us] is the leader's wait before abandoning the fast
+    path (default 20 µs). @raise Invalid_argument unless [n >= 2*f+1]. *)
+
+val client_node : cluster -> int
+val request : cluster -> rid:int -> string -> unit
+(** Inject a client request (asynchronous; completion via [on_reply]). *)
+
+val committed : cluster -> replica:int -> (int * string) list
+(** Commit log of a replica, oldest first — for total-order checks. *)
+
+val view : cluster -> replica:int -> int
+(** Current view at a replica (0 until a view change happens). *)

@@ -1,0 +1,1 @@
+lib/apps/deploy/deploy.ml: Array Dsig Dsig_ed25519 Dsig_simnet Dsig_util Fun List Net Sim

@@ -1,0 +1,1 @@
+lib/apps/deploy/deploy.mli: Dsig Dsig_simnet

@@ -1,0 +1,65 @@
+open Dsig_simnet
+module Eddsa = Dsig_ed25519.Eddsa
+module Rng = Dsig_util.Rng
+
+type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
+
+type t = {
+  cfg : Dsig.Config.t;
+  parties : party array;
+  pki : Dsig.Pki.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(seed = 97L) sim cfg
+    ~n () =
+  let pki = Dsig.Pki.create () in
+  let master = Rng.create seed in
+  let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
+  Array.iteri (fun id (_, pk) -> Dsig.Pki.register pki ~id pk) keys;
+  let net : Dsig.Batch.announcement Net.t = Net.create sim ~nodes:n ~latency_us () in
+  let ann_bytes = Dsig.Batch.announcement_wire_bytes cfg in
+  let t_ref = ref None in
+  let send_of id ~dest ann =
+    (match !t_ref with Some t -> t.sent <- t.sent + 1 | None -> ());
+    Net.send_async net ~src:id ~dst:dest ~bytes:ann_bytes ann
+  in
+  let all = List.init n Fun.id in
+  let parties =
+    Array.init n (fun id ->
+        let sk, _ = keys.(id) in
+        {
+          signer =
+            Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
+              ~groups:(groups id) ~verifiers:all ();
+          verifier = Dsig.Verifier.create cfg ~id ~pki ();
+        })
+  in
+  let t = { cfg; parties; pki; sent = 0; delivered = 0 } in
+  t_ref := Some t;
+  (* per-party background plane: one queue-refill step per poll
+     (Algorithm 1 lines 6-11) *)
+  Array.iteri
+    (fun id p ->
+      Sim.spawn sim (fun () ->
+          while true do
+            ignore (Dsig.Signer.background_step p.signer);
+            Sim.sleep bg_poll_us
+          done);
+      (* announcement receiver: the verifier's background plane *)
+      Sim.spawn sim (fun () ->
+          while true do
+            let _src, _bytes, ann = Net.recv net ~node:id in
+            if Dsig.Verifier.deliver p.verifier ann then t.delivered <- t.delivered + 1
+          done))
+    parties;
+  t
+
+let signer t i = t.parties.(i).signer
+let verifier t i = t.parties.(i).verifier
+let pki t = t.pki
+let sign t ~signer:i ?hint msg = Dsig.Signer.sign t.parties.(i).signer ?hint msg
+let verify t ~verifier:i ~msg signature = Dsig.Verifier.verify t.parties.(i).verifier ~msg signature
+let announcements_sent t = t.sent
+let announcements_delivered t = t.delivered

@@ -1,0 +1,40 @@
+(** Real DSig deployed over the simulated network: each party's
+    background plane runs as a simnet process, and announcements travel
+    as modeled network messages (size = {!Dsig.Batch.announcement_wire_bytes})
+    instead of the instant in-process delivery of {!Dsig.System}.
+
+    This is the integration point the paper's Figure 3 depicts: the
+    asynchrony between planes is real here — a signature issued before
+    the verifier's background plane has received and checked the
+    announcement takes the slow path; one issued after takes the fast
+    path. Used by the integration tests and available to application
+    harnesses. *)
+
+type t
+
+val create :
+  ?latency_us:float ->
+  ?bg_poll_us:float ->
+  ?groups:(int -> int list list) ->
+  ?seed:int64 ->
+  Dsig_simnet.Sim.t ->
+  Dsig.Config.t ->
+  n:int ->
+  unit ->
+  t
+(** Starts [n] parties on [sim]. [bg_poll_us] (default 5.0) is how often
+    each signer's background plane checks its queues (one batch per
+    step, as in Algorithm 1). Announcements incur network latency plus
+    serialization of their modeled size. *)
+
+val signer : t -> int -> Dsig.Signer.t
+val verifier : t -> int -> Dsig.Verifier.t
+val pki : t -> Dsig.Pki.t
+
+val sign : t -> signer:int -> ?hint:int list -> string -> string
+(** Callable from inside or outside simulation processes. *)
+
+val verify : t -> verifier:int -> msg:string -> string -> bool
+
+val announcements_sent : t -> int
+val announcements_delivered : t -> int

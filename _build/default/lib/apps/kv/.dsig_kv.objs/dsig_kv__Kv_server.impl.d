@@ -1,0 +1,1 @@
+lib/apps/kv/kv_server.ml: Dsig_audit Dsig_simnet Net Resource Sim Store String

@@ -1,0 +1,1 @@
+lib/apps/kv/kv_server.mli: Dsig_audit Dsig_simnet Store

@@ -1,0 +1,1 @@
+lib/apps/kv/store.ml: Buffer Char Dsig_util Hashtbl Int64 List Stdlib String

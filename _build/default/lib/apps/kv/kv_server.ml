@@ -1,0 +1,55 @@
+open Dsig_simnet
+
+type verify_fn = client:int -> msg:string -> signature:string -> bool
+
+type t = {
+  store : Store.t;
+  log : Dsig_audit.Audit.t;
+  mutable served : int;
+  mutable rejected : int;
+}
+
+let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
+    ?(exec_cost_us = 0.3) () =
+  let t = { store = Store.create (); log = Dsig_audit.Audit.create (); served = 0; rejected = 0 } in
+  let core = Resource.create ~name:"kv.core" sim in
+  Sim.spawn sim (fun () ->
+      while true do
+        let client, _bytes, (encoded, signature) = Net.recv net ~node in
+        Resource.use core (verify_cost_us ~signature);
+        let reply =
+          match Store.Command.decode encoded with
+          | None -> Store.Reply.Error "malformed"
+          | Some (seq, cmd) -> (
+              match
+                Dsig_audit.Audit.admit t.log
+                  ~verify:(fun ~msg signature -> verify ~client ~msg ~signature)
+                  ~client ~seq ~op:encoded ~signature
+              with
+              | Error e ->
+                  t.rejected <- t.rejected + 1;
+                  Store.Reply.Error e
+              | Ok _ ->
+                  t.served <- t.served + 1;
+                  Resource.use core exec_cost_us;
+                  Store.exec t.store cmd)
+        in
+        Net.send net ~src:node ~dst:client
+          ~bytes:(16 + String.length (Store.Reply.to_string reply))
+          (Store.Reply.to_string reply, "")
+      done);
+  t
+
+let store t = t.store
+let audit_log t = t.log
+let requests_served t = t.served
+let requests_rejected t = t.rejected
+
+let request ~net ~me ~server ~sign ~seq cmd =
+  let encoded = Store.Command.encode ~seq cmd in
+  let signature = sign ~msg:encoded in
+  Net.send net ~src:me ~dst:server
+    ~bytes:(String.length encoded + String.length signature)
+    (encoded, signature);
+  let _, _, (reply, _) = Net.recv net ~node:me in
+  reply

@@ -1,0 +1,217 @@
+module BU = Dsig_util.Bytesutil
+
+module Command = struct
+  type t =
+    | Get of string
+    | Put of string * string
+    | Del of string
+    | Lpush of string * string
+    | Rpush of string * string
+    | Lrange of string * int * int
+    | Hset of string * string * string
+    | Hget of string * string
+    | Sadd of string * string
+    | Srem of string * string
+    | Smembers of string
+    | Scard of string
+
+  let tag = function
+    | Get _ -> 0
+    | Put _ -> 1
+    | Del _ -> 2
+    | Lpush _ -> 3
+    | Rpush _ -> 4
+    | Lrange _ -> 5
+    | Hset _ -> 6
+    | Hget _ -> 7
+    | Sadd _ -> 8
+    | Srem _ -> 9
+    | Smembers _ -> 10
+    | Scard _ -> 11
+
+  let args = function
+    | Get k | Del k | Smembers k | Scard k -> [ k ]
+    | Put (k, v) | Lpush (k, v) | Rpush (k, v) | Hget (k, v) | Sadd (k, v) | Srem (k, v) ->
+        [ k; v ]
+    | Lrange (k, a, b) -> [ k; string_of_int a; string_of_int b ]
+    | Hset (k, f, v) -> [ k; f; v ]
+
+  (* seq (8B LE) | tag (1B) | argc (1B) | (len u16 | bytes)* *)
+  let encode ~seq t =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (BU.u64_le (Int64.of_int seq));
+    Buffer.add_char buf (Char.chr (tag t));
+    let a = args t in
+    Buffer.add_char buf (Char.chr (List.length a));
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (BU.u16_be (String.length s));
+        Buffer.add_string buf s)
+      a;
+    Buffer.contents buf
+
+  let decode s =
+    let len = String.length s in
+    if len < 10 then None
+    else begin
+      let seq = Int64.to_int (BU.get_u64_le s 0) in
+      let tag = Char.code s.[8] in
+      let argc = Char.code s.[9] in
+      let pos = ref 10 in
+      let ok = ref true in
+      let take () =
+        if !pos + 2 > len then begin
+          ok := false;
+          ""
+        end
+        else begin
+          let n = BU.get_u16_be s !pos in
+          if !pos + 2 + n > len then begin
+            ok := false;
+            ""
+          end
+          else begin
+            let r = String.sub s (!pos + 2) n in
+            pos := !pos + 2 + n;
+            r
+          end
+        end
+      in
+      let a = List.init argc (fun _ -> take ()) in
+      if (not !ok) || !pos <> len then None
+      else begin
+        let int_of s = int_of_string_opt s in
+        match (tag, a) with
+        | 0, [ k ] -> Some (seq, Get k)
+        | 1, [ k; v ] -> Some (seq, Put (k, v))
+        | 2, [ k ] -> Some (seq, Del k)
+        | 3, [ k; v ] -> Some (seq, Lpush (k, v))
+        | 4, [ k; v ] -> Some (seq, Rpush (k, v))
+        | 5, [ k; a'; b' ] -> (
+            match (int_of a', int_of b') with
+            | Some a', Some b' -> Some (seq, Lrange (k, a', b'))
+            | _ -> None)
+        | 6, [ k; f; v ] -> Some (seq, Hset (k, f, v))
+        | 7, [ k; f ] -> Some (seq, Hget (k, f))
+        | 8, [ k; v ] -> Some (seq, Sadd (k, v))
+        | 9, [ k; v ] -> Some (seq, Srem (k, v))
+        | 10, [ k ] -> Some (seq, Smembers k)
+        | 11, [ k ] -> Some (seq, Scard k)
+        | _ -> None
+      end
+    end
+
+  let is_write = function
+    | Get _ | Lrange _ | Hget _ | Smembers _ | Scard _ -> false
+    | Put _ | Del _ | Lpush _ | Rpush _ | Hset _ | Sadd _ | Srem _ -> true
+end
+
+module Reply = struct
+  type t = Ok | Not_found | Value of string | Values of string list | Int of int | Error of string
+
+  let to_string = function
+    | Ok -> "OK"
+    | Not_found -> "(nil)"
+    | Value v -> v
+    | Values vs -> String.concat "," vs
+    | Int n -> string_of_int n
+    | Error e -> "ERR " ^ e
+end
+
+type entry =
+  | Str of string
+  | Lst of string list ref (* front = head *)
+  | Hsh of (string, string) Hashtbl.t
+  | Set of (string, unit) Hashtbl.t
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let type_error = Reply.Error "wrong type"
+
+let exec (t : t) cmd =
+  let open Command in
+  match cmd with
+  | Get k -> (
+      match Hashtbl.find_opt t k with
+      | Some (Str v) -> Reply.Value v
+      | Some _ -> type_error
+      | None -> Reply.Not_found)
+  | Put (k, v) ->
+      Hashtbl.replace t k (Str v);
+      Reply.Ok
+  | Del k ->
+      let existed = Hashtbl.mem t k in
+      Hashtbl.remove t k;
+      Reply.Int (if existed then 1 else 0)
+  | Lpush (k, v) | Rpush (k, v) -> (
+      let push l = match cmd with Lpush _ -> v :: l | _ -> l @ [ v ] in
+      match Hashtbl.find_opt t k with
+      | Some (Lst l) ->
+          l := push !l;
+          Reply.Int (List.length !l)
+      | Some _ -> type_error
+      | None ->
+          Hashtbl.replace t k (Lst (ref [ v ]));
+          Reply.Int 1)
+  | Lrange (k, a, b) -> (
+      match Hashtbl.find_opt t k with
+      | Some (Lst l) ->
+          let n = List.length !l in
+          let norm i = if i < 0 then Stdlib.max 0 (n + i) else Stdlib.min i (n - 1) in
+          let a = norm a and b = norm b in
+          Reply.Values (List.filteri (fun i _ -> i >= a && i <= b) !l)
+      | Some _ -> type_error
+      | None -> Reply.Values [])
+  | Hset (k, f, v) -> (
+      match Hashtbl.find_opt t k with
+      | Some (Hsh h) ->
+          let fresh = not (Hashtbl.mem h f) in
+          Hashtbl.replace h f v;
+          Reply.Int (if fresh then 1 else 0)
+      | Some _ -> type_error
+      | None ->
+          let h = Hashtbl.create 8 in
+          Hashtbl.replace h f v;
+          Hashtbl.replace t k (Hsh h);
+          Reply.Int 1)
+  | Hget (k, f) -> (
+      match Hashtbl.find_opt t k with
+      | Some (Hsh h) -> (
+          match Hashtbl.find_opt h f with Some v -> Reply.Value v | None -> Reply.Not_found)
+      | Some _ -> type_error
+      | None -> Reply.Not_found)
+  | Sadd (k, v) -> (
+      match Hashtbl.find_opt t k with
+      | Some (Set s) ->
+          let fresh = not (Hashtbl.mem s v) in
+          Hashtbl.replace s v ();
+          Reply.Int (if fresh then 1 else 0)
+      | Some _ -> type_error
+      | None ->
+          let s = Hashtbl.create 8 in
+          Hashtbl.replace s v ();
+          Hashtbl.replace t k (Set s);
+          Reply.Int 1)
+  | Srem (k, v) -> (
+      match Hashtbl.find_opt t k with
+      | Some (Set s) ->
+          let existed = Hashtbl.mem s v in
+          Hashtbl.remove s v;
+          Reply.Int (if existed then 1 else 0)
+      | Some _ -> type_error
+      | None -> Reply.Int 0)
+  | Smembers k -> (
+      match Hashtbl.find_opt t k with
+      | Some (Set s) ->
+          Reply.Values (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) s []))
+      | Some _ -> type_error
+      | None -> Reply.Values [])
+  | Scard k -> (
+      match Hashtbl.find_opt t k with
+      | Some (Set s) -> Reply.Int (Hashtbl.length s)
+      | Some _ -> type_error
+      | None -> Reply.Int 0)
+
+let size = Hashtbl.length

@@ -1,0 +1,50 @@
+(** In-memory key-value store with both HERD-style GET/PUT and
+    Redis-style data-structure operations (§6 of the paper integrates
+    DSig with HERD and Redis; this store is the substrate both
+    integrations run on).
+
+    Commands carry a client sequence number when signed — see
+    {!Command.encode} — so an auditable deployment can reject replays. *)
+
+module Command : sig
+  type t =
+    | Get of string
+    | Put of string * string
+    | Del of string
+    | Lpush of string * string
+    | Rpush of string * string
+    | Lrange of string * int * int
+    | Hset of string * string * string
+    | Hget of string * string
+    | Sadd of string * string
+    | Srem of string * string
+    | Smembers of string
+    | Scard of string
+
+  val encode : seq:int -> t -> string
+  (** Deterministic byte encoding (the string clients sign). *)
+
+  val decode : string -> (int * t) option
+  (** [(seq, command)]; [None] on malformed input. *)
+
+  val is_write : t -> bool
+end
+
+module Reply : sig
+  type t =
+    | Ok
+    | Not_found
+    | Value of string
+    | Values of string list
+    | Int of int
+    | Error of string
+
+  val to_string : t -> string
+end
+
+type t
+
+val create : unit -> t
+val exec : t -> Command.t -> Reply.t
+val size : t -> int
+(** Number of live keys. *)

@@ -1,0 +1,1 @@
+lib/apps/tcpnet/tcpnet.ml: Bytes Dsig Dsig_util Int32 List Mutex Result String Thread Unix

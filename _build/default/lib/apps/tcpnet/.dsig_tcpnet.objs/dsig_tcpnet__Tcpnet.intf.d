@@ -1,0 +1,1 @@
+lib/apps/tcpnet/tcpnet.mli: Dsig

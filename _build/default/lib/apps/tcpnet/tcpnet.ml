@@ -1,0 +1,143 @@
+module BU = Dsig_util.Bytesutil
+
+type message =
+  | Announcement of Dsig.Batch.announcement
+  | Signed of { msg : string; signature : string }
+
+let encode_message = function
+  | Announcement a -> "A" ^ Dsig.Batch.encode_announcement a
+  | Signed { msg; signature } ->
+      "S" ^ BU.u32_le (Int32.of_int (String.length msg)) ^ msg ^ signature
+
+let decode_message s =
+  if String.length s < 1 then Error "empty frame"
+  else begin
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'A' -> Result.map (fun a -> Announcement a) (Dsig.Batch.decode_announcement body)
+    | 'S' ->
+        if String.length body < 4 then Error "short signed frame"
+        else begin
+          let mlen = Int32.to_int (BU.get_u32_le body 0) in
+          if mlen < 0 || 4 + mlen > String.length body then Error "bad signed frame"
+          else
+            Ok
+              (Signed
+                 {
+                   msg = String.sub body 4 mlen;
+                   signature = String.sub body (4 + mlen) (String.length body - 4 - mlen);
+                 })
+        end
+    | _ -> Error "unknown tag"
+  end
+
+(* --- framing --- *)
+
+let really_write fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let r = Unix.read fd b !off (n - !off) in
+    if r = 0 then raise End_of_file;
+    off := !off + r
+  done;
+  Bytes.unsafe_to_string b
+
+let max_frame = 1 lsl 26
+
+let write_frame fd payload =
+  really_write fd (BU.u32_le (Int32.of_int (String.length payload)) ^ payload)
+
+let read_frame fd =
+  let len = Int32.to_int (BU.get_u32_le (really_read fd 4) 0) in
+  if len < 0 || len > max_frame then failwith "oversized frame";
+  really_read fd len
+
+(* --- server --- *)
+
+type server = {
+  listener : Unix.file_descr;
+  actual_port : int;
+  mutable stopping : bool;
+  mutable peers : Unix.file_descr list;
+  mu : Mutex.t;
+  mutable accept_thread : Thread.t option;
+}
+
+let listen ~port ~on_message =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listener 16;
+  let actual_port =
+    match Unix.getsockname listener with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t =
+    { listener; actual_port; stopping = false; peers = []; mu = Mutex.create (); accept_thread = None }
+  in
+  let accept_loop () =
+    let continue_ = ref true in
+    while (not t.stopping) && !continue_ do
+      match Unix.accept listener with
+      | exception Unix.Unix_error (_, _, _) -> continue_ := false (* listener closed on stop *)
+      | peer, _ ->
+          Mutex.lock t.mu;
+          t.peers <- peer :: t.peers;
+          Mutex.unlock t.mu;
+          ignore
+            (Thread.create
+               (fun () ->
+                 try
+                   while not t.stopping do
+                     let frame = read_frame peer in
+                     match decode_message frame with
+                     | Ok m -> on_message m
+                     | Error _ -> () (* drop malformed frames *)
+                   done
+                 with End_of_file | Failure _ | Unix.Unix_error (_, _, _) -> (
+                   try Unix.close peer with Unix.Unix_error (_, _, _) -> ()))
+               ())
+    done
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t
+
+let port t = t.actual_port
+
+let stop t =
+  t.stopping <- true;
+  (* a blocked accept() is not interrupted by closing the listener on
+     Linux: wake it with a throwaway connection first *)
+  (try
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.actual_port))
+      with Unix.Unix_error (_, _, _) -> ());
+     Unix.close fd
+   with Unix.Unix_error (_, _, _) -> ());
+  (match t.accept_thread with Some th -> ( try Thread.join th with _ -> ()) | None -> ());
+  (try Unix.close t.listener with Unix.Unix_error (_, _, _) -> ());
+  Mutex.lock t.mu;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ()) t.peers;
+  t.peers <- [];
+  Mutex.unlock t.mu
+
+(* --- client --- *)
+
+type client = { fd : Unix.file_descr }
+
+let connect ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  { fd }
+
+let send t m = write_frame t.fd (encode_message m)
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()

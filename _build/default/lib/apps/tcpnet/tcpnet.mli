@@ -1,0 +1,33 @@
+(** A real TCP transport for DSig: length-framed messages over loopback
+    or LAN sockets, with a receiver thread per peer. Together with
+    {!Dsig.Runtime} (background plane on its own domain) this turns the
+    reproduction into an actually deployable signing service — the
+    commodity-Ethernet stand-in for the paper's RDMA messaging.
+
+    Frame format: 4-byte little-endian payload length, 1 tag byte
+    ([`A]nnouncement / [`S]igned message), payload. *)
+
+type message =
+  | Announcement of Dsig.Batch.announcement
+  | Signed of { msg : string; signature : string }
+
+type server
+
+val listen : port:int -> on_message:(message -> unit) -> server
+(** Bind 127.0.0.1:[port] (0 picks an ephemeral port) and spawn an
+    accept thread; every inbound frame invokes [on_message] from a
+    receiver thread — callbacks must be thread-safe. *)
+
+val port : server -> int
+val stop : server -> unit
+(** Close the listener and all peer connections; joins threads. *)
+
+type client
+
+val connect : port:int -> client
+val send : client -> message -> unit
+val close : client -> unit
+
+val encode_message : message -> string
+val decode_message : string -> (message, string) result
+(** Exposed for tests. *)

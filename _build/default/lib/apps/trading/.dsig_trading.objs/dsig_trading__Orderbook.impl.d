@@ -1,0 +1,1 @@
+lib/apps/trading/orderbook.ml: Buffer Dsig_util Hashtbl Int Int64 List Map Option Queue String

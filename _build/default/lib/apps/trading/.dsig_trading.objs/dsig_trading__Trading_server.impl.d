@@ -1,0 +1,1 @@
+lib/apps/trading/trading_server.ml: Dsig_audit Dsig_simnet Either Hashtbl List Net Orderbook Resource Sim String

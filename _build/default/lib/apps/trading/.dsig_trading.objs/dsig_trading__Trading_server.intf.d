@@ -1,0 +1,1 @@
+lib/apps/trading/trading_server.mli: Dsig_audit Dsig_simnet Either Orderbook

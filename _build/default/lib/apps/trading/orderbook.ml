@@ -1,0 +1,168 @@
+module BU = Dsig_util.Bytesutil
+
+type side = Buy | Sell
+
+type order = { id : int; client : int; side : side; price : int; qty : int }
+
+type fill = { taker_order : int; maker_order : int; price : int; qty : int }
+
+module Request = struct
+  type t = Limit of { side : side; price : int; qty : int } | Cancel of { order_id : int }
+
+  let encode ~seq t =
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf (BU.u64_le (Int64.of_int seq));
+    (match t with
+    | Limit { side; price; qty } ->
+        Buffer.add_char buf 'L';
+        Buffer.add_char buf (match side with Buy -> 'B' | Sell -> 'S');
+        Buffer.add_string buf (BU.u64_le (Int64.of_int price));
+        Buffer.add_string buf (BU.u64_le (Int64.of_int qty))
+    | Cancel { order_id } ->
+        Buffer.add_char buf 'C';
+        Buffer.add_string buf (BU.u64_le (Int64.of_int order_id)));
+    Buffer.contents buf
+
+  let decode s =
+    let len = String.length s in
+    if len < 9 then None
+    else begin
+      let seq = Int64.to_int (BU.get_u64_le s 0) in
+      match s.[8] with
+      | 'L' when len = 26 ->
+          let side = match s.[9] with 'B' -> Some Buy | 'S' -> Some Sell | _ -> None in
+          Option.map
+            (fun side ->
+              ( seq,
+                Limit
+                  {
+                    side;
+                    price = Int64.to_int (BU.get_u64_le s 10);
+                    qty = Int64.to_int (BU.get_u64_le s 18);
+                  } ))
+            side
+      | 'C' when len = 17 -> Some (seq, Cancel { order_id = Int64.to_int (BU.get_u64_le s 9) })
+      | _ -> None
+    end
+end
+
+module IntMap = Map.Make (Int)
+
+(* Resting orders are mutable cells so cancellation and partial fills
+   are O(1) once located. *)
+type resting = { order : order; mutable remaining : int; mutable cancelled : bool }
+
+type t = {
+  mutable bids : resting Queue.t IntMap.t; (* price -> FIFO *)
+  mutable asks : resting Queue.t IntMap.t;
+  orders : (int, resting) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  { bids = IntMap.empty; asks = IntMap.empty; orders = Hashtbl.create 64; next_id = 1 }
+
+let level_qty q = Queue.fold (fun acc r -> if r.cancelled then acc else acc + r.remaining) 0 q
+
+(* Drop cancelled/empty heads and empty levels lazily. *)
+let rec clean_front t side =
+  let book = match side with Buy -> t.bids | Sell -> t.asks in
+  match (match side with Buy -> IntMap.max_binding_opt book | Sell -> IntMap.min_binding_opt book) with
+  | None -> ()
+  | Some (price, q) -> (
+      match Queue.peek_opt q with
+      | Some r when r.cancelled || r.remaining = 0 ->
+          ignore (Queue.pop q);
+          clean_front t side
+      | Some _ -> ()
+      | None ->
+          let book' = IntMap.remove price book in
+          (match side with Buy -> t.bids <- book' | Sell -> t.asks <- book');
+          clean_front t side)
+
+let best t side =
+  clean_front t side;
+  let book = match side with Buy -> t.bids | Sell -> t.asks in
+  let binding =
+    match side with Buy -> IntMap.max_binding_opt book | Sell -> IntMap.min_binding_opt book
+  in
+  Option.bind binding (fun (price, q) ->
+      match level_qty q with 0 -> None | qty -> Some (price, qty))
+
+let best_bid t = best t Buy
+let best_ask t = best t Sell
+
+let opposite = function Buy -> Sell | Sell -> Buy
+
+let crosses side ~taker_price ~maker_price =
+  match side with Buy -> taker_price >= maker_price | Sell -> taker_price <= maker_price
+
+let submit t ~client ~side ~price ~qty =
+  if price <= 0 || qty <= 0 then invalid_arg "Orderbook.submit: price and qty must be positive";
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let order = { id; client; side; price; qty } in
+  let fills = ref [] in
+  let remaining = ref qty in
+  let continue_ = ref true in
+  while !remaining > 0 && !continue_ do
+    clean_front t (opposite side);
+    match best t (opposite side) with
+    | Some (maker_price, _) when crosses side ~taker_price:price ~maker_price ->
+        let book = match opposite side with Buy -> t.bids | Sell -> t.asks in
+        let q = IntMap.find maker_price book in
+        (match Queue.peek_opt q with
+        | Some maker when (not maker.cancelled) && maker.remaining > 0 ->
+            let traded = min !remaining maker.remaining in
+            maker.remaining <- maker.remaining - traded;
+            remaining := !remaining - traded;
+            fills :=
+              { taker_order = id; maker_order = maker.order.id; price = maker_price; qty = traded }
+              :: !fills;
+            if maker.remaining = 0 then ignore (Queue.pop q)
+        | _ -> clean_front t (opposite side))
+    | _ -> continue_ := false
+  done;
+  if !remaining > 0 then begin
+    let r = { order; remaining = !remaining; cancelled = false } in
+    Hashtbl.replace t.orders id r;
+    let book = match side with Buy -> t.bids | Sell -> t.asks in
+    let q =
+      match IntMap.find_opt price book with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          (match side with
+          | Buy -> t.bids <- IntMap.add price q t.bids
+          | Sell -> t.asks <- IntMap.add price q t.asks);
+          q
+    in
+    Queue.add r q
+  end;
+  (id, List.rev !fills)
+
+let cancel t ~order_id =
+  match Hashtbl.find_opt t.orders order_id with
+  | Some r when (not r.cancelled) && r.remaining > 0 ->
+      r.cancelled <- true;
+      true
+  | Some _ | None -> false
+
+let depth t side =
+  let book = match side with Buy -> t.bids | Sell -> t.asks in
+  let levels =
+    IntMap.fold
+      (fun price q acc -> match level_qty q with 0 -> acc | qty -> (price, qty) :: acc)
+      book []
+  in
+  (* fold visits ascending; bids want best (= highest) first *)
+  match side with Buy -> levels | Sell -> List.rev levels
+
+let resting_qty t =
+  let side_qty book = IntMap.fold (fun _ q acc -> acc + level_qty q) book 0 in
+  side_qty t.bids + side_qty t.asks
+
+let order_status t id =
+  match Hashtbl.find_opt t.orders id with
+  | Some r when (not r.cancelled) && r.remaining > 0 -> `Resting r.remaining
+  | Some _ | None -> `Done

@@ -1,0 +1,54 @@
+(** Price-time-priority limit-order matching engine, standing in for
+    Liquibook (§6: the paper's financial trading system matches buy and
+    sell limit orders from clients over RDMA).
+
+    Prices are integer ticks; quantities integer lots. Incoming orders
+    match against the opposite side best-price-first, FIFO within a
+    price level; any remainder rests on the book. *)
+
+type side = Buy | Sell
+
+type order = { id : int; client : int; side : side; price : int; qty : int }
+
+type fill = {
+  taker_order : int;
+  maker_order : int;
+  price : int;  (** the maker's (resting) price *)
+  qty : int;
+}
+
+module Request : sig
+  type t = Limit of { side : side; price : int; qty : int } | Cancel of { order_id : int }
+
+  val encode : seq:int -> t -> string
+  (** The byte string clients sign in the auditable deployment. *)
+
+  val decode : string -> (int * t) option
+end
+
+type t
+
+val create : unit -> t
+
+val submit : t -> client:int -> side:side -> price:int -> qty:int -> int * fill list
+(** [(order_id, fills)]. The order id is assigned by the engine;
+    unfilled remainder rests on the book.
+    @raise Invalid_argument if price or qty is non-positive. *)
+
+val cancel : t -> order_id:int -> bool
+(** [false] if the order is unknown, already filled, or cancelled. *)
+
+val best_bid : t -> (int * int) option
+(** Highest buy (price, total resting qty). *)
+
+val best_ask : t -> (int * int) option
+(** Lowest sell (price, total resting qty). *)
+
+val depth : t -> side -> (int * int) list
+(** All levels, best first. *)
+
+val resting_qty : t -> int
+(** Total quantity resting on both sides (invariant checks). *)
+
+val order_status : t -> int -> [ `Resting of int | `Done ]
+(** Remaining quantity of an order, or [`Done] if filled/cancelled. *)

@@ -1,0 +1,72 @@
+open Dsig_simnet
+
+type verify_fn = client:int -> msg:string -> signature:string -> bool
+
+type reply =
+  | Accepted of { order_id : int; fills : Orderbook.fill list }
+  | Cancelled of bool
+  | Rejected of string
+
+type t = {
+  book : Orderbook.t;
+  log : Dsig_audit.Audit.t;
+  mutable trades : Orderbook.fill list; (* newest first *)
+  owners : (int, int) Hashtbl.t; (* order id -> client, for cancel authorization *)
+}
+
+let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
+    ?(match_cost_us = 1.4) () =
+  let t =
+    { book = Orderbook.create (); log = Dsig_audit.Audit.create (); trades = []; owners = Hashtbl.create 64 }
+  in
+  let core = Resource.create ~name:"exchange.core" sim in
+  Sim.spawn sim (fun () ->
+      while true do
+        match Net.recv net ~node with
+        | client, _bytes, Either.Left (encoded, signature) ->
+            Resource.use core (verify_cost_us ~signature);
+            let reply =
+              match Orderbook.Request.decode encoded with
+              | None -> Rejected "malformed"
+              | Some (seq, req) -> (
+                  match
+                    Dsig_audit.Audit.admit t.log
+                      ~verify:(fun ~msg signature -> verify ~client ~msg ~signature)
+                      ~client ~seq ~op:encoded ~signature
+                  with
+                  | Error e -> Rejected e
+                  | Ok _ -> (
+                      Resource.use core match_cost_us;
+                      match req with
+                      | Orderbook.Request.Limit { side; price; qty } ->
+                          let order_id, fills =
+                            Orderbook.submit t.book ~client ~side ~price ~qty
+                          in
+                          Hashtbl.replace t.owners order_id client;
+                          t.trades <- List.rev_append fills t.trades;
+                          Accepted { order_id; fills }
+                      | Orderbook.Request.Cancel { order_id } ->
+                          (* only the order's owner may cancel — the signed
+                             request proves who is asking *)
+                          if Hashtbl.find_opt t.owners order_id = Some client then
+                            Cancelled (Orderbook.cancel t.book ~order_id)
+                          else Cancelled false))
+            in
+            Net.send net ~src:node ~dst:client ~bytes:64 (Either.Right reply)
+        | _, _, Either.Right _ -> () (* replies are for clients *)
+      done);
+  t
+
+let book t = t.book
+let audit_log t = t.log
+let trades t = List.rev t.trades
+
+let request ~net ~me ~server ~sign ~seq req =
+  let encoded = Orderbook.Request.encode ~seq req in
+  let signature = sign ~msg:encoded in
+  Net.send net ~src:me ~dst:server
+    ~bytes:(String.length encoded + String.length signature)
+    (Either.Left (encoded, signature));
+  match Net.recv net ~node:me with
+  | _, _, Either.Right reply -> reply
+  | _ -> Rejected "protocol error"

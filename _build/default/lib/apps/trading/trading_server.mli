@@ -1,0 +1,39 @@
+(** The auditable trading venue of §6 as a simnet deployment: traders
+    sign encoded {!Orderbook.Request}s, the exchange verifies before
+    matching, logs the signed order trail, matches on a real
+    {!Orderbook}, and reports fills back to the taker. *)
+
+type verify_fn = client:int -> msg:string -> signature:string -> bool
+
+(** Reply to the requesting trader. *)
+type reply =
+  | Accepted of { order_id : int; fills : Orderbook.fill list }
+  | Cancelled of bool
+  | Rejected of string
+
+type t
+
+val start :
+  sim:Dsig_simnet.Sim.t ->
+  net:(string * string, reply) Either.t Dsig_simnet.Net.t ->
+  node:int ->
+  verify:verify_fn ->
+  ?verify_cost_us:(signature:string -> float) ->
+  ?match_cost_us:float ->
+  unit ->
+  t
+
+val book : t -> Orderbook.t
+val audit_log : t -> Dsig_audit.Audit.t
+val trades : t -> Orderbook.fill list
+(** All fills so far, oldest first. *)
+
+val request :
+  net:(string * string, reply) Either.t Dsig_simnet.Net.t ->
+  me:int ->
+  server:int ->
+  sign:(msg:string -> string) ->
+  seq:int ->
+  Orderbook.Request.t ->
+  reply
+(** Sign, send, await (blocking; call from a simnet process). *)

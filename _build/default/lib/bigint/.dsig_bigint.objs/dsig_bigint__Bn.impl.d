@@ -1,0 +1,1 @@
+lib/bigint/bn.ml: Array Buffer Char Dsig_util Format List Stdlib String

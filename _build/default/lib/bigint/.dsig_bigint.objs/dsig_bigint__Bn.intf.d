@@ -1,0 +1,1 @@
+lib/bigint/bn.mli: Format

@@ -1,0 +1,246 @@
+(* Little-endian arrays of 24-bit limbs, normalized (no trailing zero
+   limb; zero is the empty array). 24-bit limbs keep every intermediate
+   product (48 bits) plus carries comfortably inside OCaml's 63-bit
+   native ints. *)
+
+let limb_bits = 24
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero a = Array.length a = 0
+
+let of_int x =
+  if x < 0 then invalid_arg "Bn.of_int: negative";
+  let rec go x acc = if x = 0 then List.rev acc else go (x lsr limb_bits) ((x land limb_mask) :: acc) in
+  Array.of_list (go x [])
+
+let to_int a =
+  let n = Array.length a in
+  if n * limb_bits > 62 && n > 3 then failwith "Bn.to_int: overflow"
+  else begin
+    let acc = ref 0 in
+    for i = n - 1 downto 0 do
+      if !acc > max_int lsr limb_bits then failwith "Bn.to_int: overflow";
+      acc := (!acc lsl limb_bits) lor a.(i)
+    done;
+    !acc
+  end
+
+let num_bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width x acc = if x = 0 then acc else width (x lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let bit a i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let compare (a : t) (b : t) =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Stdlib.compare na nb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (na - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let na = Array.length a and nb = Array.length b in
+  let n = max na nb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < na then a.(i) else 0) + (if i < nb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bn.sub: negative result";
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make na 0 in
+  let borrow = ref 0 in
+  for i = 0 to na - 1 do
+    let d = a.(i) - (if i < nb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + limb_base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let mul a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then zero
+  else begin
+    let out = Array.make (na + nb) 0 in
+    for i = 0 to na - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to nb - 1 do
+        let s = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      out.(i + nb) <- out.(i + nb) + !carry
+    done;
+    normalize out
+  end
+
+let shift_left a k =
+  if is_zero a || k = 0 then if k = 0 then a else a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let na = Array.length a in
+    let out = Array.make (na + limbs + 1) 0 in
+    for i = 0 to na - 1 do
+      let v = a.(i) lsl bits in
+      out.(i + limbs) <- out.(i + limbs) lor (v land limb_mask);
+      out.(i + limbs + 1) <- out.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    normalize out
+  end
+
+let shift_right a k =
+  if k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let na = Array.length a in
+    if limbs >= na then zero
+    else begin
+      let n = na - limbs in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < na then (a.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask else 0 in
+        out.(i) <- if bits = 0 then a.(i + limbs) else lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+(* Schoolbook long division, one bit at a time. Simple and clearly
+   correct; speed is irrelevant for our uses (constant generation,
+   scalar reduction of 64-byte values, tests). *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let q = ref zero and r = ref zero in
+    for i = num_bits a - 1 downto 0 do
+      r := shift_left !r 1;
+      if bit a i then r := add !r one;
+      q := shift_left !q 1;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q := add !q one
+      end
+    done;
+    (!q, !r)
+  end
+
+let rem a b = snd (divmod a b)
+
+let mod_pow base exp m =
+  if is_zero m then raise Division_by_zero;
+  let result = ref (rem one m) in
+  let b = ref (rem base m) in
+  for i = 0 to num_bits exp - 1 do
+    if bit exp i then result := rem (mul !result !b) m;
+    b := rem (mul !b !b) m
+  done;
+  !result
+
+let mod_inv a m =
+  let a = rem a m in
+  if is_zero a then invalid_arg "Bn.mod_inv: zero";
+  mod_pow a (sub m (of_int 2)) m
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ~length a =
+  if num_bits a > 8 * length then invalid_arg "Bn.to_bytes_be: too large";
+  String.init length (fun i ->
+      let byte_index = length - 1 - i in
+      let v = ref 0 in
+      for b = 0 to 7 do
+        if bit a ((8 * byte_index) + b) then v := !v lor (1 lsl b)
+      done;
+      Char.chr !v)
+
+let rev_string s = String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+let of_bytes_le s = of_bytes_be (rev_string s)
+let to_bytes_le ~length a = rev_string (to_bytes_be ~length a)
+
+let of_hex h =
+  let h = if String.length h mod 2 = 1 then "0" ^ h else h in
+  of_bytes_be (Dsig_util.Bytesutil.of_hex h)
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let nbytes = (num_bits a + 7) / 8 in
+    let s = Dsig_util.Bytesutil.to_hex (to_bytes_be ~length:nbytes a) in
+    (* strip at most one leading zero nibble *)
+    if String.length s > 1 && s.[0] = '0' then String.sub s 1 (String.length s - 1) else s
+  end
+
+let ten = of_int 10
+
+let of_decimal s =
+  if s = "" then invalid_arg "Bn.of_decimal: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      | _ -> invalid_arg "Bn.of_decimal: non-digit")
+    s;
+  !acc
+
+let to_decimal a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go x =
+      if not (is_zero x) then begin
+        let q, r = divmod x ten in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int r))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_decimal a)

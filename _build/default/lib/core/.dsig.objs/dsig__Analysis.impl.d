@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Batch Config Dsig_hbss List Params Printf Wire

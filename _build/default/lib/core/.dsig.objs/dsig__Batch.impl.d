@@ -1,0 +1,1 @@
+lib/core/batch.ml: Array Buffer Config Dsig_ed25519 Dsig_hbss Dsig_merkle Dsig_util Int32 Int64 Onetime String

@@ -1,0 +1,1 @@
+lib/core/batch.mli: Config Dsig_ed25519 Dsig_merkle Dsig_util Onetime

@@ -1,0 +1,1 @@
+lib/core/config.ml: Dsig_hashes Dsig_hbss Params Printf

@@ -1,0 +1,1 @@
+lib/core/onetime.ml: Config Dsig_hashes Dsig_hbss Dsig_merkle Hors String Wots

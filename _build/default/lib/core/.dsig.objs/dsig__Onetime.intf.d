@@ -1,0 +1,1 @@
+lib/core/onetime.mli: Config Dsig_hbss Dsig_merkle

@@ -1,0 +1,1 @@
+lib/core/pki.ml: Dsig_ed25519 Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Batch Condition Config Domain Dsig_hbss Dsig_merkle Dsig_util Int64 List Mutex Onetime Option Queue Wire

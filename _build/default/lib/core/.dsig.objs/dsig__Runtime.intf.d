@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Batch Config Dsig_ed25519

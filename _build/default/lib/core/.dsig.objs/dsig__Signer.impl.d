@@ -1,0 +1,1 @@
+lib/core/signer.ml: Array Batch Config Dsig_ed25519 Dsig_hbss Dsig_merkle Dsig_util Hashtbl Hors Int64 List Log Onetime Option Params Queue String Wire Wots

@@ -1,0 +1,1 @@
+lib/core/signer.mli: Batch Config Dsig_ed25519 Dsig_util

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Config Dsig_ed25519 Dsig_util Fun List Pki Signer Verifier

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Array Buffer Char Config Dsig_hbss Dsig_merkle Dsig_util Hors Int64 List Params Result String Wots

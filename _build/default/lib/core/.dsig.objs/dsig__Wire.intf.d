@@ -1,0 +1,1 @@
+lib/core/wire.mli: Config Dsig_hbss Dsig_merkle

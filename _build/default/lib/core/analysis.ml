@@ -1,0 +1,46 @@
+open Dsig_hbss
+
+type row = {
+  label : string;
+  critical_hashes : float;
+  signature_bytes : int;
+  keygen_hashes : int;
+  bg_bytes_per_sig : float;
+}
+
+let of_config (cfg : Config.t) =
+  let batch = float_of_int cfg.Config.batch_size in
+  let bg = float_of_int (Batch.announcement_wire_bytes cfg) /. batch in
+  match cfg.Config.hbss with
+  | Config.Wots p ->
+      {
+        label = Printf.sprintf "W-OTS+ d=%d" p.Params.Wots.d;
+        critical_hashes = Params.Wots.expected_verify_hashes p;
+        signature_bytes = Wire.size_bytes cfg;
+        keygen_hashes = Params.Wots.keygen_hashes p;
+        bg_bytes_per_sig = bg;
+      }
+  | Config.Hors_factorized p ->
+      {
+        label = Printf.sprintf "HORS-F k=%d" p.Params.Hors.k;
+        critical_hashes = float_of_int (Params.Hors.verify_hashes p);
+        signature_bytes = Wire.size_bytes cfg;
+        keygen_hashes = Params.Hors.keygen_hashes p;
+        bg_bytes_per_sig = bg;
+      }
+  | Config.Hors_merklified { params = p; trees } ->
+      {
+        label = Printf.sprintf "HORS-M k=%d" p.Params.Hors.k;
+        critical_hashes = float_of_int (Params.Hors.verify_hashes p);
+        signature_bytes = Wire.size_bytes cfg;
+        (* element hashes plus the forest: t leaf digests and t-trees
+           interior nodes, ~2t in total *)
+        keygen_hashes = (2 * p.Params.Hors.t) - trees;
+        bg_bytes_per_sig = bg;
+      }
+
+let table2 () =
+  let horsf = List.map (fun k -> Config.make (Config.hors_factorized ~k)) [ 8; 16; 32; 64 ] in
+  let horsm = List.map (fun k -> Config.make (Config.hors_merklified ~k ())) [ 8; 16; 32; 64 ] in
+  let wots = List.map (fun d -> Config.make (Config.wots ~d)) [ 2; 4; 8; 16; 32 ] in
+  List.map of_config (horsf @ horsm @ wots)

@@ -1,0 +1,18 @@
+(** The analytical cost model behind Table 2 of the paper: for a DSig
+    configuration, the number of hash computations on the critical path,
+    the signature wire size, the hashes needed to generate a key pair,
+    and the background traffic per verifier per signature. *)
+
+type row = {
+  label : string;
+  critical_hashes : float;  (** expected hashes to verify on the fast path *)
+  signature_bytes : int;  (** actual wire size ({!Wire.size_bytes}) *)
+  keygen_hashes : int;  (** per one-time key pair *)
+  bg_bytes_per_sig : float;  (** background bytes per verifier per signature *)
+}
+
+val of_config : Config.t -> row
+
+val table2 : unit -> row list
+(** The 13 configurations of Table 2 (HORS factorized and merklified for
+    k in 8..64, W-OTS+ for d in 2..32), batch size 128. *)

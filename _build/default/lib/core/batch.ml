@@ -1,0 +1,142 @@
+module Merkle = Dsig_merkle.Merkle
+module Eddsa = Dsig_ed25519.Eddsa
+module BU = Dsig_util.Bytesutil
+
+type t = {
+  signer_id : int;
+  batch_id : int64;
+  keys : Onetime.t array;
+  tree : Merkle.t;
+  root_sig : string;
+}
+
+let root_message ~signer_id ~batch_id ~root =
+  "dsig-batch-root" ^ BU.u64_le (Int64.of_int signer_id) ^ BU.u64_le batch_id ^ root
+
+let make (cfg : Config.t) ~signer_id ~batch_id ~eddsa ~rng =
+  let keys =
+    Array.init cfg.Config.batch_size (fun _ ->
+        Onetime.generate cfg ~seed:(Dsig_util.Rng.bytes rng 32))
+  in
+  let tree = Merkle.build (Array.map Onetime.batch_leaf keys) in
+  let root = Merkle.root tree in
+  let root_sig = Eddsa.sign eddsa (root_message ~signer_id ~batch_id ~root) in
+  { signer_id; batch_id; keys; tree; root_sig }
+
+let batch_id t = t.batch_id
+let root t = Merkle.root t.tree
+let root_signature t = t.root_sig
+let size t = Array.length t.keys
+let key t i = t.keys.(i)
+let proof t i = Merkle.proof t.tree i
+let leaves t = Array.map Onetime.batch_leaf t.keys
+
+type announcement = {
+  signer_id : int;
+  ann_batch_id : int64;
+  root_sig : string;
+  ann_leaves : string array;
+  full_keys : (string * string array) array option;
+}
+
+let announcement (cfg : Config.t) t =
+  let full_keys =
+    if cfg.Config.reduce_bg_bandwidth then None
+    else
+      Some
+        (Array.map
+           (fun k -> (Onetime.public_seed k, Onetime.public_elements k))
+           t.keys)
+  in
+  {
+    signer_id = t.signer_id;
+    ann_batch_id = t.batch_id;
+    root_sig = t.root_sig;
+    ann_leaves = leaves t;
+    full_keys;
+  }
+
+(* Modeled wire size: 8 (signer) + 8 (batch id) + 64 (EdDSA) plus, per
+   key, either a 32-byte digest or the full public key with its seed.
+   With the recommended configuration this is (128*32 + 80) / 128 =
+   32.6 B per signature plus the recipient count — the ~33 B/sig
+   "Bg Net" column of Table 1. *)
+let announcement_wire_bytes (cfg : Config.t) =
+  let per_key =
+    if cfg.Config.reduce_bg_bandwidth then 32
+    else
+      32
+      +
+      match cfg.Config.hbss with
+      | Config.Wots p -> 32 + (p.Dsig_hbss.Params.Wots.l * p.Dsig_hbss.Params.Wots.n)
+      | Config.Hors_factorized p | Config.Hors_merklified { params = p; _ } ->
+          32 + (p.Dsig_hbss.Params.Hors.t * p.Dsig_hbss.Params.Hors.n)
+  in
+  8 + 8 + 64 + (cfg.Config.batch_size * per_key)
+
+(* Announcement wire format:
+   magic 'A' | signer u64 | batch u64 | root_sig (64) | nleaves u32 |
+   leaves (32 each) | has_full (1) | per key: seed (32) | nelems u32 |
+   elem_len u32 | elements. *)
+let encode_announcement a =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf 'A';
+  Buffer.add_string buf (BU.u64_le (Int64.of_int a.signer_id));
+  Buffer.add_string buf (BU.u64_le a.ann_batch_id);
+  Buffer.add_string buf a.root_sig;
+  Buffer.add_string buf (BU.u32_le (Int32.of_int (Array.length a.ann_leaves)));
+  Array.iter (Buffer.add_string buf) a.ann_leaves;
+  (match a.full_keys with
+  | None -> Buffer.add_char buf '\x00'
+  | Some keys ->
+      Buffer.add_char buf '\x01';
+      Array.iter
+        (fun (seed, elements) ->
+          Buffer.add_string buf seed;
+          Buffer.add_string buf (BU.u32_le (Int32.of_int (Array.length elements)));
+          let elem_len = if Array.length elements = 0 then 0 else String.length elements.(0) in
+          Buffer.add_string buf (BU.u32_le (Int32.of_int elem_len));
+          Array.iter (Buffer.add_string buf) elements)
+        keys);
+  Buffer.contents buf
+
+let decode_announcement s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let take n =
+    if !pos + n > len then failwith "truncated"
+    else begin
+      let r = String.sub s !pos n in
+      pos := !pos + n;
+      r
+    end
+  in
+  try
+    if take 1 <> "A" then Error "bad announcement magic"
+    else begin
+      let signer_id = Int64.to_int (BU.get_u64_le (take 8) 0) in
+      let ann_batch_id = BU.get_u64_le (take 8) 0 in
+      let root_sig = take 64 in
+      let nleaves = Int32.to_int (BU.get_u32_le (take 4) 0) in
+      if nleaves < 0 || nleaves > 1 lsl 20 then Error "bad leaf count"
+      else begin
+        let ann_leaves = Array.init nleaves (fun _ -> take 32) in
+        let full_keys =
+          match (take 1).[0] with
+          | '\x00' -> None
+          | '\x01' ->
+              Some
+                (Array.init nleaves (fun _ ->
+                     let seed = take 32 in
+                     let nelems = Int32.to_int (BU.get_u32_le (take 4) 0) in
+                     let elem_len = Int32.to_int (BU.get_u32_le (take 4) 0) in
+                     if nelems < 0 || nelems > 1 lsl 22 || elem_len < 0 || elem_len > 4096 then
+                       failwith "bad element header"
+                     else (seed, Array.init nelems (fun _ -> take elem_len))))
+          | _ -> failwith "bad full-keys flag"
+        in
+        if !pos <> len then Error "trailing bytes"
+        else Ok { signer_id; ann_batch_id; root_sig; ann_leaves; full_keys }
+      end
+    end
+  with Failure e -> Error e

@@ -1,0 +1,54 @@
+(** EdDSA-signed batches of HBSS public keys (§4.4 "Amortizing the cost
+    of EdDSA signatures").
+
+    The signer's background plane generates [batch_size] key pairs,
+    arranges their 32-byte public-key digests as the leaves of a BLAKE3
+    Merkle tree and EdDSA-signs the root (bound to the signer id and a
+    monotonically increasing batch id). Signing a message then merely
+    attaches the key's precomputed inclusion proof; verifying checks the
+    proof against a pre-verified root. *)
+
+type t
+
+val make :
+  Config.t ->
+  signer_id:int ->
+  batch_id:int64 ->
+  eddsa:Dsig_ed25519.Eddsa.secret_key ->
+  rng:Dsig_util.Rng.t ->
+  t
+
+val batch_id : t -> int64
+val root : t -> string
+val root_signature : t -> string
+val size : t -> int
+val key : t -> int -> Onetime.t
+val proof : t -> int -> Dsig_merkle.Merkle.proof
+val leaves : t -> string array
+
+val root_message : signer_id:int -> batch_id:int64 -> root:string -> string
+(** The exact byte string whose EdDSA signature authenticates a batch;
+    binding the signer and batch ids prevents cross-batch splicing. *)
+
+(** {1 Background-plane announcements} *)
+
+type announcement = {
+  signer_id : int;
+  ann_batch_id : int64;
+  root_sig : string;
+  ann_leaves : string array;  (** 32-byte digests; always present *)
+  full_keys : (string * string array) array option;
+      (** (public_seed, elements) per key, present only when background
+          bandwidth reduction is disabled (§4.4 / merklified HORS) *)
+}
+
+val announcement : Config.t -> t -> announcement
+val announcement_wire_bytes : Config.t -> int
+(** Modeled network size of one announcement (used by the simulator):
+    header + signature + per-key payload. *)
+
+val encode_announcement : announcement -> string
+val decode_announcement : string -> (announcement, string) result
+(** Byte-level announcement encoding for real transports
+    ({!Dsig_tcpnet}): signer and batch ids, root signature, leaf
+    digests, and optional full keys. *)

@@ -1,0 +1,5 @@
+(* Library log source: applications enable it with
+   Logs.Src.set_level Dsig.Log.src (Some Debug). *)
+let src = Logs.Src.create "dsig" ~doc:"DSig signature system"
+
+module L = (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,6 @@
+(** Log source for the DSig library ("dsig"); silent unless enabled via
+    [Logs.Src.set_level]. *)
+
+val src : Logs.src
+
+module L : Logs.LOG

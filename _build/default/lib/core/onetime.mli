@@ -1,0 +1,21 @@
+(** A single HBSS key pair under any of the configured schemes, plus the
+    scheme-specific data the signer's background plane precomputes. *)
+
+type t =
+  | Wots_key of Dsig_hbss.Wots.keypair
+  | Hors_key of { kp : Dsig_hbss.Hors.keypair; forest : Dsig_merkle.Merkle.Forest.forest option }
+
+val generate : Config.t -> seed:string -> t
+(** Derives a key pair (and, for merklified HORS, its forest). *)
+
+val public_seed : t -> string
+
+val batch_leaf : t -> string
+(** The 32-byte digest this key contributes to the EdDSA-signed Merkle
+    batch: BLAKE3 over the public seed and either the public elements
+    (W-OTS+, factorized HORS) or the forest roots (merklified HORS). *)
+
+val public_elements : t -> string array
+
+val merklified_leaf : public_seed:string -> roots:string list -> string
+(** Recompute [batch_leaf] for merklified HORS from signature data. *)

@@ -1,0 +1,24 @@
+type t = {
+  keys : (int, Dsig_ed25519.Eddsa.public_key) Hashtbl.t;
+  revoked : (int, unit) Hashtbl.t;
+}
+
+let create () = { keys = Hashtbl.create 16; revoked = Hashtbl.create 4 }
+
+let register t ~id pk =
+  match Hashtbl.find_opt t.keys id with
+  | Some existing when existing <> pk -> invalid_arg "Pki.register: id already bound"
+  | Some _ -> ()
+  | None -> Hashtbl.add t.keys id pk
+
+let is_revoked t id = Hashtbl.mem t.revoked id
+
+let lookup t id = if is_revoked t id then None else Hashtbl.find_opt t.keys id
+
+let ids t =
+  Hashtbl.fold (fun id _ acc -> if is_revoked t id then acc else id :: acc) t.keys []
+  |> List.sort compare
+
+let revoke t id = Hashtbl.replace t.revoked id ()
+
+let revoked t = Hashtbl.fold (fun id () acc -> id :: acc) t.revoked [] |> List.sort compare

@@ -1,0 +1,31 @@
+(** Minimal public-key infrastructure (§4.1): a directory mapping
+    process ids to their EdDSA public keys, standing in for "an
+    administrator pre-installing the keys". *)
+
+type t
+
+val create : unit -> t
+val register : t -> id:int -> Dsig_ed25519.Eddsa.public_key -> unit
+(** @raise Invalid_argument if [id] is already bound to a different key
+    (keys are write-once, as re-binding would defeat non-repudiation). *)
+
+val lookup : t -> int -> Dsig_ed25519.Eddsa.public_key option
+(** [None] if the id is unknown {e or revoked}. *)
+
+val ids : t -> int list
+(** Registered, non-revoked ids. *)
+
+(** {1 Revocation (§4.2)}
+
+    "DSig can support key revocation through revocation lists that
+    applications check prior to signing or verifying messages." A
+    revoked signer's announcements and signatures are rejected by every
+    verifier sharing this PKI, including previously issued signatures —
+    revocation lists are consulted on the verification path, not baked
+    into signatures. *)
+
+val revoke : t -> int -> unit
+(** Idempotent; unknown ids may be revoked pre-emptively. *)
+
+val is_revoked : t -> int -> bool
+val revoked : t -> int list

@@ -1,0 +1,138 @@
+module Merkle = Dsig_merkle.Merkle
+module Rng = Dsig_util.Rng
+
+type prepared = {
+  key : Onetime.t;
+  batch_id : int64;
+  proof : Merkle.proof;
+  root_sig : string;
+}
+
+type t = {
+  cfg : Config.t;
+  id : int;
+  mu : Mutex.t;
+  refill : Condition.t; (* signaled when the queue drops below S *)
+  available : Condition.t; (* signaled when keys are pushed *)
+  keys : prepared Queue.t;
+  announcements : Batch.announcement Queue.t;
+  mutable batches : int;
+  mutable stopping : bool;
+  fg_rng : Rng.t; (* foreground nonces; background domain has its own *)
+  mutable domain : unit Domain.t option;
+}
+
+let background_loop cfg ~id ~eddsa ~rng t () =
+  let batch_counter = ref 0L in
+  let continue_ = ref true in
+  while !continue_ do
+    (* wait until a refill is needed or we are asked to stop *)
+    Mutex.lock t.mu;
+    while (not t.stopping) && Queue.length t.keys >= cfg.Config.queue_threshold do
+      Condition.wait t.refill t.mu
+    done;
+    let stop = t.stopping in
+    Mutex.unlock t.mu;
+    if stop then continue_ := false
+    else begin
+      (* the expensive part runs outside the lock: key generation,
+         Merkle tree, EdDSA signature *)
+      let batch_id = !batch_counter in
+      batch_counter := Int64.add batch_id 1L;
+      let batch = Batch.make cfg ~signer_id:id ~batch_id ~eddsa ~rng in
+      let ann = Batch.announcement cfg batch in
+      Mutex.lock t.mu;
+      for i = 0 to Batch.size batch - 1 do
+        Queue.add
+          {
+            key = Batch.key batch i;
+            batch_id;
+            proof = Batch.proof batch i;
+            root_sig = Batch.root_signature batch;
+          }
+          t.keys
+      done;
+      Queue.add ann t.announcements;
+      t.batches <- t.batches + 1;
+      Condition.broadcast t.available;
+      Mutex.unlock t.mu
+    end
+  done
+
+let create cfg ~id ~eddsa ~seed () =
+  let master = Rng.create seed in
+  let bg_rng = Rng.split master in
+  let state =
+    {
+      cfg;
+      id;
+      mu = Mutex.create ();
+      refill = Condition.create ();
+      available = Condition.create ();
+      keys = Queue.create ();
+      announcements = Queue.create ();
+      batches = 0;
+      stopping = false;
+      fg_rng = Rng.split master;
+      domain = None;
+    }
+  in
+  state.domain <- Some (Domain.spawn (background_loop cfg ~id ~eddsa ~rng:bg_rng state));
+  state
+
+let pop_key t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.keys do
+    Condition.signal t.refill;
+    Condition.wait t.available t.mu
+  done;
+  let prepared = Queue.pop t.keys in
+  if Queue.length t.keys < t.cfg.Config.queue_threshold then Condition.signal t.refill;
+  Mutex.unlock t.mu;
+  prepared
+
+let sign t msg =
+  let prepared = pop_key t in
+  let nonce = Rng.bytes t.fg_rng 16 in
+  let body =
+    match prepared.key with
+    | Onetime.Wots_key kp -> Wire.Wots_body (Dsig_hbss.Wots.sign kp ~nonce msg)
+    | Onetime.Hors_key _ ->
+        invalid_arg "Runtime.sign: HORS configurations not supported by the threaded runtime"
+  in
+  Wire.encode t.cfg
+    {
+      Wire.signer_id = t.id;
+      batch_id = prepared.batch_id;
+      public_seed = Onetime.public_seed prepared.key;
+      body;
+      batch_proof = prepared.proof;
+      root_sig = prepared.root_sig;
+    }
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.keys in
+  Mutex.unlock t.mu;
+  n
+
+let batches_generated t =
+  Mutex.lock t.mu;
+  let n = t.batches in
+  Mutex.unlock t.mu;
+  n
+
+let drain_announcements t =
+  Mutex.lock t.mu;
+  let anns = List.of_seq (Queue.to_seq t.announcements) in
+  Queue.clear t.announcements;
+  Mutex.unlock t.mu;
+  anns
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let was_stopping = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.refill;
+  Mutex.unlock t.mu;
+  if not was_stopping then Option.iter Domain.join t.domain

@@ -1,0 +1,33 @@
+(** A real two-plane DSig signer: the background plane runs on its own
+    {!Domain} (the paper dedicates one CPU core to it, §8 "DSig
+    configuration"), generating and EdDSA-signing key batches while the
+    foreground thread signs with zero asymmetric crypto on its critical
+    path.
+
+    The planes communicate through a mutex-protected key queue with the
+    paper's threshold semantics: the background domain refills whenever
+    the queue drops below S and sleeps otherwise; {!sign} blocks only if
+    the queue is completely empty (the synchronous-refill situation the
+    in-simulation {!Signer} counts as a slow path).
+
+    Announcements are buffered for the embedding application to
+    distribute to verifiers ({!drain_announcements}). *)
+
+type t
+
+val create :
+  Config.t -> id:int -> eddsa:Dsig_ed25519.Eddsa.secret_key -> seed:int64 -> unit -> t
+(** Spawns the background domain. Call {!shutdown} when done. *)
+
+val sign : t -> string -> string
+(** Foreground-plane signing; thread-safe for a single foreground
+    caller. Blocks (briefly, after warm-up never) when no key is ready. *)
+
+val queue_depth : t -> int
+val batches_generated : t -> int
+
+val drain_announcements : t -> Batch.announcement list
+(** Announcements produced since the last drain, oldest first. *)
+
+val shutdown : t -> unit
+(** Stops and joins the background domain. Idempotent. *)

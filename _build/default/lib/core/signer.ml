@@ -1,0 +1,186 @@
+open Dsig_hbss
+module Merkle = Dsig_merkle.Merkle
+module Eddsa = Dsig_ed25519.Eddsa
+module Rng = Dsig_util.Rng
+
+type prepared = {
+  key : Onetime.t;
+  batch_id : int64;
+  proof : Merkle.proof;
+  root_sig : string;
+}
+
+type group = { members : int list (* sorted *); queue : prepared Queue.t }
+
+type stats = { mutable signatures : int; mutable batches : int; mutable sync_refills : int }
+
+type t = {
+  cfg : Config.t;
+  id : int;
+  eddsa : Eddsa.secret_key;
+  rng : Rng.t;
+  groups : group list; (* default group last, so smaller matches win *)
+  mutable batch_counter : int64;
+  send : dest:int -> Batch.announcement -> unit;
+  outbox : (int * Batch.announcement) Queue.t;
+  stats : stats;
+}
+
+let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ~verifiers () =
+  let outbox = Queue.create () in
+  let send =
+    match send with
+    | Some f -> f
+    | None -> fun ~dest ann -> Queue.add (dest, ann) outbox
+  in
+  let normalize members = List.sort_uniq compare members in
+  let mk members = { members = normalize members; queue = Queue.create () } in
+  let default = mk verifiers in
+  let extra =
+    groups
+    |> List.map normalize
+    |> List.filter (fun m -> m <> default.members)
+    |> List.sort_uniq compare
+    |> List.map (fun m -> { members = m; queue = Queue.create () })
+  in
+  (* smallest groups first so the "smallest group containing the hint"
+     rule is a simple find *)
+  let extra = List.sort (fun a b -> compare (List.length a.members) (List.length b.members)) extra in
+  {
+    cfg;
+    id;
+    eddsa;
+    rng;
+    groups = extra @ [ default ];
+    batch_counter = 0L;
+    send;
+    outbox;
+    stats = { signatures = 0; batches = 0; sync_refills = 0 };
+  }
+
+let id t = t.id
+let config t = t.cfg
+let eddsa_public_key t = Eddsa.public_key t.eddsa
+let stats t = t.stats
+
+let drain_outbox t =
+  let items = List.of_seq (Queue.to_seq t.outbox) in
+  Queue.clear t.outbox;
+  items
+
+let subset hint members = List.for_all (fun v -> List.mem v members) hint
+
+let select_group t hint =
+  match hint with
+  | None -> List.nth t.groups (List.length t.groups - 1)
+  | Some hint -> (
+      let hint = List.sort_uniq compare hint in
+      match List.find_opt (fun g -> subset hint g.members) t.groups with
+      | Some g -> g
+      | None -> List.nth t.groups (List.length t.groups - 1))
+
+(* Generate one batch for [group], multicast its announcement, and queue
+   the prepared keys (Alg. 1 lines 6-11, batched per §4.4). *)
+let refill t group =
+  Log.L.debug (fun m ->
+      m "signer %d: refilling group [%s] (queue %d < S=%d)" t.id
+        (String.concat "," (List.map string_of_int group.members))
+        (Queue.length group.queue) t.cfg.Config.queue_threshold);
+  let batch_id = t.batch_counter in
+  t.batch_counter <- Int64.add t.batch_counter 1L;
+  let batch = Batch.make t.cfg ~signer_id:t.id ~batch_id ~eddsa:t.eddsa ~rng:t.rng in
+  t.stats.batches <- t.stats.batches + 1;
+  let ann = Batch.announcement t.cfg batch in
+  List.iter (fun dest -> if dest <> t.id then t.send ~dest ann) group.members;
+  for i = 0 to Batch.size batch - 1 do
+    Queue.add
+      {
+        key = Batch.key batch i;
+        batch_id;
+        proof = Batch.proof batch i;
+        root_sig = Batch.root_signature batch;
+      }
+      group.queue
+  done
+
+let background_step t =
+  match
+    List.find_opt (fun g -> Queue.length g.queue < t.cfg.Config.queue_threshold) t.groups
+  with
+  | None -> false
+  | Some g ->
+      refill t g;
+      true
+
+let background_fill t = while background_step t do () done
+
+let queue_length t hint = Queue.length (select_group t (Some hint)).queue
+
+let fresh_nonce t = Rng.bytes t.rng 16
+
+let make_body t prepared msg =
+  let nonce = fresh_nonce t in
+  match prepared.key with
+  | Onetime.Wots_key kp -> Wire.Wots_body (Wots.sign kp ~nonce msg)
+  | Onetime.Hors_key { kp; forest = None } ->
+      let hsig = Hors.sign kp ~nonce msg in
+      let p = Hors.params kp in
+      let indices = Hors.message_indices p ~public_seed:(Hors.public_seed kp) ~nonce msg in
+      let selected = Array.make p.Params.Hors.t false in
+      Array.iter (fun i -> selected.(i) <- true) indices;
+      let elements = Hors.public_elements kp in
+      let complement =
+        Array.of_list
+          (List.filteri (fun i _ -> not selected.(i)) (Array.to_list elements))
+      in
+      Wire.Hors_fact_body { hsig; complement }
+  | Onetime.Hors_key { kp; forest = Some f } ->
+      let hsig = Hors.sign kp ~nonce msg in
+      let p = Hors.params kp in
+      let indices = Hors.message_indices p ~public_seed:(Hors.public_seed kp) ~nonce msg in
+      let roots = Array.of_list (Merkle.Forest.roots f) in
+      if t.cfg.Config.compress_proofs then begin
+        (* group the selected leaves by tree and emit one shared-path
+           multiproof per touched tree (extension; ablation #7) *)
+        let per_tree = p.Params.Hors.t / Array.length roots in
+        let by_tree = Hashtbl.create 8 in
+        Array.iter
+          (fun idx ->
+            let tr = idx / per_tree in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt by_tree tr) in
+            if not (List.mem (idx mod per_tree) cur) then
+              Hashtbl.replace by_tree tr ((idx mod per_tree) :: cur))
+          indices;
+        let mps =
+          Hashtbl.fold
+            (fun tr idx acc -> (tr, Merkle.Multiproof.create (Merkle.Forest.tree f tr) idx) :: acc)
+            by_tree []
+          |> List.sort compare
+        in
+        Wire.Hors_merk_mp_body { hsig; roots; mps }
+      end
+      else begin
+        let proofs = Array.map (fun idx -> Merkle.Forest.proof f idx) indices in
+        Wire.Hors_merk_body { hsig; roots; proofs }
+      end
+
+let sign t ?hint msg =
+  let group = select_group t hint in
+  if Queue.is_empty group.queue then begin
+    t.stats.sync_refills <- t.stats.sync_refills + 1;
+    Log.L.warn (fun m ->
+        m "signer %d: key queue empty, refilling on the critical path" t.id);
+    refill t group
+  end;
+  let prepared = Queue.pop group.queue in
+  t.stats.signatures <- t.stats.signatures + 1;
+  let body = make_body t prepared msg in
+  Wire.encode t.cfg
+    {
+      Wire.signer_id = t.id;
+      batch_id = prepared.batch_id;
+      public_seed = Onetime.public_seed prepared.key;
+      body;
+      batch_proof = prepared.proof;
+      root_sig = prepared.root_sig;
+    }

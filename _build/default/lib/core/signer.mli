@@ -1,0 +1,65 @@
+(** The DSig signer — Algorithm 1 of the paper.
+
+    The signer is configured with {e verifier groups}: sets of processes
+    likely to verify the same signatures. Each group has a queue of
+    prepared one-time keys; the {e background plane}
+    ({!background_step}) refills queues below the threshold S by
+    generating an EdDSA-signed batch of keys and multicasting its
+    announcement to the group, while the {e foreground plane} ({!sign})
+    pops a prepared key, produces the HBSS signature and attaches the
+    precomputed Merkle proof and root signature — no EdDSA work on the
+    critical path.
+
+    The background plane is driven explicitly (by a dedicated simnet
+    process, a loop thread, or interleaved calls), keeping the library
+    free of any runtime dependency. *)
+
+type t
+
+val create :
+  Config.t ->
+  id:int ->
+  eddsa:Dsig_ed25519.Eddsa.secret_key ->
+  rng:Dsig_util.Rng.t ->
+  ?send:(dest:int -> Batch.announcement -> unit) ->
+  ?groups:int list list ->
+  verifiers:int list ->
+  unit ->
+  t
+(** [verifiers] is the set of all known processes (the default group).
+    [groups] adds application-specific verifier groups (Alg. 1 line 2).
+    [send] delivers background announcements; it defaults to a no-op
+    (useful when announcements are collected via {!drain_outbox}). *)
+
+val id : t -> int
+val config : t -> Config.t
+val eddsa_public_key : t -> Dsig_ed25519.Eddsa.public_key
+
+val sign : t -> ?hint:int list -> string -> string
+(** [sign t ~hint msg] returns the encoded DSig signature. The hint
+    selects the smallest group containing it (Alg. 1 line 15); an
+    omitted or unmatched hint falls back to the default group. If the
+    chosen queue is empty the signer refills it synchronously (slow
+    path, counted in {!stats}). *)
+
+val background_step : t -> bool
+(** Refill at most one group whose queue is below S with one batch
+    (Alg. 1 lines 6-11). Returns [true] if work was done. *)
+
+val background_fill : t -> unit
+(** Run {!background_step} to quiescence. *)
+
+val queue_length : t -> int list -> int
+(** Prepared keys available for the group matching the given hint. *)
+
+type stats = {
+  mutable signatures : int;
+  mutable batches : int;
+  mutable sync_refills : int;  (** foreground had to generate keys *)
+}
+
+val stats : t -> stats
+
+val drain_outbox : t -> (int * Batch.announcement) list
+(** Announcements queued when no [send] callback was given, as
+    [(destination, announcement)] pairs, oldest first. *)

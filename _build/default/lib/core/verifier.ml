@@ -1,0 +1,427 @@
+open Dsig_hbss
+module Merkle = Dsig_merkle.Merkle
+module Eddsa = Dsig_ed25519.Eddsa
+module BU = Dsig_util.Bytesutil
+
+type cached_batch = {
+  root : string;
+  keys : (string * string array) array option; (* (public_seed, elements) per index *)
+  forests : Merkle.Forest.forest array option;
+      (* merklified HORS: forests precomputed in the background plane so
+         the critical path compares proofs against them (§5.2) *)
+}
+
+type signer_cache = {
+  batches : (int64, cached_batch) Hashtbl.t;
+  order : int64 Queue.t; (* FIFO eviction *)
+}
+
+type stats = {
+  mutable fast : int;
+  mutable slow : int;
+  mutable eddsa_cache_hits : int;
+  mutable rejected : int;
+  mutable announcements : int;
+}
+
+type t = {
+  cfg : Config.t;
+  id : int;
+  pki : Pki.t;
+  cache : (int, signer_cache) Hashtbl.t;
+  eddsa_cache : (string, unit) Hashtbl.t;
+  stats : stats;
+}
+
+let eddsa_cache_capacity = 4096
+
+let create cfg ~id ~pki () =
+  {
+    cfg;
+    id;
+    pki;
+    cache = Hashtbl.create 16;
+    eddsa_cache = Hashtbl.create 256;
+    stats = { fast = 0; slow = 0; eddsa_cache_hits = 0; rejected = 0; announcements = 0 };
+  }
+
+let stats t = t.stats
+
+let signer_cache t signer =
+  match Hashtbl.find_opt t.cache signer with
+  | Some c -> c
+  | None ->
+      let c = { batches = Hashtbl.create 16; order = Queue.create () } in
+      Hashtbl.add t.cache signer c;
+      c
+
+let cached_batches t ~signer =
+  match Hashtbl.find_opt t.cache signer with None -> 0 | Some c -> Hashtbl.length c.batches
+
+let insert_batch t ~signer ~batch_id entry =
+  let c = signer_cache t signer in
+  if not (Hashtbl.mem c.batches batch_id) then begin
+    Hashtbl.replace c.batches batch_id entry;
+    Queue.add batch_id c.order;
+    while Hashtbl.length c.batches > t.cfg.Config.cache_batches do
+      let victim = Queue.pop c.order in
+      Hashtbl.remove c.batches victim
+    done
+  end
+
+let lookup_batch t ~signer ~batch_id =
+  match Hashtbl.find_opt t.cache signer with
+  | None -> None
+  | Some c -> Hashtbl.find_opt c.batches batch_id
+
+(* EdDSA verification with the bulk-verification cache of §4.4: a hit
+   replaces a full verification by a 32-byte table lookup. *)
+let eddsa_verify_cached t pk msg signature =
+  if not t.cfg.Config.eddsa_verify_cache then Eddsa.verify pk msg signature
+  else begin
+    let key = Dsig_hashes.Blake3.digest (pk ^ signature ^ msg) in
+    if Hashtbl.mem t.eddsa_cache key then begin
+      t.stats.eddsa_cache_hits <- t.stats.eddsa_cache_hits + 1;
+      true
+    end
+    else if Eddsa.verify pk msg signature then begin
+      if Hashtbl.length t.eddsa_cache >= eddsa_cache_capacity then Hashtbl.reset t.eddsa_cache;
+      Hashtbl.replace t.eddsa_cache key ();
+      true
+    end
+    else false
+  end
+
+(* Cache an announcement whose EdDSA root signature has already been
+   checked: validate any full keys against the signed leaves and insert. *)
+let admit_verified t (ann : Batch.announcement) root =
+  begin
+    t.stats.announcements <- t.stats.announcements + 1;
+        (* When full keys ride along (bandwidth reduction off), check
+           they match the signed leaves before trusting them for the
+           comparison-only fast path. *)
+        let keys, forests =
+          match ann.Batch.full_keys with
+          | None -> (None, None)
+          | Some keys when Array.length keys <> Array.length ann.Batch.ann_leaves -> (None, None)
+          | Some keys -> (
+              match t.cfg.Config.hbss with
+              | Config.Hors_merklified { trees; _ } ->
+                  (* precompute the forests (background plane, §5.2) and
+                     check each key matches its signed leaf *)
+                  let forests =
+                    Array.map (fun (_, elements) -> Merkle.Forest.build ~trees elements) keys
+                  in
+                  let consistent =
+                    Array.for_all2
+                      (fun ((seed, _), forest) leaf ->
+                        BU.equal_ct leaf
+                          (Onetime.merklified_leaf ~public_seed:seed
+                             ~roots:(Merkle.Forest.roots forest)))
+                      (Array.map2 (fun k f -> (k, f)) keys forests)
+                      ann.Batch.ann_leaves
+                  in
+                  if consistent then (Some keys, Some forests) else (None, None)
+              | Config.Wots _ | Config.Hors_factorized _ ->
+                  let consistent =
+                    Array.for_all2
+                      (fun (seed, elements) leaf ->
+                        BU.equal_ct leaf
+                          (Dsig_hashes.Blake3.digest
+                             (String.concat "" (seed :: Array.to_list elements))))
+                      keys ann.Batch.ann_leaves
+                  in
+                  if consistent then (Some keys, None) else (None, None))
+        in
+    insert_batch t ~signer:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id
+      { root; keys; forests }
+  end
+
+(* Root implied by an announcement, plus the exact EdDSA-signed string. *)
+let announcement_root (ann : Batch.announcement) =
+  let root = Merkle.root (Merkle.build ann.Batch.ann_leaves) in
+  let msg =
+    Batch.root_message ~signer_id:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id ~root
+  in
+  (root, msg)
+
+let deliver t (ann : Batch.announcement) =
+  match Pki.lookup t.pki ann.Batch.signer_id with
+  | None ->
+      Log.L.warn (fun m ->
+          m "verifier %d: dropping announcement from unknown/revoked signer %d" t.id
+            ann.Batch.signer_id);
+      false
+  | Some pk ->
+      let root, msg = announcement_root ann in
+      if Eddsa.verify pk msg ann.Batch.root_sig then begin
+        admit_verified t ann root;
+        true
+      end
+      else false
+
+(* Catch-up path: check many announcements' EdDSA root signatures with
+   one randomized batch verification (§4.4's amortization, applied to
+   the background plane); on a batch failure, fall back to individual
+   delivery so one bad announcement cannot poison the rest. *)
+let deliver_many t anns =
+  let entries =
+    List.filter_map
+      (fun ann ->
+        match Pki.lookup t.pki ann.Batch.signer_id with
+        | None -> None
+        | Some pk ->
+            let root, msg = announcement_root ann in
+            Some (ann, root, pk, msg))
+      anns
+  in
+  let rng = Dsig_util.Rng.create (Int64.of_int (Hashtbl.hash (t.id, List.length entries))) in
+  let triples = List.map (fun (ann, _, pk, msg) -> (pk, msg, ann.Batch.root_sig)) entries in
+  if entries <> [] && Eddsa.verify_batch rng triples then begin
+    List.iter (fun (ann, root, _, _) -> admit_verified t ann root) entries;
+    List.length entries
+  end
+  else List.length (List.filter (fun ann -> deliver t ann) anns)
+
+(* Reconstruct the full HORS public key from revealed secrets plus the
+   complement carried in a factorized signature. Returns [None] when the
+   piece counts cannot fit together. *)
+let reassemble_hors (p : Params.Hors.t) ~hash ~public_seed ~(hsig : Hors.signature) ~complement
+    msg =
+  let indices = Hors.message_indices p ~public_seed ~nonce:hsig.Hors.nonce msg in
+  let elements = Array.make p.Params.Hors.t "" in
+  let conflict = ref false in
+  Array.iteri
+    (fun j idx ->
+      let h = Dsig_hashes.Hash.digest hash ~length:p.Params.Hors.n hsig.Hors.revealed.(j) in
+      if elements.(idx) = "" then elements.(idx) <- h
+      else if not (BU.equal_ct elements.(idx) h) then conflict := true)
+    indices;
+  let missing = ref 0 in
+  Array.iter (fun e -> if e = "" then incr missing) elements;
+  if !conflict || Array.length complement <> !missing then None
+  else begin
+    let next = ref 0 in
+    Array.iteri
+      (fun i e ->
+        if e = "" then begin
+          elements.(i) <- complement.(!next);
+          incr next
+        end)
+      elements;
+    Some elements
+  end
+
+(* Check a compressed merklified signature: the message's selected
+   indices, grouped by tree, must match the multiproofs exactly, and
+   each multiproof must verify against its tree root with the hashed
+   revealed secrets as leaf contents. *)
+let verify_merk_multiproofs t ~(p : Params.Hors.t) ~trees ~public_seed ~roots ~mps
+    (hsig : Hors.signature) msg =
+  Array.length hsig.Hors.revealed = p.Params.Hors.k
+  && Array.for_all (fun e -> String.length e = p.Params.Hors.n) hsig.Hors.revealed
+  && Array.length roots = trees
+  &&
+  let per_tree = p.Params.Hors.t / trees in
+  let indices = Hors.message_indices p ~public_seed ~nonce:hsig.Hors.nonce msg in
+  (* element content per global index, rejecting conflicting reveals *)
+  let elements = Hashtbl.create 16 in
+  let conflict = ref false in
+  Array.iteri
+    (fun j idx ->
+      let h = Dsig_hashes.Hash.digest t.cfg.Config.hash ~length:p.Params.Hors.n hsig.Hors.revealed.(j) in
+      match Hashtbl.find_opt elements idx with
+      | Some h' when not (BU.equal_ct h h') -> conflict := true
+      | Some _ -> ()
+      | None -> Hashtbl.add elements idx h)
+    indices;
+  (not !conflict)
+  &&
+  (* expected per-tree index groups *)
+  let expected = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun idx _ ->
+      let tr = idx / per_tree in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt expected tr) in
+      Hashtbl.replace expected tr (List.sort_uniq compare ((idx mod per_tree) :: cur)))
+    elements;
+  List.length mps = Hashtbl.length expected
+  && List.for_all
+       (fun (tr, mp) ->
+         match Hashtbl.find_opt expected tr with
+         | None -> false
+         | Some idx_list ->
+             Merkle.Multiproof.indices mp = idx_list
+             && Merkle.Multiproof.verify ~root:roots.(tr)
+                  ~leaves:(List.map (fun i -> (i, Hashtbl.find elements ((tr * per_tree) + i))) idx_list)
+                  mp)
+       mps
+
+(* Compute the batch leaf implied by a signature, performing all
+   scheme-internal checks on the way. [None] means reject. *)
+let implied_leaf t (w : Wire.t) msg =
+  match (t.cfg.Config.hbss, w.Wire.body) with
+  | Config.Wots p, Wire.Wots_body s ->
+      if
+        Array.length s.Wots.elements = p.Params.Wots.l
+        && Array.for_all (fun e -> String.length e = p.Params.Wots.n) s.Wots.elements
+        && String.length s.Wots.nonce = 16
+      then
+        Some
+          (Wots.recover_public_key_digest ~hash:t.cfg.Config.hash p
+             ~public_seed:w.Wire.public_seed s msg)
+      else None
+  | Config.Hors_factorized p, Wire.Hors_fact_body { hsig; complement } ->
+      if
+        Array.length hsig.Hors.revealed = p.Params.Hors.k
+        && Array.for_all (fun e -> String.length e = p.Params.Hors.n) hsig.Hors.revealed
+        && Array.for_all (fun e -> String.length e = p.Params.Hors.n) complement
+      then
+        Option.map
+          (fun elements ->
+            Dsig_hashes.Blake3.digest
+              (String.concat "" (w.Wire.public_seed :: Array.to_list elements)))
+          (reassemble_hors p ~hash:t.cfg.Config.hash ~public_seed:w.Wire.public_seed ~hsig
+             ~complement msg)
+      else None
+  | Config.Hors_merklified { params = p; trees = _ }, Wire.Hors_merk_body { hsig; roots; proofs }
+    ->
+      let roots_list = Array.to_list roots in
+      if
+        Hors.verify_with_forest ~hash:t.cfg.Config.hash p ~public_seed:w.Wire.public_seed
+          ~roots:roots_list ~proofs hsig msg
+      then Some (Onetime.merklified_leaf ~public_seed:w.Wire.public_seed ~roots:roots_list)
+      else None
+  | Config.Hors_merklified { params = p; trees }, Wire.Hors_merk_mp_body { hsig; roots; mps }
+    when t.cfg.Config.compress_proofs ->
+      let roots_list = Array.to_list roots in
+      if verify_merk_multiproofs t ~p ~trees ~public_seed:w.Wire.public_seed ~roots ~mps hsig msg
+      then Some (Onetime.merklified_leaf ~public_seed:w.Wire.public_seed ~roots:roots_list)
+      else None
+  | _ -> None
+
+(* Merklified fast path: the announcement carried full keys and the
+   background plane precomputed the forests, so the critical path hashes
+   only the k revealed secrets and compares the signature's roots and
+   proofs against the precomputed forest — "mere string comparisons"
+   (§5.2). *)
+let merklified_fast_path t (w : Wire.t) msg =
+  match (t.cfg.Config.hbss, w.Wire.body) with
+  | Config.Hors_merklified { params = p; _ }, Wire.Hors_merk_mp_body { hsig; roots; mps } -> (
+      match lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id with
+      | Some { keys = Some keys; forests = Some forests; _ }
+        when Wire.key_index w < Array.length keys ->
+          let idx = Wire.key_index w in
+          let seed, elements = keys.(idx) in
+          let forest = forests.(idx) in
+          let ok =
+            BU.equal_ct seed w.Wire.public_seed
+            && Array.of_list (Merkle.Forest.roots forest) = roots
+            && Hors.verify_with_elements ~hash:t.cfg.Config.hash p
+                 ~public_seed:w.Wire.public_seed ~elements hsig msg
+            && begin
+                 (* the multiproofs must cover exactly the index groups
+                    the message selects, and match the precomputed
+                    forest structurally (string comparisons) *)
+                 let per_tree = p.Params.Hors.t / List.length (Merkle.Forest.roots forest) in
+                 let indices =
+                   Hors.message_indices p ~public_seed:w.Wire.public_seed
+                     ~nonce:hsig.Hors.nonce msg
+                 in
+                 let expected = Hashtbl.create 8 in
+                 Array.iter
+                   (fun idx ->
+                     let tr = idx / per_tree in
+                     let cur = Option.value ~default:[] (Hashtbl.find_opt expected tr) in
+                     if not (List.mem (idx mod per_tree) cur) then
+                       Hashtbl.replace expected tr ((idx mod per_tree) :: cur))
+                   indices;
+                 List.length mps = Hashtbl.length expected
+                 && List.for_all
+                      (fun (tr, mp) ->
+                        (match Hashtbl.find_opt expected tr with
+                        | Some l -> List.sort_uniq compare l = Merkle.Multiproof.indices mp
+                        | None -> false)
+                        && Merkle.Multiproof.encode
+                             (Merkle.Multiproof.create (Merkle.Forest.tree forest tr)
+                                (Merkle.Multiproof.indices mp))
+                           = Merkle.Multiproof.encode mp)
+                      mps
+               end
+          in
+          Some ok
+      | _ -> None)
+  | Config.Hors_merklified { params = p; _ }, Wire.Hors_merk_body { hsig; roots; proofs } -> (
+      match lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id with
+      | Some { keys = Some keys; forests = Some forests; _ }
+        when Wire.key_index w < Array.length keys ->
+          let idx = Wire.key_index w in
+          let seed, elements = keys.(idx) in
+          let forest = forests.(idx) in
+          let ok =
+            BU.equal_ct seed w.Wire.public_seed
+            && Array.of_list (Merkle.Forest.roots forest) = roots
+            && Array.length proofs = p.Params.Hors.k
+            && Hors.verify_with_elements ~hash:t.cfg.Config.hash p
+                 ~public_seed:w.Wire.public_seed ~elements hsig msg
+            &&
+            let indices =
+              Hors.message_indices p ~public_seed:w.Wire.public_seed ~nonce:hsig.Hors.nonce msg
+            in
+            Array.for_all2
+              (fun (tree, pf) expected_idx ->
+                let etree, epf = Merkle.Forest.proof forest expected_idx in
+                tree = etree && pf = epf)
+              proofs indices
+          in
+          Some ok
+      | _ -> None)
+  | _ -> None
+
+let reject t =
+  t.stats.rejected <- t.stats.rejected + 1;
+  false
+
+let verify t ~msg wire_bytes =
+  match Wire.decode t.cfg wire_bytes with
+  | Error _ -> reject t
+  | Ok w -> (
+      match Pki.lookup t.pki w.Wire.signer_id with
+      | None -> reject t
+      | Some signer_pk -> (
+          match merklified_fast_path t w msg with
+          | Some ok ->
+              if ok then begin
+                t.stats.fast <- t.stats.fast + 1;
+                true
+              end
+              else reject t
+          | None -> (
+              match implied_leaf t w msg with
+              | None -> reject t
+              | Some leaf -> (
+                  let root = Merkle.compute_root ~leaf w.Wire.batch_proof in
+                  match lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id with
+                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root ->
+                      t.stats.fast <- t.stats.fast + 1;
+                      true
+                  | _ ->
+                      (* Slow path (Alg. 2 lines 29-31): check the
+                         embedded EdDSA signature inline. *)
+                      let root_msg =
+                        Batch.root_message ~signer_id:w.Wire.signer_id ~batch_id:w.Wire.batch_id
+                          ~root
+                      in
+                      if eddsa_verify_cached t signer_pk root_msg w.Wire.root_sig then begin
+                        t.stats.slow <- t.stats.slow + 1;
+                        Log.L.debug (fun m ->
+                            m "verifier %d: slow-path EdDSA check for signer %d batch %Ld" t.id
+                              w.Wire.signer_id w.Wire.batch_id);
+                        true
+                      end
+                      else reject t))))
+
+let can_verify_fast t wire_bytes =
+  match Wire.peek_header wire_bytes with
+  | None -> false
+  | Some (signer, batch_id) -> lookup_batch t ~signer ~batch_id <> None

@@ -1,0 +1,48 @@
+(** The DSig verifier — Algorithm 2 of the paper.
+
+    The background plane ({!deliver}) receives batch announcements,
+    EdDSA-verifies their Merkle roots and caches them (plus, when the
+    signer sends full keys, the precomputed public keys for the
+    comparison-only fast path of §5.2). The foreground plane ({!verify})
+    recovers or reconstructs the public-key digest from the signature,
+    folds the inclusion proof to a root, and accepts if that root is
+    cached; otherwise it falls back to verifying the embedded EdDSA
+    signature on the critical path (slow path — the "incorrect hint"
+    case of §8.2), optionally caching the result (§4.4 "speeding up bulk
+    verification"). *)
+
+type t
+
+val create : Config.t -> id:int -> pki:Pki.t -> unit -> t
+
+val deliver : t -> Batch.announcement -> bool
+(** Process a background announcement; [false] if the signer is unknown
+    or the EdDSA root signature is invalid (the announcement is then
+    ignored). *)
+
+val deliver_many : t -> Batch.announcement list -> int
+(** Catch-up delivery: checks all root signatures with one randomized
+    Ed25519 batch verification, falling back to per-announcement checks
+    if the batch fails. Returns the number accepted. *)
+
+val verify : t -> msg:string -> string -> bool
+(** [verify t ~msg signature_bytes]. Self-standing: succeeds (slowly)
+    even if no announcement was ever delivered. *)
+
+val can_verify_fast : t -> string -> bool
+(** True if the signature's batch root is already cached (Alg. 2
+    lines 34-35) — used by applications to deprioritize
+    expensive-to-check messages (DoS mitigation, §6 uBFT). *)
+
+type stats = {
+  mutable fast : int;  (** verifications served from the root cache *)
+  mutable slow : int;  (** verifications that ran EdDSA inline *)
+  mutable eddsa_cache_hits : int;
+  mutable rejected : int;
+  mutable announcements : int;
+}
+
+val stats : t -> stats
+
+val cached_batches : t -> signer:int -> int
+(** Number of batches currently cached for a signer (tests). *)

@@ -1,0 +1,1 @@
+lib/costmodel/costmodel.ml: Dsig Dsig_ed25519 Dsig_hashes Dsig_hbss Dsig_util Float Params Sys Wots

@@ -1,0 +1,1 @@
+lib/costmodel/costmodel.mli: Dsig Dsig_hashes

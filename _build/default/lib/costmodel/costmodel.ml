@@ -1,0 +1,144 @@
+open Dsig_hbss
+
+type t = {
+  name : string;
+  hash_us : float;
+  keygen_hash_us : float;
+  blake3_us : float;
+  blake3_per_byte_us : float;
+  eddsa_sign_us : float;
+  eddsa_verify_us : float;
+  eddsa_per_byte_us : float;
+  sign_fixed_us : float;
+  verify_fixed_us : float;
+  keygen_fixed_us : float;
+}
+
+(* Calibrated so the recommended configuration reproduces the paper's
+   headline numbers: DSig sign 0.7 µs, verify 5.1 µs, slow verify
+   ~40 µs, background key generation 7.4 µs/key (Table 1, §8.2, §8.4). *)
+let paper_dalek =
+  {
+    name = "paper-dalek";
+    hash_us = 0.044;
+    keygen_hash_us = 0.025;
+    blake3_us = 0.055;
+    blake3_per_byte_us = 0.0003;
+    eddsa_sign_us = 18.9;
+    eddsa_verify_us = 35.6;
+    eddsa_per_byte_us = 0.0012;
+    sign_fixed_us = 0.645;
+    verify_fixed_us = 0.16;
+    keygen_fixed_us = 2.0;
+  }
+
+let paper_sodium =
+  { paper_dalek with name = "paper-sodium"; eddsa_sign_us = 20.6; eddsa_verify_us = 58.3 }
+
+(* Relative cost of the three hash functions for short inputs (§5.3:
+   Haraka fastest, BLAKE3 in between, SHA-256 slowest). *)
+let hash_cost t = function
+  | Dsig_hashes.Hash.Haraka -> t.hash_us
+  | Dsig_hashes.Hash.Blake3 -> t.hash_us *. 1.3
+  | Dsig_hashes.Hash.Sha256 -> t.hash_us *. 6.0
+
+let critical_hashes (cfg : Dsig.Config.t) =
+  match cfg.Dsig.Config.hbss with
+  | Dsig.Config.Wots p -> Params.Wots.expected_verify_hashes p
+  | Dsig.Config.Hors_factorized p | Dsig.Config.Hors_merklified { params = p; _ } ->
+      float_of_int (Params.Hors.verify_hashes p)
+
+let keygen_hashes (cfg : Dsig.Config.t) =
+  match cfg.Dsig.Config.hbss with
+  | Dsig.Config.Wots p -> Params.Wots.keygen_hashes p
+  | Dsig.Config.Hors_factorized p -> Params.Hors.keygen_hashes p
+  | Dsig.Config.Hors_merklified { params = p; _ } -> 2 * Params.Hors.keygen_hashes p
+
+let msg_digest_us t ~msg_bytes = t.blake3_us +. (t.blake3_per_byte_us *. float_of_int msg_bytes)
+
+let dsig_sign_us t _cfg ~msg_bytes = t.sign_fixed_us +. msg_digest_us t ~msg_bytes
+
+let dsig_verify_fast_us t (cfg : Dsig.Config.t) ~msg_bytes =
+  let levels = float_of_int (Dsig.Config.batch_levels cfg) in
+  t.verify_fixed_us
+  +. (critical_hashes cfg *. hash_cost t cfg.Dsig.Config.hash)
+  +. (levels *. t.blake3_us) (* batch-proof fold *)
+  +. msg_digest_us t ~msg_bytes
+
+let dsig_verify_slow_us t cfg ~msg_bytes =
+  dsig_verify_fast_us t cfg ~msg_bytes +. t.eddsa_verify_us
+
+let dsig_keygen_per_key_us t (cfg : Dsig.Config.t) =
+  let batch = float_of_int cfg.Dsig.Config.batch_size in
+  t.keygen_fixed_us
+  +. (float_of_int (keygen_hashes cfg) *. t.keygen_hash_us)
+  +. (2.0 *. t.blake3_us) (* leaf digest + amortized tree nodes *)
+  +. (t.eddsa_sign_us /. batch)
+
+let dsig_verifier_bg_per_key_us t (cfg : Dsig.Config.t) =
+  let batch = float_of_int cfg.Dsig.Config.batch_size in
+  (t.eddsa_verify_us /. batch) +. (2.0 *. t.blake3_us)
+
+let eddsa_sign_total_us t ~msg_bytes =
+  t.eddsa_sign_us +. (t.eddsa_per_byte_us *. float_of_int msg_bytes)
+
+let eddsa_verify_total_us t ~msg_bytes =
+  t.eddsa_verify_us +. (t.eddsa_per_byte_us *. float_of_int msg_bytes)
+
+(* --- host calibration --- *)
+
+let time_per_op_us f ~iters =
+  (* warm up *)
+  for _ = 1 to max 1 (iters / 10) do
+    f ()
+  done;
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Sys.time () in
+  (t1 -. t0) *. 1e6 /. float_of_int iters
+
+let measure ?(iters = 200) () =
+  let module H = Dsig_hashes in
+  let module E = Dsig_ed25519.Eddsa in
+  let rng = Dsig_util.Rng.create 31L in
+  let x18 = Dsig_util.Rng.bytes rng 18 in
+  let x64 = Dsig_util.Rng.bytes rng 64 in
+  let big = Dsig_util.Rng.bytes rng 8192 in
+  let hash_us =
+    time_per_op_us (fun () -> ignore (H.Hash.digest H.Hash.Haraka ~length:18 x18)) ~iters:(iters * 20)
+  in
+  let blake3_us = time_per_op_us (fun () -> ignore (H.Blake3.digest x64)) ~iters:(iters * 20) in
+  let blake3_big = time_per_op_us (fun () -> ignore (H.Blake3.digest big)) ~iters in
+  let sk, pk = E.generate rng in
+  let msg = "calibration" in
+  let signature = E.sign sk msg in
+  let eddsa_sign_us = time_per_op_us (fun () -> ignore (E.sign sk msg)) ~iters:(max 10 (iters / 10)) in
+  let eddsa_verify_us =
+    time_per_op_us (fun () -> ignore (E.verify pk msg signature)) ~iters:(max 10 (iters / 10))
+  in
+  let p = Params.Wots.make ~d:4 () in
+  let kp = Wots.generate p ~seed:(Dsig_util.Rng.bytes rng 32) in
+  let nonce = Dsig_util.Rng.bytes rng 16 in
+  let sign_fixed_us =
+    time_per_op_us (fun () -> ignore (Wots.sign ~allow_reuse:true kp ~nonce msg)) ~iters
+  in
+  let keygen_us =
+    time_per_op_us
+      (fun () -> ignore (Wots.generate p ~seed:(Dsig_util.Rng.bytes rng 32)))
+      ~iters:(max 10 (iters / 10))
+  in
+  {
+    name = "measured";
+    hash_us;
+    keygen_hash_us = hash_us;
+    blake3_us;
+    blake3_per_byte_us = blake3_big /. 8192.0;
+    eddsa_sign_us;
+    eddsa_verify_us;
+    eddsa_per_byte_us = blake3_big /. 8192.0 *. 4.0;
+    sign_fixed_us;
+    verify_fixed_us = 0.3;
+    keygen_fixed_us = Float.max 0.0 (keygen_us -. (float_of_int (Params.Wots.keygen_hashes p) *. hash_us));
+  }

@@ -1,0 +1,56 @@
+(** Per-operation compute-cost tables, in microseconds.
+
+    The simulator-based harnesses reproduce the paper's figures by
+    charging these costs to modeled CPU cores; with the [paper_*]
+    calibrations (constants taken from the paper's own measurements on
+    AVX2 hardware — Table 1, §8.2, §8.4) the figures land at the paper's
+    scale. [measure] instead times this repository's pure-OCaml crypto
+    on the current host, giving a calibration whose absolute numbers are
+    larger but whose shape tracks the same model. *)
+
+type t = {
+  name : string;
+  hash_us : float;  (** one short-input chain hash of the configured HBSS hash *)
+  keygen_hash_us : float;
+      (** per-hash cost during bulk key generation (pipelined hashing is
+          cheaper than latency-bound chain walking, §4.4) *)
+  blake3_us : float;  (** one short BLAKE3 (Merkle node, digest) *)
+  blake3_per_byte_us : float;  (** long-message digesting slope *)
+  eddsa_sign_us : float;
+  eddsa_verify_us : float;
+  eddsa_per_byte_us : float;  (** baseline schemes hash the message (SHA-512) *)
+  sign_fixed_us : float;  (** DSig foreground sign: digit cut + copies *)
+  verify_fixed_us : float;  (** DSig foreground verify: compares, cache lookup *)
+  keygen_fixed_us : float;  (** per one-time key: seed expansion, queueing *)
+}
+
+val paper_dalek : t
+(** Calibrated to the paper's Dalek-based numbers: EdDSA 18.9/35.6 µs,
+    DSig sign 0.7 µs / verify 5.1 µs at d=4, background key generation
+    7.4 µs/key (§8.2, §8.4). *)
+
+val paper_sodium : t
+(** Sodium EdDSA: 20.6 µs sign, 58.3 µs verify (§8.2). *)
+
+val measure : ?iters:int -> unit -> t
+(** Time this repository's implementations on the current host. *)
+
+(** {1 Derived DSig operation costs} *)
+
+val hash_cost : t -> Dsig_hashes.Hash.algo -> float
+(** Chain-hash cost scaled by algorithm (Haraka = 1x, BLAKE3 ~1.3x,
+    SHA-256 ~5x, following §5.3). *)
+
+val dsig_sign_us : t -> Dsig.Config.t -> msg_bytes:int -> float
+val dsig_verify_fast_us : t -> Dsig.Config.t -> msg_bytes:int -> float
+val dsig_verify_slow_us : t -> Dsig.Config.t -> msg_bytes:int -> float
+val dsig_keygen_per_key_us : t -> Dsig.Config.t -> float
+(** Background-plane cost to produce one ready-to-use key (chain
+    hashing, Merkle share, amortized EdDSA signing). *)
+
+val dsig_verifier_bg_per_key_us : t -> Dsig.Config.t -> float
+(** Background-plane cost to pre-verify one announced key. *)
+
+val eddsa_sign_total_us : t -> msg_bytes:int -> float
+val eddsa_verify_total_us : t -> msg_bytes:int -> float
+(** Baseline EdDSA costs including message hashing. *)

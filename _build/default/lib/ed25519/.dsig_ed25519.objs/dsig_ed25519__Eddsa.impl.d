@@ -1,0 +1,1 @@
+lib/ed25519/eddsa.ml: Bn Bytes Char Dsig_bigint Dsig_hashes Dsig_util Fun List Option Point Scalar Sha512 String

@@ -1,0 +1,1 @@
+lib/ed25519/eddsa.mli: Dsig_util

@@ -1,0 +1,1 @@
+lib/ed25519/fe25519.ml: Array Bn Bytes Char Dsig_bigint String

@@ -1,0 +1,1 @@
+lib/ed25519/fe25519.mli: Dsig_bigint

@@ -1,0 +1,1 @@
+lib/ed25519/point.ml: Array Bn Bytes Char Dsig_bigint Fe25519 Lazy List String

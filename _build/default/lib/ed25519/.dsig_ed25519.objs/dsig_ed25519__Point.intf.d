@@ -1,0 +1,1 @@
+lib/ed25519/point.mli: Dsig_bigint Fe25519

@@ -1,0 +1,1 @@
+lib/ed25519/scalar.ml: Bn Dsig_bigint String

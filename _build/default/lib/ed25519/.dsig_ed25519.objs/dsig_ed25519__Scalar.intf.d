@@ -1,0 +1,1 @@
+lib/ed25519/scalar.mli: Dsig_bigint

@@ -1,0 +1,94 @@
+open Dsig_bigint
+open Dsig_hashes
+
+type secret_key = {
+  seed : string;
+  scalar : Bn.t; (* clamped secret scalar *)
+  prefix : string; (* second half of SHA-512(seed) *)
+  pk : string; (* cached compressed public key *)
+}
+
+type public_key = string
+
+let public_key_size = 32
+let signature_size = 64
+
+let clamp h32 =
+  let b = Bytes.of_string h32 in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land 248));
+  Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) land 127 lor 64));
+  Bytes.unsafe_to_string b
+
+let secret_of_seed seed =
+  if String.length seed <> 32 then invalid_arg "Eddsa.secret_of_seed: need 32 bytes";
+  let h = Sha512.digest seed in
+  let scalar = Bn.of_bytes_le (clamp (String.sub h 0 32)) in
+  let prefix = String.sub h 32 32 in
+  let pk = Point.compress (Point.base_mul scalar) in
+  { seed; scalar; prefix; pk }
+
+let seed_of_secret sk = sk.seed
+let public_key sk = sk.pk
+
+let generate rng =
+  let sk = secret_of_seed (Dsig_util.Rng.bytes rng 32) in
+  (sk, sk.pk)
+
+let sign sk msg =
+  let r = Scalar.reduce_bytes (Sha512.digest (sk.prefix ^ msg)) in
+  let r_enc = Point.compress (Point.base_mul r) in
+  let k = Scalar.reduce_bytes (Sha512.digest (r_enc ^ sk.pk ^ msg)) in
+  let s = Scalar.muladd k sk.scalar r in
+  r_enc ^ Scalar.to_bytes s
+
+let verify pk msg signature =
+  String.length signature = 64 && String.length pk = 32
+  &&
+  let r_enc = String.sub signature 0 32 in
+  let s_enc = String.sub signature 32 32 in
+  match (Scalar.of_bytes_checked s_enc, Point.decompress r_enc, Point.decompress pk) with
+  | Some s, Some r, Some a ->
+      let k = Scalar.reduce_bytes (Sha512.digest (r_enc ^ pk ^ msg)) in
+      (* [S]B = R + [k]A *)
+      let lhs = Point.base_mul s in
+      let rhs = Point.add r (Point.scalar_mul k a) in
+      Point.equal lhs rhs
+  | _ -> false
+
+(* Randomized batch verification: with random z_i, the linear relation
+   [sum z_i S_i] B - sum [z_i] R_i - sum [z_i k_i] A_i = O holds for all
+   batches of valid signatures and fails w.h.p. if any is invalid. *)
+let verify_batch rng entries =
+  let decoded =
+    List.map
+      (fun (pk, msg, signature) ->
+        if String.length signature <> 64 || String.length pk <> 32 then None
+        else begin
+          let r_enc = String.sub signature 0 32 in
+          let s_enc = String.sub signature 32 32 in
+          match (Scalar.of_bytes_checked s_enc, Point.decompress r_enc, Point.decompress pk) with
+          | Some s, Some r, Some a ->
+              let k = Scalar.reduce_bytes (Sha512.digest (r_enc ^ pk ^ msg)) in
+              Some (s, r, a, k)
+          | _ -> None
+        end)
+      entries
+  in
+  if List.exists Option.is_none decoded then false
+  else begin
+    let decoded = List.filter_map Fun.id decoded in
+    let z () = Bn.add Bn.one (Bn.of_bytes_le (Dsig_util.Rng.bytes rng 16)) in
+    (* check [sum z_i S_i] B - sum [z_i] R_i - sum [z_i k_i] A_i = O with
+       one shared-doubling multi-scalar multiplication *)
+    let lhs_scalar = ref Bn.zero in
+    let terms =
+      List.concat_map
+        (fun (s, r, a, k) ->
+          let zi = z () in
+          lhs_scalar := Bn.rem (Bn.add !lhs_scalar (Bn.mul zi s)) Scalar.l;
+          [ (zi, Point.negate r); (Bn.rem (Bn.mul zi k) Scalar.l, Point.negate a) ])
+        decoded
+    in
+    Point.equal Point.identity
+      (Point.multi_scalar_mul ((!lhs_scalar, Point.base) :: terms))
+  end

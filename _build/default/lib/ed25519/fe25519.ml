@@ -1,0 +1,133 @@
+open Dsig_bigint
+
+type t = int array (* 10 limbs, signed, radix 2^25.5 *)
+
+let p = Bn.sub (Bn.shift_left Bn.one 255) (Bn.of_int 19)
+
+(* Bit width of limb [i] (even limbs 26 bits, odd 25) and its bit
+   position in the 255-bit value. *)
+let limb_bits i = if i land 1 = 0 then 26 else 25
+let limb_pos = [| 0; 26; 51; 77; 102; 128; 153; 179; 204; 230 |]
+
+let zero : t = Array.make 10 0
+let one : t = Array.init 10 (fun i -> if i = 0 then 1 else 0)
+
+(* Carry chain. Two full passes bring any limb configuration produced by
+   a single mul/add back to |even limb| <= 2^25, |odd limb| <= 2^24
+   (plus epsilon), keeping subsequent products within 63-bit ints. *)
+let carry_inplace h =
+  for _pass = 0 to 1 do
+    for i = 0 to 8 do
+      let b = limb_bits i in
+      let c = (h.(i) + (1 lsl (b - 1))) asr b in
+      h.(i + 1) <- h.(i + 1) + c;
+      h.(i) <- h.(i) - (c lsl b)
+    done;
+    let c = (h.(9) + (1 lsl 24)) asr 25 in
+    h.(0) <- h.(0) + (19 * c);
+    h.(9) <- h.(9) - (c lsl 25)
+  done
+
+let carried h =
+  carry_inplace h;
+  h
+
+let add a b = carried (Array.init 10 (fun i -> a.(i) + b.(i)))
+let sub a b = carried (Array.init 10 (fun i -> a.(i) - b.(i)))
+let neg a = carried (Array.init 10 (fun i -> -a.(i)))
+
+(* Product limb (i, j) contributes to limb (i+j) mod 10 with factor 19
+   when it wraps past 2^255 and factor 2 when both source limbs sit on
+   25-bit (odd) positions: pos(i) + pos(j) - pos(i+j) = 1 exactly when i
+   and j are both odd. With inputs carried (|limb| <= 2^26), each of the
+   10 accumulated terms is below 38 * 2^52, so sums stay below 2^62. *)
+let coeff =
+  Array.init 10 (fun i ->
+      Array.init 10 (fun j ->
+          (if i land 1 = 1 && j land 1 = 1 then 2 else 1) * if i + j >= 10 then 19 else 1))
+
+let mul a b =
+  let h = Array.make 10 0 in
+  for i = 0 to 9 do
+    let ai = a.(i) in
+    let ci = coeff.(i) in
+    for j = 0 to 9 do
+      let k = if i + j >= 10 then i + j - 10 else i + j in
+      h.(k) <- h.(k) + (ci.(j) * ai * b.(j))
+    done
+  done;
+  carried h
+
+let sq a = mul a a
+
+let of_bn v =
+  let v = Bn.rem v p in
+  let h = Array.make 10 0 in
+  for i = 0 to 9 do
+    let b = limb_bits i in
+    let x = ref 0 in
+    for k = 0 to b - 1 do
+      if Bn.bit v (limb_pos.(i) + k) then x := !x lor (1 lsl k)
+    done;
+    h.(i) <- !x
+  done;
+  h
+
+let of_int x = of_bn (Bn.of_int x)
+
+(* Canonical reduction (ref10 fe_tobytes): compute q = (value + 19*2^-?)
+   ... i.e. q = 1 iff value >= p after the pre-carry, fold 19q into limb
+   0 and run a truncating carry chain, discarding the final carry out of
+   limb 9 (subtracting q * 2^255). *)
+let canonical_limbs a =
+  let h = Array.copy a in
+  carry_inplace h;
+  let q = ref (((19 * h.(9)) + (1 lsl 24)) asr 25) in
+  for i = 0 to 9 do
+    q := (h.(i) + !q) asr limb_bits i
+  done;
+  h.(0) <- h.(0) + (19 * !q);
+  for i = 0 to 8 do
+    let b = limb_bits i in
+    let c = h.(i) asr b in
+    h.(i + 1) <- h.(i + 1) + c;
+    h.(i) <- h.(i) land ((1 lsl b) - 1)
+  done;
+  h.(9) <- h.(9) land ((1 lsl 25) - 1);
+  h
+
+let to_bytes a =
+  let h = canonical_limbs a in
+  let out = Bytes.make 32 '\x00' in
+  for i = 0 to 9 do
+    for k = 0 to limb_bits i - 1 do
+      if (h.(i) lsr k) land 1 = 1 then begin
+        let bitpos = limb_pos.(i) + k in
+        let byte = bitpos / 8 and off = bitpos mod 8 in
+        Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lor (1 lsl off)))
+      end
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let of_bytes s =
+  if String.length s <> 32 then invalid_arg "Fe25519.of_bytes: need 32 bytes";
+  let v = Bn.of_bytes_le s in
+  (* clear bit 255 per RFC 8032 decoding *)
+  let v = if Bn.bit v 255 then Bn.sub v (Bn.shift_left Bn.one 255) else v in
+  of_bn v
+
+let to_bn a = Bn.of_bytes_le (to_bytes a)
+let equal a b = to_bytes a = to_bytes b
+let is_zero a = equal a zero
+let is_negative a = Char.code (to_bytes a).[0] land 1 = 1
+
+let pow_bn x e =
+  let result = ref one and base = ref x in
+  for i = 0 to Bn.num_bits e - 1 do
+    if Bn.bit e i then result := mul !result !base;
+    base := sq !base
+  done;
+  !result
+
+let inv x = pow_bn x (Bn.sub p (Bn.of_int 2))

@@ -1,0 +1,46 @@
+(** Field arithmetic modulo p = 2^255 - 19.
+
+    Elements are ten signed limbs in radix 2^25.5 (alternating 26/25
+    bits), the classic ref10 representation, carried eagerly after every
+    operation so that all intermediate products stay within OCaml's
+    63-bit native integers. The test suite cross-checks every operation
+    against a {!Dsig_bigint.Bn} oracle. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Small non-negative constants. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val sq : t -> t
+val inv : t -> t
+(** Multiplicative inverse (of zero is zero, as in ref10). *)
+
+val pow_bn : t -> Dsig_bigint.Bn.t -> t
+(** [pow_bn x e] is [x^e mod p]; used for inversion and square roots. *)
+
+val of_bytes : string -> t
+(** Little-endian 32 bytes; the top bit (bit 255) is ignored, matching
+    RFC 8032 field-element decoding. *)
+
+val to_bytes : t -> string
+(** Canonical little-endian 32-byte encoding (value fully reduced). *)
+
+val of_bn : Dsig_bigint.Bn.t -> t
+val to_bn : t -> Dsig_bigint.Bn.t
+
+val equal : t -> t -> bool
+(** Equality of field values (compares canonical encodings). *)
+
+val is_zero : t -> bool
+val is_negative : t -> bool
+(** Sign convention of RFC 8032: the least significant bit of the
+    canonical encoding. *)
+
+val p : Dsig_bigint.Bn.t
+(** The field order 2^255 - 19. *)

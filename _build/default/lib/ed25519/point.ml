@@ -1,0 +1,140 @@
+open Dsig_bigint
+
+type t = { x : Fe25519.t; y : Fe25519.t; z : Fe25519.t; t : Fe25519.t }
+
+let fe_of_decimal s = Fe25519.of_bn (Bn.of_decimal s)
+
+let d =
+  let num = Fe25519.neg (fe_of_decimal "121665") in
+  Fe25519.mul num (Fe25519.inv (fe_of_decimal "121666"))
+
+let sqrt_m1 =
+  (* 2^((p-1)/4) is a square root of -1 mod p *)
+  Fe25519.pow_bn (Fe25519.of_int 2) (Bn.shift_right (Bn.sub Fe25519.p Bn.one) 2)
+
+let identity = { x = Fe25519.zero; y = Fe25519.one; z = Fe25519.one; t = Fe25519.zero }
+
+let of_affine x y = { x; y; z = Fe25519.one; t = Fe25519.mul x y }
+
+let two_d = Fe25519.mul (Fe25519.of_int 2) d
+
+(* Unified addition (RFC 8032 §5.1.4). *)
+let add pt qt =
+  let open Fe25519 in
+  let a = mul (sub pt.y pt.x) (sub qt.y qt.x) in
+  let b = mul (add pt.y pt.x) (add qt.y qt.x) in
+  let c = mul (mul pt.t qt.t) two_d in
+  let dd = mul (mul pt.z qt.z) (of_int 2) in
+  let e = sub b a and f = sub dd c and g = add dd c and h = add b a in
+  { x = mul e f; y = mul g h; z = mul f g; t = mul e h }
+
+let double pt = add pt pt
+let negate pt = { pt with x = Fe25519.neg pt.x; t = Fe25519.neg pt.t }
+
+let scalar_mul k p =
+  let acc = ref identity and base = ref p in
+  for i = 0 to Bn.num_bits k - 1 do
+    if Bn.bit k i then acc := add !acc !base;
+    base := double !base
+  done;
+  !acc
+
+(* Straus: one doubling chain shared by every term; per-bit additions. *)
+let multi_scalar_mul pairs =
+  let maxbits = List.fold_left (fun m (k, _) -> max m (Bn.num_bits k)) 0 pairs in
+  let acc = ref identity in
+  for i = maxbits - 1 downto 0 do
+    acc := double !acc;
+    List.iter (fun (k, p) -> if Bn.bit k i then acc := add !acc p) pairs
+  done;
+  !acc
+
+let compress p =
+  let zinv = Fe25519.inv p.z in
+  let x = Fe25519.mul p.x zinv and y = Fe25519.mul p.y zinv in
+  let enc = Bytes.of_string (Fe25519.to_bytes y) in
+  if Fe25519.is_negative x then
+    Bytes.set enc 31 (Char.chr (Char.code (Bytes.get enc 31) lor 0x80));
+  Bytes.unsafe_to_string enc
+
+let decompress s =
+  if String.length s <> 32 then None
+  else begin
+    let sign = Char.code s.[31] lsr 7 = 1 in
+    let y = Fe25519.of_bytes s in
+    let open Fe25519 in
+    let y2 = sq y in
+    let u = sub y2 one in
+    let v = Fe25519.add (mul d y2) one in
+    (* candidate root x = (u/v)^((p+3)/8), computed as
+       u * v^3 * (u * v^7)^((p-5)/8)  (RFC 8032 §5.1.3) *)
+    let v3 = mul v (sq v) in
+    let v7 = mul v3 (sq (sq v)) in
+    let e = Bn.shift_right (Bn.sub p (Bn.of_int 5)) 3 in
+    let x = mul (mul u v3) (pow_bn (mul u v7) e) in
+    let vx2 = mul v (sq x) in
+    let x =
+      if equal vx2 u then Some x
+      else if equal vx2 (neg u) then Some (mul x sqrt_m1)
+      else None
+    in
+    match x with
+    | None -> None
+    | Some x ->
+        if is_zero x && sign then None
+        else begin
+          let x = if is_negative x <> sign then neg x else x in
+          Some (of_affine x y)
+        end
+  end
+
+let base =
+  let y = Fe25519.mul (Fe25519.of_int 4) (Fe25519.inv (Fe25519.of_int 5)) in
+  let enc = Fe25519.to_bytes y in
+  (* sign bit 0: the base point has even x *)
+  match decompress enc with
+  | Some p -> p
+  | None -> failwith "Point.base: internal error"
+
+(* Fixed-base acceleration: precomputed 4-bit windows of B. Lazy so that
+   merely linking the library does not pay the table cost. *)
+let base_table =
+  lazy
+    (let table = Array.make (64 * 16) identity in
+     let acc = ref base in
+     for w = 0 to 63 do
+       (* table.(16w + j) = j * 16^w * B *)
+       let cur = ref identity in
+       for j = 0 to 15 do
+         table.((16 * w) + j) <- !cur;
+         cur := add !cur !acc
+       done;
+       acc := !cur
+     done;
+     table)
+
+let base_mul k =
+  let table = Lazy.force base_table in
+  let acc = ref identity in
+  for w = 0 to 63 do
+    let digit =
+      (if Bn.bit k (4 * w) then 1 else 0)
+      lor (if Bn.bit k ((4 * w) + 1) then 2 else 0)
+      lor (if Bn.bit k ((4 * w) + 2) then 4 else 0)
+      lor if Bn.bit k ((4 * w) + 3) then 8 else 0
+    in
+    if digit <> 0 then acc := add !acc table.((16 * w) + digit)
+  done;
+  if Bn.num_bits k > 256 then add !acc (scalar_mul (Bn.shift_right k 256) (scalar_mul (Bn.shift_left Bn.one 256) base))
+  else !acc
+
+let equal p q = compress p = compress q
+
+let on_curve p =
+  let zinv = Fe25519.inv p.z in
+  let x = Fe25519.mul p.x zinv and y = Fe25519.mul p.y zinv in
+  let open Fe25519 in
+  let x2 = sq x and y2 = sq y in
+  let lhs = sub y2 x2 in
+  let rhs = Fe25519.add one (mul d (mul x2 y2)) in
+  equal lhs rhs

@@ -1,0 +1,44 @@
+(** Edwards25519 group operations in extended homogeneous coordinates
+    (X : Y : Z : T), x = X/Z, y = Y/Z, x·y = T/Z (RFC 8032 §5.1.4).
+
+    The unified addition law is complete on this curve (d is a
+    non-square), so addition doubles correctly; scalar multiplication is
+    plain double-and-add. All operations are variable-time — this
+    reproduction targets functional fidelity and benchmarking, not
+    side-channel resistance (noted in DESIGN.md). *)
+
+type t
+
+val identity : t
+val base : t
+(** The standard base point B (y = 4/5, x even). *)
+
+val add : t -> t -> t
+val double : t -> t
+val negate : t -> t
+
+val scalar_mul : Dsig_bigint.Bn.t -> t -> t
+(** [scalar_mul k p] for any non-negative [k]. *)
+
+val base_mul : Dsig_bigint.Bn.t -> t
+(** [base_mul k] is [scalar_mul k base], accelerated with a precomputed
+    window table for the fixed base. *)
+
+val multi_scalar_mul : (Dsig_bigint.Bn.t * t) list -> t
+(** [multi_scalar_mul [(k1,p1); ...]] is [k1*p1 + k2*p2 + ...] with a
+    single shared doubling chain (Straus), the workhorse of batch
+    signature verification. *)
+
+val compress : t -> string
+(** 32-byte encoding: little-endian y with the sign of x in bit 255. *)
+
+val decompress : string -> t option
+(** Point decoding per RFC 8032 §5.1.3; [None] if the encoding is not a
+    curve point. *)
+
+val equal : t -> t -> bool
+val on_curve : t -> bool
+(** Checks -x² + y² = 1 + d·x²·y² (for tests). *)
+
+val d : Fe25519.t
+(** The curve constant -121665/121666. *)

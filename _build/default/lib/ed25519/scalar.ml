@@ -1,0 +1,18 @@
+open Dsig_bigint
+
+let l =
+  Bn.add
+    (Bn.shift_left Bn.one 252)
+    (Bn.of_decimal "27742317777372353535851937790883648493")
+
+let reduce_bytes s = Bn.rem (Bn.of_bytes_le s) l
+
+let of_bytes_checked s =
+  if String.length s <> 32 then None
+  else begin
+    let v = Bn.of_bytes_le s in
+    if Bn.compare v l >= 0 then None else Some v
+  end
+
+let to_bytes v = Bn.to_bytes_le ~length:32 v
+let muladd k a r = Bn.rem (Bn.add (Bn.mul k a) r) l

@@ -1,0 +1,18 @@
+(** Arithmetic modulo the group order
+    L = 2^252 + 27742317777372353535851937790883648493. *)
+
+val l : Dsig_bigint.Bn.t
+
+val reduce_bytes : string -> Dsig_bigint.Bn.t
+(** Interpret a little-endian byte string (any length; RFC 8032 uses 64
+    bytes) and reduce modulo L. *)
+
+val of_bytes_checked : string -> Dsig_bigint.Bn.t option
+(** Decode a 32-byte little-endian scalar, [None] if >= L (the S-range
+    check of RFC 8032 §5.1.7). *)
+
+val to_bytes : Dsig_bigint.Bn.t -> string
+(** 32-byte little-endian encoding of a reduced scalar. *)
+
+val muladd : Dsig_bigint.Bn.t -> Dsig_bigint.Bn.t -> Dsig_bigint.Bn.t -> Dsig_bigint.Bn.t
+(** [muladd k a r] is [(k*a + r) mod L]. *)

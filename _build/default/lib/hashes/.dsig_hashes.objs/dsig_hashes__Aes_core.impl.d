@@ -1,0 +1,1 @@
+lib/hashes/aes_core.ml: Array Char String

@@ -1,0 +1,1 @@
+lib/hashes/blake3.ml: Array Bytes Char Dsig_util Int32 Int64 List Sha2_constants String

@@ -1,0 +1,1 @@
+lib/hashes/blake3.mli:

@@ -1,0 +1,1 @@
+lib/hashes/haraka.ml: Aes_core Array Printf Sha256 String

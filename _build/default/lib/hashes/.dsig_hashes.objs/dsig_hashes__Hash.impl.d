@@ -1,0 +1,1 @@
+lib/hashes/hash.ml: Blake3 Buffer Char Dsig_util Haraka Int32 Int64 List Sha256 String

@@ -1,0 +1,1 @@
+lib/hashes/sha256.ml: Array Buffer Bytes Char Dsig_util Int64 Sha2_constants String

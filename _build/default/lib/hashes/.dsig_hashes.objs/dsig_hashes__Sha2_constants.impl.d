@@ -1,0 +1,1 @@
+lib/hashes/sha2_constants.ml: Array Bn Dsig_bigint Dsig_util List String

@@ -1,0 +1,1 @@
+lib/hashes/sha2_constants.mli:

@@ -1,0 +1,1 @@
+lib/hashes/sha512.ml: Array Buffer Char Dsig_util Int64 Sha2_constants String

@@ -1,0 +1,92 @@
+(* GF(2^8) arithmetic modulo the AES polynomial x^8+x^4+x^3+x+1. *)
+let gf_mul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := !a lsl 1;
+    if !a land 0x100 <> 0 then a := !a lxor 0x11b;
+    b := !b lsr 1
+  done;
+  !acc
+
+let gf_inv x =
+  if x = 0 then 0
+  else begin
+    let rec find y = if gf_mul x y = 1 then y else find (y + 1) in
+    find 1
+  end
+
+let sbox =
+  Array.init 256 (fun x ->
+      let i = gf_inv x in
+      let bit b v = (v lsr b) land 1 in
+      let out = ref 0 in
+      for b = 0 to 7 do
+        let v =
+          bit b i lxor bit ((b + 4) mod 8) i lxor bit ((b + 5) mod 8) i
+          lxor bit ((b + 6) mod 8) i
+          lxor bit ((b + 7) mod 8) i
+          lxor bit b 0x63
+        in
+        out := !out lor (v lsl b)
+      done;
+      !out)
+
+type state = int array
+
+(* Fused SubBytes+ShiftRows+MixColumns tables: t0 feeds row 0 of the
+   MixColumns matrix (2,1,1,3 down the column), t1..t3 are byte-rotations. *)
+let t0 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      (gf_mul 2 s lsl 24) lor (s lsl 16) lor (s lsl 8) lor gf_mul 3 s)
+
+let rot8 v = ((v lsr 8) lor (v lsl 24)) land 0xffffffff
+let t1 = Array.map rot8 t0
+let t2 = Array.map rot8 t1
+let t3 = Array.map rot8 t2
+
+let state_of_string s off : state =
+  Array.init 4 (fun c ->
+      (Char.code s.[off + (4 * c)] lsl 24)
+      lor (Char.code s.[off + (4 * c) + 1] lsl 16)
+      lor (Char.code s.[off + (4 * c) + 2] lsl 8)
+      lor Char.code s.[off + (4 * c) + 3])
+
+let string_of_state (st : state) =
+  String.init 16 (fun i -> Char.chr ((st.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+
+let byte st r c = (st.(c) lsr (8 * (3 - r))) land 0xff
+
+let round (st : state) ~rc : state =
+  let rck = state_of_string rc 0 in
+  Array.init 4 (fun c ->
+      t0.(byte st 0 c)
+      lxor t1.(byte st 1 ((c + 1) mod 4))
+      lxor t2.(byte st 2 ((c + 2) mod 4))
+      lxor t3.(byte st 3 ((c + 3) mod 4))
+      lxor rck.(c))
+
+let round_naive (st : state) ~rc : state =
+  (* SubBytes *)
+  let sb = Array.init 4 (fun c ->
+      let b r = sbox.(byte st r c) in
+      (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+  in
+  (* ShiftRows: row r rotates left by r columns *)
+  let sr = Array.init 4 (fun c ->
+      let b r = byte sb r ((c + r) mod 4) in
+      (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+  in
+  (* MixColumns *)
+  let mc = Array.init 4 (fun c ->
+      let a r = byte sr r c in
+      let m = gf_mul in
+      let r0 = m 2 (a 0) lxor m 3 (a 1) lxor a 2 lxor a 3 in
+      let r1 = a 0 lxor m 2 (a 1) lxor m 3 (a 2) lxor a 3 in
+      let r2 = a 0 lxor a 1 lxor m 2 (a 2) lxor m 3 (a 3) in
+      let r3 = m 3 (a 0) lxor a 1 lxor a 2 lxor m 2 (a 3) in
+      (r0 lsl 24) lor (r1 lsl 16) lor (r2 lsl 8) lor r3)
+  in
+  let rck = state_of_string rc 0 in
+  Array.init 4 (fun c -> mc.(c) lxor rck.(c))

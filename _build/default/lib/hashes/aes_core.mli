@@ -1,0 +1,31 @@
+(** AES round function building blocks, used by {!Haraka}.
+
+    The S-box and MixColumns tables are generated from first principles
+    (multiplicative inverse in GF(2^8) modulo x^8+x^4+x^3+x+1, followed
+    by the affine transform), not transcribed, and are spot-checked in
+    the test suite against published S-box entries. Only the unkeyed
+    round function is exposed — Haraka needs nothing else. *)
+
+val sbox : int array
+(** The 256-entry AES S-box. *)
+
+val gf_mul : int -> int -> int
+(** Multiplication in GF(2^8) mod 0x11b. *)
+
+type state = int array
+(** Four 32-bit column words; word [c] holds rows 0..3 of column [c] in
+    its bytes from most to least significant. *)
+
+val state_of_string : string -> int -> state
+(** [state_of_string s off] loads 16 bytes at offset [off]; byte
+    [off + 4*c + r] becomes row [r] of column [c] (FIPS 197 layout). *)
+
+val string_of_state : state -> string
+
+val round : state -> rc:string -> state
+(** One AES round: SubBytes, ShiftRows, MixColumns, then XOR with the
+    16-byte round constant [rc]. Implemented with fused T-tables. *)
+
+val round_naive : state -> rc:string -> state
+(** Reference implementation applying the four steps separately; used by
+    the test suite to validate [round]. *)

@@ -1,0 +1,35 @@
+(** BLAKE3 (O'Connor, Aumasson, Neves, Wilcox-O'Hearn).
+
+    Full chunk/tree structure per the specification, including the
+    extendable-output function (XOF) and keyed hashing. DSig uses BLAKE3
+    for message digests, key expansion, and Merkle-tree hashing (§4.3,
+    §4.4 of the paper). *)
+
+val digest_size : int
+(** Default output length, 32 bytes. *)
+
+val digest : ?length:int -> string -> string
+(** [digest ?length msg] hashes [msg]; [length] selects the XOF output
+    size (default 32 bytes). *)
+
+val keyed : key:string -> ?length:int -> string -> string
+(** Keyed hashing mode; [key] must be exactly 32 bytes. *)
+
+val derive_key : context:string -> ?length:int -> string -> string
+(** Key-derivation mode: [context] is a hardcodable context string,
+    the argument is the input key material. *)
+
+val hex : string -> string
+
+(** Incremental (streaming) hashing: feed input in arbitrary pieces,
+    finalize once; agrees exactly with the one-shot functions. *)
+module Incremental : sig
+  type t
+
+  val create : ?key:string -> unit -> t
+  (** Plain hashing, or keyed mode with a 32-byte [key]. *)
+
+  val feed : t -> string -> unit
+  val finalize : ?length:int -> t -> string
+  (** May be called once. *)
+end

@@ -1,0 +1,18 @@
+(** SHA-256 (FIPS 180-4). *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte SHA-256 digest of [msg]. *)
+
+val hex : string -> string
+(** [hex msg] is [digest msg] rendered in lowercase hexadecimal. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> string
+(** [finalize] may be called once; the context must not be reused. *)

@@ -1,0 +1,56 @@
+open Dsig_bigint
+
+let first_primes n =
+  let primes = ref [] and count = ref 0 and candidate = ref 2 in
+  while !count < n do
+    let is_prime =
+      let rec go d = d * d > !candidate || (!candidate mod d <> 0 && go (d + 1)) in
+      go 2
+    in
+    if is_prime then begin
+      primes := !candidate :: !primes;
+      incr count
+    end;
+    incr candidate
+  done;
+  List.rev !primes
+
+(* Integer k-th root by binary search: largest x with x^k <= v. *)
+let iroot k v =
+  let rec pow x n = if n = 0 then Bn.one else Bn.mul x (pow x (n - 1)) in
+  let hi_bits = (Bn.num_bits v / k) + 1 in
+  let lo = ref Bn.zero and hi = ref (Bn.shift_left Bn.one hi_bits) in
+  (* invariant: lo^k <= v < hi^k *)
+  while Bn.compare (Bn.sub !hi !lo) Bn.one > 0 do
+    let mid = Bn.shift_right (Bn.add !lo !hi) 1 in
+    if Bn.compare (pow mid k) v <= 0 then lo := mid else hi := mid
+  done;
+  !lo
+
+(* frac(root) * 2^bits, as an integer:
+   floor(root(p) * 2^bits) - floor(root(p)) * 2^bits
+   = iroot(p << (k*bits)) - iroot(p) << bits. *)
+let frac_root k ~bits p =
+  let pb = Bn.of_int p in
+  let scaled = iroot k (Bn.shift_left pb (k * bits)) in
+  let whole = Bn.shift_left (iroot k pb) bits in
+  Bn.sub scaled whole
+
+let to_u32 b = Bn.to_int b
+
+let to_u64 b =
+  let s = Bn.to_bytes_be ~length:8 b in
+  let le = String.init 8 (fun i -> s.[7 - i]) in
+  Dsig_util.Bytesutil.get_u64_le le 0
+
+let k256 =
+  first_primes 64 |> List.map (fun p -> to_u32 (frac_root 3 ~bits:32 p)) |> Array.of_list
+
+let h256 =
+  first_primes 8 |> List.map (fun p -> to_u32 (frac_root 2 ~bits:32 p)) |> Array.of_list
+
+let k512 =
+  first_primes 80 |> List.map (fun p -> to_u64 (frac_root 3 ~bits:64 p)) |> Array.of_list
+
+let h512 =
+  first_primes 8 |> List.map (fun p -> to_u64 (frac_root 2 ~bits:64 p)) |> Array.of_list

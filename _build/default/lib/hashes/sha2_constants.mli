@@ -1,0 +1,17 @@
+(** SHA-2 round constants and initial hash values, computed at module
+    initialization from the fractional parts of cube/square roots of the
+    first primes (FIPS 180-4 §4.2.2–4.2.3 and §5.3), rather than
+    transcribed as literals. The "abc" known-answer tests in the test
+    suite validate the computation end to end. *)
+
+val k256 : int array
+(** 64 constants, each a 32-bit value in an OCaml [int]. *)
+
+val h256 : int array
+(** 8 initial values (32-bit). Also the BLAKE3 IV. *)
+
+val k512 : int64 array
+(** 80 constants. *)
+
+val h512 : int64 array
+(** 8 initial values. *)

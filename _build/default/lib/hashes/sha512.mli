@@ -1,0 +1,7 @@
+(** SHA-512 (FIPS 180-4). Used by Ed25519 (RFC 8032). *)
+
+val digest_size : int
+(** 64 bytes. *)
+
+val digest : string -> string
+val hex : string -> string

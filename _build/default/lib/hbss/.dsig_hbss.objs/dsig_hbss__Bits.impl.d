@@ -1,0 +1,1 @@
+lib/hbss/bits.ml: Array Char String

@@ -1,0 +1,1 @@
+lib/hbss/hors.ml: Array Bits Blake3 Dsig_hashes Dsig_merkle Dsig_util Hash List Params String

@@ -1,0 +1,1 @@
+lib/hbss/hors.mli: Dsig_hashes Dsig_merkle Params

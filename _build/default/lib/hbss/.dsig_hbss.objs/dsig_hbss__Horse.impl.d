@@ -1,0 +1,1 @@
+lib/hbss/horse.ml: Array Blake3 Dsig_hashes Dsig_util Hash Hors Params String

@@ -1,0 +1,1 @@
+lib/hbss/horse.mli: Dsig_hashes Params

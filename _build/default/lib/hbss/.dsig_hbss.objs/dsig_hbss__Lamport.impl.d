@@ -1,0 +1,1 @@
+lib/hbss/lamport.ml: Array Blake3 Char Dsig_hashes Dsig_util Hash String

@@ -1,0 +1,1 @@
+lib/hbss/lamport.mli: Dsig_hashes

@@ -1,0 +1,1 @@
+lib/hbss/mss.ml: Array Dsig_hashes Dsig_merkle Dsig_util Int32 Params String Wots

@@ -1,0 +1,1 @@
+lib/hbss/mss.mli: Dsig_hashes Dsig_merkle Wots

@@ -1,0 +1,1 @@
+lib/hbss/params.mli:

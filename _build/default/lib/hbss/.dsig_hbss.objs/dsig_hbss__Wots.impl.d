@@ -1,0 +1,1 @@
+lib/hbss/wots.ml: Array Bits Blake3 Dsig_hashes Dsig_util Hash Int32 Params String

@@ -1,0 +1,1 @@
+lib/hbss/wots.mli: Dsig_hashes Params

@@ -1,0 +1,11 @@
+let get s ~pos ~len =
+  if len < 0 || len > 30 then invalid_arg "Bits.get: len must be in [0, 30]";
+  if pos < 0 || pos + len > 8 * String.length s then invalid_arg "Bits.get: out of range";
+  let acc = ref 0 in
+  for i = pos to pos + len - 1 do
+    let bit = (Char.code s.[i / 8] lsr (7 - (i mod 8))) land 1 in
+    acc := (!acc lsl 1) lor bit
+  done;
+  !acc
+
+let digits s ~width ~count = Array.init count (fun i -> get s ~pos:(i * width) ~len:width)

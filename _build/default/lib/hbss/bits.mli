@@ -1,0 +1,11 @@
+(** MSB-first bit extraction from byte strings, used to cut message
+    digests into W-OTS+ base-d digits and HORS indices. *)
+
+val get : string -> pos:int -> len:int -> int
+(** [get s ~pos ~len] reads [len] bits ([<= 30]) starting at bit [pos]
+    (bit 0 = most significant bit of byte 0).
+    @raise Invalid_argument if the range exceeds the string. *)
+
+val digits : string -> width:int -> count:int -> int array
+(** [digits s ~width ~count] is the first [count] consecutive
+    [width]-bit digits of [s]. *)

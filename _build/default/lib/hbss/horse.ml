@@ -1,0 +1,62 @@
+open Dsig_hashes
+module P = Params.Hors
+
+type keypair = {
+  p : P.t;
+  r : int;
+  hash : Hash.algo;
+  public_seed : string;
+  chains : string array array; (* chains.(i).(j) = secret i hashed j times *)
+  mutable used : int;
+}
+
+let generate ?(hash = Hash.Haraka) ~r (p : P.t) ~seed =
+  if r < 1 then invalid_arg "Horse.generate: r must be >= 1";
+  if String.length seed <> 32 then invalid_arg "Horse.generate: need a 32-byte seed";
+  let public_seed = Blake3.derive_key ~context:"dsig horse public seed" seed in
+  let blob = Blake3.derive_key ~context:"dsig horse secrets" ~length:(p.P.t * p.P.n) seed in
+  let chains =
+    Array.init p.P.t (fun i ->
+        let c = Array.make (r + 1) (String.sub blob (i * p.P.n) p.P.n) in
+        for j = 1 to r do
+          c.(j) <- Hash.digest hash ~length:p.P.n c.(j - 1)
+        done;
+        c)
+  in
+  { p; r; hash; public_seed; chains; used = 0 }
+
+let public_elements kp = Array.map (fun c -> c.(kp.r)) kp.chains
+let public_seed kp = kp.public_seed
+let uses_left kp = kp.r - kp.used
+
+type signature = { nonce : string; epoch : int; revealed : string array }
+
+let sign kp ~nonce msg =
+  if kp.used >= kp.r then invalid_arg "Horse.sign: key exhausted";
+  if String.length nonce <> 16 then invalid_arg "Horse.sign: nonce must be 16 bytes";
+  let epoch = kp.used in
+  kp.used <- epoch + 1;
+  let indices = Hors.message_indices kp.p ~public_seed:kp.public_seed ~nonce msg in
+  (* epoch u reveals depth r-1-u: each use digs one level deeper *)
+  let depth = kp.r - 1 - epoch in
+  { nonce; epoch; revealed = Array.map (fun i -> kp.chains.(i).(depth)) indices }
+
+let verify ?(hash = Hash.Haraka) (p : P.t) ~public_seed ~elements ~max_epoch signature msg =
+  Array.length signature.revealed = p.P.k
+  && String.length signature.nonce = 16
+  && signature.epoch >= 0
+  && signature.epoch <= max_epoch
+  && Array.length elements = p.P.t
+  &&
+  let indices = Hors.message_indices p ~public_seed ~nonce:signature.nonce msg in
+  let hashes = signature.epoch + 1 in
+  let ok = ref true in
+  Array.iteri
+    (fun j idx ->
+      let v = ref signature.revealed.(j) in
+      for _ = 1 to hashes do
+        v := Hash.digest hash ~length:p.P.n !v
+      done;
+      if not (Dsig_util.Bytesutil.equal_ct !v elements.(idx)) then ok := false)
+    indices;
+  !ok

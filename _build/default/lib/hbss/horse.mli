@@ -1,0 +1,43 @@
+(** HORSE (Neumann, ITCC 2004) — "an extension of an r-time signature
+    scheme with fast signing and verification", cited by the paper's
+    related work (§9).
+
+    HORSE stretches each HORS secret into a hash chain of length r: the
+    public key is the chain heads, and the u-th signature (u = 0..r-1)
+    reveals elements at depth r-1-u. Verification hashes each revealed
+    element u+1 times back to the public key. This gives r uses per key
+    {e without} growing the key (unlike HORS with r > 1), but — as the
+    paper notes — "restricts the order in which applications can reveal
+    public keys": uses are strictly sequential, and a verifier must not
+    accept a deeper reveal than the signer's current epoch (deeper
+    elements become public knowledge as epochs advance). *)
+
+type keypair
+
+val generate :
+  ?hash:Dsig_hashes.Hash.algo -> r:int -> Params.Hors.t -> seed:string -> keypair
+(** [r >= 1] chain length (uses per key). The [Params.Hors.t] supplies
+    k/t/n; its own [r] field is ignored (HORSE reuses the base HORS
+    geometry). *)
+
+val public_elements : keypair -> string array
+val public_seed : keypair -> string
+val uses_left : keypair -> int
+
+type signature = { nonce : string; epoch : int; revealed : string array }
+
+val sign : keypair -> nonce:string -> string -> signature
+(** Consumes the next epoch. @raise Invalid_argument when exhausted. *)
+
+val verify :
+  ?hash:Dsig_hashes.Hash.algo ->
+  Params.Hors.t ->
+  public_seed:string ->
+  elements:string array ->
+  max_epoch:int ->
+  signature ->
+  string ->
+  bool
+(** [max_epoch] is the highest epoch the verifier accepts (the number of
+    signatures it believes the signer has issued so far); deeper reveals
+    are rejected, enforcing the sequential-use discipline. *)

@@ -1,0 +1,59 @@
+open Dsig_hashes
+
+let n = 32 (* element size: full 256-bit preimage resistance *)
+let bits = 256
+
+type keypair = {
+  hash : Hash.algo;
+  secrets : string array; (* 512: secrets.(2*i + b) signs bit i = b *)
+  publics : string array;
+  pk_digest : string;
+  mutable used : bool;
+}
+
+let generate ?(hash = Hash.Haraka) ~seed () =
+  if String.length seed <> 32 then invalid_arg "Lamport.generate: need a 32-byte seed";
+  let blob = Blake3.derive_key ~context:"dsig lamport secrets" ~length:(2 * bits * n) seed in
+  let secrets = Array.init (2 * bits) (fun i -> String.sub blob (i * n) n) in
+  let publics = Array.map (fun s -> Hash.digest hash ~length:n s) secrets in
+  {
+    hash;
+    secrets;
+    publics;
+    pk_digest = Blake3.digest (String.concat "" (Array.to_list publics));
+    used = false;
+  }
+
+let public_elements kp = Array.copy kp.publics
+let public_key_digest kp = kp.pk_digest
+
+type signature = { revealed : string array }
+
+let msg_bits msg =
+  let d = Blake3.digest msg in
+  Array.init bits (fun i -> (Char.code d.[i / 8] lsr (7 - (i mod 8))) land 1)
+
+let sign ?(allow_reuse = false) kp msg =
+  if kp.used && not allow_reuse then invalid_arg "Lamport.sign: one-time key already used";
+  kp.used <- true;
+  let b = msg_bits msg in
+  { revealed = Array.init bits (fun i -> kp.secrets.((2 * i) + b.(i))) }
+
+let verify ?(hash = Hash.Haraka) ~elements signature msg =
+  Array.length signature.revealed = bits
+  && Array.length elements = 2 * bits
+  &&
+  let b = msg_bits msg in
+  let ok = ref true in
+  for i = 0 to bits - 1 do
+    if
+      not
+        (Dsig_util.Bytesutil.equal_ct
+           elements.((2 * i) + b.(i))
+           (Hash.digest hash ~length:n signature.revealed.(i)))
+    then ok := false
+  done;
+  !ok
+
+let signature_bytes = bits * n
+let public_key_bytes = 2 * bits * n

@@ -1,0 +1,21 @@
+(** Lamport one-time signatures (Lamport 1979) — the original HBSS the
+    paper cites as the ancestor of the fast schemes (§3.3). Included as
+    a reference implementation and baseline for the ablation benches:
+    large keys and signatures, minimal hashing. *)
+
+type keypair
+
+val generate : ?hash:Dsig_hashes.Hash.algo -> seed:string -> unit -> keypair
+val public_elements : keypair -> string array
+(** 512 elements (256 bit positions x 2). *)
+
+val public_key_digest : keypair -> string
+
+type signature = { revealed : string array (* 256 secrets *) }
+
+val sign : ?allow_reuse:bool -> keypair -> string -> signature
+val verify :
+  ?hash:Dsig_hashes.Hash.algo -> elements:string array -> signature -> string -> bool
+
+val signature_bytes : int
+val public_key_bytes : int

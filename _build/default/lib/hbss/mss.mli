@@ -1,0 +1,43 @@
+(** A classic stateful Merkle signature scheme (Merkle 1989): one tree
+    over 2^h W-OTS+ one-time keys, signing up to 2^h messages with a
+    single public key (the root).
+
+    This is the §9 "Merkle-based signatures" design point DSig argues
+    against for the critical path: verification must check the W-OTS+
+    signature {e and} walk an h-level inclusion proof online, and key
+    generation must build all 2^h keys up front — there is no background
+    plane to hide either. Included as a baseline for the ablation
+    benches and as the natural "no traditional scheme at all"
+    alternative (quantum-resistant, unlike DSig's EdDSA root).
+
+    Stateful: each signature consumes the next leaf; reusing state is
+    catastrophic, so the key tracks and enforces its position. *)
+
+type keypair
+
+val generate :
+  ?hash:Dsig_hashes.Hash.algo -> ?wots_d:int -> height:int -> seed:string -> unit -> keypair
+(** Builds all [2^height] W-OTS+ key pairs and their Merkle tree.
+    @raise Invalid_argument if [height] is not in [1, 20]. *)
+
+val public_key : keypair -> string
+(** The 32-byte Merkle root. *)
+
+val capacity : keypair -> int
+val remaining : keypair -> int
+
+type signature = {
+  leaf_index : int;
+  public_seed : string;
+  wots_sig : Wots.signature;
+  proof : Dsig_merkle.Merkle.proof;
+}
+
+val sign : keypair -> string -> signature
+(** Consumes the next leaf. @raise Invalid_argument when exhausted. *)
+
+val verify :
+  ?hash:Dsig_hashes.Hash.algo -> ?wots_d:int -> public_key:string -> signature -> string -> bool
+
+val signature_bytes : ?wots_d:int -> height:int -> unit -> int
+(** Wire-size estimate: W-OTS+ part + proof. *)

@@ -1,0 +1,1 @@
+lib/merkle/merkle.ml: Array Buffer Char Dsig_hashes Dsig_util Int32 List String

@@ -1,0 +1,242 @@
+let default_hash s = Dsig_hashes.Blake3.digest s
+
+type t = {
+  hash : string -> string;
+  n : int; (* original (unpadded) leaf count *)
+  levels : string array array; (* levels.(0) = padded leaf digests, last = [| root |] *)
+}
+
+let leaf_tag = "\x00"
+let node_tag = "\x01"
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* The leaf array is padded to a power of two with a fixed padding
+   digest so that every proof has exactly log2(size) siblings and
+   verification needs no side information. *)
+let padding_digest = String.make 32 '\x00'
+
+let build ?(hash = default_hash) leaves =
+  let n = Array.length leaves in
+  if n = 0 then invalid_arg "Merkle.build: empty";
+  let padded = next_pow2 n in
+  let level0 =
+    Array.init padded (fun i -> if i < n then hash (leaf_tag ^ leaves.(i)) else padding_digest)
+  in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let next =
+        Array.init
+          (Array.length level / 2)
+          (fun i -> hash (node_tag ^ level.(2 * i) ^ level.((2 * i) + 1)))
+      in
+      up (level :: acc) next
+    end
+  in
+  { hash; n; levels = Array.of_list (up [] level0) }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+let size t = t.n
+let leaf_digest t i = t.levels.(0).(i)
+
+type proof = { index : int; siblings : string list }
+
+let proof t i =
+  if i < 0 || i >= size t then invalid_arg "Merkle.proof: index out of range";
+  let siblings = ref [] in
+  let idx = ref i in
+  for l = 0 to Array.length t.levels - 2 do
+    siblings := t.levels.(l).(!idx lxor 1) :: !siblings;
+    idx := !idx / 2
+  done;
+  { index = i; siblings = List.rev !siblings }
+
+let proof_size_bytes ~leaves =
+  let rec levels n acc = if n <= 1 then acc else levels (n / 2) (acc + 1) in
+  4 + (32 * levels (next_pow2 leaves) 0)
+
+let compute_root ?(hash = default_hash) ~leaf { index; siblings } =
+  let acc = ref (hash (leaf_tag ^ leaf)) in
+  let idx = ref index in
+  List.iter
+    (fun sib ->
+      acc := (if !idx land 1 = 0 then hash (node_tag ^ !acc ^ sib) else hash (node_tag ^ sib ^ !acc));
+      idx := !idx / 2)
+    siblings;
+  !acc
+
+let verify ?hash ~root:expected ~leaf proof =
+  Dsig_util.Bytesutil.equal_ct (compute_root ?hash ~leaf proof) expected
+
+let encode_proof { index; siblings } =
+  Dsig_util.Bytesutil.concat
+    (Dsig_util.Bytesutil.u32_le (Int32.of_int index) :: siblings)
+
+let decode_proof ~levels s =
+  if String.length s <> 4 + (32 * levels) then None
+  else begin
+    let index = Int32.to_int (Dsig_util.Bytesutil.get_u32_le s 0) in
+    if index < 0 then None
+    else begin
+      let siblings = List.init levels (fun i -> String.sub s (4 + (32 * i)) 32) in
+      Some { index; siblings }
+    end
+  end
+
+type tree = t
+
+module Multiproof = struct
+  (* The proof carries, level by level, the sibling digests that cannot
+     be recomputed from the leaves being proven. Verification rebuilds
+     the covered frontier bottom-up, consuming carried digests in a
+     canonical (level-major, index-minor) order. *)
+  type t = { indices : int list; levels : int; carried : string list }
+
+  let create (tree : tree) indices =
+    let n_padded =
+      (* padded leaf count = width of level 0 *)
+      Array.length tree.levels.(0)
+    in
+    let sorted = List.sort_uniq compare indices in
+    if List.length sorted <> List.length indices then
+      invalid_arg "Merkle.Multiproof.create: duplicate indices";
+    List.iter
+      (fun i -> if i < 0 || i >= tree.n then invalid_arg "Merkle.Multiproof.create: out of range")
+      sorted;
+    let levels = Array.length tree.levels - 1 in
+    let carried = ref [] in
+    let frontier = ref sorted in
+    let width = ref n_padded in
+    for l = 0 to levels - 1 do
+      let covered = !frontier in
+      let next = List.sort_uniq compare (List.map (fun i -> i / 2) covered) in
+      (* a parent needs a carried digest for any child not in the
+         covered set *)
+      List.iter
+        (fun p ->
+          List.iter
+            (fun child ->
+              if child < !width && not (List.mem child covered) then
+                carried := tree.levels.(l).(child) :: !carried)
+            [ 2 * p; (2 * p) + 1 ])
+        next;
+      frontier := next;
+      width := !width / 2
+    done;
+    { indices = sorted; levels; carried = List.rev !carried }
+
+  let verify ?(hash = default_hash) ~root ~leaves t =
+    let sorted = List.sort compare leaves in
+    if List.map fst sorted <> t.indices then false
+    else begin
+      let carried = ref t.carried in
+      let take () =
+        match !carried with
+        | d :: rest ->
+            carried := rest;
+            Some d
+        | [] -> None
+      in
+      let frontier =
+        ref (List.map (fun (i, content) -> (i, hash (leaf_tag ^ content))) sorted)
+      in
+      let ok = ref true in
+      for _l = 0 to t.levels - 1 do
+        let covered = !frontier in
+        let parents = List.sort_uniq compare (List.map (fun (i, _) -> i / 2) covered) in
+        frontier :=
+          List.map
+            (fun p ->
+              let child c =
+                match List.assoc_opt c covered with
+                | Some d -> Some d
+                | None -> take ()
+              in
+              match (child (2 * p), child ((2 * p) + 1)) with
+              | Some l, Some r -> (p, hash (node_tag ^ l ^ r))
+              | _ ->
+                  ok := false;
+                  (p, ""))
+            parents
+      done;
+      !ok
+      && (match !frontier with
+         | [ (0, computed) ] -> Dsig_util.Bytesutil.equal_ct computed root
+         | _ -> false)
+      && !carried = []
+    end
+
+  let size_bytes t = (32 * List.length t.carried) + (4 * List.length t.indices) + 4
+
+  let naive_size_bytes (tree : tree) indices =
+    List.length indices * proof_size_bytes ~leaves:tree.n
+
+  let indices t = t.indices
+
+  (* u16 nindices | u32 index* | u8 levels | u16 ncarried | digests *)
+  let encode t =
+    let buf = Buffer.create 256 in
+    let module BU = Dsig_util.Bytesutil in
+    Buffer.add_string buf (BU.u16_be (List.length t.indices));
+    List.iter (fun i -> Buffer.add_string buf (BU.u32_le (Int32.of_int i))) t.indices;
+    Buffer.add_char buf (Char.chr t.levels);
+    Buffer.add_string buf (BU.u16_be (List.length t.carried));
+    List.iter (Buffer.add_string buf) t.carried;
+    Buffer.contents buf
+
+  let decode s =
+    let module BU = Dsig_util.Bytesutil in
+    let len = String.length s in
+    if len < 2 then None
+    else begin
+      let nidx = BU.get_u16_be s 0 in
+      let pos = 2 + (4 * nidx) in
+      if nidx = 0 || pos + 3 > len then None
+      else begin
+        let indices =
+          List.init nidx (fun i -> Int32.to_int (BU.get_u32_le s (2 + (4 * i))))
+        in
+        let levels = Char.code s.[pos] in
+        let ncarried = BU.get_u16_be s (pos + 1) in
+        let body = pos + 3 in
+        if levels > 40 || body + (32 * ncarried) > len then None
+        else begin
+          let carried = List.init ncarried (fun i -> String.sub s (body + (32 * i)) 32) in
+          let rest = String.sub s (body + (32 * ncarried)) (len - body - (32 * ncarried)) in
+          if List.exists (fun i -> i < 0) indices || List.sort_uniq compare indices <> indices
+          then None
+          else Some ({ indices; levels; carried }, rest)
+        end
+      end
+    end
+end
+
+module Forest = struct
+  type forest = { trees : t array; per_tree : int }
+
+  let build ?(hash = default_hash) ~trees leaves =
+    let n = Array.length leaves in
+    if trees <= 0 || n mod trees <> 0 then
+      invalid_arg "Merkle.Forest.build: tree count must divide leaf count";
+    let per_tree = n / trees in
+    {
+      trees = Array.init trees (fun i -> build ~hash (Array.sub leaves (i * per_tree) per_tree));
+      per_tree;
+    }
+
+  let roots f = Array.to_list (Array.map root f.trees)
+  let tree f i = f.trees.(i)
+  let roots_digest f = default_hash (String.concat "" (roots f))
+
+  let proof f i =
+    let tree = i / f.per_tree in
+    (tree, proof f.trees.(tree) (i mod f.per_tree))
+
+  let verify ?(hash = default_hash) ~roots ~leaf (tree, pf) =
+    match List.nth_opt roots tree with
+    | None -> false
+    | Some r -> verify ~hash ~root:r ~leaf pf
+end

@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Array Channel Dsig_util Printf Resource Sim

@@ -1,0 +1,1 @@
+lib/simnet/resource.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/simnet/resource.mli: Sim

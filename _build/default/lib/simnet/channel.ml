@@ -1,0 +1,31 @@
+type 'a t = {
+  sim : Sim.t;
+  values : 'a Queue.t;
+  waiters : (unit -> unit) Queue.t; (* resume thunks of blocked receivers *)
+}
+
+let create sim = { sim; values = Queue.create (); waiters = Queue.create () }
+
+let send t v =
+  Queue.add v t.values;
+  match Queue.take_opt t.waiters with
+  | None -> ()
+  | Some resume -> Sim.schedule t.sim ~delay:0.0 resume
+
+let recv t =
+  if Queue.is_empty t.values then
+    Sim.suspend (fun resume -> Queue.add resume t.waiters);
+  (* A waiter can only be resumed by [send], and sends enqueue before
+     waking, so a value must be present — unless a spurious wake-up
+     races with another receiver; loop to be safe. *)
+  let rec take () =
+    match Queue.take_opt t.values with
+    | Some v -> v
+    | None ->
+        Sim.suspend (fun resume -> Queue.add resume t.waiters);
+        take ()
+  in
+  take ()
+
+let recv_opt t = Queue.take_opt t.values
+let length t = Queue.length t.values

@@ -1,0 +1,18 @@
+(** Unbounded typed mailboxes with blocking receive — the rendezvous
+    primitive between simulated processes. *)
+
+type 'a t
+
+val create : Sim.t -> 'a t
+val send : 'a t -> 'a -> unit
+(** Never blocks; wakes at most one waiting receiver (at the current
+    virtual time). Callable from processes or plain event callbacks. *)
+
+val recv : 'a t -> 'a
+(** Blocks the calling process until a value is available. FIFO on both
+    values and waiters. *)
+
+val recv_opt : 'a t -> 'a option
+(** Non-blocking variant. *)
+
+val length : 'a t -> int

@@ -1,0 +1,75 @@
+type 'a node = {
+  tx : Resource.t;
+  rx : Resource.t;
+  inbox : (int * int * 'a) Channel.t;
+  mutable gbps : float;
+}
+
+type faults = { drop : float; duplicate : float; rng : Dsig_util.Rng.t }
+
+type 'a t = {
+  sim : Sim.t;
+  latency_us : float;
+  per_byte_us : float;
+  nodes : 'a node array;
+  mutable faults : faults option;
+}
+
+let create sim ~nodes ?(latency_us = 1.0) ?(per_byte_us = 0.0006) ?(bandwidth_gbps = 100.0) () =
+  {
+    sim;
+    latency_us;
+    per_byte_us;
+    nodes =
+      Array.init nodes (fun i ->
+          {
+            tx = Resource.create ~name:(Printf.sprintf "nic%d.tx" i) sim;
+            rx = Resource.create ~name:(Printf.sprintf "nic%d.rx" i) sim;
+            inbox = Channel.create sim;
+            gbps = bandwidth_gbps;
+          });
+    faults = None;
+  }
+
+let set_faults t ?(drop = 0.0) ?(duplicate = 0.0) ~seed () =
+  t.faults <- Some { drop; duplicate; rng = Dsig_util.Rng.create seed }
+
+let sim t = t.sim
+let set_bandwidth t ~node ~gbps = t.nodes.(node).gbps <- gbps
+
+(* Serialization time of [bytes] at [gbps]: bytes*8 bits / (gbps*1e9) s,
+   expressed in µs. *)
+let wire_time bytes gbps = float_of_int (bytes * 8) /. (gbps *. 1000.0)
+
+let deliver t ~src ~dst ~bytes payload =
+  let copies =
+    match t.faults with
+    | None -> 1
+    | Some f ->
+        if Dsig_util.Rng.float f.rng 1.0 < f.drop then 0
+        else if Dsig_util.Rng.float f.rng 1.0 < f.duplicate then 2
+        else 1
+  in
+  for _ = 1 to copies do
+    let d = t.nodes.(dst) in
+    Sim.spawn t.sim (fun () ->
+        Resource.use d.rx (wire_time bytes d.gbps);
+        Channel.send d.inbox (src, bytes, payload))
+  done
+
+let send t ~src ~dst ~bytes payload =
+  let s = t.nodes.(src) in
+  Resource.use s.tx (wire_time bytes s.gbps);
+  let propagation = t.latency_us +. (t.per_byte_us *. float_of_int bytes) in
+  Sim.schedule t.sim ~delay:propagation (fun () -> deliver t ~src ~dst ~bytes payload)
+
+let send_async t ~src ~dst ~bytes payload =
+  Sim.spawn t.sim (fun () -> send t ~src ~dst ~bytes payload)
+
+let inject t ~node ~src payload = Channel.send t.nodes.(node).inbox (src, 0, payload)
+
+let recv t ~node = Channel.recv t.nodes.(node).inbox
+let recv_opt t ~node = Channel.recv_opt t.nodes.(node).inbox
+let pending t ~node = Channel.length t.nodes.(node).inbox
+let tx_utilization t ~node = Resource.utilization t.nodes.(node).tx
+let rx_utilization t ~node = Resource.utilization t.nodes.(node).rx

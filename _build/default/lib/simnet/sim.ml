@@ -1,0 +1,123 @@
+type event = { time : float; seq : int; fn : unit -> unit }
+
+module Heap = struct
+  (* binary min-heap on (time, seq) *)
+  type t = { mutable a : event array; mutable n : int }
+
+  let dummy = { time = 0.0; seq = 0; fn = ignore }
+  let create () = { a = Array.make 256 dummy; n = 0 }
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let b = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 b 0 h.n;
+      h.a <- b
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      h.a.(h.n) <- dummy;
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && lt h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.n && lt h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue_ := false
+        else begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type t = { mutable time : float; mutable seq : int; heap : Heap.t }
+
+type _ Effect.t +=
+  | Sleep : (t * float) -> unit Effect.t
+  | Suspend : (t * ((unit -> unit) -> unit)) -> unit Effect.t
+
+(* The engine a process belongs to travels inside the effect payload, so
+   processes of different engines can coexist; the "current engine" for
+   the plain [sleep]/[suspend] API is tracked dynamically. *)
+let current : t option ref = ref None
+
+let create () = { time = 0.0; seq = 0; heap = Heap.create () }
+let now t = t.time
+
+let schedule t ~delay fn =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { time = t.time +. delay; seq = t.seq; fn }
+
+let with_current t f =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let exec _t body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep (engine, d) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  schedule engine ~delay:d (fun () ->
+                      with_current engine (fun () -> continue k ())))
+          | Suspend (engine, register) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  register (fun () -> with_current engine (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+let spawn t body = schedule t ~delay:0.0 (fun () -> exec t (fun () -> with_current t body))
+
+let run ?(until = infinity) t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.pop t.heap with
+    | None -> continue_ := false
+    | Some e ->
+        if e.time > until then begin
+          t.time <- until;
+          continue_ := false
+        end
+        else begin
+          t.time <- e.time;
+          e.fn ()
+        end
+  done
+
+let engine_of_current name =
+  match !current with
+  | Some t -> t
+  | None -> failwith (name ^ ": not inside a simulation process")
+
+let sleep d = Effect.perform (Sleep (engine_of_current "Sim.sleep", d))
+let suspend register = Effect.perform (Suspend (engine_of_current "Sim.suspend", register))

@@ -1,0 +1,34 @@
+(** Discrete-event simulation core.
+
+    Stands in for the paper's 4-server RDMA testbed (DESIGN.md §1):
+    deterministic virtual time in microseconds, with processes written
+    as straight-line code over OCaml 5 effect handlers — [sleep] and the
+    blocking primitives of {!Channel} and {!Resource} suspend the
+    current process and resume it from the event loop. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Current virtual time in microseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] µs from now (FIFO among equal timestamps). *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Start a new process at the current time. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue drains or virtual time exceeds
+    [until]. Processes still blocked at that point are abandoned. *)
+
+(** {1 Effects usable inside processes} *)
+
+val sleep : float -> unit
+(** Suspend the calling process for the given number of µs. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process and hands a [resume]
+    thunk to [register]; calling the thunk (typically from another
+    process via {!schedule}) resumes it. The thunk must be called at
+    most once. Building block for {!Channel} and {!Resource}. *)

@@ -1,0 +1,47 @@
+type t = { mutable samples : float list; mutable n : int; mutable sorted : float array option }
+
+let create () = { samples = []; n = 0; sorted = None }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sorted <- None
+
+let count t = t.n
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
+let mean t =
+  if t.n = 0 then 0.0 else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.n
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  let a = sorted t in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1 in
+  a.(Stdlib.max 0 (Stdlib.min (t.n - 1) rank))
+
+let min t = percentile t 0.0
+let max t = percentile t 100.0
+
+let cdf ?(points = 100) t =
+  let a = sorted t in
+  let n = Array.length a in
+  if n = 0 then []
+  else
+    List.init points (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int points in
+        let idx = Stdlib.min (n - 1) (int_of_float (frac *. float_of_int n) - 1) in
+        (a.(Stdlib.max 0 idx), frac))
+
+let summary t =
+  if t.n = 0 then "n=0"
+  else
+    Printf.sprintf "p10=%.2f p50=%.2f p90=%.2f p99=%.2f mean=%.2f n=%d" (percentile t 10.0)
+      (percentile t 50.0) (percentile t 90.0) (percentile t 99.0) (mean t) t.n

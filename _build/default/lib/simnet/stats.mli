@@ -1,0 +1,21 @@
+(** Latency recorders and percentile/CDF reporting for the benchmark
+    harnesses (the paper reports p10/p50/p90 throughout §8). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val percentile : t -> float -> float
+(** [percentile t 50.0] is the median (nearest-rank on sorted samples).
+    @raise Invalid_argument on an empty recorder. *)
+
+val min : t -> float
+val max : t -> float
+
+val cdf : ?points:int -> t -> (float * float) list
+(** [(value, cumulative fraction)] pairs, for CDF plots (Figure 8). *)
+
+val summary : t -> string
+(** "p10=… p50=… p90=… n=…" one-liner. *)

@@ -1,0 +1,1 @@
+lib/util/bytesutil.ml: Bytes Char Int32 Int64 List String

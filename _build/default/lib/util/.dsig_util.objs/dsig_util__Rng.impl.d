@@ -1,0 +1,1 @@
+lib/util/rng.ml: Bytes Bytesutil Char Hashtbl Int64 Sys

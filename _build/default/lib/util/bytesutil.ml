@@ -1,0 +1,83 @@
+let hex_digits = "0123456789abcdef"
+
+let to_hex s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) hex_digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bytesutil.of_hex: non-hex character"
+
+let of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Bytesutil.of_hex: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((nibble h.[2 * i] lsl 4) lor nibble h.[(2 * i) + 1]))
+
+let xor a b =
+  let n = String.length a in
+  if String.length b <> n then invalid_arg "Bytesutil.xor: length mismatch";
+  String.init n (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let equal_ct a b =
+  let na = String.length a and nb = String.length b in
+  if na <> nb then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to na - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let concat = String.concat ""
+
+let u32_le x =
+  String.init 4 (fun i ->
+      Char.chr (Int32.to_int (Int32.shift_right_logical x (8 * i)) land 0xff))
+
+let u64_le x =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff))
+
+let get_u32_le s off =
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  let ( <<< ) x n = Int32.shift_left x n in
+  Int32.logor (b 0)
+    (Int32.logor (b 1 <<< 8) (Int32.logor (b 2 <<< 16) (b 3 <<< 24)))
+
+let get_u64_le s off =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  let ( <<< ) x n = Int64.shift_left x n in
+  Int64.logor (b 0)
+    (Int64.logor (b 1 <<< 8)
+       (Int64.logor (b 2 <<< 16)
+          (Int64.logor (b 3 <<< 24)
+             (Int64.logor (b 4 <<< 32)
+                (Int64.logor (b 5 <<< 40)
+                   (Int64.logor (b 6 <<< 48) (b 7 <<< 56)))))))
+
+let u16_be x =
+  String.init 2 (fun i -> Char.chr ((x lsr (8 * (1 - i))) land 0xff))
+
+let get_u16_be s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let chunks n s =
+  if n <= 0 then invalid_arg "Bytesutil.chunks: size must be positive";
+  let len = String.length s in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else
+      let take = min n (len - off) in
+      go (off + take) (String.sub s off take :: acc)
+  in
+  go 0 []

@@ -1,0 +1,39 @@
+(** Byte-string helpers shared by the whole repository.
+
+    All cryptographic values in this code base are carried as immutable
+    [string]s (OCaml strings are byte arrays); [Bytes.t] is used only for
+    in-place construction. *)
+
+val to_hex : string -> string
+(** [to_hex s] is the lowercase hexadecimal rendering of [s]. *)
+
+val of_hex : string -> string
+(** [of_hex h] decodes a hexadecimal string (case-insensitive).
+    @raise Invalid_argument if [h] has odd length or non-hex characters. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the byte-wise exclusive or of two equal-length strings.
+    @raise Invalid_argument on length mismatch. *)
+
+val equal_ct : string -> string -> bool
+(** Constant-time equality: the running time depends only on the lengths,
+    not on the position of the first differing byte. *)
+
+val concat : string list -> string
+(** Alias of [String.concat ""]. *)
+
+val u32_le : int32 -> string
+(** 4-byte little-endian encoding. *)
+
+val u64_le : int64 -> string
+(** 8-byte little-endian encoding. *)
+
+val get_u32_le : string -> int -> int32
+val get_u64_le : string -> int -> int64
+
+val u16_be : int -> string
+val get_u16_be : string -> int -> int
+
+val chunks : int -> string -> string list
+(** [chunks n s] splits [s] into pieces of [n] bytes; the last piece may be
+    shorter. [chunks n ""] is [[]]. *)

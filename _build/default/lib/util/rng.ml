@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let system () =
+  let seed =
+    try
+      let ic = open_in_bin "/dev/urandom" in
+      let b = really_input_string ic 8 in
+      close_in ic;
+      Bytesutil.get_u64_le b 0
+    with Sys_error _ | End_of_file ->
+      Int64.logxor
+        (Int64.of_float (Sys.time () *. 1e9))
+        (Int64.of_int (Hashtbl.hash (Sys.executable_name, Sys.argv)))
+  in
+  create seed
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next_u64 t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let rec go () =
+    let x = Int64.to_int (Int64.logand (next_u64 t) mask) in
+    (* Rejection sampling to avoid modulo bias. *)
+    let r = x mod bound in
+    if x - r > max_int - bound then go () else r
+  in
+  go ()
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) in
+  x *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let exponential t ~mean =
+  let u = ref (float t 1.0) in
+  if !u <= 0.0 then u := epsilon_float;
+  -.mean *. log !u
+
+let bytes t n =
+  let out = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let w = next_u64 t in
+    let take = min 8 (n - !i) in
+    for j = 0 to take - 1 do
+      Bytes.set out (!i + j)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical w (8 * j)) land 0xff))
+    done;
+    i := !i + take
+  done;
+  Bytes.unsafe_to_string out
+
+let split t = create (next_u64 t)

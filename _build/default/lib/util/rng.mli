@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Used for reproducible simulation workloads and, salted with system
+    entropy, to seed cryptographic key generation. Splitmix64 passes
+    BigCrush and is the standard seeding PRG; it is NOT a CSPRNG by
+    itself — key material is always expanded through BLAKE3 downstream
+    (see {!Dsig_hbss.Wots.generate}). *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a generator with the given seed. *)
+
+val system : unit -> t
+(** Generator seeded from [/dev/urandom] when available, otherwise from
+    wall-clock entropy. *)
+
+val next_u64 : t -> int64
+(** Next 64-bit output; advances the state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte pseudo-random string. *)
+
+val split : t -> t
+(** An independent generator derived from [t]; both advance separately. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Dsig Dsig_audit Dsig_kv Dsig_trading Format Gen List Orderbook QCheck QCheck_alcotest Store String Test

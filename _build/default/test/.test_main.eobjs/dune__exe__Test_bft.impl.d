@@ -1,0 +1,1 @@
+test/test_bft.ml: Alcotest Auth Ctb Dsig Dsig_bft Dsig_costmodel Dsig_simnet Float Hashtbl List Printf Sim Ubft

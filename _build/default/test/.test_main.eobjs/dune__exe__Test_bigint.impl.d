@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bn Dsig_bigint Gen List QCheck QCheck_alcotest Test

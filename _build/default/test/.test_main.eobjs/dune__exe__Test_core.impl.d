@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Batch Char Config Dsig Dsig_ed25519 Dsig_util Gen Lazy List Pki Printf QCheck QCheck_alcotest Signer String System Test Verifier Wire

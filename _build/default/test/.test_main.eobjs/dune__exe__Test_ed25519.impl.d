@@ -1,0 +1,1 @@
+test/test_ed25519.ml: Alcotest Bn Char Dsig_bigint Dsig_ed25519 Dsig_util Eddsa Fe25519 Gen Hashtbl Int64 List Point Printf QCheck QCheck_alcotest Scalar String Test

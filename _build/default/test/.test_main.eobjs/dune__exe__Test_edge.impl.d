@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Analysis Array Config Dsig Dsig_bigint Dsig_costmodel Dsig_ed25519 Dsig_hashes Dsig_hbss Dsig_util List Signer String System Wire

@@ -1,0 +1,1 @@
+test/test_hashes.ml: Aes_core Alcotest Array Blake3 Char Dsig_hashes Fun Gen Haraka Hash List Printf QCheck QCheck_alcotest Sha256 Sha2_constants Sha512 String Test

@@ -1,0 +1,1 @@
+test/test_hbss.ml: Alcotest Array Bits Char Dsig_hashes Dsig_hbss Dsig_merkle Dsig_util Gen Hashtbl Hors Int64 Lamport List Params Printf QCheck QCheck_alcotest String Test Wots

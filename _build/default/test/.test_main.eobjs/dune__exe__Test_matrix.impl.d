@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Auth Config Ctb Dsig Dsig_bft Dsig_costmodel Dsig_hashes Dsig_hbss Dsig_simnet Dsig_util Hashtbl Int64 List Printf QCheck QCheck_alcotest String System Verifier Wire

@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Array Dsig_merkle Dsig_util Int64 List Merkle Printf QCheck QCheck_alcotest String Test

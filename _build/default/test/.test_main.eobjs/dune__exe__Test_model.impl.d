@@ -1,0 +1,1 @@
+test/test_model.ml: Dsig_kv Dsig_trading Gen Hashtbl List Map Option Orderbook Printf QCheck QCheck_alcotest Reply Stdlib String Test

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Batch Char Config Dsig Dsig_costmodel Dsig_deploy Dsig_ed25519 Dsig_simnet Dsig_util Int64 List Pki Printf QCheck QCheck_alcotest Signer String System Verifier

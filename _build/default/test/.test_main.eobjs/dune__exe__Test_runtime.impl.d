@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Config Domain Dsig Dsig_ed25519 Dsig_util Fun List Pki Printf Runtime Sys Verifier Wire

@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Dsig Dsig_audit Dsig_deploy Dsig_kv Dsig_simnet Dsig_trading List Net Sim String

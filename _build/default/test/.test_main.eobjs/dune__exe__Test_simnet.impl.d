@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Channel Dsig_simnet Float Gen List Net QCheck QCheck_alcotest Resource Sim Stats Test

@@ -1,0 +1,1 @@
+test/test_tcpnet.ml: Alcotest Batch Config Dsig Dsig_ed25519 Dsig_tcpnet Dsig_util Fun Gen List Mutex Pki Printf QCheck QCheck_alcotest Signer String Test Thread Unix Verifier

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytesutil Dsig_util Gen Int64 List QCheck QCheck_alcotest Rng String Test

@@ -1,0 +1,263 @@
+open Dsig_kv
+open Dsig_trading
+
+(* --- KV store --- *)
+
+let reply = Alcotest.testable (fun fmt r -> Format.pp_print_string fmt (Store.Reply.to_string r)) ( = )
+
+let test_kv_basics () =
+  let s = Store.create () in
+  let exec c = Store.exec s c in
+  Alcotest.check reply "get missing" Store.Reply.Not_found (exec (Get "k"));
+  Alcotest.check reply "put" Store.Reply.Ok (exec (Put ("k", "v1")));
+  Alcotest.check reply "get" (Store.Reply.Value "v1") (exec (Get "k"));
+  Alcotest.check reply "overwrite" Store.Reply.Ok (exec (Put ("k", "v2")));
+  Alcotest.check reply "get2" (Store.Reply.Value "v2") (exec (Get "k"));
+  Alcotest.check reply "del" (Store.Reply.Int 1) (exec (Del "k"));
+  Alcotest.check reply "del again" (Store.Reply.Int 0) (exec (Del "k"));
+  Alcotest.(check int) "empty" 0 (Store.size s)
+
+let test_kv_structures () =
+  let s = Store.create () in
+  let exec c = Store.exec s c in
+  (* lists *)
+  Alcotest.check reply "rpush" (Store.Reply.Int 1) (exec (Rpush ("l", "a")));
+  Alcotest.check reply "rpush2" (Store.Reply.Int 2) (exec (Rpush ("l", "b")));
+  Alcotest.check reply "lpush" (Store.Reply.Int 3) (exec (Lpush ("l", "z")));
+  Alcotest.check reply "lrange" (Store.Reply.Values [ "z"; "a"; "b" ]) (exec (Lrange ("l", 0, -1)));
+  Alcotest.check reply "lrange sub" (Store.Reply.Values [ "a" ]) (exec (Lrange ("l", 1, 1)));
+  (* hashes *)
+  Alcotest.check reply "hset" (Store.Reply.Int 1) (exec (Hset ("h", "f", "1")));
+  Alcotest.check reply "hset update" (Store.Reply.Int 0) (exec (Hset ("h", "f", "2")));
+  Alcotest.check reply "hget" (Store.Reply.Value "2") (exec (Hget ("h", "f")));
+  Alcotest.check reply "hget missing" Store.Reply.Not_found (exec (Hget ("h", "g")));
+  (* sets *)
+  Alcotest.check reply "sadd" (Store.Reply.Int 1) (exec (Sadd ("s", "x")));
+  Alcotest.check reply "sadd dup" (Store.Reply.Int 0) (exec (Sadd ("s", "x")));
+  Alcotest.check reply "sadd y" (Store.Reply.Int 1) (exec (Sadd ("s", "y")));
+  Alcotest.check reply "scard" (Store.Reply.Int 2) (exec (Scard "s"));
+  Alcotest.check reply "smembers" (Store.Reply.Values [ "x"; "y" ]) (exec (Smembers "s"));
+  Alcotest.check reply "srem" (Store.Reply.Int 1) (exec (Srem ("s", "x")));
+  Alcotest.check reply "scard2" (Store.Reply.Int 1) (exec (Scard "s"));
+  (* type errors *)
+  Alcotest.check reply "type clash" (Store.Reply.Error "wrong type") (exec (Get "l"))
+
+let test_kv_command_codec () =
+  let cmds =
+    [
+      Store.Command.Get "key";
+      Put ("k", "value with \x00 bytes");
+      Del "";
+      Lpush ("l", "v");
+      Rpush ("l", "v");
+      Lrange ("l", -3, 7);
+      Hset ("h", "f", "v");
+      Hget ("h", "f");
+      Sadd ("s", "m");
+      Srem ("s", "m");
+      Smembers "s";
+      Scard "s";
+    ]
+  in
+  List.iteri
+    (fun i c ->
+      match Store.Command.decode (Store.Command.encode ~seq:i c) with
+      | Some (seq, c') ->
+          Alcotest.(check int) "seq" i seq;
+          Alcotest.(check bool) "cmd" true (c = c')
+      | None -> Alcotest.fail "decode failed")
+    cmds;
+  Alcotest.(check bool) "garbage" true (Store.Command.decode "garbage" = None);
+  Alcotest.(check bool) "truncated" true
+    (Store.Command.decode (String.sub (Store.Command.encode ~seq:0 (Get "key")) 0 11) = None)
+
+(* --- order book --- *)
+
+let test_orderbook_matching () =
+  let ob = Orderbook.create () in
+  let id1, fills = Orderbook.submit ob ~client:1 ~side:Sell ~price:100 ~qty:10 in
+  Alcotest.(check (list reject)) "no fills on empty book" [] (List.map (fun _ -> ()) fills);
+  let _id2, fills = Orderbook.submit ob ~client:2 ~side:Buy ~price:101 ~qty:4 in
+  (match fills with
+  | [ f ] ->
+      Alcotest.(check int) "maker" id1 f.Orderbook.maker_order;
+      Alcotest.(check int) "price at maker" 100 f.Orderbook.price;
+      Alcotest.(check int) "qty" 4 f.Orderbook.qty
+  | _ -> Alcotest.fail "expected one fill");
+  Alcotest.(check (option (pair int int))) "ask remains" (Some (100, 6)) (Orderbook.best_ask ob);
+  Alcotest.(check (option (pair int int))) "no bid" None (Orderbook.best_bid ob)
+
+let test_orderbook_price_time_priority () =
+  let ob = Orderbook.create () in
+  let id_a, _ = Orderbook.submit ob ~client:1 ~side:Sell ~price:100 ~qty:5 in
+  let id_b, _ = Orderbook.submit ob ~client:2 ~side:Sell ~price:100 ~qty:5 in
+  let id_c, _ = Orderbook.submit ob ~client:3 ~side:Sell ~price:99 ~qty:5 in
+  (* best price first (99), then FIFO at 100: a before b *)
+  let _, fills = Orderbook.submit ob ~client:4 ~side:Buy ~price:100 ~qty:12 in
+  let makers = List.map (fun f -> f.Orderbook.maker_order) fills in
+  Alcotest.(check (list int)) "priority" [ id_c; id_a; id_b ] makers;
+  let qtys = List.map (fun f -> f.Orderbook.qty) fills in
+  Alcotest.(check (list int)) "quantities" [ 5; 5; 2 ] qtys;
+  Alcotest.(check (option (pair int int))) "b partially rests" (Some (100, 3))
+    (Orderbook.best_ask ob)
+
+let test_orderbook_no_cross () =
+  let ob = Orderbook.create () in
+  ignore (Orderbook.submit ob ~client:1 ~side:Buy ~price:98 ~qty:5);
+  ignore (Orderbook.submit ob ~client:1 ~side:Sell ~price:102 ~qty:5);
+  (* a buy below the ask rests *)
+  ignore (Orderbook.submit ob ~client:2 ~side:Buy ~price:101 ~qty:5);
+  match (Orderbook.best_bid ob, Orderbook.best_ask ob) with
+  | Some (bid, _), Some (ask, _) -> Alcotest.(check bool) "not crossed" true (bid < ask)
+  | _ -> Alcotest.fail "expected both sides"
+
+let test_orderbook_cancel () =
+  let ob = Orderbook.create () in
+  let id, _ = Orderbook.submit ob ~client:1 ~side:Buy ~price:50 ~qty:10 in
+  Alcotest.(check bool) "cancel" true (Orderbook.cancel ob ~order_id:id);
+  Alcotest.(check bool) "cancel twice" false (Orderbook.cancel ob ~order_id:id);
+  Alcotest.(check bool) "cancel unknown" false (Orderbook.cancel ob ~order_id:999);
+  Alcotest.(check (option (pair int int))) "book empty" None (Orderbook.best_bid ob);
+  (* a sell that would have matched now rests *)
+  ignore (Orderbook.submit ob ~client:2 ~side:Sell ~price:50 ~qty:10);
+  Alcotest.(check (option (pair int int))) "sell rests" (Some (50, 10)) (Orderbook.best_ask ob)
+
+let test_orderbook_request_codec () =
+  let reqs =
+    [
+      Orderbook.Request.Limit { side = Orderbook.Buy; price = 100; qty = 5 };
+      Limit { side = Orderbook.Sell; price = 1; qty = 1_000_000 };
+      Cancel { order_id = 42 };
+    ]
+  in
+  List.iteri
+    (fun i r ->
+      match Orderbook.Request.decode (Orderbook.Request.encode ~seq:i r) with
+      | Some (seq, r') ->
+          Alcotest.(check int) "seq" i seq;
+          Alcotest.(check bool) "req" true (r = r')
+      | None -> Alcotest.fail "decode failed")
+    reqs;
+  Alcotest.(check bool) "garbage" true (Orderbook.Request.decode "xx" = None)
+
+let orderbook_qcheck =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          map3 (fun s p q -> `Limit ((if s then Orderbook.Buy else Orderbook.Sell), 1 + (p mod 20), 1 + (q mod 50)))
+            bool (int_bound 1000) (int_bound 1000);
+          map (fun i -> `Cancel (1 + (i mod 30))) (int_bound 1000);
+        ])
+  in
+  [
+    Test.make ~name:"book never crossed; quantity conserved" ~count:100
+      (make ~print:(fun l -> string_of_int (List.length l)) Gen.(list_size (int_range 1 60) op_gen))
+      (fun ops ->
+        let ob = Orderbook.create () in
+        let submitted = ref 0 and filled = ref 0 and cancelled = ref 0 in
+        List.iter
+          (fun op ->
+            match op with
+            | `Limit (side, price, qty) ->
+                let id, fills = Orderbook.submit ob ~client:0 ~side ~price ~qty in
+                ignore id;
+                submitted := !submitted + qty;
+                List.iter (fun f -> filled := !filled + (2 * f.Orderbook.qty)) fills
+            | `Cancel id -> (
+                match Orderbook.order_status ob id with
+                | `Resting q when Orderbook.cancel ob ~order_id:id -> cancelled := !cancelled + q
+                | `Resting _ | `Done -> ()))
+          ops;
+        let not_crossed =
+          match (Orderbook.best_bid ob, Orderbook.best_ask ob) with
+          | Some (b, _), Some (a, _) -> b < a
+          | _ -> true
+        in
+        not_crossed && !submitted = !filled + !cancelled + Orderbook.resting_qty ob);
+  ]
+
+(* --- audit log with real DSig --- *)
+
+let test_audit_roundtrip () =
+  let cfg = Dsig.Config.make ~batch_size:8 ~queue_threshold:8 ~cache_batches:4 (Dsig.Config.wots ~d:4) in
+  let sys = Dsig.System.create cfg ~n:3 () in
+  (* clients 1,2 sign ops for server 0 *)
+  let log = Dsig_audit.Audit.create () in
+  let server = Dsig.System.verifier sys 0 in
+  let admit ~client ~seq op =
+    let encoded = Store.Command.encode ~seq op in
+    let signature = Dsig.System.sign sys ~signer:client ~hint:[ 0 ] encoded in
+    Dsig_audit.Audit.admit log
+      ~verify:(fun ~msg s -> Dsig.Verifier.verify server ~msg s)
+      ~client ~seq ~op:encoded ~signature
+  in
+  (match admit ~client:1 ~seq:0 (Put ("a", "1")) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match admit ~client:2 ~seq:0 (Get "a") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match admit ~client:1 ~seq:1 (Del "a") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* replay: same client, same seq *)
+  (match admit ~client:1 ~seq:1 (Del "a") with
+  | Ok _ -> Alcotest.fail "replay accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "3 entries" 3 (Dsig_audit.Audit.length log);
+  (* a third party audits the log *)
+  let auditor = Dsig.Verifier.create cfg ~id:9 ~pki:(Dsig.System.pki sys) () in
+  let (valid, invalid), bad =
+    Dsig_audit.Audit.audit log ~verify:(fun ~client:_ ~msg s -> Dsig.Verifier.verify auditor ~msg s)
+  in
+  Alcotest.(check int) "valid" 3 valid;
+  Alcotest.(check int) "invalid" 0 invalid;
+  Alcotest.(check int) "no offenders" 0 (List.length bad);
+  Alcotest.(check bool) "storage accounted" true (Dsig_audit.Audit.storage_bytes log > 3 * 1000)
+
+let test_audit_detects_forgery () =
+  let cfg = Dsig.Config.make ~batch_size:8 ~queue_threshold:8 (Dsig.Config.wots ~d:4) in
+  let sys = Dsig.System.create cfg ~n:2 () in
+  let log = Dsig_audit.Audit.create () in
+  let op = Store.Command.encode ~seq:0 (Put ("x", "y")) in
+  let signature = Dsig.System.sign sys ~signer:1 ~hint:[ 0 ] op in
+  (* a server that skips verification logs a tampered op *)
+  (match
+     Dsig_audit.Audit.admit log ~verify:(fun ~msg:_ _ -> true) ~client:1 ~seq:0
+       ~op:(op ^ "tampered") ~signature
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let auditor = Dsig.Verifier.create cfg ~id:9 ~pki:(Dsig.System.pki sys) () in
+  let (valid, invalid), bad =
+    Dsig_audit.Audit.audit log ~verify:(fun ~client:_ ~msg s -> Dsig.Verifier.verify auditor ~msg s)
+  in
+  Alcotest.(check int) "valid" 0 valid;
+  Alcotest.(check int) "invalid" 1 invalid;
+  Alcotest.(check int) "offender listed" 1 (List.length bad)
+
+let suites =
+  [
+    ( "apps.kv",
+      [
+        Alcotest.test_case "basics" `Quick test_kv_basics;
+        Alcotest.test_case "data structures" `Quick test_kv_structures;
+        Alcotest.test_case "command codec" `Quick test_kv_command_codec;
+      ] );
+    ( "apps.trading",
+      [
+        Alcotest.test_case "matching" `Quick test_orderbook_matching;
+        Alcotest.test_case "price-time priority" `Quick test_orderbook_price_time_priority;
+        Alcotest.test_case "never crossed" `Quick test_orderbook_no_cross;
+        Alcotest.test_case "cancel" `Quick test_orderbook_cancel;
+        Alcotest.test_case "request codec" `Quick test_orderbook_request_codec;
+      ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false) orderbook_qcheck );
+    ( "apps.audit",
+      [
+        Alcotest.test_case "roundtrip with real dsig" `Quick test_audit_roundtrip;
+        Alcotest.test_case "detects forgery" `Quick test_audit_detects_forgery;
+      ] );
+  ]

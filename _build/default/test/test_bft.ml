@@ -1,0 +1,263 @@
+open Dsig_simnet
+open Dsig_bft
+module CM = Dsig_costmodel.Costmodel
+
+let small_cfg = Dsig.Config.make ~batch_size:8 ~queue_threshold:8 ~cache_batches:8 (Dsig.Config.wots ~d:4)
+
+let make_real_auth ~n () =
+  let sys = Dsig.System.create small_cfg ~n () in
+  (sys, Auth.dsig_real sys CM.paper_dalek)
+
+(* --- CTB --- *)
+
+let run_ctb ?behavior ~auth ~n ~f ~broadcasts () =
+  let sim = Sim.create () in
+  let deliveries = ref [] in
+  let cluster =
+    Ctb.create ~sim ~auth ~n ~f ?behavior
+      ~on_deliver:(fun ~node ~bcaster ~bcast_id ~payload ->
+        deliveries := (node, bcaster, bcast_id, payload) :: !deliveries)
+      ()
+  in
+  for i = 0 to broadcasts - 1 do
+    Ctb.broadcast cluster ~from:(i mod n) ~bcast_id:i (Printf.sprintf "payload-%d" i)
+  done;
+  Sim.run ~until:1_000_000.0 sim;
+  List.rev !deliveries
+
+let test_ctb_all_deliver () =
+  let _sys, auth = make_real_auth ~n:4 () in
+  let ds = run_ctb ~auth ~n:4 ~f:1 ~broadcasts:3 () in
+  (* every broadcast delivered at all 4 nodes *)
+  Alcotest.(check int) "12 deliveries" 12 (List.length ds);
+  List.iter
+    (fun (_, _, id, payload) ->
+      Alcotest.(check string) "payload intact" (Printf.sprintf "payload-%d" id) payload)
+    ds
+
+let test_ctb_tolerates_silent () =
+  let _sys, auth = make_real_auth ~n:4 () in
+  let behavior i = if i = 3 then Ctb.Silent else Ctb.Honest in
+  let ds = run_ctb ~behavior ~auth ~n:4 ~f:1 ~broadcasts:2 () in
+  (* the three honest nodes still deliver both broadcasts (broadcaster 0,1 are honest) *)
+  let honest = List.filter (fun (node, _, _, _) -> node < 3) ds in
+  Alcotest.(check int) "honest deliver" 6 (List.length honest)
+
+let test_ctb_tolerates_corrupt () =
+  let _sys, auth = make_real_auth ~n:4 () in
+  let behavior i = if i = 2 then Ctb.Corrupt else Ctb.Honest in
+  let ds = run_ctb ~behavior ~auth ~n:4 ~f:1 ~broadcasts:2 () in
+  let honest = List.filter (fun (node, _, _, _) -> node <> 2) ds in
+  Alcotest.(check int) "honest deliver despite corrupt acks" 6 (List.length honest)
+
+let test_ctb_agreement_under_faults () =
+  (* With the modeled MAC auth (cheap), run many broadcasts with one
+     corrupt node and confirm no two nodes deliver different payloads
+     for the same broadcast. *)
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let behavior i = if i = 1 then Ctb.Corrupt else Ctb.Honest in
+  let ds = run_ctb ~behavior ~auth ~n:4 ~f:1 ~broadcasts:20 () in
+  let by_id = Hashtbl.create 32 in
+  List.iter
+    (fun (_, bcaster, id, payload) ->
+      match Hashtbl.find_opt by_id (bcaster, id) with
+      | None -> Hashtbl.add by_id (bcaster, id) payload
+      | Some p -> Alcotest.(check string) "agreement" p payload)
+    ds;
+  Alcotest.(check bool) "delivered something" true (List.length ds > 0)
+
+let test_ctb_needs_quorum () =
+  (* two silent nodes exceed f=1: no deliveries can reach the 2f+1 quorum *)
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let behavior i = if i >= 2 then Ctb.Silent else Ctb.Honest in
+  let ds = run_ctb ~behavior ~auth ~n:4 ~f:1 ~broadcasts:2 () in
+  Alcotest.(check int) "no deliveries" 0 (List.length ds)
+
+let test_ctb_latency_ordering () =
+  (* DSig's modeled latency must beat EdDSA's by roughly the paper's
+     factor (123 -> 34 µs, §8.1). *)
+  let measure auth =
+    let sim = Sim.create () in
+    let done_at = ref nan in
+    let cluster =
+      Ctb.create ~sim ~auth ~n:4 ~f:1
+        ~on_deliver:(fun ~node ~bcaster:_ ~bcast_id:_ ~payload:_ ->
+          if node = 0 && Float.is_nan !done_at then done_at := Sim.now sim)
+        ()
+    in
+    Ctb.broadcast cluster ~from:0 ~bcast_id:0 "12345678";
+    Sim.run ~until:10_000.0 sim;
+    !done_at
+  in
+  let dsig = measure (Auth.dsig_modeled CM.paper_dalek Dsig.Config.default) in
+  let dalek = measure (Auth.eddsa_modeled CM.paper_dalek) in
+  Alcotest.(check bool) "dsig below 50us" true (dsig < 50.0);
+  Alcotest.(check bool) "dalek above 100us" true (dalek > 100.0);
+  Alcotest.(check bool) "at least 3x faster" true (dalek /. dsig > 3.0)
+
+(* --- uBFT --- *)
+
+let run_ubft ?behavior ?force_slow ?dos_mitigation ~auth ~n ~f ~requests () =
+  let sim = Sim.create () in
+  let replies = ref [] in
+  let commits = ref [] in
+  let cluster =
+    Ubft.create ~sim ~auth ~n ~f ?behavior ?force_slow ?dos_mitigation
+      ~on_commit:(fun ~replica ~rid ~payload -> commits := (replica, rid, payload) :: !commits)
+      ~on_reply:(fun ~rid ~path -> replies := (rid, path, Sim.now sim) :: !replies)
+      ()
+  in
+  (* issue sequentially to keep ordering deterministic *)
+  let issued = ref 0 in
+  Sim.spawn sim (fun () ->
+      for i = 0 to requests - 1 do
+        Ubft.request cluster ~rid:i (Printf.sprintf "op-%d" i);
+        incr issued;
+        Sim.sleep 500.0
+      done);
+  Sim.run ~until:1_000_000.0 sim;
+  (cluster, List.rev !replies, List.rev !commits)
+
+let test_ubft_fast_path () =
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let _, replies, commits = run_ubft ~auth ~n:3 ~f:1 ~requests:5 () in
+  Alcotest.(check int) "5 replies" 5 (List.length replies);
+  List.iter (fun (_, path, _) -> Alcotest.(check bool) "fast" true (path = Ubft.Fast)) replies;
+  (* all 3 replicas committed all 5 requests *)
+  Alcotest.(check int) "15 commits" 15 (List.length commits)
+
+let test_ubft_slow_path_forced () =
+  let sys, auth = make_real_auth ~n:4 () in
+  ignore sys;
+  let _, replies, commits = run_ubft ~force_slow:true ~auth ~n:3 ~f:1 ~requests:3 () in
+  Alcotest.(check int) "3 replies" 3 (List.length replies);
+  List.iter (fun (_, path, _) -> Alcotest.(check bool) "slow" true (path = Ubft.Slow)) replies;
+  Alcotest.(check bool) "commits on all replicas" true (List.length commits >= 9)
+
+let test_ubft_silent_replica_falls_back () =
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let behavior i = if i = 2 then Ctb.Silent else Ctb.Honest in
+  let _, replies, _ = run_ubft ~behavior ~auth ~n:3 ~f:1 ~requests:3 () in
+  Alcotest.(check int) "3 replies despite silence" 3 (List.length replies);
+  List.iter
+    (fun (_, path, _) -> Alcotest.(check bool) "slow path" true (path = Ubft.Slow))
+    replies
+
+let test_ubft_total_order () =
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let behavior i = if i = 1 then Ctb.Corrupt else Ctb.Honest in
+  let cluster, replies, _ = run_ubft ~behavior ~force_slow:true ~auth ~n:4 ~f:1 ~requests:8 () in
+  Alcotest.(check int) "all replied" 8 (List.length replies);
+  let log r = Ubft.committed cluster ~replica:r in
+  let reference = log 0 in
+  Alcotest.(check int) "leader committed all" 8 (List.length reference);
+  (* honest replicas' logs are prefixes of each other / equal *)
+  List.iter
+    (fun r ->
+      let lr = log r in
+      List.iteri
+        (fun i entry ->
+          match List.nth_opt reference i with
+          | Some e -> Alcotest.(check bool) (Printf.sprintf "replica %d pos %d" r i) true (e = entry)
+          | None -> Alcotest.fail "longer than leader log")
+        lr)
+    [ 2; 3 ]
+
+let test_ubft_dos_mitigation () =
+  (* A corrupt replica's commits are never fast-verifiable under real
+     DSig (they are garbage bytes); with DoS mitigation on, nobody pays
+     slow verifications for them. *)
+  let sys, auth = make_real_auth ~n:4 () in
+  let behavior i = if i = 3 then Ctb.Corrupt else Ctb.Honest in
+  let _, replies, _ =
+    run_ubft ~behavior ~force_slow:true ~dos_mitigation:true ~auth ~n:4 ~f:1 ~requests:3 ()
+  in
+  Alcotest.(check int) "replies" 3 (List.length replies);
+  (* honest verifiers did not fall back to inline EdDSA *)
+  List.iter
+    (fun v ->
+      let st = Dsig.Verifier.stats (Dsig.System.verifier sys v) in
+      Alcotest.(check int) (Printf.sprintf "verifier %d no slow verifies" v) 0 st.Dsig.Verifier.slow)
+    [ 0; 1; 2 ]
+
+(* protocols tolerate moderate message loss thanks to the all-to-all
+   acknowledgment redundancy (fixed seed keeps this deterministic) *)
+let test_ctb_under_message_loss () =
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let sim = Sim.create () in
+  let delivered = ref 0 in
+  let cluster =
+    Ctb.create ~sim ~auth ~n:4 ~f:1
+      ~message_loss:(0.05, 91L)
+      ~on_deliver:(fun ~node:_ ~bcaster:_ ~bcast_id:_ ~payload:_ -> incr delivered)
+      ()
+  in
+  for i = 0 to 9 do
+    Ctb.broadcast cluster ~from:(i mod 4) ~bcast_id:i "x"
+  done;
+  Sim.run ~until:500_000.0 sim;
+  (* 10 broadcasts x 4 nodes = 40 possible deliveries; 5% loss may cost
+     a few, but the 2f+1 quorums keep the vast majority alive *)
+  Alcotest.(check bool) "most deliveries survive"
+    true
+    (!delivered >= 30 && !delivered <= 40)
+
+let test_ubft_view_change_on_leader_crash () =
+  (* replica 0 (the initial leader) is silent: replicas time out, elect
+     view 1 (leader = replica 1), and complete every request on the
+     signed slow path *)
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let behavior i = if i = 0 then Ctb.Silent else Ctb.Honest in
+  let cluster, replies, _ = run_ubft ~behavior ~auth ~n:4 ~f:1 ~requests:4 () in
+  Alcotest.(check int) "all requests complete" 4 (List.length replies);
+  List.iter
+    (fun (_, path, _) -> Alcotest.(check bool) "slow path" true (path = Ubft.Slow))
+    replies;
+  (* honest replicas moved to a later view led by someone else *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d advanced" r)
+        true
+        (Ubft.view cluster ~replica:r >= 1))
+    [ 1; 2; 3 ];
+  (* the new leader committed everything exactly once *)
+  let log = Ubft.committed cluster ~replica:1 in
+  Alcotest.(check int) "new leader committed" 4 (List.length log);
+  let rids = List.map fst log in
+  Alcotest.(check int) "no duplicates" 4 (List.length (List.sort_uniq compare rids))
+
+let test_ubft_no_spurious_view_change () =
+  (* with an honest leader, requests commit before the progress timeout:
+     the view never moves *)
+  let auth = Auth.dsig_modeled CM.paper_dalek small_cfg in
+  let cluster, replies, _ = run_ubft ~auth ~n:4 ~f:1 ~requests:5 () in
+  Alcotest.(check int) "replies" 5 (List.length replies);
+  for r = 0 to 3 do
+    Alcotest.(check int) (Printf.sprintf "replica %d stays in view 0" r) 0
+      (Ubft.view cluster ~replica:r)
+  done
+
+let suites =
+  [
+    ( "apps.ctb",
+      [
+        Alcotest.test_case "all deliver (real dsig)" `Quick test_ctb_all_deliver;
+        Alcotest.test_case "tolerates silent node" `Quick test_ctb_tolerates_silent;
+        Alcotest.test_case "tolerates corrupt acks" `Quick test_ctb_tolerates_corrupt;
+        Alcotest.test_case "agreement under faults" `Quick test_ctb_agreement_under_faults;
+        Alcotest.test_case "no quorum, no delivery" `Quick test_ctb_needs_quorum;
+        Alcotest.test_case "latency ordering" `Quick test_ctb_latency_ordering;
+        Alcotest.test_case "loss tolerance (silent node)" `Quick test_ctb_under_message_loss;
+      ] );
+    ( "apps.ubft",
+      [
+        Alcotest.test_case "fast path" `Quick test_ubft_fast_path;
+        Alcotest.test_case "slow path forced (real dsig)" `Quick test_ubft_slow_path_forced;
+        Alcotest.test_case "silent replica falls back" `Quick test_ubft_silent_replica_falls_back;
+        Alcotest.test_case "total order" `Quick test_ubft_total_order;
+        Alcotest.test_case "dos mitigation (real dsig)" `Quick test_ubft_dos_mitigation;
+        Alcotest.test_case "view change on leader crash" `Quick test_ubft_view_change_on_leader_crash;
+        Alcotest.test_case "no spurious view change" `Quick test_ubft_no_spurious_view_change;
+      ] );
+  ]

@@ -1,0 +1,240 @@
+(* Model-based testing: drive the production implementations and naive,
+   obviously-correct reference models with the same random operation
+   sequences and demand identical observable behavior. *)
+
+open Dsig_trading
+
+(* --- reference order book: a flat list scanned greedily --- *)
+
+module Ref_book = struct
+  type rorder = { id : int; side : Orderbook.side; price : int; mutable qty : int; arrival : int }
+
+  type t = { mutable resting : rorder list; mutable arrivals : int }
+
+  let create () = { resting = []; arrivals = 0 }
+
+  let best_match t side price =
+    let crosses o =
+      match side with
+      | Orderbook.Buy -> o.side = Orderbook.Sell && o.price <= price
+      | Orderbook.Sell -> o.side = Orderbook.Buy && o.price >= price
+    in
+    let better a b =
+      (* best price first; FIFO within a price *)
+      match side with
+      | Orderbook.Buy ->
+          if a.price <> b.price then a.price < b.price else a.arrival < b.arrival
+      | Orderbook.Sell ->
+          if a.price <> b.price then a.price > b.price else a.arrival < b.arrival
+    in
+    List.fold_left
+      (fun acc o ->
+        if o.qty > 0 && crosses o then
+          match acc with Some cur when better cur o -> acc | _ -> Some o
+        else acc)
+      None t.resting
+
+  let submit t ~id ~side ~price ~qty =
+    let fills = ref [] in
+    let remaining = ref qty in
+    let continue_ = ref true in
+    while !remaining > 0 && !continue_ do
+      match best_match t side price with
+      | None -> continue_ := false
+      | Some maker ->
+          let traded = min !remaining maker.qty in
+          maker.qty <- maker.qty - traded;
+          remaining := !remaining - traded;
+          fills := (maker.id, maker.price, traded) :: !fills
+    done;
+    if !remaining > 0 then begin
+      t.arrivals <- t.arrivals + 1;
+      t.resting <-
+        t.resting @ [ { id; side; price; qty = !remaining; arrival = t.arrivals } ]
+    end;
+    List.rev !fills
+
+  let cancel t ~order_id =
+    match List.find_opt (fun o -> o.id = order_id && o.qty > 0) t.resting with
+    | Some o ->
+        o.qty <- 0;
+        true
+    | None -> false
+
+  let depth t side =
+    let levels = Hashtbl.create 8 in
+    List.iter
+      (fun o -> if o.side = side && o.qty > 0 then
+          Hashtbl.replace levels o.price (o.qty + Option.value ~default:0 (Hashtbl.find_opt levels o.price)))
+      t.resting;
+    let l = Hashtbl.fold (fun p q acc -> (p, q) :: acc) levels [] in
+    match side with
+    | Orderbook.Buy -> List.sort (fun (a, _) (b, _) -> compare b a) l
+    | Orderbook.Sell -> List.sort compare l
+end
+
+let orderbook_model_test =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (4, map3 (fun s p q -> `Limit ((if s then Orderbook.Buy else Orderbook.Sell), 1 + (p mod 15), 1 + (q mod 30))) bool (int_bound 1000) (int_bound 1000));
+          (1, map (fun i -> `Cancel i) (int_bound 40));
+        ])
+  in
+  Test.make ~name:"orderbook matches naive reference" ~count:120
+    (make ~print:(fun l -> Printf.sprintf "%d ops" (List.length l))
+       Gen.(list_size (int_range 1 80) op_gen))
+    (fun ops ->
+      let ob = Orderbook.create () in
+      let rb = Ref_book.create () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Limit (side, price, qty) ->
+              let id, fills = Orderbook.submit ob ~client:0 ~side ~price ~qty in
+              let rfills = Ref_book.submit rb ~id ~side ~price ~qty in
+              let fills' =
+                List.map (fun f -> (f.Orderbook.maker_order, f.Orderbook.price, f.Orderbook.qty)) fills
+              in
+              if fills' <> rfills then ok := false
+          | `Cancel id ->
+              let a = Orderbook.cancel ob ~order_id:id in
+              let b = Ref_book.cancel rb ~order_id:id in
+              if a <> b then ok := false)
+        ops;
+      !ok
+      && Orderbook.depth ob Orderbook.Buy = Ref_book.depth rb Orderbook.Buy
+      && Orderbook.depth ob Orderbook.Sell = Ref_book.depth rb Orderbook.Sell)
+
+(* --- reference KV: pure association structures --- *)
+
+module Ref_kv = struct
+  module M = Map.Make (String)
+
+  type entry = Str of string | Lst of string list | Hsh of string M.t | Set of unit M.t
+
+  type t = entry M.t ref
+
+  let create () = ref M.empty
+
+  let exec (t : t) (c : Dsig_kv.Store.Command.t) : Dsig_kv.Store.Reply.t =
+    let open Dsig_kv.Store in
+    let wrong = Reply.Error "wrong type" in
+    match c with
+    | Get k -> (
+        match M.find_opt k !t with
+        | Some (Str v) -> Reply.Value v
+        | Some _ -> wrong
+        | None -> Reply.Not_found)
+    | Put (k, v) ->
+        t := M.add k (Str v) !t;
+        Reply.Ok
+    | Del k ->
+        let existed = M.mem k !t in
+        t := M.remove k !t;
+        Reply.Int (if existed then 1 else 0)
+    | Lpush (k, v) | Rpush (k, v) -> (
+        let push l = match c with Lpush _ -> v :: l | _ -> l @ [ v ] in
+        match M.find_opt k !t with
+        | Some (Lst l) ->
+            t := M.add k (Lst (push l)) !t;
+            Reply.Int (List.length l + 1)
+        | Some _ -> wrong
+        | None ->
+            t := M.add k (Lst [ v ]) !t;
+            Reply.Int 1)
+    | Lrange (k, a, b) -> (
+        match M.find_opt k !t with
+        | Some (Lst l) ->
+            let n = List.length l in
+            let norm i = if i < 0 then Stdlib.max 0 (n + i) else Stdlib.min i (n - 1) in
+            let a = norm a and b = norm b in
+            Reply.Values (List.filteri (fun i _ -> i >= a && i <= b) l)
+        | Some _ -> wrong
+        | None -> Reply.Values [])
+    | Hset (k, f, v) -> (
+        match M.find_opt k !t with
+        | Some (Hsh h) ->
+            let fresh = not (M.mem f h) in
+            t := M.add k (Hsh (M.add f v h)) !t;
+            Reply.Int (if fresh then 1 else 0)
+        | Some _ -> wrong
+        | None ->
+            t := M.add k (Hsh (M.singleton f v)) !t;
+            Reply.Int 1)
+    | Hget (k, f) -> (
+        match M.find_opt k !t with
+        | Some (Hsh h) -> (
+            match M.find_opt f h with Some v -> Reply.Value v | None -> Reply.Not_found)
+        | Some _ -> wrong
+        | None -> Reply.Not_found)
+    | Sadd (k, v) -> (
+        match M.find_opt k !t with
+        | Some (Set s) ->
+            let fresh = not (M.mem v s) in
+            t := M.add k (Set (M.add v () s)) !t;
+            Reply.Int (if fresh then 1 else 0)
+        | Some _ -> wrong
+        | None ->
+            t := M.add k (Set (M.singleton v ())) !t;
+            Reply.Int 1)
+    | Srem (k, v) -> (
+        match M.find_opt k !t with
+        | Some (Set s) ->
+            let existed = M.mem v s in
+            t := M.add k (Set (M.remove v s)) !t;
+            Reply.Int (if existed then 1 else 0)
+        | Some _ -> wrong
+        | None -> Reply.Int 0)
+    | Smembers k -> (
+        match M.find_opt k !t with
+        | Some (Set s) -> Reply.Values (List.map fst (M.bindings s))
+        | Some _ -> wrong
+        | None -> Reply.Values [])
+    | Scard k -> (
+        match M.find_opt k !t with
+        | Some (Set s) -> Reply.Int (M.cardinal s)
+        | Some _ -> wrong
+        | None -> Reply.Int 0)
+end
+
+let kv_model_test =
+  let open QCheck in
+  let key = Gen.map (fun i -> Printf.sprintf "k%d" (i mod 6)) Gen.(int_bound 1000) in
+  let value = Gen.map (fun i -> Printf.sprintf "v%d" (i mod 10)) Gen.(int_bound 1000) in
+  let cmd_gen : Dsig_kv.Store.Command.t Gen.t =
+    Gen.(
+      oneof
+        [
+          map (fun k -> Dsig_kv.Store.Command.Get k) key;
+          map2 (fun k v -> Dsig_kv.Store.Command.Put (k, v)) key value;
+          map (fun k -> Dsig_kv.Store.Command.Del k) key;
+          map2 (fun k v -> Dsig_kv.Store.Command.Lpush (k, v)) key value;
+          map2 (fun k v -> Dsig_kv.Store.Command.Rpush (k, v)) key value;
+          map3 (fun k a b -> Dsig_kv.Store.Command.Lrange (k, (a mod 7) - 3, (b mod 7) - 3)) key (int_bound 100) (int_bound 100);
+          map3 (fun k f v -> Dsig_kv.Store.Command.Hset (k, f, v)) key value value;
+          map2 (fun k f -> Dsig_kv.Store.Command.Hget (k, f)) key value;
+          map2 (fun k v -> Dsig_kv.Store.Command.Sadd (k, v)) key value;
+          map2 (fun k v -> Dsig_kv.Store.Command.Srem (k, v)) key value;
+          map (fun k -> Dsig_kv.Store.Command.Smembers k) key;
+          map (fun k -> Dsig_kv.Store.Command.Scard k) key;
+        ])
+  in
+  Test.make ~name:"kv store matches pure-map reference" ~count:150
+    (make ~print:(fun l -> Printf.sprintf "%d cmds" (List.length l))
+       Gen.(list_size (int_range 1 60) cmd_gen))
+    (fun cmds ->
+      let store = Dsig_kv.Store.create () in
+      let model = Ref_kv.create () in
+      List.for_all
+        (fun c -> Dsig_kv.Store.exec store c = Ref_kv.exec model c)
+        cmds)
+
+let suites =
+  [
+    ( "model",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) [ orderbook_model_test; kv_model_test ] );
+  ]

@@ -1,0 +1,162 @@
+(* Additional coverage: Ed25519 batch-verification properties, the
+   host-measured cost calibration, multi-signer interleaving through one
+   verifier, and deployments with verifier groups over the simulated
+   network. *)
+
+open Dsig
+module Sim = Dsig_simnet.Sim
+
+let eddsa_batch_property =
+  QCheck.Test.make ~name:"eddsa batch verification agrees with individual" ~count:10
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (n, salt) ->
+      let module E = Dsig_ed25519.Eddsa in
+      let rng = Dsig_util.Rng.create (Int64.of_int salt) in
+      let entries =
+        List.init n (fun i ->
+            let sk, pk = E.generate rng in
+            let msg = Printf.sprintf "m%d.%d" salt i in
+            (pk, msg, E.sign sk msg))
+      in
+      let all_valid = List.for_all (fun (pk, m, s) -> E.verify pk m s) entries in
+      let batch_ok = E.verify_batch rng entries in
+      (* corrupt a random entry's signature *)
+      let victim = salt mod n in
+      let corrupted =
+        List.mapi
+          (fun i (pk, m, s) ->
+            if i = victim then
+              (pk, m, String.mapi (fun j c -> if j = 33 then Char.chr (Char.code c lxor 4) else c) s)
+            else (pk, m, s))
+          entries
+      in
+      all_valid && batch_ok && not (E.verify_batch rng corrupted))
+
+let test_measured_calibration () =
+  (* quick calibration pass: all fields positive and ordered sensibly *)
+  let module CM = Dsig_costmodel.Costmodel in
+  let m = CM.measure ~iters:20 () in
+  Alcotest.(check bool) "hash positive" true (m.CM.hash_us > 0.0);
+  Alcotest.(check bool) "eddsa verify > sign" true (m.CM.eddsa_verify_us > m.CM.eddsa_sign_us);
+  Alcotest.(check bool) "eddsa dwarfs hashing" true (m.CM.eddsa_sign_us > 50.0 *. m.CM.hash_us);
+  let cfg = Config.default in
+  Alcotest.(check bool) "dsig verify beats eddsa on host" true
+    (CM.dsig_verify_fast_us m cfg ~msg_bytes:8 < m.CM.eddsa_verify_us);
+  Alcotest.(check bool) "sign beats verify" true
+    (CM.dsig_sign_us m cfg ~msg_bytes:8 < CM.dsig_verify_fast_us m cfg ~msg_bytes:8)
+
+let test_multi_signer_soak () =
+  (* four signers interleave 30 signatures each through one verifier
+     with a small cache: everything verifies, and the stats add up *)
+  let cfg = Config.make ~batch_size:8 ~queue_threshold:8 ~cache_batches:3 (Config.wots ~d:4) in
+  let sys = System.create cfg ~n:5 () in
+  let verifier = System.verifier sys 4 in
+  let total = ref 0 and fast = ref 0 in
+  for round = 1 to 30 do
+    for signer = 0 to 3 do
+      let msg = Printf.sprintf "soak %d from %d" round signer in
+      let s = System.sign sys ~signer ~hint:[ 4 ] msg in
+      let before = (Verifier.stats verifier).Verifier.fast in
+      Alcotest.(check bool) "verifies" true (System.verify sys ~verifier:4 ~msg s);
+      incr total;
+      if (Verifier.stats verifier).Verifier.fast > before then incr fast
+    done
+  done;
+  let st = Verifier.stats verifier in
+  Alcotest.(check int) "all verified" 120 !total;
+  Alcotest.(check int) "fast + slow = total" 120 (st.Verifier.fast + st.Verifier.slow);
+  (* per-signer caches are independent: all four signers' latest batches
+     stay cached despite the cap *)
+  for signer = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "signer %d cached" signer)
+      true
+      (Verifier.cached_batches verifier ~signer >= 1)
+  done
+
+let test_deploy_with_groups () =
+  (* verifier groups over the simulated network: announcements for the
+     {1} group go only to node 1 *)
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:4 (Config.wots ~d:4) in
+  let sim = Sim.create () in
+  let deploy =
+    Dsig_deploy.Deploy.create ~groups:(fun i -> if i = 0 then [ [ 1 ] ] else []) sim cfg ~n:3 ()
+  in
+  Sim.run ~until:5_000.0 sim;
+  let msg = "grouped deploy" in
+  let s = Dsig_deploy.Deploy.sign deploy ~signer:0 ~hint:[ 1 ] msg in
+  Sim.run ~until:6_000.0 sim;
+  Alcotest.(check bool) "v1 verifies" true (Dsig_deploy.Deploy.verify deploy ~verifier:1 ~msg s);
+  Alcotest.(check bool) "v1 fast" true
+    ((Verifier.stats (Dsig_deploy.Deploy.verifier deploy 1)).Verifier.fast >= 1);
+  (* node 2 never saw that group's announcements: slow path *)
+  Alcotest.(check bool) "v2 verifies slow" true
+    (Dsig_deploy.Deploy.verify deploy ~verifier:2 ~msg s);
+  Alcotest.(check int) "v2 slow" 1 (Verifier.stats (Dsig_deploy.Deploy.verifier deploy 2)).Verifier.slow
+
+let test_deploy_merklified_full_keys () =
+  (* merklified HORS pushes full public keys through the network; the
+     verifier precomputes forests and serves the comparison fast path *)
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:4 (Config.hors_merklified ~k:32 ()) in
+  let sim = Sim.create () in
+  let deploy = Dsig_deploy.Deploy.create sim cfg ~n:2 () in
+  Sim.run ~until:20_000.0 sim;
+  let msg = "forest over the wire" in
+  let s = Dsig_deploy.Deploy.sign deploy ~signer:0 ~hint:[ 1 ] msg in
+  Alcotest.(check bool) "verifies" true (Dsig_deploy.Deploy.verify deploy ~verifier:1 ~msg s);
+  Alcotest.(check int) "fast (forest comparisons)" 1
+    (Verifier.stats (Dsig_deploy.Deploy.verifier deploy 1)).Verifier.fast;
+  (* the announcement really was the big full-key variant *)
+  Alcotest.(check bool) "announcement is heavy" true (Batch.announcement_wire_bytes cfg > 4 * 8192)
+
+let test_announcement_replay_idempotent () =
+  let cfg = Config.make ~batch_size:8 ~queue_threshold:8 (Config.wots ~d:4) in
+  let rng = Dsig_util.Rng.create 13L in
+  let pki = Pki.create () in
+  let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+  Pki.register pki ~id:0 pk;
+  let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~verifiers:[ 1 ] () in
+  ignore (Signer.background_step signer);
+  let _, ann = List.hd (Signer.drain_outbox signer) in
+  let v = Verifier.create cfg ~id:1 ~pki () in
+  Alcotest.(check bool) "first" true (Verifier.deliver v ann);
+  Alcotest.(check bool) "replay accepted (idempotent)" true (Verifier.deliver v ann);
+  Alcotest.(check int) "cached once" 1 (Verifier.cached_batches v ~signer:0);
+  (* and a replayed announcement cannot evict anything *)
+  Alcotest.(check int) "still one" 1 (Verifier.cached_batches v ~signer:0)
+
+let test_distinct_identities () =
+  (* parties of one System share a master seed but derive distinct
+     EdDSA identities and one-time keys *)
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:4 (Config.wots ~d:4) in
+  let sys = System.create ~seed:55L cfg ~n:4 () in
+  let sigs = List.init 4 (fun i -> System.sign sys ~signer:i "same message") in
+  Alcotest.(check int) "four distinct signatures" 4
+    (List.length (List.sort_uniq compare sigs));
+  (* each verifies only under its own signer's identity: swapping the
+     signer-id header byte breaks verification *)
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool) (Printf.sprintf "sig %d ok" i) true
+        (System.verify sys ~verifier:3 ~msg:"same message" s);
+      let other = (i + 1) mod 4 in
+      let spoofed =
+        String.mapi (fun j c -> if j = 4 then Char.chr other else c) s
+      in
+      Alcotest.(check bool) (Printf.sprintf "sig %d spoofed id" i) false
+        (System.verify sys ~verifier:3 ~msg:"same message" spoofed))
+    sigs
+
+let suites =
+  [
+    ( "more",
+      [
+        QCheck_alcotest.to_alcotest ~long:false eddsa_batch_property;
+        Alcotest.test_case "measured calibration" `Slow test_measured_calibration;
+        Alcotest.test_case "multi-signer soak" `Slow test_multi_signer_soak;
+        Alcotest.test_case "deploy with groups" `Quick test_deploy_with_groups;
+        Alcotest.test_case "deploy merklified full keys" `Quick test_deploy_merklified_full_keys;
+        Alcotest.test_case "announcement replay idempotent" `Quick test_announcement_replay_idempotent;
+        Alcotest.test_case "distinct identities" `Quick test_distinct_identities;
+      ] );
+  ]

@@ -1,0 +1,264 @@
+open Dsig_simnet
+
+let feq = Alcotest.(check (float 1e-6))
+
+let test_sleep_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag = log := (tag, Sim.now sim) :: !log in
+  Sim.spawn sim (fun () ->
+      Sim.sleep 5.0;
+      note "a5";
+      Sim.sleep 10.0;
+      note "a15");
+  Sim.spawn sim (fun () ->
+      Sim.sleep 7.0;
+      note "b7");
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "timeline"
+    [ ("a5", 5.0); ("b7", 7.0); ("a15", 15.0) ]
+    (List.rev !log)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 100 do
+        Sim.sleep 1.0;
+        incr hits
+      done);
+  Sim.run ~until:10.5 sim;
+  Alcotest.(check int) "ten ticks" 10 !hits;
+  feq "clock at limit" 10.5 (Sim.now sim)
+
+let test_channel () =
+  let sim = Sim.create () in
+  let ch = Channel.create sim in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        let v = Channel.recv ch in
+        got := (v, Sim.now sim) :: !got
+      done);
+  Sim.spawn sim (fun () ->
+      Sim.sleep 2.0;
+      Channel.send ch "x";
+      Channel.send ch "y";
+      Sim.sleep 3.0;
+      Channel.send ch "z");
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "recv order and times"
+    [ ("x", 2.0); ("y", 2.0); ("z", 5.0) ]
+    (List.rev !got)
+
+let test_channel_multiple_waiters () =
+  let sim = Sim.create () in
+  let ch = Channel.create sim in
+  let served = ref 0 in
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        ignore (Channel.recv ch);
+        incr served)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.sleep 1.0;
+      Channel.send ch 1;
+      Channel.send ch 2);
+  Sim.run sim;
+  Alcotest.(check int) "two served, one still blocked" 2 !served
+
+let test_resource_fifo () =
+  let sim = Sim.create () in
+  let r = Resource.create sim in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Resource.use r 10.0;
+        finish := (i, Sim.now sim) :: !finish)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "serialized" [ (1, 10.0); (2, 20.0); (3, 30.0) ] (List.rev !finish)
+
+let test_resource_utilization () =
+  let sim = Sim.create () in
+  let r = Resource.create sim in
+  Sim.spawn sim (fun () ->
+      Resource.use r 25.0;
+      Sim.sleep 75.0);
+  Sim.run sim;
+  feq "25% busy" 0.25 (Resource.utilization r)
+
+let test_net_latency () =
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 ~latency_us:1.0 ~per_byte_us:0.001 ~bandwidth_gbps:8.0 () in
+  (* 1000 B at 8 Gbps: tx 1 µs, propagation 1 + 1 µs, rx 1 µs = 4 µs *)
+  let arrival = ref 0.0 in
+  Sim.spawn sim (fun () -> Net.send net ~src:0 ~dst:1 ~bytes:1000 "ping");
+  Sim.spawn sim (fun () ->
+      let src, bytes, payload = Net.recv net ~node:1 in
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check int) "bytes" 1000 bytes;
+      Alcotest.(check string) "payload" "ping" payload;
+      arrival := Sim.now sim);
+  Sim.run sim;
+  feq "end-to-end" 4.0 !arrival
+
+let test_net_sender_saturation () =
+  (* one-to-many pattern: a single sender's tx NIC bounds throughput *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:3 ~latency_us:0.5 ~per_byte_us:0.0 ~bandwidth_gbps:10.0 () in
+  let received = ref 0 in
+  Sim.spawn sim (fun () ->
+      for i = 0 to 99 do
+        Net.send net ~src:0 ~dst:(1 + (i mod 2)) ~bytes:1250 "m"
+        (* 1250 B at 10 Gbps = 1 µs serialization each *)
+      done);
+  for node = 1 to 2 do
+    Sim.spawn sim (fun () ->
+        while true do
+          ignore (Net.recv net ~node);
+          incr received
+        done)
+  done;
+  Sim.run ~until:50.9 sim;
+  (* sender serializes 1 msg/µs; by t=50.9 roughly 49 delivered *)
+  Alcotest.(check bool) "throughput capped by sender"
+    true
+    (!received >= 45 && !received <= 52)
+
+let test_faults () =
+  (* drop everything *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~drop:1.0 ~seed:1L ();
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        Net.send net ~src:0 ~dst:1 ~bytes:10 "m"
+      done);
+  Sim.spawn sim (fun () ->
+      while true do
+        ignore (Net.recv net ~node:1);
+        incr got
+      done);
+  Sim.run ~until:1000.0 sim;
+  Alcotest.(check int) "all dropped" 0 !got;
+  (* duplicate everything *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~duplicate:1.0 ~seed:2L ();
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        Net.send net ~src:0 ~dst:1 ~bytes:10 "m"
+      done);
+  Sim.spawn sim (fun () ->
+      while true do
+        ignore (Net.recv net ~node:1);
+        incr got
+      done);
+  Sim.run ~until:1000.0 sim;
+  Alcotest.(check int) "all duplicated" 20 !got;
+  (* inject bypasses faults *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:1 () in
+  Net.set_faults net ~drop:1.0 ~seed:3L ();
+  Net.inject net ~node:0 ~src:0 "timer";
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      ignore (Net.recv net ~node:0);
+      incr got);
+  Sim.run sim;
+  Alcotest.(check int) "inject delivered" 1 !got
+
+let test_partial_loss_rate () =
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~drop:0.3 ~seed:42L ();
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 1000 do
+        Net.send net ~src:0 ~dst:1 ~bytes:10 "m"
+      done);
+  Sim.spawn sim (fun () ->
+      while true do
+        ignore (Net.recv net ~node:1);
+        incr got
+      done);
+  Sim.run ~until:100_000.0 sim;
+  Alcotest.(check bool) "~70% delivered" true (!got > 620 && !got < 780)
+
+let test_stats () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  feq "p50" 50.0 (Stats.percentile s 50.0);
+  feq "p90" 90.0 (Stats.percentile s 90.0);
+  feq "p10" 10.0 (Stats.percentile s 10.0);
+  feq "mean" 50.5 (Stats.mean s);
+  Alcotest.(check int) "count" 100 (Stats.count s);
+  let cdf = Stats.cdf ~points:4 s in
+  Alcotest.(check int) "cdf points" 4 (List.length cdf)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"resource serializes any arrival pattern" ~count:50
+      (list_of_size (Gen.int_range 1 20) (pair (float_range 0.0 50.0) (float_range 0.1 10.0)))
+      (fun jobs ->
+        let sim = Sim.create () in
+        let r = Resource.create sim in
+        let total = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 jobs in
+        let last_finish = ref 0.0 in
+        List.iter
+          (fun (start, dur) ->
+            Sim.schedule sim ~delay:start (fun () ->
+                Sim.spawn sim (fun () ->
+                    Resource.use r dur;
+                    last_finish := Float.max !last_finish (Sim.now sim))))
+          jobs;
+        Sim.run sim;
+        (* the resource can never finish earlier than total work *)
+        !last_finish >= total -. 1e-9);
+    Test.make ~name:"channel conserves messages" ~count:50
+      (int_range 1 50)
+      (fun n ->
+        let sim = Sim.create () in
+        let ch = Channel.create sim in
+        let got = ref 0 in
+        Sim.spawn sim (fun () ->
+            for _ = 1 to n do
+              ignore (Channel.recv ch);
+              incr got
+            done);
+        Sim.spawn sim (fun () ->
+            for _ = 1 to n do
+              Sim.sleep 0.1;
+              Channel.send ch ()
+            done);
+        Sim.run sim;
+        !got = n);
+  ]
+
+let suites =
+  [
+    ( "simnet",
+      [
+        Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "channel" `Quick test_channel;
+        Alcotest.test_case "channel waiters" `Quick test_channel_multiple_waiters;
+        Alcotest.test_case "resource fifo" `Quick test_resource_fifo;
+        Alcotest.test_case "resource utilization" `Quick test_resource_utilization;
+        Alcotest.test_case "net latency" `Quick test_net_latency;
+        Alcotest.test_case "net saturation" `Quick test_net_sender_saturation;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "fault injection" `Quick test_faults;
+        Alcotest.test_case "partial loss rate" `Quick test_partial_loss_rate;
+      ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests );
+  ]

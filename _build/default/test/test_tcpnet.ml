@@ -1,0 +1,141 @@
+(* Announcement serialization and the real TCP transport. *)
+
+open Dsig
+
+let cfg = Config.make ~batch_size:8 ~queue_threshold:8 (Config.wots ~d:4)
+
+let make_announcement ?(reduce_bw = true) () =
+  let cfg =
+    Config.make ~batch_size:8 ~queue_threshold:8 ~reduce_bg_bandwidth:reduce_bw (Config.wots ~d:4)
+  in
+  let rng = Dsig_util.Rng.create 3L in
+  let sk, _ = Dsig_ed25519.Eddsa.generate rng in
+  let batch = Batch.make cfg ~signer_id:5 ~batch_id:42L ~eddsa:sk ~rng in
+  Batch.announcement cfg batch
+
+let ann_equal (a : Batch.announcement) (b : Batch.announcement) =
+  a.Batch.signer_id = b.Batch.signer_id
+  && a.Batch.ann_batch_id = b.Batch.ann_batch_id
+  && a.Batch.root_sig = b.Batch.root_sig
+  && a.Batch.ann_leaves = b.Batch.ann_leaves
+  && a.Batch.full_keys = b.Batch.full_keys
+
+let test_announcement_codec () =
+  List.iter
+    (fun reduce_bw ->
+      let ann = make_announcement ~reduce_bw () in
+      let encoded = Batch.encode_announcement ann in
+      match Batch.decode_announcement encoded with
+      | Error e -> Alcotest.fail e
+      | Ok ann' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip (reduce_bw=%b)" reduce_bw)
+            true (ann_equal ann ann'))
+    [ true; false ];
+  (* decoder rejects malformed input without raising *)
+  let encoded = Batch.encode_announcement (make_announcement ()) in
+  List.iter
+    (fun s ->
+      match Batch.decode_announcement s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed accepted")
+    [
+      ""; "X"; String.sub encoded 0 40; encoded ^ "junk";
+      "A" ^ String.make 100 '\xff';
+    ]
+
+let test_message_codec () =
+  let open Dsig_tcpnet.Tcpnet in
+  let m1 = Signed { msg = "hello \x00 world"; signature = String.make 100 's' } in
+  (match decode_message (encode_message m1) with
+  | Ok (Signed { msg; signature }) ->
+      Alcotest.(check string) "msg" "hello \x00 world" msg;
+      Alcotest.(check int) "sig len" 100 (String.length signature)
+  | _ -> Alcotest.fail "signed roundtrip");
+  let m2 = Announcement (make_announcement ()) in
+  (match decode_message (encode_message m2) with
+  | Ok (Announcement _) -> ()
+  | _ -> Alcotest.fail "announcement roundtrip");
+  match decode_message "Zgarbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad tag accepted"
+
+let test_tcp_roundtrip () =
+  (* a complete DSig flow over real sockets: announcements then signed
+     messages, verified by a service thread *)
+  let rng = Dsig_util.Rng.create 9L in
+  let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+  let pki = Pki.create () in
+  Pki.register pki ~id:0 pk;
+  let verifier = Verifier.create cfg ~id:1 ~pki () in
+  let mu = Mutex.create () in
+  let verified = ref 0 and rejected = ref 0 in
+  let server =
+    Dsig_tcpnet.Tcpnet.listen ~port:0 ~on_message:(fun m ->
+        Mutex.lock mu;
+        (match m with
+        | Dsig_tcpnet.Tcpnet.Announcement a -> ignore (Verifier.deliver verifier a)
+        | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
+            if Verifier.verify verifier ~msg signature then incr verified else incr rejected);
+        Mutex.unlock mu)
+  in
+  Fun.protect
+    ~finally:(fun () -> Dsig_tcpnet.Tcpnet.stop server)
+    (fun () ->
+      let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~verifiers:[ 1 ] () in
+      Signer.background_fill signer;
+      let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) in
+      List.iter
+        (fun (_, a) -> Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Announcement a))
+        (Signer.drain_outbox signer);
+      for i = 1 to 5 do
+        let msg = Printf.sprintf "sock-%d" i in
+        Dsig_tcpnet.Tcpnet.send conn
+          (Dsig_tcpnet.Tcpnet.Signed { msg; signature = Signer.sign signer msg })
+      done;
+      Dsig_tcpnet.Tcpnet.send conn
+        (Dsig_tcpnet.Tcpnet.Signed { msg = "evil"; signature = Signer.sign signer "good" });
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let drained () =
+        Mutex.lock mu;
+        let d = !verified + !rejected >= 6 in
+        Mutex.unlock mu;
+        d
+      in
+      while (not (drained ())) && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      Dsig_tcpnet.Tcpnet.close conn;
+      Mutex.lock mu;
+      Alcotest.(check int) "verified" 5 !verified;
+      Alcotest.(check int) "rejected" 1 !rejected;
+      let st = Verifier.stats verifier in
+      Alcotest.(check int) "all fast" 5 st.Verifier.fast;
+      Mutex.unlock mu)
+
+let codec_fuzz =
+  let open QCheck in
+  [
+    Test.make ~name:"message decode never crashes" ~count:300 (string_of_size Gen.(0 -- 400))
+      (fun junk -> match Dsig_tcpnet.Tcpnet.decode_message junk with Ok _ | Error _ -> true);
+    Test.make ~name:"signed roundtrip arbitrary payloads" ~count:150
+      (pair (string_of_size Gen.(0 -- 200)) (string_of_size Gen.(0 -- 200)))
+      (fun (msg, signature) ->
+        match
+          Dsig_tcpnet.Tcpnet.decode_message
+            (Dsig_tcpnet.Tcpnet.encode_message (Dsig_tcpnet.Tcpnet.Signed { msg; signature }))
+        with
+        | Ok (Dsig_tcpnet.Tcpnet.Signed { msg = m; signature = s }) -> m = msg && s = signature
+        | _ -> false);
+  ]
+
+let suites =
+  [
+    ( "tcpnet",
+      [
+        Alcotest.test_case "announcement codec" `Quick test_announcement_codec;
+        Alcotest.test_case "message codec" `Quick test_message_codec;
+        Alcotest.test_case "socket roundtrip" `Quick test_tcp_roundtrip;
+      ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false) codec_fuzz );
+  ]

@@ -1,0 +1,80 @@
+open Dsig_util
+
+let check_str = Alcotest.(check string)
+
+let test_hex_roundtrip () =
+  check_str "roundtrip" "deadbeef" (Bytesutil.to_hex (Bytesutil.of_hex "deadbeef"));
+  check_str "uppercase accepted" "\xde\xad" (Bytesutil.of_hex "DEAD");
+  check_str "empty" "" (Bytesutil.of_hex "");
+  Alcotest.check_raises "odd length" (Invalid_argument "Bytesutil.of_hex: odd length")
+    (fun () -> ignore (Bytesutil.of_hex "abc"))
+
+let test_xor () =
+  check_str "xor" "\x00\xff" (Bytesutil.xor "\xaa\x55" "\xaa\xaa");
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bytesutil.xor: length mismatch")
+    (fun () -> ignore (Bytesutil.xor "a" "ab"))
+
+let test_equal_ct () =
+  Alcotest.(check bool) "equal" true (Bytesutil.equal_ct "abc" "abc");
+  Alcotest.(check bool) "diff" false (Bytesutil.equal_ct "abc" "abd");
+  Alcotest.(check bool) "len" false (Bytesutil.equal_ct "abc" "abcd")
+
+let test_endian () =
+  check_str "u32" "\x78\x56\x34\x12" (Bytesutil.u32_le 0x12345678l);
+  Alcotest.(check int32) "u32 rt" 0x12345678l (Bytesutil.get_u32_le (Bytesutil.u32_le 0x12345678l) 0);
+  Alcotest.(check int64) "u64 rt" 0x1122334455667788L
+    (Bytesutil.get_u64_le (Bytesutil.u64_le 0x1122334455667788L) 0);
+  Alcotest.(check int) "u16 rt" 0xbeef (Bytesutil.get_u16_be (Bytesutil.u16_be 0xbeef) 0)
+
+let test_chunks () =
+  Alcotest.(check (list string)) "even" [ "ab"; "cd" ] (Bytesutil.chunks 2 "abcd");
+  Alcotest.(check (list string)) "ragged" [ "abc"; "d" ] (Bytesutil.chunks 3 "abcd");
+  Alcotest.(check (list string)) "empty" [] (Bytesutil.chunks 4 "")
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_u64 a) (Rng.next_u64 b)
+  done
+
+let test_rng_bytes_len () =
+  let r = Rng.create 7L in
+  List.iter (fun n -> Alcotest.(check int) "len" n (String.length (Rng.bytes r n))) [ 0; 1; 7; 8; 9; 33 ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"hex roundtrip" ~count:200 (string_of_size Gen.(0 -- 64))
+      (fun s -> Bytesutil.of_hex (Bytesutil.to_hex s) = s);
+    Test.make ~name:"xor involution" ~count:200
+      (pair (string_of_size (Gen.return 16)) (string_of_size (Gen.return 16)))
+      (fun (a, b) -> Bytesutil.xor (Bytesutil.xor a b) b = a);
+    Test.make ~name:"equal_ct agrees with (=)" ~count:500
+      (pair (string_of_size Gen.(0 -- 8)) (string_of_size Gen.(0 -- 8)))
+      (fun (a, b) -> Bytesutil.equal_ct a b = (a = b));
+    Test.make ~name:"chunks concat" ~count:200
+      (pair (int_range 1 9) (string_of_size Gen.(0 -- 64)))
+      (fun (n, s) -> String.concat "" (Bytesutil.chunks n s) = s);
+    Test.make ~name:"rng int in range" ~count:500 (int_range 1 1000) (fun bound ->
+        let r = Rng.create (Int64.of_int bound) in
+        let x = Rng.int r bound in
+        0 <= x && x < bound);
+    Test.make ~name:"rng exponential positive" ~count:100 (int_range 1 100) (fun m ->
+        let r = Rng.create (Int64.of_int m) in
+        Rng.exponential r ~mean:(float_of_int m) >= 0.0);
+  ]
+
+let suites =
+  [
+    ( "util",
+      [
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "xor" `Quick test_xor;
+        Alcotest.test_case "equal_ct" `Quick test_equal_ct;
+        Alcotest.test_case "endian" `Quick test_endian;
+        Alcotest.test_case "chunks" `Quick test_chunks;
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng bytes length" `Quick test_rng_bytes_len;
+      ]
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests );
+  ]
