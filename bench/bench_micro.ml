@@ -41,6 +41,25 @@ let tests () =
             incr c;
             Dsig_hbss.Wots.generate p4
               ~seed:(H.Blake3.digest (string_of_int !c))));
+    (* telemetry overhead: a hot-path Histogram.add against the
+       allocating Stats.add it would replace. The recorder is recycled
+       periodically so the growing sample array never dominates RSS
+       during the timing loop. *)
+    Test.make ~name:"telemetry-histogram-add"
+      (Staged.stage
+         (let h = Dsig_telemetry.Metric.Histogram.create () in
+          let c = ref 0 in
+          fun () ->
+            incr c;
+            Dsig_telemetry.Metric.Histogram.add h (float_of_int (!c land 0xFFF))));
+    Test.make ~name:"stats-add"
+      (Staged.stage
+         (let st = ref (Dsig_simnet.Stats.create ()) in
+          let c = ref 0 in
+          fun () ->
+            incr c;
+            if !c land 0xFFFFF = 0 then st := Dsig_simnet.Stats.create ();
+            Dsig_simnet.Stats.add !st (float_of_int (!c land 0xFFF))));
   ]
 
 let run () =

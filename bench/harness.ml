@@ -55,21 +55,36 @@ let csv_escape cell =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
   else cell
 
+(* Telemetry snapshot mirroring: next to every CSV, drop the default
+   registry's snapshot as <base>-telemetry.json so the per-phase
+   counters and histograms the harness populated while producing that
+   table (batch generation, sign/verify paths, ...) can be inspected
+   offline alongside the results. *)
+let write_telemetry_snapshot dir base =
+  let tel = Dsig_telemetry.Telemetry.default in
+  let js =
+    Dsig_telemetry.Export.json ~tracer:tel.Dsig_telemetry.Telemetry.tracer
+      (Dsig_telemetry.Telemetry.snapshot tel)
+  in
+  let oc = open_out (Filename.concat dir (base ^ "-telemetry.json")) in
+  output_string oc (js ^ "\n");
+  close_out oc
+
 let write_csv ~header rows =
   match !csv_dir with
   | None -> ()
   | Some dir ->
       let n = Option.value ~default:0 (Hashtbl.find_opt slug_counter !current_slug) in
       Hashtbl.replace slug_counter !current_slug (n + 1);
-      let name =
-        if n = 0 then Printf.sprintf "%s.csv" !current_slug
-        else Printf.sprintf "%s-%d.csv" !current_slug n
+      let base =
+        if n = 0 then !current_slug else Printf.sprintf "%s-%d" !current_slug n
       in
-      let oc = open_out (Filename.concat dir name) in
+      let oc = open_out (Filename.concat dir (base ^ ".csv")) in
       List.iter
         (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
         (header :: rows);
-      close_out oc
+      close_out oc;
+      write_telemetry_snapshot dir base
 
 (* column-aligned table printing *)
 let print_table ~header rows =

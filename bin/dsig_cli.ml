@@ -215,6 +215,60 @@ let log_audit_cmd =
     (Cmd.info "log-audit" ~doc:"Third-party audit of a durable signed log.")
     Term.(const log_audit $ log_arg $ signer_pks_arg $ d_arg $ batch_arg)
 
+(* --- stats --- *)
+
+(* Run a self-contained sign/verify workload on a fresh telemetry
+   bundle and print the resulting snapshot. Demonstrates the full
+   metrics plane: the signer's background refills, the verifier's
+   fast/slow path split (announcements are delivered between batches,
+   so early signatures verify slow and later ones fast), and the span
+   tracer under --trace. *)
+let stats ops fmt trace d batch =
+  let module Tel = Dsig_telemetry.Telemetry in
+  let tel = Tel.create () in
+  if trace then Dsig_telemetry.Tracer.enable tel.Tel.tracer;
+  let cfg = config_of ~d ~batch in
+  let rng = Dsig_util.Rng.create 11L in
+  let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+  let pki = Dsig.Pki.create () in
+  Dsig.Pki.register pki ~id:0 pk;
+  let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~telemetry:tel ~verifiers:[ 1 ] () in
+  let verifier = Dsig.Verifier.create cfg ~id:1 ~pki ~telemetry:tel () in
+  Dsig.Signer.background_fill signer;
+  for i = 1 to ops do
+    List.iter
+      (fun (_, a) -> ignore (Dsig.Verifier.deliver verifier a))
+      (Dsig.Signer.drain_outbox signer);
+    let msg = Printf.sprintf "stats workload #%d" i in
+    let signature = Dsig.Signer.sign signer msg in
+    if not (Dsig.Verifier.verify verifier ~msg signature) then
+      failwith "stats workload: signature unexpectedly rejected";
+    if i mod (batch / 2) = 0 then Dsig.Signer.background_fill signer
+  done;
+  let snap = Tel.snapshot tel in
+  (match fmt with
+  | `Human -> print_string (Dsig_telemetry.Export.summary snap)
+  | `Json -> print_endline (Dsig_telemetry.Export.json ~tracer:tel.Tel.tracer snap)
+  | `Prometheus -> print_string (Dsig_telemetry.Export.prometheus snap));
+  0
+
+let ops_arg =
+  Arg.(value & opt int 200 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Number of sign+verify operations to run.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json); ("prometheus", `Prometheus) ]) `Human
+    & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"Output format: $(b,human), $(b,json) or $(b,prometheus).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Enable the span tracer (shown in json output).")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run a sign/verify workload and print its telemetry snapshot.")
+    Term.(const stats $ ops_arg $ format_arg $ trace_arg $ d_arg $ batch_arg)
+
 (* --- analyze --- *)
 
 let analyze () =
@@ -236,6 +290,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "dsig" ~version:"1.0.0"
        ~doc:"DSig: microsecond-scale hybrid digital signatures (OSDI 2024 reproduction).")
-    [ keygen_cmd; sign_cmd; verify_cmd; inspect_cmd; analyze_cmd; log_sign_cmd; log_audit_cmd ]
+    [ keygen_cmd; sign_cmd; verify_cmd; inspect_cmd; analyze_cmd; stats_cmd; log_sign_cmd; log_audit_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

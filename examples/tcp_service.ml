@@ -30,13 +30,14 @@ let () =
         | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
             if Verifier.verify verifier ~msg signature then incr verified else incr rejected);
         Mutex.unlock mu)
+      ()
   in
   Printf.printf "verifier service listening on 127.0.0.1:%d\n"
     (Dsig_tcpnet.Tcpnet.port server);
 
   (* signer: foreground here, background plane on its own domain *)
   let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L () in
-  let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) in
+  let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) () in
 
   let n = 40 in
   for i = 1 to n do

@@ -1,6 +1,8 @@
 open Dsig_simnet
 module Eddsa = Dsig_ed25519.Eddsa
 module Rng = Dsig_util.Rng
+module Tel = Dsig_telemetry.Telemetry
+module Metric = Dsig_telemetry.Metric
 
 type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
 
@@ -12,18 +14,25 @@ type t = {
   mutable delivered : int;
 }
 
-let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(seed = 97L) sim cfg
-    ~n () =
+let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(seed = 97L)
+    ?(telemetry = Tel.default) sim cfg ~n () =
   let pki = Dsig.Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
   Array.iteri (fun id (_, pk) -> Dsig.Pki.register pki ~id pk) keys;
-  let net : Dsig.Batch.announcement Net.t = Net.create sim ~nodes:n ~latency_us () in
+  (* payload carries the virtual send time so delivery can record the
+     announcement's time on the (modeled) wire *)
+  let net : (float * Dsig.Batch.announcement) Net.t = Net.create sim ~nodes:n ~latency_us () in
   let ann_bytes = Dsig.Batch.announcement_wire_bytes cfg in
+  let c_sent = Tel.counter telemetry "dsig_deploy_announcements_sent_total" in
+  let c_delivered = Tel.counter telemetry "dsig_deploy_announcements_delivered_total" in
+  let c_dropped = Tel.counter telemetry "dsig_deploy_announcements_rejected_total" in
+  let h_net = Tel.histogram telemetry "dsig_deploy_announce_net_us" in
   let t_ref = ref None in
   let send_of id ~dest ann =
     (match !t_ref with Some t -> t.sent <- t.sent + 1 | None -> ());
-    Net.send_async net ~src:id ~dst:dest ~bytes:ann_bytes ann
+    Metric.Counter.incr c_sent;
+    Net.send_async net ~src:id ~dst:dest ~bytes:ann_bytes (Sim.now sim, ann)
   in
   let all = List.init n Fun.id in
   let parties =
@@ -32,8 +41,8 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(see
         {
           signer =
             Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
-              ~groups:(groups id) ~verifiers:all ();
-          verifier = Dsig.Verifier.create cfg ~id ~pki ();
+              ~groups:(groups id) ~telemetry ~verifiers:all ();
+          verifier = Dsig.Verifier.create cfg ~id ~pki ~telemetry ();
         })
   in
   let t = { cfg; parties; pki; sent = 0; delivered = 0 } in
@@ -50,8 +59,18 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(see
       (* announcement receiver: the verifier's background plane *)
       Sim.spawn sim (fun () ->
           while true do
-            let _src, _bytes, ann = Net.recv net ~node:id in
-            if Dsig.Verifier.deliver p.verifier ann then t.delivered <- t.delivered + 1
+            let _src, _bytes, (sent_at, ann) = Net.recv net ~node:id in
+            (* virtual time spent on the modeled wire; the in-delivery
+               processing span (announce_delivery) is recorded by the
+               verifier itself, in virtual time too when [telemetry] was
+               created with [~clock:(fun () -> Sim.now sim)] *)
+            Metric.Histogram.add h_net (Sim.now sim -. sent_at);
+            let ok = Dsig.Verifier.deliver p.verifier ann in
+            if ok then begin
+              t.delivered <- t.delivered + 1;
+              Metric.Counter.incr c_delivered
+            end
+            else Metric.Counter.incr c_dropped
           done))
     parties;
   t

@@ -17,6 +17,7 @@ val create :
   ?bg_poll_us:float ->
   ?groups:(int -> int list list) ->
   ?seed:int64 ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -25,7 +26,15 @@ val create :
 (** Starts [n] parties on [sim]. [bg_poll_us] (default 5.0) is how often
     each signer's background plane checks its queues (one batch per
     step, as in Algorithm 1). Announcements incur network latency plus
-    serialization of their modeled size. *)
+    serialization of their modeled size.
+
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) is shared
+    by every party's signer and verifier, and additionally receives
+    [dsig_deploy_announcements_{sent,delivered,rejected}_total] counters
+    and the [dsig_deploy_announce_net_us] histogram of virtual time
+    announcements spend on the modeled wire. Pass a bundle created with
+    [~clock:(fun () -> Sim.now sim)] to timestamp tracer spans in
+    virtual time. *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t

@@ -1,4 +1,28 @@
 module BU = Dsig_util.Bytesutil
+module Tel = Dsig_telemetry.Telemetry
+module Metric = Dsig_telemetry.Metric
+
+(* Transport metrics. Reader threads share one domain, so concurrent
+   counter increments may occasionally lose an update under systhread
+   preemption — acceptable for telemetry, never unsafe. *)
+type net_tel = {
+  c_frames_in : Metric.Counter.t;
+  c_frames_out : Metric.Counter.t;
+  c_bytes_in : Metric.Counter.t;
+  c_bytes_out : Metric.Counter.t;
+  c_decode_errors : Metric.Counter.t;
+  h_frame : Metric.Histogram.t;
+}
+
+let net_tel_of telemetry =
+  {
+    c_frames_in = Tel.counter telemetry "dsig_tcpnet_frames_received_total";
+    c_frames_out = Tel.counter telemetry "dsig_tcpnet_frames_sent_total";
+    c_bytes_in = Tel.counter telemetry "dsig_tcpnet_bytes_received_total";
+    c_bytes_out = Tel.counter telemetry "dsig_tcpnet_bytes_sent_total";
+    c_decode_errors = Tel.counter telemetry "dsig_tcpnet_decode_errors_total";
+    h_frame = Tel.histogram telemetry "dsig_tcpnet_frame_bytes";
+  }
 
 type message =
   | Announcement of Dsig.Batch.announcement
@@ -72,7 +96,8 @@ type server = {
   mutable accept_thread : Thread.t option;
 }
 
-let listen ~port ~on_message =
+let listen ?(telemetry = Tel.default) ~port ~on_message () =
+  let tel = net_tel_of telemetry in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -98,9 +123,14 @@ let listen ~port ~on_message =
                  try
                    while not t.stopping do
                      let frame = read_frame peer in
+                     Metric.Counter.incr tel.c_frames_in;
+                     Metric.Counter.incr ~by:(4 + String.length frame) tel.c_bytes_in;
+                     Metric.Histogram.add tel.h_frame (float_of_int (String.length frame));
                      match decode_message frame with
                      | Ok m -> on_message m
-                     | Error _ -> () (* drop malformed frames *)
+                     | Error _ ->
+                         (* drop malformed frames *)
+                         Metric.Counter.incr tel.c_decode_errors
                    done
                  with End_of_file | Failure _ | Unix.Unix_error (_, _, _) -> (
                    try Unix.close peer with Unix.Unix_error (_, _, _) -> ()))
@@ -131,13 +161,19 @@ let stop t =
 
 (* --- client --- *)
 
-type client = { fd : Unix.file_descr }
+type client = { fd : Unix.file_descr; cl_tel : net_tel }
 
-let connect ~port =
+let connect ?(telemetry = Tel.default) ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.setsockopt fd Unix.TCP_NODELAY true;
-  { fd }
+  { fd; cl_tel = net_tel_of telemetry }
 
-let send t m = write_frame t.fd (encode_message m)
+let send t m =
+  let payload = encode_message m in
+  write_frame t.fd payload;
+  Metric.Counter.incr t.cl_tel.c_frames_out;
+  Metric.Counter.incr ~by:(4 + String.length payload) t.cl_tel.c_bytes_out;
+  Metric.Histogram.add t.cl_tel.h_frame (float_of_int (String.length payload))
+
 let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()

@@ -13,10 +13,18 @@ type message =
 
 type server
 
-val listen : port:int -> on_message:(message -> unit) -> server
+val listen :
+  ?telemetry:Dsig_telemetry.Telemetry.t -> port:int -> on_message:(message -> unit) -> unit -> server
 (** Bind 127.0.0.1:[port] (0 picks an ephemeral port) and spawn an
     accept thread; every inbound frame invokes [on_message] from a
-    receiver thread — callbacks must be thread-safe. *)
+    receiver thread — callbacks must be thread-safe.
+
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    [dsig_tcpnet_frames_received_total] / [dsig_tcpnet_bytes_received_total]
+    / [dsig_tcpnet_decode_errors_total] counters and the
+    [dsig_tcpnet_frame_bytes] size histogram. Receiver threads share the
+    calling domain's metric cells; a rare lost increment under systhread
+    preemption is tolerated. *)
 
 val port : server -> int
 val stop : server -> unit
@@ -24,7 +32,10 @@ val stop : server -> unit
 
 type client
 
-val connect : port:int -> client
+val connect : ?telemetry:Dsig_telemetry.Telemetry.t -> port:int -> unit -> client
+(** [telemetry] receives [dsig_tcpnet_frames_sent_total] /
+    [dsig_tcpnet_bytes_sent_total] and [dsig_tcpnet_frame_bytes]. *)
+
 val send : client -> message -> unit
 val close : client -> unit
 

@@ -11,12 +11,17 @@
 type t
 
 val make :
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
   Config.t ->
   signer_id:int ->
   batch_id:int64 ->
   eddsa:Dsig_ed25519.Eddsa.secret_key ->
   rng:Dsig_util.Rng.t ->
   t
+(** Records [dsig_batch_keygen_us] / [dsig_batch_eddsa_sign_us]
+    histograms, the [dsig_batch_generated_total] counter, and an
+    [eddsa_sign] tracer span on [telemetry] (default
+    {!Dsig_telemetry.Telemetry.default}). *)
 
 val batch_id : t -> int64
 val root : t -> string

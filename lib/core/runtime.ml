@@ -1,11 +1,26 @@
 module Merkle = Dsig_merkle.Merkle
 module Rng = Dsig_util.Rng
+module Tel = Dsig_telemetry.Telemetry
+module Tracer = Dsig_telemetry.Tracer
+module Metric = Dsig_telemetry.Metric
 
 type prepared = {
   key : Onetime.t;
   batch_id : int64;
   proof : Merkle.proof;
   root_sig : string;
+}
+
+(* Foreground-plane telemetry handles, resolved on the creating domain.
+   The background domain resolves its own handles inside
+   [background_loop], so the two planes write to distinct per-domain
+   cells and never contend (the registry merges them at snapshot time). *)
+type tel = {
+  bundle : Tel.t;
+  c_signs : Metric.Counter.t;
+  c_waits : Metric.Counter.t;
+  h_sign : Metric.Histogram.t;
+  g_queue : Metric.Gauge.t;
 }
 
 type t = {
@@ -20,9 +35,14 @@ type t = {
   mutable stopping : bool;
   fg_rng : Rng.t; (* foreground nonces; background domain has its own *)
   mutable domain : unit Domain.t option;
+  tel : tel;
 }
 
 let background_loop cfg ~id ~eddsa ~rng t () =
+  let telemetry = t.tel.bundle in
+  (* background-plane handles: this domain's private cells *)
+  let c_batches = Tel.counter telemetry "dsig_runtime_batches_total" in
+  let h_batch = Tel.histogram telemetry "dsig_runtime_batch_gen_us" in
   let batch_counter = ref 0L in
   let continue_ = ref true in
   while !continue_ do
@@ -37,9 +57,11 @@ let background_loop cfg ~id ~eddsa ~rng t () =
     else begin
       (* the expensive part runs outside the lock: key generation,
          Merkle tree, EdDSA signature *)
+      let t0 = Tel.now telemetry in
+      Tracer.record_at telemetry.Tel.tracer ~tag:id Tracer.Batch_gen Tracer.Begin t0;
       let batch_id = !batch_counter in
       batch_counter := Int64.add batch_id 1L;
-      let batch = Batch.make cfg ~signer_id:id ~batch_id ~eddsa ~rng in
+      let batch = Batch.make ~telemetry cfg ~signer_id:id ~batch_id ~eddsa ~rng in
       let ann = Batch.announcement cfg batch in
       Mutex.lock t.mu;
       for i = 0 to Batch.size batch - 1 do
@@ -55,11 +77,15 @@ let background_loop cfg ~id ~eddsa ~rng t () =
       Queue.add ann t.announcements;
       t.batches <- t.batches + 1;
       Condition.broadcast t.available;
-      Mutex.unlock t.mu
+      Mutex.unlock t.mu;
+      Metric.Counter.incr c_batches;
+      let t1 = Tel.now telemetry in
+      Metric.Histogram.add h_batch (t1 -. t0);
+      Tracer.record_at telemetry.Tel.tracer ~tag:id Tracer.Batch_gen Tracer.End t1
     end
   done
 
-let create cfg ~id ~eddsa ~seed () =
+let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) () =
   let master = Rng.create seed in
   let bg_rng = Rng.split master in
   let state =
@@ -75,6 +101,14 @@ let create cfg ~id ~eddsa ~seed () =
       stopping = false;
       fg_rng = Rng.split master;
       domain = None;
+      tel =
+        {
+          bundle = telemetry;
+          c_signs = Tel.counter telemetry "dsig_runtime_signatures_total";
+          c_waits = Tel.counter telemetry "dsig_runtime_sign_waits_total";
+          h_sign = Tel.histogram telemetry "dsig_runtime_sign_us";
+          g_queue = Tel.gauge telemetry "dsig_runtime_queue_depth";
+        };
     }
   in
   state.domain <- Some (Domain.spawn (background_loop cfg ~id ~eddsa ~rng:bg_rng state));
@@ -82,16 +116,19 @@ let create cfg ~id ~eddsa ~seed () =
 
 let pop_key t =
   Mutex.lock t.mu;
+  if Queue.is_empty t.keys then Metric.Counter.incr t.tel.c_waits;
   while Queue.is_empty t.keys do
     Condition.signal t.refill;
     Condition.wait t.available t.mu
   done;
   let prepared = Queue.pop t.keys in
+  Metric.Gauge.set t.tel.g_queue (float_of_int (Queue.length t.keys));
   if Queue.length t.keys < t.cfg.Config.queue_threshold then Condition.signal t.refill;
   Mutex.unlock t.mu;
   prepared
 
 let sign t msg =
+  let t0 = Tel.now t.tel.bundle in
   let prepared = pop_key t in
   let nonce = Rng.bytes t.fg_rng 16 in
   let body =
@@ -100,15 +137,23 @@ let sign t msg =
     | Onetime.Hors_key _ ->
         invalid_arg "Runtime.sign: HORS configurations not supported by the threaded runtime"
   in
-  Wire.encode t.cfg
-    {
-      Wire.signer_id = t.id;
-      batch_id = prepared.batch_id;
-      public_seed = Onetime.public_seed prepared.key;
-      body;
-      batch_proof = prepared.proof;
-      root_sig = prepared.root_sig;
-    }
+  let wire =
+    Wire.encode t.cfg
+      {
+        Wire.signer_id = t.id;
+        batch_id = prepared.batch_id;
+        public_seed = Onetime.public_seed prepared.key;
+        body;
+        batch_proof = prepared.proof;
+        root_sig = prepared.root_sig;
+      }
+  in
+  Metric.Counter.incr t.tel.c_signs;
+  let t1 = Tel.now t.tel.bundle in
+  Metric.Histogram.add t.tel.h_sign (t1 -. t0);
+  Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Sign_fast Tracer.Begin t0;
+  Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Sign_fast Tracer.End t1;
+  wire
 
 let queue_depth t =
   Mutex.lock t.mu;

@@ -16,8 +16,24 @@
 type t
 
 val create :
-  Config.t -> id:int -> eddsa:Dsig_ed25519.Eddsa.secret_key -> seed:int64 -> unit -> t
-(** Spawns the background domain. Call {!shutdown} when done. *)
+  Config.t ->
+  id:int ->
+  eddsa:Dsig_ed25519.Eddsa.secret_key ->
+  seed:int64 ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  unit ->
+  t
+(** Spawns the background domain. Call {!shutdown} when done.
+
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    the foreground plane's [dsig_runtime_signatures_total] /
+    [dsig_runtime_sign_waits_total] counters, [dsig_runtime_sign_us]
+    histogram and [dsig_runtime_queue_depth] gauge, and the background
+    domain's [dsig_runtime_batches_total] counter and
+    [dsig_runtime_batch_gen_us] histogram. The planes write to separate
+    per-domain metric cells ({!Dsig_telemetry.Registry}), so the
+    background domain never slows the foreground signer; snapshots merge
+    both. *)
 
 val sign : t -> string -> string
 (** Foreground-plane signing; thread-safe for a single foreground

@@ -2,6 +2,9 @@ open Dsig_hbss
 module Merkle = Dsig_merkle.Merkle
 module Eddsa = Dsig_ed25519.Eddsa
 module Rng = Dsig_util.Rng
+module Tel = Dsig_telemetry.Telemetry
+module Tracer = Dsig_telemetry.Tracer
+module Metric = Dsig_telemetry.Metric
 
 type prepared = {
   key : Onetime.t;
@@ -14,6 +17,18 @@ type group = { members : int list (* sorted *); queue : prepared Queue.t }
 
 type stats = { mutable signatures : int; mutable batches : int; mutable sync_refills : int }
 
+(* Telemetry handles, resolved once at creation (metric names are shared
+   across signers; per-signer series are distinguished by tracer tags). *)
+type tel = {
+  bundle : Tel.t;
+  c_sign : Metric.Counter.t;
+  c_sync : Metric.Counter.t;
+  c_batches : Metric.Counter.t;
+  h_sign : Metric.Histogram.t;
+  h_refill : Metric.Histogram.t;
+  g_queue : Metric.Gauge.t;
+}
+
 type t = {
   cfg : Config.t;
   id : int;
@@ -24,9 +39,10 @@ type t = {
   send : dest:int -> Batch.announcement -> unit;
   outbox : (int * Batch.announcement) Queue.t;
   stats : stats;
+  tel : tel;
 }
 
-let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ~verifiers () =
+let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ~verifiers () =
   let outbox = Queue.create () in
   let send =
     match send with
@@ -56,6 +72,16 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ~verifiers () =
     send;
     outbox;
     stats = { signatures = 0; batches = 0; sync_refills = 0 };
+    tel =
+      {
+        bundle = telemetry;
+        c_sign = Tel.counter telemetry "dsig_signer_signatures_total";
+        c_sync = Tel.counter telemetry "dsig_signer_sync_refills_total";
+        c_batches = Tel.counter telemetry "dsig_signer_batches_total";
+        h_sign = Tel.histogram telemetry "dsig_signer_sign_us";
+        h_refill = Tel.histogram telemetry "dsig_signer_refill_us";
+        g_queue = Tel.gauge telemetry "dsig_signer_queue_depth";
+      };
   }
 
 let id t = t.id
@@ -86,9 +112,11 @@ let refill t group =
       m "signer %d: refilling group [%s] (queue %d < S=%d)" t.id
         (String.concat "," (List.map string_of_int group.members))
         (Queue.length group.queue) t.cfg.Config.queue_threshold);
+  let t0 = Tel.now t.tel.bundle in
+  Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Batch_gen Tracer.Begin t0;
   let batch_id = t.batch_counter in
   t.batch_counter <- Int64.add t.batch_counter 1L;
-  let batch = Batch.make t.cfg ~signer_id:t.id ~batch_id ~eddsa:t.eddsa ~rng:t.rng in
+  let batch = Batch.make ~telemetry:t.tel.bundle t.cfg ~signer_id:t.id ~batch_id ~eddsa:t.eddsa ~rng:t.rng in
   t.stats.batches <- t.stats.batches + 1;
   let ann = Batch.announcement t.cfg batch in
   List.iter (fun dest -> if dest <> t.id then t.send ~dest ann) group.members;
@@ -101,7 +129,14 @@ let refill t group =
         root_sig = Batch.root_signature batch;
       }
       group.queue
-  done
+  done;
+  Metric.Counter.incr t.tel.c_batches;
+  (* the gauge tracks prepared keys process-wide, so move it by deltas
+     rather than overwriting other signers' contributions *)
+  Metric.Gauge.add t.tel.g_queue (float_of_int (Batch.size batch));
+  let t1 = Tel.now t.tel.bundle in
+  Metric.Histogram.add t.tel.h_refill (t1 -. t0);
+  Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Batch_gen Tracer.End t1
 
 let background_step t =
   match
@@ -165,9 +200,12 @@ let make_body t prepared msg =
       end
 
 let sign t ?hint msg =
+  let t0 = Tel.now t.tel.bundle in
   let group = select_group t hint in
-  if Queue.is_empty group.queue then begin
+  let synced = Queue.is_empty group.queue in
+  if synced then begin
     t.stats.sync_refills <- t.stats.sync_refills + 1;
+    Metric.Counter.incr t.tel.c_sync;
     Log.L.warn (fun m ->
         m "signer %d: key queue empty, refilling on the critical path" t.id);
     refill t group
@@ -175,12 +213,22 @@ let sign t ?hint msg =
   let prepared = Queue.pop group.queue in
   t.stats.signatures <- t.stats.signatures + 1;
   let body = make_body t prepared msg in
-  Wire.encode t.cfg
-    {
-      Wire.signer_id = t.id;
-      batch_id = prepared.batch_id;
-      public_seed = Onetime.public_seed prepared.key;
-      body;
-      batch_proof = prepared.proof;
-      root_sig = prepared.root_sig;
-    }
+  let wire =
+    Wire.encode t.cfg
+      {
+        Wire.signer_id = t.id;
+        batch_id = prepared.batch_id;
+        public_seed = Onetime.public_seed prepared.key;
+        body;
+        batch_proof = prepared.proof;
+        root_sig = prepared.root_sig;
+      }
+  in
+  Metric.Counter.incr t.tel.c_sign;
+  Metric.Gauge.add t.tel.g_queue (-1.0);
+  let t1 = Tel.now t.tel.bundle in
+  Metric.Histogram.add t.tel.h_sign (t1 -. t0);
+  let span = if synced then Tracer.Sign_sync_refill else Tracer.Sign_fast in
+  Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
+  Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.End t1;
+  wire

@@ -23,13 +23,23 @@ val create :
   rng:Dsig_util.Rng.t ->
   ?send:(dest:int -> Batch.announcement -> unit) ->
   ?groups:int list list ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
   verifiers:int list ->
   unit ->
   t
 (** [verifiers] is the set of all known processes (the default group).
     [groups] adds application-specific verifier groups (Alg. 1 line 2).
     [send] delivers background announcements; it defaults to a no-op
-    (useful when announcements are collected via {!drain_outbox}). *)
+    (useful when announcements are collected via {!drain_outbox}).
+
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    [dsig_signer_signatures_total] / [dsig_signer_sync_refills_total] /
+    [dsig_signer_batches_total] counters, [dsig_signer_sign_us] and
+    [dsig_signer_refill_us] latency histograms, the process-wide
+    [dsig_signer_queue_depth] gauge (prepared keys across all groups and
+    signers sharing the handle), and — when the tracer is enabled —
+    [sign_fast] / [sign_sync_refill] / [batch_gen] / [eddsa_sign] spans
+    tagged with the signer id. *)
 
 val id : t -> int
 val config : t -> Config.t

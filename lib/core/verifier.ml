@@ -2,6 +2,9 @@ open Dsig_hbss
 module Merkle = Dsig_merkle.Merkle
 module Eddsa = Dsig_ed25519.Eddsa
 module BU = Dsig_util.Bytesutil
+module Tel = Dsig_telemetry.Telemetry
+module Tracer = Dsig_telemetry.Tracer
+module Metric = Dsig_telemetry.Metric
 
 type cached_batch = {
   root : string;
@@ -24,6 +27,19 @@ type stats = {
   mutable announcements : int;
 }
 
+type tel = {
+  bundle : Tel.t;
+  c_fast : Metric.Counter.t;
+  c_slow : Metric.Counter.t;
+  c_rejected : Metric.Counter.t;
+  c_cache_hits : Metric.Counter.t;
+  c_ann : Metric.Counter.t;
+  h_fast : Metric.Histogram.t;
+  h_slow : Metric.Histogram.t;
+  h_deliver : Metric.Histogram.t;
+  g_cached : Metric.Gauge.t;
+}
+
 type t = {
   cfg : Config.t;
   id : int;
@@ -31,11 +47,12 @@ type t = {
   cache : (int, signer_cache) Hashtbl.t;
   eddsa_cache : (string, unit) Hashtbl.t;
   stats : stats;
+  tel : tel;
 }
 
 let eddsa_cache_capacity = 4096
 
-let create cfg ~id ~pki () =
+let create cfg ~id ~pki ?(telemetry = Tel.default) () =
   {
     cfg;
     id;
@@ -43,6 +60,19 @@ let create cfg ~id ~pki () =
     cache = Hashtbl.create 16;
     eddsa_cache = Hashtbl.create 256;
     stats = { fast = 0; slow = 0; eddsa_cache_hits = 0; rejected = 0; announcements = 0 };
+    tel =
+      {
+        bundle = telemetry;
+        c_fast = Tel.counter telemetry "dsig_verifier_fast_total";
+        c_slow = Tel.counter telemetry "dsig_verifier_slow_total";
+        c_rejected = Tel.counter telemetry "dsig_verifier_rejected_total";
+        c_cache_hits = Tel.counter telemetry "dsig_verifier_eddsa_cache_hits_total";
+        c_ann = Tel.counter telemetry "dsig_verifier_announcements_total";
+        h_fast = Tel.histogram telemetry "dsig_verifier_fast_us";
+        h_slow = Tel.histogram telemetry "dsig_verifier_slow_us";
+        h_deliver = Tel.histogram telemetry "dsig_verifier_deliver_us";
+        g_cached = Tel.gauge telemetry "dsig_verifier_cached_batches";
+      };
   }
 
 let stats t = t.stats
@@ -63,9 +93,11 @@ let insert_batch t ~signer ~batch_id entry =
   if not (Hashtbl.mem c.batches batch_id) then begin
     Hashtbl.replace c.batches batch_id entry;
     Queue.add batch_id c.order;
+    Metric.Gauge.add t.tel.g_cached 1.0;
     while Hashtbl.length c.batches > t.cfg.Config.cache_batches do
       let victim = Queue.pop c.order in
-      Hashtbl.remove c.batches victim
+      Hashtbl.remove c.batches victim;
+      Metric.Gauge.add t.tel.g_cached (-1.0)
     done
   end
 
@@ -82,6 +114,7 @@ let eddsa_verify_cached t pk msg signature =
     let key = Dsig_hashes.Blake3.digest (pk ^ signature ^ msg) in
     if Hashtbl.mem t.eddsa_cache key then begin
       t.stats.eddsa_cache_hits <- t.stats.eddsa_cache_hits + 1;
+      Metric.Counter.incr t.tel.c_cache_hits;
       true
     end
     else if Eddsa.verify pk msg signature then begin
@@ -97,6 +130,7 @@ let eddsa_verify_cached t pk msg signature =
 let admit_verified t (ann : Batch.announcement) root =
   begin
     t.stats.announcements <- t.stats.announcements + 1;
+    Metric.Counter.incr t.tel.c_ann;
         (* When full keys ride along (bandwidth reduction off), check
            they match the signed leaves before trusting them for the
            comparison-only fast path. *)
@@ -153,12 +187,20 @@ let deliver t (ann : Batch.announcement) =
             ann.Batch.signer_id);
       false
   | Some pk ->
+      let t0 = Tel.now t.tel.bundle in
+      Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.Begin t0;
       let root, msg = announcement_root ann in
-      if Eddsa.verify pk msg ann.Batch.root_sig then begin
-        admit_verified t ann root;
-        true
-      end
-      else false
+      let ok =
+        if Eddsa.verify pk msg ann.Batch.root_sig then begin
+          admit_verified t ann root;
+          true
+        end
+        else false
+      in
+      let t1 = Tel.now t.tel.bundle in
+      Metric.Histogram.add t.tel.h_deliver (t1 -. t0);
+      Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.End t1;
+      ok
 
 (* Catch-up path: check many announcements' EdDSA root signatures with
    one randomized batch verification (§4.4's amortization, applied to
@@ -380,31 +422,28 @@ let merklified_fast_path t (w : Wire.t) msg =
 
 let reject t =
   t.stats.rejected <- t.stats.rejected + 1;
+  Metric.Counter.incr t.tel.c_rejected;
   false
 
-let verify t ~msg wire_bytes =
+(* Outcome of one verification, for the telemetry plane. *)
+type path = Fast | Slow | Rejected
+
+let verify_inner t ~msg wire_bytes =
   match Wire.decode t.cfg wire_bytes with
-  | Error _ -> reject t
+  | Error _ -> Rejected
   | Ok w -> (
       match Pki.lookup t.pki w.Wire.signer_id with
-      | None -> reject t
+      | None -> Rejected
       | Some signer_pk -> (
           match merklified_fast_path t w msg with
-          | Some ok ->
-              if ok then begin
-                t.stats.fast <- t.stats.fast + 1;
-                true
-              end
-              else reject t
+          | Some ok -> if ok then Fast else Rejected
           | None -> (
               match implied_leaf t w msg with
-              | None -> reject t
+              | None -> Rejected
               | Some leaf -> (
                   let root = Merkle.compute_root ~leaf w.Wire.batch_proof in
                   match lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id with
-                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root ->
-                      t.stats.fast <- t.stats.fast + 1;
-                      true
+                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root -> Fast
                   | _ ->
                       (* Slow path (Alg. 2 lines 29-31): check the
                          embedded EdDSA signature inline. *)
@@ -413,13 +452,35 @@ let verify t ~msg wire_bytes =
                           ~root
                       in
                       if eddsa_verify_cached t signer_pk root_msg w.Wire.root_sig then begin
-                        t.stats.slow <- t.stats.slow + 1;
                         Log.L.debug (fun m ->
                             m "verifier %d: slow-path EdDSA check for signer %d batch %Ld" t.id
                               w.Wire.signer_id w.Wire.batch_id);
-                        true
+                        Slow
                       end
-                      else reject t))))
+                      else Rejected))))
+
+let verify t ~msg wire_bytes =
+  let t0 = Tel.now t.tel.bundle in
+  let outcome = verify_inner t ~msg wire_bytes in
+  let t1 = Tel.now t.tel.bundle in
+  let trace span =
+    Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
+    Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.End t1
+  in
+  match outcome with
+  | Fast ->
+      t.stats.fast <- t.stats.fast + 1;
+      Metric.Counter.incr t.tel.c_fast;
+      Metric.Histogram.add t.tel.h_fast (t1 -. t0);
+      trace Tracer.Verify_fast;
+      true
+  | Slow ->
+      t.stats.slow <- t.stats.slow + 1;
+      Metric.Counter.incr t.tel.c_slow;
+      Metric.Histogram.add t.tel.h_slow (t1 -. t0);
+      trace Tracer.Verify_slow;
+      true
+  | Rejected -> reject t
 
 let can_verify_fast t wire_bytes =
   match Wire.peek_header wire_bytes with

@@ -13,7 +13,15 @@
 
 type t
 
-val create : Config.t -> id:int -> pki:Pki.t -> unit -> t
+val create : Config.t -> id:int -> pki:Pki.t -> ?telemetry:Dsig_telemetry.Telemetry.t -> unit -> t
+(** [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    [dsig_verifier_fast_total] / [dsig_verifier_slow_total] /
+    [dsig_verifier_rejected_total] / [dsig_verifier_eddsa_cache_hits_total] /
+    [dsig_verifier_announcements_total] counters, [dsig_verifier_fast_us]
+    / [dsig_verifier_slow_us] / [dsig_verifier_deliver_us] latency
+    histograms, the [dsig_verifier_cached_batches] gauge, and — when the
+    tracer is enabled — [verify_fast] / [verify_slow] /
+    [announce_delivery] spans tagged with the verifier id. *)
 
 val deliver : t -> Batch.announcement -> bool
 (** Process a background announcement; [false] if the signer is unknown

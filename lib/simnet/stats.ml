@@ -1,29 +1,50 @@
-type t = { mutable samples : float list; mutable n : int; mutable sorted : float array option }
+(* Samples live in a growable array that is sorted in place at most once
+   per batch of adds: [ensure_sorted] trims and sorts on the first query
+   after an [add], and every later percentile/cdf/min/max call reuses
+   that order until the next [add] invalidates it. The running [sum]
+   keeps [mean] O(1). *)
 
-let create () = { samples = []; n = 0; sorted = None }
+type t = {
+  name : string option;
+  mutable data : float array;  (* capacity >= n; samples in [0, n) *)
+  mutable n : int;
+  mutable sorted : bool;
+  mutable sum : float;
+}
+
+let create ?name () = { name; data = [||]; n = 0; sorted = true; sum = 0.0 }
 
 let add t x =
-  t.samples <- x :: t.samples;
+  if t.n = Array.length t.data then begin
+    let grown = Array.make (Stdlib.max 16 (2 * t.n)) 0.0 in
+    Array.blit t.data 0 grown 0 t.n;
+    t.data <- grown
+  end;
+  t.data.(t.n) <- x;
   t.n <- t.n + 1;
-  t.sorted <- None
+  t.sum <- t.sum +. x;
+  t.sorted <- false
 
 let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
-let sorted t =
-  match t.sorted with
-  | Some a -> a
-  | None ->
-      let a = Array.of_list t.samples in
-      Array.sort compare a;
-      t.sorted <- Some a;
-      a
+let ensure_sorted t =
+  if not t.sorted then begin
+    if Array.length t.data <> t.n then t.data <- Array.sub t.data 0 t.n;
+    Array.sort compare t.data;
+    t.sorted <- true
+  end;
+  t.data
 
-let mean t =
-  if t.n = 0 then 0.0 else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.n
+let recorder_name t = match t.name with Some n -> Printf.sprintf "%S" n | None -> "<unnamed>"
 
 let percentile t p =
-  if t.n = 0 then invalid_arg "Stats.percentile: empty";
-  let a = sorted t in
+  if t.n = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Stats.percentile: recorder %s is empty (no samples were added before querying)"
+         (recorder_name t));
+  let a = ensure_sorted t in
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1 in
   a.(Stdlib.max 0 (Stdlib.min (t.n - 1) rank))
 
@@ -31,14 +52,14 @@ let min t = percentile t 0.0
 let max t = percentile t 100.0
 
 let cdf ?(points = 100) t =
-  let a = sorted t in
-  let n = Array.length a in
-  if n = 0 then []
-  else
+  if t.n = 0 then []
+  else begin
+    let a = ensure_sorted t in
     List.init points (fun i ->
         let frac = float_of_int (i + 1) /. float_of_int points in
-        let idx = Stdlib.min (n - 1) (int_of_float (frac *. float_of_int n) - 1) in
+        let idx = Stdlib.min (t.n - 1) (int_of_float (frac *. float_of_int t.n) - 1) in
         (a.(Stdlib.max 0 idx), frac))
+  end
 
 let summary t =
   if t.n = 0 then "n=0"

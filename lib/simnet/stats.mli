@@ -1,15 +1,31 @@
 (** Latency recorders and percentile/CDF reporting for the benchmark
-    harnesses (the paper reports p10/p50/p90 throughout §8). *)
+    harnesses (the paper reports p10/p50/p90 throughout §8).
+
+    Samples are kept in a growable array and sorted {e at most once} per
+    batch of adds: the first percentile/CDF query after an [add] sorts
+    in place and every subsequent query reuses that order, so [summary]
+    (four percentile calls) costs one sort, not four.
+
+    A recorder retains every sample (exact percentiles, O(n) memory).
+    For constant-memory, always-on accounting use
+    [Dsig_telemetry.Metric.Histogram] instead. *)
 
 type t
 
-val create : unit -> t
+val create : ?name:string -> unit -> t
+(** [name] identifies the recorder's call site in error messages. *)
+
 val add : t -> float -> unit
 val count : t -> int
+
 val mean : t -> float
+(** O(1) (running sum); [0.0] when empty. *)
+
 val percentile : t -> float -> float
-(** [percentile t 50.0] is the median (nearest-rank on sorted samples).
-    @raise Invalid_argument on an empty recorder. *)
+(** [percentile t 50.0] is the median — nearest-rank on the sorted
+    samples: the value at 1-based rank [ceil (p/100 * n)].
+    @raise Invalid_argument on an empty recorder; the message names the
+    recorder given to {!create} (or [<unnamed>]). *)
 
 val min : t -> float
 val max : t -> float

@@ -1,0 +1,158 @@
+module H = Metric.Histogram
+module S = Registry.Snapshot
+
+(* shortest decimal that round-trips common bucket bounds and sums *)
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let fbound v = if v = infinity then "+Inf" else fnum v
+
+(* --- JSON --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_obj fields = "{" ^ String.concat "," fields ^ "}"
+let json_field k v = Printf.sprintf "\"%s\":%s" (json_escape k) v
+
+let json_histogram (h : H.snapshot) =
+  let buckets =
+    List.filter_map
+      (fun i ->
+        if h.H.counts.(i) = 0 then None
+        else
+          Some
+            (json_obj
+               [
+                 json_field "le" (Printf.sprintf "\"%s\"" (fbound (H.bucket_upper_bound i)));
+                 json_field "count" (string_of_int h.H.counts.(i));
+               ]))
+      (List.init H.num_buckets Fun.id)
+  in
+  let stats =
+    if h.H.n = 0 then []
+    else
+      [
+        json_field "mean" (fnum (H.mean h));
+        json_field "min" (fnum h.H.vmin);
+        json_field "max" (fnum h.H.vmax);
+        json_field "p50" (fnum (H.percentile h 50.0));
+        json_field "p90" (fnum (H.percentile h 90.0));
+        json_field "p99" (fnum (H.percentile h 99.0));
+      ]
+  in
+  json_obj
+    ([ json_field "count" (string_of_int h.H.n); json_field "sum" (fnum h.H.total) ]
+    @ stats
+    @ [ json_field "buckets" ("[" ^ String.concat "," buckets ^ "]") ])
+
+let json_trace tracer =
+  let events =
+    List.map
+      (fun (e : Tracer.event) ->
+        json_obj
+          [
+            json_field "span" (Printf.sprintf "\"%s\"" (json_escape (Tracer.span_name e.Tracer.span)));
+            json_field "phase" (Printf.sprintf "\"%s\"" (Tracer.phase_name e.Tracer.phase));
+            json_field "at_us" (fnum e.Tracer.at_us);
+            json_field "tag" (string_of_int e.Tracer.tag);
+          ])
+      (Tracer.events tracer)
+  in
+  json_obj
+    [
+      json_field "recorded" (string_of_int (Tracer.recorded tracer));
+      json_field "dropped" (string_of_int (Tracer.dropped tracer));
+      json_field "events" ("[" ^ String.concat "," events ^ "]");
+    ]
+
+let json ?tracer snap =
+  let section f =
+    json_obj
+      (List.filter_map (fun (name, v) -> Option.map (json_field name) (f v)) snap)
+  in
+  let counters = section (function S.Counter n -> Some (string_of_int n) | _ -> None) in
+  let gauges = section (function S.Gauge v -> Some (fnum v) | _ -> None) in
+  let histograms = section (function S.Histogram h -> Some (json_histogram h) | _ -> None) in
+  json_obj
+    ([
+       json_field "counters" counters;
+       json_field "gauges" gauges;
+       json_field "histograms" histograms;
+     ]
+    @ match tracer with None -> [] | Some tr -> [ json_field "trace" (json_trace tr) ])
+
+(* --- Prometheus text exposition --- *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let prometheus snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let name = prom_name name in
+      match v with
+      | S.Counter n ->
+          line "# TYPE %s counter" name;
+          line "%s %d" name n
+      | S.Gauge g ->
+          line "# TYPE %s gauge" name;
+          line "%s %s" name (fnum g)
+      | S.Histogram h ->
+          line "# TYPE %s histogram" name;
+          let acc = ref 0 in
+          for i = 0 to H.num_buckets - 2 do
+            if h.H.counts.(i) > 0 then begin
+              acc := !acc + h.H.counts.(i);
+              line "%s_bucket{le=\"%s\"} %d" name (fbound (H.bucket_upper_bound i)) !acc
+            end
+          done;
+          line "%s_bucket{le=\"+Inf\"} %d" name h.H.n;
+          line "%s_sum %s" name (fnum h.H.total);
+          line "%s_count %d" name h.H.n)
+    snap;
+  Buffer.contents buf
+
+(* --- human summary --- *)
+
+let pp_summary ppf snap =
+  let counters = List.filter_map (function n, S.Counter v -> Some (n, v) | _ -> None) snap in
+  let gauges = List.filter_map (function n, S.Gauge v -> Some (n, v) | _ -> None) snap in
+  let hists = List.filter_map (function n, S.Histogram h -> Some (n, h) | _ -> None) snap in
+  let width =
+    List.fold_left (fun acc (n, _) -> Stdlib.max acc (String.length n)) 0 snap
+  in
+  let section title pp items =
+    if items <> [] then begin
+      Fmt.pf ppf "%s:@." title;
+      List.iter (fun (n, v) -> Fmt.pf ppf "  %-*s  %a@." width n pp v) items
+    end
+  in
+  section "counters" (fun ppf v -> Fmt.int ppf v) counters;
+  section "gauges" (fun ppf v -> Fmt.float ppf v) gauges;
+  section "histograms"
+    (fun ppf h ->
+      if h.H.n = 0 then Fmt.string ppf "n=0"
+      else
+        Fmt.pf ppf "n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g" h.H.n (H.mean h)
+          (H.percentile h 50.0) (H.percentile h 90.0) (H.percentile h 99.0) h.H.vmax)
+    hists
+
+let summary snap = Fmt.str "%a" pp_summary snap

@@ -1,0 +1,27 @@
+(** Renderings of a registry snapshot (plus, optionally, the tracer's
+    buffered events): machine-readable JSON, Prometheus text-exposition
+    format, and an [Fmt]-based human summary.
+
+    All three are deterministic for a given snapshot (names are sorted),
+    so they can be golden-tested and diffed across runs. *)
+
+val json : ?tracer:Tracer.t -> Registry.Snapshot.t -> string
+(** Compact single-line JSON:
+    [{"counters":{..},"gauges":{..},"histograms":{..},"trace":{..}}].
+    Histogram entries carry count/sum/mean/min/max, the nearest-rank
+    p50/p90/p99, and the non-empty buckets as
+    [{"le":"<bound>","count":n}] pairs ([le] is a string so the +Inf
+    overflow bucket needs no special casing). The [trace] key is present
+    only when [tracer] is given. *)
+
+val prometheus : Registry.Snapshot.t -> string
+(** Text exposition format: [# TYPE] comments, cumulative
+    [_bucket{le="..."}] series (non-empty buckets plus [+Inf]), [_sum]
+    and [_count] for histograms. Metric names are sanitized to
+    [[a-zA-Z0-9_:]]. *)
+
+val pp_summary : Format.formatter -> Registry.Snapshot.t -> unit
+(** Aligned human-readable table of counters, gauges, and histogram
+    percentile one-liners. *)
+
+val summary : Registry.Snapshot.t -> string

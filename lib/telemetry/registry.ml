@@ -1,0 +1,113 @@
+type cell =
+  | C of Metric.Counter.t
+  | G of Metric.Gauge.t
+  | H of Metric.Histogram.t
+
+type shard = (string, cell) Hashtbl.t
+
+type t = {
+  mu : Mutex.t;  (* guards the shard map and every shard table *)
+  shards : (int, shard) Hashtbl.t;  (* domain id -> shard *)
+}
+
+let create () = { mu = Mutex.create (); shards = Hashtbl.create 4 }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+(* Find or create the calling domain's cell for [name]. The kind check
+   scans the other shards so a name cannot mean a counter in one domain
+   and a gauge in another. *)
+let resolve t name ~make ~cast ~wanted =
+  let dom = (Domain.self () :> int) in
+  with_lock t (fun () ->
+      let shard =
+        match Hashtbl.find_opt t.shards dom with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.create 16 in
+            Hashtbl.add t.shards dom s;
+            s
+      in
+      match Hashtbl.find_opt shard name with
+      | Some cell -> cast cell
+      | None ->
+          Hashtbl.iter
+            (fun _ (s : shard) ->
+              match Hashtbl.find_opt s name with
+              | Some cell when kind_name cell <> wanted ->
+                  invalid_arg
+                    (Printf.sprintf "Dsig_telemetry.Registry: %S is a %s, not a %s" name
+                       (kind_name cell) wanted)
+              | _ -> ())
+            t.shards;
+          let cell = make () in
+          Hashtbl.add shard name cell;
+          cast cell)
+
+let cast_error name wanted cell =
+  invalid_arg
+    (Printf.sprintf "Dsig_telemetry.Registry: %S is a %s, not a %s" name (kind_name cell) wanted)
+
+let counter t name =
+  resolve t name ~wanted:"counter"
+    ~make:(fun () -> C (Metric.Counter.create ()))
+    ~cast:(function C c -> c | cell -> cast_error name "counter" cell)
+
+let gauge t name =
+  resolve t name ~wanted:"gauge"
+    ~make:(fun () -> G (Metric.Gauge.create ()))
+    ~cast:(function G g -> g | cell -> cast_error name "gauge" cell)
+
+let histogram t name =
+  resolve t name ~wanted:"histogram"
+    ~make:(fun () -> H (Metric.Histogram.create ()))
+    ~cast:(function H h -> h | cell -> cast_error name "histogram" cell)
+
+module Snapshot = struct
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of Metric.Histogram.snapshot
+
+  type nonrec t = (string * value) list
+
+  let merge_value a b =
+    match (a, b) with
+    | Counter x, Counter y -> Counter (x + y)
+    | Gauge x, Gauge y -> Gauge (x +. y)
+    | Histogram x, Histogram y -> Histogram (Metric.Histogram.merge x y)
+    | _ -> invalid_arg "Dsig_telemetry.Registry.Snapshot.merge: kind mismatch"
+
+  let merge a b =
+    let rec go a b =
+      match (a, b) with
+      | [], rest | rest, [] -> rest
+      | (na, va) :: ta, (nb, vb) :: tb ->
+          if na = nb then (na, merge_value va vb) :: go ta tb
+          else if na < nb then (na, va) :: go ta b
+          else (nb, vb) :: go a tb
+    in
+    go a b
+
+  let find t name = List.assoc_opt name t
+end
+
+let snapshot t =
+  let read = function
+    | C c -> Snapshot.Counter (Metric.Counter.value c)
+    | G g -> Snapshot.Gauge (Metric.Gauge.value g)
+    | H h -> Snapshot.Histogram (Metric.Histogram.snapshot h)
+  in
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ shard acc ->
+          let one =
+            Hashtbl.fold (fun name cell acc -> (name, read cell) :: acc) shard []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          Snapshot.merge acc one)
+        t.shards [])

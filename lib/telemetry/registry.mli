@@ -1,0 +1,45 @@
+(** Named-metric registry with per-domain instances.
+
+    [counter]/[gauge]/[histogram] resolve a name to a metric cell that
+    is private to the {e calling} domain: two domains asking for the
+    same name get distinct cells, so neither ever contends with the
+    other on the hot path (the paper dedicates a core to the signer's
+    background plane; its counters must not slow the foreground signer).
+    {!snapshot} merges the per-domain cells into one value per name.
+
+    Resolution takes a mutex and a hashtable lookup — do it once at
+    component-creation time and cache the handle, not per operation.
+
+    A name must keep one kind for the lifetime of the registry;
+    re-registering it as a different kind raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Metric.Counter.t
+val gauge : t -> string -> Metric.Gauge.t
+val histogram : t -> string -> Metric.Histogram.t
+
+module Snapshot : sig
+  type value =
+    | Counter of int  (** summed across domains *)
+    | Gauge of float  (** summed across domains *)
+    | Histogram of Metric.Histogram.snapshot
+
+  type nonrec t = (string * value) list
+  (** Sorted by name, one entry per registered name. *)
+
+  val merge : t -> t -> t
+  (** Pointwise merge (sum counters and gauges, merge histograms);
+      names present on one side only pass through. Associative, with
+      [[]] as identity — snapshots from independent registries (e.g.
+      one per simulated party) can be folded together. *)
+
+  val find : t -> string -> value option
+end
+
+val snapshot : t -> Snapshot.t
+(** Merge every domain's cells into one value per name. Concurrent
+    metric updates are not blocked; the snapshot may lag them by a few
+    operations (each field is read atomically, never torn). *)

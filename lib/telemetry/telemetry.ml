@@ -1,0 +1,24 @@
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+  mutable clock : unit -> float;
+}
+
+let create ?(clock = Tracer.wall_clock_us) ?trace_capacity () =
+  { registry = Registry.create (); tracer = Tracer.create ?capacity:trace_capacity ~clock (); clock }
+
+let default = create ()
+
+let set_clock t clock =
+  t.clock <- clock;
+  Tracer.set_clock t.tracer clock
+
+let now t = t.clock ()
+let counter t name = Registry.counter t.registry name
+let gauge t name = Registry.gauge t.registry name
+let histogram t name = Registry.histogram t.registry name
+let snapshot t = Registry.snapshot t.registry
+
+let time t h f =
+  let t0 = t.clock () in
+  Fun.protect ~finally:(fun () -> Metric.Histogram.add h (t.clock () -. t0)) f

@@ -78,13 +78,14 @@ let test_tcp_roundtrip () =
         | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
             if Verifier.verify verifier ~msg signature then incr verified else incr rejected);
         Mutex.unlock mu)
+      ()
   in
   Fun.protect
     ~finally:(fun () -> Dsig_tcpnet.Tcpnet.stop server)
     (fun () ->
       let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~verifiers:[ 1 ] () in
       Signer.background_fill signer;
-      let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) in
+      let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) () in
       List.iter
         (fun (_, a) -> Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Announcement a))
         (Signer.drain_outbox signer);

@@ -1,0 +1,248 @@
+(* Dsig_telemetry: histogram bucketing and percentiles, snapshot
+   merging, the ring-buffer tracer, and golden exporter outputs. *)
+
+module M = Dsig_telemetry.Metric
+module H = M.Histogram
+module Registry = Dsig_telemetry.Registry
+module Tracer = Dsig_telemetry.Tracer
+module Export = Dsig_telemetry.Export
+
+(* --- primitives --- *)
+
+let test_counter_gauge () =
+  let c = M.Counter.create () in
+  M.Counter.incr c;
+  M.Counter.incr ~by:5 c;
+  M.Counter.incr ~by:(-3) c;
+  Alcotest.(check int) "monotonic: negative increments clamp to 0" 6 (M.Counter.value c);
+  let g = M.Gauge.create () in
+  M.Gauge.set g 4.0;
+  M.Gauge.add g (-1.5);
+  Alcotest.(check (float 1e-9)) "gauge set+add" 2.5 (M.Gauge.value g)
+
+let test_bucket_bounds () =
+  (* bucket 0 swallows everything at or below 2^min_exp, including
+     non-positive values; +inf lands in the overflow bucket *)
+  List.iter
+    (fun (v, i) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_index %g" v) i (H.bucket_index v))
+    [
+      (0.0, 0);
+      (-3.0, 0);
+      (neg_infinity, 0);
+      (ldexp 1.0 H.min_exp, 0);
+      (1.0, -H.min_exp);
+      (* exact powers of two land on their own bound *)
+      (4.0, 2 - H.min_exp);
+      (4.0001, 3 - H.min_exp);
+      (infinity, H.num_buckets - 1);
+    ];
+  Alcotest.(check bool) "overflow bound is +Inf" true
+    (H.bucket_upper_bound (H.num_buckets - 1) = infinity)
+
+let bucket_invariant =
+  QCheck.Test.make ~name:"bucket_index picks the tightest bound" ~count:500
+    QCheck.(pair (float_range 0.5 1.0) (int_range (-40) 70))
+    (fun (m, e) ->
+      let v = ldexp m e in
+      let i = H.bucket_index v in
+      v <= H.bucket_upper_bound i
+      && (i = 0 || i = H.num_buckets - 1 || v > H.bucket_upper_bound (i - 1)))
+
+let test_histogram_basics () =
+  let h = H.create () in
+  H.add h nan;
+  Alcotest.(check int) "nan ignored" 0 (H.count h);
+  List.iter (H.add h) [ 1.0; 3.0; 104.0 ];
+  let s = H.snapshot h in
+  Alcotest.(check int) "count" 3 s.H.n;
+  Alcotest.(check (float 1e-9)) "sum" 108.0 s.H.total;
+  Alcotest.(check (float 1e-9)) "mean" 36.0 (H.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.H.vmin;
+  Alcotest.(check (float 1e-9)) "max clamps percentiles" 104.0 (H.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p50 is a bucket bound" 4.0 (H.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "empty percentile is 0" 0.0 (H.percentile H.empty 50.0)
+
+(* Against the raw-sample recorder it replaces on hot paths: both use
+   the nearest-rank convention, so the histogram's answer is the exact
+   percentile rounded up to a bucket bound — within one octave. *)
+let percentile_vs_stats =
+  QCheck.Test.make ~name:"percentiles within one octave of Stats, monotone" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (float_range 0.001 1e6))
+    (fun samples ->
+      let h = H.create () in
+      let st = Dsig_simnet.Stats.create () in
+      List.iter
+        (fun v ->
+          H.add h v;
+          Dsig_simnet.Stats.add st v)
+        samples;
+      let s = H.snapshot h in
+      let octave p =
+        let sp = Dsig_simnet.Stats.percentile st p and hp = H.percentile s p in
+        sp <= hp && hp <= 2.0 *. sp
+      in
+      List.for_all octave [ 10.0; 50.0; 90.0; 99.0; 100.0 ]
+      && H.percentile s 50.0 <= H.percentile s 90.0
+      && H.percentile s 90.0 <= H.percentile s 99.0)
+
+let snapshot_of_ints ints =
+  let h = H.create () in
+  List.iter (fun i -> H.add h (float_of_int i)) ints;
+  H.snapshot h
+
+let snap_equal a b =
+  a.H.counts = b.H.counts && a.H.n = b.H.n && a.H.total = b.H.total && a.H.vmin = b.H.vmin
+  && a.H.vmax = b.H.vmax
+
+let merge_associative =
+  (* integer-valued samples keep the running sums exact, so structural
+     equality is meaningful *)
+  QCheck.Test.make ~name:"snapshot merge is associative with empty identity" ~count:200
+    QCheck.(triple (list (int_range 0 1000)) (list (int_range 0 1000)) (list (int_range 0 1000)))
+    (fun (xs, ys, zs) ->
+      let a = snapshot_of_ints xs and b = snapshot_of_ints ys and c = snapshot_of_ints zs in
+      snap_equal (H.merge a (H.merge b c)) (H.merge (H.merge a b) c)
+      && snap_equal (H.merge a H.empty) a
+      && snap_equal (H.merge H.empty a) a)
+
+(* --- registry --- *)
+
+let test_registry () =
+  let r = Registry.create () in
+  M.Counter.incr ~by:2 (Registry.counter r "ops_total");
+  M.Gauge.set (Registry.gauge r "depth") 7.0;
+  (* same name resolves to the same cell within a domain *)
+  M.Counter.incr (Registry.counter r "ops_total");
+  (match Registry.Snapshot.find (Registry.snapshot r) "ops_total" with
+  | Some (Registry.Snapshot.Counter 3) -> ()
+  | _ -> Alcotest.fail "counter not merged to 3");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Dsig_telemetry.Registry: \"ops_total\" is a counter, not a gauge")
+    (fun () -> ignore (Registry.gauge r "ops_total"))
+
+let test_registry_snapshot_merge () =
+  let r1 = Registry.create () and r2 = Registry.create () in
+  M.Counter.incr ~by:2 (Registry.counter r1 "shared_total");
+  M.Counter.incr ~by:5 (Registry.counter r2 "shared_total");
+  M.Gauge.set (Registry.gauge r1 "only_left") 1.5;
+  let merged = Registry.Snapshot.merge (Registry.snapshot r1) (Registry.snapshot r2) in
+  (match Registry.Snapshot.find merged "shared_total" with
+  | Some (Registry.Snapshot.Counter 7) -> ()
+  | _ -> Alcotest.fail "counters not summed");
+  match Registry.Snapshot.find merged "only_left" with
+  | Some (Registry.Snapshot.Gauge 1.5) -> ()
+  | _ -> Alcotest.fail "one-sided name lost"
+
+(* --- tracer --- *)
+
+let test_ring_wraparound () =
+  let tr = Tracer.create ~capacity:8 () in
+  Tracer.record_at tr Tracer.Sign_fast Tracer.Begin 0.0;
+  Alcotest.(check int) "disabled tracer records nothing" 0 (Tracer.recorded tr);
+  Tracer.enable tr;
+  for i = 0 to 19 do
+    Tracer.record_at tr ~tag:i Tracer.Sign_fast Tracer.Begin (float_of_int i)
+  done;
+  let evs = Tracer.events tr in
+  Alcotest.(check int) "buffer holds capacity" 8 (List.length evs);
+  Alcotest.(check int) "recorded counts everything" 20 (Tracer.recorded tr);
+  Alcotest.(check int) "dropped = recorded - capacity" 12 (Tracer.dropped tr);
+  Alcotest.(check (list (float 1e-9))) "oldest-first, newest survive"
+    [ 12.; 13.; 14.; 15.; 16.; 17.; 18.; 19. ]
+    (List.map (fun (e : Tracer.event) -> e.Tracer.at_us) evs);
+  Tracer.clear tr;
+  Alcotest.(check int) "clear resets" 0 (Tracer.recorded tr)
+
+(* --- golden exporter outputs --- *)
+
+(* A fixed snapshot: counter 3, gauge 2.5, histogram {1, 3, 104}.
+   Bucket bounds: 1 -> 2^0, 3 -> 2^2, 104 -> 2^7; ranks: p50 = rank 2
+   -> bound 4, p90/p99 = rank 3 -> bound 128 clamped to max 104. *)
+let golden_registry () =
+  let r = Registry.create () in
+  M.Counter.incr ~by:3 (Registry.counter r "req_total");
+  M.Gauge.set (Registry.gauge r "depth") 2.5;
+  let h = Registry.histogram r "lat_us" in
+  List.iter (H.add h) [ 1.0; 3.0; 104.0 ];
+  r
+
+let test_golden_json () =
+  let snap = Registry.snapshot (golden_registry ()) in
+  Alcotest.(check string) "json"
+    ("{\"counters\":{\"req_total\":3},\"gauges\":{\"depth\":2.5},"
+   ^ "\"histograms\":{\"lat_us\":{\"count\":3,\"sum\":108,\"mean\":36,\"min\":1,\"max\":104,"
+   ^ "\"p50\":4,\"p90\":104,\"p99\":104,"
+   ^ "\"buckets\":[{\"le\":\"1\",\"count\":1},{\"le\":\"4\",\"count\":1},{\"le\":\"128\",\"count\":1}]}}}"
+    )
+    (Export.json snap)
+
+let test_golden_json_trace () =
+  let tr = Tracer.create ~capacity:4 () in
+  Tracer.enable tr;
+  Tracer.record_at tr ~tag:7 Tracer.Sign_fast Tracer.Begin 1.0;
+  Tracer.record_at tr ~tag:7 Tracer.Sign_fast Tracer.End 2.5;
+  Alcotest.(check string) "trace json"
+    ("{\"counters\":{},\"gauges\":{},\"histograms\":{},"
+   ^ "\"trace\":{\"recorded\":2,\"dropped\":0,\"events\":["
+   ^ "{\"span\":\"sign_fast\",\"phase\":\"begin\",\"at_us\":1,\"tag\":7},"
+   ^ "{\"span\":\"sign_fast\",\"phase\":\"end\",\"at_us\":2.5,\"tag\":7}]}}")
+    (Export.json ~tracer:tr (Registry.snapshot (Registry.create ())))
+
+let test_golden_prometheus () =
+  let snap = Registry.snapshot (golden_registry ()) in
+  Alcotest.(check string) "prometheus"
+    "# TYPE depth gauge\n\
+     depth 2.5\n\
+     # TYPE lat_us histogram\n\
+     lat_us_bucket{le=\"1\"} 1\n\
+     lat_us_bucket{le=\"4\"} 2\n\
+     lat_us_bucket{le=\"128\"} 3\n\
+     lat_us_bucket{le=\"+Inf\"} 3\n\
+     lat_us_sum 108\n\
+     lat_us_count 3\n\
+     # TYPE req_total counter\n\
+     req_total 3\n"
+    (Export.prometheus snap)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_summary_mentions_metrics () =
+  let s = Export.summary (Registry.snapshot (golden_registry ())) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary mentions %S" needle)
+        true (contains s needle))
+    [ "counters:"; "req_total"; "gauges:"; "histograms:"; "lat_us"; "n=3" ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metric",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "bucket bounds" `Quick test_bucket_bounds;
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          QCheck_alcotest.to_alcotest ~long:false bucket_invariant;
+          QCheck_alcotest.to_alcotest ~long:false percentile_vs_stats;
+          QCheck_alcotest.to_alcotest ~long:false merge_associative;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "per-name cells and kind check" `Quick test_registry;
+          Alcotest.test_case "snapshot merge" `Quick test_registry_snapshot_merge;
+        ] );
+      ( "tracer",
+        [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound ] );
+      ( "export",
+        [
+          Alcotest.test_case "golden json" `Quick test_golden_json;
+          Alcotest.test_case "golden json trace" `Quick test_golden_json_trace;
+          Alcotest.test_case "golden prometheus" `Quick test_golden_prometheus;
+          Alcotest.test_case "summary" `Quick test_summary_mentions_metrics;
+        ] );
+    ]
