@@ -28,7 +28,8 @@ let () =
         | Dsig_tcpnet.Tcpnet.Announcement a ->
             if Verifier.deliver verifier a then incr announcements
         | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
-            if Verifier.verify verifier ~msg signature then incr verified else incr rejected);
+            if Verifier.verify verifier ~msg signature then incr verified else incr rejected
+        | Dsig_tcpnet.Tcpnet.Control _ -> ());
         Mutex.unlock mu)
       ()
   in

@@ -6,33 +6,52 @@ module Metric = Dsig_telemetry.Metric
 
 type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
 
+(* announcements carry the virtual send time so delivery can record the
+   time spent on the (modeled) wire *)
+type payload =
+  | P_announce of float * Dsig.Batch.announcement
+  | P_control of Dsig.Batch.control
+
 type t = {
   cfg : Dsig.Config.t;
   parties : party array;
   pki : Dsig.Pki.t;
+  net : payload Net.t;
   mutable sent : int;
   mutable delivered : int;
 }
 
-let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(seed = 97L)
-    ?(telemetry = Tel.default) sim cfg ~n () =
+let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
+    ?(groups = fun _ -> []) ?(seed = 97L) ?(telemetry = Tel.default) ?retry sim cfg ~n () =
   let pki = Dsig.Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
   Array.iteri (fun id (_, pk) -> Dsig.Pki.register pki ~id pk) keys;
-  (* payload carries the virtual send time so delivery can record the
-     announcement's time on the (modeled) wire *)
-  let net : (float * Dsig.Batch.announcement) Net.t = Net.create sim ~nodes:n ~latency_us () in
+  let net : payload Net.t = Net.create sim ~nodes:n ~latency_us () in
   let ann_bytes = Dsig.Batch.announcement_wire_bytes cfg in
   let c_sent = Tel.counter telemetry "dsig_deploy_announcements_sent_total" in
   let c_delivered = Tel.counter telemetry "dsig_deploy_announcements_delivered_total" in
   let c_dropped = Tel.counter telemetry "dsig_deploy_announcements_rejected_total" in
+  let c_control = Tel.counter telemetry "dsig_deploy_control_frames_total" in
   let h_net = Tel.histogram telemetry "dsig_deploy_announce_net_us" in
   let t_ref = ref None in
   let send_of id ~dest ann =
     (match !t_ref with Some t -> t.sent <- t.sent + 1 | None -> ());
     Metric.Counter.incr c_sent;
-    Net.send_async net ~src:id ~dst:dest ~bytes:ann_bytes (Sim.now sim, ann)
+    Net.send_async net ~src:id ~dst:dest ~bytes:ann_bytes (P_announce (Sim.now sim, ann))
+  in
+  (* verifier→signer reliability traffic (ACKs and pull-repair requests)
+     rides the same modeled network as the announcements it protects *)
+  let control_of id c =
+    let target =
+      match c with
+      | Dsig.Batch.Ack a -> a.Dsig.Batch.ack_signer
+      | Dsig.Batch.Request r -> r.Dsig.Batch.req_signer
+    in
+    if target >= 0 && target < n then begin
+      Metric.Counter.incr c_control;
+      Net.send_async net ~src:id ~dst:target ~bytes:Dsig.Batch.control_wire_bytes (P_control c)
+    end
   in
   let all = List.init n Fun.id in
   let parties =
@@ -41,11 +60,12 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(see
         {
           signer =
             Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
-              ~groups:(groups id) ~telemetry ~verifiers:all ();
-          verifier = Dsig.Verifier.create cfg ~id ~pki ~telemetry ();
+              ~groups:(groups id) ~telemetry ?retry ~verifiers:all ();
+          verifier =
+            Dsig.Verifier.create cfg ~id ~pki ~telemetry ~control:(control_of id) ();
         })
   in
-  let t = { cfg; parties; pki; sent = 0; delivered = 0 } in
+  let t = { cfg; parties; pki; net; sent = 0; delivered = 0 } in
   t_ref := Some t;
   (* per-party background plane: one queue-refill step per poll
      (Algorithm 1 lines 6-11) *)
@@ -56,21 +76,32 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(see
             ignore (Dsig.Signer.background_step p.signer);
             Sim.sleep bg_poll_us
           done);
-      (* announcement receiver: the verifier's background plane *)
+      (* re-announcement pump: resend announcements whose ACK backoff
+         expired; a no-op while every verifier is acknowledging *)
       Sim.spawn sim (fun () ->
           while true do
-            let _src, _bytes, (sent_at, ann) = Net.recv net ~node:id in
-            (* virtual time spent on the modeled wire; the in-delivery
-               processing span (announce_delivery) is recorded by the
-               verifier itself, in virtual time too when [telemetry] was
-               created with [~clock:(fun () -> Sim.now sim)] *)
-            Metric.Histogram.add h_net (Sim.now sim -. sent_at);
-            let ok = Dsig.Verifier.deliver p.verifier ann in
-            if ok then begin
-              t.delivered <- t.delivered + 1;
-              Metric.Counter.incr c_delivered
-            end
-            else Metric.Counter.incr c_dropped
+            ignore (Dsig.Signer.reannounce_step p.signer);
+            Sim.sleep reannounce_poll_us
+          done);
+      (* receiver: the verifier's background plane, plus inbound
+         reliability traffic for the co-located signer *)
+      Sim.spawn sim (fun () ->
+          while true do
+            match Net.recv net ~node:id with
+            | _src, _bytes, P_control c -> Dsig.Signer.handle_control p.signer c
+            | _src, _bytes, P_announce (sent_at, ann) ->
+                (* virtual time spent on the modeled wire; the
+                   in-delivery processing span (announce_delivery) is
+                   recorded by the verifier itself, in virtual time too
+                   when [telemetry] was created with
+                   [~clock:(fun () -> Sim.now sim)] *)
+                Metric.Histogram.add h_net (Sim.now sim -. sent_at);
+                let ok = Dsig.Verifier.deliver p.verifier ann in
+                if ok then begin
+                  t.delivered <- t.delivered + 1;
+                  Metric.Counter.incr c_delivered
+                end
+                else Metric.Counter.incr c_dropped
           done))
     parties;
   t
@@ -78,7 +109,34 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(groups = fun _ -> []) ?(see
 let signer t i = t.parties.(i).signer
 let verifier t i = t.parties.(i).verifier
 let pki t = t.pki
+let net t = t.net
 let sign t ~signer:i ?hint msg = Dsig.Signer.sign t.parties.(i).signer ?hint msg
 let verify t ~verifier:i ~msg signature = Dsig.Verifier.verify t.parties.(i).verifier ~msg signature
 let announcements_sent t = t.sent
 let announcements_delivered t = t.delivered
+
+let flip_random_bit rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    let bit = Rng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bytes.unsafe_to_string b
+  end
+
+let corrupting_mutate ~seed =
+  let rng = Rng.create seed in
+  fun payload ->
+    match payload with
+    | P_announce (sent_at, ann) -> (
+        match
+          Dsig.Batch.decode_announcement
+            (flip_random_bit rng (Dsig.Batch.encode_announcement ann))
+        with
+        | Ok ann' -> Some (P_announce (sent_at, ann'))
+        | Error _ -> None)
+    | P_control c -> (
+        match Dsig.Batch.decode_control (flip_random_bit rng (Dsig.Batch.encode_control c)) with
+        | Ok c' -> Some (P_control c')
+        | Error _ -> None)

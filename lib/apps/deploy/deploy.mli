@@ -8,16 +8,36 @@
     the verifier's background plane has received and checked the
     announcement takes the slow path; one issued after takes the fast
     path. Used by the integration tests and available to application
-    harnesses. *)
+    harnesses.
+
+    The announcement plane is reliable end to end: verifiers ACK every
+    admitted announcement ({!Dsig.Batch.control} frames on the same
+    modeled network), signers re-announce unacknowledged batches with
+    exponential backoff (a per-party pump polled every
+    [reannounce_poll_us]), and a verifier that hits the slow path on an
+    unknown batch emits a pull-repair {!Dsig.Batch.request}. Under
+    message loss, reordering or corruption (see {!Dsig_simnet.Net.set_faults}
+    and {!corrupting_mutate}) the system degrades to slow-path
+    verification and converges back to the fast path once the network
+    heals. *)
 
 type t
+
+(** What travels on the modeled wire. *)
+type payload =
+  | P_announce of float * Dsig.Batch.announcement
+      (** Announcement stamped with its virtual send time. *)
+  | P_control of Dsig.Batch.control
+      (** Verifier→signer ACK / batch-request reliability traffic. *)
 
 val create :
   ?latency_us:float ->
   ?bg_poll_us:float ->
+  ?reannounce_poll_us:float ->
   ?groups:(int -> int list list) ->
   ?seed:int64 ->
   ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?retry:Dsig_util.Retry.policy ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -25,20 +45,37 @@ val create :
   t
 (** Starts [n] parties on [sim]. [bg_poll_us] (default 5.0) is how often
     each signer's background plane checks its queues (one batch per
-    step, as in Algorithm 1). Announcements incur network latency plus
-    serialization of their modeled size.
+    step, as in Algorithm 1); [reannounce_poll_us] (default 50.0) is how
+    often each signer checks for re-announcements whose backoff expired.
+    [retry] overrides the re-announce backoff policy (default
+    {!Dsig_util.Retry.default}). Announcements incur network latency
+    plus serialization of their modeled size.
 
     [telemetry] (default {!Dsig_telemetry.Telemetry.default}) is shared
     by every party's signer and verifier, and additionally receives
-    [dsig_deploy_announcements_{sent,delivered,rejected}_total] counters
-    and the [dsig_deploy_announce_net_us] histogram of virtual time
+    [dsig_deploy_announcements_{sent,delivered,rejected}_total] and
+    [dsig_deploy_control_frames_total] counters and the
+    [dsig_deploy_announce_net_us] histogram of virtual time
     announcements spend on the modeled wire. Pass a bundle created with
-    [~clock:(fun () -> Sim.now sim)] to timestamp tracer spans in
-    virtual time. *)
+    [~clock:(fun () -> Sim.now sim)] so tracer spans — and the
+    re-announce/pull-repair backoff ladders — run in virtual time. *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t
 val pki : t -> Dsig.Pki.t
+
+val net : t -> payload Dsig_simnet.Net.t
+(** The underlying modeled network — inject faults with
+    {!Dsig_simnet.Net.set_faults} (pass {!corrupting_mutate} as the
+    [mutate] hook) and lift them with {!Dsig_simnet.Net.clear_faults}. *)
+
+val corrupting_mutate : seed:int64 -> payload -> payload option
+(** Payload corruption for {!Dsig_simnet.Net.set_faults}: serializes the
+    payload, flips one uniformly random bit, and re-decodes. [None]
+    (undecodable) models a frame the receiver's length/tag checks
+    reject; [Some] is a decoded-but-tampered frame that must then fail
+    the cryptographic checks downstream. Partially apply to get the
+    hook: [Net.set_faults ... ~mutate:(Deploy.corrupting_mutate ~seed)]. *)
 
 val sign : t -> signer:int -> ?hint:int list -> string -> string
 (** Callable from inside or outside simulation processes. *)
@@ -46,4 +83,6 @@ val sign : t -> signer:int -> ?hint:int list -> string -> string
 val verify : t -> verifier:int -> msg:string -> string -> bool
 
 val announcements_sent : t -> int
+(** Includes re-announcements. *)
+
 val announcements_delivered : t -> int

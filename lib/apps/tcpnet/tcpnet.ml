@@ -11,6 +11,7 @@ type net_tel = {
   c_bytes_in : Metric.Counter.t;
   c_bytes_out : Metric.Counter.t;
   c_decode_errors : Metric.Counter.t;
+  c_reader_errors : Metric.Counter.t;
   h_frame : Metric.Histogram.t;
 }
 
@@ -21,17 +22,21 @@ let net_tel_of telemetry =
     c_bytes_in = Tel.counter telemetry "dsig_tcpnet_bytes_received_total";
     c_bytes_out = Tel.counter telemetry "dsig_tcpnet_bytes_sent_total";
     c_decode_errors = Tel.counter telemetry "dsig_tcpnet_decode_errors_total";
+    c_reader_errors = Tel.counter telemetry "dsig_tcpnet_reader_errors_total";
     h_frame = Tel.histogram telemetry "dsig_tcpnet_frame_bytes";
   }
 
 type message =
   | Announcement of Dsig.Batch.announcement
   | Signed of { msg : string; signature : string }
+  | Control of Dsig.Batch.control
 
 let encode_message = function
   | Announcement a -> "A" ^ Dsig.Batch.encode_announcement a
   | Signed { msg; signature } ->
       "S" ^ BU.u32_le (Int32.of_int (String.length msg)) ^ msg ^ signature
+  (* Batch.encode_control already carries its own 'K'/'R' tag byte *)
+  | Control c -> Dsig.Batch.encode_control c
 
 let decode_message s =
   if String.length s < 1 then Error "empty frame"
@@ -39,6 +44,7 @@ let decode_message s =
     let body = String.sub s 1 (String.length s - 1) in
     match s.[0] with
     | 'A' -> Result.map (fun a -> Announcement a) (Dsig.Batch.decode_announcement body)
+    | 'K' | 'R' -> Result.map (fun c -> Control c) (Dsig.Batch.decode_control s)
     | 'S' ->
         if String.length body < 4 then Error "short signed frame"
         else begin
@@ -57,19 +63,29 @@ let decode_message s =
 
 (* --- framing --- *)
 
+(* Unix.write/read raise EINTR when a signal lands mid-syscall; a
+   partial transfer followed by EINTR must resume, not fail. *)
+let rec write_chunk fd b off len =
+  try Unix.write fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_chunk fd b off len
+
+let rec read_chunk fd b off len =
+  try Unix.read fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk fd b off len
+
 let really_write fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    off := !off + write_chunk fd b !off (n - !off)
   done
 
 let really_read fd n =
   let b = Bytes.create n in
   let off = ref 0 in
   while !off < n do
-    let r = Unix.read fd b !off (n - !off) in
+    let r = read_chunk fd b !off (n - !off) in
     if r = 0 then raise End_of_file;
     off := !off + r
   done;
@@ -132,8 +148,17 @@ let listen ?(telemetry = Tel.default) ~port ~on_message () =
                          (* drop malformed frames *)
                          Metric.Counter.incr tel.c_decode_errors
                    done
-                 with End_of_file | Failure _ | Unix.Unix_error (_, _, _) -> (
-                   try Unix.close peer with Unix.Unix_error (_, _, _) -> ()))
+                 with e ->
+                   (* any escape — EOF on orderly close, oversized-frame
+                      Failure, socket errors, or a misbehaving callback —
+                      must kill only this peer's thread, never the
+                      server; anything but an orderly EOF during
+                      shutdown is counted *)
+                   (match e with
+                   | End_of_file -> ()
+                   | _ when t.stopping -> ()
+                   | _ -> Metric.Counter.incr tel.c_reader_errors);
+                   (try Unix.close peer with Unix.Unix_error (_, _, _) -> ()))
                ())
     done
   in
@@ -169,11 +194,60 @@ let connect ?(telemetry = Tel.default) ~port () =
   Unix.setsockopt fd Unix.TCP_NODELAY true;
   { fd; cl_tel = net_tel_of telemetry }
 
-let send t m =
-  let payload = encode_message m in
+let send_payload t payload =
   write_frame t.fd payload;
   Metric.Counter.incr t.cl_tel.c_frames_out;
   Metric.Counter.incr ~by:(4 + String.length payload) t.cl_tel.c_bytes_out;
   Metric.Histogram.add t.cl_tel.h_frame (float_of_int (String.length payload))
 
+let send t m = send_payload t (encode_message m)
+
 let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+(* --- fault injection --- *)
+
+module Faulty = struct
+  type nonrec t = {
+    client : client;
+    drop : float;
+    corrupt : float;
+    duplicate : float;
+    rng : Dsig_util.Rng.t;
+    mutable dropped : int;
+    mutable corrupted : int;
+  }
+
+  let wrap ?(drop = 0.0) ?(corrupt = 0.0) ?(duplicate = 0.0) ~seed client =
+    { client; drop; corrupt; duplicate; rng = Dsig_util.Rng.create seed; dropped = 0; corrupted = 0 }
+
+  let flip_random_bit rng s =
+    if String.length s = 0 then s
+    else begin
+      let b = Bytes.of_string s in
+      let i = Dsig_util.Rng.int rng (Bytes.length b) in
+      let bit = Dsig_util.Rng.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      Bytes.unsafe_to_string b
+    end
+
+  let send t m =
+    let draw p = p > 0.0 && Dsig_util.Rng.float t.rng 1.0 < p in
+    let payload = encode_message m in
+    if draw t.drop then t.dropped <- t.dropped + 1
+    else begin
+      let copies = if draw t.duplicate then 2 else 1 in
+      for _ = 1 to copies do
+        let payload =
+          if draw t.corrupt then begin
+            t.corrupted <- t.corrupted + 1;
+            flip_random_bit t.rng payload
+          end
+          else payload
+        in
+        send_payload t.client payload
+      done
+    end
+
+  let dropped t = t.dropped
+  let corrupted t = t.corrupted
+end

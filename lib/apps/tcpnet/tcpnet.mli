@@ -5,11 +5,15 @@
     commodity-Ethernet stand-in for the paper's RDMA messaging.
 
     Frame format: 4-byte little-endian payload length, 1 tag byte
-    ([`A]nnouncement / [`S]igned message), payload. *)
+    ([`A]nnouncement / [`S]igned message / [`K] ack / [`R] batch
+    request), payload. *)
 
 type message =
   | Announcement of Dsig.Batch.announcement
   | Signed of { msg : string; signature : string }
+  | Control of Dsig.Batch.control
+      (** Announcement-plane reliability traffic: verifier→signer ACKs
+          and pull-repair batch requests. *)
 
 type server
 
@@ -21,10 +25,16 @@ val listen :
 
     [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
     [dsig_tcpnet_frames_received_total] / [dsig_tcpnet_bytes_received_total]
-    / [dsig_tcpnet_decode_errors_total] counters and the
+    / [dsig_tcpnet_decode_errors_total] /
+    [dsig_tcpnet_reader_errors_total] counters and the
     [dsig_tcpnet_frame_bytes] size histogram. Receiver threads share the
     calling domain's metric cells; a rare lost increment under systhread
-    preemption is tolerated. *)
+    preemption is tolerated.
+
+    A receiver thread that dies for any reason — peer reset, oversized
+    frame, an exception escaping [on_message] — closes only its own
+    connection and bumps [dsig_tcpnet_reader_errors_total]; the server
+    keeps accepting. *)
 
 val port : server -> int
 val stop : server -> unit
@@ -42,3 +52,20 @@ val close : client -> unit
 val encode_message : message -> string
 val decode_message : string -> (message, string) result
 (** Exposed for tests. *)
+
+(** A lossy/corrupting wrapper around {!client} for fault testing: each
+    {!Faulty.send} drops the frame with probability [drop], otherwise
+    duplicates it with probability [duplicate], and independently
+    bit-flips each sent copy's encoded payload with probability
+    [corrupt] (the receiver counts the flip as a decode error and drops
+    it). Deterministic under [seed]. *)
+module Faulty : sig
+  type t
+
+  val wrap :
+    ?drop:float -> ?corrupt:float -> ?duplicate:float -> seed:int64 -> client -> t
+
+  val send : t -> message -> unit
+  val dropped : t -> int
+  val corrupted : t -> int
+end

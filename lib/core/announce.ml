@@ -1,0 +1,90 @@
+module Retry = Dsig_util.Retry
+module Rng = Dsig_util.Rng
+
+type entry = {
+  ann : Batch.announcement;
+  waiting : (int, Retry.state) Hashtbl.t; (* dest -> backoff state *)
+}
+
+type t = {
+  policy : Retry.policy;
+  retain : int;
+  rng : Rng.t;
+  clock : unit -> float;
+  entries : (int64, entry) Hashtbl.t;
+  order : int64 Queue.t; (* FIFO retention *)
+  mutable acked : int;
+  mutable gave_up : int;
+}
+
+let create ?(policy = Retry.default) ?(retain = 64) ~rng ~clock () =
+  if retain <= 0 then invalid_arg "Announce.create: retain must be positive";
+  {
+    policy;
+    retain;
+    rng;
+    clock;
+    entries = Hashtbl.create 16;
+    order = Queue.create ();
+    acked = 0;
+    gave_up = 0;
+  }
+
+let track t (ann : Batch.announcement) ~dests =
+  let now = t.clock () in
+  let waiting = Hashtbl.create (List.length dests) in
+  List.iter
+    (fun dest -> Hashtbl.replace waiting dest (Retry.start t.policy ~rng:t.rng ~now))
+    dests;
+  let batch_id = ann.Batch.ann_batch_id in
+  if not (Hashtbl.mem t.entries batch_id) then Queue.add batch_id t.order;
+  Hashtbl.replace t.entries batch_id { ann; waiting };
+  while Queue.length t.order > t.retain do
+    let victim = Queue.pop t.order in
+    (match Hashtbl.find_opt t.entries victim with
+    | Some e -> t.gave_up <- t.gave_up + Hashtbl.length e.waiting
+    | None -> ());
+    Hashtbl.remove t.entries victim
+  done
+
+let ack t ~verifier ~batch_id =
+  match Hashtbl.find_opt t.entries batch_id with
+  | None -> false
+  | Some e ->
+      if Hashtbl.mem e.waiting verifier then begin
+        Hashtbl.remove e.waiting verifier;
+        t.acked <- t.acked + 1;
+        true
+      end
+      else false
+
+let lookup t ~batch_id =
+  Option.map (fun e -> e.ann) (Hashtbl.find_opt t.entries batch_id)
+
+let due t =
+  let now = t.clock () in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _ e ->
+      let expired =
+        Hashtbl.fold
+          (fun dest st acc -> if Retry.due st ~now then (dest, st) :: acc else acc)
+          e.waiting []
+      in
+      List.iter
+        (fun (dest, st) ->
+          match Retry.next t.policy ~rng:t.rng st ~now with
+          | Some st' ->
+              Hashtbl.replace e.waiting dest st';
+              out := (dest, e.ann) :: !out
+          | None ->
+              Hashtbl.remove e.waiting dest;
+              t.gave_up <- t.gave_up + 1)
+        expired)
+    t.entries;
+  !out
+
+let pending t = Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.waiting) t.entries 0
+let batches t = Hashtbl.length t.entries
+let acked t = t.acked
+let gave_up t = t.gave_up

@@ -1,0 +1,54 @@
+(** Signer-side announcement reliability state.
+
+    Tracks, per generated batch, which destination verifiers have
+    acknowledged the batch announcement, schedules re-announcements for
+    the rest under a {!Dsig_util.Retry} policy, and retains recent
+    announcements so verifier pull requests ({!Batch.request}) can be
+    served even after every ACK arrived. Shared by the in-simulation
+    {!Signer} and the threaded {!Runtime} (which adds its own locking —
+    this module is not thread-safe by itself). *)
+
+type t
+
+val create :
+  ?policy:Dsig_util.Retry.policy ->
+  ?retain:int ->
+  rng:Dsig_util.Rng.t ->
+  clock:(unit -> float) ->
+  unit ->
+  t
+(** [retain] (default 64) bounds how many batches are kept for
+    re-announcement and request repair; older batches are evicted FIFO,
+    abandoning any still-unacknowledged destinations. [clock] supplies
+    "now" in the caller's time base (wall or virtual µs). *)
+
+val track : t -> Batch.announcement -> dests:int list -> unit
+(** Register a freshly multicast announcement; every destination starts
+    unacknowledged with a first re-announcement scheduled per policy.
+    Tracking the same batch id again resets its entry. *)
+
+val ack : t -> verifier:int -> batch_id:int64 -> bool
+(** Mark [verifier] as having received [batch_id]. Returns [true] if it
+    was pending (false for duplicates, unknown batches, or unknown
+    destinations — all harmless). *)
+
+val lookup : t -> batch_id:int64 -> Batch.announcement option
+(** Retained announcement for a batch, for serving pull requests. *)
+
+val due : t -> (int * Batch.announcement) list
+(** Destinations whose re-announcement backoff has expired, paired with
+    the announcement to re-send. Consuming the list advances each
+    destination's backoff state; destinations whose retry budget is
+    exhausted are dropped (counted in {!gave_up}) instead of returned. *)
+
+val pending : t -> int
+(** Outstanding (batch, destination) pairs still awaiting an ACK. *)
+
+val batches : t -> int
+(** Batches currently retained. *)
+
+val acked : t -> int
+(** ACKs that cleared a pending destination, ever. *)
+
+val gave_up : t -> int
+(** Destinations abandoned after exhausting the retry budget, ever. *)

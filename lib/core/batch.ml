@@ -111,6 +111,40 @@ let encode_announcement a =
         keys);
   Buffer.contents buf
 
+(* --- announcement-plane control messages (ACK / pull repair) --- *)
+
+type ack = { ack_verifier : int; ack_signer : int; ack_batch : int64 }
+type request = { req_verifier : int; req_signer : int; req_batch : int64 }
+type control = Ack of ack | Request of request
+
+let control_wire_bytes = 1 + 8 + 8 + 8
+
+let encode_control c =
+  let tag, a, b, d =
+    match c with
+    | Ack { ack_verifier; ack_signer; ack_batch } -> ('K', ack_verifier, ack_signer, ack_batch)
+    | Request { req_verifier; req_signer; req_batch } ->
+        ('R', req_verifier, req_signer, req_batch)
+  in
+  let buf = Buffer.create control_wire_bytes in
+  Buffer.add_char buf tag;
+  Buffer.add_string buf (BU.u64_le (Int64.of_int a));
+  Buffer.add_string buf (BU.u64_le (Int64.of_int b));
+  Buffer.add_string buf (BU.u64_le d);
+  Buffer.contents buf
+
+let decode_control s =
+  if String.length s <> control_wire_bytes then Error "bad control size"
+  else begin
+    let verifier = Int64.to_int (BU.get_u64_le s 1) in
+    let signer = Int64.to_int (BU.get_u64_le s 9) in
+    let batch = BU.get_u64_le s 17 in
+    match s.[0] with
+    | 'K' -> Ok (Ack { ack_verifier = verifier; ack_signer = signer; ack_batch = batch })
+    | 'R' -> Ok (Request { req_verifier = verifier; req_signer = signer; req_batch = batch })
+    | _ -> Error "bad control tag"
+  end
+
 let decode_announcement s =
   let len = String.length s in
   let pos = ref 0 in
@@ -143,6 +177,9 @@ let decode_announcement s =
                      let elem_len = Int32.to_int (BU.get_u32_le (take 4) 0) in
                      if nelems < 0 || nelems > 1 lsl 22 || elem_len < 0 || elem_len > 4096 then
                        failwith "bad element header"
+                       (* bound the element array by the remaining input
+                          before allocating nelems slots *)
+                     else if !pos + (nelems * elem_len) > len then failwith "truncated"
                      else (seed, Array.init nelems (fun _ -> take elem_len))))
           | _ -> failwith "bad full-keys flag"
         in

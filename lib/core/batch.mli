@@ -57,3 +57,23 @@ val decode_announcement : string -> (announcement, string) result
 (** Byte-level announcement encoding for real transports
     ({!Dsig_tcpnet}): signer and batch ids, root signature, leaf
     digests, and optional full keys. *)
+
+(** {1 Announcement-plane control messages}
+
+    The reliability layer of the announcement plane: a verifier that
+    accepted an announcement replies with an {!ack}; a verifier whose
+    foreground plane hit the slow path for an unknown [(signer, batch)]
+    emits a {!request} so the signer can re-announce the batch (pull
+    repair). Both are tiny fixed-size frames. *)
+
+type ack = { ack_verifier : int; ack_signer : int; ack_batch : int64 }
+type request = { req_verifier : int; req_signer : int; req_batch : int64 }
+type control = Ack of ack | Request of request
+
+val control_wire_bytes : int
+(** Encoded size of any control message (tag + three u64 fields). *)
+
+val encode_control : control -> string
+val decode_control : string -> (control, string) result
+(** Total: never raises, rejects any frame that is not exactly
+    [control_wire_bytes] long with a known tag. *)

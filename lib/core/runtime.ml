@@ -31,6 +31,7 @@ type t = {
   available : Condition.t; (* signaled when keys are pushed *)
   keys : prepared Queue.t;
   announcements : Batch.announcement Queue.t;
+  announce : Announce.t; (* ACK tracking, guarded by [mu] *)
   mutable batches : int;
   mutable stopping : bool;
   fg_rng : Rng.t; (* foreground nonces; background domain has its own *)
@@ -85,7 +86,7 @@ let background_loop cfg ~id ~eddsa ~rng t () =
     end
   done
 
-let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) () =
+let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64) () =
   let master = Rng.create seed in
   let bg_rng = Rng.split master in
   let state =
@@ -97,6 +98,10 @@ let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) () =
       available = Condition.create ();
       keys = Queue.create ();
       announcements = Queue.create ();
+      announce =
+        Announce.create ?policy:retry ~retain ~rng:(Rng.split master)
+          ~clock:(fun () -> Tel.now telemetry)
+          ();
       batches = 0;
       stopping = false;
       fg_rng = Rng.split master;
@@ -173,6 +178,32 @@ let drain_announcements t =
   Queue.clear t.announcements;
   Mutex.unlock t.mu;
   anns
+
+(* --- announcement-plane reliability ---
+
+   The runtime does not send announcements itself (the embedding
+   application distributes what [drain_announcements] returns), so the
+   application also reports who it sent to and feeds ACKs/requests back;
+   the runtime keeps the shared bookkeeping under its lock. *)
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let track_announcement t ann ~dests = locked t (fun () -> Announce.track t.announce ann ~dests)
+
+let handle_ack t (a : Batch.ack) =
+  if a.Batch.ack_signer = t.id then
+    ignore
+      (locked t (fun () ->
+           Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch))
+
+let handle_request t (r : Batch.request) =
+  if r.Batch.req_signer <> t.id then None
+  else locked t (fun () -> Announce.lookup t.announce ~batch_id:r.Batch.req_batch)
+
+let due_reannouncements t = locked t (fun () -> Announce.due t.announce)
+let unacked_announcements t = locked t (fun () -> Announce.pending t.announce)
 
 let shutdown t =
   Mutex.lock t.mu;

@@ -21,9 +21,15 @@ val create :
   eddsa:Dsig_ed25519.Eddsa.secret_key ->
   seed:int64 ->
   ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?retry:Dsig_util.Retry.policy ->
+  ?retain:int ->
   unit ->
   t
 (** Spawns the background domain. Call {!shutdown} when done.
+
+    [retry] (default {!Dsig_util.Retry.default}) and [retain] (default
+    64) configure announcement ACK tracking — see
+    {!track_announcement}.
 
     [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
     the foreground plane's [dsig_runtime_signatures_total] /
@@ -44,6 +50,30 @@ val batches_generated : t -> int
 
 val drain_announcements : t -> Batch.announcement list
 (** Announcements produced since the last drain, oldest first. *)
+
+(** {1 Announcement reliability}
+
+    The runtime hands announcements to the embedding application
+    ({!drain_announcements}) rather than sending them itself, so the
+    reliability loop is split: after distributing an announcement, the
+    application registers the destinations with {!track_announcement};
+    inbound {!Batch.ack} / {!Batch.request} frames go to {!handle_ack} /
+    {!handle_request}; and a periodic {!due_reannouncements} poll yields
+    the [(destination, announcement)] pairs to re-send. All entry points
+    are thread-safe. *)
+
+val track_announcement : t -> Batch.announcement -> dests:int list -> unit
+val handle_ack : t -> Batch.ack -> unit
+
+val handle_request : t -> Batch.request -> Batch.announcement option
+(** The retained announcement to re-send to the requesting verifier, or
+    [None] if the batch is no longer retained or names another signer. *)
+
+val due_reannouncements : t -> (int * Batch.announcement) list
+(** Destinations whose re-announcement backoff expired; consuming the
+    list advances each destination's backoff. *)
+
+val unacked_announcements : t -> int
 
 val shutdown : t -> unit
 (** Stops and joins the background domain. Idempotent. *)

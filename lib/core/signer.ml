@@ -2,6 +2,7 @@ open Dsig_hbss
 module Merkle = Dsig_merkle.Merkle
 module Eddsa = Dsig_ed25519.Eddsa
 module Rng = Dsig_util.Rng
+module Retry = Dsig_util.Retry
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
@@ -15,7 +16,13 @@ type prepared = {
 
 type group = { members : int list (* sorted *); queue : prepared Queue.t }
 
-type stats = { mutable signatures : int; mutable batches : int; mutable sync_refills : int }
+type stats = {
+  mutable signatures : int;
+  mutable batches : int;
+  mutable sync_refills : int;
+  mutable reannounces : int;
+  mutable requests_served : int;
+}
 
 (* Telemetry handles, resolved once at creation (metric names are shared
    across signers; per-signer series are distinguished by tracer tags). *)
@@ -24,9 +31,14 @@ type tel = {
   c_sign : Metric.Counter.t;
   c_sync : Metric.Counter.t;
   c_batches : Metric.Counter.t;
+  c_reannounce : Metric.Counter.t;
+  c_acks : Metric.Counter.t;
+  c_requests : Metric.Counter.t;
+  c_giveups : Metric.Counter.t;
   h_sign : Metric.Histogram.t;
   h_refill : Metric.Histogram.t;
   g_queue : Metric.Gauge.t;
+  g_unacked : Metric.Gauge.t;
 }
 
 type t = {
@@ -38,11 +50,14 @@ type t = {
   mutable batch_counter : int64;
   send : dest:int -> Batch.announcement -> unit;
   outbox : (int * Batch.announcement) Queue.t;
+  announce : Announce.t; (* ACK tracking + re-announce + request repair *)
+  mutable gave_up_seen : int; (* Announce.gave_up already counted *)
   stats : stats;
   tel : tel;
 }
 
-let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ~verifiers () =
+let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ?retry
+    ?(retain = 64) ~verifiers () =
   let outbox = Queue.create () in
   let send =
     match send with
@@ -71,16 +86,26 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ~
     batch_counter = 0L;
     send;
     outbox;
-    stats = { signatures = 0; batches = 0; sync_refills = 0 };
+    announce =
+      Announce.create ?policy:retry ~retain ~rng:(Rng.split rng)
+        ~clock:(fun () -> Tel.now telemetry)
+        ();
+    gave_up_seen = 0;
+    stats = { signatures = 0; batches = 0; sync_refills = 0; reannounces = 0; requests_served = 0 };
     tel =
       {
         bundle = telemetry;
         c_sign = Tel.counter telemetry "dsig_signer_signatures_total";
         c_sync = Tel.counter telemetry "dsig_signer_sync_refills_total";
         c_batches = Tel.counter telemetry "dsig_signer_batches_total";
+        c_reannounce = Tel.counter telemetry "dsig_signer_reannounces_total";
+        c_acks = Tel.counter telemetry "dsig_signer_acks_total";
+        c_requests = Tel.counter telemetry "dsig_signer_batch_requests_total";
+        c_giveups = Tel.counter telemetry "dsig_signer_announce_giveups_total";
         h_sign = Tel.histogram telemetry "dsig_signer_sign_us";
         h_refill = Tel.histogram telemetry "dsig_signer_refill_us";
         g_queue = Tel.gauge telemetry "dsig_signer_queue_depth";
+        g_unacked = Tel.gauge telemetry "dsig_signer_unacked_announcements";
       };
   }
 
@@ -119,7 +144,13 @@ let refill t group =
   let batch = Batch.make ~telemetry:t.tel.bundle t.cfg ~signer_id:t.id ~batch_id ~eddsa:t.eddsa ~rng:t.rng in
   t.stats.batches <- t.stats.batches + 1;
   let ann = Batch.announcement t.cfg batch in
-  List.iter (fun dest -> if dest <> t.id then t.send ~dest ann) group.members;
+  let dests = List.filter (fun dest -> dest <> t.id) group.members in
+  (* track before sending: over an in-process transport the ACK comes
+     back synchronously, and it must find the batch registered *)
+  if dests <> [] then Announce.track t.announce ann ~dests;
+  List.iter (fun dest -> t.send ~dest ann) dests;
+  if dests <> [] then
+    Metric.Gauge.set t.tel.g_unacked (float_of_int (Announce.pending t.announce));
   for i = 0 to Batch.size batch - 1 do
     Queue.add
       {
@@ -232,3 +263,59 @@ let sign t ?hint msg =
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.End t1;
   wire
+
+(* --- announcement-plane reliability --- *)
+
+let sync_unacked_gauge t = Metric.Gauge.set t.tel.g_unacked (float_of_int (Announce.pending t.announce))
+
+let handle_ack t (a : Batch.ack) =
+  if a.Batch.ack_signer = t.id && Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch
+  then begin
+    Metric.Counter.incr t.tel.c_acks;
+    sync_unacked_gauge t
+  end
+
+let handle_request t (r : Batch.request) =
+  if r.Batch.req_signer <> t.id then false
+  else
+    match Announce.lookup t.announce ~batch_id:r.Batch.req_batch with
+    | None ->
+        Log.L.debug (fun m ->
+            m "signer %d: batch %Ld requested by %d but no longer retained" t.id
+              r.Batch.req_batch r.Batch.req_verifier);
+        false
+    | Some ann ->
+        t.stats.requests_served <- t.stats.requests_served + 1;
+        Metric.Counter.incr t.tel.c_requests;
+        t.send ~dest:r.Batch.req_verifier ann;
+        true
+
+let handle_control t = function
+  | Batch.Ack a -> handle_ack t a
+  | Batch.Request r -> ignore (handle_request t r)
+
+let reannounce_step t =
+  let due = Announce.due t.announce in
+  (match due with
+  | [] -> ()
+  | _ :: _ ->
+      let t0 = Tel.now t.tel.bundle in
+      List.iter
+        (fun (dest, ann) ->
+          t.stats.reannounces <- t.stats.reannounces + 1;
+          Metric.Counter.incr t.tel.c_reannounce;
+          t.send ~dest ann)
+        due;
+      (* destinations abandoned this round surface as counter deltas *)
+      let gave_up = Announce.gave_up t.announce in
+      if gave_up > t.gave_up_seen then begin
+        Metric.Counter.incr ~by:(gave_up - t.gave_up_seen) t.tel.c_giveups;
+        t.gave_up_seen <- gave_up
+      end;
+      sync_unacked_gauge t;
+      let t1 = Tel.now t.tel.bundle in
+      Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Reannounce Tracer.Begin t0;
+      Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Reannounce Tracer.End t1);
+  List.length due
+
+let unacked_announcements t = Announce.pending t.announce

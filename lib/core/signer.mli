@@ -24,6 +24,8 @@ val create :
   ?send:(dest:int -> Batch.announcement -> unit) ->
   ?groups:int list list ->
   ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?retry:Dsig_util.Retry.policy ->
+  ?retain:int ->
   verifiers:int list ->
   unit ->
   t
@@ -32,14 +34,23 @@ val create :
     [send] delivers background announcements; it defaults to a no-op
     (useful when announcements are collected via {!drain_outbox}).
 
+    [retry] (default {!Dsig_util.Retry.default}) paces re-announcements
+    of unacknowledged batches ({!reannounce_step}); [retain] (default
+    64) bounds how many recent batches are kept for re-announcement and
+    pull-request repair.
+
     [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
     [dsig_signer_signatures_total] / [dsig_signer_sync_refills_total] /
-    [dsig_signer_batches_total] counters, [dsig_signer_sign_us] and
+    [dsig_signer_batches_total] counters, the announcement-reliability
+    counters [dsig_signer_reannounces_total] / [dsig_signer_acks_total]
+    / [dsig_signer_batch_requests_total] /
+    [dsig_signer_announce_giveups_total] and the
+    [dsig_signer_unacked_announcements] gauge, [dsig_signer_sign_us] and
     [dsig_signer_refill_us] latency histograms, the process-wide
     [dsig_signer_queue_depth] gauge (prepared keys across all groups and
     signers sharing the handle), and — when the tracer is enabled —
-    [sign_fast] / [sign_sync_refill] / [batch_gen] / [eddsa_sign] spans
-    tagged with the signer id. *)
+    [sign_fast] / [sign_sync_refill] / [batch_gen] / [eddsa_sign] /
+    [reannounce] spans tagged with the signer id. *)
 
 val id : t -> int
 val config : t -> Config.t
@@ -66,6 +77,8 @@ type stats = {
   mutable signatures : int;
   mutable batches : int;
   mutable sync_refills : int;  (** foreground had to generate keys *)
+  mutable reannounces : int;  (** unACKed announcements re-sent *)
+  mutable requests_served : int;  (** pull requests answered *)
 }
 
 val stats : t -> stats
@@ -73,3 +86,33 @@ val stats : t -> stats
 val drain_outbox : t -> (int * Batch.announcement) list
 (** Announcements queued when no [send] callback was given, as
     [(destination, announcement)] pairs, oldest first. *)
+
+(** {1 Announcement reliability (ACK / re-announce / pull repair)}
+
+    Announcements are fire-and-forget at the transport level; these
+    entry points close the loop. Feed inbound {!Batch.control} messages
+    to {!handle_control} (or the typed variants) and drive
+    {!reannounce_step} from the background plane alongside
+    {!background_step}. *)
+
+val handle_ack : t -> Batch.ack -> unit
+(** Record a verifier's acknowledgement of a batch announcement.
+    ACKs for other signers, unknown batches, or already-acknowledged
+    destinations are ignored. *)
+
+val handle_request : t -> Batch.request -> bool
+(** Re-send the requested batch announcement to the requesting verifier
+    (pull repair). [false] if the batch is not retained (too old) or the
+    request names another signer. *)
+
+val handle_control : t -> Batch.control -> unit
+(** Dispatch to {!handle_ack} / {!handle_request}. *)
+
+val reannounce_step : t -> int
+(** Re-send every announcement whose destination has not acknowledged it
+    and whose backoff has expired; returns the number of re-sends (0
+    when nothing is due). Destinations that exhaust the retry budget are
+    abandoned and counted in [dsig_signer_announce_giveups_total]. *)
+
+val unacked_announcements : t -> int
+(** Outstanding (batch, destination) pairs still awaiting an ACK. *)

@@ -17,6 +17,19 @@ let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) cfg ~n
       ignore (Verifier.deliver parties.(dest).verifier ann)
   in
   let all = List.init n Fun.id in
+  (* in-process transport is lossless, so the reliability loop closes
+     immediately: ACKs and pull requests route straight back to the
+     target signer *)
+  let control c =
+    let parties = !parties_ref in
+    let target =
+      match c with
+      | Batch.Ack a -> a.Batch.ack_signer
+      | Batch.Request r -> r.Batch.req_signer
+    in
+    if target >= 0 && target < Array.length parties then
+      Signer.handle_control parties.(target).signer c
+  in
   let parties =
     Array.init n (fun id ->
         let sk, _ = keys.(id) in
@@ -24,7 +37,7 @@ let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) cfg ~n
           signer =
             Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send ~groups:(groups id)
               ~verifiers:all ();
-          verifier = Verifier.create cfg ~id ~pki ();
+          verifier = Verifier.create cfg ~id ~pki ~control ();
         })
   in
   parties_ref := parties;

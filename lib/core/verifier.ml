@@ -2,6 +2,8 @@ open Dsig_hbss
 module Merkle = Dsig_merkle.Merkle
 module Eddsa = Dsig_ed25519.Eddsa
 module BU = Dsig_util.Bytesutil
+module Rng = Dsig_util.Rng
+module Retry = Dsig_util.Retry
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
@@ -25,6 +27,11 @@ type stats = {
   mutable eddsa_cache_hits : int;
   mutable rejected : int;
   mutable announcements : int;
+  mutable slow_missing_batch : int;
+  mutable slow_cache_miss : int;
+  mutable requests_sent : int;
+  mutable acks_sent : int;
+  mutable eddsa_cache_evictions : int;
 }
 
 type tel = {
@@ -34,6 +41,11 @@ type tel = {
   c_rejected : Metric.Counter.t;
   c_cache_hits : Metric.Counter.t;
   c_ann : Metric.Counter.t;
+  c_slow_missing : Metric.Counter.t;
+  c_slow_miss : Metric.Counter.t;
+  c_requests : Metric.Counter.t;
+  c_acks : Metric.Counter.t;
+  c_evict : Metric.Counter.t;
   h_fast : Metric.Histogram.t;
   h_slow : Metric.Histogram.t;
   h_deliver : Metric.Histogram.t;
@@ -46,20 +58,43 @@ type t = {
   pki : Pki.t;
   cache : (int, signer_cache) Hashtbl.t;
   eddsa_cache : (string, unit) Hashtbl.t;
+  eddsa_order : string Queue.t; (* FIFO eviction for the EdDSA cache *)
+  rng : Rng.t; (* real entropy: batch-verification soundness + jitter *)
+  control : (Batch.control -> unit) option;
+  request_policy : Retry.policy;
+  requested : (int * int64, Retry.state) Hashtbl.t; (* pull-repair pacing *)
   stats : stats;
   tel : tel;
 }
 
 let eddsa_cache_capacity = 4096
 
-let create cfg ~id ~pki ?(telemetry = Tel.default) () =
+let create cfg ~id ~pki ?(telemetry = Tel.default) ?control
+    ?(request_policy = Retry.policy ~base_us:500.0 ~max_attempts:8 ()) () =
   {
     cfg;
     id;
     pki;
     cache = Hashtbl.create 16;
     eddsa_cache = Hashtbl.create 256;
-    stats = { fast = 0; slow = 0; eddsa_cache_hits = 0; rejected = 0; announcements = 0 };
+    eddsa_order = Queue.create ();
+    rng = Rng.system ();
+    control;
+    request_policy;
+    requested = Hashtbl.create 16;
+    stats =
+      {
+        fast = 0;
+        slow = 0;
+        eddsa_cache_hits = 0;
+        rejected = 0;
+        announcements = 0;
+        slow_missing_batch = 0;
+        slow_cache_miss = 0;
+        requests_sent = 0;
+        acks_sent = 0;
+        eddsa_cache_evictions = 0;
+      };
     tel =
       {
         bundle = telemetry;
@@ -68,6 +103,11 @@ let create cfg ~id ~pki ?(telemetry = Tel.default) () =
         c_rejected = Tel.counter telemetry "dsig_verifier_rejected_total";
         c_cache_hits = Tel.counter telemetry "dsig_verifier_eddsa_cache_hits_total";
         c_ann = Tel.counter telemetry "dsig_verifier_announcements_total";
+        c_slow_missing = Tel.counter telemetry "dsig_verifier_slow_missing_batch_total";
+        c_slow_miss = Tel.counter telemetry "dsig_verifier_slow_cache_miss_total";
+        c_requests = Tel.counter telemetry "dsig_verifier_batch_requests_total";
+        c_acks = Tel.counter telemetry "dsig_verifier_acks_total";
+        c_evict = Tel.counter telemetry "dsig_verifier_eddsa_cache_evictions_total";
         h_fast = Tel.histogram telemetry "dsig_verifier_fast_us";
         h_slow = Tel.histogram telemetry "dsig_verifier_slow_us";
         h_deliver = Tel.histogram telemetry "dsig_verifier_deliver_us";
@@ -118,8 +158,18 @@ let eddsa_verify_cached t pk msg signature =
       true
     end
     else if Eddsa.verify pk msg signature then begin
-      if Hashtbl.length t.eddsa_cache >= eddsa_cache_capacity then Hashtbl.reset t.eddsa_cache;
-      Hashtbl.replace t.eddsa_cache key ();
+      (* bounded FIFO eviction, one victim per insert — a full wipe
+         would re-verify up to 4096 entries right after (latency cliff) *)
+      if not (Hashtbl.mem t.eddsa_cache key) then begin
+        while Hashtbl.length t.eddsa_cache >= eddsa_cache_capacity do
+          let victim = Queue.pop t.eddsa_order in
+          Hashtbl.remove t.eddsa_cache victim;
+          t.stats.eddsa_cache_evictions <- t.stats.eddsa_cache_evictions + 1;
+          Metric.Counter.incr t.tel.c_evict
+        done;
+        Hashtbl.replace t.eddsa_cache key ();
+        Queue.add key t.eddsa_order
+      end;
       true
     end
     else false
@@ -168,7 +218,24 @@ let admit_verified t (ann : Batch.announcement) root =
                   if consistent then (Some keys, None) else (None, None))
         in
     insert_batch t ~signer:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id
-      { root; keys; forests }
+      { root; keys; forests };
+    (* the gap (if any) is repaired: stop pacing pull requests for it *)
+    Hashtbl.remove t.requested (ann.Batch.signer_id, ann.Batch.ann_batch_id);
+    (* acknowledge so the signer stops re-announcing; sent on every
+       successful delivery (idempotent) because a previous ACK may have
+       been lost in transit *)
+    match t.control with
+    | None -> ()
+    | Some send ->
+        t.stats.acks_sent <- t.stats.acks_sent + 1;
+        Metric.Counter.incr t.tel.c_acks;
+        send
+          (Batch.Ack
+             {
+               Batch.ack_verifier = t.id;
+               ack_signer = ann.Batch.signer_id;
+               ack_batch = ann.Batch.ann_batch_id;
+             })
   end
 
 (* Root implied by an announcement, plus the exact EdDSA-signed string. *)
@@ -217,7 +284,11 @@ let deliver_many t anns =
             Some (ann, root, pk, msg))
       anns
   in
-  let rng = Dsig_util.Rng.create (Int64.of_int (Hashtbl.hash (t.id, List.length entries))) in
+  (* The randomized batch-verification coefficients must be
+     unpredictable to the adversary (§4.4's soundness argument): draw
+     them from the per-verifier entropy-seeded generator, never from a
+     hash of public values. *)
+  let rng = Rng.split t.rng in
   let triples = List.map (fun (ann, _, pk, msg) -> (pk, msg, ann.Batch.root_sig)) entries in
   if entries <> [] && Eddsa.verify_batch rng triples then begin
     List.iter (fun (ann, root, _, _) -> admit_verified t ann root) entries;
@@ -342,6 +413,19 @@ let implied_leaf t (w : Wire.t) msg =
       else None
   | _ -> None
 
+(* Forest roots vs wire roots, constant-time per digest and without the
+   Array.of_list allocation polymorphic compare needed. *)
+let roots_equal_ct roots_list roots_array =
+  List.length roots_list = Array.length roots_array
+  &&
+  let i = ref 0 in
+  List.for_all
+    (fun r ->
+      let ok = BU.equal_ct r roots_array.(!i) in
+      incr i;
+      ok)
+    roots_list
+
 (* Merklified fast path: the announcement carried full keys and the
    background plane precomputed the forests, so the critical path hashes
    only the k revealed secrets and compares the signature's roots and
@@ -358,7 +442,7 @@ let merklified_fast_path t (w : Wire.t) msg =
           let forest = forests.(idx) in
           let ok =
             BU.equal_ct seed w.Wire.public_seed
-            && Array.of_list (Merkle.Forest.roots forest) = roots
+            && roots_equal_ct (Merkle.Forest.roots forest) roots
             && Hors.verify_with_elements ~hash:t.cfg.Config.hash p
                  ~public_seed:w.Wire.public_seed ~elements hsig msg
             && begin
@@ -384,10 +468,11 @@ let merklified_fast_path t (w : Wire.t) msg =
                         (match Hashtbl.find_opt expected tr with
                         | Some l -> List.sort_uniq compare l = Merkle.Multiproof.indices mp
                         | None -> false)
-                        && Merkle.Multiproof.encode
-                             (Merkle.Multiproof.create (Merkle.Forest.tree forest tr)
-                                (Merkle.Multiproof.indices mp))
-                           = Merkle.Multiproof.encode mp)
+                        && BU.equal_ct
+                             (Merkle.Multiproof.encode
+                                (Merkle.Multiproof.create (Merkle.Forest.tree forest tr)
+                                   (Merkle.Multiproof.indices mp)))
+                             (Merkle.Multiproof.encode mp))
                       mps
                end
           in
@@ -402,7 +487,7 @@ let merklified_fast_path t (w : Wire.t) msg =
           let forest = forests.(idx) in
           let ok =
             BU.equal_ct seed w.Wire.public_seed
-            && Array.of_list (Merkle.Forest.roots forest) = roots
+            && roots_equal_ct (Merkle.Forest.roots forest) roots
             && Array.length proofs = p.Params.Hors.k
             && Hors.verify_with_elements ~hash:t.cfg.Config.hash p
                  ~public_seed:w.Wire.public_seed ~elements hsig msg
@@ -413,7 +498,8 @@ let merklified_fast_path t (w : Wire.t) msg =
             Array.for_all2
               (fun (tree, pf) expected_idx ->
                 let etree, epf = Merkle.Forest.proof forest expected_idx in
-                tree = etree && pf = epf)
+                tree = etree
+                && BU.equal_ct (Merkle.encode_proof pf) (Merkle.encode_proof epf))
               proofs indices
           in
           Some ok
@@ -424,6 +510,57 @@ let reject t =
   t.stats.rejected <- t.stats.rejected + 1;
   Metric.Counter.incr t.tel.c_rejected;
   false
+
+(* Pull repair: emit a Batch_request for a gap in the announcement
+   cache, paced by the per-gap retry state so a burst of slow-path
+   verifications against the same missing batch sends one request, not
+   hundreds. *)
+let request_repair t ~signer ~batch_id =
+  match t.control with
+  | None -> ()
+  | Some send ->
+      let now = Tel.now t.tel.bundle in
+      let key = (signer, batch_id) in
+      let emit () =
+        t.stats.requests_sent <- t.stats.requests_sent + 1;
+        Metric.Counter.incr t.tel.c_requests;
+        send
+          (Batch.Request { Batch.req_verifier = t.id; req_signer = signer; req_batch = batch_id })
+      in
+      (match Hashtbl.find_opt t.requested key with
+      | None ->
+          (* unconditional size bound: gap states are tiny but an
+             attacker could mint unknown (signer, batch) pairs *)
+          if Hashtbl.length t.requested >= 4096 then Hashtbl.reset t.requested;
+          Hashtbl.replace t.requested key (Retry.start t.request_policy ~rng:t.rng ~now);
+          emit ()
+      | Some st ->
+          if Retry.due st ~now then begin
+            let st' =
+              match Retry.next t.request_policy ~rng:t.rng st ~now with
+              | Some st' -> st'
+              | None ->
+                  (* budget exhausted: restart the backoff ladder rather
+                     than requesting forever at the floor rate *)
+                  Retry.start t.request_policy ~rng:t.rng ~now
+            in
+            Hashtbl.replace t.requested key st';
+            emit ()
+          end)
+
+(* Account for why a valid signature left the fast path: the batch was
+   never delivered (announcement lost — repairable) vs cached but not
+   matching this signature's root (eviction or cross-batch splice). *)
+let note_slow_gap t ~missing ~signer ~batch_id =
+  if missing then begin
+    t.stats.slow_missing_batch <- t.stats.slow_missing_batch + 1;
+    Metric.Counter.incr t.tel.c_slow_missing;
+    request_repair t ~signer ~batch_id
+  end
+  else begin
+    t.stats.slow_cache_miss <- t.stats.slow_cache_miss + 1;
+    Metric.Counter.incr t.tel.c_slow_miss
+  end
 
 (* Outcome of one verification, for the telemetry plane. *)
 type path = Fast | Slow | Rejected
@@ -442,7 +579,8 @@ let verify_inner t ~msg wire_bytes =
               | None -> Rejected
               | Some leaf -> (
                   let root = Merkle.compute_root ~leaf w.Wire.batch_proof in
-                  match lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id with
+                  let hit = lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id in
+                  match hit with
                   | Some { root = cached_root; _ } when BU.equal_ct root cached_root -> Fast
                   | _ ->
                       (* Slow path (Alg. 2 lines 29-31): check the
@@ -455,6 +593,8 @@ let verify_inner t ~msg wire_bytes =
                         Log.L.debug (fun m ->
                             m "verifier %d: slow-path EdDSA check for signer %d batch %Ld" t.id
                               w.Wire.signer_id w.Wire.batch_id);
+                        note_slow_gap t ~missing:(Option.is_none hit) ~signer:w.Wire.signer_id
+                          ~batch_id:w.Wire.batch_id;
                         Slow
                       end
                       else Rejected))))

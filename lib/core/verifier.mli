@@ -13,11 +13,32 @@
 
 type t
 
-val create : Config.t -> id:int -> pki:Pki.t -> ?telemetry:Dsig_telemetry.Telemetry.t -> unit -> t
-(** [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+val create :
+  Config.t ->
+  id:int ->
+  pki:Pki.t ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?control:(Batch.control -> unit) ->
+  ?request_policy:Dsig_util.Retry.policy ->
+  unit ->
+  t
+(** [control] is the verifier's background-plane uplink: {!deliver}
+    replies with a {!Batch.Ack} on every accepted announcement, and the
+    foreground {!verify} emits a {!Batch.Request} when it slow-paths on
+    a batch it never received (pull repair), paced per (signer, batch)
+    by [request_policy] (default: 500 µs base, exponential, 8 attempts).
+    Without [control] the verifier behaves exactly as before —
+    self-standing, fire-and-forget.
+
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
     [dsig_verifier_fast_total] / [dsig_verifier_slow_total] /
     [dsig_verifier_rejected_total] / [dsig_verifier_eddsa_cache_hits_total] /
-    [dsig_verifier_announcements_total] counters, [dsig_verifier_fast_us]
+    [dsig_verifier_announcements_total] counters, the slow-path
+    breakdown [dsig_verifier_slow_missing_batch_total] (batch never
+    delivered — repairable) vs [dsig_verifier_slow_cache_miss_total]
+    (cached but root mismatch/eviction), the reliability counters
+    [dsig_verifier_batch_requests_total] / [dsig_verifier_acks_total] /
+    [dsig_verifier_eddsa_cache_evictions_total], [dsig_verifier_fast_us]
     / [dsig_verifier_slow_us] / [dsig_verifier_deliver_us] latency
     histograms, the [dsig_verifier_cached_batches] gauge, and — when the
     tracer is enabled — [verify_fast] / [verify_slow] /
@@ -48,6 +69,14 @@ type stats = {
   mutable eddsa_cache_hits : int;
   mutable rejected : int;
   mutable announcements : int;
+  mutable slow_missing_batch : int;
+      (** slow-path verifications whose batch was never delivered *)
+  mutable slow_cache_miss : int;
+      (** slow-path verifications whose batch was cached but whose root
+          did not match (eviction or cross-batch splice) *)
+  mutable requests_sent : int;  (** pull-repair {!Batch.Request}s emitted *)
+  mutable acks_sent : int;  (** {!Batch.Ack}s emitted on delivery *)
+  mutable eddsa_cache_evictions : int;
 }
 
 val stats : t -> stats

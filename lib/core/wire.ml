@@ -150,8 +150,11 @@ let decode (cfg : Config.t) s =
         let roots = Array.init trees (fun i -> String.sub rblob (i * 32) 32) in
         let* cb = take_err 1 in
         let count = Char.code cb.[0] in
-        let body_blob = String.sub s !pos (len - !pos - trailer) in
-        pos := len - trailer;
+        (* the multiproof region is whatever sits between the cursor and
+           the fixed-size trailer; on a truncated frame that span is
+           negative and must be rejected, not passed to String.sub *)
+        let body_len = len - !pos - trailer in
+        let* body_blob = if body_len < 0 then err "truncated" else take_err body_len in
         let rec read_mps blob acc i =
           if i = count then if blob = "" then Ok (List.rev acc) else err "trailing proof bytes"
           else if String.length blob < 2 then err "truncated multiproof"

@@ -5,14 +5,22 @@ type 'a node = {
   mutable gbps : float;
 }
 
-type faults = { drop : float; duplicate : float; rng : Dsig_util.Rng.t }
+type 'a faults = {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  reorder_delay_us : float;
+  mutate : ('a -> 'a option) option;
+  rng : Dsig_util.Rng.t;
+}
 
 type 'a t = {
   sim : Sim.t;
   latency_us : float;
   per_byte_us : float;
   nodes : 'a node array;
-  mutable faults : faults option;
+  mutable faults : 'a faults option;
 }
 
 let create sim ~nodes ?(latency_us = 1.0) ?(per_byte_us = 0.0006) ?(bandwidth_gbps = 100.0) () =
@@ -31,8 +39,13 @@ let create sim ~nodes ?(latency_us = 1.0) ?(per_byte_us = 0.0006) ?(bandwidth_gb
     faults = None;
   }
 
-let set_faults t ?(drop = 0.0) ?(duplicate = 0.0) ~seed () =
-  t.faults <- Some { drop; duplicate; rng = Dsig_util.Rng.create seed }
+let set_faults t ?(drop = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(reorder = 0.0)
+    ?(reorder_delay_us = 20.0) ?mutate ~seed () =
+  t.faults <-
+    Some
+      { drop; duplicate; corrupt; reorder; reorder_delay_us; mutate; rng = Dsig_util.Rng.create seed }
+
+let clear_faults t = t.faults <- None
 
 let sim t = t.sim
 let set_bandwidth t ~node ~gbps = t.nodes.(node).gbps <- gbps
@@ -41,21 +54,36 @@ let set_bandwidth t ~node ~gbps = t.nodes.(node).gbps <- gbps
    expressed in µs. *)
 let wire_time bytes gbps = float_of_int (bytes * 8) /. (gbps *. 1000.0)
 
+let enqueue t ~src ~dst ~bytes payload =
+  let d = t.nodes.(dst) in
+  Sim.spawn t.sim (fun () ->
+      Resource.use d.rx (wire_time bytes d.gbps);
+      Channel.send d.inbox (src, bytes, payload))
+
 let deliver t ~src ~dst ~bytes payload =
-  let copies =
-    match t.faults with
-    | None -> 1
-    | Some f ->
-        if Dsig_util.Rng.float f.rng 1.0 < f.drop then 0
-        else if Dsig_util.Rng.float f.rng 1.0 < f.duplicate then 2
-        else 1
-  in
-  for _ = 1 to copies do
-    let d = t.nodes.(dst) in
-    Sim.spawn t.sim (fun () ->
-        Resource.use d.rx (wire_time bytes d.gbps);
-        Channel.send d.inbox (src, bytes, payload))
-  done
+  match t.faults with
+  | None -> enqueue t ~src ~dst ~bytes payload
+  | Some f ->
+      let draw p = p > 0.0 && Dsig_util.Rng.float f.rng 1.0 < p in
+      let copies = if draw f.drop then 0 else if draw f.duplicate then 2 else 1 in
+      for _ = 1 to copies do
+        (* corruption: pass the payload through the mutate hook (a
+           bit-flipped re-decode for byte payloads); without a hook, or
+           when the hook reports the frame undecodable, the corrupted
+           copy is lost — the receiver's decoder would have rejected it *)
+        let corrupted =
+          if draw f.corrupt then match f.mutate with Some m -> m payload | None -> None
+          else Some payload
+        in
+        match corrupted with
+        | None -> ()
+        | Some payload ->
+            if draw f.reorder then
+              (* hold the copy back so later traffic overtakes it *)
+              let extra = Dsig_util.Rng.float f.rng f.reorder_delay_us in
+              Sim.schedule t.sim ~delay:extra (fun () -> enqueue t ~src ~dst ~bytes payload)
+            else enqueue t ~src ~dst ~bytes payload
+      done
 
 let send t ~src ~dst ~bytes payload =
   let s = t.nodes.(src) in

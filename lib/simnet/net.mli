@@ -24,12 +24,31 @@ val create :
 val sim : 'a t -> Sim.t
 val set_bandwidth : 'a t -> node:int -> gbps:float -> unit
 
-val set_faults : 'a t -> ?drop:float -> ?duplicate:float -> seed:int64 -> unit -> unit
+val set_faults :
+  'a t ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?reorder:float ->
+  ?reorder_delay_us:float ->
+  ?mutate:('a -> 'a option) ->
+  seed:int64 ->
+  unit ->
+  unit
 (** Inject message-level faults at delivery time: each message is
     dropped with probability [drop] and (if not dropped) delivered twice
-    with probability [duplicate]. Deterministic under [seed]. Applies to
-    {!send}/{!send_async}; {!inject} bypasses faults (local timers must
-    fire). *)
+    with probability [duplicate]. Each surviving copy is then corrupted
+    with probability [corrupt] — the payload is passed through [mutate]
+    (typically: serialize, flip a bit, re-decode), and a [None] result
+    (or an absent [mutate]) loses the copy, modeling a frame the
+    receiver's decoder rejects. Finally, with probability [reorder] the
+    copy is held back by a uniform extra delay in
+    [\[0, reorder_delay_us\]] (default 20 µs) so later traffic overtakes
+    it. Deterministic under [seed]. Applies to {!send}/{!send_async};
+    {!inject} bypasses faults (local timers must fire). *)
+
+val clear_faults : 'a t -> unit
+(** Lift all injected faults; subsequent sends deliver normally. *)
 
 val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
 (** Blocking send: returns once the sender NIC finished serializing

@@ -105,6 +105,8 @@ let run ?(until = infinity) t =
     | None -> continue_ := false
     | Some e ->
         if e.time > until then begin
+          (* keep the event: [run] can be called again to continue *)
+          Heap.push t.heap e;
           t.time <- until;
           continue_ := false
         end

@@ -20,7 +20,9 @@ val spawn : t -> (unit -> unit) -> unit
 
 val run : ?until:float -> t -> unit
 (** Execute events until the queue drains or virtual time exceeds
-    [until]. Processes still blocked at that point are abandoned. *)
+    [until]. Events beyond the horizon stay queued, so [run] may be
+    called repeatedly with increasing [until] to step virtual time;
+    processes blocked when the queue drains are abandoned. *)
 
 (** {1 Effects usable inside processes} *)
 

@@ -6,6 +6,7 @@ type span =
   | Batch_gen
   | Eddsa_sign
   | Announce_delivery
+  | Reannounce
   | Span of string
 
 type phase = Begin | End
@@ -69,6 +70,7 @@ let span_name = function
   | Batch_gen -> "batch_gen"
   | Eddsa_sign -> "eddsa_sign"
   | Announce_delivery -> "announce_delivery"
+  | Reannounce -> "reannounce"
   | Span s -> s
 
 let phase_name = function Begin -> "begin" | End -> "end"

@@ -21,6 +21,7 @@ type span =
   | Batch_gen
   | Eddsa_sign
   | Announce_delivery
+  | Reannounce  (** signer-side re-announcement round for unACKed batches *)
   | Span of string  (** application-defined *)
 
 type phase = Begin | End

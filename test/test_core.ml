@@ -276,11 +276,72 @@ let qcheck_tests =
         not (System.verify sys ~verifier:1 ~msg:m2 signature));
   ]
 
+let test_announce_tracker () =
+  let cfg = test_cfg () in
+  let clock = ref 0.0 in
+  let policy = Dsig_util.Retry.policy ~base_us:100.0 ~jitter:0.0 ~max_attempts:2 () in
+  let tr =
+    Announce.create ~policy ~retain:2 ~rng:(Dsig_util.Rng.create 5L)
+      ~clock:(fun () -> !clock)
+      ()
+  in
+  let ann i =
+    let rng = Dsig_util.Rng.create (Int64.of_int (50 + i)) in
+    let sk, _ = Dsig_ed25519.Eddsa.generate rng in
+    Batch.announcement cfg (Batch.make cfg ~signer_id:0 ~batch_id:(Int64.of_int i) ~eddsa:sk ~rng)
+  in
+  Announce.track tr (ann 1) ~dests:[ 1; 2 ];
+  Alcotest.(check int) "two pending" 2 (Announce.pending tr);
+  Alcotest.(check bool) "ack clears" true (Announce.ack tr ~verifier:1 ~batch_id:1L);
+  Alcotest.(check bool) "duplicate ack ignored" false (Announce.ack tr ~verifier:1 ~batch_id:1L);
+  Alcotest.(check bool) "unknown batch ack ignored" false
+    (Announce.ack tr ~verifier:2 ~batch_id:9L);
+  Alcotest.(check int) "one pending" 1 (Announce.pending tr);
+  Alcotest.(check int) "nothing due before backoff" 0 (List.length (Announce.due tr));
+  clock := 150.0;
+  (match Announce.due tr with
+  | [ (2, a) ] ->
+      Alcotest.(check bool) "re-announces batch 1" true (a.Batch.ann_batch_id = 1L)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 due, got %d" (List.length l)));
+  (* retry budget (2 attempts) exhausts: the destination is abandoned
+     instead of re-announced forever *)
+  clock := 10_000.0;
+  Alcotest.(check int) "budget exhausted" 0 (List.length (Announce.due tr));
+  Alcotest.(check int) "gave up counted" 1 (Announce.gave_up tr);
+  Alcotest.(check int) "no pending left" 0 (Announce.pending tr);
+  (* FIFO retention: tracking beyond [retain] evicts the oldest *)
+  Announce.track tr (ann 2) ~dests:[ 1 ];
+  Announce.track tr (ann 3) ~dests:[ 1 ];
+  Announce.track tr (ann 4) ~dests:[ 1 ];
+  Alcotest.(check int) "retained bound" 2 (Announce.batches tr);
+  Alcotest.(check bool) "evicted not served" true (Announce.lookup tr ~batch_id:2L = None);
+  Alcotest.(check bool) "recent served" true (Announce.lookup tr ~batch_id:4L <> None)
+
+let test_system_ack_loop () =
+  (* in-process transport is lossless: the control loopback settles
+     every announcement synchronously, so nothing is ever left unACKed *)
+  let sys = System.create (test_cfg ()) ~n:3 () in
+  let msg = "ack loop" in
+  let s = System.sign sys ~signer:0 msg in
+  Alcotest.(check bool) "verifies" true (System.verify sys ~verifier:1 ~msg s);
+  for i = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "signer %d fully acked" i)
+      0
+      (Signer.unacked_announcements (System.signer sys i))
+  done;
+  Alcotest.(check bool) "acks flowed" true
+    ((Verifier.stats (System.verifier sys 1)).Verifier.acks_sent > 0);
+  Alcotest.(check int) "nothing to re-announce" 0
+    (Signer.reannounce_step (System.signer sys 0))
+
 let suites =
   [
     ( "dsig.core",
       [
         Alcotest.test_case "recommended wire size" `Quick test_wire_size_recommended;
+        Alcotest.test_case "announce tracker" `Quick test_announce_tracker;
+        Alcotest.test_case "system ack loop" `Quick test_system_ack_loop;
         Alcotest.test_case "roundtrip all schemes" `Quick test_roundtrip_all_schemes;
         Alcotest.test_case "exact wire bytes" `Quick test_exact_wire_bytes;
         Alcotest.test_case "self-standing slow path" `Quick test_self_standing;

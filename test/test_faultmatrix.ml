@@ -1,0 +1,90 @@
+(* Announcement-plane reliability under an adversarial network (ISSUE 2
+   acceptance): with drop=0.2, reorder=0.2, corrupt=0.05 injected into
+   the modeled network, every signature still verifies (slow-path
+   fallback) and nothing falsely accepts; once the faults are lifted,
+   ACK/re-announce plus pull repair bring the fast-path share back above
+   90%. *)
+
+open Dsig
+module Sim = Dsig_simnet.Sim
+module Net = Dsig_simnet.Net
+module Deploy = Dsig_deploy.Deploy
+module Tel = Dsig_telemetry.Telemetry
+
+let test_fault_matrix () =
+  let sim = Sim.create () in
+  (* virtual clock: the re-announce and pull-repair backoff ladders run
+     in simulated time *)
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  (* repair deliberately slower than key consumption (backoff base 2 ms
+     vs one signature per 150 µs) so a dropped announcement leaves an
+     observable missing-batch window *)
+  let retry =
+    Dsig_util.Retry.policy ~base_us:2_000.0 ~max_delay_us:8_000.0 ~max_attempts:100 ()
+  in
+  let d = Deploy.create sim cfg ~n:3 ~telemetry ~retry ~reannounce_poll_us:100.0 () in
+  Net.set_faults (Deploy.net d) ~drop:0.2 ~reorder:0.2 ~corrupt:0.05 ~reorder_delay_us:300.0
+    ~mutate:(Deploy.corrupting_mutate ~seed:11L) ~seed:42L ();
+  Sim.run ~until:1_000.0 sim;
+  let v1 = Deploy.verifier d 1 in
+  let faulty_n = 120 in
+  let ok = ref 0 in
+  for i = 1 to faulty_n do
+    let msg = Printf.sprintf "faulty-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    if Deploy.verify d ~verifier:1 ~msg s then incr ok;
+    if i mod 10 = 0 then
+      Alcotest.(check bool) "no false accept under faults" false
+        (Deploy.verify d ~verifier:1 ~msg:(msg ^ "!") s);
+    Sim.run ~until:(Sim.now sim +. 150.0) sim
+  done;
+  Alcotest.(check int) "every signature verifies under faults" faulty_n !ok;
+  let st_mid = Verifier.stats v1 in
+  Alcotest.(check bool) "missing-batch slow paths observed" true
+    (st_mid.Verifier.slow_missing_batch > 0);
+  Alcotest.(check bool) "pull-repair requests emitted" true (st_mid.Verifier.requests_sent > 0);
+  let sg = Signer.stats (Deploy.signer d 0) in
+  Alcotest.(check bool) "re-announcements happened" true (sg.Signer.reannounces > 0);
+  (* lift the faults; the re-announce backlog and pull repairs converge *)
+  Net.clear_faults (Deploy.net d);
+  Sim.run ~until:(Sim.now sim +. 30_000.0) sim;
+  let base_fast = (Verifier.stats v1).Verifier.fast in
+  let healed_n = 40 in
+  for i = 1 to healed_n do
+    let msg = Printf.sprintf "healed-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    Alcotest.(check bool) "verifies after heal" true (Deploy.verify d ~verifier:1 ~msg s);
+    Sim.run ~until:(Sim.now sim +. 150.0) sim
+  done;
+  let fast = (Verifier.stats v1).Verifier.fast - base_fast in
+  Alcotest.(check bool) "fast-path share back above 90%" true
+    (float_of_int fast > 0.9 *. float_of_int healed_n)
+
+(* lossless network: ACKs settle every announcement, nothing re-sent *)
+let test_quiescent_no_reannounce () =
+  let sim = Sim.create () in
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let d = Deploy.create sim cfg ~n:3 ~telemetry () in
+  Sim.run ~until:20_000.0 sim;
+  for i = 0 to 2 do
+    let sg = Signer.stats (Deploy.signer d i) in
+    Alcotest.(check int) (Printf.sprintf "signer %d never re-announces" i) 0
+      sg.Signer.reannounces;
+    Alcotest.(check int) (Printf.sprintf "signer %d fully acked" i) 0
+      (Signer.unacked_announcements (Deploy.signer d i))
+  done;
+  let st = Verifier.stats (Deploy.verifier d 1) in
+  Alcotest.(check bool) "acks were sent" true (st.Verifier.acks_sent > 0);
+  Alcotest.(check int) "no pull requests needed" 0 st.Verifier.requests_sent
+
+let suites =
+  [
+    ( "faultmatrix",
+      [
+        Alcotest.test_case "drop+reorder+corrupt then heal" `Slow test_fault_matrix;
+        Alcotest.test_case "quiescent network needs no repair" `Quick
+          test_quiescent_no_reannounce;
+      ] );
+  ]

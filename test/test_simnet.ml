@@ -191,6 +191,74 @@ let test_partial_loss_rate () =
   Sim.run ~until:100_000.0 sim;
   Alcotest.(check bool) "~70% delivered" true (!got > 620 && !got < 780)
 
+let test_corrupt_faults () =
+  (* corrupt everything, no mutate hook: every copy is lost (the
+     receiver's decoder would have rejected it) *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~corrupt:1.0 ~seed:4L ();
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        Net.send net ~src:0 ~dst:1 ~bytes:10 "m"
+      done);
+  Sim.spawn sim (fun () ->
+      while true do
+        ignore (Net.recv net ~node:1);
+        incr got
+      done);
+  Sim.run ~until:1000.0 sim;
+  Alcotest.(check int) "all corrupted copies lost" 0 !got;
+  (* corrupt everything through a mutate hook: tampered copies deliver *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~corrupt:1.0 ~mutate:(fun s -> Some (s ^ "!")) ~seed:5L ();
+  let got = ref [] in
+  Sim.spawn sim (fun () -> Net.send net ~src:0 ~dst:1 ~bytes:10 "payload");
+  Sim.spawn sim (fun () ->
+      let _, _, p = Net.recv net ~node:1 in
+      got := [ p ]);
+  Sim.run ~until:1000.0 sim;
+  Alcotest.(check (list string)) "mutated payload delivered" [ "payload!" ] !got;
+  (* clear_faults restores lossless delivery *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~drop:1.0 ~seed:6L ();
+  Net.clear_faults net;
+  let got = ref 0 in
+  Sim.spawn sim (fun () -> Net.send net ~src:0 ~dst:1 ~bytes:10 "m");
+  Sim.spawn sim (fun () ->
+      ignore (Net.recv net ~node:1);
+      incr got);
+  Sim.run ~until:1000.0 sim;
+  Alcotest.(check int) "cleared faults deliver" 1 !got
+
+let test_reorder_faults () =
+  (* reorder with a large extra delay: a later message overtakes an
+     earlier held-back one; nothing is lost *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~nodes:2 () in
+  Net.set_faults net ~reorder:0.5 ~reorder_delay_us:500.0 ~seed:7L ();
+  let n = 50 in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 1 to n do
+        Net.send net ~src:0 ~dst:1 ~bytes:10 i;
+        Sim.sleep 1.0
+      done);
+  Sim.spawn sim (fun () ->
+      while true do
+        let _, _, i = Net.recv net ~node:1 in
+        got := i :: !got
+      done);
+  Sim.run ~until:100_000.0 sim;
+  let received = List.rev !got in
+  Alcotest.(check int) "reorder loses nothing" n (List.length received);
+  Alcotest.(check bool) "delivery order differs from send order" true
+    (received <> List.init n (fun i -> i + 1));
+  Alcotest.(check (list int)) "same multiset" (List.init n (fun i -> i + 1))
+    (List.sort compare received)
+
 let test_stats () =
   let s = Stats.create () in
   for i = 1 to 100 do
@@ -259,6 +327,8 @@ let suites =
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "fault injection" `Quick test_faults;
         Alcotest.test_case "partial loss rate" `Quick test_partial_loss_rate;
+        Alcotest.test_case "corrupt faults" `Quick test_corrupt_faults;
+        Alcotest.test_case "reorder faults" `Quick test_reorder_faults;
       ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests );
   ]

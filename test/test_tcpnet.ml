@@ -76,7 +76,8 @@ let test_tcp_roundtrip () =
         (match m with
         | Dsig_tcpnet.Tcpnet.Announcement a -> ignore (Verifier.deliver verifier a)
         | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
-            if Verifier.verify verifier ~msg signature then incr verified else incr rejected);
+            if Verifier.verify verifier ~msg signature then incr verified else incr rejected
+        | Dsig_tcpnet.Tcpnet.Control _ -> ());
         Mutex.unlock mu)
       ()
   in

@@ -64,11 +64,53 @@ let qcheck_tests =
         Rng.exponential r ~mean:(float_of_int m) >= 0.0);
   ]
 
+let test_retry_delays () =
+  let p = Retry.policy ~base_us:100.0 ~multiplier:2.0 ~max_delay_us:1000.0 ~jitter:0.0 () in
+  let rng = Rng.create 1L in
+  Alcotest.(check (float 1e-9)) "attempt 0" 100.0 (Retry.delay_us p ~rng ~attempt:0);
+  Alcotest.(check (float 1e-9)) "attempt 2" 400.0 (Retry.delay_us p ~rng ~attempt:2);
+  Alcotest.(check (float 1e-9)) "capped" 1000.0 (Retry.delay_us p ~rng ~attempt:9);
+  (* jitter stays within the advertised band *)
+  let pj = Retry.policy ~base_us:100.0 ~jitter:0.2 () in
+  for _ = 1 to 100 do
+    let d = Retry.delay_us pj ~rng ~attempt:0 in
+    Alcotest.(check bool) "jitter band" true (d >= 80.0 && d <= 120.0)
+  done;
+  Alcotest.check_raises "bad jitter" (Invalid_argument "Retry.policy: jitter must be in [0, 1)")
+    (fun () -> ignore (Retry.policy ~jitter:1.0 ()))
+
+let test_retry_state () =
+  let p = Retry.policy ~base_us:100.0 ~jitter:0.0 ~max_attempts:3 () in
+  let rng = Rng.create 2L in
+  let s = Retry.start p ~rng ~now:0.0 in
+  Alcotest.(check bool) "not due yet" false (Retry.due s ~now:50.0);
+  Alcotest.(check bool) "due after base" true (Retry.due s ~now:100.0);
+  (* attempts 0..2 fire, then the 3-attempt budget is exhausted: [next]
+     reschedules twice and refuses the fourth attempt *)
+  let rec drain s n now =
+    match Retry.next p ~rng s ~now with
+    | None -> n
+    | Some s' -> drain s' (n + 1) (now +. 10_000.0)
+  in
+  Alcotest.(check int) "attempt budget" 2 (drain s 0 100.0);
+  (* deadline budget: one attempt fits, the second is past the deadline *)
+  let pd = Retry.policy ~base_us:100.0 ~jitter:0.0 ~max_attempts:0 ~deadline_us:150.0 () in
+  let s = Retry.start pd ~rng ~now:0.0 in
+  (match Retry.next pd ~rng s ~now:100.0 with
+  | None -> Alcotest.fail "first retry within deadline"
+  | Some s' ->
+      Alcotest.(check int) "one attempt consumed" 1 (Retry.attempts s');
+      (match Retry.next pd ~rng s' ~now:400.0 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "deadline not enforced"))
+
 let suites =
   [
     ( "util",
       [
         Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "retry delays" `Quick test_retry_delays;
+        Alcotest.test_case "retry state" `Quick test_retry_state;
         Alcotest.test_case "xor" `Quick test_xor;
         Alcotest.test_case "equal_ct" `Quick test_equal_ct;
         Alcotest.test_case "endian" `Quick test_endian;

@@ -1,0 +1,139 @@
+(* Totality fuzzing of the wire decoders (ISSUE 2): [Wire.decode],
+   [Batch.decode_announcement], [Batch.decode_control] and
+   [Tcpnet.decode_message] must return [Error] — never raise — on
+   arbitrary, truncated, or bit-flipped input, and must roundtrip a
+   valid encoding for every signature scheme. 10k arbitrary cases plus
+   10k mutations of valid frames. *)
+
+open Dsig
+module Rng = Dsig_util.Rng
+module Tcpnet = Dsig_tcpnet.Tcpnet
+
+let scheme_configs =
+  [
+    ("wots", Config.make ~batch_size:4 ~queue_threshold:4 (Config.wots ~d:4));
+    ("hors-fact", Config.make ~batch_size:4 ~queue_threshold:4 (Config.hors_factorized ~k:32));
+    ( "hors-merk",
+      Config.make ~batch_size:4 ~queue_threshold:4 (Config.hors_merklified ~k:32 ()) );
+    ( "hors-merk-mp",
+      Config.make ~batch_size:4 ~queue_threshold:4 ~compress_proofs:true
+        (Config.hors_merklified ~k:32 ()) );
+  ]
+
+(* one valid signature encoding per scheme, generated once *)
+let valid_signatures =
+  List.map
+    (fun (name, cfg) ->
+      let sys = System.create cfg ~n:2 () in
+      let msg = "fuzz-" ^ name in
+      (name, cfg, System.sign sys ~signer:0 ~hint:[ 1 ] msg))
+    scheme_configs
+
+let valid_announcement_frames =
+  let cfg = Config.make ~batch_size:8 ~queue_threshold:8 (Config.wots ~d:4) in
+  let rng = Rng.create 3L in
+  let sk, _ = Dsig_ed25519.Eddsa.generate rng in
+  let batch = Batch.make cfg ~signer_id:5 ~batch_id:42L ~eddsa:sk ~rng in
+  let ann = Batch.announcement cfg batch in
+  [
+    Tcpnet.encode_message (Tcpnet.Announcement ann);
+    Tcpnet.encode_message (Tcpnet.Signed { msg = "m"; signature = String.make 64 's' });
+    Tcpnet.encode_message
+      (Tcpnet.Control (Batch.Ack { Batch.ack_verifier = 1; ack_signer = 5; ack_batch = 42L }));
+    Tcpnet.encode_message
+      (Tcpnet.Control
+         (Batch.Request { Batch.req_verifier = 1; req_signer = 5; req_batch = 42L }));
+  ]
+
+let decode_all_total s =
+  List.for_all
+    (fun (_, cfg, _) -> match Wire.decode cfg s with Ok _ | Error _ -> true)
+    valid_signatures
+  && (match Batch.decode_announcement s with Ok _ | Error _ -> true)
+  && (match Batch.decode_control s with Ok _ | Error _ -> true)
+  && match Tcpnet.decode_message s with Ok _ | Error _ -> true
+
+let flip_bit s i =
+  let b = Bytes.of_string s in
+  let byte = i / 8 mod Bytes.length b in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (i mod 8))));
+  Bytes.unsafe_to_string b
+
+(* 10k arbitrary strings through every decoder *)
+let arbitrary_total =
+  QCheck.Test.make ~name:"decoders total on arbitrary input" ~count:10_000
+    QCheck.(string_of_size Gen.(0 -- 600))
+    decode_all_total
+
+(* 10k mutations — truncations and single-bit flips — of valid frames *)
+let mutated_total =
+  let frames =
+    List.map (fun (_, cfg, s) -> (Some cfg, s)) valid_signatures
+    @ List.map (fun s -> (None, s)) valid_announcement_frames
+  in
+  let nframes = List.length frames in
+  QCheck.Test.make ~name:"decoders total on truncated/bit-flipped frames" ~count:10_000
+    QCheck.(triple (int_bound (nframes - 1)) bool (int_bound 1_000_000))
+    (fun (fi, truncate, pos) ->
+      let cfg_opt, frame = List.nth frames fi in
+      let mutated =
+        if truncate then String.sub frame 0 (pos mod (String.length frame + 1))
+        else flip_bit frame pos
+      in
+      decode_all_total mutated
+      &&
+      match cfg_opt with
+      | Some cfg -> ( match Wire.decode cfg mutated with Ok _ | Error _ -> true)
+      | None -> ( match Tcpnet.decode_message mutated with Ok _ | Error _ -> true))
+
+(* every scheme's encoding decodes back to an identical re-encoding *)
+let test_roundtrip () =
+  List.iter
+    (fun (name, cfg, s) ->
+      match Wire.decode cfg s with
+      | Error e -> Alcotest.fail (name ^ ": valid signature rejected: " ^ e)
+      | Ok w ->
+          Alcotest.(check string) (name ^ " re-encode identical") s (Wire.encode cfg w);
+          (* a strict prefix must be rejected, not mis-parsed *)
+          (match Wire.decode cfg (String.sub s 0 (String.length s - 1)) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail (name ^ ": truncated signature accepted")))
+    valid_signatures;
+  List.iter
+    (fun frame ->
+      match Tcpnet.decode_message frame with
+      | Error e -> Alcotest.fail ("valid frame rejected: " ^ e)
+      | Ok m ->
+          Alcotest.(check string) "frame re-encode identical" frame (Tcpnet.encode_message m))
+    valid_announcement_frames
+
+let test_control_codec () =
+  let a = Batch.Ack { Batch.ack_verifier = 7; ack_signer = 3; ack_batch = 99L } in
+  let r = Batch.Request { Batch.req_verifier = 2; req_signer = 8; req_batch = 1234567L } in
+  List.iter
+    (fun c ->
+      let e = Batch.encode_control c in
+      Alcotest.(check int) "control wire size" Batch.control_wire_bytes (String.length e);
+      match Batch.decode_control e with
+      | Ok c' -> Alcotest.(check bool) "control roundtrip" true (c = c')
+      | Error e -> Alcotest.fail e)
+    [ a; r ];
+  (* wrong size or tag rejected *)
+  List.iter
+    (fun s ->
+      match Batch.decode_control s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed control accepted")
+    [ ""; "K"; "X" ^ String.make 24 '\x00'; Batch.encode_control a ^ "x" ]
+
+let () =
+  Alcotest.run "dsig-wire-fuzz"
+    [
+      ( "wire-fuzz",
+        [
+          Alcotest.test_case "valid roundtrips" `Quick test_roundtrip;
+          Alcotest.test_case "control codec" `Quick test_control_codec;
+        ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ arbitrary_total; mutated_total ]
+      );
+    ]
