@@ -5,11 +5,10 @@
 module CM = Dsig_costmodel.Costmodel
 open Dsig_bft
 
-let requests = 1000
-
 let median stats = Dsig_simnet.Stats.percentile stats 50.0
 
 let run () =
+  let requests = Harness.scaled 1000 in
   Harness.section "Figure 1: median latency breakdown (base + crypto overhead, us)";
   let dalek = Auth.eddsa_modeled ~name:"dalek" (Harness.cm ()) in
   let dsig = Auth.dsig_modeled (Harness.cm ()) Dsig.Config.default in

@@ -13,8 +13,10 @@ type dist = Constant | Exponential
 
 type point = { rate : float; achieved : float; p50 : float }
 
-let horizon_us = 400_000.0
-let warmup_us = 80_000.0
+(* read per run so a --ops override (set after module init) shrinks the
+   simulated horizon proportionally *)
+let horizon_us () = Harness.scaled_us 400_000.0
+let warmup_us () = Harness.scaled_us 80_000.0
 
 type fig_msg = Sig of { t0 : float } | Ann
 
@@ -65,7 +67,7 @@ let run_pipeline ~dist ~rate_per_s ~sign_us ~verify_us ~sig_bytes ~dsig_planes ~
           done);
       (* arrivals *)
       Sim.spawn sim (fun () ->
-          while Sim.now sim < horizon_us do
+          while Sim.now sim < horizon_us () do
             Sim.sleep (interarrival ());
             let t0 = Sim.now sim in
             Sim.spawn sim (fun () ->
@@ -79,7 +81,7 @@ let run_pipeline ~dist ~rate_per_s ~sign_us ~verify_us ~sig_bytes ~dsig_planes ~
             match Net.recv net ~node:1 with
             | _, _, Sig { t0 } ->
                 Resource.use v_fg verify_us;
-                if t0 > warmup_us then begin
+                if t0 > warmup_us () then begin
                   Stats.add lat (Sim.now sim -. t0);
                   incr completed
                 end
@@ -94,7 +96,7 @@ let run_pipeline ~dist ~rate_per_s ~sign_us ~verify_us ~sig_bytes ~dsig_planes ~
         else cores.(1)
       in
       Sim.spawn sim (fun () ->
-          while Sim.now sim < horizon_us do
+          while Sim.now sim < horizon_us () do
             Sim.sleep (interarrival ());
             let t0 = Sim.now sim in
             Sim.spawn sim (fun () ->
@@ -107,14 +109,14 @@ let run_pipeline ~dist ~rate_per_s ~sign_us ~verify_us ~sig_bytes ~dsig_planes ~
             | _, _, Sig { t0 } ->
                 Sim.spawn sim (fun () ->
                     Resource.use (pick v_cores) verify_us;
-                    if t0 > warmup_us then begin
+                    if t0 > warmup_us () then begin
                       Stats.add lat (Sim.now sim -. t0);
                       incr completed
                     end)
             | _ -> ()
           done));
-  Sim.run ~until:(horizon_us +. 50_000.0) sim;
-  let window = horizon_us -. warmup_us in
+  Sim.run ~until:(horizon_us () +. 50_000.0) sim;
+  let window = horizon_us () -. warmup_us () in
   {
     rate = rate_per_s /. 1000.0;
     achieved = float_of_int !completed /. window *. 1e6 /. 1000.0;

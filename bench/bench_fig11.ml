@@ -11,7 +11,7 @@
 open Dsig_simnet
 module CM = Dsig_costmodel.Costmodel
 
-let horizon_us = 150_000.0
+let horizon_us () = Harness.scaled_us 150_000.0
 
 (* Per-message wire overhead (headers, DMA descriptors, inline padding):
    NICs do not reach line rate at ~1.6 KiB messages. Calibrated so the
@@ -107,8 +107,8 @@ let one_to_many scheme ~verifiers =
               incr verified)
         done)
   done;
-  Sim.run ~until:horizon_us sim;
-  float_of_int !verified /. horizon_us *. 1e6 /. 1000.0
+  Sim.run ~until:(horizon_us ()) sim;
+  float_of_int !verified /. horizon_us () *. 1e6 /. 1000.0
 
 let many_to_one scheme ~signers =
   let sim = Sim.create () in
@@ -153,8 +153,8 @@ let many_to_one scheme ~signers =
             Resource.use (pick ()) scheme.verify_us;
             incr verified)
       done);
-  Sim.run ~until:horizon_us sim;
-  float_of_int !verified /. horizon_us *. 1e6 /. 1000.0
+  Sim.run ~until:(horizon_us ()) sim;
+  float_of_int !verified /. horizon_us () *. 1e6 /. 1000.0
 
 let run () =
   Harness.section "Figure 11: scalability at 10 Gbps NICs (aggregate verified kSig/s)";

@@ -13,7 +13,7 @@ module CM = Dsig_costmodel.Costmodel
 
 let cm () = Harness.cm ()
 let cfg = Dsig.Config.default
-let horizon_us = 150_000.0
+let horizon_us () = Harness.scaled_us 150_000.0
 let clients = 64
 
 type m = Req of { t0 : float } | Rep
@@ -69,8 +69,8 @@ let throughput scheme ~req_bytes ~proc_us =
           ignore (Net.recv net ~node:c)
         done)
   done;
-  Sim.run ~until:horizon_us sim;
-  float_of_int !served /. horizon_us *. 1e6 /. 1000.0
+  Sim.run ~until:(horizon_us ()) sim;
+  float_of_int !served /. horizon_us () *. 1e6 /. 1000.0
 
 let sizes = [ 32; 128; 512; 2048; 8192; 32768; 131072 ]
 

@@ -15,9 +15,8 @@ let fmt_p stats =
   let p10, p50, p90 = Harness.p10_50_90 stats in
   Printf.sprintf "%.1f / %.1f / %.1f" p10 p50 p90
 
-let requests = 2000
-
 let run () =
+  let requests = Harness.scaled 2000 in
   Harness.section "Figure 7: end-to-end application latency, p10 / p50 / p90 (us)";
   let rows = ref [] in
   (* client-server apps *)

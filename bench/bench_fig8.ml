@@ -34,9 +34,8 @@ let schemes () =
       dsig_bytes;
   ]
 
-let samples = 10_000
-
 let run () =
+  let samples = Harness.scaled 10_000 in
   Harness.section "Figure 8: sign-transmit-verify latency, 8 B messages (10,000 samples)";
   let rng = Dsig_util.Rng.create 88L in
   let results =

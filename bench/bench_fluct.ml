@@ -12,9 +12,8 @@ open Dsig_simnet
 open Dsig_bft
 module CM = Dsig_costmodel.Costmodel
 
-let requests = 600
-
 let run_one ~auth ~name =
+  let requests = Harness.scaled 600 in
   let sim = Sim.create () in
   let lat = Stats.create () in
   let starts = Hashtbl.create 64 in

@@ -6,6 +6,32 @@ open Bechamel
 module H = Dsig_hashes
 module E = Dsig_ed25519.Eddsa
 
+(* A self-contained foreground signer on its own telemetry bundle; the
+   background plane is refilled inline every 32 signatures so the queue
+   never empties during the timing loop. *)
+let sign_test ~name ~lifecycle () =
+  Test.make ~name
+    (Staged.stage
+       (let cfg =
+          Dsig.Config.make ~batch_size:64 ~queue_threshold:128 (Dsig.Config.wots ~d:4)
+        in
+        let tel = Dsig_telemetry.Telemetry.create () in
+        if lifecycle then Dsig_telemetry.Lifecycle.enable tel.Dsig_telemetry.Telemetry.lifecycle;
+        let rng = Dsig_util.Rng.create 7L in
+        let sk, _ = E.generate rng in
+        let signer =
+          Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~telemetry:tel ~verifiers:[ 1 ] ()
+        in
+        Dsig.Signer.background_fill signer;
+        let c = ref 0 in
+        fun () ->
+          incr c;
+          if !c land 31 = 0 then begin
+            Dsig.Signer.background_fill signer;
+            ignore (Dsig.Signer.drain_outbox signer)
+          end;
+          Dsig.Signer.sign signer "12345678"))
+
 let tests () =
   let rng = Dsig_util.Rng.create 5L in
   let b32 = Dsig_util.Rng.bytes rng 32 in
@@ -60,6 +86,17 @@ let tests () =
             incr c;
             if !c land 0xFFFFF = 0 then st := Dsig_simnet.Stats.create ();
             Dsig_simnet.Stats.add !st (float_of_int (!c land 0xFFF))));
+    (* lifecycle tracing: the full foreground sign path on a private
+       bundle, with the aggregator disabled (one mutable load on the hot
+       path — must stay within noise of the seed) and enabled (pays the
+       trace-id derivation plus a mutexed table insert) *)
+    sign_test ~name:"dsig-sign/lifecycle-off" ~lifecycle:false ();
+    sign_test ~name:"dsig-sign/lifecycle-on" ~lifecycle:true ();
+    Test.make ~name:"trace-ctx-roundtrip"
+      (Staged.stage
+         (let module T = Dsig_telemetry.Trace_ctx in
+          let ctx = T.make ~signer:3 ~batch_id:41L ~key_index:7 ~origin:3 ~birth_us:1234.5 in
+          fun () -> T.decode (T.encode ctx) 0));
   ]
 
 let run () =

@@ -18,6 +18,20 @@ let cm () = Option.value ~default:CM.paper_dalek !selected_cm
 let cm_sodium () =
   match !selected_cm with Some m -> m | None -> CM.paper_sodium
 
+(* Optional global shrink of per-figure workload sizes (--ops N): every
+   harness loop sized through [scaled] runs at most N operations, and
+   time-horizon figures shrink proportionally through [scaled_us]
+   (treating N as a fraction of a nominal 1000-op figure). Lets the
+   @smoke alias regenerate every figure in seconds. *)
+let ops_override : int option ref = ref None
+
+let scaled n = match !ops_override with Some o -> Stdlib.min o n | None -> n
+
+let scaled_us h =
+  match !ops_override with
+  | Some o -> h *. Float.min 1.0 (float_of_int o /. 1000.0)
+  | None -> h
+
 let use_measured () =
   let m = CM.measure () in
   selected_cm := Some m;
@@ -64,6 +78,7 @@ let write_telemetry_snapshot dir base =
   let tel = Dsig_telemetry.Telemetry.default in
   let js =
     Dsig_telemetry.Export.json ~tracer:tel.Dsig_telemetry.Telemetry.tracer
+      ~lifecycle:tel.Dsig_telemetry.Telemetry.lifecycle
       (Dsig_telemetry.Telemetry.snapshot tel)
   in
   let oc = open_out (Filename.concat dir (base ^ "-telemetry.json")) in

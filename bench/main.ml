@@ -11,6 +11,11 @@
                                          drive the modeled figures with a
                                          host-measured cost model instead of
                                          the paper calibration
+     dune exec bench/main.exe -- --ops 50
+                                         cap every figure's workload at 50
+                                         operations (shrinking time-horizon
+                                         figures proportionally) — the smoke
+                                         mode `dune build @smoke` uses
 *)
 
 let experiments : (string * string * (unit -> unit)) list ref = ref []
@@ -51,6 +56,17 @@ let () =
     collect args
   in
   if List.mem "--measured" args then Harness.use_measured ();
+  (let rec find_ops = function
+     | "--ops" :: n :: _ -> (
+         match int_of_string_opt n with
+         | Some n when n > 0 -> Harness.ops_override := Some n
+         | _ ->
+             Printf.eprintf "--ops expects a positive integer\n";
+             exit 1)
+     | _ :: rest -> find_ops rest
+     | [] -> ()
+   in
+   find_ops args);
   (let rec find_csv = function
      | "--csv" :: dir :: _ -> Harness.set_csv_dir dir
      | _ :: rest -> find_csv rest

@@ -1,0 +1,43 @@
+(* Smoke gate for the bench harness (`dune build @smoke`): after an
+   --ops-shrunk run with --csv DIR, every figure's *-telemetry.json
+   snapshot must carry the lifecycle summary keys the scrape endpoint
+   and offline tooling consume. Exits non-zero listing offending
+   files. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let required = [ "\"lifecycle\""; "\"planes\""; "\"started\""; "\"completed\""; "\"full\"" ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "smoke-results" in
+  let entries =
+    try Sys.readdir dir
+    with Sys_error e ->
+      Printf.eprintf "smoke_check: %s\n" e;
+      exit 1
+  in
+  let snaps =
+    Array.to_list entries |> List.filter (fun f -> Filename.check_suffix f "-telemetry.json")
+  in
+  if snaps = [] then begin
+    Printf.eprintf "smoke_check: no *-telemetry.json under %s\n" dir;
+    exit 1
+  end;
+  let bad =
+    List.filter
+      (fun f ->
+        let ic = open_in (Filename.concat dir f) in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        not (List.for_all (contains s) required))
+      snaps
+  in
+  if bad = [] then
+    Printf.printf "smoke_check: %d telemetry snapshots carry lifecycle keys\n" (List.length snaps)
+  else begin
+    List.iter (fun f -> Printf.eprintf "smoke_check: %s/%s lacks lifecycle keys\n" dir f) bad;
+    exit 1
+  end

@@ -269,6 +269,116 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Run a sign/verify workload and print its telemetry snapshot.")
     Term.(const stats $ ops_arg $ format_arg $ trace_arg $ d_arg $ batch_arg)
 
+(* --- top --- *)
+
+(* Poll a scrape endpoint's /planes route and render a refreshing
+   per-plane latency table. Without --port, runs a self-contained demo:
+   a signer/verifier pair with lifecycle tracing enabled, published
+   through a local scrape server that the watcher then polls — the same
+   path an external Prometheus or `dsig top` against a real service
+   would take. *)
+let top port interval count d batch =
+  let module Tel = Dsig_telemetry.Telemetry in
+  let module Lifecycle = Dsig_telemetry.Lifecycle in
+  let module Scrape = Dsig_tcpnet.Scrape in
+  let cleanup, port =
+    match port with
+    | Some p -> ((fun () -> ()), p)
+    | None ->
+        let tel = Tel.create () in
+        Lifecycle.enable tel.Tel.lifecycle;
+        let cfg = config_of ~d ~batch in
+        let rng = Dsig_util.Rng.create 17L in
+        let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+        let pki = Dsig.Pki.create () in
+        Dsig.Pki.register pki ~id:0 pk;
+        let signer =
+          Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~telemetry:tel ~verifiers:[ 1 ] ()
+        in
+        let verifier = Dsig.Verifier.create cfg ~id:1 ~pki ~telemetry:tel () in
+        let stop = ref false in
+        let worker =
+          Thread.create
+            (fun () ->
+              let i = ref 0 in
+              while not !stop do
+                incr i;
+                Dsig.Signer.background_fill signer;
+                List.iter
+                  (fun (_, a) -> ignore (Dsig.Verifier.deliver verifier a))
+                  (Dsig.Signer.drain_outbox signer);
+                let msg = Printf.sprintf "top demo #%d" !i in
+                let signature, ctx = Dsig.Signer.sign_ctx signer msg in
+                ignore (Dsig.Verifier.verify_ctx verifier ~ctx ~msg signature);
+                Thread.delay 0.002
+              done)
+            ()
+        in
+        let srv = Scrape.start ~telemetry:tel ~port:0 () in
+        Printf.printf "demo scrape server on 127.0.0.1:%d (/metrics /metrics.json /trace /planes)\n%!"
+          (Scrape.port srv);
+        ( (fun () ->
+            stop := true;
+            (try Thread.join worker with _ -> ());
+            Scrape.stop srv),
+          Scrape.port srv )
+  in
+  let render ~tick body =
+    if tick > 1 then print_string "\027[H\027[2J";
+    Printf.printf "dsig top — 127.0.0.1:%d/planes — refresh %d\n\n" port tick;
+    let heads = ref [] and planes = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | [ k; v ] -> heads := (k, v) :: !heads
+        | [ name; n; p50; p99; p999 ] -> planes := (name, n, p50, p99, p999) :: !planes
+        | _ -> ())
+      (String.split_on_char '\n' body);
+    List.iter (fun (k, v) -> Printf.printf "%-10s %s\n" k v) (List.rev !heads);
+    Printf.printf "\n%-14s %10s %12s %12s %12s\n" "plane" "count" "p50 (us)" "p99 (us)" "p99.9 (us)";
+    List.iter
+      (fun (name, n, p50, p99, p999) ->
+        Printf.printf "%-14s %10s %12s %12s %12s\n" name n p50 p99 p999)
+      (List.rev !planes);
+    Printf.printf "\n%!"
+  in
+  let rc = ref 0 in
+  let tick = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr tick;
+    (match Scrape.fetch ~port ~path:"/planes" with
+    | Ok body -> render ~tick:!tick body
+    | Error e ->
+        Printf.printf "fetch 127.0.0.1:%d/planes failed: %s\n%!" port e;
+        rc := 1;
+        continue_ := false);
+    if count > 0 && !tick >= count then continue_ := false;
+    if !continue_ then Thread.delay interval
+  done;
+  cleanup ();
+  !rc
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Scrape-endpoint port on 127.0.0.1 to poll. Omit to run a self-contained demo.")
+
+let interval_arg =
+  Arg.(value & opt float 1.0 & info [ "i"; "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+
+let count_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "c"; "count" ] ~docv:"N" ~doc:"Number of refreshes; 0 runs until interrupted.")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top" ~doc:"Watch per-plane signature lifecycle latencies from a scrape endpoint.")
+    Term.(const top $ port_arg $ interval_arg $ count_arg $ d_arg $ batch_arg)
+
 (* --- analyze --- *)
 
 let analyze () =
@@ -290,6 +400,16 @@ let main_cmd =
   Cmd.group
     (Cmd.info "dsig" ~version:"1.0.0"
        ~doc:"DSig: microsecond-scale hybrid digital signatures (OSDI 2024 reproduction).")
-    [ keygen_cmd; sign_cmd; verify_cmd; inspect_cmd; analyze_cmd; stats_cmd; log_sign_cmd; log_audit_cmd ]
+    [
+      keygen_cmd;
+      sign_cmd;
+      verify_cmd;
+      inspect_cmd;
+      analyze_cmd;
+      stats_cmd;
+      top_cmd;
+      log_sign_cmd;
+      log_audit_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

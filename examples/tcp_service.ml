@@ -1,13 +1,23 @@
 (* A real deployment over localhost TCP: a verifier service listens on a
    socket; a signer (with its background plane on a separate domain)
-   streams announcements and signed messages to it over genuine network
-   framing. The commodity-Ethernet equivalent of the paper's Figure 3
-   deployment. Run:
+   streams announcements and trace-carrying signed messages to it over
+   genuine network framing. The commodity-Ethernet equivalent of the
+   paper's Figure 3 deployment, with the full reliability loop closed:
+   the verifier ACKs every admitted announcement back over its own
+   control connection, the signer re-announces anything unacknowledged
+   on a backoff, and a pull-repair Request fetches batches the verifier
+   slow-pathed on. A scrape endpoint publishes the shared telemetry
+   bundle (including the per-plane lifecycle latencies) while the run
+   is in flight. Run:
 
      dune exec examples/tcp_service.exe
 *)
 
 open Dsig
+module Tcp = Dsig_tcpnet.Tcpnet
+module Scrape = Dsig_tcpnet.Scrape
+module Tel = Dsig_telemetry.Telemetry
+module Lifecycle = Dsig_telemetry.Lifecycle
 
 let () =
   let cfg = Config.make ~batch_size:16 ~queue_threshold:32 ~cache_batches:64 (Config.wots ~d:4) in
@@ -16,43 +26,110 @@ let () =
   let pki = Pki.create () in
   Pki.register pki ~id:0 pk;
 
+  (* one telemetry bundle for both ends of the loopback deployment; the
+     lifecycle aggregator joins sign, admit and verify events into
+     end-to-end spans keyed by the trace ids riding the frames *)
+  let tel = Tel.create () in
+  Lifecycle.enable tel.Tel.lifecycle;
+
+  (* signer: foreground here, background plane on its own domain *)
+  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L ~telemetry:tel () in
+
   (* verifier service: every inbound frame is handled on a receiver
-     thread; the verifier is guarded by a mutex *)
-  let verifier = Verifier.create cfg ~id:1 ~pki () in
+     thread; the verifier is guarded by a mutex. Its control uplink
+     (ACKs, pull-repair requests) is wired up once the signer's own
+     control listener is bound, below. *)
+  let control_conn = ref None in
+  let control m =
+    match !control_conn with Some c -> Tcp.send c (Tcp.Control m) | None -> ()
+  in
+  let verifier = Verifier.create cfg ~id:1 ~pki ~telemetry:tel ~control () in
   let mu = Mutex.create () in
   let verified = ref 0 and rejected = ref 0 and announcements = ref 0 in
+  let handle_signed ?ctx ~msg ~signature () =
+    let ok =
+      match ctx with
+      | Some ctx -> Verifier.verify_ctx verifier ~ctx ~msg signature
+      | None -> Verifier.verify verifier ~msg signature
+    in
+    if ok then incr verified else incr rejected
+  in
   let server =
-    Dsig_tcpnet.Tcpnet.listen ~port:0 ~on_message:(fun m ->
+    Tcp.listen ~telemetry:tel ~port:0
+      ~on_message:(fun m ->
         Mutex.lock mu;
         (match m with
-        | Dsig_tcpnet.Tcpnet.Announcement a ->
-            if Verifier.deliver verifier a then incr announcements
-        | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
-            if Verifier.verify verifier ~msg signature then incr verified else incr rejected
-        | Dsig_tcpnet.Tcpnet.Control _ -> ());
+        | Tcp.Announcement a -> if Verifier.deliver verifier a then incr announcements
+        | Tcp.Signed { msg; signature } -> handle_signed ~msg ~signature ()
+        | Tcp.Traced (ctx, Tcp.Signed { msg; signature }) -> handle_signed ~ctx ~msg ~signature ()
+        | Tcp.Traced (_, _) | Tcp.Control _ -> ());
         Mutex.unlock mu)
       ()
   in
-  Printf.printf "verifier service listening on 127.0.0.1:%d\n"
-    (Dsig_tcpnet.Tcpnet.port server);
 
-  (* signer: foreground here, background plane on its own domain *)
-  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L () in
-  let conn = Dsig_tcpnet.Tcpnet.connect ~port:(Dsig_tcpnet.Tcpnet.port server) () in
+  let conn = Tcp.connect ~telemetry:tel ~port:(Tcp.port server) () in
+  let conn_mu = Mutex.create () in
+  let send m =
+    Mutex.lock conn_mu;
+    Tcp.send conn m;
+    Mutex.unlock conn_mu
+  in
+
+  (* the signer's control listener: inbound ACKs settle tracked
+     announcements; pull-repair Requests get the retained announcement
+     re-sent on the data connection *)
+  let control_server =
+    Tcp.listen ~telemetry:tel ~port:0
+      ~on_message:(fun m ->
+        match m with
+        | Tcp.Control (Batch.Ack a) -> Runtime.handle_ack rt a
+        | Tcp.Control (Batch.Acks l) -> List.iter (Runtime.handle_ack rt) l
+        | Tcp.Control (Batch.Request r) -> (
+            match Runtime.handle_request rt r with
+            | Some a -> send (Tcp.Announcement a)
+            | None -> ())
+        | _ -> ())
+      ()
+  in
+  control_conn := Some (Tcp.connect ~telemetry:tel ~port:(Tcp.port control_server) ());
+
+  (* scrape endpoint: poll /planes (or run `dsig top -p PORT`) while the
+     service is live *)
+  let scrape = Scrape.start ~telemetry:tel ~port:0 () in
+  Printf.printf "verifier service listening on 127.0.0.1:%d\n" (Tcp.port server);
+  Printf.printf "signer control listener on 127.0.0.1:%d\n" (Tcp.port control_server);
+  Printf.printf "scrape endpoint on http://127.0.0.1:%d (/metrics /metrics.json /trace /planes)\n"
+    (Scrape.port scrape);
+
+  let announce a =
+    send (Tcp.Announcement a);
+    Runtime.track_announcement rt a ~dests:[ 1 ]
+  in
+
+  (* re-announcement pump: resend announcements whose ACK backoff
+     expired; a no-op once the verifier's ACKs settle everything *)
+  let pump_stop = ref false in
+  let pump =
+    Thread.create
+      (fun () ->
+        while not !pump_stop do
+          List.iter (fun (_dest, a) -> send (Tcp.Announcement a)) (Runtime.due_reannouncements rt);
+          Thread.delay 0.001
+        done)
+      ()
+  in
 
   let n = 40 in
   for i = 1 to n do
     (* push any fresh announcements ahead of the signatures they cover *)
-    List.iter
-      (fun a -> Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Announcement a))
-      (Runtime.drain_announcements rt);
+    List.iter announce (Runtime.drain_announcements rt);
     let msg = Printf.sprintf "tcp payment #%d" i in
-    let signature = Runtime.sign rt msg in
-    Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Signed { msg; signature })
+    let signature, ctx = Runtime.sign_ctx rt msg in
+    send (Tcp.Traced (ctx, Tcp.Signed { msg; signature }))
   done;
   (* one tampered message to show rejection end to end *)
   let signature = Runtime.sign rt "genuine" in
-  Dsig_tcpnet.Tcpnet.send conn (Dsig_tcpnet.Tcpnet.Signed { msg = "tampered"; signature });
+  send (Tcp.Signed { msg = "tampered"; signature });
 
   (* wait for the service to drain *)
   let deadline = Unix.gettimeofday () +. 10.0 in
@@ -65,13 +142,36 @@ let () =
   while (not (done_ ())) && Unix.gettimeofday () < deadline do
     Thread.yield ()
   done;
+  (* give the ACK loop a moment to settle the tail announcements *)
+  let ack_deadline = Unix.gettimeofday () +. 2.0 in
+  while Runtime.unacked_announcements rt > 0 && Unix.gettimeofday () < ack_deadline do
+    Thread.delay 0.001
+  done;
 
   Mutex.lock mu;
   let st = Verifier.stats verifier in
   Printf.printf "service processed: %d verified, %d rejected (announcements: %d)\n" !verified
     !rejected !announcements;
   Printf.printf "verification paths: fast=%d slow=%d\n" st.Verifier.fast st.Verifier.slow;
+  Printf.printf "unacked announcements after drain: %d\n" (Runtime.unacked_announcements rt);
   Mutex.unlock mu;
-  Dsig_tcpnet.Tcpnet.close conn;
-  Dsig_tcpnet.Tcpnet.stop server;
+  let lc = tel.Tel.lifecycle in
+  Printf.printf "lifecycle: %d started, %d completed, %d full spans\n" (Lifecycle.started lc)
+    (Lifecycle.completed lc) (Lifecycle.full lc);
+  List.iter
+    (fun plane ->
+      Printf.printf "  %-12s p50=%.1fus p99=%.1fus\n" (Lifecycle.plane_name plane)
+        (Lifecycle.percentile lc plane 50.0)
+        (Lifecycle.percentile lc plane 99.0))
+    Lifecycle.[ Sign; Announce; Verify; End_to_end ];
+  (match Scrape.fetch ~port:(Scrape.port scrape) ~path:"/planes" with
+  | Ok body -> Printf.printf "scrape /planes:\n%s" body
+  | Error e -> Printf.printf "scrape fetch failed: %s\n" e);
+  pump_stop := true;
+  (try Thread.join pump with _ -> ());
+  Scrape.stop scrape;
+  (match !control_conn with Some c -> Tcp.close c | None -> ());
+  Tcp.close conn;
+  Tcp.stop control_server;
+  Tcp.stop server;
   Runtime.shutdown rt

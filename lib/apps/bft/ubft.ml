@@ -1,4 +1,6 @@
 open Dsig_simnet
+module Tel = Dsig_telemetry.Telemetry
+module Metric = Dsig_telemetry.Metric
 
 type path = Fast | Slow
 
@@ -46,8 +48,13 @@ let viewchange_string ~new_view = Printf.sprintf "ubft-vc|%d" new_view
 
 let create ~sim ~auth ~n ~f ?(behavior = fun _ -> Ctb.Honest) ?(latency_us = 1.0)
     ?(slow_overhead_us = 0.0) ?(fast_timeout_us = 20.0) ?(force_slow = false)
-    ?(dos_mitigation = true) ?(view_timeout_us = 150.0) ~on_commit ~on_reply () =
+    ?(dos_mitigation = true) ?(view_timeout_us = 150.0) ?(telemetry = Tel.default) ~on_commit
+    ~on_reply () =
   if n < (2 * f) + 1 then invalid_arg "Ubft.create: need n >= 2f+1";
+  let c_commits = Tel.counter telemetry "dsig_bft_commits_total" in
+  let c_fast = Tel.counter telemetry "dsig_bft_fast_replies_total" in
+  let c_slow = Tel.counter telemetry "dsig_bft_slow_replies_total" in
+  let c_vc = Tel.counter telemetry "dsig_bft_view_changes_total" in
   let net = Net.create sim ~nodes:(n + 1) ~latency_us () in
   let client = n in
   let cluster =
@@ -104,6 +111,7 @@ let create ~sim ~auth ~n ~f ?(behavior = fun _ -> Ctb.Honest) ?(latency_us = 1.0
         (match s.payload with
         | Some payload ->
             cluster.logs.(me) := (rid, payload) :: !(cluster.logs.(me));
+            Metric.Counter.incr c_commits;
             on_commit ~replica:me ~rid ~payload
         | None -> ());
         if i_am_leader () then
@@ -181,6 +189,7 @@ let create ~sim ~auth ~n ~f ?(behavior = fun _ -> Ctb.Honest) ?(latency_us = 1.0
     let install_view new_view =
       if new_view > my_view () then begin
         cluster.views.(me) <- new_view;
+        Metric.Counter.incr c_vc;
         if i_am_leader () then
           (* re-propose every known uncommitted request via the signed
              slow path *)
@@ -330,7 +339,9 @@ let create ~sim ~auth ~n ~f ?(behavior = fun _ -> Ctb.Honest) ?(latency_us = 1.0
   Sim.spawn sim (fun () ->
       while true do
         match Net.recv net ~node:client with
-        | _, _, Reply { rid; path } -> on_reply ~rid ~path
+        | _, _, Reply { rid; path } ->
+            Metric.Counter.incr (match path with Fast -> c_fast | Slow -> c_slow);
+            on_reply ~rid ~path
         | _ -> ()
       done);
   cluster

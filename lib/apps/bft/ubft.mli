@@ -38,6 +38,7 @@ val create :
   ?force_slow:bool ->
   ?dos_mitigation:bool ->
   ?view_timeout_us:float ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
   on_commit:(replica:int -> rid:int -> payload:string -> unit) ->
   on_reply:(rid:int -> path:path -> unit) ->
   unit ->
@@ -45,7 +46,11 @@ val create :
 (** [slow_overhead_us] models uBFT's non-crypto slow-path machinery
     (disaggregated-memory requests; calibration in DESIGN.md).
     [fast_timeout_us] is the leader's wait before abandoning the fast
-    path (default 20 µs). @raise Invalid_argument unless [n >= 2*f+1]. *)
+    path (default 20 µs). [telemetry] (default
+    {!Dsig_telemetry.Telemetry.default}) receives
+    [dsig_bft_commits_total] / [dsig_bft_fast_replies_total] /
+    [dsig_bft_slow_replies_total] / [dsig_bft_view_changes_total].
+    @raise Invalid_argument unless [n >= 2*f+1]. *)
 
 val client_node : cluster -> int
 val request : cluster -> rid:int -> string -> unit

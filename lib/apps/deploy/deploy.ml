@@ -43,15 +43,11 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
   (* verifier→signer reliability traffic (ACKs and pull-repair requests)
      rides the same modeled network as the announcements it protects *)
   let control_of id c =
-    let target =
-      match c with
-      | Dsig.Batch.Ack a -> a.Dsig.Batch.ack_signer
-      | Dsig.Batch.Request r -> r.Dsig.Batch.req_signer
-    in
-    if target >= 0 && target < n then begin
-      Metric.Counter.incr c_control;
-      Net.send_async net ~src:id ~dst:target ~bytes:Dsig.Batch.control_wire_bytes (P_control c)
-    end
+    match Dsig.Batch.control_target c with
+    | Some target when target >= 0 && target < n ->
+        Metric.Counter.incr c_control;
+        Net.send_async net ~src:id ~dst:target ~bytes:(Dsig.Batch.control_bytes c) (P_control c)
+    | Some _ | None -> ()
   in
   let all = List.init n Fun.id in
   let parties =
@@ -96,7 +92,7 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
                    when [telemetry] was created with
                    [~clock:(fun () -> Sim.now sim)] *)
                 Metric.Histogram.add h_net (Sim.now sim -. sent_at);
-                let ok = Dsig.Verifier.deliver p.verifier ann in
+                let ok = Dsig.Verifier.deliver ~sent_us:sent_at p.verifier ann in
                 if ok then begin
                   t.delivered <- t.delivered + 1;
                   Metric.Counter.incr c_delivered

@@ -1,4 +1,6 @@
 open Dsig_simnet
+module Tel = Dsig_telemetry.Telemetry
+module Metric = Dsig_telemetry.Metric
 
 type verify_fn = client:int -> msg:string -> signature:string -> bool
 
@@ -10,16 +12,23 @@ type t = {
 }
 
 let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
-    ?(exec_cost_us = 0.3) () =
+    ?(exec_cost_us = 0.3) ?(telemetry = Tel.default) () =
   let t = { store = Store.create (); log = Dsig_audit.Audit.create (); served = 0; rejected = 0 } in
+  let c_requests = Tel.counter telemetry "dsig_kv_requests_total" in
+  let c_rejected = Tel.counter telemetry "dsig_kv_rejected_total" in
+  let h_serve = Tel.histogram telemetry "dsig_kv_serve_us" in
   let core = Resource.create ~name:"kv.core" sim in
   Sim.spawn sim (fun () ->
       while true do
         let client, _bytes, (encoded, signature) = Net.recv net ~node in
+        let t0 = Sim.now sim in
+        Metric.Counter.incr c_requests;
         Resource.use core (verify_cost_us ~signature);
         let reply =
           match Store.Command.decode encoded with
-          | None -> Store.Reply.Error "malformed"
+          | None ->
+              Metric.Counter.incr c_rejected;
+              Store.Reply.Error "malformed"
           | Some (seq, cmd) -> (
               match
                 Dsig_audit.Audit.admit t.log
@@ -28,12 +37,14 @@ let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
               with
               | Error e ->
                   t.rejected <- t.rejected + 1;
+                  Metric.Counter.incr c_rejected;
                   Store.Reply.Error e
               | Ok _ ->
                   t.served <- t.served + 1;
                   Resource.use core exec_cost_us;
                   Store.exec t.store cmd)
         in
+        Metric.Histogram.add h_serve (Sim.now sim -. t0);
         Net.send net ~src:node ~dst:client
           ~bytes:(16 + String.length (Store.Reply.to_string reply))
           (Store.Reply.to_string reply, "")

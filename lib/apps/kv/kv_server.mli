@@ -19,12 +19,17 @@ val start :
   verify:verify_fn ->
   ?verify_cost_us:(signature:string -> float) ->
   ?exec_cost_us:float ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
   unit ->
   t
 (** Starts the server process on [net] node [node]. Messages are
     [(encoded_command, signature)] pairs; replies are the rendered
     {!Store.Reply} sent back to the requesting node. Compute costs are
-    charged to the server's core resource. *)
+    charged to the server's core resource.
+
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    [dsig_kv_requests_total] / [dsig_kv_rejected_total] counters and the
+    [dsig_kv_serve_us] request-latency histogram (virtual time). *)
 
 val store : t -> Store.t
 val audit_log : t -> Dsig_audit.Audit.t

@@ -1,0 +1,206 @@
+module Tel = Dsig_telemetry.Telemetry
+module Export = Dsig_telemetry.Export
+module Lifecycle = Dsig_telemetry.Lifecycle
+module Metric = Dsig_telemetry.Metric
+
+type t = {
+  listener : Unix.file_descr;
+  actual_port : int;
+  telemetry : Tel.t;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  c_requests : Metric.Counter.t;
+  c_errors : Metric.Counter.t;
+}
+
+(* --- bodies --- *)
+
+let planes_body tel =
+  let lc = tel.Tel.lifecycle in
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) "started %d\n" (Lifecycle.started lc);
+  Printf.ksprintf (Buffer.add_string buf) "completed %d\n" (Lifecycle.completed lc);
+  Printf.ksprintf (Buffer.add_string buf) "full %d\n" (Lifecycle.full lc);
+  List.iter
+    (fun plane ->
+      let s = Lifecycle.plane_snapshot lc plane in
+      let p q = Dsig_telemetry.Metric.Histogram.percentile s q in
+      Printf.ksprintf (Buffer.add_string buf) "%s %d %.3f %.3f %.3f\n"
+        (Lifecycle.plane_name plane) s.Dsig_telemetry.Metric.Histogram.n (p 50.0) (p 99.0)
+        (p 99.9))
+    Lifecycle.[ Sign; Announce; Verify; End_to_end ];
+  Buffer.contents buf
+
+let trace_body tel =
+  let lc = tel.Tel.lifecycle in
+  Printf.sprintf "{\"lifecycle\":%s,\"spans\":%s}" (Export.json_lifecycle lc)
+    (Export.json_spans lc)
+
+let route tel path =
+  match path with
+  | "/metrics" ->
+      Some ("text/plain; version=0.0.4", Export.prometheus (Tel.snapshot tel))
+  | "/metrics.json" ->
+      Some
+        ( "application/json",
+          Export.json ~tracer:tel.Tel.tracer ~lifecycle:tel.Tel.lifecycle (Tel.snapshot tel) )
+  | "/trace" -> Some ("application/json", trace_body tel)
+  | "/planes" -> Some ("text/plain", planes_body tel)
+  | _ -> None
+
+(* --- HTTP/1.0 plumbing --- *)
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let max_request_bytes = 8192
+
+(* Read until the end of the request head; scrape requests have no body. *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    let has_head () =
+      let s = Buffer.contents buf in
+      let rec find i =
+        if i + 3 >= String.length s then false
+        else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
+          true
+        else find (i + 1)
+      in
+      find 0
+    in
+    if has_head () then Some (Buffer.contents buf)
+    else if Buffer.length buf > max_request_bytes then None
+    else begin
+      let n = try Unix.read fd chunk 0 1024 with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+      if n = 0 then if Buffer.length buf > 0 then Some (Buffer.contents buf) else None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let parse_path head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some eol -> (
+      let line = String.trim (String.sub head 0 eol) in
+      match String.split_on_char ' ' line with
+      | "GET" :: path :: _ -> Some path
+      | _ -> None)
+
+let handle_conn t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      match Option.bind (read_request fd) parse_path with
+      | None ->
+          Metric.Counter.incr t.c_errors;
+          Tcpnet.really_write fd
+            (response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n")
+      | Some path -> (
+          Metric.Counter.incr t.c_requests;
+          match route t.telemetry path with
+          | Some (content_type, body) ->
+              Tcpnet.really_write fd (response ~status:"200 OK" ~content_type body)
+          | None ->
+              Metric.Counter.incr t.c_errors;
+              Tcpnet.really_write fd
+                (response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")))
+
+let start ?(telemetry = Tel.default) ~port () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listener 16;
+  let actual_port =
+    match Unix.getsockname listener with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t =
+    {
+      listener;
+      actual_port;
+      telemetry;
+      stopping = false;
+      accept_thread = None;
+      c_requests = Tel.counter telemetry "dsig_scrape_requests_total";
+      c_errors = Tel.counter telemetry "dsig_scrape_errors_total";
+    }
+  in
+  let accept_loop () =
+    let continue_ = ref true in
+    while (not t.stopping) && !continue_ do
+      match Unix.accept listener with
+      | exception Unix.Unix_error (_, _, _) -> continue_ := false
+      | peer, _ ->
+          if t.stopping then (try Unix.close peer with Unix.Unix_error (_, _, _) -> ())
+          else
+            ignore
+              (Thread.create
+                 (fun () -> try handle_conn t peer with _ -> Metric.Counter.incr t.c_errors)
+                 ())
+    done
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t
+
+let port t = t.actual_port
+
+let stop t =
+  t.stopping <- true;
+  (try
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.actual_port))
+      with Unix.Unix_error (_, _, _) -> ());
+     Unix.close fd
+   with Unix.Unix_error (_, _, _) -> ());
+  (match t.accept_thread with Some th -> ( try Thread.join th with _ -> ()) | None -> ());
+  try Unix.close t.listener with Unix.Unix_error (_, _, _) -> ()
+
+(* --- a tiny loopback GET client (tests, [dsig_cli top]) --- *)
+
+let fetch ~port ~path =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Tcpnet.really_write fd (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          let n =
+            try Unix.read fd chunk 0 4096 with Unix.Unix_error (Unix.EINTR, _, _) -> 1
+          in
+          if n > 0 then begin
+            if n <= 4096 then Buffer.add_subbytes buf chunk 0 (Stdlib.min n 4096);
+            drain ()
+          end
+        in
+        drain ();
+        Buffer.contents buf)
+  with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | raw -> (
+      (* split head from body at the first blank line *)
+      let rec find i =
+        if i + 3 >= String.length raw then None
+        else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+        then Some (i + 4)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> Error "malformed response"
+      | Some body_at ->
+          let head = String.sub raw 0 body_at in
+          let body = String.sub raw body_at (String.length raw - body_at) in
+          let ok =
+            match String.split_on_char ' ' head with _ :: "200" :: _ -> true | _ -> false
+          in
+          if ok then Ok body else Error (String.trim (List.hd (String.split_on_char '\n' head))))

@@ -1,0 +1,37 @@
+(** A minimal HTTP/1.0 scrape endpoint for a telemetry bundle — the
+    live-observability face of the TCP service. One thread accepts
+    loopback connections; each GET is answered from a fresh registry
+    snapshot and the connection closed (Prometheus-style pull).
+
+    Routes:
+    - [/metrics] — Prometheus text exposition of every counter, gauge
+      and histogram in the bundle (including the [dsig_lifecycle_*]
+      series once lifecycle tracing is enabled);
+    - [/metrics.json] — the full JSON export with tracer events and the
+      lifecycle plane summary;
+    - [/trace] — the recent completed lifecycle spans
+      ([{"lifecycle":{..},"spans":[..]}]), newest last;
+    - [/planes] — a plain-text per-plane table
+      ([<plane> <count> <p50> <p99> <p999>] lines preceded by
+      [started]/[completed]/[full] counts), the format [dsig_cli top]
+      polls.
+
+    Anything else is a 404. Requests above 8 KiB or without a parseable
+    GET line get a 400. *)
+
+type t
+
+val start : ?telemetry:Dsig_telemetry.Telemetry.t -> port:int -> unit -> t
+(** Bind 127.0.0.1:[port] (0 picks an ephemeral port) and serve
+    [telemetry] (default {!Dsig_telemetry.Telemetry.default}). Records
+    [dsig_scrape_requests_total] / [dsig_scrape_errors_total] on the
+    same bundle. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listener and join the accept thread. *)
+
+val fetch : port:int -> path:string -> (string, string) result
+(** Blocking loopback GET: [Ok body] on a 200, [Error] with the status
+    line or errno otherwise. Used by tests and [dsig_cli top]. *)

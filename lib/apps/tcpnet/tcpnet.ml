@@ -26,25 +26,29 @@ let net_tel_of telemetry =
     h_frame = Tel.histogram telemetry "dsig_tcpnet_frame_bytes";
   }
 
+module Trace = Dsig_telemetry.Trace_ctx
+
 type message =
   | Announcement of Dsig.Batch.announcement
   | Signed of { msg : string; signature : string }
   | Control of Dsig.Batch.control
+  | Traced of Trace.t * message
 
-let encode_message = function
+let rec encode_message = function
   | Announcement a -> "A" ^ Dsig.Batch.encode_announcement a
   | Signed { msg; signature } ->
       "S" ^ BU.u32_le (Int32.of_int (String.length msg)) ^ msg ^ signature
-  (* Batch.encode_control already carries its own 'K'/'R' tag byte *)
+  (* Batch.encode_control already carries its own 'K'/'R'/'M' tag byte *)
   | Control c -> Dsig.Batch.encode_control c
+  | Traced (ctx, inner) -> "T" ^ Trace.encode ctx ^ encode_message inner
 
-let decode_message s =
+let rec decode_message s =
   if String.length s < 1 then Error "empty frame"
   else begin
     let body = String.sub s 1 (String.length s - 1) in
     match s.[0] with
     | 'A' -> Result.map (fun a -> Announcement a) (Dsig.Batch.decode_announcement body)
-    | 'K' | 'R' -> Result.map (fun c -> Control c) (Dsig.Batch.decode_control s)
+    | 'K' | 'R' | 'M' -> Result.map (fun c -> Control c) (Dsig.Batch.decode_control s)
     | 'S' ->
         if String.length body < 4 then Error "short signed frame"
         else begin
@@ -58,6 +62,16 @@ let decode_message s =
                    signature = String.sub body (4 + mlen) (String.length body - 4 - mlen);
                  })
         end
+    | 'T' -> (
+        match Trace.decode body 0 with
+        | None -> Error "short traced frame"
+        | Some ctx -> (
+            match
+              decode_message (String.sub body Trace.wire_bytes (String.length body - Trace.wire_bytes))
+            with
+            | Ok (Traced _) -> Error "nested traced frame"
+            | Ok inner -> Ok (Traced (ctx, inner))
+            | Error e -> Error e))
     | _ -> Error "unknown tag"
   end
 

@@ -13,7 +13,13 @@ type message =
   | Signed of { msg : string; signature : string }
   | Control of Dsig.Batch.control
       (** Announcement-plane reliability traffic: verifier→signer ACKs
-          and pull-repair batch requests. *)
+          (single or batched) and pull-repair batch requests. *)
+  | Traced of Dsig_telemetry.Trace_ctx.t * message
+      (** A message carrying its signature's 18-byte trace context
+          (tag ['T'] + {!Dsig_telemetry.Trace_ctx.encode} + inner frame)
+          so the receiver can close cross-node lifecycle spans
+          ({!Dsig.Verifier.verify_ctx}). Nesting is rejected by the
+          decoder. *)
 
 type server
 
@@ -52,6 +58,11 @@ val close : client -> unit
 val encode_message : message -> string
 val decode_message : string -> (message, string) result
 (** Exposed for tests. *)
+
+val really_write : Unix.file_descr -> string -> unit
+val really_read : Unix.file_descr -> int -> string
+(** EINTR-resuming full write/read (exposed for {!Scrape}).
+    @raise End_of_file when the peer closes mid-read. *)
 
 (** A lossy/corrupting wrapper around {!client} for fault testing: each
     {!Faulty.send} drops the frame with probability [drop], otherwise

@@ -1,4 +1,6 @@
 open Dsig_simnet
+module Tel = Dsig_telemetry.Telemetry
+module Metric = Dsig_telemetry.Metric
 
 type verify_fn = client:int -> msg:string -> signature:string -> bool
 
@@ -15,26 +17,36 @@ type t = {
 }
 
 let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
-    ?(match_cost_us = 1.4) () =
+    ?(match_cost_us = 1.4) ?(telemetry = Tel.default) () =
   let t =
     { book = Orderbook.create (); log = Dsig_audit.Audit.create (); trades = []; owners = Hashtbl.create 64 }
   in
+  let c_orders = Tel.counter telemetry "dsig_trading_orders_total" in
+  let c_fills = Tel.counter telemetry "dsig_trading_fills_total" in
+  let c_rejected = Tel.counter telemetry "dsig_trading_rejected_total" in
+  let h_serve = Tel.histogram telemetry "dsig_trading_serve_us" in
   let core = Resource.create ~name:"exchange.core" sim in
   Sim.spawn sim (fun () ->
       while true do
         match Net.recv net ~node with
         | client, _bytes, Either.Left (encoded, signature) ->
+            let t0 = Sim.now sim in
+            Metric.Counter.incr c_orders;
             Resource.use core (verify_cost_us ~signature);
             let reply =
               match Orderbook.Request.decode encoded with
-              | None -> Rejected "malformed"
+              | None ->
+                  Metric.Counter.incr c_rejected;
+                  Rejected "malformed"
               | Some (seq, req) -> (
                   match
                     Dsig_audit.Audit.admit t.log
                       ~verify:(fun ~msg signature -> verify ~client ~msg ~signature)
                       ~client ~seq ~op:encoded ~signature
                   with
-                  | Error e -> Rejected e
+                  | Error e ->
+                      Metric.Counter.incr c_rejected;
+                      Rejected e
                   | Ok _ -> (
                       Resource.use core match_cost_us;
                       match req with
@@ -44,6 +56,7 @@ let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
                           in
                           Hashtbl.replace t.owners order_id client;
                           t.trades <- List.rev_append fills t.trades;
+                          Metric.Counter.incr ~by:(List.length fills) c_fills;
                           Accepted { order_id; fills }
                       | Orderbook.Request.Cancel { order_id } ->
                           (* only the order's owner may cancel — the signed
@@ -52,6 +65,7 @@ let start ~sim ~net ~node ~verify ?(verify_cost_us = fun ~signature:_ -> 0.0)
                             Cancelled (Orderbook.cancel t.book ~order_id)
                           else Cancelled false))
             in
+            Metric.Histogram.add h_serve (Sim.now sim -. t0);
             Net.send net ~src:node ~dst:client ~bytes:64 (Either.Right reply)
         | _, _, Either.Right _ -> () (* replies are for clients *)
       done);

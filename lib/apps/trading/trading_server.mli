@@ -20,8 +20,13 @@ val start :
   verify:verify_fn ->
   ?verify_cost_us:(signature:string -> float) ->
   ?match_cost_us:float ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
   unit ->
   t
+(** [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    [dsig_trading_orders_total] / [dsig_trading_fills_total] /
+    [dsig_trading_rejected_total] counters and the
+    [dsig_trading_serve_us] order-latency histogram (virtual time). *)
 
 val book : t -> Orderbook.t
 val audit_log : t -> Dsig_audit.Audit.t

@@ -115,35 +115,77 @@ let encode_announcement a =
 
 type ack = { ack_verifier : int; ack_signer : int; ack_batch : int64 }
 type request = { req_verifier : int; req_signer : int; req_batch : int64 }
-type control = Ack of ack | Request of request
+type control = Ack of ack | Request of request | Acks of ack list
 
 let control_wire_bytes = 1 + 8 + 8 + 8
+let max_acks_per_frame = 4096
 
-let encode_control c =
-  let tag, a, b, d =
-    match c with
-    | Ack { ack_verifier; ack_signer; ack_batch } -> ('K', ack_verifier, ack_signer, ack_batch)
-    | Request { req_verifier; req_signer; req_batch } ->
-        ('R', req_verifier, req_signer, req_batch)
-  in
-  let buf = Buffer.create control_wire_bytes in
-  Buffer.add_char buf tag;
+let control_bytes = function
+  | Ack _ | Request _ -> control_wire_bytes
+  | Acks l -> 1 + 2 + (24 * List.length l)
+
+let control_target = function
+  | Ack a -> Some a.ack_signer
+  | Request r -> Some r.req_signer
+  | Acks (a :: _) -> Some a.ack_signer
+  | Acks [] -> None
+
+let encode_ack_fields buf a b d =
   Buffer.add_string buf (BU.u64_le (Int64.of_int a));
   Buffer.add_string buf (BU.u64_le (Int64.of_int b));
-  Buffer.add_string buf (BU.u64_le d);
+  Buffer.add_string buf (BU.u64_le d)
+
+let encode_control c =
+  let buf = Buffer.create (control_bytes c) in
+  (match c with
+  | Ack { ack_verifier; ack_signer; ack_batch } ->
+      Buffer.add_char buf 'K';
+      encode_ack_fields buf ack_verifier ack_signer ack_batch
+  | Request { req_verifier; req_signer; req_batch } ->
+      Buffer.add_char buf 'R';
+      encode_ack_fields buf req_verifier req_signer req_batch
+  | Acks l ->
+      Buffer.add_char buf 'M';
+      let n = List.length l in
+      Buffer.add_char buf (Char.chr (n land 0xFF));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+      List.iter
+        (fun { ack_verifier; ack_signer; ack_batch } ->
+          encode_ack_fields buf ack_verifier ack_signer ack_batch)
+        l);
   Buffer.contents buf
 
 let decode_control s =
-  if String.length s <> control_wire_bytes then Error "bad control size"
-  else begin
-    let verifier = Int64.to_int (BU.get_u64_le s 1) in
-    let signer = Int64.to_int (BU.get_u64_le s 9) in
-    let batch = BU.get_u64_le s 17 in
+  let len = String.length s in
+  if len < 1 then Error "empty control frame"
+  else
     match s.[0] with
-    | 'K' -> Ok (Ack { ack_verifier = verifier; ack_signer = signer; ack_batch = batch })
-    | 'R' -> Ok (Request { req_verifier = verifier; req_signer = signer; req_batch = batch })
+    | ('K' | 'R') when len = control_wire_bytes ->
+        let verifier = Int64.to_int (BU.get_u64_le s 1) in
+        let signer = Int64.to_int (BU.get_u64_le s 9) in
+        let batch = BU.get_u64_le s 17 in
+        if s.[0] = 'K' then
+          Ok (Ack { ack_verifier = verifier; ack_signer = signer; ack_batch = batch })
+        else Ok (Request { req_verifier = verifier; req_signer = signer; req_batch = batch })
+    | 'K' | 'R' -> Error "bad control size"
+    | 'M' ->
+        if len < 3 then Error "bad control size"
+        else begin
+          let n = Char.code s.[1] lor (Char.code s.[2] lsl 8) in
+          if n > max_acks_per_frame then Error "oversized ack batch"
+          else if len <> 3 + (24 * n) then Error "bad control size"
+          else
+            Ok
+              (Acks
+                 (List.init n (fun i ->
+                      let off = 3 + (24 * i) in
+                      {
+                        ack_verifier = Int64.to_int (BU.get_u64_le s off);
+                        ack_signer = Int64.to_int (BU.get_u64_le s (off + 8));
+                        ack_batch = BU.get_u64_le s (off + 16);
+                      })))
+        end
     | _ -> Error "bad control tag"
-  end
 
 let decode_announcement s =
   let len = String.length s in

@@ -68,12 +68,30 @@ val decode_announcement : string -> (announcement, string) result
 
 type ack = { ack_verifier : int; ack_signer : int; ack_batch : int64 }
 type request = { req_verifier : int; req_signer : int; req_batch : int64 }
-type control = Ack of ack | Request of request
+
+type control =
+  | Ack of ack
+  | Request of request
+  | Acks of ack list
+      (** Several ACKs for {e one} signer in a single frame (count-prefixed
+          body) — what {!Dsig.Verifier.deliver_many} emits after a
+          catch-up so a wide fan-out costs one reverse frame per signer
+          instead of one per batch. Single-[Ack] frames stay decodable. *)
 
 val control_wire_bytes : int
-(** Encoded size of any control message (tag + three u64 fields). *)
+(** Encoded size of an [Ack]/[Request] (tag + three u64 fields). *)
+
+val control_bytes : control -> int
+(** Encoded size of any control message ([Acks] frames are
+    [3 + 24 * count] bytes). *)
+
+val control_target : control -> int option
+(** The signer a control frame must be routed to ([None] only for an
+    empty [Acks]; [Acks] frames carry acks for a single signer). *)
+
+val max_acks_per_frame : int
 
 val encode_control : control -> string
 val decode_control : string -> (control, string) result
-(** Total: never raises, rejects any frame that is not exactly
-    [control_wire_bytes] long with a known tag. *)
+(** Total: never raises, rejects wrong sizes, unknown tags, and [Acks]
+    counts above {!max_acks_per_frame}. *)

@@ -3,6 +3,8 @@ module Rng = Dsig_util.Rng
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
+module Lifecycle = Dsig_telemetry.Lifecycle
+module Trace = Dsig_telemetry.Trace_ctx
 
 type prepared = {
   key : Onetime.t;
@@ -19,6 +21,8 @@ type tel = {
   bundle : Tel.t;
   c_signs : Metric.Counter.t;
   c_waits : Metric.Counter.t;
+  c_reann : Metric.Counter.t;
+  c_acks : Metric.Counter.t;
   h_sign : Metric.Histogram.t;
   g_queue : Metric.Gauge.t;
 }
@@ -111,6 +115,8 @@ let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64)
           bundle = telemetry;
           c_signs = Tel.counter telemetry "dsig_runtime_signatures_total";
           c_waits = Tel.counter telemetry "dsig_runtime_sign_waits_total";
+          c_reann = Tel.counter telemetry "dsig_runtime_reannounces_total";
+          c_acks = Tel.counter telemetry "dsig_runtime_acks_total";
           h_sign = Tel.histogram telemetry "dsig_runtime_sign_us";
           g_queue = Tel.gauge telemetry "dsig_runtime_queue_depth";
         };
@@ -132,7 +138,7 @@ let pop_key t =
   Mutex.unlock t.mu;
   prepared
 
-let sign t msg =
+let sign_impl t msg =
   let t0 = Tel.now t.tel.bundle in
   let prepared = pop_key t in
   let nonce = Rng.bytes t.fg_rng 16 in
@@ -158,7 +164,21 @@ let sign t msg =
   Metric.Histogram.add t.tel.h_sign (t1 -. t0);
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Sign_fast Tracer.Begin t0;
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Sign_fast Tracer.End t1;
+  let key_index = prepared.proof.Merkle.index in
+  let lc = t.tel.bundle.Tel.lifecycle in
+  if Lifecycle.enabled lc then
+    Lifecycle.sign lc
+      ~trace_id:(Trace.id ~signer:t.id ~batch_id:prepared.batch_id ~key_index)
+      ~origin:t.id ~birth_us:t0 ~dur_us:(t1 -. t0);
+  (wire, prepared.batch_id, key_index, t0)
+
+let sign t msg =
+  let wire, _, _, _ = sign_impl t msg in
   wire
+
+let sign_ctx t msg =
+  let wire, batch_id, key_index, t0 = sign_impl t msg in
+  (wire, Trace.make ~signer:t.id ~batch_id ~key_index ~origin:t.id ~birth_us:t0)
 
 let queue_depth t =
   Mutex.lock t.mu;
@@ -193,16 +213,20 @@ let locked t f =
 let track_announcement t ann ~dests = locked t (fun () -> Announce.track t.announce ann ~dests)
 
 let handle_ack t (a : Batch.ack) =
-  if a.Batch.ack_signer = t.id then
-    ignore
-      (locked t (fun () ->
-           Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch))
+  if
+    a.Batch.ack_signer = t.id
+    && locked t (fun () ->
+           Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch)
+  then Metric.Counter.incr t.tel.c_acks
 
 let handle_request t (r : Batch.request) =
   if r.Batch.req_signer <> t.id then None
   else locked t (fun () -> Announce.lookup t.announce ~batch_id:r.Batch.req_batch)
 
-let due_reannouncements t = locked t (fun () -> Announce.due t.announce)
+let due_reannouncements t =
+  let due = locked t (fun () -> Announce.due t.announce) in
+  (match due with [] -> () | _ :: _ -> Metric.Counter.incr ~by:(List.length due) t.tel.c_reann);
+  due
 let unacked_announcements t = locked t (fun () -> Announce.pending t.announce)
 
 let shutdown t =

@@ -33,7 +33,10 @@ val create :
 
     [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
     the foreground plane's [dsig_runtime_signatures_total] /
-    [dsig_runtime_sign_waits_total] counters, [dsig_runtime_sign_us]
+    [dsig_runtime_sign_waits_total] counters, the reliability counters
+    [dsig_runtime_reannounces_total] (pairs returned by
+    {!due_reannouncements}) and [dsig_runtime_acks_total] (ACKs that
+    newly settled a destination), [dsig_runtime_sign_us]
     histogram and [dsig_runtime_queue_depth] gauge, and the background
     domain's [dsig_runtime_batches_total] counter and
     [dsig_runtime_batch_gen_us] histogram. The planes write to separate
@@ -43,7 +46,13 @@ val create :
 
 val sign : t -> string -> string
 (** Foreground-plane signing; thread-safe for a single foreground
-    caller. Blocks (briefly, after warm-up never) when no key is ready. *)
+    caller. Blocks (briefly, after warm-up never) when no key is ready.
+    Registers a lifecycle sign event when the bundle's
+    {!Dsig_telemetry.Lifecycle} is enabled (one mutable load when not). *)
+
+val sign_ctx : t -> string -> string * Dsig_telemetry.Trace_ctx.t
+(** Like {!sign}, additionally returning the signature's trace context
+    for transports that propagate it (e.g. [Dsig_tcpnet.Traced]). *)
 
 val queue_depth : t -> int
 val batches_generated : t -> int

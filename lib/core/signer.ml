@@ -6,6 +6,8 @@ module Retry = Dsig_util.Retry
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
+module Lifecycle = Dsig_telemetry.Lifecycle
+module Trace = Dsig_telemetry.Trace_ctx
 
 type prepared = {
   key : Onetime.t;
@@ -230,7 +232,7 @@ let make_body t prepared msg =
         Wire.Hors_merk_body { hsig; roots; proofs }
       end
 
-let sign t ?hint msg =
+let sign_impl t ?hint msg =
   let t0 = Tel.now t.tel.bundle in
   let group = select_group t hint in
   let synced = Queue.is_empty group.queue in
@@ -262,7 +264,21 @@ let sign t ?hint msg =
   let span = if synced then Tracer.Sign_sync_refill else Tracer.Sign_fast in
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.End t1;
+  let key_index = prepared.proof.Merkle.index in
+  let lc = t.tel.bundle.Tel.lifecycle in
+  if Lifecycle.enabled lc then
+    Lifecycle.sign lc
+      ~trace_id:(Trace.id ~signer:t.id ~batch_id:prepared.batch_id ~key_index)
+      ~origin:t.id ~birth_us:t0 ~dur_us:(t1 -. t0);
+  (wire, prepared.batch_id, key_index, t0)
+
+let sign t ?hint msg =
+  let wire, _, _, _ = sign_impl t ?hint msg in
   wire
+
+let sign_ctx t ?hint msg =
+  let wire, batch_id, key_index, t0 = sign_impl t ?hint msg in
+  (wire, Trace.make ~signer:t.id ~batch_id ~key_index ~origin:t.id ~birth_us:t0)
 
 (* --- announcement-plane reliability --- *)
 
@@ -292,6 +308,7 @@ let handle_request t (r : Batch.request) =
 
 let handle_control t = function
   | Batch.Ack a -> handle_ack t a
+  | Batch.Acks l -> List.iter (handle_ack t) l
   | Batch.Request r -> ignore (handle_request t r)
 
 let reannounce_step t =

@@ -61,7 +61,16 @@ val sign : t -> ?hint:int list -> string -> string
     selects the smallest group containing it (Alg. 1 line 15); an
     omitted or unmatched hint falls back to the default group. If the
     chosen queue is empty the signer refills it synchronously (slow
-    path, counted in {!stats}). *)
+    path, counted in {!stats}).
+
+    When the bundle's {!Dsig_telemetry.Lifecycle} is enabled, every
+    signature also registers a lifecycle sign event under its trace id
+    (one mutable load when disabled). *)
+
+val sign_ctx : t -> ?hint:int list -> string -> string * Dsig_telemetry.Trace_ctx.t
+(** Like {!sign}, additionally returning the signature's trace context
+    (for transports that propagate it, e.g. [Dsig_tcpnet]'s [Traced]
+    frames). *)
 
 val background_step : t -> bool
 (** Refill at most one group whose queue is below S with one batch

@@ -22,13 +22,10 @@ let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) cfg ~n
      target signer *)
   let control c =
     let parties = !parties_ref in
-    let target =
-      match c with
-      | Batch.Ack a -> a.Batch.ack_signer
-      | Batch.Request r -> r.Batch.req_signer
-    in
-    if target >= 0 && target < Array.length parties then
-      Signer.handle_control parties.(target).signer c
+    match Batch.control_target c with
+    | Some target when target >= 0 && target < Array.length parties ->
+        Signer.handle_control parties.(target).signer c
+    | Some _ | None -> ()
   in
   let parties =
     Array.init n (fun id ->

@@ -7,6 +7,8 @@ module Retry = Dsig_util.Retry
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
+module Lifecycle = Dsig_telemetry.Lifecycle
+module Trace = Dsig_telemetry.Trace_ctx
 
 type cached_batch = {
   root : string;
@@ -175,9 +177,18 @@ let eddsa_verify_cached t pk msg signature =
     else false
   end
 
+(* Lifecycle announce-plane event: one admit per batch, joining every
+   signature of the batch via the sentinel trace id. *)
+let lifecycle_admit t (ann : Batch.announcement) ~latency_us =
+  let lc = t.tel.bundle.Tel.lifecycle in
+  if Lifecycle.enabled lc then
+    Lifecycle.admit lc ~signer:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id ~latency_us
+
 (* Cache an announcement whose EdDSA root signature has already been
-   checked: validate any full keys against the signed leaves and insert. *)
-let admit_verified t (ann : Batch.announcement) root =
+   checked: validate any full keys against the signed leaves and insert.
+   [send_ack:false] lets a caller that admits many batches at once
+   coalesce the acknowledgements into one [Batch.Acks] frame instead. *)
+let admit_verified ?(send_ack = true) t (ann : Batch.announcement) root =
   begin
     t.stats.announcements <- t.stats.announcements + 1;
     Metric.Counter.incr t.tel.c_ann;
@@ -227,15 +238,17 @@ let admit_verified t (ann : Batch.announcement) root =
     match t.control with
     | None -> ()
     | Some send ->
-        t.stats.acks_sent <- t.stats.acks_sent + 1;
-        Metric.Counter.incr t.tel.c_acks;
-        send
-          (Batch.Ack
-             {
-               Batch.ack_verifier = t.id;
-               ack_signer = ann.Batch.signer_id;
-               ack_batch = ann.Batch.ann_batch_id;
-             })
+        if send_ack then begin
+          t.stats.acks_sent <- t.stats.acks_sent + 1;
+          Metric.Counter.incr t.tel.c_acks;
+          send
+            (Batch.Ack
+               {
+                 Batch.ack_verifier = t.id;
+                 ack_signer = ann.Batch.signer_id;
+                 ack_batch = ann.Batch.ann_batch_id;
+               })
+        end
   end
 
 (* Root implied by an announcement, plus the exact EdDSA-signed string. *)
@@ -246,7 +259,7 @@ let announcement_root (ann : Batch.announcement) =
   in
   (root, msg)
 
-let deliver t (ann : Batch.announcement) =
+let deliver ?sent_us t (ann : Batch.announcement) =
   match Pki.lookup t.pki ann.Batch.signer_id with
   | None ->
       Log.L.warn (fun m ->
@@ -267,6 +280,10 @@ let deliver t (ann : Batch.announcement) =
       let t1 = Tel.now t.tel.bundle in
       Metric.Histogram.add t.tel.h_deliver (t1 -. t0);
       Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.End t1;
+      (* announce-to-admit: from the wire send stamp when the transport
+         supplies one, else just the local delivery processing time *)
+      if ok then
+        lifecycle_admit t ann ~latency_us:(t1 -. Option.value sent_us ~default:t0);
       ok
 
 (* Catch-up path: check many announcements' EdDSA root signatures with
@@ -290,8 +307,36 @@ let deliver_many t anns =
      hash of public values. *)
   let rng = Rng.split t.rng in
   let triples = List.map (fun (ann, _, pk, msg) -> (pk, msg, ann.Batch.root_sig)) entries in
+  let t0 = Tel.now t.tel.bundle in
   if entries <> [] && Eddsa.verify_batch rng triples then begin
-    List.iter (fun (ann, root, _, _) -> admit_verified t ann root) entries;
+    let t1 = Tel.now t.tel.bundle in
+    List.iter
+      (fun (ann, root, _, _) ->
+        admit_verified ~send_ack:false t ann root;
+        lifecycle_admit t ann ~latency_us:(t1 -. t0))
+      entries;
+    (* coalesce acknowledgements: one Acks frame per signer instead of
+       one Ack frame per batch (reverse-path traffic in wide fan-outs) *)
+    (match t.control with
+    | None -> ()
+    | Some send ->
+        let by_signer = Hashtbl.create 8 in
+        List.iter
+          (fun (ann, _, _, _) ->
+            let s = ann.Batch.signer_id in
+            let ack =
+              { Batch.ack_verifier = t.id; ack_signer = s; ack_batch = ann.Batch.ann_batch_id }
+            in
+            Hashtbl.replace by_signer s
+              (ack :: Option.value ~default:[] (Hashtbl.find_opt by_signer s)))
+          entries;
+        Hashtbl.iter
+          (fun _ acks ->
+            let n = List.length acks in
+            t.stats.acks_sent <- t.stats.acks_sent + n;
+            Metric.Counter.incr ~by:n t.tel.c_acks;
+            send (Batch.Acks (List.rev acks)))
+          by_signer);
     List.length entries
   end
   else List.length (List.filter (fun ann -> deliver t ann) anns)
@@ -565,23 +610,26 @@ let note_slow_gap t ~missing ~signer ~batch_id =
 (* Outcome of one verification, for the telemetry plane. *)
 type path = Fast | Slow | Rejected
 
+(* Returns the outcome plus the signature's (signer, batch, key) trace
+   identity when the wire decoded — what the lifecycle layer joins on. *)
 let verify_inner t ~msg wire_bytes =
   match Wire.decode t.cfg wire_bytes with
-  | Error _ -> Rejected
+  | Error _ -> (Rejected, None)
   | Ok w -> (
+      let ids = Some (w.Wire.signer_id, w.Wire.batch_id, Wire.key_index w) in
       match Pki.lookup t.pki w.Wire.signer_id with
-      | None -> Rejected
+      | None -> (Rejected, ids)
       | Some signer_pk -> (
           match merklified_fast_path t w msg with
-          | Some ok -> if ok then Fast else Rejected
+          | Some ok -> ((if ok then Fast else Rejected), ids)
           | None -> (
               match implied_leaf t w msg with
-              | None -> Rejected
+              | None -> (Rejected, ids)
               | Some leaf -> (
                   let root = Merkle.compute_root ~leaf w.Wire.batch_proof in
                   let hit = lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id in
                   match hit with
-                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root -> Fast
+                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root -> (Fast, ids)
                   | _ ->
                       (* Slow path (Alg. 2 lines 29-31): check the
                          embedded EdDSA signature inline. *)
@@ -595,13 +643,28 @@ let verify_inner t ~msg wire_bytes =
                               w.Wire.signer_id w.Wire.batch_id);
                         note_slow_gap t ~missing:(Option.is_none hit) ~signer:w.Wire.signer_id
                           ~batch_id:w.Wire.batch_id;
-                        Slow
+                        (Slow, ids)
                       end
-                      else Rejected))))
+                      else (Rejected, ids)))))
 
-let verify t ~msg wire_bytes =
+let lifecycle_verify t ?ctx ids ~t1 ~dur =
+  let lc = t.tel.bundle.Tel.lifecycle in
+  if Lifecycle.enabled lc then
+    match ids with
+    | None -> ()
+    | Some (signer, batch_id, key_index) ->
+        let origin, birth_us =
+          match ctx with
+          | Some (c : Trace.t) -> (Some c.Trace.origin, Some c.Trace.birth_us)
+          | None -> (None, None)
+        in
+        Lifecycle.verify lc
+          ~trace_id:(Trace.id ~signer ~batch_id ~key_index)
+          ?origin ?birth_us ~at_us:t1 ~dur_us:dur ()
+
+let verify_with ?ctx t ~msg wire_bytes =
   let t0 = Tel.now t.tel.bundle in
-  let outcome = verify_inner t ~msg wire_bytes in
+  let outcome, ids = verify_inner t ~msg wire_bytes in
   let t1 = Tel.now t.tel.bundle in
   let trace span =
     Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
@@ -613,14 +676,20 @@ let verify t ~msg wire_bytes =
       Metric.Counter.incr t.tel.c_fast;
       Metric.Histogram.add t.tel.h_fast (t1 -. t0);
       trace Tracer.Verify_fast;
+      lifecycle_verify t ?ctx ids ~t1 ~dur:(t1 -. t0);
       true
   | Slow ->
       t.stats.slow <- t.stats.slow + 1;
       Metric.Counter.incr t.tel.c_slow;
       Metric.Histogram.add t.tel.h_slow (t1 -. t0);
       trace Tracer.Verify_slow;
+      lifecycle_verify t ?ctx ids ~t1 ~dur:(t1 -. t0);
       true
   | Rejected -> reject t
+
+let verify t ~msg wire_bytes = verify_with t ~msg wire_bytes
+
+let verify_ctx t ~ctx ~msg wire_bytes = verify_with ~ctx t ~msg wire_bytes
 
 let can_verify_fast t wire_bytes =
   match Wire.peek_header wire_bytes with

@@ -44,19 +44,33 @@ val create :
     tracer is enabled — [verify_fast] / [verify_slow] /
     [announce_delivery] spans tagged with the verifier id. *)
 
-val deliver : t -> Batch.announcement -> bool
+val deliver : ?sent_us:float -> t -> Batch.announcement -> bool
 (** Process a background announcement; [false] if the signer is unknown
     or the EdDSA root signature is invalid (the announcement is then
-    ignored). *)
+    ignored). [sent_us] is the transport's send stamp; when given (and
+    the bundle's lifecycle aggregator is enabled) the announce-to-admit
+    plane measures from it instead of from delivery start. *)
 
 val deliver_many : t -> Batch.announcement list -> int
 (** Catch-up delivery: checks all root signatures with one randomized
     Ed25519 batch verification, falling back to per-announcement checks
-    if the batch fails. Returns the number accepted. *)
+    if the batch fails. Returns the number accepted. Acknowledgements
+    are coalesced into one {!Batch.Acks} frame per signer. *)
 
 val verify : t -> msg:string -> string -> bool
 (** [verify t ~msg signature_bytes]. Self-standing: succeeds (slowly)
-    even if no announcement was ever delivered. *)
+    even if no announcement was ever delivered.
+
+    When the bundle's {!Dsig_telemetry.Lifecycle} is enabled, every
+    accepted verification also closes the signature's lifecycle span
+    under the trace id derived from its wire header (one mutable load
+    when disabled). *)
+
+val verify_ctx : t -> ctx:Dsig_telemetry.Trace_ctx.t -> msg:string -> string -> bool
+(** {!verify} for a signature that arrived with a wire-propagated
+    {!Dsig_telemetry.Trace_ctx}: the context's origin and birth stamp
+    let the lifecycle span close end-to-end even when the signer lives
+    in another process. *)
 
 val can_verify_fast : t -> string -> bool
 (** True if the signature's batch root is already cached (Alg. 2

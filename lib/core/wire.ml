@@ -95,6 +95,22 @@ let peek_header s =
   if String.length s < header_bytes || s.[0] <> magic || s.[1] <> version then None
   else Some (Int64.to_int (BU.get_u64_le s 4), BU.get_u64_le s 12)
 
+(* The batch proof sits at a fixed offset from the end (proof, then the
+   64-byte EdDSA root signature) and starts with its u32 LE leaf index,
+   so the (signer, batch, key) triple — a signature's trace identity —
+   is readable without decoding the body. *)
+let peek_trace (cfg : Config.t) s =
+  match peek_header s with
+  | None -> None
+  | Some (signer_id, batch_id) ->
+      let proof_bytes = 4 + (32 * Config.batch_levels cfg) in
+      let off = String.length s - eddsa_bytes - proof_bytes in
+      if off < header_bytes + 32 then None
+      else begin
+        let idx = Int32.to_int (BU.get_u32_le s off) in
+        if idx < 0 then None else Some (signer_id, batch_id, idx)
+      end
+
 let decode (cfg : Config.t) s =
   let ( let* ) r f = Result.bind r f in
   let err msg = Error msg in

@@ -59,6 +59,13 @@ val peek_header : string -> (int * int64) option
 (** [(signer_id, batch_id)] without decoding the body — the cheap parse
     behind [can_verify_fast]. *)
 
+val peek_trace : Config.t -> string -> (int * int64 * int) option
+(** [(signer_id, batch_id, key_index)] without decoding the body: the
+    triple {!Dsig_telemetry.Trace_ctx.id} packs into a signature's trace
+    id. The key index is read from the batch proof, which sits at a
+    fixed tail offset for a given [Config.t]. [None] on truncated input
+    (the index is {e not} authenticated here — use only for telemetry). *)
+
 val encode : Config.t -> t -> string
 val decode : Config.t -> string -> (t, string) result
 (** Rejects signatures whose header does not match [Config.t]. *)

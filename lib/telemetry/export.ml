@@ -78,7 +78,54 @@ let json_trace tracer =
       json_field "events" ("[" ^ String.concat "," events ^ "]");
     ]
 
-let json ?tracer snap =
+(* nan is not representable in JSON: absent planes render as null *)
+let fnum_or_null v = if Float.is_nan v then "null" else fnum v
+
+let json_plane lc plane =
+  let s = Lifecycle.plane_snapshot lc plane in
+  let stats =
+    if s.H.n = 0 then []
+    else
+      [
+        json_field "p50" (fnum (H.percentile s 50.0));
+        json_field "p99" (fnum (H.percentile s 99.0));
+        json_field "p999" (fnum (H.percentile s 99.9));
+        json_field "mean" (fnum (H.mean s));
+        json_field "max" (fnum s.H.vmax);
+      ]
+  in
+  json_obj (json_field "count" (string_of_int s.H.n) :: stats)
+
+let json_lifecycle lc =
+  json_obj
+    [
+      json_field "started" (string_of_int (Lifecycle.started lc));
+      json_field "completed" (string_of_int (Lifecycle.completed lc));
+      json_field "full" (string_of_int (Lifecycle.full lc));
+      json_field "planes"
+        (json_obj
+           (List.map
+              (fun p -> json_field (Lifecycle.plane_name p) (json_plane lc p))
+              Lifecycle.[ Sign; Announce; Verify; End_to_end ]));
+    ]
+
+let json_span (sp : Lifecycle.span) =
+  json_obj
+    [
+      json_field "trace_id" (Printf.sprintf "\"%Lx\"" sp.Lifecycle.sp_trace_id);
+      json_field "origin" (string_of_int sp.Lifecycle.sp_origin);
+      json_field "birth_us" (fnum sp.Lifecycle.sp_birth_us);
+      json_field "sign_us" (fnum_or_null sp.Lifecycle.sp_sign_us);
+      json_field "announce_us" (fnum_or_null sp.Lifecycle.sp_announce_us);
+      json_field "verify_us" (fnum sp.Lifecycle.sp_verify_us);
+      json_field "end_us" (fnum sp.Lifecycle.sp_end_us);
+      json_field "e2e_us" (fnum sp.Lifecycle.sp_e2e_us);
+    ]
+
+let json_spans lc =
+  "[" ^ String.concat "," (List.map json_span (Lifecycle.spans lc)) ^ "]"
+
+let json ?tracer ?lifecycle snap =
   let section f =
     json_obj
       (List.filter_map (fun (name, v) -> Option.map (json_field name) (f v)) snap)
@@ -92,22 +139,41 @@ let json ?tracer snap =
        json_field "gauges" gauges;
        json_field "histograms" histograms;
      ]
-    @ match tracer with None -> [] | Some tr -> [ json_field "trace" (json_trace tr) ])
+    @ (match tracer with None -> [] | Some tr -> [ json_field "trace" (json_trace tr) ])
+    @ match lifecycle with None -> [] | Some lc -> [ json_field "lifecycle" (json_lifecycle lc) ])
 
 (* --- Prometheus text exposition --- *)
 
 let prom_name name =
-  String.map
-    (fun c ->
-      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
-    name
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+  in
+  (* exposition names may not be empty or start with a digit *)
+  if mapped = "" then "_"
+  else match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
 
 let prometheus snap =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (* distinct raw names may sanitize to the same string ("a.b" and
+     "a-b"); suffix later collisions deterministically (snapshot order
+     is sorted by raw name) so no two series share a name *)
+  let used = Hashtbl.create 16 in
+  let dedupe name =
+    match Hashtbl.find_opt used name with
+    | None ->
+        Hashtbl.replace used name 1;
+        name
+    | Some n ->
+        Hashtbl.replace used name (n + 1);
+        Printf.sprintf "%s_%d" name (n + 1)
+  in
   List.iter
     (fun (name, v) ->
-      let name = prom_name name in
+      let name = dedupe (prom_name name) in
       match v with
       | S.Counter n ->
           line "# TYPE %s counter" name;

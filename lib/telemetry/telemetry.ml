@@ -1,11 +1,18 @@
 type t = {
   registry : Registry.t;
   tracer : Tracer.t;
+  lifecycle : Lifecycle.t;
   mutable clock : unit -> float;
 }
 
-let create ?(clock = Tracer.wall_clock_us) ?trace_capacity () =
-  { registry = Registry.create (); tracer = Tracer.create ?capacity:trace_capacity ~clock (); clock }
+let create ?(clock = Tracer.wall_clock_us) ?trace_capacity ?span_capacity () =
+  let registry = Registry.create () in
+  {
+    registry;
+    tracer = Tracer.create ?capacity:trace_capacity ~clock ();
+    lifecycle = Lifecycle.create ?span_capacity ~registry ();
+    clock;
+  }
 
 let default = create ()
 

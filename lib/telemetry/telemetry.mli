@@ -16,11 +16,14 @@
 type t = {
   registry : Registry.t;
   tracer : Tracer.t;
+  lifecycle : Lifecycle.t;
+      (** signature-lifecycle aggregator; off until {!Lifecycle.enable} *)
   mutable clock : unit -> float;  (** microseconds; wall or virtual *)
 }
 
-val create : ?clock:(unit -> float) -> ?trace_capacity:int -> unit -> t
-(** [clock] defaults to the wall clock in microseconds. *)
+val create : ?clock:(unit -> float) -> ?trace_capacity:int -> ?span_capacity:int -> unit -> t
+(** [clock] defaults to the wall clock in microseconds;
+    [span_capacity] bounds the lifecycle span ring (default 4096). *)
 
 val default : t
 (** Process-wide handle used when components are not given one. *)

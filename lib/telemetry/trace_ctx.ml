@@ -1,0 +1,52 @@
+module BU = Dsig_util.Bytesutil
+
+type t = { trace_id : int64; origin : int; birth_us : float }
+
+(* The low 16 bits hold the key index; a batch-level record (one per
+   announcement, not per signature) uses the sentinel so it can never
+   collide with a real signature's id. *)
+let key_bits = 16
+let key_mask = 0xFFFFL
+let batch_sentinel = 0xFFFF
+
+let id ~signer ~batch_id ~key_index =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (signer land 0xFFFF)) 48)
+    (Int64.logor
+       (Int64.shift_left (Int64.logand batch_id 0xFFFF_FFFFL) key_bits)
+       (Int64.of_int (key_index land 0xFFFF)))
+
+let batch_key ~signer ~batch_id = id ~signer ~batch_id ~key_index:batch_sentinel
+let batch_key_of_id trace_id = Int64.logor trace_id key_mask
+let signer_of_id trace_id = Int64.to_int (Int64.shift_right_logical trace_id 48)
+
+let batch_of_id trace_id =
+  Int64.logand (Int64.shift_right_logical trace_id key_bits) 0xFFFF_FFFFL
+
+let key_of_id trace_id = Int64.to_int (Int64.logand trace_id key_mask)
+
+let make ~signer ~batch_id ~key_index ~origin ~birth_us =
+  { trace_id = id ~signer ~batch_id ~key_index; origin; birth_us }
+
+let wire_bytes = 8 + 2 + 8
+
+let encode t =
+  let b = Buffer.create wire_bytes in
+  Buffer.add_string b (BU.u64_le t.trace_id);
+  Buffer.add_char b (Char.chr (t.origin land 0xFF));
+  Buffer.add_char b (Char.chr ((t.origin lsr 8) land 0xFF));
+  Buffer.add_string b (BU.u64_le (Int64.bits_of_float t.birth_us));
+  Buffer.contents b
+
+let decode s pos =
+  if pos < 0 || pos + wire_bytes > String.length s then None
+  else begin
+    let trace_id = BU.get_u64_le s pos in
+    let origin = Char.code s.[pos + 8] lor (Char.code s.[pos + 9] lsl 8) in
+    let birth_us = Int64.float_of_bits (BU.get_u64_le s (pos + 10)) in
+    if Float.is_nan birth_us then None else Some { trace_id; origin; birth_us }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "trace %Lx (signer %d batch %Ld key %d) origin %d born %.1fus" t.trace_id
+    (signer_of_id t.trace_id) (batch_of_id t.trace_id) (key_of_id t.trace_id) t.origin t.birth_us

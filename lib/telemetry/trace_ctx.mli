@@ -1,0 +1,47 @@
+(** Per-signature trace context: the identity that lets the lifecycle
+    layer follow one signature from [Signer.sign] on one node to
+    [Verifier.verify] on another.
+
+    The trace id is {e derived}, not minted: it packs the (signer id,
+    batch id, key index) triple that every DSig signature already
+    carries on the wire, so a verifier can reconstruct the id of any
+    signature it checks without the signature format changing at all.
+    Cross-process transports that want the origin node and birth
+    timestamp too (for end-to-end latency without a shared clock
+    assumption beyond the usual datacenter sync) prepend the 18-byte
+    {!encode} to their frames ([Dsig_tcpnet]'s [Traced] messages). *)
+
+type t = {
+  trace_id : int64;  (** [signer:16 | batch:32 | key_index:16] *)
+  origin : int;  (** node id of the signer that minted the signature *)
+  birth_us : float;  (** clock at the start of [Signer.sign] *)
+}
+
+val id : signer:int -> batch_id:int64 -> key_index:int -> int64
+(** Deterministic id of a signature: the packed triple. Signer ids are
+    truncated to 16 bits and batch ids to 32 — at one batch of 128 keys
+    per millisecond that wraps after ~49 days, far beyond any tracing
+    window. *)
+
+val batch_key : signer:int -> batch_id:int64 -> int64
+(** Id of the batch-level announce event (key index = sentinel 0xFFFF),
+    used to join a batch admit to every signature in the batch. *)
+
+val batch_key_of_id : int64 -> int64
+(** The batch key of the batch a signature id belongs to. *)
+
+val signer_of_id : int64 -> int
+val batch_of_id : int64 -> int64
+val key_of_id : int64 -> int
+
+val make : signer:int -> batch_id:int64 -> key_index:int -> origin:int -> birth_us:float -> t
+
+val wire_bytes : int
+(** 18: u64 LE trace id, u16 LE origin, u64 LE birth (IEEE 754 bits). *)
+
+val encode : t -> string
+
+val decode : string -> int -> t option
+(** [decode s pos] is total: [None] on truncation or a NaN birth stamp. *)
+
+val pp : Format.formatter -> t -> unit

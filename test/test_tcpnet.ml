@@ -60,6 +60,29 @@ let test_message_codec () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad tag accepted"
 
+let test_traced_codec () =
+  let open Dsig_tcpnet.Tcpnet in
+  let module T = Dsig_telemetry.Trace_ctx in
+  let ctx = T.make ~signer:7 ~batch_id:99L ~key_index:3 ~origin:7 ~birth_us:12.5 in
+  let inner = Signed { msg = "m"; signature = "s" } in
+  (match decode_message (encode_message (Traced (ctx, inner))) with
+  | Ok (Traced (ctx', Signed { msg; signature })) ->
+      Alcotest.(check int64) "trace id" ctx.T.trace_id ctx'.T.trace_id;
+      Alcotest.(check int) "origin" 7 ctx'.T.origin;
+      Alcotest.(check (float 1e-9)) "birth" 12.5 ctx'.T.birth_us;
+      Alcotest.(check string) "inner msg" "m" msg;
+      Alcotest.(check string) "inner sig" "s" signature
+  | _ -> Alcotest.fail "traced roundtrip");
+  (* nested Traced frames are a protocol violation the decoder rejects *)
+  let nested = "T" ^ T.encode ctx ^ encode_message (Traced (ctx, inner)) in
+  (match decode_message nested with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested traced accepted");
+  (* truncated trace context *)
+  match decode_message ("T" ^ String.make 10 '\x00') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short traced accepted"
+
 let test_tcp_roundtrip () =
   (* a complete DSig flow over real sockets: announcements then signed
      messages, verified by a service thread *)
@@ -77,7 +100,10 @@ let test_tcp_roundtrip () =
         | Dsig_tcpnet.Tcpnet.Announcement a -> ignore (Verifier.deliver verifier a)
         | Dsig_tcpnet.Tcpnet.Signed { msg; signature } ->
             if Verifier.verify verifier ~msg signature then incr verified else incr rejected
-        | Dsig_tcpnet.Tcpnet.Control _ -> ());
+        | Dsig_tcpnet.Tcpnet.Traced (ctx, Dsig_tcpnet.Tcpnet.Signed { msg; signature }) ->
+            if Verifier.verify_ctx verifier ~ctx ~msg signature then incr verified
+            else incr rejected
+        | Dsig_tcpnet.Tcpnet.Traced _ | Dsig_tcpnet.Tcpnet.Control _ -> ());
         Mutex.unlock mu)
       ()
   in
@@ -115,6 +141,182 @@ let test_tcp_roundtrip () =
       Alcotest.(check int) "all fast" 5 st.Verifier.fast;
       Mutex.unlock mu)
 
+let counter_value snap name =
+  match Dsig_telemetry.Registry.Snapshot.find snap name with
+  | Some (Dsig_telemetry.Registry.Snapshot.Counter n) -> n
+  | _ -> 0
+
+(* Satellite: the announcement reliability loop over real sockets. An
+   announcement tracked but never delivered comes due for re-announce
+   (counter moves); once it is delivered and the verifier's ACK travels
+   back over a control connection, the runtime settles. *)
+let test_reannounce_ack_loop () =
+  let module Tcp = Dsig_tcpnet.Tcpnet in
+  let tel = Dsig_telemetry.Telemetry.create () in
+  let rng = Dsig_util.Rng.create 31L in
+  let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:99L ~telemetry:tel () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.shutdown rt)
+    (fun () ->
+      (* signing guarantees at least one batch announcement exists *)
+      ignore (Runtime.sign rt "reliability");
+      let ann =
+        match Runtime.drain_announcements rt with
+        | a :: _ -> a
+        | [] -> Alcotest.fail "no announcement after sign"
+      in
+      Runtime.track_announcement rt ann ~dests:[ 1 ];
+      Alcotest.(check int) "one unacked" 1 (Runtime.unacked_announcements rt);
+      (* the default backoff base is 500 us of wall time; after a real
+         delay the destination must come due *)
+      Thread.delay 0.01;
+      let due = Runtime.due_reannouncements rt in
+      Alcotest.(check bool) "due for re-announce" true (due <> []);
+      let snap = Dsig_telemetry.Telemetry.snapshot tel in
+      Alcotest.(check bool) "reannounce counter moved" true
+        (counter_value snap "dsig_runtime_reannounces_total" > 0);
+      (* now close the loop: the verifier ACKs over a real control
+         connection and the runtime settles the destination *)
+      let ctrl_server =
+        Tcp.listen ~port:0
+          ~on_message:(fun m ->
+            match m with
+            | Tcp.Control (Batch.Ack a) -> Runtime.handle_ack rt a
+            | Tcp.Control (Batch.Acks l) -> List.iter (Runtime.handle_ack rt) l
+            | Tcp.Control (Batch.Request r) -> ignore (Runtime.handle_request rt r)
+            | Tcp.Announcement _ | Tcp.Signed _ | Tcp.Traced _ -> ())
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Tcp.stop ctrl_server)
+        (fun () ->
+          let ctrl_conn = Tcp.connect ~port:(Tcp.port ctrl_server) () in
+          Fun.protect
+            ~finally:(fun () -> Tcp.close ctrl_conn)
+            (fun () ->
+              let pki = Pki.create () in
+              Pki.register pki ~id:0 pk;
+              let verifier =
+                Verifier.create cfg ~id:1 ~pki ~telemetry:tel
+                  ~control:(fun c -> Tcp.send ctrl_conn (Tcp.Control c))
+                  ()
+              in
+              Alcotest.(check bool) "delivered" true (Verifier.deliver verifier ann);
+              let deadline = Unix.gettimeofday () +. 10.0 in
+              while Runtime.unacked_announcements rt > 0 && Unix.gettimeofday () < deadline do
+                Thread.delay 0.001
+              done;
+              Alcotest.(check int) "settled after ACK" 0 (Runtime.unacked_announcements rt);
+              let snap = Dsig_telemetry.Telemetry.snapshot tel in
+              Alcotest.(check bool) "ack counter moved" true
+                (counter_value snap "dsig_runtime_acks_total" >= 1))))
+
+(* Prometheus exposition validity: every non-comment line is
+   [name[{labels}] value] with a legal metric name and a numeric
+   value. *)
+let valid_prom_line line =
+  line = ""
+  || line.[0] = '#'
+  ||
+  match String.rindex_opt line ' ' with
+  | None -> false
+  | Some i ->
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      let metric = String.sub line 0 i in
+      let name =
+        match String.index_opt metric '{' with
+        | Some j -> String.sub metric 0 j
+        | None -> metric
+      in
+      name <> ""
+      && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+      && String.for_all
+           (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+           name
+      && float_of_string_opt value <> None
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* The scrape endpoint serves the instrumented §6 applications: run
+   tiny kv/trading/bft workloads on one bundle, then check /metrics is
+   valid Prometheus carrying their namespaced series. *)
+let test_scrape_endpoint () =
+  let open Dsig_simnet in
+  let module Scrape = Dsig_tcpnet.Scrape in
+  let tel = Dsig_telemetry.Telemetry.create () in
+  Dsig_telemetry.Lifecycle.enable tel.Dsig_telemetry.Telemetry.lifecycle;
+  let sim = Sim.create () in
+  let accept ~client:_ ~msg:_ ~signature:_ = true in
+  let sign ~msg:_ = "sig" in
+  let kv_net = Net.create sim ~nodes:2 () in
+  let _kv = Dsig_kv.Kv_server.start ~sim ~net:kv_net ~node:0 ~verify:accept ~telemetry:tel () in
+  Sim.spawn sim (fun () ->
+      ignore
+        (Dsig_kv.Kv_server.request ~net:kv_net ~me:1 ~server:0 ~sign ~seq:0
+           (Dsig_kv.Store.Command.Put ("k", "v"))));
+  let tr_net = Net.create sim ~nodes:2 () in
+  let _tr =
+    Dsig_trading.Trading_server.start ~sim ~net:tr_net ~node:0 ~verify:accept ~telemetry:tel ()
+  in
+  Sim.spawn sim (fun () ->
+      ignore
+        (Dsig_trading.Trading_server.request ~net:tr_net ~me:1 ~server:0 ~sign ~seq:0
+           (Dsig_trading.Orderbook.Request.Limit
+              { side = Dsig_trading.Orderbook.Buy; price = 10; qty = 1 })));
+  let bft =
+    Dsig_bft.Ubft.create ~sim ~auth:Dsig_bft.Auth.none ~n:3 ~f:1 ~telemetry:tel
+      ~on_commit:(fun ~replica:_ ~rid:_ ~payload:_ -> ())
+      ~on_reply:(fun ~rid:_ ~path:_ -> ())
+      ()
+  in
+  Sim.spawn sim (fun () -> Dsig_bft.Ubft.request bft ~rid:0 "8-bytes!");
+  Sim.run ~until:100_000.0 sim;
+  let srv = Scrape.start ~telemetry:tel ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Scrape.stop srv)
+    (fun () ->
+      let port = Scrape.port srv in
+      (match Scrape.fetch ~port ~path:"/metrics" with
+      | Error e -> Alcotest.fail ("/metrics: " ^ e)
+      | Ok body ->
+          let lines = String.split_on_char '\n' body in
+          List.iteri
+            (fun i l ->
+              if not (valid_prom_line l) then
+                Alcotest.failf "invalid prometheus line %d: %S" i l)
+            lines;
+          let has name =
+            let n = String.length name in
+            List.exists
+              (fun l ->
+                String.length l > n
+                && String.sub l 0 n = name
+                && (l.[n] = ' ' || l.[n] = '{'))
+              lines
+          in
+          List.iter
+            (fun m -> Alcotest.(check bool) ("series " ^ m) true (has m))
+            [
+              "dsig_kv_requests_total"; "dsig_trading_orders_total"; "dsig_bft_commits_total";
+              "dsig_scrape_requests_total";
+            ]);
+      (match Scrape.fetch ~port ~path:"/planes" with
+      | Ok body ->
+          Alcotest.(check bool) "planes header" true
+            (String.length body >= 8 && String.sub body 0 8 = "started ")
+      | Error e -> Alcotest.fail ("/planes: " ^ e));
+      (match Scrape.fetch ~port ~path:"/metrics.json" with
+      | Ok body ->
+          Alcotest.(check bool) "json carries lifecycle" true (contains body "\"lifecycle\"")
+      | Error e -> Alcotest.fail ("/metrics.json: " ^ e));
+      match Scrape.fetch ~port ~path:"/does-not-exist" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown path served")
+
 let codec_fuzz =
   let open QCheck in
   [
@@ -137,7 +339,10 @@ let suites =
       [
         Alcotest.test_case "announcement codec" `Quick test_announcement_codec;
         Alcotest.test_case "message codec" `Quick test_message_codec;
+        Alcotest.test_case "traced codec" `Quick test_traced_codec;
         Alcotest.test_case "socket roundtrip" `Quick test_tcp_roundtrip;
+        Alcotest.test_case "reannounce/ack loop" `Quick test_reannounce_ack_loop;
+        Alcotest.test_case "scrape endpoint" `Quick test_scrape_endpoint;
       ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false) codec_fuzz );
   ]

@@ -219,6 +219,175 @@ let test_summary_mentions_metrics () =
         true (contains s needle))
     [ "counters:"; "req_total"; "gauges:"; "histograms:"; "lat_us"; "n=3" ]
 
+(* --- snapshot merge over overlapping histograms --- *)
+
+let test_histogram_merge_overlap () =
+  let r1 = Registry.create () and r2 = Registry.create () in
+  List.iter (H.add (Registry.histogram r1 "lat_us")) [ 1.0; 2.0; 3.0 ];
+  List.iter (H.add (Registry.histogram r2 "lat_us")) [ 100.0; 200.0 ];
+  let merged = Registry.Snapshot.merge (Registry.snapshot r1) (Registry.snapshot r2) in
+  match Registry.Snapshot.find merged "lat_us" with
+  | Some (Registry.Snapshot.Histogram s) ->
+      Alcotest.(check int) "count sums" 5 s.H.n;
+      Alcotest.(check (float 1e-9)) "sum sums" 306.0 s.H.total;
+      Alcotest.(check (float 1e-9)) "min is global" 1.0 s.H.vmin;
+      Alcotest.(check (float 1e-9)) "max is global" 200.0 s.H.vmax;
+      (* merged percentiles see both sides: the p99 must land in the
+         right-hand registry's octave *)
+      Alcotest.(check bool) "p99 from the slow side" true (H.percentile s 99.0 >= 200.0)
+  | _ -> Alcotest.fail "overlapping histogram lost"
+
+(* --- tracer back-dating --- *)
+
+let test_record_at_backdating () =
+  let tr = Tracer.create ~capacity:8 () in
+  Tracer.enable tr;
+  (* replayed/virtual-time events may arrive out of clock order; the
+     ring preserves insertion order and the caller's stamps verbatim *)
+  Tracer.record_at tr ~tag:1 Tracer.Sign_fast Tracer.Begin 100.0;
+  Tracer.record_at tr ~tag:2 Tracer.Sign_fast Tracer.Begin 5.0;
+  Tracer.record_at tr ~tag:3 Tracer.Sign_fast Tracer.End 50.0;
+  let stamps = List.map (fun (e : Tracer.event) -> e.Tracer.at_us) (Tracer.events tr) in
+  Alcotest.(check (list (float 1e-9))) "insertion order, stamps verbatim" [ 100.0; 5.0; 50.0 ]
+    stamps;
+  Alcotest.(check int) "all recorded" 3 (Tracer.recorded tr)
+
+(* --- prometheus name sanitization (regression) --- *)
+
+let test_prometheus_sanitize () =
+  let r = Registry.create () in
+  M.Counter.incr ~by:1 (Registry.counter r "1bad.name");
+  M.Counter.incr ~by:2 (Registry.counter r "a-b");
+  M.Counter.incr ~by:3 (Registry.counter r "a.b");
+  let snap = Registry.snapshot r in
+  let expected =
+    "# TYPE _1bad_name counter\n\
+     _1bad_name 1\n\
+     # TYPE a_b counter\n\
+     a_b 2\n\
+     # TYPE a_b_2 counter\n\
+     a_b_2 3\n"
+  in
+  Alcotest.(check string) "sanitized + deduped" expected (Export.prometheus snap);
+  (* deterministic: a second export of the same snapshot is identical *)
+  Alcotest.(check string) "stable across exports" expected (Export.prometheus snap)
+
+(* --- trace context --- *)
+
+module T = Dsig_telemetry.Trace_ctx
+
+let test_trace_id_packing () =
+  let id = T.id ~signer:5 ~batch_id:70_000L ~key_index:9 in
+  Alcotest.(check int) "signer unpacks" 5 (T.signer_of_id id);
+  Alcotest.(check int64) "batch unpacks" 70_000L (T.batch_of_id id);
+  Alcotest.(check int) "key unpacks" 9 (T.key_of_id id);
+  (* truncation: signer to 16 bits, batch to 32 *)
+  Alcotest.(check int) "signer truncated" 1
+    (T.signer_of_id (T.id ~signer:0x1_0001 ~batch_id:0L ~key_index:0));
+  Alcotest.(check int64) "batch truncated" 1L
+    (T.batch_of_id (T.id ~signer:0 ~batch_id:0x1_0000_0001L ~key_index:0));
+  (* the batch key joins every signature of a batch to one admit event *)
+  Alcotest.(check int64) "batch key of id" (T.batch_key ~signer:5 ~batch_id:70_000L)
+    (T.batch_key_of_id id);
+  Alcotest.(check int) "batch key sentinel" 0xFFFF (T.key_of_id (T.batch_key_of_id id))
+
+let test_trace_ctx_codec () =
+  let ctx = T.make ~signer:2 ~batch_id:7L ~key_index:1 ~origin:2 ~birth_us:42.25 in
+  Alcotest.(check int) "wire size" T.wire_bytes (String.length (T.encode ctx));
+  (match T.decode (T.encode ctx) 0 with
+  | Some c ->
+      Alcotest.(check int64) "id" ctx.T.trace_id c.T.trace_id;
+      Alcotest.(check int) "origin" 2 c.T.origin;
+      Alcotest.(check (float 1e-9)) "birth" 42.25 c.T.birth_us
+  | None -> Alcotest.fail "roundtrip");
+  (* total on truncation at every length *)
+  let enc = T.encode ctx in
+  for len = 0 to T.wire_bytes - 1 do
+    match T.decode (String.sub enc 0 len) 0 with
+    | None -> ()
+    | Some _ -> Alcotest.failf "decoded %d-byte prefix" len
+  done;
+  (* NaN birth stamp rejected *)
+  let nan_ctx = T.make ~signer:0 ~batch_id:0L ~key_index:0 ~origin:0 ~birth_us:Float.nan in
+  match T.decode (T.encode nan_ctx) 0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "NaN birth accepted"
+
+let trace_ctx_fuzz =
+  let open QCheck in
+  [
+    Test.make ~name:"trace ctx decode total on junk" ~count:500 (string_of_size Gen.(0 -- 40))
+      (fun junk ->
+        match T.decode junk 0 with Some _ | None -> true);
+    Test.make ~name:"trace ctx roundtrip" ~count:300
+      (quad (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xFFFF) (float_range 0.0 1e12))
+      (fun (signer, key_index, origin, birth_us) ->
+        let ctx =
+          T.make ~signer ~batch_id:(Int64.of_int (signer * 7)) ~key_index ~origin ~birth_us
+        in
+        match T.decode (T.encode ctx) 0 with
+        | Some c -> c = ctx
+        | None -> false);
+  ]
+
+(* --- lifecycle aggregator --- *)
+
+module L = Dsig_telemetry.Lifecycle
+
+let test_lifecycle_full_requires_admit_first () =
+  let registry = Registry.create () in
+  let lc = L.create ~registry () in
+  (* disabled: events are no-ops *)
+  L.sign lc ~trace_id:1L ~origin:0 ~birth_us:0.0 ~dur_us:1.0;
+  Alcotest.(check int) "disabled records nothing" 0 (L.started lc);
+  L.enable lc;
+  let id1 = T.id ~signer:3 ~batch_id:8L ~key_index:0 in
+  let id2 = T.id ~signer:3 ~batch_id:8L ~key_index:1 in
+  L.sign lc ~trace_id:id1 ~origin:3 ~birth_us:10.0 ~dur_us:2.0;
+  L.sign lc ~trace_id:id2 ~origin:3 ~birth_us:11.0 ~dur_us:2.0;
+  (* id1 verifies before the batch admit: completed but not full *)
+  L.verify lc ~trace_id:id1 ~at_us:20.0 ~dur_us:1.0 ();
+  Alcotest.(check int) "completed without admit" 1 (L.completed lc);
+  Alcotest.(check int) "not full without admit" 0 (L.full lc);
+  (* one admit joins every remaining signature of the batch *)
+  L.admit lc ~signer:3 ~batch_id:8L ~latency_us:5.0;
+  L.verify lc ~trace_id:id2 ~at_us:25.0 ~dur_us:1.0 ();
+  Alcotest.(check int) "full after admit" 1 (L.full lc);
+  Alcotest.(check int) "both completed" 2 (L.completed lc);
+  Alcotest.(check (option (float 1e-9))) "admit latency joined" (Some 5.0)
+    (L.announce_of lc ~signer:3 ~batch_id:8L);
+  (* wire-propagated context: no local sign record, birth from the ctx *)
+  let id3 = T.id ~signer:9 ~batch_id:1L ~key_index:4 in
+  L.verify lc ~trace_id:id3 ~origin:9 ~birth_us:100.0 ~at_us:130.0 ~dur_us:1.0 ();
+  Alcotest.(check int) "wire ctx closes e2e" 3 (L.completed lc);
+  (match List.rev (L.spans lc) with
+  | sp :: _ ->
+      Alcotest.(check int) "wire ctx origin" 9 sp.L.sp_origin;
+      Alcotest.(check (float 1e-9)) "wire ctx e2e" 30.0 sp.L.sp_e2e_us
+  | [] -> Alcotest.fail "no spans");
+  (* SLO: all e2e spans are well under a millisecond here *)
+  Alcotest.(check bool) "within 1ms" true (L.within ~budget_us:1_000.0 lc);
+  Alcotest.(check bool) "not within 1us" false (L.within ~budget_us:1.0 lc)
+
+let test_lifecycle_fifo_eviction () =
+  let registry = Registry.create () in
+  let lc = L.create ~registry ~max_pending:2 ~span_capacity:2 () in
+  L.enable lc;
+  let id i = T.id ~signer:1 ~batch_id:1L ~key_index:i in
+  L.sign lc ~trace_id:(id 0) ~origin:1 ~birth_us:0.0 ~dur_us:1.0;
+  L.sign lc ~trace_id:(id 1) ~origin:1 ~birth_us:1.0 ~dur_us:1.0;
+  L.sign lc ~trace_id:(id 2) ~origin:1 ~birth_us:2.0 ~dur_us:1.0;
+  Alcotest.(check int) "all sign events counted" 3 (L.started lc);
+  (* the oldest open record was evicted: its verify cannot complete
+     end-to-end (no birth stamp survives) *)
+  L.verify lc ~trace_id:(id 0) ~at_us:10.0 ~dur_us:1.0 ();
+  Alcotest.(check int) "evicted record cannot complete" 0 (L.completed lc);
+  L.verify lc ~trace_id:(id 1) ~at_us:11.0 ~dur_us:1.0 ();
+  L.verify lc ~trace_id:(id 2) ~at_us:12.0 ~dur_us:1.0 ();
+  Alcotest.(check int) "survivors complete" 2 (L.completed lc);
+  (* span ring bounded at capacity, newest retained *)
+  Alcotest.(check int) "span ring bounded" 2 (List.length (L.spans lc))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -235,14 +404,31 @@ let () =
         [
           Alcotest.test_case "per-name cells and kind check" `Quick test_registry;
           Alcotest.test_case "snapshot merge" `Quick test_registry_snapshot_merge;
+          Alcotest.test_case "merge overlapping histograms" `Quick test_histogram_merge_overlap;
         ] );
       ( "tracer",
-        [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound ] );
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "record_at back-dating" `Quick test_record_at_backdating;
+        ] );
       ( "export",
         [
           Alcotest.test_case "golden json" `Quick test_golden_json;
           Alcotest.test_case "golden json trace" `Quick test_golden_json_trace;
           Alcotest.test_case "golden prometheus" `Quick test_golden_prometheus;
+          Alcotest.test_case "name sanitization" `Quick test_prometheus_sanitize;
           Alcotest.test_case "summary" `Quick test_summary_mentions_metrics;
+        ] );
+      ( "trace-ctx",
+        [
+          Alcotest.test_case "id packing" `Quick test_trace_id_packing;
+          Alcotest.test_case "codec" `Quick test_trace_ctx_codec;
+        ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) trace_ctx_fuzz );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "full requires admit before verify" `Quick
+            test_lifecycle_full_requires_admit_first;
+          Alcotest.test_case "pending tables FIFO-evict" `Quick test_lifecycle_fifo_eviction;
         ] );
     ]

@@ -43,6 +43,16 @@ let valid_announcement_frames =
     Tcpnet.encode_message
       (Tcpnet.Control
          (Batch.Request { Batch.req_verifier = 1; req_signer = 5; req_batch = 42L }));
+    Tcpnet.encode_message
+      (Tcpnet.Control
+         (Batch.Acks
+            (List.init 3 (fun i ->
+                 { Batch.ack_verifier = 1; ack_signer = 5; ack_batch = Int64.of_int i }))));
+    Tcpnet.encode_message
+      (Tcpnet.Traced
+         ( Dsig_telemetry.Trace_ctx.make ~signer:5 ~batch_id:42L ~key_index:2 ~origin:5
+             ~birth_us:10.0,
+           Tcpnet.Signed { msg = "m"; signature = String.make 64 's' } ));
   ]
 
 let decode_all_total s =
@@ -126,6 +136,58 @@ let test_control_codec () =
       | Ok _ -> Alcotest.fail "malformed control accepted")
     [ ""; "K"; "X" ^ String.make 24 '\x00'; Batch.encode_control a ^ "x" ]
 
+(* the count-prefixed coalesced-ACK frame (satellite of ISSUE 3):
+   empty, singleton and many-ack frames roundtrip; the singleton 'K'
+   frame is untouched by the extension; oversized counts and truncated
+   bodies are rejected *)
+let test_acks_codec () =
+  let ack i = { Batch.ack_verifier = 4; ack_signer = 6; ack_batch = Int64.of_int (100 + i) } in
+  List.iter
+    (fun n ->
+      let c = Batch.Acks (List.init n ack) in
+      let e = Batch.encode_control c in
+      Alcotest.(check int) "declared size" (Batch.control_bytes c) (String.length e);
+      match Batch.decode_control e with
+      | Ok c' -> Alcotest.(check bool) (Printf.sprintf "acks(%d) roundtrip" n) true (c = c')
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; 3; 100 ];
+  (* the legacy single-ack frame still decodes to Ack, not Acks *)
+  (match Batch.decode_control (Batch.encode_control (Batch.Ack (ack 0))) with
+  | Ok (Batch.Ack _) -> ()
+  | _ -> Alcotest.fail "single ack no longer decodes as Ack");
+  Alcotest.(check (option int)) "acks target the one signer" (Some 6)
+    (Batch.control_target (Batch.Acks [ ack 0; ack 1 ]));
+  Alcotest.(check (option int)) "empty acks target nobody" None
+    (Batch.control_target (Batch.Acks []));
+  (* a count above the cap or a body shorter than the count is rejected *)
+  let many = Batch.encode_control (Batch.Acks (List.init 4 ack)) in
+  let overcount = Bytes.of_string many in
+  Bytes.set_uint16_le overcount 1 (Batch.max_acks_per_frame + 1);
+  List.iter
+    (fun s ->
+      match Batch.decode_control s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed acks accepted")
+    [
+      Bytes.to_string overcount;
+      String.sub many 0 (String.length many - 1);
+      many ^ "x";
+      "M\xff\xff";
+    ]
+
+let acks_fuzz =
+  QCheck.Test.make ~name:"acks frames roundtrip at any count" ~count:200
+    QCheck.(int_bound Batch.max_acks_per_frame)
+    (fun n ->
+      let c =
+        Batch.Acks
+          (List.init n (fun i ->
+               { Batch.ack_verifier = 1; ack_signer = 2; ack_batch = Int64.of_int i }))
+      in
+      match Batch.decode_control (Batch.encode_control c) with
+      | Ok c' -> c = c'
+      | Error _ -> false)
+
 let () =
   Alcotest.run "dsig-wire-fuzz"
     [
@@ -133,7 +195,10 @@ let () =
         [
           Alcotest.test_case "valid roundtrips" `Quick test_roundtrip;
           Alcotest.test_case "control codec" `Quick test_control_codec;
+          Alcotest.test_case "acks codec" `Quick test_acks_codec;
         ]
-        @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ arbitrary_total; mutated_total ]
+        @ List.map
+            (QCheck_alcotest.to_alcotest ~long:false)
+            [ arbitrary_total; mutated_total; acks_fuzz ]
       );
     ]
