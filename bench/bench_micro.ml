@@ -20,7 +20,9 @@ let sign_test ~name ~lifecycle () =
         let rng = Dsig_util.Rng.create 7L in
         let sk, _ = E.generate rng in
         let signer =
-          Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~telemetry:tel ~verifiers:[ 1 ] ()
+          Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng
+            ~options:Dsig.Options.(default |> with_telemetry tel)
+            ~verifiers:[ 1 ] ()
         in
         Dsig.Signer.background_fill signer;
         let c = ref 0 in

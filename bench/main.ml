@@ -36,7 +36,15 @@ let () =
   register "fig13" "Figure 13: EdDSA batch-size sweep" Bench_fig13.run;
   register "pareto" "parameter-space exploration and Pareto frontier (§5)" Bench_pareto.run;
   register "fluct" "uBFT fast/slow latency fluctuation under benign slowness (§6)" Bench_fluct.run;
-  register "ablation" "ablations: batching, chain cache, bw reduction, EdDSA cache" Bench_ablation.run
+  register "ablation" "ablations: batching, chain cache, bw reduction, EdDSA cache" Bench_ablation.run;
+  register "pacing" "fixed vs adaptive re-announce pacing under faults" Bench_pacing.run;
+  (* declare the pacing series on the default bundle up front so every
+     experiment's telemetry snapshot carries the keys scrapers key on,
+     zero-valued until the pacing experiment populates them *)
+  let tel = Dsig_telemetry.Telemetry.default in
+  ignore (Dsig_telemetry.Telemetry.counter tel "dsig_reannounce_redundant_total");
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_rtt_us");
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_rto_us")
 
 let print_host () =
   Harness.section "Host configuration (stand-in for Table 3; see DESIGN.md)";

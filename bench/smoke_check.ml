@@ -9,7 +9,13 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
-let required = [ "\"lifecycle\""; "\"planes\""; "\"started\""; "\"completed\""; "\"full\"" ]
+let required =
+  [
+    "\"lifecycle\""; "\"planes\""; "\"started\""; "\"completed\""; "\"full\"";
+    (* adaptive-pacing series, declared at harness startup so they ride
+       in every snapshot even before the pacing experiment runs *)
+    "\"dsig_rtt_us\""; "\"dsig_rto_us\""; "\"dsig_reannounce_redundant_total\"";
+  ]
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "smoke-results" in

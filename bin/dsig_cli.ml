@@ -232,8 +232,11 @@ let stats ops fmt trace d batch =
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Dsig.Pki.create () in
   Dsig.Pki.register pki ~id:0 pk;
-  let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~telemetry:tel ~verifiers:[ 1 ] () in
-  let verifier = Dsig.Verifier.create cfg ~id:1 ~pki ~telemetry:tel () in
+  let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng
+    ~options:(Dsig.Options.default |> Dsig.Options.with_telemetry tel)
+    ~verifiers:[ 1 ] () in
+  let verifier = Dsig.Verifier.create cfg ~id:1 ~pki
+    ~options:(Dsig.Options.default |> Dsig.Options.with_telemetry tel) () in
   Dsig.Signer.background_fill signer;
   for i = 1 to ops do
     List.iter
@@ -293,9 +296,12 @@ let top port interval count d batch =
         let pki = Dsig.Pki.create () in
         Dsig.Pki.register pki ~id:0 pk;
         let signer =
-          Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~telemetry:tel ~verifiers:[ 1 ] ()
+          Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng
+    ~options:(Dsig.Options.default |> Dsig.Options.with_telemetry tel)
+    ~verifiers:[ 1 ] ()
         in
-        let verifier = Dsig.Verifier.create cfg ~id:1 ~pki ~telemetry:tel () in
+        let verifier = Dsig.Verifier.create cfg ~id:1 ~pki
+    ~options:(Dsig.Options.default |> Dsig.Options.with_telemetry tel) () in
         let stop = ref false in
         let worker =
           Thread.create

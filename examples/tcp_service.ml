@@ -32,8 +32,15 @@ let () =
   let tel = Tel.create () in
   Lifecycle.enable tel.Tel.lifecycle;
 
-  (* signer: foreground here, background plane on its own domain *)
-  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L ~telemetry:tel () in
+  (* signer: foreground here, background plane on its own domain.
+     Adaptive pacing: re-announce timers follow the measured loopback
+     ACK round trip instead of the fixed global ladder. *)
+  let options =
+    Options.default |> Options.with_telemetry tel
+    |> Options.with_pacing (Options.adaptive ())
+  in
+  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L ~options () in
+  let cp = Control_plane.of_runtime rt in
 
   (* verifier service: every inbound frame is handled on a receiver
      thread; the verifier is guarded by a mutex. Its control uplink
@@ -43,7 +50,10 @@ let () =
   let control m =
     match !control_conn with Some c -> Tcp.send c (Tcp.Control m) | None -> ()
   in
-  let verifier = Verifier.create cfg ~id:1 ~pki ~telemetry:tel ~control () in
+  let verifier =
+    Verifier.create cfg ~id:1 ~pki ~options:(Options.default |> Options.with_telemetry tel)
+      ~control ()
+  in
   let mu = Mutex.create () in
   let verified = ref 0 and rejected = ref 0 and announcements = ref 0 in
   let handle_signed ?ctx ~msg ~signature () =
@@ -75,19 +85,16 @@ let () =
     Mutex.unlock conn_mu
   in
 
-  (* the signer's control listener: inbound ACKs settle tracked
-     announcements; pull-repair Requests get the retained announcement
-     re-sent on the data connection *)
+  (* the signer's control listener: every decoded control frame goes
+     through the unified control plane; repair replies (pull requests)
+     come back as (dest, announcement) pairs for the data connection *)
   let control_server =
     Tcp.listen ~telemetry:tel ~port:0
       ~on_message:(fun m ->
         match m with
-        | Tcp.Control (Batch.Ack a) -> Runtime.handle_ack rt a
-        | Tcp.Control (Batch.Acks l) -> List.iter (Runtime.handle_ack rt) l
-        | Tcp.Control (Batch.Request r) -> (
-            match Runtime.handle_request rt r with
-            | Some a -> send (Tcp.Announcement a)
-            | None -> ())
+        | Tcp.Control c ->
+            Control_plane.deliver cp c
+            |> List.iter (fun (_dest, a) -> send (Tcp.Announcement a))
         | _ -> ())
       ()
   in
@@ -98,7 +105,8 @@ let () =
   let scrape = Scrape.start ~telemetry:tel ~port:0 () in
   Printf.printf "verifier service listening on 127.0.0.1:%d\n" (Tcp.port server);
   Printf.printf "signer control listener on 127.0.0.1:%d\n" (Tcp.port control_server);
-  Printf.printf "scrape endpoint on http://127.0.0.1:%d (/metrics /metrics.json /trace /planes)\n"
+  Printf.printf
+    "scrape endpoint on http://127.0.0.1:%d (/metrics /metrics.json /trace /planes /health)\n"
     (Scrape.port scrape);
 
   let announce a =
@@ -106,14 +114,15 @@ let () =
     Runtime.track_announcement rt a ~dests:[ 1 ]
   in
 
-  (* re-announcement pump: resend announcements whose ACK backoff
-     expired; a no-op once the verifier's ACKs settle everything *)
+  (* re-announcement pump: resend announcements whose per-destination
+     RTO expired; a no-op once the verifier's ACKs settle everything *)
   let pump_stop = ref false in
   let pump =
     Thread.create
       (fun () ->
         while not !pump_stop do
-          List.iter (fun (_dest, a) -> send (Tcp.Announcement a)) (Runtime.due_reannouncements rt);
+          Control_plane.step cp ~now:(Tel.now tel)
+          |> List.iter (fun (_dest, a) -> send (Tcp.Announcement a));
           Thread.delay 0.001
         done)
       ()
@@ -167,6 +176,9 @@ let () =
   (match Scrape.fetch ~port:(Scrape.port scrape) ~path:"/planes" with
   | Ok body -> Printf.printf "scrape /planes:\n%s" body
   | Error e -> Printf.printf "scrape fetch failed: %s\n" e);
+  (match Scrape.fetch ~port:(Scrape.port scrape) ~path:"/health" with
+  | Ok body -> Printf.printf "scrape /health: %s\n" body
+  | Error e -> Printf.printf "scrape /health: %s\n" e);
   pump_stop := true;
   (try Thread.join pump with _ -> ());
   Scrape.stop scrape;

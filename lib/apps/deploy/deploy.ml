@@ -22,7 +22,8 @@ type t = {
 }
 
 let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
-    ?(groups = fun _ -> []) ?(seed = 97L) ?(telemetry = Tel.default) ?retry sim cfg ~n () =
+    ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) sim cfg ~n () =
+  let telemetry = options.Dsig.Options.telemetry in
   let pki = Dsig.Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
@@ -56,9 +57,9 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
         {
           signer =
             Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
-              ~groups:(groups id) ~telemetry ?retry ~verifiers:all ();
+              ~groups:(groups id) ~options ~verifiers:all ();
           verifier =
-            Dsig.Verifier.create cfg ~id ~pki ~telemetry ~control:(control_of id) ();
+            Dsig.Verifier.create cfg ~id ~pki ~options ~control:(control_of id) ();
         })
   in
   let t = { cfg; parties; pki; net; sent = 0; delivered = 0 } in
@@ -67,16 +68,22 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
      (Algorithm 1 lines 6-11) *)
   Array.iteri
     (fun id p ->
+      let cp = Dsig.Control_plane.of_signer p.signer in
       Sim.spawn sim (fun () ->
           while true do
             ignore (Dsig.Signer.background_step p.signer);
             Sim.sleep bg_poll_us
           done);
-      (* re-announcement pump: resend announcements whose ACK backoff
-         expired; a no-op while every verifier is acknowledging *)
+      (* re-announcement pump: resend announcements whose ACK timer
+         expired; a no-op while every verifier is acknowledging. The
+         control plane returns what to send; sending rides the modeled
+         network like first transmissions. *)
       Sim.spawn sim (fun () ->
           while true do
-            ignore (Dsig.Signer.reannounce_step p.signer);
+            (* the tracker stamps transmissions with the telemetry
+               clock, so the poll must ask in the same time base *)
+            Dsig.Control_plane.step cp ~now:(Tel.now telemetry)
+            |> List.iter (fun (dest, ann) -> send_of id ~dest ann);
             Sim.sleep reannounce_poll_us
           done);
       (* receiver: the verifier's background plane, plus inbound
@@ -84,7 +91,9 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
       Sim.spawn sim (fun () ->
           while true do
             match Net.recv net ~node:id with
-            | _src, _bytes, P_control c -> Dsig.Signer.handle_control p.signer c
+            | _src, _bytes, P_control c ->
+                Dsig.Control_plane.deliver cp c
+                |> List.iter (fun (dest, ann) -> send_of id ~dest ann)
             | _src, _bytes, P_announce (sent_at, ann) ->
                 (* virtual time spent on the modeled wire; the
                    in-delivery processing span (announce_delivery) is

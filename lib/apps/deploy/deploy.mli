@@ -36,8 +36,7 @@ val create :
   ?reannounce_poll_us:float ->
   ?groups:(int -> int list list) ->
   ?seed:int64 ->
-  ?telemetry:Dsig_telemetry.Telemetry.t ->
-  ?retry:Dsig_util.Retry.policy ->
+  ?options:Dsig.Options.t ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -46,19 +45,20 @@ val create :
 (** Starts [n] parties on [sim]. [bg_poll_us] (default 5.0) is how often
     each signer's background plane checks its queues (one batch per
     step, as in Algorithm 1); [reannounce_poll_us] (default 50.0) is how
-    often each signer checks for re-announcements whose backoff expired.
-    [retry] overrides the re-announce backoff policy (default
-    {!Dsig_util.Retry.default}). Announcements incur network latency
+    often each signer polls its control plane for due re-announcements
+    ({!Dsig.Control_plane.step}). Announcements incur network latency
     plus serialization of their modeled size.
 
-    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) is shared
-    by every party's signer and verifier, and additionally receives
+    [options] (default {!Dsig.Options.default}) configures every
+    party's signer and verifier — re-announce policy,
+    {!Dsig.Options.pacing} mode, retention, and the shared telemetry
+    bundle, which additionally receives
     [dsig_deploy_announcements_{sent,delivered,rejected}_total] and
     [dsig_deploy_control_frames_total] counters and the
     [dsig_deploy_announce_net_us] histogram of virtual time
     announcements spend on the modeled wire. Pass a bundle created with
     [~clock:(fun () -> Sim.now sim)] so tracer spans — and the
-    re-announce/pull-repair backoff ladders — run in virtual time. *)
+    re-announce/pull-repair timers — run in virtual time. *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t

@@ -7,6 +7,7 @@ type t = {
   listener : Unix.file_descr;
   actual_port : int;
   telemetry : Tel.t;
+  health_budgets : (Lifecycle.plane * float) list;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
   c_requests : Metric.Counter.t;
@@ -36,16 +37,55 @@ let trace_body tel =
   Printf.sprintf "{\"lifecycle\":%s,\"spans\":%s}" (Export.json_lifecycle lc)
     (Export.json_spans lc)
 
-let route tel path =
+(* /health SLO budgets, per plane, in microseconds. Generous defaults:
+   sign and verify are microsecond-scale paths, announce and end-to-end
+   absorb background-plane latency. *)
+let default_health_budgets =
+  Lifecycle.[ (Sign, 10_000.0); (Announce, 100_000.0); (Verify, 10_000.0); (End_to_end, 100_000.0) ]
+
+let health_body tel budgets =
+  let lc = tel.Tel.lifecycle in
+  let verdicts =
+    List.map
+      (fun (plane, budget_us) ->
+        let ok =
+          match plane with
+          (* the end-to-end verdict is literally the lifecycle SLO check *)
+          | Lifecycle.End_to_end -> Lifecycle.within ~budget_us lc
+          | plane -> Lifecycle.plane_within lc plane ~budget_us
+        in
+        (plane, budget_us, Lifecycle.plane_snapshot lc plane, ok))
+      budgets
+  in
+  let all_ok = verdicts <> [] && List.for_all (fun (_, _, _, ok) -> ok) verdicts in
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) "{\"status\":%S,\"planes\":["
+    (if all_ok then "ok" else "failing");
+  List.iteri
+    (fun i (plane, budget_us, s, ok) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.ksprintf (Buffer.add_string buf)
+        "{\"plane\":%S,\"n\":%d,\"p99_us\":%.3f,\"budget_us\":%.3f,\"ok\":%b}"
+        (Lifecycle.plane_name plane) s.Metric.Histogram.n
+        (Metric.Histogram.percentile s 99.0) budget_us ok)
+    verdicts;
+  Buffer.add_string buf "]}";
+  (all_ok, Buffer.contents buf)
+
+let route ?(health_budgets = default_health_budgets) tel path =
   match path with
   | "/metrics" ->
-      Some ("text/plain; version=0.0.4", Export.prometheus (Tel.snapshot tel))
+      Some ("200 OK", "text/plain; version=0.0.4", Export.prometheus (Tel.snapshot tel))
   | "/metrics.json" ->
       Some
-        ( "application/json",
+        ( "200 OK",
+          "application/json",
           Export.json ~tracer:tel.Tel.tracer ~lifecycle:tel.Tel.lifecycle (Tel.snapshot tel) )
-  | "/trace" -> Some ("application/json", trace_body tel)
-  | "/planes" -> Some ("text/plain", planes_body tel)
+  | "/trace" -> Some ("200 OK", "application/json", trace_body tel)
+  | "/planes" -> Some ("200 OK", "text/plain", planes_body tel)
+  | "/health" ->
+      let ok, body = health_body tel health_budgets in
+      Some ((if ok then "200 OK" else "503 Service Unavailable"), "application/json", body)
   | _ -> None
 
 (* --- HTTP/1.0 plumbing --- *)
@@ -105,15 +145,15 @@ let handle_conn t fd =
             (response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n")
       | Some path -> (
           Metric.Counter.incr t.c_requests;
-          match route t.telemetry path with
-          | Some (content_type, body) ->
-              Tcpnet.really_write fd (response ~status:"200 OK" ~content_type body)
+          match route ~health_budgets:t.health_budgets t.telemetry path with
+          | Some (status, content_type, body) ->
+              Tcpnet.really_write fd (response ~status ~content_type body)
           | None ->
               Metric.Counter.incr t.c_errors;
               Tcpnet.really_write fd
                 (response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")))
 
-let start ?(telemetry = Tel.default) ~port () =
+let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budgets) ~port () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -126,6 +166,7 @@ let start ?(telemetry = Tel.default) ~port () =
       listener;
       actual_port;
       telemetry;
+      health_budgets = health_budgets_us;
       stopping = false;
       accept_thread = None;
       c_requests = Tel.counter telemetry "dsig_scrape_requests_total";

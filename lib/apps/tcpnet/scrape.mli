@@ -14,18 +14,32 @@
     - [/planes] — a plain-text per-plane table
       ([<plane> <count> <p50> <p99> <p999>] lines preceded by
       [started]/[completed]/[full] counts), the format [dsig_cli top]
-      polls.
+      polls;
+    - [/health] — per-plane SLO verdicts from
+      {!Dsig_telemetry.Lifecycle.plane_within} against the configured
+      budgets: a JSON body
+      [{"status":..,"planes":[{"plane":..,"n":..,"p99_us":..,
+      "budget_us":..,"ok":..},..]}] served with 200 when every plane is
+      within budget and 503 otherwise (a plane with no observations
+      fails — "no data" is not "healthy").
 
     Anything else is a 404. Requests above 8 KiB or without a parseable
     GET line get a 400. *)
 
 type t
 
-val start : ?telemetry:Dsig_telemetry.Telemetry.t -> port:int -> unit -> t
+val start :
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?health_budgets_us:(Dsig_telemetry.Lifecycle.plane * float) list ->
+  port:int ->
+  unit ->
+  t
 (** Bind 127.0.0.1:[port] (0 picks an ephemeral port) and serve
     [telemetry] (default {!Dsig_telemetry.Telemetry.default}). Records
     [dsig_scrape_requests_total] / [dsig_scrape_errors_total] on the
-    same bundle. *)
+    same bundle. [health_budgets_us] sets the [/health] per-plane p99
+    budgets (defaults: sign and verify 10 ms, announce and end-to-end
+    100 ms). *)
 
 val port : t -> int
 

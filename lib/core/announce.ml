@@ -1,40 +1,99 @@
 module Retry = Dsig_util.Retry
+module Rtt = Dsig_util.Rtt
+module Pacer = Dsig_util.Pacer
 module Rng = Dsig_util.Rng
+
+(* One (batch, destination) pair awaiting an ACK. [retry] drives
+   scheduling in fixed mode; [next_due_us] drives it in adaptive mode.
+   The transmission stamps feed RTT samples and spurious-resend
+   detection in both modes. *)
+type wait = {
+  mutable retry : Retry.state option; (* Some only in fixed mode *)
+  mutable next_due_us : float; (* adaptive-mode timer *)
+  mutable attempts : int; (* re-sends so far (0 = only the original) *)
+  mutable first_send_us : float;
+  mutable last_send_us : float;
+}
 
 type entry = {
   ann : Batch.announcement;
-  waiting : (int, Retry.state) Hashtbl.t; (* dest -> backoff state *)
+  waiting : (int, wait) Hashtbl.t; (* dest -> wait *)
 }
+
+(* Per-destination link state (kept across batches): the RTO estimator,
+   and the smallest clean round trip ever observed — the floor used to
+   flag re-sends that an already-in-flight ACK made redundant. *)
+type dest_state = { mutable est : Rtt.t; mutable min_rtt_us : float }
+
+type mode = Fixed | Adaptive of Options.adaptive
 
 type t = {
   policy : Retry.policy;
+  mode : mode;
+  bucket : Pacer.t option; (* adaptive only *)
   retain : int;
   rng : Rng.t;
   clock : unit -> float;
   entries : (int64, entry) Hashtbl.t;
   order : int64 Queue.t; (* FIFO retention *)
+  dests : (int, dest_state) Hashtbl.t;
   mutable acked : int;
   mutable gave_up : int;
+  mutable redundant : int;
+  mutable samples : int;
 }
 
-let create ?(policy = Retry.default) ?(retain = 64) ~rng ~clock () =
+let create ?(policy = Retry.default) ?(pacing = Options.Fixed) ?(retain = 64) ~rng ~clock () =
   if retain <= 0 then invalid_arg "Announce.create: retain must be positive";
+  let mode, bucket =
+    match pacing with
+    | Options.Fixed -> (Fixed, None)
+    | Options.Adaptive a ->
+        ( Adaptive a,
+          Some (Pacer.create ~burst:a.Options.burst ~rate_per_sec:a.Options.rate_per_sec ~now:(clock ()) ()) )
+  in
   {
     policy;
+    mode;
+    bucket;
     retain;
     rng;
     clock;
     entries = Hashtbl.create 16;
     order = Queue.create ();
+    dests = Hashtbl.create 8;
     acked = 0;
     gave_up = 0;
+    redundant = 0;
+    samples = 0;
   }
+
+let adaptive t = match t.mode with Adaptive _ -> true | Fixed -> false
+
+let dest_state t dest =
+  match Hashtbl.find_opt t.dests dest with
+  | Some s -> s
+  | None ->
+      let params = match t.mode with Adaptive a -> a.Options.rtt | Fixed -> Rtt.default in
+      let s = { est = Rtt.init params; min_rtt_us = infinity } in
+      Hashtbl.add t.dests dest s;
+      s
+
+let rtt_params t = match t.mode with Adaptive a -> a.Options.rtt | Fixed -> Rtt.default
 
 let track t (ann : Batch.announcement) ~dests =
   let now = t.clock () in
   let waiting = Hashtbl.create (List.length dests) in
   List.iter
-    (fun dest -> Hashtbl.replace waiting dest (Retry.start t.policy ~rng:t.rng ~now))
+    (fun dest ->
+      let retry, next_due =
+        match t.mode with
+        | Fixed -> (Some (Retry.start t.policy ~rng:t.rng ~now), infinity)
+        | Adaptive _ ->
+            (None, now +. Rtt.rto_us (rtt_params t) (dest_state t dest).est)
+      in
+      Hashtbl.replace waiting dest
+        { retry; next_due_us = next_due; attempts = 0; first_send_us = now; last_send_us = now })
     dests;
   let batch_id = ann.Batch.ann_batch_id in
   if not (Hashtbl.mem t.entries batch_id) then Queue.add batch_id t.order;
@@ -47,35 +106,80 @@ let track t (ann : Batch.announcement) ~dests =
     Hashtbl.remove t.entries victim
   done
 
+type ack_outcome = {
+  settled : bool;
+  redundant : bool;
+  rtt_sample_us : float option;
+  rto_us : float option;
+}
+
+let no_ack = { settled = false; redundant = false; rtt_sample_us = None; rto_us = None }
+
+(* A re-send was redundant when the ACK lands closer to it than any
+   clean round trip ever observed on that link: the acknowledgement must
+   already have been in flight (it answers an earlier copy). *)
+let redundancy_floor = 0.75
+
 let ack t ~verifier ~batch_id =
   match Hashtbl.find_opt t.entries batch_id with
-  | None -> false
-  | Some e ->
-      if Hashtbl.mem e.waiting verifier then begin
-        Hashtbl.remove e.waiting verifier;
-        t.acked <- t.acked + 1;
-        true
-      end
-      else false
+  | None -> no_ack
+  | Some e -> (
+      match Hashtbl.find_opt e.waiting verifier with
+      | None -> no_ack
+      | Some w ->
+          let now = t.clock () in
+          Hashtbl.remove e.waiting verifier;
+          t.acked <- t.acked + 1;
+          let ds = dest_state t verifier in
+          let redundant =
+            w.attempts > 0
+            && ds.min_rtt_us < infinity
+            && now -. w.last_send_us < redundancy_floor *. ds.min_rtt_us
+          in
+          if redundant then t.redundant <- t.redundant + 1;
+          (* the first-transmission round trip bounds the link RTT from
+             above; exact when the original copy was the one ACKed *)
+          ds.min_rtt_us <- Float.min ds.min_rtt_us (now -. w.first_send_us);
+          (* Karn's rule: the estimator only sees unambiguous samples
+             (no retransmission in between) *)
+          let sample =
+            if w.attempts = 0 then begin
+              let rtt = now -. w.last_send_us in
+              ds.est <- Rtt.sample (rtt_params t) ds.est ~rtt_us:rtt;
+              t.samples <- t.samples + 1;
+              Some rtt
+            end
+            else None
+          in
+          {
+            settled = true;
+            redundant;
+            rtt_sample_us = sample;
+            rto_us = Some (Rtt.rto_us (rtt_params t) ds.est);
+          })
 
 let lookup t ~batch_id =
   Option.map (fun e -> e.ann) (Hashtbl.find_opt t.entries batch_id)
 
-let due t =
-  let now = t.clock () in
+let due_fixed t ~now =
   let out = ref [] in
   Hashtbl.iter
     (fun _ e ->
       let expired =
         Hashtbl.fold
-          (fun dest st acc -> if Retry.due st ~now then (dest, st) :: acc else acc)
+          (fun dest w acc ->
+            match w.retry with
+            | Some st when Retry.due st ~now -> (dest, w, st) :: acc
+            | Some _ | None -> acc)
           e.waiting []
       in
       List.iter
-        (fun (dest, st) ->
+        (fun (dest, w, st) ->
           match Retry.next t.policy ~rng:t.rng st ~now with
           | Some st' ->
-              Hashtbl.replace e.waiting dest st';
+              w.retry <- Some st';
+              w.attempts <- w.attempts + 1;
+              w.last_send_us <- now;
               out := (dest, e.ann) :: !out
           | None ->
               Hashtbl.remove e.waiting dest;
@@ -84,7 +188,84 @@ let due t =
     t.entries;
   !out
 
+let due_adaptive t (a : Options.adaptive) ~now =
+  (* collect expired timers, bucketed per destination so the token
+     budget is spread round-robin across links instead of draining into
+     whichever batch iterates first *)
+  let by_dest : (int, (entry * wait) Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ e ->
+      let expired =
+        Hashtbl.fold (fun dest w acc -> if now >= w.next_due_us then (dest, w) :: acc else acc)
+          e.waiting []
+      in
+      List.iter
+        (fun (dest, w) ->
+          if a.Options.max_attempts > 0 && w.attempts >= a.Options.max_attempts then begin
+            Hashtbl.remove e.waiting dest;
+            t.gave_up <- t.gave_up + 1
+          end
+          else begin
+            let q =
+              match Hashtbl.find_opt by_dest dest with
+              | Some q -> q
+              | None ->
+                  let q = Queue.create () in
+                  Hashtbl.add by_dest dest q;
+                  q
+            in
+            Queue.add (e, w) q
+          end)
+        expired)
+    t.entries;
+  let dests_order = Hashtbl.fold (fun d _ acc -> d :: acc) by_dest [] |> List.sort compare in
+  let bucket = Option.get t.bucket in
+  let backed_off = Hashtbl.create 8 in
+  let out = ref [] in
+  let exhausted = ref false in
+  let progress = ref true in
+  (* round-robin: one item per destination per lap, while tokens last *)
+  while (not !exhausted) && !progress do
+    progress := false;
+    List.iter
+      (fun dest ->
+        if not !exhausted then
+          let q = Hashtbl.find by_dest dest in
+          if not (Queue.is_empty q) then begin
+            if Pacer.take bucket ~now then begin
+              let e, w = Queue.pop q in
+              let ds = dest_state t dest in
+              (* one multiplicative backoff per destination per poll:
+                 simultaneous expiries are one loss signal, not many *)
+              if not (Hashtbl.mem backed_off dest) then begin
+                ds.est <- Rtt.on_timeout a.Options.rtt ds.est;
+                Hashtbl.add backed_off dest ()
+              end;
+              w.attempts <- w.attempts + 1;
+              w.last_send_us <- now;
+              w.next_due_us <- now +. Rtt.rto_us a.Options.rtt ds.est;
+              out := (dest, e.ann) :: !out;
+              progress := true
+            end
+            else exhausted := true
+          end)
+      dests_order
+  done;
+  !out
+
+let due ?now t =
+  let now = match now with Some n -> n | None -> t.clock () in
+  match t.mode with Fixed -> due_fixed t ~now | Adaptive a -> due_adaptive t a ~now
+
 let pending t = Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.waiting) t.entries 0
 let batches t = Hashtbl.length t.entries
 let acked t = t.acked
 let gave_up t = t.gave_up
+let redundant (t : t) = t.redundant
+let samples t = t.samples
+
+let srtt_us t ~dest =
+  Option.bind (Hashtbl.find_opt t.dests dest) (fun ds -> Rtt.srtt_us ds.est)
+
+let rto_us t ~dest =
+  Option.map (fun ds -> Rtt.rto_us (rtt_params t) ds.est) (Hashtbl.find_opt t.dests dest)

@@ -1,45 +1,97 @@
-(** Signer-side announcement reliability state.
+(** Signer-side announcement tracker: which (batch, verifier) pairs
+    still lack an ACK, when to re-send each one, and which batches are
+    retained for pull repair. Shared by the in-simulation {!Signer} and
+    the threaded {!Runtime} (which adds its own locking — this module is
+    not thread-safe by itself).
 
-    Tracks, per generated batch, which destination verifiers have
-    acknowledged the batch announcement, schedules re-announcements for
-    the rest under a {!Dsig_util.Retry} policy, and retains recent
-    announcements so verifier pull requests ({!Batch.request}) can be
-    served even after every ACK arrived. Shared by the in-simulation
-    {!Signer} and the threaded {!Runtime} (which adds its own locking —
-    this module is not thread-safe by itself). *)
+    Two scheduling modes, selected by {!Options.pacing} at {!create}
+    time:
+
+    - [Fixed]: every destination follows the same {!Dsig_util.Retry}
+      backoff ladder — blind to the network, identical everywhere.
+    - [Adaptive]: each destination gets an RFC-6298-style retransmission
+      timeout from its own observed ACK round trips ({!Dsig_util.Rtt}),
+      and emission is spread by a shared token bucket
+      ({!Dsig_util.Pacer}). See DESIGN.md §9.
+
+    In both modes the tracker stamps transmission times and watches ACK
+    arrival times, so the RTT/RTO gauges and the redundant-re-announce
+    counter are observable even under fixed pacing. *)
 
 type t
 
 val create :
   ?policy:Dsig_util.Retry.policy ->
+  ?pacing:Options.pacing ->
   ?retain:int ->
   rng:Dsig_util.Rng.t ->
   clock:(unit -> float) ->
   unit ->
   t
-(** [retain] (default 64) bounds how many batches are kept for
-    re-announcement and request repair; older batches are evicted FIFO,
+(** [policy] (default {!Dsig_util.Retry.default}) drives fixed-mode
+    backoff; [pacing] (default [Fixed]) selects the scheduling mode;
+    [retain] (default 64) bounds how many batches are kept for
+    re-announcement and request repair — older batches are evicted FIFO,
     abandoning any still-unacknowledged destinations. [clock] supplies
-    "now" in the caller's time base (wall or virtual µs). *)
+    "now" in the caller's time base (wall or virtual µs).
+    @raise Invalid_argument if [retain] is not positive. *)
+
+val adaptive : t -> bool
+(** Whether this tracker was created with adaptive pacing. *)
 
 val track : t -> Batch.announcement -> dests:int list -> unit
 (** Register a freshly multicast announcement; every destination starts
-    unacknowledged with a first re-announcement scheduled per policy.
-    Tracking the same batch id again resets its entry. *)
+    unacknowledged with first/last transmission stamped at the current
+    clock and a re-announcement timer armed (per policy in fixed mode,
+    per the destination's RTO in adaptive mode). Tracking the same batch
+    id again resets its entry. *)
 
-val ack : t -> verifier:int -> batch_id:int64 -> bool
-(** Mark [verifier] as having received [batch_id]. Returns [true] if it
-    was pending (false for duplicates, unknown batches, or unknown
-    destinations — all harmless). *)
+(** What an incoming ACK told us. *)
+type ack_outcome = {
+  settled : bool;
+      (** the (batch, verifier) pair was outstanding and is now
+          resolved; [false] for duplicates, unknown batches, and unknown
+          destinations — all harmless *)
+  redundant : bool;
+      (** the pair had been re-sent, yet the ACK arrived sooner after
+          the last re-send than any clean round trip ever observed on
+          the link — the ACK was already in flight, so the re-send was
+          wasted *)
+  rtt_sample_us : float option;
+      (** clean round-trip sample just fed to the destination's
+          estimator; [None] when the pair had been re-sent (Karn's
+          rule: ambiguous samples are discarded) *)
+  rto_us : float option;
+      (** the destination's retransmission timeout after this ACK;
+          [Some] whenever [settled] *)
+}
+
+val ack : t -> verifier:int -> batch_id:int64 -> ack_outcome
+(** Record that [verifier] acknowledged [batch_id]. Idempotent:
+    duplicate ACKs return [{ settled = false; _ }] and change
+    nothing. *)
 
 val lookup : t -> batch_id:int64 -> Batch.announcement option
 (** Retained announcement for a batch, for serving pull requests. *)
 
-val due : t -> (int * Batch.announcement) list
-(** Destinations whose re-announcement backoff has expired, paired with
-    the announcement to re-send. Consuming the list advances each
-    destination's backoff state; destinations whose retry budget is
-    exhausted are dropped (counted in {!gave_up}) instead of returned. *)
+val due : ?now:float -> t -> (int * Batch.announcement) list
+(** Destinations whose re-announcement timer has expired, paired with
+    the announcement to re-send; advances each one's timer and
+    transmission stamps (the caller must actually send them). [now]
+    defaults to the tracker's clock.
+
+    Fixed mode: every expired pair is returned; pairs whose retry budget
+    is exhausted are dropped (counted in {!gave_up}) instead of
+    returned.
+
+    Adaptive mode: expired pairs are interleaved round-robin across
+    destinations and emitted while the token bucket allows; pairs that
+    find the bucket empty simply stay due for the next poll. Each
+    destination's estimator backs off multiplicatively at most once per
+    call, and pairs that reached the attempt budget are dropped as given
+    up. *)
+
+(** {1 Introspection} *)
 
 val pending : t -> int
 (** Outstanding (batch, destination) pairs still awaiting an ACK. *)
@@ -51,4 +103,18 @@ val acked : t -> int
 (** ACKs that cleared a pending destination, ever. *)
 
 val gave_up : t -> int
-(** Destinations abandoned after exhausting the retry budget, ever. *)
+(** Destinations abandoned (budget exhausted or evicted), ever. *)
+
+val redundant : t -> int
+(** Re-sends judged redundant by ACK timing, ever. *)
+
+val samples : t -> int
+(** Clean RTT samples fed to destination estimators, ever. *)
+
+val srtt_us : t -> dest:int -> float option
+(** [dest]'s smoothed round-trip estimate; [None] before any clean
+    sample. *)
+
+val rto_us : t -> dest:int -> float option
+(** [dest]'s current retransmission timeout (including backoff);
+    [None] if the destination has never been tracked. *)

@@ -1,0 +1,33 @@
+module type S = sig
+  type t
+
+  val deliver_ack : t -> Batch.ack -> unit
+  val deliver_request : t -> Batch.request -> Batch.announcement option
+  val step : t -> now:float -> (int * Batch.announcement) list
+end
+
+(* both signer flavors satisfy the signature — checked here so a drift
+   in either module is a compile error in this file, not in a caller *)
+module Signer_cp : S with type t = Signer.t = Signer
+module Runtime_cp : S with type t = Runtime.t = Runtime
+
+type t = Handle : (module S with type t = 'a) * 'a -> t
+
+let of_signer s = Handle ((module Signer_cp), s)
+let of_runtime r = Handle ((module Runtime_cp), r)
+let deliver_ack (Handle ((module M), x)) a = M.deliver_ack x a
+let deliver_request (Handle ((module M), x)) r = M.deliver_request x r
+let step (Handle ((module M), x)) ~now = M.step x ~now
+
+let deliver t control =
+  match control with
+  | Batch.Ack a ->
+      deliver_ack t a;
+      []
+  | Batch.Acks l ->
+      List.iter (deliver_ack t) l;
+      []
+  | Batch.Request r -> (
+      match deliver_request t r with
+      | Some ann -> [ (r.Batch.req_verifier, ann) ]
+      | None -> [])

@@ -1,0 +1,81 @@
+(** One configuration record for the DSig component constructors.
+
+    {!Signer.create}, {!Runtime.create} and {!Verifier.create} used to
+    grow one optional argument per knob ([?telemetry ?retry ?retain
+    ?request_policy ...]); they now take a single [?options] record
+    built by piping {!default} through the [with_*] combinators:
+
+    {[
+      let opts =
+        Options.default
+        |> Options.with_telemetry tel
+        |> Options.with_pacing (Options.adaptive ())
+      in
+      let signer = Signer.create cfg ~id ~eddsa ~rng ~options:opts ~verifiers ()
+    ]}
+
+    Each component reads the fields that concern it and ignores the
+    rest, so one record configures a whole deployment ({!System},
+    [Dsig_deploy.Deploy]). The old constructors survive one release as
+    deprecated [create_legacy] shims. *)
+
+(** {1 Re-announce pacing} *)
+
+type adaptive = {
+  rtt : Dsig_util.Rtt.params;  (** per-destination estimator constants *)
+  rate_per_sec : float;  (** token-bucket re-announce rate, per signer *)
+  burst : int;  (** token-bucket capacity *)
+  max_attempts : int;  (** re-sends before abandoning; [0] = unlimited *)
+}
+
+(** How a signer schedules re-announcements of unACKed batches. *)
+type pacing =
+  | Fixed
+      (** the global {!Dsig_util.Retry} backoff ladder from the [retry]
+          field — blind to the network, identical for every
+          destination *)
+  | Adaptive of adaptive
+      (** per-destination RFC-6298 RTOs from observed ACK round trips
+          ({!Dsig_util.Rtt}), spread by a token bucket
+          ({!Dsig_util.Pacer}); see DESIGN.md §9 *)
+
+val adaptive :
+  ?rtt:Dsig_util.Rtt.params ->
+  ?rate_per_sec:float ->
+  ?burst:int ->
+  ?max_attempts:int ->
+  unit ->
+  pacing
+(** Adaptive pacing with defaults: {!Dsig_util.Rtt.default} constants,
+    2000 re-announcements/s, burst 8, unlimited attempts.
+    @raise Invalid_argument on a non-positive rate or burst, or a
+    negative attempt budget. *)
+
+(** {1 The options record} *)
+
+type t = {
+  telemetry : Dsig_telemetry.Telemetry.t;  (** metric/tracer/clock bundle *)
+  retry : Dsig_util.Retry.policy;  (** fixed-mode re-announce backoff *)
+  retain : int;  (** batches kept for re-announce / pull repair *)
+  request_policy : Dsig_util.Retry.policy;  (** verifier pull-repair pacing *)
+  pacing : pacing;
+}
+
+val default : t
+(** {!Dsig_telemetry.Telemetry.default}, {!Dsig_util.Retry.default},
+    retain 64, the verifier's historical request policy (500 µs base,
+    8 attempts), and [Fixed] pacing — exactly the pre-Options
+    behavior. *)
+
+val with_telemetry : Dsig_telemetry.Telemetry.t -> t -> t
+
+val with_retry : Dsig_util.Retry.policy -> t -> t
+(** Sets the fixed re-announce policy {e and} selects [Fixed] pacing:
+    call sites that chose an explicit ladder keep their exact behavior.
+    Combine with {!with_pacing} afterwards to override. *)
+
+val with_retain : int -> t -> t
+(** @raise Invalid_argument if not positive. *)
+
+val with_request_policy : Dsig_util.Retry.policy -> t -> t
+val with_pacing : pacing -> t -> t

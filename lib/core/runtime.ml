@@ -23,8 +23,14 @@ type tel = {
   c_waits : Metric.Counter.t;
   c_reann : Metric.Counter.t;
   c_acks : Metric.Counter.t;
+  c_redundant : Metric.Counter.t;
   h_sign : Metric.Histogram.t;
   g_queue : Metric.Gauge.t;
+  g_rtt : Metric.Gauge.t;
+  g_rto : Metric.Gauge.t;
+  (* per-destination pacing series are name-suffixed (no label support
+     in the exporters) and resolved lazily, under [mu] *)
+  dest_gauges : (int, Metric.Gauge.t * Metric.Gauge.t) Hashtbl.t;
 }
 
 type t = {
@@ -90,7 +96,8 @@ let background_loop cfg ~id ~eddsa ~rng t () =
     end
   done
 
-let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64) () =
+let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
+  let telemetry = options.Options.telemetry in
   let master = Rng.create seed in
   let bg_rng = Rng.split master in
   let state =
@@ -103,7 +110,8 @@ let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64)
       keys = Queue.create ();
       announcements = Queue.create ();
       announce =
-        Announce.create ?policy:retry ~retain ~rng:(Rng.split master)
+        Announce.create ~policy:options.Options.retry ~pacing:options.Options.pacing
+          ~retain:options.Options.retain ~rng:(Rng.split master)
           ~clock:(fun () -> Tel.now telemetry)
           ();
       batches = 0;
@@ -117,13 +125,26 @@ let create cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64)
           c_waits = Tel.counter telemetry "dsig_runtime_sign_waits_total";
           c_reann = Tel.counter telemetry "dsig_runtime_reannounces_total";
           c_acks = Tel.counter telemetry "dsig_runtime_acks_total";
+          c_redundant = Tel.counter telemetry "dsig_reannounce_redundant_total";
           h_sign = Tel.histogram telemetry "dsig_runtime_sign_us";
           g_queue = Tel.gauge telemetry "dsig_runtime_queue_depth";
+          g_rtt = Tel.gauge telemetry "dsig_rtt_us";
+          g_rto = Tel.gauge telemetry "dsig_rto_us";
+          dest_gauges = Hashtbl.create 8;
         };
     }
   in
   state.domain <- Some (Domain.spawn (background_loop cfg ~id ~eddsa ~rng:bg_rng state));
   state
+
+let create_legacy cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64) () =
+  let options =
+    Options.default |> Options.with_telemetry telemetry |> Options.with_retain retain
+  in
+  let options =
+    match retry with Some r -> Options.with_retry r options | None -> options
+  in
+  create cfg ~id ~eddsa ~seed ~options ()
 
 let pop_key t =
   Mutex.lock t.mu;
@@ -199,7 +220,7 @@ let drain_announcements t =
   Mutex.unlock t.mu;
   anns
 
-(* --- announcement-plane reliability ---
+(* --- announcement control plane (Control_plane.S) ---
 
    The runtime does not send announcements itself (the embedding
    application distributes what [drain_announcements] returns), so the
@@ -212,21 +233,74 @@ let locked t f =
 
 let track_announcement t ann ~dests = locked t (fun () -> Announce.track t.announce ann ~dests)
 
-let handle_ack t (a : Batch.ack) =
-  if
-    a.Batch.ack_signer = t.id
-    && locked t (fun () ->
-           Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch)
-  then Metric.Counter.incr t.tel.c_acks
+let dest_gauges_locked t dest =
+  match Hashtbl.find_opt t.tel.dest_gauges dest with
+  | Some g -> g
+  | None ->
+      let g =
+        ( Tel.gauge t.tel.bundle (Printf.sprintf "dsig_rtt_us_dest_%d" dest),
+          Tel.gauge t.tel.bundle (Printf.sprintf "dsig_rto_us_dest_%d" dest) )
+      in
+      Hashtbl.add t.tel.dest_gauges dest g;
+      g
 
-let handle_request t (r : Batch.request) =
+let observe_rto_locked t ~dest rto =
+  let _, g_rto_dest = dest_gauges_locked t dest in
+  Metric.Gauge.set t.tel.g_rto rto;
+  Metric.Gauge.set g_rto_dest rto
+
+let deliver_ack t (a : Batch.ack) =
+  if a.Batch.ack_signer = t.id then begin
+    let o =
+      locked t (fun () ->
+          let o =
+            Announce.ack t.announce ~verifier:a.Batch.ack_verifier
+              ~batch_id:a.Batch.ack_batch
+          in
+          if o.Announce.settled then begin
+            let dest = a.Batch.ack_verifier in
+            (match o.Announce.rtt_sample_us with
+            | Some rtt ->
+                let g_rtt_dest, _ = dest_gauges_locked t dest in
+                Metric.Gauge.set t.tel.g_rtt rtt;
+                Metric.Gauge.set g_rtt_dest rtt
+            | None -> ());
+            match o.Announce.rto_us with
+            | Some rto -> observe_rto_locked t ~dest rto
+            | None -> ()
+          end;
+          o)
+    in
+    if o.Announce.settled then begin
+      Metric.Counter.incr t.tel.c_acks;
+      if o.Announce.redundant then Metric.Counter.incr t.tel.c_redundant
+    end
+  end
+
+let deliver_request t (r : Batch.request) =
   if r.Batch.req_signer <> t.id then None
   else locked t (fun () -> Announce.lookup t.announce ~batch_id:r.Batch.req_batch)
 
-let due_reannouncements t =
-  let due = locked t (fun () -> Announce.due t.announce) in
+let step t ~now =
+  let due =
+    locked t (fun () ->
+        let due = Announce.due ~now t.announce in
+        List.iter
+          (fun (dest, _) ->
+            match Announce.rto_us t.announce ~dest with
+            | Some rto -> observe_rto_locked t ~dest rto
+            | None -> ())
+          due;
+        due)
+  in
   (match due with [] -> () | _ :: _ -> Metric.Counter.incr ~by:(List.length due) t.tel.c_reann);
   due
+
+(* --- deprecated pre-Control_plane entry points --- *)
+
+let handle_ack t a = deliver_ack t a
+let handle_request t r = deliver_request t r
+let due_reannouncements t = step t ~now:(Tel.now t.tel.bundle)
 let unacked_announcements t = locked t (fun () -> Announce.pending t.announce)
 
 let shutdown t =

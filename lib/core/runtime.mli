@@ -20,29 +20,45 @@ val create :
   id:int ->
   eddsa:Dsig_ed25519.Eddsa.secret_key ->
   seed:int64 ->
+  ?options:Options.t ->
+  unit ->
+  t
+(** Spawns the background domain. Call {!shutdown} when done.
+
+    [options] (default {!Options.default}) supplies the telemetry
+    bundle, the fixed-mode re-announce policy, the retention bound, and
+    the {!Options.pacing} mode for announcement ACK tracking — see
+    {!track_announcement} and DESIGN.md §9.
+
+    The telemetry bundle receives the foreground plane's
+    [dsig_runtime_signatures_total] / [dsig_runtime_sign_waits_total]
+    counters, the reliability counters [dsig_runtime_reannounces_total]
+    (pairs returned by {!step}) and [dsig_runtime_acks_total] (ACKs that
+    newly settled a destination), the pacing series [dsig_rtt_us] /
+    [dsig_rto_us] gauges (latest observation, plus per-destination
+    [.._dest_<id>] series) and the [dsig_reannounce_redundant_total]
+    counter, [dsig_runtime_sign_us] histogram and
+    [dsig_runtime_queue_depth] gauge, and the background domain's
+    [dsig_runtime_batches_total] counter and
+    [dsig_runtime_batch_gen_us] histogram. The planes write to separate
+    per-domain metric cells ({!Dsig_telemetry.Registry}), so the
+    background domain never slows the foreground signer; snapshots merge
+    both. *)
+
+val create_legacy :
+  Config.t ->
+  id:int ->
+  eddsa:Dsig_ed25519.Eddsa.secret_key ->
+  seed:int64 ->
   ?telemetry:Dsig_telemetry.Telemetry.t ->
   ?retry:Dsig_util.Retry.policy ->
   ?retain:int ->
   unit ->
   t
-(** Spawns the background domain. Call {!shutdown} when done.
-
-    [retry] (default {!Dsig_util.Retry.default}) and [retain] (default
-    64) configure announcement ACK tracking — see
-    {!track_announcement}.
-
-    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
-    the foreground plane's [dsig_runtime_signatures_total] /
-    [dsig_runtime_sign_waits_total] counters, the reliability counters
-    [dsig_runtime_reannounces_total] (pairs returned by
-    {!due_reannouncements}) and [dsig_runtime_acks_total] (ACKs that
-    newly settled a destination), [dsig_runtime_sign_us]
-    histogram and [dsig_runtime_queue_depth] gauge, and the background
-    domain's [dsig_runtime_batches_total] counter and
-    [dsig_runtime_batch_gen_us] histogram. The planes write to separate
-    per-domain metric cells ({!Dsig_telemetry.Registry}), so the
-    background domain never slows the foreground signer; snapshots merge
-    both. *)
+[@@ocaml.deprecated "use Runtime.create with ?options (Options.t)"]
+(** Pre-Options constructor, kept one release: builds an {!Options.t}
+    from the scattered arguments and calls {!create}. An explicit
+    [retry] selects fixed pacing, as before. *)
 
 val sign : t -> string -> string
 (** Foreground-plane signing; thread-safe for a single foreground
@@ -60,27 +76,45 @@ val batches_generated : t -> int
 val drain_announcements : t -> Batch.announcement list
 (** Announcements produced since the last drain, oldest first. *)
 
-(** {1 Announcement reliability}
+(** {1 Announcement control plane}
 
-    The runtime hands announcements to the embedding application
-    ({!drain_announcements}) rather than sending them itself, so the
-    reliability loop is split: after distributing an announcement, the
-    application registers the destinations with {!track_announcement};
-    inbound {!Batch.ack} / {!Batch.request} frames go to {!handle_ack} /
-    {!handle_request}; and a periodic {!due_reannouncements} poll yields
+    The runtime implements {!Control_plane.S}. It hands announcements to
+    the embedding application ({!drain_announcements}) rather than
+    sending them itself, so the reliability loop is split: after
+    distributing an announcement, the application registers the
+    destinations with {!track_announcement}; inbound {!Batch.ack} /
+    {!Batch.request} frames go to {!deliver_ack} / {!deliver_request}
+    (or {!Control_plane.deliver}); and a periodic {!step} poll yields
     the [(destination, announcement)] pairs to re-send. All entry points
     are thread-safe. *)
 
 val track_announcement : t -> Batch.announcement -> dests:int list -> unit
+
+val deliver_ack : t -> Batch.ack -> unit
+(** Record a verifier's acknowledgement; idempotent. Feeds the
+    destination's RTT estimator and the pacing telemetry. *)
+
+val deliver_request : t -> Batch.request -> Batch.announcement option
+(** The retained announcement to re-send to the requesting verifier, or
+    [None] if the batch is no longer retained or names another signer.
+    The caller sends the reply. *)
+
+val step : t -> now:float -> (int * Batch.announcement) list
+(** Re-announcements due at [now] (in the telemetry clock's time base);
+    consuming the list advances each destination's backoff/RTO. Under
+    adaptive pacing the list is bounded by the token bucket. *)
+
+(** {2 Deprecated pre-[Control_plane] entry points} *)
+
 val handle_ack : t -> Batch.ack -> unit
+[@@ocaml.deprecated "use Runtime.deliver_ack"]
 
 val handle_request : t -> Batch.request -> Batch.announcement option
-(** The retained announcement to re-send to the requesting verifier, or
-    [None] if the batch is no longer retained or names another signer. *)
+[@@ocaml.deprecated "use Runtime.deliver_request"]
 
 val due_reannouncements : t -> (int * Batch.announcement) list
-(** Destinations whose re-announcement backoff expired; consuming the
-    list advances each destination's backoff. *)
+[@@ocaml.deprecated "use Runtime.step ~now"]
+(** {!step} at the telemetry clock's current time. *)
 
 val unacked_announcements : t -> int
 

@@ -37,10 +37,16 @@ type tel = {
   c_acks : Metric.Counter.t;
   c_requests : Metric.Counter.t;
   c_giveups : Metric.Counter.t;
+  c_redundant : Metric.Counter.t;
   h_sign : Metric.Histogram.t;
   h_refill : Metric.Histogram.t;
   g_queue : Metric.Gauge.t;
   g_unacked : Metric.Gauge.t;
+  g_rtt : Metric.Gauge.t;
+  g_rto : Metric.Gauge.t;
+  (* exporters have no label dimension, so per-destination series are
+     name-suffixed (dsig_rtt_us_dest_<id>) and resolved lazily *)
+  dest_gauges : (int, Metric.Gauge.t * Metric.Gauge.t) Hashtbl.t;
 }
 
 type t = {
@@ -58,8 +64,8 @@ type t = {
   tel : tel;
 }
 
-let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ?retry
-    ?(retain = 64) ~verifiers () =
+let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default) ~verifiers () =
+  let telemetry = options.Options.telemetry in
   let outbox = Queue.create () in
   let send =
     match send with
@@ -89,7 +95,8 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ?
     send;
     outbox;
     announce =
-      Announce.create ?policy:retry ~retain ~rng:(Rng.split rng)
+      Announce.create ~policy:options.Options.retry ~pacing:options.Options.pacing
+        ~retain:options.Options.retain ~rng:(Rng.split rng)
         ~clock:(fun () -> Tel.now telemetry)
         ();
     gave_up_seen = 0;
@@ -104,12 +111,26 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(telemetry = Tel.default) ?
         c_acks = Tel.counter telemetry "dsig_signer_acks_total";
         c_requests = Tel.counter telemetry "dsig_signer_batch_requests_total";
         c_giveups = Tel.counter telemetry "dsig_signer_announce_giveups_total";
+        c_redundant = Tel.counter telemetry "dsig_reannounce_redundant_total";
         h_sign = Tel.histogram telemetry "dsig_signer_sign_us";
         h_refill = Tel.histogram telemetry "dsig_signer_refill_us";
         g_queue = Tel.gauge telemetry "dsig_signer_queue_depth";
         g_unacked = Tel.gauge telemetry "dsig_signer_unacked_announcements";
+        g_rtt = Tel.gauge telemetry "dsig_rtt_us";
+        g_rto = Tel.gauge telemetry "dsig_rto_us";
+        dest_gauges = Hashtbl.create 8;
       };
   }
+
+let create_legacy cfg ~id ~eddsa ~rng ?send ?groups ?(telemetry = Tel.default) ?retry
+    ?(retain = 64) ~verifiers () =
+  let options =
+    Options.default |> Options.with_telemetry telemetry |> Options.with_retain retain
+  in
+  let options =
+    match retry with Some r -> Options.with_retry r options | None -> options
+  in
+  create cfg ~id ~eddsa ~rng ?send ?groups ~options ~verifiers ()
 
 let id t = t.id
 let config t = t.cfg
@@ -280,48 +301,73 @@ let sign_ctx t ?hint msg =
   let wire, batch_id, key_index, t0 = sign_impl t ?hint msg in
   (wire, Trace.make ~signer:t.id ~batch_id ~key_index ~origin:t.id ~birth_us:t0)
 
-(* --- announcement-plane reliability --- *)
+(* --- announcement-plane control surface (Control_plane.S) --- *)
 
 let sync_unacked_gauge t = Metric.Gauge.set t.tel.g_unacked (float_of_int (Announce.pending t.announce))
 
-let handle_ack t (a : Batch.ack) =
-  if a.Batch.ack_signer = t.id && Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch
-  then begin
-    Metric.Counter.incr t.tel.c_acks;
-    sync_unacked_gauge t
+let dest_gauges t dest =
+  match Hashtbl.find_opt t.tel.dest_gauges dest with
+  | Some g -> g
+  | None ->
+      let g =
+        ( Tel.gauge t.tel.bundle (Printf.sprintf "dsig_rtt_us_dest_%d" dest),
+          Tel.gauge t.tel.bundle (Printf.sprintf "dsig_rto_us_dest_%d" dest) )
+      in
+      Hashtbl.add t.tel.dest_gauges dest g;
+      g
+
+let observe_rto t ~dest rto =
+  let _, g_rto_dest = dest_gauges t dest in
+  Metric.Gauge.set t.tel.g_rto rto;
+  Metric.Gauge.set g_rto_dest rto
+
+let deliver_ack t (a : Batch.ack) =
+  if a.Batch.ack_signer = t.id then begin
+    let o = Announce.ack t.announce ~verifier:a.Batch.ack_verifier ~batch_id:a.Batch.ack_batch in
+    if o.Announce.settled then begin
+      Metric.Counter.incr t.tel.c_acks;
+      sync_unacked_gauge t;
+      let dest = a.Batch.ack_verifier in
+      (match o.Announce.rtt_sample_us with
+      | Some rtt ->
+          let g_rtt_dest, _ = dest_gauges t dest in
+          Metric.Gauge.set t.tel.g_rtt rtt;
+          Metric.Gauge.set g_rtt_dest rtt
+      | None -> ());
+      (match o.Announce.rto_us with
+      | Some rto -> observe_rto t ~dest rto
+      | None -> ());
+      if o.Announce.redundant then Metric.Counter.incr t.tel.c_redundant
+    end
   end
 
-let handle_request t (r : Batch.request) =
-  if r.Batch.req_signer <> t.id then false
+let deliver_request t (r : Batch.request) =
+  if r.Batch.req_signer <> t.id then None
   else
     match Announce.lookup t.announce ~batch_id:r.Batch.req_batch with
     | None ->
         Log.L.debug (fun m ->
             m "signer %d: batch %Ld requested by %d but no longer retained" t.id
               r.Batch.req_batch r.Batch.req_verifier);
-        false
+        None
     | Some ann ->
         t.stats.requests_served <- t.stats.requests_served + 1;
         Metric.Counter.incr t.tel.c_requests;
-        t.send ~dest:r.Batch.req_verifier ann;
-        true
+        Some ann
 
-let handle_control t = function
-  | Batch.Ack a -> handle_ack t a
-  | Batch.Acks l -> List.iter (handle_ack t) l
-  | Batch.Request r -> ignore (handle_request t r)
-
-let reannounce_step t =
-  let due = Announce.due t.announce in
+let step t ~now =
+  let due = Announce.due ~now t.announce in
   (match due with
   | [] -> ()
   | _ :: _ ->
       let t0 = Tel.now t.tel.bundle in
       List.iter
-        (fun (dest, ann) ->
+        (fun (dest, _) ->
           t.stats.reannounces <- t.stats.reannounces + 1;
           Metric.Counter.incr t.tel.c_reannounce;
-          t.send ~dest ann)
+          match Announce.rto_us t.announce ~dest with
+          | Some rto -> observe_rto t ~dest rto
+          | None -> ())
         due;
       (* destinations abandoned this round surface as counter deltas *)
       let gave_up = Announce.gave_up t.announce in
@@ -333,6 +379,30 @@ let reannounce_step t =
       let t1 = Tel.now t.tel.bundle in
       Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Reannounce Tracer.Begin t0;
       Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Reannounce Tracer.End t1);
+  due
+
+(* --- deprecated pre-Control_plane entry points --- *)
+
+let handle_ack t a = deliver_ack t a
+
+let handle_request t (r : Batch.request) =
+  match deliver_request t r with
+  | None -> false
+  | Some ann ->
+      t.send ~dest:r.Batch.req_verifier ann;
+      true
+
+let handle_control t = function
+  | Batch.Ack a -> deliver_ack t a
+  | Batch.Acks l -> List.iter (deliver_ack t) l
+  | Batch.Request r -> (
+      match deliver_request t r with
+      | None -> ()
+      | Some ann -> t.send ~dest:r.Batch.req_verifier ann)
+
+let reannounce_step t =
+  let due = step t ~now:(Tel.now t.tel.bundle) in
+  List.iter (fun (dest, ann) -> t.send ~dest ann) due;
   List.length due
 
 let unacked_announcements t = Announce.pending t.announce

@@ -23,34 +23,55 @@ val create :
   rng:Dsig_util.Rng.t ->
   ?send:(dest:int -> Batch.announcement -> unit) ->
   ?groups:int list list ->
+  ?options:Options.t ->
+  verifiers:int list ->
+  unit ->
+  t
+(** [verifiers] is the set of all known processes (the default group).
+    [groups] adds application-specific verifier groups (Alg. 1 line 2).
+    [send] delivers background announcements and pull-repair replies
+    issued through the deprecated [handle_*] entry points; it defaults
+    to a no-op (useful when announcements are collected via
+    {!drain_outbox}). The {!Control_plane.S} surface never sends — it
+    returns what to send.
+
+    [options] (default {!Options.default}) supplies the telemetry
+    bundle, the fixed-mode re-announce policy, the retention bound, and
+    the {!Options.pacing} mode (see {!Announce} and DESIGN.md §9).
+
+    The telemetry bundle receives [dsig_signer_signatures_total] /
+    [dsig_signer_sync_refills_total] / [dsig_signer_batches_total]
+    counters, the announcement-reliability counters
+    [dsig_signer_reannounces_total] / [dsig_signer_acks_total]
+    / [dsig_signer_batch_requests_total] /
+    [dsig_signer_announce_giveups_total] /
+    [dsig_reannounce_redundant_total] and the
+    [dsig_signer_unacked_announcements] gauge, the pacing gauges
+    [dsig_rtt_us] / [dsig_rto_us] (latest observation, plus
+    per-destination [.._dest_<id>] series), [dsig_signer_sign_us] and
+    [dsig_signer_refill_us] latency histograms, the process-wide
+    [dsig_signer_queue_depth] gauge (prepared keys across all groups and
+    signers sharing the handle), and — when the tracer is enabled —
+    [sign_fast] / [sign_sync_refill] / [batch_gen] / [eddsa_sign] /
+    [reannounce] spans tagged with the signer id. *)
+
+val create_legacy :
+  Config.t ->
+  id:int ->
+  eddsa:Dsig_ed25519.Eddsa.secret_key ->
+  rng:Dsig_util.Rng.t ->
+  ?send:(dest:int -> Batch.announcement -> unit) ->
+  ?groups:int list list ->
   ?telemetry:Dsig_telemetry.Telemetry.t ->
   ?retry:Dsig_util.Retry.policy ->
   ?retain:int ->
   verifiers:int list ->
   unit ->
   t
-(** [verifiers] is the set of all known processes (the default group).
-    [groups] adds application-specific verifier groups (Alg. 1 line 2).
-    [send] delivers background announcements; it defaults to a no-op
-    (useful when announcements are collected via {!drain_outbox}).
-
-    [retry] (default {!Dsig_util.Retry.default}) paces re-announcements
-    of unacknowledged batches ({!reannounce_step}); [retain] (default
-    64) bounds how many recent batches are kept for re-announcement and
-    pull-request repair.
-
-    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
-    [dsig_signer_signatures_total] / [dsig_signer_sync_refills_total] /
-    [dsig_signer_batches_total] counters, the announcement-reliability
-    counters [dsig_signer_reannounces_total] / [dsig_signer_acks_total]
-    / [dsig_signer_batch_requests_total] /
-    [dsig_signer_announce_giveups_total] and the
-    [dsig_signer_unacked_announcements] gauge, [dsig_signer_sign_us] and
-    [dsig_signer_refill_us] latency histograms, the process-wide
-    [dsig_signer_queue_depth] gauge (prepared keys across all groups and
-    signers sharing the handle), and — when the tracer is enabled —
-    [sign_fast] / [sign_sync_refill] / [batch_gen] / [eddsa_sign] /
-    [reannounce] spans tagged with the signer id. *)
+[@@ocaml.deprecated "use Signer.create with ?options (Options.t)"]
+(** Pre-Options constructor, kept one release: builds an {!Options.t}
+    from the scattered arguments and calls {!create}. An explicit
+    [retry] selects fixed pacing, as before. *)
 
 val id : t -> int
 val config : t -> Config.t
@@ -96,32 +117,53 @@ val drain_outbox : t -> (int * Batch.announcement) list
 (** Announcements queued when no [send] callback was given, as
     [(destination, announcement)] pairs, oldest first. *)
 
-(** {1 Announcement reliability (ACK / re-announce / pull repair)}
+(** {1 Announcement control plane}
 
-    Announcements are fire-and-forget at the transport level; these
-    entry points close the loop. Feed inbound {!Batch.control} messages
-    to {!handle_control} (or the typed variants) and drive
-    {!reannounce_step} from the background plane alongside
-    {!background_step}. *)
+    The signer implements {!Control_plane.S}: announcements are
+    fire-and-forget at the transport level, and these three entry points
+    close the loop. Feed inbound control messages through
+    {!Control_plane.deliver} (or the typed entry points below) and drive
+    {!step} from the background plane alongside {!background_step} —
+    both return what to send rather than sending, so any transport can
+    drive a signer. *)
+
+val deliver_ack : t -> Batch.ack -> unit
+(** Record a verifier's acknowledgement of a batch announcement. ACKs
+    for other signers, unknown batches, or already-acknowledged
+    destinations are ignored (idempotent). Feeds the destination's RTT
+    estimator and the pacing telemetry ([dsig_rtt_us] / [dsig_rto_us] /
+    [dsig_reannounce_redundant_total]). *)
+
+val deliver_request : t -> Batch.request -> Batch.announcement option
+(** The retained announcement to re-send to the requesting verifier
+    (pull repair), or [None] if the batch is no longer retained or the
+    request names another signer. The caller sends the reply. *)
+
+val step : t -> now:float -> (int * Batch.announcement) list
+(** Re-announcements due at [now] (in the telemetry clock's time base),
+    as [(destination, announcement)] pairs the caller must send.
+    Advances backoff/RTO timers, counts each pair in
+    [dsig_signer_reannounces_total], and abandons destinations that
+    exhaust the budget ([dsig_signer_announce_giveups_total]). Under
+    adaptive pacing the list is bounded by the token bucket. *)
+
+(** {2 Deprecated pre-[Control_plane] entry points} *)
 
 val handle_ack : t -> Batch.ack -> unit
-(** Record a verifier's acknowledgement of a batch announcement.
-    ACKs for other signers, unknown batches, or already-acknowledged
-    destinations are ignored. *)
+[@@ocaml.deprecated "use Signer.deliver_ack"]
 
 val handle_request : t -> Batch.request -> bool
-(** Re-send the requested batch announcement to the requesting verifier
-    (pull repair). [false] if the batch is not retained (too old) or the
-    request names another signer. *)
+[@@ocaml.deprecated "use Signer.deliver_request (caller sends the reply)"]
+(** Like {!deliver_request} but sends through the [send] callback;
+    [true] if a reply was sent. *)
 
 val handle_control : t -> Batch.control -> unit
-(** Dispatch to {!handle_ack} / {!handle_request}. *)
+[@@ocaml.deprecated "use Control_plane.deliver"]
 
 val reannounce_step : t -> int
-(** Re-send every announcement whose destination has not acknowledged it
-    and whose backoff has expired; returns the number of re-sends (0
-    when nothing is due). Destinations that exhaust the retry budget are
-    abandoned and counted in [dsig_signer_announce_giveups_total]. *)
+[@@ocaml.deprecated "use Signer.step ~now (caller sends the pairs)"]
+(** Like {!step} at the telemetry clock's current time, but sends
+    through the [send] callback; returns the number of re-sends. *)
 
 val unacked_announcements : t -> int
 (** Outstanding (batch, destination) pairs still awaiting an ACK. *)

@@ -5,7 +5,7 @@ type party = { signer : Signer.t; verifier : Verifier.t }
 
 type t = { cfg : Config.t; parties : party array; auto_background : bool; pki : Pki.t }
 
-let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) cfg ~n () =
+let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) ?options cfg ~n () =
   let pki = Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
@@ -19,12 +19,14 @@ let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) cfg ~n
   let all = List.init n Fun.id in
   (* in-process transport is lossless, so the reliability loop closes
      immediately: ACKs and pull requests route straight back to the
-     target signer *)
+     target signer through its control plane, and repair replies go
+     straight back out *)
   let control c =
     let parties = !parties_ref in
     match Batch.control_target c with
     | Some target when target >= 0 && target < Array.length parties ->
-        Signer.handle_control parties.(target).signer c
+        Control_plane.deliver (Control_plane.of_signer parties.(target).signer) c
+        |> List.iter (fun (dest, ann) -> send ~dest ann)
     | Some _ | None -> ()
   in
   let parties =
@@ -33,8 +35,8 @@ let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) cfg ~n
         {
           signer =
             Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send ~groups:(groups id)
-              ~verifiers:all ();
-          verifier = Verifier.create cfg ~id ~pki ~control ();
+              ?options ~verifiers:all ();
+          verifier = Verifier.create cfg ~id ~pki ~control ?options ();
         })
   in
   parties_ref := parties;

@@ -10,6 +10,7 @@ val create :
   ?groups:(int -> int list list) ->
   ?seed:int64 ->
   ?auto_background:bool ->
+  ?options:Options.t ->
   Config.t ->
   n:int ->
   unit ->
@@ -17,10 +18,12 @@ val create :
 (** [create cfg ~n ()] builds [n] parties (ids [0 .. n-1]), each with an
     EdDSA key pair registered in a shared PKI, a signer whose default
     group is everyone, and a verifier. [groups i] lists extra verifier
-    groups for party [i]'s signer. With [auto_background] (default
-    [true]) every signer's background plane is pumped to quiescence at
-    creation and after each refill, announcements flowing directly into
-    the other parties' verifier caches. *)
+    groups for party [i]'s signer; [options] (default {!Options.default})
+    configures every signer and verifier. With [auto_background]
+    (default [true]) every signer's background plane is pumped to
+    quiescence at creation and after each refill, announcements flowing
+    directly into the other parties' verifier caches. Control frames
+    route through {!Control_plane.deliver}. *)
 
 val config : t -> Config.t
 val n : t -> int

@@ -71,8 +71,9 @@ type t = {
 
 let eddsa_cache_capacity = 4096
 
-let create cfg ~id ~pki ?(telemetry = Tel.default) ?control
-    ?(request_policy = Retry.policy ~base_us:500.0 ~max_attempts:8 ()) () =
+let create cfg ~id ~pki ?control ?(options = Options.default) () =
+  let telemetry = options.Options.telemetry in
+  let request_policy = options.Options.request_policy in
   {
     cfg;
     id;
@@ -116,6 +117,15 @@ let create cfg ~id ~pki ?(telemetry = Tel.default) ?control
         g_cached = Tel.gauge telemetry "dsig_verifier_cached_batches";
       };
   }
+
+let create_legacy cfg ~id ~pki ?(telemetry = Tel.default) ?control ?request_policy () =
+  let options = Options.default |> Options.with_telemetry telemetry in
+  let options =
+    match request_policy with
+    | Some p -> Options.with_request_policy p options
+    | None -> options
+  in
+  create cfg ~id ~pki ?control ~options ()
 
 let stats t = t.stats
 

@@ -17,20 +17,21 @@ val create :
   Config.t ->
   id:int ->
   pki:Pki.t ->
-  ?telemetry:Dsig_telemetry.Telemetry.t ->
   ?control:(Batch.control -> unit) ->
-  ?request_policy:Dsig_util.Retry.policy ->
+  ?options:Options.t ->
   unit ->
   t
 (** [control] is the verifier's background-plane uplink: {!deliver}
     replies with a {!Batch.Ack} on every accepted announcement, and the
     foreground {!verify} emits a {!Batch.Request} when it slow-paths on
     a batch it never received (pull repair), paced per (signer, batch)
-    by [request_policy] (default: 500 µs base, exponential, 8 attempts).
-    Without [control] the verifier behaves exactly as before —
-    self-standing, fire-and-forget.
+    by the [options] record's [request_policy] (default: 500 µs base,
+    exponential, 8 attempts). Without [control] the verifier behaves
+    exactly as before — self-standing, fire-and-forget.
 
-    [telemetry] (default {!Dsig_telemetry.Telemetry.default}) receives
+    [options] (default {!Options.default}) supplies the telemetry bundle
+    and the pull-repair pacing policy; the other fields are signer-side
+    and ignored here. The telemetry bundle receives
     [dsig_verifier_fast_total] / [dsig_verifier_slow_total] /
     [dsig_verifier_rejected_total] / [dsig_verifier_eddsa_cache_hits_total] /
     [dsig_verifier_announcements_total] counters, the slow-path
@@ -43,6 +44,19 @@ val create :
     histograms, the [dsig_verifier_cached_batches] gauge, and — when the
     tracer is enabled — [verify_fast] / [verify_slow] /
     [announce_delivery] spans tagged with the verifier id. *)
+
+val create_legacy :
+  Config.t ->
+  id:int ->
+  pki:Pki.t ->
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?control:(Batch.control -> unit) ->
+  ?request_policy:Dsig_util.Retry.policy ->
+  unit ->
+  t
+[@@ocaml.deprecated "use Verifier.create with ?options (Options.t)"]
+(** Pre-Options constructor, kept one release: builds an {!Options.t}
+    from the scattered arguments and calls {!create}. *)
 
 val deliver : ?sent_us:float -> t -> Batch.announcement -> bool
 (** Process a background announcement; [false] if the signer is unknown

@@ -217,4 +217,8 @@ let plane_snapshot t plane =
 
 let percentile t plane p = Metric.Histogram.percentile (plane_snapshot t plane) p
 
-let within ~budget_us t = t.completed > 0 && percentile t End_to_end 99.0 <= budget_us
+let plane_within t plane ~budget_us =
+  let snap = plane_snapshot t plane in
+  snap.Metric.Histogram.n > 0 && Metric.Histogram.percentile snap 99.0 <= budget_us
+
+let within ~budget_us t = t.completed > 0 && plane_within t End_to_end ~budget_us

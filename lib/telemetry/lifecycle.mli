@@ -92,6 +92,13 @@ val percentile : t -> plane -> float -> float
 
 val plane_snapshot : t -> plane -> Metric.Histogram.snapshot
 
+val plane_within : t -> plane -> budget_us:float -> bool
+(** Per-plane SLO verdict: at least one observation in the plane's
+    histogram and p99 within [budget_us]. A plane with no observations
+    fails — "no data" is not "healthy" (the [/health] endpoint relies on
+    this). *)
+
 val within : budget_us:float -> t -> bool
 (** SLO check: at least one completed span and p99 end-to-end latency
-    within [budget_us]. *)
+    within [budget_us]. Equivalent to {!plane_within} on [End_to_end]
+    plus the completed-span guard. *)

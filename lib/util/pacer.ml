@@ -1,0 +1,30 @@
+type t = {
+  rate_per_us : float;
+  burst : float;
+  mutable tokens : float;
+  mutable updated_us : float;
+}
+
+let create ?(burst = 8) ~rate_per_sec ~now () =
+  if rate_per_sec <= 0.0 then invalid_arg "Pacer.create: rate_per_sec must be positive";
+  if burst <= 0 then invalid_arg "Pacer.create: burst must be positive";
+  let burst = float_of_int burst in
+  { rate_per_us = rate_per_sec /. 1e6; burst; tokens = burst; updated_us = now }
+
+let refill t ~now =
+  if now > t.updated_us then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.updated_us) *. t.rate_per_us));
+    t.updated_us <- now
+  end
+
+let take t ~now =
+  refill t ~now;
+  if t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    true
+  end
+  else false
+
+let available t ~now =
+  refill t ~now;
+  int_of_float t.tokens

@@ -1,0 +1,27 @@
+(** A token-bucket rate limiter, clock-agnostic like {!Retry} and
+    {!Rtt}: the caller supplies "now" in its own microsecond time base
+    and asks for permission one send at a time.
+
+    The announcement plane's adaptive pacing uses one bucket per signer
+    to spread re-announcement bursts across destinations instead of
+    blasting every expired timer in one poll — a re-announcement that
+    finds the bucket empty simply stays due and is retried at the next
+    poll. *)
+
+type t
+(** Mutable; not thread-safe (callers serialize — {!Dsig.Runtime} holds
+    its lock across the announcement bookkeeping). *)
+
+val create : ?burst:int -> rate_per_sec:float -> now:float -> unit -> t
+(** A bucket holding at most [burst] tokens (default 8), refilled
+    continuously at [rate_per_sec], starting full at time [now].
+    @raise Invalid_argument if [rate_per_sec] or [burst] is not
+    positive. *)
+
+val take : t -> now:float -> bool
+(** Refill for the time elapsed since the last call, then consume one
+    token if available. [false] means "not now" — the caller should
+    retry later, not drop the work. *)
+
+val available : t -> now:float -> int
+(** Whole tokens currently available (after refilling to [now]). *)

@@ -292,11 +292,19 @@ let test_announce_tracker () =
   in
   Announce.track tr (ann 1) ~dests:[ 1; 2 ];
   Alcotest.(check int) "two pending" 2 (Announce.pending tr);
-  Alcotest.(check bool) "ack clears" true (Announce.ack tr ~verifier:1 ~batch_id:1L);
-  Alcotest.(check bool) "duplicate ack ignored" false (Announce.ack tr ~verifier:1 ~batch_id:1L);
+  clock := 40.0;
+  let o = Announce.ack tr ~verifier:1 ~batch_id:1L in
+  Alcotest.(check bool) "ack clears" true o.Announce.settled;
+  Alcotest.(check bool) "never-resent ack is not redundant" false o.Announce.redundant;
+  Alcotest.(check (option (float 0.001))) "clean RTT sample" (Some 40.0)
+    o.Announce.rtt_sample_us;
+  Alcotest.(check bool) "duplicate ack ignored" false
+    (Announce.ack tr ~verifier:1 ~batch_id:1L).Announce.settled;
   Alcotest.(check bool) "unknown batch ack ignored" false
-    (Announce.ack tr ~verifier:2 ~batch_id:9L);
+    (Announce.ack tr ~verifier:2 ~batch_id:9L).Announce.settled;
   Alcotest.(check int) "one pending" 1 (Announce.pending tr);
+  Alcotest.(check (option (float 0.001))) "srtt learned" (Some 40.0)
+    (Announce.srtt_us tr ~dest:1);
   Alcotest.(check int) "nothing due before backoff" 0 (List.length (Announce.due tr));
   clock := 150.0;
   (match Announce.due tr with
@@ -332,8 +340,9 @@ let test_system_ack_loop () =
   done;
   Alcotest.(check bool) "acks flowed" true
     ((Verifier.stats (System.verifier sys 1)).Verifier.acks_sent > 0);
-  Alcotest.(check int) "nothing to re-announce" 0
-    (Signer.reannounce_step (System.signer sys 0))
+  let cp = Control_plane.of_signer (System.signer sys 0) in
+  let now = Dsig_telemetry.Telemetry.(now default) in
+  Alcotest.(check int) "nothing to re-announce" 0 (List.length (Control_plane.step cp ~now))
 
 let suites =
   [

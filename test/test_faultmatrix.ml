@@ -23,7 +23,10 @@ let test_fault_matrix () =
   let retry =
     Dsig_util.Retry.policy ~base_us:2_000.0 ~max_delay_us:8_000.0 ~max_attempts:100 ()
   in
-  let d = Deploy.create sim cfg ~n:3 ~telemetry ~retry ~reannounce_poll_us:100.0 () in
+  let options =
+    Options.default |> Options.with_telemetry telemetry |> Options.with_retry retry
+  in
+  let d = Deploy.create sim cfg ~n:3 ~options ~reannounce_poll_us:100.0 () in
   Net.set_faults (Deploy.net d) ~drop:0.2 ~reorder:0.2 ~corrupt:0.05 ~reorder_delay_us:300.0
     ~mutate:(Deploy.corrupting_mutate ~seed:11L) ~seed:42L ();
   Sim.run ~until:1_000.0 sim;
@@ -66,7 +69,7 @@ let test_quiescent_no_reannounce () =
   let sim = Sim.create () in
   let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
   let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
-  let d = Deploy.create sim cfg ~n:3 ~telemetry () in
+  let d = Deploy.create sim cfg ~n:3 ~options:(Options.default |> Options.with_telemetry telemetry) () in
   Sim.run ~until:20_000.0 sim;
   for i = 0 to 2 do
     let sg = Signer.stats (Deploy.signer d i) in
@@ -79,6 +82,70 @@ let test_quiescent_no_reannounce () =
   Alcotest.(check bool) "acks were sent" true (st.Verifier.acks_sent > 0);
   Alcotest.(check int) "no pull requests needed" 0 st.Verifier.requests_sent
 
+(* ISSUE 4 acceptance: on the same seeded fault schedule (drop=0.2,
+   reorder=0.2) over a high-latency link, every signature still verifies
+   with no false accepts under BOTH pacing modes, and the adaptive pacer
+   re-announces strictly less than the fixed ladder — the fixed policy's
+   1 ms backoff base fires before the ~1.6 ms ACK round trip can
+   possibly complete, so it resends every batch redundantly, while the
+   learned per-destination RTO stays above the measured RTT. *)
+let counter_value snap name =
+  match Dsig_telemetry.Registry.Snapshot.find snap name with
+  | Some (Dsig_telemetry.Registry.Snapshot.Counter n) -> n
+  | _ -> 0
+
+let run_paced pacing_options =
+  let sim = Sim.create () in
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let options = pacing_options (Options.default |> Options.with_telemetry telemetry) in
+  (* 800 µs one-way latency: an ACK cannot return before ~1.6 ms *)
+  let d = Deploy.create sim cfg ~n:3 ~latency_us:800.0 ~reannounce_poll_us:100.0 ~options () in
+  Net.set_faults (Deploy.net d) ~drop:0.2 ~reorder:0.2 ~reorder_delay_us:300.0 ~seed:42L ();
+  Sim.run ~until:10_000.0 sim;
+  let n = 60 in
+  let ok = ref 0 in
+  for i = 1 to n do
+    let msg = Printf.sprintf "paced-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    if Deploy.verify d ~verifier:1 ~msg s then incr ok;
+    if i mod 15 = 0 then
+      Alcotest.(check bool) "no false accept" false
+        (Deploy.verify d ~verifier:1 ~msg:(msg ^ "!") s);
+    Sim.run ~until:(Sim.now sim +. 300.0) sim
+  done;
+  (* settle the re-announce tail on the same schedule for both modes *)
+  Sim.run ~until:(Sim.now sim +. 60_000.0) sim;
+  Alcotest.(check int) "every signature verifies" n !ok;
+  let reannounces =
+    List.fold_left
+      (fun acc i -> acc + (Signer.stats (Deploy.signer d i)).Signer.reannounces)
+      0 [ 0; 1; 2 ]
+  in
+  let snap = Tel.snapshot telemetry in
+  ( reannounces,
+    counter_value snap "dsig_signer_reannounces_total",
+    counter_value snap "dsig_reannounce_redundant_total" )
+
+let test_adaptive_beats_fixed () =
+  let fixed_re, fixed_ctr, fixed_red = run_paced (fun o -> o) in
+  let adaptive_re, adaptive_ctr, adaptive_red =
+    run_paced (Options.with_pacing (Options.adaptive ()))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixed ladder re-announces into the RTT (got %d)" fixed_re)
+    true (fixed_re > 0);
+  Alcotest.(check int) "stats and counter agree (fixed)" fixed_re fixed_ctr;
+  Alcotest.(check int) "stats and counter agree (adaptive)" adaptive_re adaptive_ctr;
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive re-announces strictly less (%d < %d)" adaptive_re fixed_re)
+    true
+    (adaptive_re < fixed_re);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive redundant resends strictly less (%d < %d)" adaptive_red fixed_red)
+    true
+    (adaptive_red < fixed_red)
+
 let suites =
   [
     ( "faultmatrix",
@@ -86,5 +153,7 @@ let suites =
         Alcotest.test_case "drop+reorder+corrupt then heal" `Slow test_fault_matrix;
         Alcotest.test_case "quiescent network needs no repair" `Quick
           test_quiescent_no_reannounce;
+        Alcotest.test_case "adaptive pacing beats fixed ladder" `Slow
+          test_adaptive_beats_fixed;
       ] );
   ]

@@ -21,7 +21,10 @@ let test_two_node_lifecycle_under_drop () =
   let retry =
     Dsig_util.Retry.policy ~base_us:2_000.0 ~max_delay_us:8_000.0 ~max_attempts:100 ()
   in
-  let d = Deploy.create sim cfg ~n:2 ~telemetry ~retry ~reannounce_poll_us:100.0 () in
+  let options =
+    Options.default |> Options.with_telemetry telemetry |> Options.with_retry retry
+  in
+  let d = Deploy.create sim cfg ~n:2 ~options ~reannounce_poll_us:100.0 () in
   (* warm up the background planes before injecting faults *)
   Sim.run ~until:2_000.0 sim;
   Net.set_faults (Deploy.net d) ~drop:0.1 ~seed:97L ();
@@ -92,7 +95,9 @@ let test_lifecycle_disabled_records_nothing () =
   let sim = Sim.create () in
   let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
   let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
-  let d = Deploy.create sim cfg ~n:2 ~telemetry () in
+  let d =
+    Deploy.create sim cfg ~n:2 ~options:(Options.default |> Options.with_telemetry telemetry) ()
+  in
   Sim.run ~until:2_000.0 sim;
   let msg = "quiet" in
   let s = Deploy.sign d ~signer:0 ~hint:[ 1 ] msg in

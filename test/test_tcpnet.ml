@@ -155,7 +155,12 @@ let test_reannounce_ack_loop () =
   let tel = Dsig_telemetry.Telemetry.create () in
   let rng = Dsig_util.Rng.create 31L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
-  let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:99L ~telemetry:tel () in
+  let rt =
+    Runtime.create cfg ~id:0 ~eddsa:sk ~seed:99L
+      ~options:Dsig.Options.(default |> with_telemetry tel)
+      ()
+  in
+  let cp = Dsig.Control_plane.of_runtime rt in
   Fun.protect
     ~finally:(fun () -> Runtime.shutdown rt)
     (fun () ->
@@ -171,7 +176,7 @@ let test_reannounce_ack_loop () =
       (* the default backoff base is 500 us of wall time; after a real
          delay the destination must come due *)
       Thread.delay 0.01;
-      let due = Runtime.due_reannouncements rt in
+      let due = Dsig.Control_plane.step cp ~now:(Dsig_telemetry.Telemetry.now tel) in
       Alcotest.(check bool) "due for re-announce" true (due <> []);
       let snap = Dsig_telemetry.Telemetry.snapshot tel in
       Alcotest.(check bool) "reannounce counter moved" true
@@ -182,9 +187,7 @@ let test_reannounce_ack_loop () =
         Tcp.listen ~port:0
           ~on_message:(fun m ->
             match m with
-            | Tcp.Control (Batch.Ack a) -> Runtime.handle_ack rt a
-            | Tcp.Control (Batch.Acks l) -> List.iter (Runtime.handle_ack rt) l
-            | Tcp.Control (Batch.Request r) -> ignore (Runtime.handle_request rt r)
+            | Tcp.Control c -> ignore (Dsig.Control_plane.deliver cp c)
             | Tcp.Announcement _ | Tcp.Signed _ | Tcp.Traced _ -> ())
           ()
       in
@@ -198,7 +201,8 @@ let test_reannounce_ack_loop () =
               let pki = Pki.create () in
               Pki.register pki ~id:0 pk;
               let verifier =
-                Verifier.create cfg ~id:1 ~pki ~telemetry:tel
+                Verifier.create cfg ~id:1 ~pki
+                  ~options:Dsig.Options.(default |> with_telemetry tel)
                   ~control:(fun c -> Tcp.send ctrl_conn (Tcp.Control c))
                   ()
               in
@@ -317,6 +321,52 @@ let test_scrape_endpoint () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "unknown path served")
 
+(* Satellite: the /health route turns per-plane lifecycle SLO verdicts
+   into an HTTP status — 200 with a JSON verdict body when every plane
+   is within its p99 budget, 503 when any plane blows it. *)
+let test_scrape_health () =
+  let module Scrape = Dsig_tcpnet.Scrape in
+  let module Lifecycle = Dsig_telemetry.Lifecycle in
+  let tel = Dsig_telemetry.Telemetry.create () in
+  let lc = tel.Dsig_telemetry.Telemetry.lifecycle in
+  Lifecycle.enable lc;
+  (* one full span fed by hand: every plane gets a few-hundred-µs
+     observation, so verdicts depend only on the budgets *)
+  Lifecycle.sign lc ~trace_id:1L ~origin:0 ~birth_us:0.0 ~dur_us:100.0;
+  Lifecycle.admit lc ~signer:0 ~batch_id:1L ~latency_us:200.0;
+  Lifecycle.verify lc ~trace_id:1L ~at_us:500.0 ~dur_us:50.0 ();
+  (* default budgets (≥ 10 ms per plane) comfortably fit: 200 *)
+  let healthy = Scrape.start ~telemetry:tel ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Scrape.stop healthy)
+    (fun () ->
+      match Scrape.fetch ~port:(Scrape.port healthy) ~path:"/health" with
+      | Ok body ->
+          Alcotest.(check bool) "healthy status" true (contains body "\"status\":\"ok\"");
+          Alcotest.(check bool) "per-plane verdicts" true (contains body "\"plane\":\"sign\"")
+      | Error e -> Alcotest.fail ("/health (healthy): " ^ e));
+  (* a 1 µs sign budget cannot hold against the 100 µs observation: 503,
+     surfaced by fetch as the non-200 status line *)
+  let strict =
+    Scrape.start ~telemetry:tel
+      ~health_budgets_us:[ (Lifecycle.Sign, 1.0) ]
+      ~port:0 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Scrape.stop strict)
+    (fun () ->
+      match Scrape.fetch ~port:(Scrape.port strict) ~path:"/health" with
+      | Ok body -> Alcotest.failf "blown budget served 200: %s" body
+      | Error e -> Alcotest.(check bool) "503 status line" true (contains e "503"));
+  (* a bundle that never saw traffic is failing, not silently healthy *)
+  let empty = Scrape.start ~telemetry:(Dsig_telemetry.Telemetry.create ()) ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Scrape.stop empty)
+    (fun () ->
+      match Scrape.fetch ~port:(Scrape.port empty) ~path:"/health" with
+      | Ok body -> Alcotest.failf "no data served 200: %s" body
+      | Error e -> Alcotest.(check bool) "no data is 503" true (contains e "503"))
+
 let codec_fuzz =
   let open QCheck in
   [
@@ -343,6 +393,7 @@ let suites =
         Alcotest.test_case "socket roundtrip" `Quick test_tcp_roundtrip;
         Alcotest.test_case "reannounce/ack loop" `Quick test_reannounce_ack_loop;
         Alcotest.test_case "scrape endpoint" `Quick test_scrape_endpoint;
+        Alcotest.test_case "health route verdicts" `Quick test_scrape_health;
       ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false) codec_fuzz );
   ]

@@ -104,6 +104,120 @@ let test_retry_state () =
       | None -> ()
       | Some _ -> Alcotest.fail "deadline not enforced"))
 
+(* The adaptive re-announce pacer's building blocks: the RFC-6298
+   estimator and the token bucket. *)
+let test_rtt_estimator () =
+  let p = Rtt.default in
+  let t = Rtt.init p in
+  Alcotest.(check (option (float 1e-9))) "no srtt before samples" None (Rtt.srtt_us t);
+  Alcotest.(check (float 1e-9)) "initial rto" 5000.0 (Rtt.rto_us p t);
+  let t = Rtt.sample p t ~rtt_us:1000.0 in
+  Alcotest.(check (option (float 1e-9))) "first sample is srtt" (Some 1000.0) (Rtt.srtt_us t);
+  (* first sample: rttvar = rtt/2, rto = srtt + 4*rttvar = 3000 *)
+  Alcotest.(check (float 1e-9)) "first rto" 3000.0 (Rtt.rto_us p t);
+  (* steady identical samples collapse the variance: rto clamps down to
+     srtt + max(G, 4*rttvar) -> srtt + G as rttvar -> 0 *)
+  let steady = ref t in
+  for _ = 1 to 200 do
+    steady := Rtt.sample p !steady ~rtt_us:1000.0
+  done;
+  Alcotest.(check bool) "variance collapses" true (Rtt.rto_us p !steady < 1100.0);
+  Alcotest.(check bool) "rto floor holds" true (Rtt.rto_us p !steady >= 200.0);
+  (* timeouts back off multiplicatively and clamp at max_rto *)
+  let b1 = Rtt.on_timeout p t in
+  Alcotest.(check (float 1e-9)) "one backoff doubles" 6000.0 (Rtt.rto_us p b1);
+  let b = ref b1 in
+  for _ = 1 to 20 do
+    b := Rtt.on_timeout p !b
+  done;
+  Alcotest.(check (float 1e-9)) "backoff clamps at max" 64000.0 (Rtt.rto_us p !b);
+  Alcotest.(check int) "timeouts counted" 21 (Rtt.timeouts !b);
+  (* a clean sample resets the backoff *)
+  let healed = Rtt.sample p !b ~rtt_us:1000.0 in
+  Alcotest.(check int) "sample resets timeouts" 0 (Rtt.timeouts healed);
+  Alcotest.(check bool) "rto recovers" true (Rtt.rto_us p healed < 6000.0);
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Rtt.params: alpha must be in (0, 1]")
+    (fun () -> ignore (Rtt.params ~alpha:0.0 ()))
+
+let test_pacer () =
+  let b = Pacer.create ~burst:3 ~rate_per_sec:1000.0 ~now:0.0 () in
+  (* starts full: the burst drains, then the bucket refuses *)
+  Alcotest.(check int) "starts full" 3 (Pacer.available b ~now:0.0);
+  Alcotest.(check bool) "take 1" true (Pacer.take b ~now:0.0);
+  Alcotest.(check bool) "take 2" true (Pacer.take b ~now:0.0);
+  Alcotest.(check bool) "take 3" true (Pacer.take b ~now:0.0);
+  Alcotest.(check bool) "empty refuses" false (Pacer.take b ~now:0.0);
+  (* 1000/s = one token per 1000 µs of caller time *)
+  Alcotest.(check bool) "still empty at +500us" false (Pacer.take b ~now:500.0);
+  Alcotest.(check bool) "refilled at +1ms" true (Pacer.take b ~now:1000.0);
+  (* refill never overshoots the burst cap *)
+  Alcotest.(check int) "capped at burst" 3 (Pacer.available b ~now:1e9)
+
+let rtt_qcheck =
+  let open QCheck in
+  let samples_gen = list_of_size Gen.(1 -- 40) (float_range 1.0 50_000.0) in
+  let fold_samples p rtts = List.fold_left (fun t r -> Rtt.sample p t ~rtt_us:r) (Rtt.init p) rtts in
+  [
+    (* SRTT is a convex combination of the observations: it can never
+       leave the [min, max] envelope of what was actually measured *)
+    Test.make ~name:"srtt bounded by observed samples" ~count:300 samples_gen (fun rtts ->
+        let p = Rtt.default in
+        match Rtt.srtt_us (fold_samples p rtts) with
+        | None -> false
+        | Some srtt ->
+            let lo = List.fold_left Float.min infinity rtts in
+            let hi = List.fold_left Float.max neg_infinity rtts in
+            srtt >= lo -. 1e-6 && srtt <= hi +. 1e-6);
+    (* RTO stays inside its clamp band whatever the sample stream *)
+    Test.make ~name:"rto always within clamp band" ~count:300 samples_gen (fun rtts ->
+        let p = Rtt.default in
+        let rto = Rtt.rto_us p (fold_samples p rtts) in
+        rto >= 200.0 -. 1e-6 && rto <= 64_000.0 +. 1e-6);
+    (* a wider spread around the same mean can only raise the RTO: the
+       variance term is monotone in the deviation magnitude *)
+    Test.make ~name:"rto monotone in deviation" ~count:300
+      (pair (float_range 1_000.0 20_000.0) (pair (float_range 0.0 500.0) (float_range 0.0 500.0)))
+      (fun (mean, (d_small, d_big)) ->
+        let lo = Float.min d_small d_big and hi = Float.max d_small d_big in
+        let p = Rtt.default in
+        let alternate d =
+          let t = ref (Rtt.init p) in
+          for i = 1 to 20 do
+            let r = if i land 1 = 0 then mean +. d else mean -. d in
+            t := Rtt.sample p !t ~rtt_us:r
+          done;
+          Rtt.rto_us p !t
+        in
+        (* 0.5 µs slack: around the granularity floor the srtt drift can
+           shade the comparison by a hair while the variance term is
+           pinned at G for both spreads *)
+        alternate hi >= alternate lo -. 0.5);
+    (* Karn-style recovery: after a clean sample the RTO is independent
+       of how many timeouts preceded it — the backoff is fully reset *)
+    Test.make ~name:"clean sample erases backoff history" ~count:300
+      (pair (int_range 0 12) (float_range 1.0 50_000.0))
+      (fun (timeouts, rtt) ->
+        let p = Rtt.default in
+        let t0 = ref (Rtt.init p) in
+        for _ = 1 to timeouts do
+          t0 := Rtt.on_timeout p !t0
+        done;
+        let after_backoff = Rtt.sample p !t0 ~rtt_us:rtt in
+        let never_backed = Rtt.sample p (Rtt.init p) ~rtt_us:rtt in
+        Float.abs (Rtt.rto_us p after_backoff -. Rtt.rto_us p never_backed) < 1e-6);
+    (* the bucket never mints tokens beyond the burst cap, and a
+       caller asking at one instant gets at most [burst] grants *)
+    Test.make ~name:"pacer grants at most burst per instant" ~count:300
+      (pair (int_range 1 16) (float_range 0.0 1e6))
+      (fun (burst, now) ->
+        let b = Pacer.create ~burst ~rate_per_sec:100.0 ~now:0.0 () in
+        let granted = ref 0 in
+        for _ = 1 to burst + 8 do
+          if Pacer.take b ~now then incr granted
+        done;
+        !granted <= burst);
+  ]
+
 let suites =
   [
     ( "util",
@@ -111,6 +225,8 @@ let suites =
         Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
         Alcotest.test_case "retry delays" `Quick test_retry_delays;
         Alcotest.test_case "retry state" `Quick test_retry_state;
+        Alcotest.test_case "rtt estimator" `Quick test_rtt_estimator;
+        Alcotest.test_case "pacer token bucket" `Quick test_pacer;
         Alcotest.test_case "xor" `Quick test_xor;
         Alcotest.test_case "equal_ct" `Quick test_equal_ct;
         Alcotest.test_case "endian" `Quick test_endian;
@@ -118,5 +234,5 @@ let suites =
         Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
         Alcotest.test_case "rng bytes length" `Quick test_rng_bytes_len;
       ]
-      @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests );
+      @ List.map (QCheck_alcotest.to_alcotest ~long:false) (qcheck_tests @ rtt_qcheck) );
   ]
