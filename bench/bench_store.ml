@@ -1,0 +1,84 @@
+(* Signing overhead of the durable key-state store (DESIGN.md §10): the
+   same foreground signing loop run without a store and with a Keystate
+   journal at group-commit sizes 1 / 8 / 64. Group commit amortizes the
+   fsync — size 1 pays one per reservation, size 64 one per 64 — and the
+   commit size bounds what a crash burns, so the table is the
+   durability/latency trade-off the store exposes through
+   [Options.store ~group_commit]. *)
+
+open Dsig
+module Tel = Dsig_telemetry.Telemetry
+module Snapshot = Dsig_telemetry.Registry.Snapshot
+
+let counter snap name =
+  match Snapshot.find snap name with Some (Snapshot.Counter n) -> n | _ -> 0
+
+(* mkdtemp without unix: claim a unique temp name, swap file for dir *)
+let fresh_dir () =
+  let f = Filename.temp_file "dsig-bench-store" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+type outcome = { us_per_op : float; appends : int; fsyncs : int }
+
+let run_mode ~ops mk_options =
+  let tel = Tel.default in
+  let before = Tel.snapshot tel in
+  let cfg = Config.make ~batch_size:64 ~queue_threshold:128 (Config.wots ~d:4) in
+  let rng = Dsig_util.Rng.create 11L in
+  let sk, _ = Dsig_ed25519.Eddsa.generate rng in
+  let options = mk_options (Options.default |> Options.with_telemetry tel) in
+  let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~options ~verifiers:[ 1 ] () in
+  Signer.background_fill signer;
+  let t0 = Tel.now tel in
+  for i = 1 to ops do
+    if i land 31 = 0 then begin
+      Signer.background_fill signer;
+      ignore (Signer.drain_outbox signer)
+    end;
+    ignore (Signer.sign signer "12345678")
+  done;
+  let dt = Tel.now tel -. t0 in
+  Signer.close signer;
+  let snap = Tel.snapshot tel in
+  let delta name = counter snap name - counter before name in
+  {
+    us_per_op = dt /. float_of_int ops;
+    appends = delta "dsig_store_appends_total";
+    fsyncs = delta "dsig_store_fsyncs_total";
+  }
+
+let run () =
+  Harness.section "store: durable key-state signing overhead (WAL group commit)";
+  let ops = Harness.scaled 2000 in
+  Printf.printf "foreground signer, wots d=4 batch=64, %d signatures per mode\n" ops;
+  let memory = run_mode ~ops (fun o -> o) in
+  let stored g dir = run_mode ~ops (Options.with_store (Options.store ~group_commit:g dir)) in
+  let modes =
+    List.map
+      (fun g ->
+        let dir = fresh_dir () in
+        let o = Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> stored g dir) in
+        (Printf.sprintf "store g=%d" g, o))
+      [ 1; 8; 64 ]
+  in
+  let row (label, o) =
+    [
+      label;
+      Harness.us2 o.us_per_op;
+      (if o.us_per_op <= memory.us_per_op || memory.us_per_op <= 0.0 then "-"
+       else Printf.sprintf "+%.0f%%" (100.0 *. (o.us_per_op /. memory.us_per_op -. 1.0)));
+      string_of_int o.appends;
+      string_of_int o.fsyncs;
+    ]
+  in
+  Harness.print_table
+    ~header:[ "mode"; "sign us/op"; "overhead"; "wal appends"; "fsyncs" ]
+    (row ("in-memory", memory) :: List.map row modes)

@@ -38,13 +38,24 @@ let () =
   register "fluct" "uBFT fast/slow latency fluctuation under benign slowness (§6)" Bench_fluct.run;
   register "ablation" "ablations: batching, chain cache, bw reduction, EdDSA cache" Bench_ablation.run;
   register "pacing" "fixed vs adaptive re-announce pacing under faults" Bench_pacing.run;
-  (* declare the pacing series on the default bundle up front so every
-     experiment's telemetry snapshot carries the keys scrapers key on,
-     zero-valued until the pacing experiment populates them *)
+  register "store" "durable key-state store signing overhead (group commit)" Bench_store.run;
+  (* declare the pacing and store series on the default bundle up front
+     so every experiment's telemetry snapshot carries the keys scrapers
+     key on, zero-valued until the owning experiment populates them *)
   let tel = Dsig_telemetry.Telemetry.default in
   ignore (Dsig_telemetry.Telemetry.counter tel "dsig_reannounce_redundant_total");
   ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_rtt_us");
-  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_rto_us")
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_rto_us");
+  List.iter
+    (fun n -> ignore (Dsig_telemetry.Telemetry.counter tel n))
+    [
+      "dsig_store_appends_total"; "dsig_store_fsyncs_total"; "dsig_store_recoveries_total";
+      "dsig_store_burned_keys_total"; "dsig_store_torn_truncations_total";
+      "dsig_store_snapshots_total";
+    ];
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_store_wal_segments");
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_store_fsync_us");
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_store_group_commit_batch")
 
 let print_host () =
   Harness.section "Host configuration (stand-in for Table 3; see DESIGN.md)";

@@ -15,6 +15,9 @@ let required =
     (* adaptive-pacing series, declared at harness startup so they ride
        in every snapshot even before the pacing experiment runs *)
     "\"dsig_rtt_us\""; "\"dsig_rto_us\""; "\"dsig_reannounce_redundant_total\"";
+    (* durability-plane series (lib/store), declared the same way *)
+    "\"dsig_store_fsync_us\""; "\"dsig_store_appends_total\"";
+    "\"dsig_store_burned_keys_total\""; "\"dsig_store_recoveries_total\"";
   ]
 
 let () =

@@ -161,7 +161,10 @@ let log_sign key_file msg_spec log_file client d batch =
   let signer = Dsig.Signer.create cfg ~id:client ~eddsa:sk ~rng ~verifiers:[ client ] () in
   let op = load_msg msg_spec in
   let signature = Dsig.Signer.sign signer op in
-  Dsig_audit.Logfile.append_entry log_file ~client ~op ~signature;
+  let w = Dsig_audit.Logfile.open_writer log_file in
+  Fun.protect
+    ~finally:(fun () -> Dsig_audit.Logfile.close_writer w)
+    (fun () -> Dsig_audit.Logfile.append ~sync:true w ~client ~op ~signature);
   Printf.printf "appended signed entry (%d B op, %d B signature) to %s\n" (String.length op)
     (String.length signature) log_file;
   Printf.printf "audit with public key: %s\n" (BU.to_hex (Dsig_ed25519.Eddsa.public_key sk));
@@ -402,6 +405,113 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Print the analytical configuration comparison (paper Table 2).")
     Term.(const analyze $ const ())
 
+(* --- durable key-store commands --- *)
+
+module Keystate = Dsig_store.Keystate
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Key-store directory (a signer's $(b,Options.with_store) target).")
+
+let print_scan (s : Keystate.scan) =
+  (match s.Keystate.scan_snapshot with
+  | None -> print_endline "snapshot: none"
+  | Some snap ->
+      Printf.printf "snapshot: seq=%Ld next_batch_id=%Ld batches=%d fingerprint=%s\n"
+        snap.Dsig_store.Snapshot.seq snap.Dsig_store.Snapshot.next_batch_id
+        (List.length snap.Dsig_store.Snapshot.batches)
+        (match snap.Dsig_store.Snapshot.fingerprint with "" -> "-" | fp -> fp));
+  List.iter
+    (fun (seq, (r : Dsig_store.Wal.recovery)) ->
+      Printf.printf "segment wal-%016Ld: %d records, %d/%d bytes%s\n" seq
+        (List.length r.Dsig_store.Wal.records)
+        r.Dsig_store.Wal.valid_bytes r.Dsig_store.Wal.total_bytes
+        (match r.Dsig_store.Wal.torn with
+        | None -> ""
+        | Some why -> Printf.sprintf " (torn tail: %s)" why))
+    s.Keystate.scan_segments;
+  List.iter
+    (fun (id, (b : Keystate.batch_state)) ->
+      Printf.printf "batch %Ld: size=%d high_water=%d\n" id b.Keystate.size b.Keystate.high_water)
+    s.Keystate.scan_state;
+  Printf.printf "next_batch_id: %Ld\n" s.Keystate.scan_next_batch_id;
+  Printf.printf "clean shutdown: %b\n" s.Keystate.scan_clean
+
+let store_inspect dir =
+  match Keystate.scan ~dir with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok s ->
+      print_scan s;
+      0
+
+let store_verify dir =
+  match Keystate.scan ~dir with
+  | Error e ->
+      Printf.eprintf "corrupt: %s\n" e;
+      2
+  | Ok s when s.Keystate.scan_torn ->
+      print_scan s;
+      print_endline "status: TORN (a crash cut the journal tail; run `dsig store recover`)";
+      1
+  | Ok s ->
+      print_scan s;
+      print_endline (if s.Keystate.scan_clean then "status: OK (clean)" else "status: OK (crashed, tail intact)");
+      0
+
+let group_commit_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "g"; "group-commit" ]
+        ~doc:"Group-commit size the crashed signer ran with (bounds the keys burned by recovery).")
+
+let store_recover dir group_commit =
+  match Keystate.open_ (Keystate.config ~group_commit dir) with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok (t, report) ->
+      Printf.printf "recovered: snapshot=%b segments=%d records=%d clean=%b\n"
+        report.Keystate.had_snapshot report.Keystate.segments_replayed
+        report.Keystate.records_replayed report.Keystate.clean;
+      if report.Keystate.torn_segments > 0 then
+        Printf.printf "torn tails truncated: %d segment(s), %d byte(s)\n"
+          report.Keystate.torn_segments report.Keystate.torn_bytes;
+      List.iter
+        (fun (id, first, n) -> Printf.printf "burned: batch %Ld keys %d..%d\n" id first (first + n - 1))
+        report.Keystate.burned;
+      List.iter
+        (fun (id, idx) -> Printf.printf "resume: batch %Ld at key %d\n" id idx)
+        report.Keystate.resume;
+      Printf.printf "next_batch_id: %Ld\n" report.Keystate.next_batch_id;
+      Keystate.close t;
+      print_endline "store checkpointed and closed clean";
+      0
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and repair a signer's durable key-state store (DESIGN.md §10).")
+    [
+      Cmd.v
+        (Cmd.info "inspect" ~doc:"Print the snapshot, WAL segments and live batch state, read-only.")
+        Term.(const store_inspect $ store_dir_arg);
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:
+             "Read-only integrity check: exit 0 if the store is intact, 1 on a torn journal \
+              tail, 2 on corruption.")
+        Term.(const store_verify $ store_dir_arg);
+      Cmd.v
+        (Cmd.info "recover"
+           ~doc:
+             "Run crash recovery now: truncate torn tails, burn the unfsynced key gap, fold \
+              everything into a fresh snapshot and close clean.")
+        Term.(const store_recover $ store_dir_arg $ group_commit_arg);
+    ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dsig" ~version:"1.0.0"
@@ -416,6 +526,7 @@ let main_cmd =
       top_cmd;
       log_sign_cmd;
       log_audit_cmd;
+      store_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -39,30 +39,53 @@ let load path =
         else begin
           let pos = ref (String.length magic) in
           let entries = ref [] in
-          let ok = ref true in
+          let error = ref None in
+          (* every truncation reports the same shape: what was cut and
+             the byte offset of the record it happened in *)
+          let truncated what = failwith (Printf.sprintf "truncated %s at byte %d" what !pos) in
           (try
              while !pos < len do
-               if !pos + 12 > len then failwith "truncated";
+               if !pos + 12 > len then truncated "header";
                let client = Int64.to_int (BU.get_u64_le data !pos) in
                let op_len = Int32.to_int (BU.get_u32_le data (!pos + 8)) in
-               if op_len < 0 || !pos + 12 + op_len + 4 > len then failwith "truncated";
+               if op_len < 0 || !pos + 12 + op_len + 4 > len then truncated "op";
                let op = String.sub data (!pos + 12) op_len in
                let sig_len = Int32.to_int (BU.get_u32_le data (!pos + 12 + op_len)) in
-               if sig_len < 0 || !pos + 16 + op_len + sig_len > len then failwith "truncated";
+               if sig_len < 0 || !pos + 16 + op_len + sig_len > len then truncated "signature";
                let signature = String.sub data (!pos + 16 + op_len) sig_len in
                entries := { Audit.index = 0; client; op; signature } :: !entries;
                pos := !pos + 16 + op_len + sig_len
              done
-           with Failure _ -> ok := false);
-          if !ok then Ok (Audit.of_entries (List.rev !entries)) else Error "truncated record"
+           with Failure e -> error := Some e);
+          match !error with
+          | Some e -> Error e
+          | None -> Ok (Audit.of_entries (List.rev !entries))
         end)
   with Sys_error e -> Error e
 
-let append_entry path ~client ~op ~signature =
+type writer = { oc : out_channel; mutable closed : bool }
+
+let open_writer path =
   let fresh = not (Sys.file_exists path) in
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      if fresh then output_string oc magic;
-      output_string oc (encode_entry ~client ~op ~signature))
+  if fresh then begin
+    output_string oc magic;
+    flush oc
+  end;
+  { oc; closed = false }
+
+let append ?(sync = false) w ~client ~op ~signature =
+  if w.closed then invalid_arg "Logfile.append: writer is closed";
+  output_string w.oc (encode_entry ~client ~op ~signature);
+  flush w.oc;
+  if sync then Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let close_writer w =
+  if not w.closed then begin
+    close_out_noerr w.oc;
+    w.closed <- true
+  end
+
+let append_entry path ~client ~op ~signature =
+  let w = open_writer path in
+  Fun.protect ~finally:(fun () -> close_writer w) (fun () -> append w ~client ~op ~signature)

@@ -14,7 +14,34 @@ val save : string -> Audit.t -> unit
 (** Write the whole log to [path] (atomic via rename). *)
 
 val load : string -> (Audit.t, string) result
-(** Parse a log file; [Error] on bad magic or truncated records. *)
+(** Parse a log file; [Error "bad magic"] on a wrong header, and
+    [Error "truncated <header|op|signature> at byte <offset>"] —
+    uniformly, whichever field the cut landed in — when a record is
+    incomplete. *)
+
+(** {1 Incremental writer} *)
+
+type writer
+(** A kept-open appending handle: one [open]/[fstat] at {!open_writer}
+    instead of per record, and an optional fsync per append — the shape
+    a server holding its audit log open wants. *)
+
+val open_writer : string -> writer
+(** Open [path] for appending, writing the ["DSIGLOG1"] magic if the
+    file is fresh. The format is unchanged — files written through a
+    [writer] load with {!load} and with older readers.
+    @raise Sys_error if the file cannot be opened. *)
+
+val append : ?sync:bool -> writer -> client:int -> op:string -> signature:string -> unit
+(** Append one record through the kept-open handle (flushed to the OS
+    before returning). [sync] (default [false]) additionally fsyncs, so
+    the entry survives an OS crash.
+    @raise Invalid_argument on a closed writer. *)
+
+val close_writer : writer -> unit
+(** Idempotent. *)
 
 val append_entry : string -> client:int -> op:string -> signature:string -> unit
-(** Append one record, creating the file (with magic) if missing. *)
+[@@ocaml.deprecated "use Logfile.open_writer / append / close_writer"]
+(** Open-append-close per record (one file open {e per entry} and no
+    fsync); kept one release for existing call sites. *)

@@ -22,8 +22,24 @@ type t = {
 }
 
 let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
-    ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) sim cfg ~n () =
+    ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) ?store_dir sim cfg
+    ~n () =
   let telemetry = options.Dsig.Options.telemetry in
+  (* per-node store subdirectories, so n parties on one host never share
+     a journal; a restarted deployment pointed at the same [store_dir]
+     resumes each node's key state *)
+  let options_of id =
+    match store_dir with
+    | None -> options
+    | Some dir ->
+        let node_dir = Filename.concat dir (Printf.sprintf "node-%d" id) in
+        let base =
+          match options.Dsig.Options.store with
+          | Some s -> { s with Dsig.Options.dir = node_dir }
+          | None -> Dsig.Options.store ~fsync:false node_dir
+        in
+        Dsig.Options.with_store base options
+  in
   let pki = Dsig.Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
@@ -57,7 +73,7 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
         {
           signer =
             Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
-              ~groups:(groups id) ~options ~verifiers:all ();
+              ~groups:(groups id) ~options:(options_of id) ~verifiers:all ();
           verifier =
             Dsig.Verifier.create cfg ~id ~pki ~options ~control:(control_of id) ();
         })
@@ -84,6 +100,9 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
                clock, so the poll must ask in the same time base *)
             Dsig.Control_plane.step cp ~now:(Tel.now telemetry)
             |> List.iter (fun (dest, ann) -> send_of id ~dest ann);
+            (* delayed-ACK pump: emit coalesced Acks frames whose hold
+               deadline has passed (no-op without Options.ack_delay) *)
+            ignore (Dsig.Verifier.flush_acks p.verifier ~now:(Tel.now telemetry));
             Sim.sleep reannounce_poll_us
           done);
       (* receiver: the verifier's background plane, plus inbound
@@ -106,7 +125,8 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
                   t.delivered <- t.delivered + 1;
                   Metric.Counter.incr c_delivered
                 end
-                else Metric.Counter.incr c_dropped
+                else Metric.Counter.incr c_dropped;
+                ignore (Dsig.Verifier.flush_acks p.verifier ~now:(Tel.now telemetry))
           done))
     parties;
   t
@@ -119,6 +139,15 @@ let sign t ~signer:i ?hint msg = Dsig.Signer.sign t.parties.(i).signer ?hint msg
 let verify t ~verifier:i ~msg signature = Dsig.Verifier.verify t.parties.(i).verifier ~msg signature
 let announcements_sent t = t.sent
 let announcements_delivered t = t.delivered
+
+let close t =
+  (* flush held ACKs and seal every node's key-state journal, so a later
+     deployment over the same store_dir recovers cleanly (no burn) *)
+  Array.iter
+    (fun p ->
+      ignore (Dsig.Verifier.flush_acks ~force:true p.verifier ~now:0.0);
+      Dsig.Signer.close p.signer)
+    t.parties
 
 let flip_random_bit rng s =
   if String.length s = 0 then s

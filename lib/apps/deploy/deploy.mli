@@ -37,6 +37,7 @@ val create :
   ?groups:(int -> int list list) ->
   ?seed:int64 ->
   ?options:Dsig.Options.t ->
+  ?store_dir:string ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -58,7 +59,20 @@ val create :
     [dsig_deploy_announce_net_us] histogram of virtual time
     announcements spend on the modeled wire. Pass a bundle created with
     [~clock:(fun () -> Sim.now sim)] so tracer spans — and the
-    re-announce/pull-repair timers — run in virtual time. *)
+    re-announce/pull-repair timers — run in virtual time.
+
+    [store_dir] gives every signer a durable key-state journal in its
+    own subdirectory ([store_dir/node-<id>]); a later deployment created
+    over the same [store_dir] resumes each node's batch counter, so no
+    one-time key is reused across the restart. [options]'s own store
+    record (if any) supplies the group-commit/fsync knobs; otherwise
+    fsync is off (virtual-time runs should not block on real disks).
+    Close with {!close} for a clean (burn-free) shutdown.
+
+    When [options] carries {!Dsig.Options.with_ack_delay}, each party's
+    re-announce pump and receive loop also flush the verifier's held
+    acknowledgements, so delayed ACKs ride the modeled network as
+    coalesced [Batch.Acks] frames. *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t
@@ -86,3 +100,9 @@ val announcements_sent : t -> int
 (** Includes re-announcements. *)
 
 val announcements_delivered : t -> int
+
+val close : t -> unit
+(** Flush every verifier's held ACKs and close every signer's key-state
+    journal with a clean-shutdown marker (a no-op without [store_dir] or
+    a store in [options]). The simulation processes keep running; call
+    when the virtual run is over. *)

@@ -69,3 +69,6 @@ let describe t =
   Printf.sprintf "%s/%s batch=%d S=%d" scheme
     (Dsig_hashes.Hash.to_string t.hash)
     t.batch_size t.queue_threshold
+
+let fingerprint t =
+  Dsig_util.Bytesutil.to_hex (Dsig_hashes.Hash.digest Dsig_hashes.Hash.Blake3 ~length:8 (describe t))

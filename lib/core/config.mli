@@ -61,3 +61,8 @@ val batch_levels : t -> int
 (** log2 of the batch size: Merkle proof length in the signature. *)
 
 val describe : t -> string
+
+val fingerprint : t -> string
+(** Short stable digest (hex) of everything {!describe} prints; the
+    durable key store records it so a journal is never resumed under a
+    different scheme ({!Dsig_store.Keystate}). *)

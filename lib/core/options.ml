@@ -17,12 +17,23 @@ let adaptive ?(rtt = Rtt.default) ?(rate_per_sec = 2_000.0) ?(burst = 8) ?(max_a
   if max_attempts < 0 then invalid_arg "Options.adaptive: max_attempts must be non-negative";
   Adaptive { rtt; rate_per_sec; burst; max_attempts }
 
+type store = { dir : string; group_commit : int; fsync : bool; checkpoint_every : int }
+
+let store ?(group_commit = 8) ?(fsync = true) ?(checkpoint_every = 16) dir =
+  if group_commit <= 0 then invalid_arg "Options.store: group_commit must be positive";
+  if checkpoint_every < 0 then invalid_arg "Options.store: checkpoint_every must be >= 0";
+  { dir; group_commit; fsync; checkpoint_every }
+
+type ack_delay = { cap_us : float; srtt_fraction : float }
+
 type t = {
   telemetry : Tel.t;
   retry : Retry.policy;
   retain : int;
   request_policy : Retry.policy;
   pacing : pacing;
+  store : store option;
+  ack_delay : ack_delay option;
 }
 
 let default =
@@ -32,6 +43,8 @@ let default =
     retain = 64;
     request_policy = Retry.policy ~base_us:500.0 ~max_attempts:8 ();
     pacing = Fixed;
+    store = None;
+    ack_delay = None;
   }
 
 let with_telemetry telemetry t = { t with telemetry }
@@ -46,3 +59,10 @@ let with_retain retain t =
 
 let with_request_policy request_policy t = { t with request_policy }
 let with_pacing pacing t = { t with pacing }
+let with_store store t = { t with store = Some store }
+
+let with_ack_delay ?(srtt_fraction = 0.25) ~cap_us t =
+  if cap_us < 0.0 then invalid_arg "Options.with_ack_delay: cap_us must be non-negative";
+  if srtt_fraction < 0.0 then
+    invalid_arg "Options.with_ack_delay: srtt_fraction must be non-negative";
+  { t with ack_delay = Some { cap_us; srtt_fraction } }

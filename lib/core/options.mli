@@ -51,6 +51,35 @@ val adaptive :
     @raise Invalid_argument on a non-positive rate or burst, or a
     negative attempt budget. *)
 
+(** {1 Durable key state} *)
+
+(** Where and how a signer persists its key-state journal (see
+    {!Dsig_store.Keystate}). Kept as a plain record so [Options] can be
+    built without touching the store library. *)
+type store = {
+  dir : string;  (** store directory, created on first open *)
+  group_commit : int;  (** journal appends coalesced per fsync *)
+  fsync : bool;  (** [false] skips physical fsync (tests, benches) *)
+  checkpoint_every : int;  (** snapshot cadence in sealed batches; 0 = never *)
+}
+
+val store : ?group_commit:int -> ?fsync:bool -> ?checkpoint_every:int -> string -> store
+(** Defaults: group commit 8, fsync on, checkpoint every 16 seals.
+    @raise Invalid_argument on a non-positive group commit or a negative
+    checkpoint cadence. *)
+
+(** {1 ACK batching} *)
+
+(** How long a verifier may hold announcement ACKs to coalesce them into
+    one [Batch.Acks] frame. The delay adapts to the observed path: it is
+    [srtt_fraction] of the verifier's smoothed announce RTT, capped at
+    [cap_us] — so batching never holds an ACK long enough to look like a
+    loss to the signer's re-announce ladder. *)
+type ack_delay = {
+  cap_us : float;  (** hard upper bound on ACK hold time, microseconds *)
+  srtt_fraction : float;  (** fraction of SRTT actually waited *)
+}
+
 (** {1 The options record} *)
 
 type t = {
@@ -59,6 +88,8 @@ type t = {
   retain : int;  (** batches kept for re-announce / pull repair *)
   request_policy : Dsig_util.Retry.policy;  (** verifier pull-repair pacing *)
   pacing : pacing;
+  store : store option;  (** [None] (default) = in-memory key state only *)
+  ack_delay : ack_delay option;  (** [None] (default) = ACK immediately *)
 }
 
 val default : t
@@ -79,3 +110,14 @@ val with_retain : int -> t -> t
 
 val with_request_policy : Dsig_util.Retry.policy -> t -> t
 val with_pacing : pacing -> t -> t
+
+val with_store : store -> t -> t
+(** Persist signer key state under [store.dir]: batch seals and key
+    reservations are journaled before signatures leave the process, so a
+    restarted signer never reuses a one-time key (see DESIGN.md §10). *)
+
+val with_ack_delay : ?srtt_fraction:float -> cap_us:float -> t -> t
+(** Let verifiers hold ACKs up to [min cap_us (srtt_fraction * srtt)]
+    (default fraction 0.25) and coalesce them into [Batch.Acks] frames.
+    [cap_us = 0.] restores immediate ACKs.
+    @raise Invalid_argument on a negative cap or fraction. *)

@@ -5,6 +5,7 @@ module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
 module Lifecycle = Dsig_telemetry.Lifecycle
 module Trace = Dsig_telemetry.Trace_ctx
+module Keystate = Dsig_store.Keystate
 
 type prepared = {
   key : Onetime.t;
@@ -46,6 +47,8 @@ type t = {
   mutable stopping : bool;
   fg_rng : Rng.t; (* foreground nonces; background domain has its own *)
   mutable domain : unit Domain.t option;
+  keystate : Keystate.t option; (* journal has its own lock; both domains use it *)
+  store_report : Keystate.report option;
   tel : tel;
 }
 
@@ -54,7 +57,9 @@ let background_loop cfg ~id ~eddsa ~rng t () =
   (* background-plane handles: this domain's private cells *)
   let c_batches = Tel.counter telemetry "dsig_runtime_batches_total" in
   let h_batch = Tel.histogram telemetry "dsig_runtime_batch_gen_us" in
-  let batch_counter = ref 0L in
+  let batch_counter =
+    ref (match t.store_report with Some r -> r.Keystate.next_batch_id | None -> 0L)
+  in
   let continue_ = ref true in
   while !continue_ do
     (* wait until a refill is needed or we are asked to stop *)
@@ -74,6 +79,8 @@ let background_loop cfg ~id ~eddsa ~rng t () =
       batch_counter := Int64.add batch_id 1L;
       let batch = Batch.make ~telemetry cfg ~signer_id:id ~batch_id ~eddsa ~rng in
       let ann = Batch.announcement cfg batch in
+      (* journal the seal before the keys become reachable by sign *)
+      Option.iter (fun ks -> Keystate.seal ks ~batch_id ~size:(Batch.size batch)) t.keystate;
       Mutex.lock t.mu;
       for i = 0 to Batch.size batch - 1 do
         Queue.add
@@ -100,6 +107,18 @@ let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
   let telemetry = options.Options.telemetry in
   let master = Rng.create seed in
   let bg_rng = Rng.split master in
+  let keystate, store_report =
+    match options.Options.store with
+    | None -> (None, None)
+    | Some s -> (
+        let store_cfg =
+          Keystate.config ~group_commit:s.Options.group_commit ~fsync:s.Options.fsync
+            ~checkpoint_every:s.Options.checkpoint_every s.Options.dir
+        in
+        match Keystate.open_ ~telemetry ~fingerprint:(Config.fingerprint cfg) store_cfg with
+        | Error e -> failwith ("Runtime.create: " ^ e)
+        | Ok (ks, report) -> (Some ks, Some report))
+  in
   let state =
     {
       cfg;
@@ -118,6 +137,8 @@ let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
       stopping = false;
       fg_rng = Rng.split master;
       domain = None;
+      keystate;
+      store_report;
       tel =
         {
           bundle = telemetry;
@@ -162,6 +183,11 @@ let pop_key t =
 let sign_impl t msg =
   let t0 = Tel.now t.tel.bundle in
   let prepared = pop_key t in
+  (* journal the reservation before the signature exists (DESIGN.md §10) *)
+  Option.iter
+    (fun ks ->
+      Keystate.reserve ks ~batch_id:prepared.batch_id ~key_index:prepared.proof.Merkle.index)
+    t.keystate;
   let nonce = Rng.bytes t.fg_rng 16 in
   let body =
     match prepared.key with
@@ -303,10 +329,17 @@ let handle_request t r = deliver_request t r
 let due_reannouncements t = step t ~now:(Tel.now t.tel.bundle)
 let unacked_announcements t = locked t (fun () -> Announce.pending t.announce)
 
+let store t = t.keystate
+let store_recovery t = t.store_report
+
 let shutdown t =
   Mutex.lock t.mu;
   let was_stopping = t.stopping in
   t.stopping <- true;
   Condition.broadcast t.refill;
   Mutex.unlock t.mu;
-  if not was_stopping then Option.iter Domain.join t.domain
+  if not was_stopping then begin
+    Option.iter Domain.join t.domain;
+    (* the background domain is quiescent: safe to seal the journal *)
+    Option.iter Keystate.close t.keystate
+  end

@@ -30,6 +30,15 @@ val create :
     the {!Options.pacing} mode for announcement ACK tracking — see
     {!track_announcement} and DESIGN.md §9.
 
+    When [options] carries a store ({!Options.with_store}), the runtime
+    opens a durable {!Dsig_store.Keystate} journal: the background
+    domain journals each batch before its keys are queued, the
+    foreground thread journals each reservation before building the
+    signature, and the batch counter resumes past anything a previous
+    incarnation might have used (DESIGN.md §10). {!shutdown} closes the
+    journal cleanly. Raises [Failure] if the store cannot be opened or
+    belongs to a different {!Config.fingerprint}.
+
     The telemetry bundle receives the foreground plane's
     [dsig_runtime_signatures_total] / [dsig_runtime_sign_waits_total]
     counters, the reliability counters [dsig_runtime_reannounces_total]
@@ -72,6 +81,14 @@ val sign_ctx : t -> string -> string * Dsig_telemetry.Trace_ctx.t
 
 val queue_depth : t -> int
 val batches_generated : t -> int
+
+val store : t -> Dsig_store.Keystate.t option
+(** The durable key-state journal, when created with
+    {!Options.with_store}. *)
+
+val store_recovery : t -> Dsig_store.Keystate.report option
+(** What recovery found at creation (clean/crash, burned keys, resumed
+    batch counter). *)
 
 val drain_announcements : t -> Batch.announcement list
 (** Announcements produced since the last drain, oldest first. *)
@@ -119,4 +136,5 @@ val due_reannouncements : t -> (int * Batch.announcement) list
 val unacked_announcements : t -> int
 
 val shutdown : t -> unit
-(** Stops and joins the background domain. Idempotent. *)
+(** Stops and joins the background domain, then closes the key-state
+    journal (clean-shutdown marker). Idempotent. *)

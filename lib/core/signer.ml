@@ -8,6 +8,7 @@ module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
 module Lifecycle = Dsig_telemetry.Lifecycle
 module Trace = Dsig_telemetry.Trace_ctx
+module Keystate = Dsig_store.Keystate
 
 type prepared = {
   key : Onetime.t;
@@ -60,6 +61,8 @@ type t = {
   outbox : (int * Batch.announcement) Queue.t;
   announce : Announce.t; (* ACK tracking + re-announce + request repair *)
   mutable gave_up_seen : int; (* Announce.gave_up already counted *)
+  keystate : Keystate.t option; (* durable key-state journal, if enabled *)
+  store_report : Keystate.report option;
   stats : stats;
   tel : tel;
 }
@@ -85,13 +88,28 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
   (* smallest groups first so the "smallest group containing the hint"
      rule is a simple find *)
   let extra = List.sort (fun a b -> compare (List.length a.members) (List.length b.members)) extra in
+  let keystate, store_report =
+    match options.Options.store with
+    | None -> (None, None)
+    | Some s -> (
+        let store_cfg =
+          Keystate.config ~group_commit:s.Options.group_commit ~fsync:s.Options.fsync
+            ~checkpoint_every:s.Options.checkpoint_every s.Options.dir
+        in
+        match Keystate.open_ ~telemetry ~fingerprint:(Config.fingerprint cfg) store_cfg with
+        | Error e -> failwith ("Signer.create: " ^ e)
+        | Ok (ks, report) -> (Some ks, Some report))
+  in
   {
     cfg;
     id;
     eddsa;
     rng;
     groups = extra @ [ default ];
-    batch_counter = 0L;
+    (* resume past every batch id the previous incarnation might have
+       used — the report already includes the crash gap *)
+    batch_counter =
+      (match store_report with Some r -> r.Keystate.next_batch_id | None -> 0L);
     send;
     outbox;
     announce =
@@ -100,6 +118,8 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
         ~clock:(fun () -> Tel.now telemetry)
         ();
     gave_up_seen = 0;
+    keystate;
+    store_report;
     stats = { signatures = 0; batches = 0; sync_refills = 0; reannounces = 0; requests_served = 0 };
     tel =
       {
@@ -136,6 +156,9 @@ let id t = t.id
 let config t = t.cfg
 let eddsa_public_key t = Eddsa.public_key t.eddsa
 let stats t = t.stats
+let store t = t.keystate
+let store_recovery t = t.store_report
+let close t = Option.iter Keystate.close t.keystate
 
 let drain_outbox t =
   let items = List.of_seq (Queue.to_seq t.outbox) in
@@ -165,6 +188,8 @@ let refill t group =
   let batch_id = t.batch_counter in
   t.batch_counter <- Int64.add t.batch_counter 1L;
   let batch = Batch.make ~telemetry:t.tel.bundle t.cfg ~signer_id:t.id ~batch_id ~eddsa:t.eddsa ~rng:t.rng in
+  (* journal the seal before any of the batch's keys can sign *)
+  Option.iter (fun ks -> Keystate.seal ks ~batch_id ~size:(Batch.size batch)) t.keystate;
   t.stats.batches <- t.stats.batches + 1;
   let ann = Batch.announcement t.cfg batch in
   let dests = List.filter (fun dest -> dest <> t.id) group.members in
@@ -265,6 +290,13 @@ let sign_impl t ?hint msg =
     refill t group
   end;
   let prepared = Queue.pop group.queue in
+  let key_index = prepared.proof.Merkle.index in
+  (* durability invariant: the reservation is journaled (and covered by
+     the group-commit protocol) before the signature is even built, so a
+     signature can never leave the process without its record *)
+  Option.iter
+    (fun ks -> Keystate.reserve ks ~batch_id:prepared.batch_id ~key_index)
+    t.keystate;
   t.stats.signatures <- t.stats.signatures + 1;
   let body = make_body t prepared msg in
   let wire =
@@ -285,7 +317,6 @@ let sign_impl t ?hint msg =
   let span = if synced then Tracer.Sign_sync_refill else Tracer.Sign_fast in
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.End t1;
-  let key_index = prepared.proof.Merkle.index in
   let lc = t.tel.bundle.Tel.lifecycle in
   if Lifecycle.enabled lc then
     Lifecycle.sign lc

@@ -39,6 +39,16 @@ val create :
     bundle, the fixed-mode re-announce policy, the retention bound, and
     the {!Options.pacing} mode (see {!Announce} and DESIGN.md §9).
 
+    When [options] carries a store ({!Options.with_store}), the signer
+    opens a durable {!Dsig_store.Keystate} journal under the store
+    directory: every batch is journaled when sealed and every one-time
+    key when reserved — {e before} the signature is built — and the
+    batch counter resumes past anything a previous incarnation might
+    have used, so a restart can never reuse a one-time key (DESIGN.md
+    §10). The journal is checked against {!Config.fingerprint}; a store
+    that cannot be opened or belongs to a different configuration
+    raises [Failure].
+
     The telemetry bundle receives [dsig_signer_signatures_total] /
     [dsig_signer_sync_refills_total] / [dsig_signer_batches_total]
     counters, the announcement-reliability counters
@@ -76,6 +86,19 @@ val create_legacy :
 val id : t -> int
 val config : t -> Config.t
 val eddsa_public_key : t -> Dsig_ed25519.Eddsa.public_key
+
+val store : t -> Dsig_store.Keystate.t option
+(** The durable key-state journal, when the signer was created with
+    {!Options.with_store}. *)
+
+val store_recovery : t -> Dsig_store.Keystate.report option
+(** What recovery found when the store was opened: whether the previous
+    incarnation shut down cleanly, what was burned, and the resumed
+    batch counter. *)
+
+val close : t -> unit
+(** Write the store's clean-shutdown marker and close it (no burned keys
+    on the next open). A no-op without a store; idempotent. *)
 
 val sign : t -> ?hint:int list -> string -> string
 (** [sign t ~hint msg] returns the encoded DSig signature. The hint

@@ -33,6 +33,7 @@ type stats = {
   mutable slow_cache_miss : int;
   mutable requests_sent : int;
   mutable acks_sent : int;
+  mutable ack_frames_sent : int;
   mutable eddsa_cache_evictions : int;
 }
 
@@ -47,6 +48,7 @@ type tel = {
   c_slow_miss : Metric.Counter.t;
   c_requests : Metric.Counter.t;
   c_acks : Metric.Counter.t;
+  c_ack_frames : Metric.Counter.t;
   c_evict : Metric.Counter.t;
   h_fast : Metric.Histogram.t;
   h_slow : Metric.Histogram.t;
@@ -65,6 +67,10 @@ type t = {
   control : (Batch.control -> unit) option;
   request_policy : Retry.policy;
   requested : (int * int64, Retry.state) Hashtbl.t; (* pull-repair pacing *)
+  ack_delay : Options.ack_delay option;
+  pending_acks : (int, Batch.ack list) Hashtbl.t; (* per signer, newest first *)
+  mutable ack_deadline : float option; (* flush due time for pending acks *)
+  mutable announce_srtt_us : float option; (* EWMA of announce RTT *)
   stats : stats;
   tel : tel;
 }
@@ -85,6 +91,10 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
     control;
     request_policy;
     requested = Hashtbl.create 16;
+    ack_delay = options.Options.ack_delay;
+    pending_acks = Hashtbl.create 8;
+    ack_deadline = None;
+    announce_srtt_us = None;
     stats =
       {
         fast = 0;
@@ -96,6 +106,7 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
         slow_cache_miss = 0;
         requests_sent = 0;
         acks_sent = 0;
+        ack_frames_sent = 0;
         eddsa_cache_evictions = 0;
       };
     tel =
@@ -110,6 +121,7 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
         c_slow_miss = Tel.counter telemetry "dsig_verifier_slow_cache_miss_total";
         c_requests = Tel.counter telemetry "dsig_verifier_batch_requests_total";
         c_acks = Tel.counter telemetry "dsig_verifier_acks_total";
+        c_ack_frames = Tel.counter telemetry "dsig_verifier_ack_frames_total";
         c_evict = Tel.counter telemetry "dsig_verifier_eddsa_cache_evictions_total";
         h_fast = Tel.histogram telemetry "dsig_verifier_fast_us";
         h_slow = Tel.histogram telemetry "dsig_verifier_slow_us";
@@ -194,6 +206,85 @@ let lifecycle_admit t (ann : Batch.announcement) ~latency_us =
   if Lifecycle.enabled lc then
     Lifecycle.admit lc ~signer:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id ~latency_us
 
+(* --- acknowledgement batching (Options.with_ack_delay) ---
+
+   With an ack delay configured, admits enqueue their ACKs per signer
+   and a deadline is armed at [min cap_us (srtt_fraction * srtt)]; the
+   transport pump calls [flush_acks] which emits one coalesced
+   [Batch.Acks] frame per signer. Without a delay (or before the first
+   RTT estimate) ACKs go out immediately — the historical behavior. *)
+
+let ack_frame_sent t ~acks =
+  t.stats.acks_sent <- t.stats.acks_sent + acks;
+  Metric.Counter.incr ~by:acks t.tel.c_acks;
+  t.stats.ack_frames_sent <- t.stats.ack_frames_sent + 1;
+  Metric.Counter.incr t.tel.c_ack_frames
+
+let pending_ack_count t = Hashtbl.fold (fun _ acks n -> n + List.length acks) t.pending_acks 0
+
+let flush_acks ?(force = false) t ~now =
+  match t.control with
+  | None ->
+      Hashtbl.reset t.pending_acks;
+      t.ack_deadline <- None;
+      0
+  | Some send ->
+      let due =
+        Hashtbl.length t.pending_acks > 0
+        && (force || match t.ack_deadline with None -> true | Some d -> now >= d)
+      in
+      if not due then 0
+      else begin
+        let frames = ref 0 in
+        Hashtbl.iter
+          (fun _ acks ->
+            incr frames;
+            let acks = List.rev acks in
+            ack_frame_sent t ~acks:(List.length acks);
+            match acks with [ a ] -> send (Batch.Ack a) | l -> send (Batch.Acks l))
+          t.pending_acks;
+        Hashtbl.reset t.pending_acks;
+        t.ack_deadline <- None;
+        !frames
+      end
+
+let ack_hold_us t =
+  match t.ack_delay with
+  | None -> 0.0
+  | Some d -> (
+      match t.announce_srtt_us with
+      | None -> 0.0 (* no estimate yet: ACK immediately, the safe default *)
+      | Some srtt -> Float.min d.Options.cap_us (d.Options.srtt_fraction *. srtt))
+
+let enqueue_ack t (ack : Batch.ack) ~hold =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending_acks ack.Batch.ack_signer) in
+  (* redeliveries re-ack the same batch; hold a single copy per window *)
+  if not (List.mem ack cur) then Hashtbl.replace t.pending_acks ack.Batch.ack_signer (ack :: cur);
+  if t.ack_deadline = None then t.ack_deadline <- Some (Tel.now t.tel.bundle +. hold)
+
+let send_or_enqueue_ack t ack =
+  match t.control with
+  | None -> ()
+  | Some send ->
+      let hold = ack_hold_us t in
+      if hold <= 0.0 then begin
+        ack_frame_sent t ~acks:1;
+        send (Batch.Ack ack)
+      end
+      else enqueue_ack t ack ~hold
+
+let announce_srtt_us t = t.announce_srtt_us
+
+let observe_announce_latency t ~sent_us ~now =
+  (* one-way announce latency doubled approximates the announce/ACK
+     round trip the signer's re-announce ladder is pacing against *)
+  let sample = 2.0 *. Float.max 0.0 (now -. sent_us) in
+  t.announce_srtt_us <-
+    Some
+      (match t.announce_srtt_us with
+      | None -> sample
+      | Some v -> (0.875 *. v) +. (0.125 *. sample))
+
 (* Cache an announcement whose EdDSA root signature has already been
    checked: validate any full keys against the signed leaves and insert.
    [send_ack:false] lets a caller that admits many batches at once
@@ -245,20 +336,13 @@ let admit_verified ?(send_ack = true) t (ann : Batch.announcement) root =
     (* acknowledge so the signer stops re-announcing; sent on every
        successful delivery (idempotent) because a previous ACK may have
        been lost in transit *)
-    match t.control with
-    | None -> ()
-    | Some send ->
-        if send_ack then begin
-          t.stats.acks_sent <- t.stats.acks_sent + 1;
-          Metric.Counter.incr t.tel.c_acks;
-          send
-            (Batch.Ack
-               {
-                 Batch.ack_verifier = t.id;
-                 ack_signer = ann.Batch.signer_id;
-                 ack_batch = ann.Batch.ann_batch_id;
-               })
-        end
+    if send_ack then
+      send_or_enqueue_ack t
+        {
+          Batch.ack_verifier = t.id;
+          ack_signer = ann.Batch.signer_id;
+          ack_batch = ann.Batch.ann_batch_id;
+        }
   end
 
 (* Root implied by an announcement, plus the exact EdDSA-signed string. *)
@@ -270,6 +354,9 @@ let announcement_root (ann : Batch.announcement) =
   (root, msg)
 
 let deliver ?sent_us t (ann : Batch.announcement) =
+  (match sent_us with
+  | Some s -> observe_announce_latency t ~sent_us:s ~now:(Tel.now t.tel.bundle)
+  | None -> ());
   match Pki.lookup t.pki ann.Batch.signer_id with
   | None ->
       Log.L.warn (fun m ->
@@ -340,13 +427,15 @@ let deliver_many t anns =
             Hashtbl.replace by_signer s
               (ack :: Option.value ~default:[] (Hashtbl.find_opt by_signer s)))
           entries;
-        Hashtbl.iter
-          (fun _ acks ->
-            let n = List.length acks in
-            t.stats.acks_sent <- t.stats.acks_sent + n;
-            Metric.Counter.incr ~by:n t.tel.c_acks;
-            send (Batch.Acks (List.rev acks)))
-          by_signer);
+        let hold = ack_hold_us t in
+        if hold > 0.0 then
+          Hashtbl.iter (fun _ acks -> List.iter (fun a -> enqueue_ack t a ~hold) (List.rev acks)) by_signer
+        else
+          Hashtbl.iter
+            (fun _ acks ->
+              ack_frame_sent t ~acks:(List.length acks);
+              send (Batch.Acks (List.rev acks)))
+            by_signer);
     List.length entries
   end
   else List.length (List.filter (fun ann -> deliver t ann) anns)

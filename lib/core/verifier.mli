@@ -103,7 +103,11 @@ type stats = {
       (** slow-path verifications whose batch was cached but whose root
           did not match (eviction or cross-batch splice) *)
   mutable requests_sent : int;  (** pull-repair {!Batch.Request}s emitted *)
-  mutable acks_sent : int;  (** {!Batch.Ack}s emitted on delivery *)
+  mutable acks_sent : int;  (** individual acknowledgements emitted *)
+  mutable ack_frames_sent : int;
+      (** control frames ({!Batch.Ack} or {!Batch.Acks}) those
+          acknowledgements travelled in — with {!Options.with_ack_delay}
+          this grows slower than [acks_sent] *)
   mutable eddsa_cache_evictions : int;
 }
 
@@ -111,3 +115,25 @@ val stats : t -> stats
 
 val cached_batches : t -> signer:int -> int
 (** Number of batches currently cached for a signer (tests). *)
+
+(** {1 ACK batching}
+
+    With {!Options.with_ack_delay}, accepted announcements enqueue their
+    acknowledgements instead of sending them: the verifier holds them
+    for at most [min cap_us (srtt_fraction * srtt)] (SRTT estimated from
+    the transport's announce send stamps) and the transport's pump calls
+    {!flush_acks}, which emits one coalesced {!Batch.Acks} frame per
+    signer ([dsig_verifier_ack_frames_total]). Before the first RTT
+    estimate, or without the option, ACKs are sent immediately. *)
+
+val flush_acks : ?force:bool -> t -> now:float -> int
+(** Send the pending acknowledgement frames if the hold deadline has
+    passed (or unconditionally with [force]); returns the number of
+    frames emitted. [now] is in the telemetry clock's time base. *)
+
+val pending_ack_count : t -> int
+(** Acknowledgements currently held for coalescing. *)
+
+val announce_srtt_us : t -> float option
+(** The verifier-side smoothed announce round-trip estimate, if any
+    announcement has arrived with a send stamp. *)

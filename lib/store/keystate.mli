@@ -1,0 +1,158 @@
+(** The durable signer key-state journal: which one-time keys may still
+    be used after a restart.
+
+    Reusing a hash-based one-time key is a forgery vector, so the signer
+    journals every key reservation {e before} the signature leaves the
+    process: [reserve] appends a [key_reserved] record to the {!Wal} (and
+    fsyncs per the group-commit budget), [seal] records a freshly
+    generated batch, [retire] a fully consumed or evicted one, and
+    [checkpoint] folds everything into a {!Snapshot} and rotates the WAL
+    segment (pruning segments the snapshot covers).
+
+    {b Recovery — "burn the gap".} After a crash, the journal may be
+    missing up to [group_commit - 1] trailing records (appends fsync
+    every [group_commit]-th call), and the last durable frame may be
+    torn. Recovery therefore truncates each segment at its first bad
+    frame, replays, and then {e conservatively} skips every key that
+    could possibly have been spent without a surviving record: starting
+    from the last journaled reservation, the next [group_commit - 1]
+    key indices in consumption order are burned, and the next batch id
+    is advanced past [group_commit] possibly-lost batch seals. A clean
+    {!close} writes a shutdown marker, after which recovery burns
+    nothing. The guarantee tested by the crash-injection matrix: no key
+    index is ever signed twice, and at most [group_commit] keys are
+    burned per crash. *)
+
+(** {1 Journal records} *)
+
+type record =
+  | Key_reserved of { batch_id : int64; key_index : int }
+      (** journaled before the signature leaves the signer *)
+  | Batch_sealed of { batch_id : int64; size : int }
+      (** a generated-and-announced batch of [size] one-time keys *)
+  | Batch_retired of int64  (** batch fully consumed or evicted *)
+  | Checkpoint of int64  (** a snapshot covering WAL seq <= the payload *)
+  | Clean_shutdown of int64  (** orderly close; payload = next batch id *)
+
+val encode_record : record -> string
+val decode_record : string -> (record, string) result
+(** Total: [Error] on unknown tags and wrong sizes, never raises. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  dir : string;  (** store directory (created if missing) *)
+  group_commit : int;  (** appends coalesced per fsync (>= 1) *)
+  fsync : bool;  (** [false] skips physical fsync (tests) *)
+  checkpoint_every : int;  (** auto-checkpoint per N seals; 0 = never *)
+}
+
+val config : ?group_commit:int -> ?fsync:bool -> ?checkpoint_every:int -> string -> config
+(** Defaults: group commit 8, fsync on, checkpoint every 16 seals.
+    @raise Invalid_argument on a non-positive group commit or a negative
+    checkpoint cadence. *)
+
+(** {1 Recovery report} *)
+
+type batch_state = { size : int; high_water : int; retired : bool }
+
+type report = {
+  had_snapshot : bool;
+  segments_replayed : int;
+  records_replayed : int;
+  torn_segments : int;  (** segments truncated at a bad frame *)
+  torn_bytes : int;  (** bytes discarded across those tails *)
+  clean : bool;  (** previous incarnation closed with {!close} *)
+  burned : (int64 * int * int) list;
+      (** (batch id, first burned index, count) per affected batch *)
+  resume : (int64 * int) list;
+      (** (batch id, first safe key index) for every live batch *)
+  next_batch_id : int64;
+}
+
+val first_safe_index : report -> batch_id:int64 -> int option
+(** First key index of [batch_id] that recovery can prove was never
+    signed (burn included); [None] for retired or unknown batches. *)
+
+(** {1 The journal} *)
+
+type t
+
+val open_ :
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?fingerprint:string ->
+  config ->
+  (t * report, string) result
+(** Open (or create) the store in [config.dir]: load the snapshot,
+    replay newer WAL segments (physically truncating torn tails), and
+    start a fresh segment. [fingerprint] (the signer's
+    {!Dsig.Config} fingerprint) is recorded in snapshots and checked
+    against an existing store — a mismatch is an [Error], because
+    resuming key state under a different scheme silently invalidates the
+    reuse guarantee. All entry points are thread-safe (one internal
+    lock), so the runtime's two domains can share a handle.
+
+    Telemetry (on top of the {!Wal} series):
+    [dsig_store_recoveries_total], [dsig_store_burned_keys_total],
+    [dsig_store_torn_truncations_total], [dsig_store_snapshots_total]
+    counters and the [dsig_store_wal_segments] gauge. *)
+
+val reserve : t -> batch_id:int64 -> key_index:int -> unit
+(** Journal that [key_index] of [batch_id] is about to be spent. Call
+    {e before} the signature leaves the signer. Reserving the last index
+    of a sealed batch auto-retires it.
+
+    The burn-the-gap recovery bound assumes reservations arrive in
+    consumption order — ascending indices, batches in seal order — which
+    is what the signer's FIFO key queue produces. Out-of-order
+    reservations would widen the set a crash can lose beyond what the
+    gap burn covers. *)
+
+val seal : t -> batch_id:int64 -> size:int -> unit
+(** Journal a freshly generated batch; triggers an automatic
+    {!checkpoint} every [checkpoint_every] seals. *)
+
+val retire : t -> batch_id:int64 -> unit
+(** Journal that a batch will never sign again (evicted / exhausted). *)
+
+val checkpoint : t -> unit
+(** Snapshot the current state (atomic rename), rotate to a fresh WAL
+    segment, and prune segments the snapshot covers. *)
+
+val sync : t -> unit
+(** Force the WAL's pending group commit to disk. *)
+
+val close : t -> unit
+(** Append the clean-shutdown marker, sync, and close. Idempotent. *)
+
+val crash : t -> unit
+(** Drop the handles without marker or sync — crash-test hook. *)
+
+val next_batch_id : t -> int64
+(** The smallest batch id no signature has ever used — the restarted
+    signer's starting counter. *)
+
+val batches : t -> (int64 * batch_state) list
+(** Live (non-retired, non-pruned) batch states, for inspection. *)
+
+val wal_path : t -> string
+(** The active segment's path (crash tests cut it at chosen offsets). *)
+
+val synced_bytes : t -> int
+(** The active segment's fsync horizon (see {!Wal.synced_bytes}). *)
+
+(** {1 Read-only scan (CLI)} *)
+
+type scan = {
+  scan_snapshot : Snapshot.t option;
+  scan_segments : (int64 * Wal.recovery) list;  (** (seq, recovery) *)
+  scan_state : (int64 * batch_state) list;
+  scan_next_batch_id : int64;
+  scan_clean : bool;
+  scan_torn : bool;
+}
+
+val scan : dir:string -> (scan, string) result
+(** Inspect a store without opening it for writing: no new segment, no
+    truncation, no lock. [Error] on an unreadable directory, corrupt
+    snapshot, or unreadable segment. *)

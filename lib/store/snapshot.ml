@@ -1,0 +1,95 @@
+module BU = Dsig_util.Bytesutil
+
+let magic = "DSIGSNP1"
+let filename = "snapshot"
+
+type batch = { id : int64; size : int; high_water : int; retired : bool }
+type t = { fingerprint : string; seq : int64; next_batch_id : int64; batches : batch list }
+
+let encode t =
+  let body =
+    BU.concat
+      ([
+         BU.u64_le t.seq;
+         BU.u64_le t.next_batch_id;
+         BU.u32_le (Int32.of_int (String.length t.fingerprint));
+         t.fingerprint;
+         BU.u32_le (Int32.of_int (List.length t.batches));
+       ]
+      @ List.concat_map
+          (fun b ->
+            [
+              BU.u64_le b.id;
+              BU.u32_le (Int32.of_int b.size);
+              BU.u32_le (Int32.of_int (b.high_water + 1));
+              String.make 1 (if b.retired then '\001' else '\000');
+            ])
+          t.batches)
+  in
+  BU.concat [ magic; BU.u32_le (Wal.crc32 body); body ]
+
+let decode data =
+  let len = String.length data in
+  let fail pos what = Error (Printf.sprintf "snapshot: %s at byte %d" what pos) in
+  if len < String.length magic + 4 then fail len "truncated header"
+  else if String.sub data 0 (String.length magic) <> magic then fail 0 "bad magic"
+  else begin
+    let crc = BU.get_u32_le data (String.length magic) in
+    let body = String.sub data (String.length magic + 4) (len - String.length magic - 4) in
+    if Wal.crc32 body <> crc then fail (String.length magic) "crc mismatch"
+    else begin
+      let blen = String.length body in
+      let pos = ref 0 in
+      let take n what =
+        if !pos + n > blen then failwith (Printf.sprintf "snapshot: %s at byte %d" what !pos);
+        let p = !pos in
+        pos := !pos + n;
+        p
+      in
+      try
+        let seq = BU.get_u64_le body (take 8 "truncated seq") in
+        let next_batch_id = BU.get_u64_le body (take 8 "truncated next batch id") in
+        let fp_len = Int32.to_int (BU.get_u32_le body (take 4 "truncated fingerprint length")) in
+        if fp_len < 0 then failwith "snapshot: negative fingerprint length";
+        let fingerprint = String.sub body (take fp_len "truncated fingerprint") fp_len in
+        let n = Int32.to_int (BU.get_u32_le body (take 4 "truncated batch count")) in
+        if n < 0 then failwith "snapshot: negative batch count";
+        let batches =
+          List.init n (fun _ ->
+              let id = BU.get_u64_le body (take 8 "truncated batch id") in
+              let size = Int32.to_int (BU.get_u32_le body (take 4 "truncated batch size")) in
+              let hw1 = Int32.to_int (BU.get_u32_le body (take 4 "truncated high water")) in
+              let retired = body.[take 1 "truncated retired flag"] <> '\000' in
+              if size < 0 || hw1 < 0 then failwith "snapshot: negative batch field";
+              { id; size; high_water = hw1 - 1; retired })
+        in
+        if !pos <> blen then failwith (Printf.sprintf "snapshot: trailing bytes at byte %d" !pos);
+        Ok { fingerprint; seq; next_batch_id; batches }
+      with Failure e -> Error e
+    end
+  end
+
+let save ~dir t =
+  let path = Filename.concat dir filename in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (encode t);
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let load ~dir =
+  let path = Filename.concat dir filename in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Error e
+    | data -> ( match decode data with Ok t -> Ok (Some t) | Error e -> Error e)

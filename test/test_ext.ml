@@ -168,7 +168,9 @@ let test_logfile_roundtrip () =
           Alcotest.(check int) "all valid" 5 valid;
           Alcotest.(check int) "none invalid" 0 invalid);
       (* appending grows the log by one record *)
-      Dsig_audit.Logfile.append_entry path ~client:2 ~op:"appended" ~signature:"xyz";
+      (let w = Dsig_audit.Logfile.open_writer path in
+       Dsig_audit.Logfile.append w ~client:2 ~op:"appended" ~signature:"xyz";
+       Dsig_audit.Logfile.close_writer w);
       match Dsig_audit.Logfile.load path with
       | Error e -> Alcotest.fail e
       | Ok loaded -> Alcotest.(check int) "appended" 6 (Dsig_audit.Audit.length loaded))
@@ -187,7 +189,9 @@ let test_logfile_corruption () =
       (match Dsig_audit.Logfile.load path with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "bad magic accepted");
-      Dsig_audit.Logfile.append_entry (path ^ ".2") ~client:1 ~op:"full" ~signature:"s";
+      (let w = Dsig_audit.Logfile.open_writer (path ^ ".2") in
+       Dsig_audit.Logfile.append w ~client:1 ~op:"full" ~signature:"s";
+       Dsig_audit.Logfile.close_writer w);
       let data =
         let ic = open_in_bin (path ^ ".2") in
         let s = really_input_string ic (in_channel_length ic) in

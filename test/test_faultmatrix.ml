@@ -146,6 +146,57 @@ let test_adaptive_beats_fixed () =
     true
     (adaptive_red < fixed_red)
 
+(* ISSUE 5 satellite: with [Options.with_ack_delay], verifiers hold ACKs
+   briefly and coalesce them into [Batch.Acks] frames. On the same
+   lossless schedule the delayed run must emit strictly fewer ACK frames
+   for the same acknowledgements, without provoking a single extra
+   re-announcement (the hold is capped well under the signer's 1 ms
+   retry base). *)
+let run_ack_mode ack_options =
+  let sim = Sim.create () in
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let options = ack_options (Options.default |> Options.with_telemetry telemetry) in
+  let d = Deploy.create sim cfg ~n:3 ~latency_us:200.0 ~reannounce_poll_us:100.0 ~options () in
+  Sim.run ~until:20_000.0 sim;
+  let n = 30 in
+  for i = 1 to n do
+    let msg = Printf.sprintf "ackbatch-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    Alcotest.(check bool) "verifies" true (Deploy.verify d ~verifier:1 ~msg s);
+    Sim.run ~until:(Sim.now sim +. 300.0) sim
+  done;
+  Sim.run ~until:(Sim.now sim +. 30_000.0) sim;
+  Deploy.close d;
+  let acks, frames =
+    List.fold_left
+      (fun (a, f) i ->
+        let st = Verifier.stats (Deploy.verifier d i) in
+        (a + st.Verifier.acks_sent, f + st.Verifier.ack_frames_sent))
+      (0, 0) [ 0; 1; 2 ]
+  in
+  let reannounces =
+    List.fold_left
+      (fun acc i -> acc + (Signer.stats (Deploy.signer d i)).Signer.reannounces)
+      0 [ 0; 1; 2 ]
+  in
+  (acks, frames, reannounces)
+
+let test_ack_batching_fewer_frames () =
+  let acks0, frames0, re0 = run_ack_mode (fun o -> o) in
+  let acks1, frames1, re1 = run_ack_mode (Options.with_ack_delay ~cap_us:150.0) in
+  Alcotest.(check int) "immediate mode: one frame per ack" acks0 frames0;
+  Alcotest.(check bool) "acks still flow when delayed" true (acks1 > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "delayed mode coalesces (%d frames < %d acks)" frames1 acks1)
+    true (frames1 < acks1);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer frames than immediate mode (%d < %d)" frames1 frames0)
+    true (frames1 < frames0);
+  Alcotest.(check bool)
+    (Printf.sprintf "no extra re-announces (%d <= %d)" re1 re0)
+    true (re1 <= re0)
+
 let suites =
   [
     ( "faultmatrix",
@@ -155,5 +206,7 @@ let suites =
           test_quiescent_no_reannounce;
         Alcotest.test_case "adaptive pacing beats fixed ladder" `Slow
           test_adaptive_beats_fixed;
+        Alcotest.test_case "ack batching sends fewer frames" `Quick
+          test_ack_batching_fewer_frames;
       ] );
   ]
