@@ -1,0 +1,111 @@
+(* Transparency-log experiment: append throughput and proof latency as
+   the tree grows. Real I/O (WAL appends with fsync off, like every
+   other virtual-time bench) and real Merkle math — this is the one
+   figure where the numbers are this host's, not the cost model's. *)
+
+module Translog = Dsig_translog.Translog
+module Checkpoint = Dsig_translog.Checkpoint
+module Logtree = Dsig_merkle.Logtree
+module Tel = Dsig_telemetry.Telemetry
+
+let fresh_dir () =
+  let d = Filename.temp_file "dsig-bench-translog" "" in
+  Sys.remove d;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let now () = Unix.gettimeofday () *. 1e6
+
+(* median of a sampled loop, microseconds *)
+let timed ~samples f =
+  let xs =
+    Array.init samples (fun _ ->
+        let t0 = now () in
+        f ();
+        now () -. t0)
+  in
+  Array.sort compare xs;
+  xs.(samples / 2)
+
+let run () =
+  Harness.section "translog: append throughput and proof latency vs tree size";
+  let sign = Dsig_hashes.Blake3.digest in
+  let sizes =
+    (* --ops 50 shrinks the ladder to its first rung *)
+    match !Harness.ops_override with
+    | Some o when o < 1000 -> [ 1_000 ]
+    | _ -> [ 1_000; 10_000; 100_000 ]
+  in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      match Translog.open_ ~fsync:false ~dir () with
+      | Error e -> Printf.printf "translog bench: %s\n" e
+      | Ok (log, _) ->
+          let op = String.make 32 'm' and signature = String.make 96 's' in
+          let rows =
+            List.map
+              (fun target ->
+                let t0 = now () in
+                let start = Translog.size log in
+                for i = start to target - 1 do
+                  ignore (Translog.append log ~signer:(i land 7) ~op ~signature)
+                done;
+                let dt = now () -. t0 in
+                let appended = target - start in
+                let append_us = dt /. float_of_int (max 1 appended) in
+                ignore (Translog.checkpoint log ~log_id:0 ~sign);
+                let n = Translog.size log in
+                let incl_us =
+                  timed ~samples:64 (fun () ->
+                      ignore (Translog.prove_inclusion log ~index:(n / 2) ()))
+                in
+                let cons_us =
+                  timed ~samples:64 (fun () ->
+                      ignore (Translog.prove_consistency log ~old_size:(n / 2) ~new_size:n))
+                in
+                let proof_nodes =
+                  match Translog.prove_inclusion log ~index:(n / 2) () with
+                  | Ok p -> List.length p
+                  | Error _ -> 0
+                in
+                ( target,
+                  [
+                    string_of_int n;
+                    Harness.us2 append_us;
+                    Printf.sprintf "%.0f" (1e6 /. append_us);
+                    Harness.us2 incl_us;
+                    Harness.us2 cons_us;
+                    string_of_int proof_nodes;
+                  ],
+                  (append_us, incl_us, cons_us) ))
+              sizes
+          in
+          Harness.print_table
+            ~header:
+              [ "entries"; "append us"; "appends/s"; "incl proof us"; "cons proof us"; "path len" ]
+            (List.map (fun (_, row, _) -> row) rows);
+          (* pin the largest rung's numbers for the smoke snapshot *)
+          (match List.rev rows with
+          | (_, _, (append_us, incl_us, cons_us)) :: _ ->
+              Harness.metric "translog_append_us" append_us;
+              Harness.metric "translog_inclusion_proof_us" incl_us;
+              Harness.metric "translog_consistency_proof_us" cons_us;
+              Harness.metric "translog_entries" (float_of_int (Translog.size log))
+          | [] -> ());
+          let ck_us =
+            (* force growth so the checkpoint is never the cached one *)
+            timed ~samples:8 (fun () ->
+                ignore (Translog.append log ~signer:0 ~op ~signature);
+                ignore (Translog.checkpoint log ~log_id:0 ~sign))
+          in
+          Harness.metric "translog_checkpoint_us" ck_us;
+          Printf.printf "checkpoint (sync + anchor + rotate + sign): %.1f us\n" ck_us;
+          Translog.close log)

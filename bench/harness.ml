@@ -85,6 +85,30 @@ let write_telemetry_snapshot dir base =
   output_string oc (js ^ "\n");
   close_out oc
 
+(* Key-metric recorder (--snapshot PATH): experiments call [metric] for
+   the handful of numbers worth pinning run-over-run (sign/verify
+   microcosts, store overheads, translog append/proof latencies); the
+   snapshot writer dumps them as one flat JSON object so a smoke gate —
+   or a human diffing two checkouts — can key on stable names instead of
+   scraping tables. *)
+let metrics : (string * float) list ref = ref []
+
+let metric name value = metrics := (name, value) :: !metrics
+
+let write_bench_snapshot path =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"dsig-bench-smoke-v1\",\n  \"metrics\": {\n";
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !metrics) in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    %S: %s%s\n" name
+        (if Float.is_finite v then Printf.sprintf "%.6f" v else "null")
+        (if i = List.length sorted - 1 then "" else ","))
+    sorted;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %d bench metrics to %s\n" (List.length sorted) path
+
 let write_csv ~header rows =
   match !csv_dir with
   | None -> ()

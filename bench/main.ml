@@ -39,6 +39,8 @@ let () =
   register "ablation" "ablations: batching, chain cache, bw reduction, EdDSA cache" Bench_ablation.run;
   register "pacing" "fixed vs adaptive re-announce pacing under faults" Bench_pacing.run;
   register "store" "durable key-state store signing overhead (group commit)" Bench_store.run;
+  register "translog" "transparency log: append throughput + proof latency vs tree size"
+    Bench_translog.run;
   (* declare the pacing and store series on the default bundle up front
      so every experiment's telemetry snapshot carries the keys scrapers
      key on, zero-valued until the owning experiment populates them *)
@@ -55,7 +57,19 @@ let () =
     ];
   ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_store_wal_segments");
   ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_store_fsync_us");
-  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_store_group_commit_batch")
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_store_group_commit_batch");
+  (* transparency-plane series, same pre-declaration discipline *)
+  List.iter
+    (fun n -> ignore (Dsig_telemetry.Telemetry.counter tel n))
+    [
+      "dsig_translog_appends_total"; "dsig_translog_checkpoints_total";
+      "dsig_translog_recoveries_total"; "dsig_translog_inclusion_proofs_total";
+      "dsig_translog_consistency_proofs_total"; "dsig_translog_split_views_total";
+    ];
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_translog_entries");
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_translog_segments");
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_translog_append_us");
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_translog_proof_us")
 
 let print_host () =
   Harness.section "Host configuration (stand-in for Table 3; see DESIGN.md)";
@@ -92,6 +106,14 @@ let () =
      | [] -> ()
    in
    find_csv args);
+  let snapshot_path =
+    let rec find = function
+      | "--snapshot" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   if List.mem "--list" args then
     List.iter (fun (id, descr, _) -> Printf.printf "%-10s %s\n" id descr) all
   else begin
@@ -104,5 +126,6 @@ let () =
       exit 1
     end;
     List.iter (fun (_, _, f) -> f ()) selected;
+    (match snapshot_path with Some path -> Harness.write_bench_snapshot path | None -> ());
     print_newline ()
   end

@@ -18,7 +18,37 @@ let required =
     (* durability-plane series (lib/store), declared the same way *)
     "\"dsig_store_fsync_us\""; "\"dsig_store_appends_total\"";
     "\"dsig_store_burned_keys_total\""; "\"dsig_store_recoveries_total\"";
+    (* transparency-plane series (lib/apps/translog) *)
+    "\"dsig_translog_appends_total\""; "\"dsig_translog_checkpoints_total\"";
+    "\"dsig_translog_split_views_total\""; "\"dsig_translog_append_us\"";
+    "\"dsig_translog_proof_us\"";
   ]
+
+(* the pinned key metrics every BENCH_smoke.json must carry — one per
+   plane the smoke run exercises *)
+let required_bench_metrics =
+  [
+    "\"micro_eddsa_sign_us\""; "\"micro_eddsa_verify_us\""; "\"micro_dsig_sign_us\"";
+    "\"store_sign_us\""; "\"translog_append_us\""; "\"translog_inclusion_proof_us\"";
+    "\"translog_consistency_proof_us\""; "\"translog_checkpoint_us\"";
+  ]
+
+let check_bench_snapshot dir =
+  let path = Filename.concat dir "BENCH_smoke.json" in
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "smoke_check: %s missing\n" path;
+    exit 1
+  end;
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let missing = List.filter (fun k -> not (contains s k)) required_bench_metrics in
+  if missing <> [] then begin
+    List.iter (fun k -> Printf.eprintf "smoke_check: %s lacks metric %s\n" path k) missing;
+    exit 1
+  end;
+  Printf.printf "smoke_check: %s carries all %d pinned metrics\n" path
+    (List.length required_bench_metrics)
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "smoke-results" in
@@ -49,4 +79,5 @@ let () =
   else begin
     List.iter (fun f -> Printf.eprintf "smoke_check: %s/%s lacks lifecycle keys\n" dir f) bad;
     exit 1
-  end
+  end;
+  check_bench_snapshot dir

@@ -388,6 +388,86 @@ let top_cmd =
     (Cmd.info "top" ~doc:"Watch per-plane signature lifecycle latencies from a scrape endpoint.")
     Term.(const top $ port_arg $ interval_arg $ count_arg $ d_arg $ batch_arg)
 
+(* --- monitor: independent split-view watching of a transparency log --- *)
+
+let monitor endpoints pk_hex log_id interval count =
+  let module Serve = Dsig_translog.Serve in
+  let module Monitor = Dsig_translog.Monitor in
+  let module Checkpoint = Dsig_translog.Checkpoint in
+  if endpoints = [] then begin
+    prerr_endline "monitor: at least one --endpoint is required";
+    1
+  end
+  else begin
+    let pk = Dsig_util.Bytesutil.of_hex pk_hex in
+    let mon =
+      Monitor.create ~log_id
+        ~verify:(fun ~msg ~signature -> Dsig_ed25519.Eddsa.verify pk msg signature)
+        ()
+    in
+    let alarmed = ref false in
+    let tick = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      incr tick;
+      List.iter
+        (fun port ->
+          let source = Printf.sprintf "127.0.0.1:%d" port in
+          match Serve.fetch_checkpoint ~port () with
+          | Error e -> Printf.printf "%s: unreachable: %s\n%!" source e
+          | Ok cp -> (
+              let fetch_consistency ~old_size ~new_size =
+                Serve.fetch_consistency ~port ~old_size ~new_size ()
+              in
+              match Monitor.observe mon ~source cp ~fetch_consistency with
+              | Monitor.Advanced ->
+                  Printf.printf "%s: size %d root %s — head advanced\n%!" source
+                    cp.Checkpoint.tree_size
+                    (Dsig_util.Bytesutil.to_hex cp.Checkpoint.root)
+              | Monitor.Stale -> Printf.printf "%s: size %d — stale but consistent\n%!" source cp.Checkpoint.tree_size
+              | Monitor.Duplicate -> Printf.printf "%s: size %d — unchanged\n%!" source cp.Checkpoint.tree_size
+              | Monitor.Alarmed a ->
+                  Printf.printf "%s: ALARM: %s\n%!" source (Monitor.alarm_to_string a);
+                  alarmed := true))
+        endpoints;
+      if count > 0 && !tick >= count then continue_ := false;
+      if !alarmed then continue_ := false;
+      if !continue_ then Thread.delay interval
+    done;
+    (match Monitor.head mon with
+    | Some h ->
+        Printf.printf "monitor head: size %d root %s (%d alarms)\n%!" h.Checkpoint.tree_size
+          (Dsig_util.Bytesutil.to_hex h.Checkpoint.root)
+          (List.length (Monitor.alarms mon))
+    | None -> print_endline "monitor: no checkpoint ever accepted");
+    if !alarmed then 2 else 0
+  end
+
+let endpoint_arg =
+  Arg.(
+    value & opt_all int []
+    & info [ "e"; "endpoint" ] ~docv:"PORT"
+        ~doc:
+          "Transparency-log proof endpoint on 127.0.0.1 (repeatable — poll several vantage \
+           points to catch split views).")
+
+let log_pk_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "public-key" ] ~docv:"HEX" ~doc:"The log identity's Ed25519 public key (hex).")
+
+let log_id_arg =
+  Arg.(value & opt int 0 & info [ "log-id" ] ~doc:"Expected log id in checkpoints.")
+
+let monitor_cmd =
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Poll transparency-log checkpoints from one or more endpoints, verify consistency \
+          proofs between successive heads, and exit 2 on any split-view or consistency alarm.")
+    Term.(const monitor $ endpoint_arg $ log_pk_arg $ log_id_arg $ interval_arg $ count_arg)
+
 (* --- analyze --- *)
 
 let analyze () =
@@ -524,6 +604,7 @@ let main_cmd =
       analyze_cmd;
       stats_cmd;
       top_cmd;
+      monitor_cmd;
       log_sign_cmd;
       log_audit_cmd;
       store_cmd;

@@ -72,7 +72,7 @@ let () =
         | Tcp.Announcement a -> if Verifier.deliver verifier a then incr announcements
         | Tcp.Signed { msg; signature } -> handle_signed ~msg ~signature ()
         | Tcp.Traced (ctx, Tcp.Signed { msg; signature }) -> handle_signed ~ctx ~msg ~signature ()
-        | Tcp.Traced (_, _) | Tcp.Control _ -> ());
+        | Tcp.Traced (_, _) | Tcp.Control _ | Tcp.Checkpoint _ -> ());
         Mutex.unlock mu)
       ()
   in

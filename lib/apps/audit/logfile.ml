@@ -85,7 +85,3 @@ let close_writer w =
     close_out_noerr w.oc;
     w.closed <- true
   end
-
-let append_entry path ~client ~op ~signature =
-  let w = open_writer path in
-  Fun.protect ~finally:(fun () -> close_writer w) (fun () -> append w ~client ~op ~signature)

@@ -40,8 +40,3 @@ val append : ?sync:bool -> writer -> client:int -> op:string -> signature:string
 
 val close_writer : writer -> unit
 (** Idempotent. *)
-
-val append_entry : string -> client:int -> op:string -> signature:string -> unit
-[@@ocaml.deprecated "use Logfile.open_writer / append / close_writer"]
-(** Open-append-close per record (one file open {e per entry} and no
-    fsync); kept one release for existing call sites. *)

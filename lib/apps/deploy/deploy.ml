@@ -3,6 +3,9 @@ module Eddsa = Dsig_ed25519.Eddsa
 module Rng = Dsig_util.Rng
 module Tel = Dsig_telemetry.Telemetry
 module Metric = Dsig_telemetry.Metric
+module Translog = Dsig_translog.Translog
+module Checkpoint = Dsig_translog.Checkpoint
+module Monitor = Dsig_translog.Monitor
 
 type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
 
@@ -11,24 +14,70 @@ type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
 type payload =
   | P_announce of float * Dsig.Batch.announcement
   | P_control of Dsig.Batch.control
+  | P_checkpoint of string
+
+(* the transparency plane of one deployment: one shared log (every
+   signer appends), one log identity, one monitor per party *)
+type transparency = {
+  log : Translog.t;
+  log_id : int;
+  log_sk : Eddsa.secret_key;  (* kept for the equivocation experiments *)
+  log_pk : Eddsa.public_key;
+  monitors : Monitor.t array;
+  mutable gossiped : int;
+  mutable broadcast : string -> unit;  (* wired once the net exists *)
+}
 
 type t = {
   cfg : Dsig.Config.t;
   parties : party array;
   pki : Dsig.Pki.t;
   net : payload Net.t;
+  transparency : transparency option;
   mutable sent : int;
   mutable delivered : int;
 }
 
 let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
-    ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) ?store_dir sim cfg
-    ~n () =
+    ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) ?store_dir
+    ?translog_dir ?(translog_poll_us = 200.0) ?(log_id = 0) sim cfg ~n () =
   let telemetry = options.Dsig.Options.telemetry in
+  let pki = Dsig.Pki.create () in
+  let master = Rng.create seed in
+  let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
+  Array.iteri (fun id (_, pk) -> Dsig.Pki.register pki ~id pk) keys;
+  (* transparency plane: one shared durable log for the whole
+     deployment, its own signing identity (distinct from every party's),
+     and a monitor per party fed by gossiped checkpoints *)
+  let transparency =
+    match translog_dir with
+    | None -> None
+    | Some dir -> (
+        match Translog.open_ ~telemetry ~fsync:false ~dir () with
+        | Error e -> failwith ("Deploy.create: " ^ e)
+        | Ok (log, _report) ->
+            let log_sk, log_pk = Eddsa.generate (Rng.split master) in
+            let monitors =
+              Array.init n (fun _ ->
+                  Monitor.create ~telemetry ~log_id
+                    ~verify:(fun ~msg ~signature -> Eddsa.verify log_pk msg signature)
+                    ())
+            in
+            Some { log; log_id; log_sk; log_pk; monitors; gossiped = 0; broadcast = ignore })
+  in
   (* per-node store subdirectories, so n parties on one host never share
      a journal; a restarted deployment pointed at the same [store_dir]
      resumes each node's key state *)
   let options_of id =
+    let options =
+      match transparency with
+      | None -> options
+      | Some tr ->
+          Dsig.Options.with_translog
+            (fun ~signer ~op ~signature ->
+              ignore (Translog.append tr.log ~signer ~op ~signature))
+            options
+    in
     match store_dir with
     | None -> options
     | Some dir ->
@@ -40,10 +89,6 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
         in
         Dsig.Options.with_store base options
   in
-  let pki = Dsig.Pki.create () in
-  let master = Rng.create seed in
-  let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
-  Array.iteri (fun id (_, pk) -> Dsig.Pki.register pki ~id pk) keys;
   let net : payload Net.t = Net.create sim ~nodes:n ~latency_us () in
   let ann_bytes = Dsig.Batch.announcement_wire_bytes cfg in
   let c_sent = Tel.counter telemetry "dsig_deploy_announcements_sent_total" in
@@ -78,8 +123,58 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
             Dsig.Verifier.create cfg ~id ~pki ~options ~control:(control_of id) ();
         })
   in
-  let t = { cfg; parties; pki; net; sent = 0; delivered = 0 } in
+  let t = { cfg; parties; pki; net; transparency; sent = 0; delivered = 0 } in
   t_ref := Some t;
+  let c_ckpt_sent = Tel.counter telemetry "dsig_deploy_checkpoints_gossiped_total" in
+  let c_ckpt_alarms = Tel.counter telemetry "dsig_deploy_checkpoint_alarms_total" in
+  let observe_checkpoint id encoded =
+    match transparency with
+    | None -> ()
+    | Some tr -> (
+        match Checkpoint.decode encoded with
+        | Error _ -> Metric.Counter.incr c_ckpt_alarms
+        | Ok cp -> (
+            (* monitors bridge heads with proofs from the log itself —
+               in-process here; over Serve in the real-TCP harness *)
+            match
+              Monitor.observe tr.monitors.(id) ~source:"gossip" cp
+                ~fetch_consistency:(fun ~old_size ~new_size ->
+                  Translog.prove_consistency tr.log ~old_size ~new_size)
+            with
+            | Monitor.Alarmed _ -> Metric.Counter.incr c_ckpt_alarms
+            | Monitor.Advanced | Monitor.Stale | Monitor.Duplicate -> ()))
+  in
+  let broadcast_checkpoint encoded =
+    match transparency with
+    | None -> ()
+    | Some tr ->
+        tr.gossiped <- tr.gossiped + 1;
+        Metric.Counter.incr c_ckpt_sent;
+        (* node 0 gossips; its own monitor observes directly *)
+        observe_checkpoint 0 encoded;
+        for dst = 1 to Array.length t.parties - 1 do
+          Net.send_async net ~src:0 ~dst ~bytes:(String.length encoded) (P_checkpoint encoded)
+        done
+  in
+  (* checkpoint gossip pump: sign and broadcast a fresh head whenever
+     the log grew since the last one (Translog.checkpoint caches
+     otherwise, so an idle log gossips nothing new) *)
+  (match transparency with
+  | None -> ()
+  | Some tr ->
+      Sim.spawn sim (fun () ->
+          (* start at 0: an empty log has no head worth gossiping *)
+          let last = ref 0 in
+          while true do
+            Sim.sleep translog_poll_us;
+            if Translog.size tr.log > !last then begin
+              let cp =
+                Translog.checkpoint tr.log ~log_id:tr.log_id ~sign:(Eddsa.sign tr.log_sk)
+              in
+              last := cp.Checkpoint.tree_size;
+              broadcast_checkpoint (Checkpoint.encode cp)
+            end
+          done));
   (* per-party background plane: one queue-refill step per poll
      (Algorithm 1 lines 6-11) *)
   Array.iteri
@@ -110,6 +205,7 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
       Sim.spawn sim (fun () ->
           while true do
             match Net.recv net ~node:id with
+            | _src, _bytes, P_checkpoint encoded -> observe_checkpoint id encoded
             | _src, _bytes, P_control c ->
                 Dsig.Control_plane.deliver cp c
                 |> List.iter (fun (dest, ann) -> send_of id ~dest ann)
@@ -129,12 +225,35 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
                 ignore (Dsig.Verifier.flush_acks p.verifier ~now:(Tel.now telemetry))
           done))
     parties;
+  (* expose the injection point for split-view experiments: an encoded
+     checkpoint pushed here rides the same gossip path as honest ones *)
+  (match transparency with
+  | Some tr -> tr.broadcast <- broadcast_checkpoint
+  | None -> ());
   t
 
 let signer t i = t.parties.(i).signer
 let verifier t i = t.parties.(i).verifier
 let pki t = t.pki
 let net t = t.net
+
+let translog t = Option.map (fun tr -> tr.log) t.transparency
+let translog_pk t = Option.map (fun tr -> tr.log_pk) t.transparency
+
+(* deliberately exposed: equivocation experiments need to sign a forged
+   head with the real log identity (see the split-view tests) *)
+let translog_sk t = Option.map (fun tr -> tr.log_sk) t.transparency
+let translog_id t = Option.map (fun tr -> tr.log_id) t.transparency
+
+let monitor t i =
+  Option.map (fun tr -> tr.monitors.(i)) t.transparency
+
+let checkpoints_gossiped t =
+  match t.transparency with Some tr -> tr.gossiped | None -> 0
+
+let gossip_checkpoint t encoded =
+  match t.transparency with Some tr -> tr.broadcast encoded | None -> ()
+
 let sign t ~signer:i ?hint msg = Dsig.Signer.sign t.parties.(i).signer ?hint msg
 let verify t ~verifier:i ~msg signature = Dsig.Verifier.verify t.parties.(i).verifier ~msg signature
 let announcements_sent t = t.sent
@@ -147,7 +266,10 @@ let close t =
     (fun p ->
       ignore (Dsig.Verifier.flush_acks ~force:true p.verifier ~now:0.0);
       Dsig.Signer.close p.signer)
-    t.parties
+    t.parties;
+  (* seal the transparency log last: the sink has run for every
+     signature the loop above flushed out *)
+  match t.transparency with Some tr -> Translog.close tr.log | None -> ()
 
 let flip_random_bit rng s =
   if String.length s = 0 then s
@@ -174,3 +296,7 @@ let corrupting_mutate ~seed =
         match Dsig.Batch.decode_control (flip_random_bit rng (Dsig.Batch.encode_control c)) with
         | Ok c' -> Some (P_control c')
         | Error _ -> None)
+    | P_checkpoint encoded ->
+        (* a corrupted checkpoint either fails to decode (dropped by the
+           receiver) or fails its signature at the monitor *)
+        Some (P_checkpoint (flip_random_bit rng encoded))

@@ -29,6 +29,10 @@ type payload =
       (** Announcement stamped with its virtual send time. *)
   | P_control of Dsig.Batch.control
       (** Verifier→signer ACK / batch-request reliability traffic. *)
+  | P_checkpoint of string
+      (** A gossiped transparency-log checkpoint (encoded
+          {!Dsig_translog.Checkpoint}), broadcast by the log operator
+          (node 0) and fed to every party's split-view monitor. *)
 
 val create :
   ?latency_us:float ->
@@ -38,6 +42,9 @@ val create :
   ?seed:int64 ->
   ?options:Dsig.Options.t ->
   ?store_dir:string ->
+  ?translog_dir:string ->
+  ?translog_poll_us:float ->
+  ?log_id:int ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -72,7 +79,20 @@ val create :
     When [options] carries {!Dsig.Options.with_ack_delay}, each party's
     re-announce pump and receive loop also flush the verifier's held
     acknowledgements, so delayed ACKs ride the modeled network as
-    coalesced [Batch.Acks] frames. *)
+    coalesced [Batch.Acks] frames.
+
+    [translog_dir] turns on the transparency plane: every signature any
+    party issues is appended to one shared durable
+    {!Dsig_translog.Translog} in that directory, node 0 signs a fresh
+    checkpoint with the deployment's log identity (an Ed25519 key
+    distinct from every party's) whenever the log grew during the last
+    [translog_poll_us] (default 200.0) window and gossips it to all
+    parties as [P_checkpoint] frames, and each party feeds its own
+    {!Dsig_translog.Monitor}. The shared telemetry bundle additionally
+    receives [dsig_deploy_checkpoints_gossiped_total] and
+    [dsig_deploy_checkpoint_alarms_total] counters plus the
+    [dsig_translog_*] series. [log_id] (default 0) names the log in its
+    checkpoints. *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t
@@ -90,6 +110,31 @@ val corrupting_mutate : seed:int64 -> payload -> payload option
     reject; [Some] is a decoded-but-tampered frame that must then fail
     the cryptographic checks downstream. Partially apply to get the
     hook: [Net.set_faults ... ~mutate:(Deploy.corrupting_mutate ~seed)]. *)
+
+(** {1 Transparency plane} (all [None]/no-ops without [translog_dir]) *)
+
+val translog : t -> Dsig_translog.Translog.t option
+(** The deployment's shared transparency log. *)
+
+val translog_pk : t -> Dsig_ed25519.Eddsa.public_key option
+(** The log identity's public key — what monitors verify heads with. *)
+
+val translog_sk : t -> Dsig_ed25519.Eddsa.secret_key option
+(** The log identity's {e secret} key. Deliberately exposed so
+    equivocation experiments can forge a correctly-signed split-view
+    head; a production log would keep this key to itself. *)
+
+val translog_id : t -> int option
+
+val monitor : t -> int -> Dsig_translog.Monitor.t option
+(** Party [i]'s split-view monitor. *)
+
+val gossip_checkpoint : t -> string -> unit
+(** Broadcast an arbitrary encoded checkpoint over the same gossip path
+    honest heads take (node 0 to everyone, monitors included) — the
+    injection point for split-view tests. *)
+
+val checkpoints_gossiped : t -> int
 
 val sign : t -> signer:int -> ?hint:int list -> string -> string
 (** Callable from inside or outside simulation processes. *)

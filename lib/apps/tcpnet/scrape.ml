@@ -8,6 +8,7 @@ type t = {
   actual_port : int;
   telemetry : Tel.t;
   health_budgets : (Lifecycle.plane * float) list;
+  routes : (string -> (string * string * string) option) list;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
   c_requests : Metric.Counter.t;
@@ -95,6 +96,13 @@ let response ~status ~content_type body =
     "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     status content_type (String.length body) body
 
+(* every error leaves through here, so all of them carry a status line,
+   a Content-Type and a correct Content-Length — clients can parse a
+   404 exactly like a 200 *)
+let error_response t ~status detail =
+  Metric.Counter.incr t.c_errors;
+  response ~status ~content_type:"text/plain" (detail ^ "\n")
+
 let max_request_bytes = 8192
 
 (* Read until the end of the request head; scrape requests have no body. *)
@@ -140,20 +148,25 @@ let handle_conn t fd =
     (fun () ->
       match Option.bind (read_request fd) parse_path with
       | None ->
-          Metric.Counter.incr t.c_errors;
-          Tcpnet.really_write fd
-            (response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n")
+          Tcpnet.really_write fd (error_response t ~status:"400 Bad Request" "bad request")
       | Some path -> (
           Metric.Counter.incr t.c_requests;
-          match route ~health_budgets:t.health_budgets t.telemetry path with
+          let extra path = List.find_map (fun r -> r path) t.routes in
+          let builtin path = route ~health_budgets:t.health_budgets t.telemetry path in
+          match
+            match extra path with Some r -> Some r | None -> builtin path
+          with
           | Some (status, content_type, body) ->
               Tcpnet.really_write fd (response ~status ~content_type body)
-          | None ->
-              Metric.Counter.incr t.c_errors;
+          | None -> Tcpnet.really_write fd (error_response t ~status:"404 Not Found" "not found")
+          | exception e ->
+              (* a mounted route that raises must not kill the
+                 connection without an answer *)
               Tcpnet.really_write fd
-                (response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")))
+                (error_response t ~status:"500 Internal Server Error" (Printexc.to_string e))))
 
-let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budgets) ~port () =
+let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budgets) ?(routes = [])
+    ~port () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -167,6 +180,7 @@ let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budget
       actual_port;
       telemetry;
       health_budgets = health_budgets_us;
+      routes;
       stopping = false;
       accept_thread = None;
       c_requests = Tel.counter telemetry "dsig_scrape_requests_total";

@@ -23,14 +23,21 @@
       within budget and 503 otherwise (a plane with no observations
       fails — "no data" is not "healthy").
 
+    Extra routes can be mounted at {!start} (e.g. the transparency log's
+    [/checkpoint] — [Dsig_translog.Serve.checkpoint_route]); they are
+    consulted before the built-ins.
+
     Anything else is a 404. Requests above 8 KiB or without a parseable
-    GET line get a 400. *)
+    GET line get a 400. Every response — including 400/404/500 — carries
+    a status line, a Content-Type and a correct Content-Length, so
+    clients parse errors exactly like successes. *)
 
 type t
 
 val start :
   ?telemetry:Dsig_telemetry.Telemetry.t ->
   ?health_budgets_us:(Dsig_telemetry.Lifecycle.plane * float) list ->
+  ?routes:(string -> (string * string * string) option) list ->
   port:int ->
   unit ->
   t
@@ -39,7 +46,10 @@ val start :
     [dsig_scrape_requests_total] / [dsig_scrape_errors_total] on the
     same bundle. [health_budgets_us] sets the [/health] per-plane p99
     budgets (defaults: sign and verify 10 ms, announce and end-to-end
-    100 ms). *)
+    100 ms). [routes] mounts extra handlers, each mapping a path to
+    [Some (status, content-type, body)] or [None] to decline; they are
+    tried in order before the built-in routes, and one that raises is
+    answered with a well-formed 500 rather than a dropped connection. *)
 
 val port : t -> int
 

@@ -32,6 +32,7 @@ type message =
   | Announcement of Dsig.Batch.announcement
   | Signed of { msg : string; signature : string }
   | Control of Dsig.Batch.control
+  | Checkpoint of string
   | Traced of Trace.t * message
 
 let rec encode_message = function
@@ -40,6 +41,9 @@ let rec encode_message = function
       "S" ^ BU.u32_le (Int32.of_int (String.length msg)) ^ msg ^ signature
   (* Batch.encode_control already carries its own 'K'/'R'/'M' tag byte *)
   | Control c -> Dsig.Batch.encode_control c
+  (* the payload is an encoded Dsig_translog.Checkpoint — carried
+     opaquely so the transport stays independent of the log library *)
+  | Checkpoint c -> "C" ^ c
   | Traced (ctx, inner) -> "T" ^ Trace.encode ctx ^ encode_message inner
 
 let rec decode_message s =
@@ -49,6 +53,7 @@ let rec decode_message s =
     match s.[0] with
     | 'A' -> Result.map (fun a -> Announcement a) (Dsig.Batch.decode_announcement body)
     | 'K' | 'R' | 'M' -> Result.map (fun c -> Control c) (Dsig.Batch.decode_control s)
+    | 'C' -> if body = "" then Error "empty checkpoint frame" else Ok (Checkpoint body)
     | 'S' ->
         if String.length body < 4 then Error "short signed frame"
         else begin

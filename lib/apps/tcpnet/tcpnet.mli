@@ -6,7 +6,7 @@
 
     Frame format: 4-byte little-endian payload length, 1 tag byte
     ([`A]nnouncement / [`S]igned message / [`K] ack / [`R] batch
-    request), payload. *)
+    request / [`C]heckpoint), payload. *)
 
 type message =
   | Announcement of Dsig.Batch.announcement
@@ -14,6 +14,11 @@ type message =
   | Control of Dsig.Batch.control
       (** Announcement-plane reliability traffic: verifier→signer ACKs
           (single or batched) and pull-repair batch requests. *)
+  | Checkpoint of string
+      (** A gossiped transparency-log checkpoint (tag ['C']): the
+          payload is an encoded [Dsig_translog.Checkpoint], carried
+          opaquely — receivers decode and feed it to their monitor.
+          Empty payloads are rejected by the decoder. *)
   | Traced of Dsig_telemetry.Trace_ctx.t * message
       (** A message carrying its signature's 18-byte trace context
           (tag ['T'] + {!Dsig_telemetry.Trace_ctx.encode} + inner frame)

@@ -1,0 +1,42 @@
+module BU = Dsig_util.Bytesutil
+
+type t = { log_id : int; tree_size : int; root : string; signature : string }
+
+let magic = "DSIGCKP1"
+
+let body ~log_id ~tree_size ~root =
+  if String.length root <> 32 then invalid_arg "Checkpoint.body: root must be 32 bytes";
+  if log_id < 0 || tree_size < 0 then invalid_arg "Checkpoint.body: negative field";
+  BU.concat [ magic; BU.u64_le (Int64.of_int log_id); BU.u64_le (Int64.of_int tree_size); root ]
+
+let make ~log_id ~tree_size ~root ~sign =
+  { log_id; tree_size; root; signature = sign (body ~log_id ~tree_size ~root) }
+
+let verify ~verify:vf t =
+  t.log_id >= 0 && t.tree_size >= 0
+  && String.length t.root = 32
+  && vf ~msg:(body ~log_id:t.log_id ~tree_size:t.tree_size ~root:t.root) ~signature:t.signature
+
+let encode t =
+  BU.concat
+    [
+      body ~log_id:t.log_id ~tree_size:t.tree_size ~root:t.root;
+      BU.u16_be (String.length t.signature);
+      t.signature;
+    ]
+
+let body_bytes = 8 + 8 + 8 + 32
+
+let decode s =
+  let len = String.length s in
+  if len < body_bytes + 2 then Error "short checkpoint"
+  else if String.sub s 0 8 <> magic then Error "bad checkpoint magic"
+  else begin
+    let log_id = Int64.to_int (BU.get_u64_le s 8) in
+    let tree_size = Int64.to_int (BU.get_u64_le s 16) in
+    let root = String.sub s 24 32 in
+    let sig_len = BU.get_u16_be s body_bytes in
+    if log_id < 0 || tree_size < 0 then Error "negative checkpoint field"
+    else if body_bytes + 2 + sig_len <> len then Error "bad checkpoint signature length"
+    else Ok { log_id; tree_size; root; signature = String.sub s (body_bytes + 2) sig_len }
+  end

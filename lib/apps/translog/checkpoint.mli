@@ -1,0 +1,38 @@
+(** Signed transparency-log checkpoints ("signed tree heads"): the log
+    operator's periodic, signed claim that the log of [tree_size]
+    entries has Merkle root [root].
+
+    Checkpoints are what gossips: a verifier or monitor that holds two
+    valid checkpoints of the same log can demand a consistency proof
+    between them, and two valid checkpoints with the same size but
+    different roots are cryptographic evidence of a split view
+    ({!Monitor}).
+
+    The signature covers the domain-tagged {!body} ("DSIGCKP1" | log id
+    u64 LE | tree size u64 LE | 32-byte root); the scheme is whatever
+    [sign]/[verify] closures the caller supplies — the log's Ed25519
+    identity in this repo's deployments, but a full DSig signer works
+    the same way. *)
+
+type t = {
+  log_id : int;  (** which log this head belongs to *)
+  tree_size : int;  (** entries covered *)
+  root : string;  (** 32-byte {!Dsig_merkle.Logtree} root over them *)
+  signature : string;  (** opaque signature over {!body} *)
+}
+
+val body : log_id:int -> tree_size:int -> root:string -> string
+(** The signed preimage.
+    @raise Invalid_argument on a non-32-byte root or negative fields. *)
+
+val make : log_id:int -> tree_size:int -> root:string -> sign:(string -> string) -> t
+
+val verify : verify:(msg:string -> signature:string -> bool) -> t -> bool
+(** Recompute {!body} and check the signature with the supplied
+    verifier. Total: malformed checkpoints are [false], never raise. *)
+
+val encode : t -> string
+(** {!body} followed by [u16 BE] signature length and the signature. *)
+
+val decode : string -> (t, string) result
+(** Total: [Error] on bad magic, truncation, or trailing bytes. *)

@@ -1,0 +1,63 @@
+(** The transparency log's network face: a tiny length-framed TCP
+    request/response protocol over loopback (the same [u32 LE length |
+    tag | payload] framing as {!Dsig_tcpnet.Tcpnet}, but two-way), plus
+    a mountable [/checkpoint] route for {!Dsig_tcpnet.Scrape}.
+
+    Requests: ['C'] (fresh signed checkpoint), ['I' size index]
+    (inclusion proof, both u64 LE), ['N' old new] (consistency proof).
+    Replies: ['C' checkpoint] / ['P' proof] / ['E' error text] — range
+    errors travel as ['E'] replies, never as dropped connections. *)
+
+type t
+
+val serve :
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  port:int ->
+  log:Translog.t ->
+  log_id:int ->
+  sign:(string -> string) ->
+  unit ->
+  t
+(** Bind 127.0.0.1:[port] (0 picks an ephemeral port); each connection
+    gets a thread and is served until it hangs up. ['C'] requests call
+    {!Translog.checkpoint} (durable-sync then sign, cached while the
+    size is unchanged). Telemetry: [dsig_translog_requests_total] and
+    [dsig_translog_serve_errors_total] counters. *)
+
+val port : t -> int
+val stop : t -> unit
+
+(** {1 One-shot clients}
+
+    Each call opens a connection, performs one round trip and closes —
+    what the monitor CLI and tests use. All errors come back as
+    [Error], including refused connections and ['E'] replies. *)
+
+val fetch_checkpoint : port:int -> unit -> (Checkpoint.t, string) result
+val fetch_inclusion :
+  port:int -> size:int -> index:int -> unit -> (Dsig_merkle.Logtree.proof, string) result
+val fetch_consistency :
+  port:int -> old_size:int -> new_size:int -> unit -> (Dsig_merkle.Logtree.proof, string) result
+
+(** {1 Wire codec} (exposed for tests) *)
+
+type request =
+  | Get_checkpoint
+  | Get_inclusion of { size : int; index : int }
+  | Get_consistency of { old_size : int; new_size : int }
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+(** {1 Scrape mount} *)
+
+val checkpoint_route :
+  log:Translog.t ->
+  log_id:int ->
+  sign:(string -> string) ->
+  string ->
+  (string * string * string) option
+(** A route for {!Dsig_tcpnet.Scrape.start}'s [?routes]: answers
+    [/checkpoint] with a JSON rendering of a fresh signed checkpoint
+    (hex root/signature plus the full hex {!Checkpoint.encode} for
+    machine consumption), [None] for any other path. *)

@@ -1,0 +1,119 @@
+(** The durable transparency log: an append-only record of every
+    signature a deployment issues, wrapped in an incremental
+    {!Dsig_merkle.Logtree} so any entry's inclusion — and the log's
+    append-only growth between any two checkpoints — is provable in
+    O(log n).
+
+    {2 Storage}
+
+    A log directory holds numbered {!Dsig_store.Wal} segments
+    ([log-%016Ld], one record per entry) plus an [anchor] file written
+    at every checkpoint (CRC-framed [covered segment | tree size |
+    root]). Nothing is ever pruned: unlike the key-state store, whose
+    snapshots exist to let old segments die, a transparency log's whole
+    point is that history only grows. Segments rotate at checkpoint
+    boundaries purely to bound individual file sizes.
+
+    {2 Crash discipline}
+
+    {!append} writes the WAL frame before touching the in-memory tree,
+    so a crash can only lose a suffix of appends. {!open_} replays all
+    segments oldest-first through {!Dsig_store.Wal.repair}, physically
+    truncating any torn tail — the transparency-plane version of
+    burn-the-gap: whatever was not durable is discarded for good, never
+    silently re-grown under a different root. The replayed tree is then
+    cross-checked against the anchor; if it cannot reproduce the
+    anchored root at the anchored size, {!open_} refuses to start
+    (serving a diverged tree would be an equivocation).
+
+    {!checkpoint} syncs the WAL {e before} signing, so a published head
+    only ever covers durable entries: any checkpoint that reached a
+    monitor stays consistency-provable from the post-restart tree. *)
+
+type entry = { signer : int; op : string; signature : string }
+
+val encode_entry : entry -> string
+(** [u64 LE signer | u32 LE op length | op | u32 LE sig length | sig] —
+    the leaf bytes hashed into the tree and the WAL record payload. *)
+
+val decode_entry : string -> (entry, string) result
+(** Total inverse of {!encode_entry}. *)
+
+(** {1 Opening} *)
+
+type recovery = {
+  entries : int;  (** leaves replayed into the tree *)
+  segments : int;  (** segment files found on disk *)
+  torn_segments : int;  (** segments whose tail had to be truncated *)
+  torn_bytes : int;  (** bytes discarded across those tails *)
+  anchor_size : int;  (** tree size the on-disk anchor covered; 0 = none *)
+}
+
+type t
+
+val open_ :
+  ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?group_commit:int ->
+  ?fsync:bool ->
+  dir:string ->
+  unit ->
+  (t * recovery, string) result
+(** Open (creating if needed) the log in [dir], replaying any existing
+    segments. [group_commit]/[fsync] are passed to the underlying WAL
+    (defaults 8 / [true]). [Error] on I/O failure, unreadable segments,
+    a corrupt anchor, or a replayed tree that contradicts the anchor.
+
+    Telemetry: [dsig_translog_appends_total],
+    [dsig_translog_checkpoints_total], [dsig_translog_recoveries_total],
+    [dsig_translog_inclusion_proofs_total],
+    [dsig_translog_consistency_proofs_total] counters;
+    [dsig_translog_entries] and [dsig_translog_segments] gauges;
+    [dsig_translog_append_us] and [dsig_translog_proof_us] histograms. *)
+
+(** {1 Appending and reading} *)
+
+val append : t -> signer:int -> op:string -> signature:string -> int
+(** Durably append one issued signature; returns its leaf index. Thread
+    safe. @raise Invalid_argument after {!close}. *)
+
+val size : t -> int
+val root : t -> string
+
+val root_at : t -> int -> string
+(** @raise Invalid_argument if the size is out of range. *)
+
+val entry : t -> int -> entry option
+val leaf : t -> int -> string option
+(** Raw leaf bytes (what {!verify_inclusion} wants as [leaf]). *)
+
+(** {1 Proofs} *)
+
+val prove_inclusion : t -> ?size:int -> index:int -> unit -> (Dsig_merkle.Logtree.proof, string) result
+(** Audit path for [index] within the first [size] leaves (default:
+    current size). [Error] on out-of-range arguments — callers serve
+    these to the network, so bad input must not raise. *)
+
+val prove_consistency : t -> old_size:int -> new_size:int -> (Dsig_merkle.Logtree.proof, string) result
+
+(** {1 Checkpoints} *)
+
+val checkpoint : t -> log_id:int -> sign:(string -> string) -> Checkpoint.t
+(** Sync the WAL, persist the anchor, rotate the active segment (when it
+    has any appends), and return a freshly signed head over the current
+    size. When the size is unchanged since the last call the cached
+    checkpoint is returned without re-signing or rotating. Thread safe;
+    [sign] runs outside the log's lock, so it may read the log (or be
+    arbitrarily slow) without deadlocking.
+    @raise Invalid_argument after {!close}. *)
+
+val latest_checkpoint : t -> Checkpoint.t option
+
+(** {1 Lifecycle} *)
+
+val sync : t -> unit
+val close : t -> unit
+(** Flush and close. Idempotent. *)
+
+val crash : t -> unit
+(** Drop the WAL descriptor without flushing — simulates a kill for
+    crash tests. Idempotent. *)

@@ -34,6 +34,7 @@ type t = {
   pacing : pacing;
   store : store option;
   ack_delay : ack_delay option;
+  translog : (signer:int -> op:string -> signature:string -> unit) option;
 }
 
 let default =
@@ -45,6 +46,7 @@ let default =
     pacing = Fixed;
     store = None;
     ack_delay = None;
+    translog = None;
   }
 
 let with_telemetry telemetry t = { t with telemetry }
@@ -66,3 +68,5 @@ let with_ack_delay ?(srtt_fraction = 0.25) ~cap_us t =
   if srtt_fraction < 0.0 then
     invalid_arg "Options.with_ack_delay: srtt_fraction must be non-negative";
   { t with ack_delay = Some { cap_us; srtt_fraction } }
+
+let with_translog sink t = { t with translog = Some sink }

@@ -90,6 +90,9 @@ type t = {
   pacing : pacing;
   store : store option;  (** [None] (default) = in-memory key state only *)
   ack_delay : ack_delay option;  (** [None] (default) = ACK immediately *)
+  translog : (signer:int -> op:string -> signature:string -> unit) option;
+      (** transparency sink: called once per issued signature, after the
+          wire encoding exists ([None] (default) = no transparency log) *)
 }
 
 val default : t
@@ -121,3 +124,13 @@ val with_ack_delay : ?srtt_fraction:float -> cap_us:float -> t -> t
     (default fraction 0.25) and coalesce them into [Batch.Acks] frames.
     [cap_us = 0.] restores immediate ACKs.
     @raise Invalid_argument on a negative cap or fraction. *)
+
+val with_translog : (signer:int -> op:string -> signature:string -> unit) -> t -> t
+(** Record every signature the signer issues in a transparency log. The
+    sink receives the signer id, the signed message and the full wire
+    signature, synchronously on the signing path; it is a plain closure
+    (not a [Dsig_translog.Translog.t]) so the core stays free of a
+    dependency on the log — deployments pass
+    [fun ~signer ~op ~signature -> ignore (Translog.append log ~signer ~op ~signature)]
+    (see DESIGN.md §11). The sink must not raise; an exception here
+    fails the sign call. *)

@@ -63,6 +63,7 @@ type t = {
   mutable gave_up_seen : int; (* Announce.gave_up already counted *)
   keystate : Keystate.t option; (* durable key-state journal, if enabled *)
   store_report : Keystate.report option;
+  translog_sink : (signer:int -> op:string -> signature:string -> unit) option;
   stats : stats;
   tel : tel;
 }
@@ -120,6 +121,7 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
     gave_up_seen = 0;
     keystate;
     store_report;
+    translog_sink = options.Options.translog;
     stats = { signatures = 0; batches = 0; sync_refills = 0; reannounces = 0; requests_served = 0 };
     tel =
       {
@@ -310,6 +312,10 @@ let sign_impl t ?hint msg =
         root_sig = prepared.root_sig;
       }
   in
+  (* transparency: the wire signature is recorded before it is handed
+     to the caller, so every signature that leaves the process is in
+     the log a verifier can demand inclusion proofs from *)
+  Option.iter (fun f -> f ~signer:t.id ~op:msg ~signature:wire) t.translog_sink;
   Metric.Counter.incr t.tel.c_sign;
   Metric.Gauge.add t.tel.g_queue (-1.0);
   let t1 = Tel.now t.tel.bundle in

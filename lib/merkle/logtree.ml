@@ -1,0 +1,220 @@
+let default_hash s = Dsig_hashes.Blake3.digest s
+
+(* same domain separation as Merkle — and as RFC 6962 *)
+let leaf_tag = "\x00"
+let node_tag = "\x01"
+
+(* minimal growable array; nodes at every level complete strictly in
+   index order, so push-only suffices *)
+type dyn = { mutable arr : string array; mutable len : int }
+
+let dyn_create () = { arr = Array.make 8 ""; len = 0 }
+
+let dyn_push d s =
+  if d.len = Array.length d.arr then begin
+    let b = Array.make (2 * Array.length d.arr) "" in
+    Array.blit d.arr 0 b 0 d.len;
+    d.arr <- b
+  end;
+  d.arr.(d.len) <- s;
+  d.len <- d.len + 1
+
+type t = {
+  hash : string -> string;
+  mutable levels : dyn array;
+      (** [levels.(k).(i)] = digest of leaves [[i*2^k, (i+1)*2^k)],
+          present for every complete such range *)
+  mutable n : int;
+}
+
+let create ?(hash = default_hash) () = { hash; levels = [| dyn_create () |]; n = 0 }
+
+let size t = t.n
+
+let leaf_hash t i =
+  if i < 0 || i >= t.n then invalid_arg "Logtree.leaf_hash: index out of range";
+  t.levels.(0).arr.(i)
+
+let ensure_level t k =
+  if k >= Array.length t.levels then begin
+    let b = Array.init (k + 1) (fun i -> if i < Array.length t.levels then t.levels.(i) else dyn_create ()) in
+    t.levels <- b
+  end
+
+(* node (k, i) just completed; if it closes a pair, its parent completes *)
+let rec bubble t k i =
+  if i land 1 = 1 then begin
+    let l = t.levels.(k) in
+    let parent = t.hash (node_tag ^ l.arr.(i - 1) ^ l.arr.(i)) in
+    ensure_level t (k + 1);
+    dyn_push t.levels.(k + 1) parent;
+    bubble t (k + 1) (i / 2)
+  end
+
+let append_hash t digest =
+  if String.length digest <> 32 then invalid_arg "Logtree.append_hash: digest must be 32 bytes";
+  let i = t.n in
+  dyn_push t.levels.(0) digest;
+  bubble t 0 i;
+  t.n <- t.n + 1;
+  i
+
+let append t leaf = append_hash t (t.hash (leaf_tag ^ leaf))
+
+(* largest power of two strictly smaller than len (len >= 2) *)
+let split_point len =
+  let rec go p = if 2 * p < len then go (2 * p) else p in
+  go 1
+
+let is_pow2 x = x land (x - 1) = 0
+
+(* log2 of a power of two *)
+let log2 x =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 x
+
+(* Merkle Tree Hash of leaves [lo, hi) (RFC 6962 §2.1). Every recursion
+   splits at the largest power of two below the range length, so ranges
+   whose left edge is subtree-aligned resolve to stored digests in O(1)
+   and the whole computation is O(log n). *)
+let rec mth t lo hi =
+  let len = hi - lo in
+  if len = 1 then t.levels.(0).arr.(lo)
+  else if is_pow2 len && lo mod len = 0 then t.levels.(log2 len).arr.(lo / len)
+  else begin
+    let k = split_point len in
+    t.hash (node_tag ^ mth t lo (lo + k) ^ mth t (lo + k) hi)
+  end
+
+let root_at t m =
+  if m < 0 || m > t.n then invalid_arg "Logtree.root_at: size out of range";
+  if m = 0 then t.hash "" else mth t 0 m
+
+let root t = root_at t t.n
+
+type proof = string list
+
+(* RFC 6962 §2.1.1 audit path, generalized to subranges for the
+   recursion (the left split of an aligned range stays aligned) *)
+let rec path t m lo hi =
+  if hi - lo <= 1 then []
+  else begin
+    let k = split_point (hi - lo) in
+    if m < lo + k then path t m lo (lo + k) @ [ mth t (lo + k) hi ]
+    else path t m (lo + k) hi @ [ mth t lo (lo + k) ]
+  end
+
+let inclusion_proof t ?size ~index () =
+  let size = Option.value ~default:t.n size in
+  if size <= 0 || size > t.n then invalid_arg "Logtree.inclusion_proof: size out of range";
+  if index < 0 || index >= size then invalid_arg "Logtree.inclusion_proof: index out of range";
+  path t index 0 size
+
+(* RFC 6962 §2.1.2 SUBPROOF *)
+let rec subproof t m lo hi b =
+  if m = hi - lo then if b then [] else [ mth t lo hi ]
+  else begin
+    let k = split_point (hi - lo) in
+    if m <= k then subproof t m lo (lo + k) b @ [ mth t (lo + k) hi ]
+    else subproof t (m - k) (lo + k) hi false @ [ mth t lo (lo + k) ]
+  end
+
+let consistency_proof t ~old_size ~new_size =
+  if old_size <= 0 then invalid_arg "Logtree.consistency_proof: old_size must be positive";
+  if new_size < old_size || new_size > t.n then
+    invalid_arg "Logtree.consistency_proof: size out of range";
+  if old_size = new_size then [] else subproof t old_size 0 new_size true
+
+(* RFC 9162 §2.1.3.2 *)
+let verify_inclusion ?(hash = default_hash) ~root ~size ~index ~leaf proof =
+  if index < 0 || size <= 0 || index >= size then false
+  else begin
+    let fn = ref index and sn = ref (size - 1) in
+    let r = ref (hash (leaf_tag ^ leaf)) in
+    let ok = ref true in
+    List.iter
+      (fun p ->
+        if !ok then begin
+          if !sn = 0 then ok := false
+          else begin
+            if !fn land 1 = 1 || !fn = !sn then begin
+              r := hash (node_tag ^ p ^ !r);
+              if !fn land 1 = 0 then
+                while !fn <> 0 && !fn land 1 = 0 do
+                  fn := !fn lsr 1;
+                  sn := !sn lsr 1
+                done
+            end
+            else r := hash (node_tag ^ !r ^ p);
+            fn := !fn lsr 1;
+            sn := !sn lsr 1
+          end
+        end)
+      proof;
+    !ok && !sn = 0 && Dsig_util.Bytesutil.equal_ct !r root
+  end
+
+(* RFC 9162 §2.1.4.2 *)
+let verify_consistency ?(hash = default_hash) ~old_root ~old_size ~new_root ~new_size proof =
+  if old_size <= 0 || new_size < old_size then false
+  else if old_size = new_size then
+    proof = [] && Dsig_util.Bytesutil.equal_ct old_root new_root
+  else begin
+    (* a complete old tree is its own first proof element *)
+    let proof = if is_pow2 old_size then old_root :: proof else proof in
+    match proof with
+    | [] -> false
+    | first :: rest ->
+        let fn = ref (old_size - 1) and sn = ref (new_size - 1) in
+        while !fn land 1 = 1 do
+          fn := !fn lsr 1;
+          sn := !sn lsr 1
+        done;
+        let fr = ref first and sr = ref first in
+        let ok = ref true in
+        List.iter
+          (fun c ->
+            if !ok then begin
+              if !sn = 0 then ok := false
+              else begin
+                if !fn land 1 = 1 || !fn = !sn then begin
+                  fr := hash (node_tag ^ c ^ !fr);
+                  sr := hash (node_tag ^ c ^ !sr);
+                  if !fn land 1 = 0 then
+                    while !fn <> 0 && !fn land 1 = 0 do
+                      fn := !fn lsr 1;
+                      sn := !sn lsr 1
+                    done
+                end
+                else sr := hash (node_tag ^ !sr ^ c);
+                fn := !fn lsr 1;
+                sn := !sn lsr 1
+              end
+            end)
+          rest;
+        !ok && !sn = 0
+        && Dsig_util.Bytesutil.equal_ct !fr old_root
+        && Dsig_util.Bytesutil.equal_ct !sr new_root
+  end
+
+(* --- wire --- *)
+
+let max_proof_nodes = 128
+
+let encode_proof proof =
+  let n = List.length proof in
+  if n > max_proof_nodes then invalid_arg "Logtree.encode_proof: proof too long";
+  Dsig_util.Bytesutil.concat (Dsig_util.Bytesutil.u16_be n :: proof)
+
+let decode_proof s =
+  let module BU = Dsig_util.Bytesutil in
+  let len = String.length s in
+  if len < 2 then None
+  else begin
+    let n = BU.get_u16_be s 0 in
+    if n > max_proof_nodes || 2 + (32 * n) > len then None
+    else begin
+      let nodes = List.init n (fun i -> String.sub s (2 + (32 * i)) 32) in
+      Some (nodes, String.sub s (2 + (32 * n)) (len - 2 - (32 * n)))
+    end
+  end

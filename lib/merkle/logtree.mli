@@ -1,0 +1,97 @@
+(** An append-only RFC-6962-style Merkle tree — the data structure under
+    the transparency log ({!Dsig_translog}).
+
+    Unlike {!Merkle}, which builds a padded power-of-two tree over a
+    fixed leaf array, a log tree grows one leaf at a time and never
+    pads: the root of [n] leaves is the Merkle Tree Hash of RFC 6962
+    §2.1 (split at the largest power of two strictly smaller than [n]).
+    The same domain tags as {!Merkle} are used — [0x00] before a leaf,
+    [0x01] before an interior node — which coincide with the RFC 6962
+    leaf/node prefixes.
+
+    The tree keeps every perfect-subtree digest it has ever computed
+    (about [2n] hashes for [n] leaves), so {!root_at}, {!inclusion_proof}
+    and {!consistency_proof} all run in O(log n) hashes with no
+    re-hashing of leaf content. Appends are amortized O(1).
+
+    Verification ({!verify_inclusion}, {!verify_consistency}) follows
+    the index-arithmetic algorithms of RFC 9162 §2.1.3.2/§2.1.4.2 and
+    needs only the proof, never the tree. *)
+
+type t
+
+val create : ?hash:(string -> string) -> unit -> t
+(** An empty log tree. [hash] defaults to 32-byte BLAKE3 and must
+    produce 32-byte digests. *)
+
+val append : t -> string -> int
+(** [append t leaf] hashes [leaf] (with the [0x00] tag) into the tree
+    and returns its index ([size] before the append). *)
+
+val append_hash : t -> string -> int
+(** Like {!append} for a pre-computed 32-byte leaf digest (recovery
+    replay from stored digests).
+    @raise Invalid_argument if the digest is not 32 bytes. *)
+
+val size : t -> int
+val leaf_hash : t -> int -> string
+(** @raise Invalid_argument if the index is out of range. *)
+
+val root : t -> string
+(** Root over the current [size] leaves. The empty tree's root is
+    [hash ""] (RFC 6962). *)
+
+val root_at : t -> int -> string
+(** [root_at t m] is the root the tree had when it held its first [m]
+    leaves. [root_at t (size t) = root t].
+    @raise Invalid_argument unless [0 <= m <= size t]. *)
+
+(** {1 Inclusion proofs} *)
+
+type proof = string list
+(** Sibling digests, leaf-to-root order (RFC 6962 audit path /
+    consistency proof node list). *)
+
+val inclusion_proof : t -> ?size:int -> index:int -> unit -> proof
+(** Audit path for leaf [index] within the tree of the first [size]
+    leaves (default: the current size).
+    @raise Invalid_argument unless [0 <= index < size <= size t]. *)
+
+val verify_inclusion :
+  ?hash:(string -> string) ->
+  root:string ->
+  size:int ->
+  index:int ->
+  leaf:string ->
+  proof ->
+  bool
+(** Recompute the root of a [size]-leaf tree from [leaf] (content, not
+    digest) at [index] and the audit path; compare with [root] in
+    constant time. Total: malformed sizes/indices/paths return [false]. *)
+
+(** {1 Consistency proofs} *)
+
+val consistency_proof : t -> old_size:int -> new_size:int -> proof
+(** Proof that the tree of the first [new_size] leaves is an append-only
+    extension of the tree of the first [old_size] leaves.
+    @raise Invalid_argument unless [0 < old_size <= new_size <= size t]. *)
+
+val verify_consistency :
+  ?hash:(string -> string) ->
+  old_root:string ->
+  old_size:int ->
+  new_root:string ->
+  new_size:int ->
+  proof ->
+  bool
+(** Check both roots against the proof (RFC 9162 §2.1.4.2). Equal sizes
+    require an empty proof and equal roots. Total. *)
+
+(** {1 Wire encoding} *)
+
+val encode_proof : proof -> string
+(** [u16 count] then 32-byte digests, a few hundred bytes at most. *)
+
+val decode_proof : string -> (proof * string) option
+(** Parse a proof from the front of a string, returning the remainder;
+    [None] on malformed input (bad count, short digests). *)

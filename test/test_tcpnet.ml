@@ -103,7 +103,7 @@ let test_tcp_roundtrip () =
         | Dsig_tcpnet.Tcpnet.Traced (ctx, Dsig_tcpnet.Tcpnet.Signed { msg; signature }) ->
             if Verifier.verify_ctx verifier ~ctx ~msg signature then incr verified
             else incr rejected
-        | Dsig_tcpnet.Tcpnet.Traced _ | Dsig_tcpnet.Tcpnet.Control _ -> ());
+        | Dsig_tcpnet.Tcpnet.Traced _ | Dsig_tcpnet.Tcpnet.Control _ | Dsig_tcpnet.Tcpnet.Checkpoint _ -> ());
         Mutex.unlock mu)
       ()
   in
@@ -188,7 +188,7 @@ let test_reannounce_ack_loop () =
           ~on_message:(fun m ->
             match m with
             | Tcp.Control c -> ignore (Dsig.Control_plane.deliver cp c)
-            | Tcp.Announcement _ | Tcp.Signed _ | Tcp.Traced _ -> ())
+            | Tcp.Announcement _ | Tcp.Signed _ | Tcp.Traced _ | Tcp.Checkpoint _ -> ())
           ()
       in
       Fun.protect

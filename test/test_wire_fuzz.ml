@@ -53,6 +53,8 @@ let valid_announcement_frames =
          ( Dsig_telemetry.Trace_ctx.make ~signer:5 ~batch_id:42L ~key_index:2 ~origin:5
              ~birth_us:10.0,
            Tcpnet.Signed { msg = "m"; signature = String.make 64 's' } ));
+    (* checkpoint payloads are opaque at this layer — any nonempty body *)
+    Tcpnet.encode_message (Tcpnet.Checkpoint (String.make 56 'c'));
   ]
 
 let decode_all_total s =
@@ -115,7 +117,10 @@ let test_roundtrip () =
       | Error e -> Alcotest.fail ("valid frame rejected: " ^ e)
       | Ok m ->
           Alcotest.(check string) "frame re-encode identical" frame (Tcpnet.encode_message m))
-    valid_announcement_frames
+    valid_announcement_frames;
+  match Tcpnet.decode_message "C" with
+  | Ok _ -> Alcotest.fail "empty checkpoint frame accepted"
+  | Error _ -> ()
 
 let test_control_codec () =
   let a = Batch.Ack { Batch.ack_verifier = 7; ack_signer = 3; ack_batch = 99L } in
