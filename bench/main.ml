@@ -41,6 +41,8 @@ let () =
   register "store" "durable key-state store signing overhead (group commit)" Bench_store.run;
   register "translog" "transparency log: append throughput + proof latency vs tree size"
     Bench_translog.run;
+  register "scale" "multicore scale-out: sigs/sec & verifies/sec vs domain count"
+    Bench_scale.run;
   (* declare the pacing and store series on the default bundle up front
      so every experiment's telemetry snapshot carries the keys scrapers
      key on, zero-valued until the owning experiment populates them *)

@@ -31,7 +31,33 @@ let required_bench_metrics =
     "\"micro_eddsa_sign_us\""; "\"micro_eddsa_verify_us\""; "\"micro_dsig_sign_us\"";
     "\"store_sign_us\""; "\"translog_append_us\""; "\"translog_inclusion_proof_us\"";
     "\"translog_consistency_proof_us\""; "\"translog_checkpoint_us\"";
+    (* parallel plane (bench scale) *)
+    "\"scale_sign_speedup_4dom\""; "\"scale_verify_speedup_4dom\"";
+    "\"scale_verify_ops_per_sec_1dom\""; "\"scale_verify_ops_per_sec_4dom\"";
   ]
+
+(* Value gates: metrics that must not only be present but clear a floor.
+   The 4-domain verify speedup is the parallel plane's regression canary
+   — balanced shard ownership and lock-free fold-back give ~4x modeled
+   overlap; a verifier serializing its shards on a global lock collapses
+   it towards 1x. *)
+let required_floors = [ ("scale_verify_speedup_4dom", 2.5) ]
+
+(* Extract "name": 1.234 from the flat snapshot JSON. *)
+let metric_value s name =
+  let needle = "\"" ^ name ^ "\":" in
+  let nh = String.length s and nn = String.length needle in
+  let rec find i = if i + nn > nh then None else if String.sub s i nn = needle then Some (i + nn) else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < nh && (match s.[!stop] with '0' .. '9' | '.' | '-' | '+' | 'e' | ' ' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub s start (!stop - start)))
 
 let check_bench_snapshot dir =
   let path = Filename.concat dir "BENCH_smoke.json" in
@@ -47,6 +73,17 @@ let check_bench_snapshot dir =
     List.iter (fun k -> Printf.eprintf "smoke_check: %s lacks metric %s\n" path k) missing;
     exit 1
   end;
+  List.iter
+    (fun (name, floor) ->
+      match metric_value s name with
+      | None ->
+          Printf.eprintf "smoke_check: %s has no parsable value for %s\n" path name;
+          exit 1
+      | Some v when v < floor ->
+          Printf.eprintf "smoke_check: %s: %s = %.2f below floor %.2f\n" path name v floor;
+          exit 1
+      | Some v -> Printf.printf "smoke_check: %s = %.2f (floor %.2f)\n" name v floor)
+    required_floors;
   Printf.printf "smoke_check: %s carries all %d pinned metrics\n" path
     (List.length required_bench_metrics)
 

@@ -16,11 +16,19 @@ type t = {
 let root_message ~signer_id ~batch_id ~root =
   "dsig-batch-root" ^ BU.u64_le (Int64.of_int signer_id) ^ BU.u64_le batch_id ^ root
 
-let make ?(telemetry = Tel.default) (cfg : Config.t) ~signer_id ~batch_id ~eddsa ~rng =
+let make ?(telemetry = Tel.default) ?pool (cfg : Config.t) ~signer_id ~batch_id ~eddsa ~rng =
   let t0 = Tel.now telemetry in
+  let n = cfg.Config.batch_size in
+  (* seeds are drawn sequentially from the caller's rng before any
+     fan-out, so the batch is byte-identical with and without a pool
+     (golden wire tests, store replay) and workers never touch the
+     non-thread-safe rng *)
+  let seeds = Array.init n (fun _ -> Dsig_util.Rng.bytes rng 32) in
   let keys =
-    Array.init cfg.Config.batch_size (fun _ ->
-        Onetime.generate cfg ~seed:(Dsig_util.Rng.bytes rng 32))
+    match pool with
+    | Some p when n > 1 && Dsig_util.Domain_pool.size p > 1 ->
+        Dsig_util.Domain_pool.parallel_map p ~f:(fun ~shard:_ seed -> Onetime.generate cfg ~seed) seeds
+    | _ -> Array.map (fun seed -> Onetime.generate cfg ~seed) seeds
   in
   let tree = Merkle.build (Array.map Onetime.batch_leaf keys) in
   let root = Merkle.root tree in

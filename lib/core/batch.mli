@@ -12,6 +12,7 @@ type t
 
 val make :
   ?telemetry:Dsig_telemetry.Telemetry.t ->
+  ?pool:Dsig_util.Domain_pool.t ->
   Config.t ->
   signer_id:int ->
   batch_id:int64 ->
@@ -21,7 +22,12 @@ val make :
 (** Records [dsig_batch_keygen_us] / [dsig_batch_eddsa_sign_us]
     histograms, the [dsig_batch_generated_total] counter, and an
     [eddsa_sign] tracer span on [telemetry] (default
-    {!Dsig_telemetry.Telemetry.default}). *)
+    {!Dsig_telemetry.Telemetry.default}).
+
+    With [pool], one-time key generation (the dominant cost) is sharded
+    over the pool's worker domains. All key seeds are drawn from [rng]
+    sequentially before the fan-out, so the resulting batch is
+    byte-identical to the single-domain one for the same rng state. *)
 
 val batch_id : t -> int64
 val root : t -> string

@@ -35,6 +35,7 @@ type t = {
   store : store option;
   ack_delay : ack_delay option;
   translog : (signer:int -> op:string -> signature:string -> unit) option;
+  parallel : Dsig_util.Domain_pool.t option;
 }
 
 let default =
@@ -47,6 +48,7 @@ let default =
     store = None;
     ack_delay = None;
     translog = None;
+    parallel = None;
   }
 
 let with_telemetry telemetry t = { t with telemetry }
@@ -70,3 +72,4 @@ let with_ack_delay ?(srtt_fraction = 0.25) ~cap_us t =
   { t with ack_delay = Some { cap_us; srtt_fraction } }
 
 let with_translog sink t = { t with translog = Some sink }
+let with_parallel pool t = { t with parallel = Some pool }

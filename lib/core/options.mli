@@ -93,6 +93,9 @@ type t = {
   translog : (signer:int -> op:string -> signature:string -> unit) option;
       (** transparency sink: called once per issued signature, after the
           wire encoding exists ([None] (default) = no transparency log) *)
+  parallel : Dsig_util.Domain_pool.t option;
+      (** worker-domain pool for batch signing/verifying ([None]
+          (default) = everything on the calling domain) *)
 }
 
 val default : t
@@ -134,3 +137,13 @@ val with_translog : (signer:int -> op:string -> signature:string -> unit) -> t -
     [fun ~signer ~op ~signature -> ignore (Translog.append log ~signer ~op ~signature)]
     (see DESIGN.md §11). The sink must not raise; an exception here
     fails the sign call. *)
+
+val with_parallel : Dsig_util.Domain_pool.t -> t -> t
+(** Shard batch work over a {!Dsig_util.Domain_pool}: signers build
+    one-time keys and signature bodies on worker domains (key-index
+    ranges map to shards, so no two domains ever touch the same key),
+    and verifiers classify signatures / batch-verify announcement roots
+    on worker domains, with all accounting and control-plane sends
+    folded back on the calling domain (see DESIGN.md §12). The pool is
+    shared, not owned: callers create it once and [shutdown] it
+    themselves after every component using it is done. *)

@@ -49,6 +49,7 @@ type t = {
   mutable domain : unit Domain.t option;
   keystate : Keystate.t option; (* journal has its own lock; both domains use it *)
   store_report : Keystate.report option;
+  pool : Dsig_util.Domain_pool.t option; (* keygen fan-out for the background plane *)
   tel : tel;
 }
 
@@ -77,7 +78,7 @@ let background_loop cfg ~id ~eddsa ~rng t () =
       Tracer.record_at telemetry.Tel.tracer ~tag:id Tracer.Batch_gen Tracer.Begin t0;
       let batch_id = !batch_counter in
       batch_counter := Int64.add batch_id 1L;
-      let batch = Batch.make ~telemetry cfg ~signer_id:id ~batch_id ~eddsa ~rng in
+      let batch = Batch.make ~telemetry ?pool:t.pool cfg ~signer_id:id ~batch_id ~eddsa ~rng in
       let ann = Batch.announcement cfg batch in
       (* journal the seal before the keys become reachable by sign *)
       Option.iter (fun ks -> Keystate.seal ks ~batch_id ~size:(Batch.size batch)) t.keystate;
@@ -139,6 +140,7 @@ let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
       domain = None;
       keystate;
       store_report;
+      pool = options.Options.parallel;
       tel =
         {
           bundle = telemetry;

@@ -3,6 +3,7 @@ module Merkle = Dsig_merkle.Merkle
 module Eddsa = Dsig_ed25519.Eddsa
 module Rng = Dsig_util.Rng
 module Retry = Dsig_util.Retry
+module Domain_pool = Dsig_util.Domain_pool
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
@@ -64,6 +65,7 @@ type t = {
   keystate : Keystate.t option; (* durable key-state journal, if enabled *)
   store_report : Keystate.report option;
   translog_sink : (signer:int -> op:string -> signature:string -> unit) option;
+  pool : Domain_pool.t option; (* worker domains for keygen / sign_many *)
   stats : stats;
   tel : tel;
 }
@@ -122,6 +124,7 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
     keystate;
     store_report;
     translog_sink = options.Options.translog;
+    pool = options.Options.parallel;
     stats = { signatures = 0; batches = 0; sync_refills = 0; reannounces = 0; requests_served = 0 };
     tel =
       {
@@ -189,7 +192,10 @@ let refill t group =
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Batch_gen Tracer.Begin t0;
   let batch_id = t.batch_counter in
   t.batch_counter <- Int64.add t.batch_counter 1L;
-  let batch = Batch.make ~telemetry:t.tel.bundle t.cfg ~signer_id:t.id ~batch_id ~eddsa:t.eddsa ~rng:t.rng in
+  let batch =
+    Batch.make ~telemetry:t.tel.bundle ?pool:t.pool t.cfg ~signer_id:t.id ~batch_id
+      ~eddsa:t.eddsa ~rng:t.rng
+  in
   (* journal the seal before any of the batch's keys can sign *)
   Option.iter (fun ks -> Keystate.seal ks ~batch_id ~size:(Batch.size batch)) t.keystate;
   t.stats.batches <- t.stats.batches + 1;
@@ -234,8 +240,9 @@ let queue_length t hint = Queue.length (select_group t (Some hint)).queue
 
 let fresh_nonce t = Rng.bytes t.rng 16
 
-let make_body t prepared msg =
-  let nonce = fresh_nonce t in
+(* Pure given its inputs (reads only [t.cfg]), so [sign_many] can run it
+   on worker domains with pre-drawn nonces. *)
+let make_body_with t ~nonce prepared msg =
   match prepared.key with
   | Onetime.Wots_key kp -> Wire.Wots_body (Wots.sign kp ~nonce msg)
   | Onetime.Hors_key { kp; forest = None } ->
@@ -280,6 +287,19 @@ let make_body t prepared msg =
         Wire.Hors_merk_body { hsig; roots; proofs }
       end
 
+let make_body t prepared msg = make_body_with t ~nonce:(fresh_nonce t) prepared msg
+
+let encode_prepared t prepared body =
+  Wire.encode t.cfg
+    {
+      Wire.signer_id = t.id;
+      batch_id = prepared.batch_id;
+      public_seed = Onetime.public_seed prepared.key;
+      body;
+      batch_proof = prepared.proof;
+      root_sig = prepared.root_sig;
+    }
+
 let sign_impl t ?hint msg =
   let t0 = Tel.now t.tel.bundle in
   let group = select_group t hint in
@@ -301,17 +321,7 @@ let sign_impl t ?hint msg =
     t.keystate;
   t.stats.signatures <- t.stats.signatures + 1;
   let body = make_body t prepared msg in
-  let wire =
-    Wire.encode t.cfg
-      {
-        Wire.signer_id = t.id;
-        batch_id = prepared.batch_id;
-        public_seed = Onetime.public_seed prepared.key;
-        body;
-        batch_proof = prepared.proof;
-        root_sig = prepared.root_sig;
-      }
-  in
+  let wire = encode_prepared t prepared body in
   (* transparency: the wire signature is recorded before it is handed
      to the caller, so every signature that leaves the process is in
      the log a verifier can demand inclusion proofs from *)
@@ -337,6 +347,70 @@ let sign t ?hint msg =
 let sign_ctx t ?hint msg =
   let wire, batch_id, key_index, t0 = sign_impl t ?hint msg in
   (wire, Trace.make ~signer:t.id ~batch_id ~key_index ~origin:t.id ~birth_us:t0)
+
+(* Batch signing across the worker pool. The division of labor follows
+   the shard-ownership invariant (DESIGN.md §12): the calling domain
+   pops prepared keys (ascending key indices), journals every
+   reservation in consumption order, and pre-draws the nonces; worker
+   domains then build signature bodies and wire encodings over
+   contiguous index ranges — one range per shard, so no two domains
+   ever touch the same one-time key; the calling domain folds back
+   translog, stats, metrics, tracer and lifecycle accounting in input
+   order. Without a pool this degrades to a plain loop over [sign]. *)
+let sign_many t ?hint msgs =
+  let n = Array.length msgs in
+  match t.pool with
+  | Some pool when n > 1 && Domain_pool.size pool > 1 ->
+      let group = select_group t hint in
+      while Queue.length group.queue < n do
+        t.stats.sync_refills <- t.stats.sync_refills + 1;
+        Metric.Counter.incr t.tel.c_sync;
+        Log.L.warn (fun m ->
+            m "signer %d: key queue short (%d < %d), refilling on the critical path" t.id
+              (Queue.length group.queue) n);
+        refill t group
+      done;
+      let prepared = Array.init n (fun _ -> Queue.pop group.queue) in
+      (* durability invariant, batch form: every reservation is
+         journaled — in the same ascending-index order a sequential
+         signer would produce — before any signature is built, so no
+         signature can leave the process without its record *)
+      Option.iter
+        (fun ks ->
+          Array.iter
+            (fun p -> Keystate.reserve ks ~batch_id:p.batch_id ~key_index:p.proof.Merkle.index)
+            prepared)
+        t.keystate;
+      let nonces = Array.init n (fun _ -> fresh_nonce t) in
+      let jobs = Array.init n (fun i -> (prepared.(i), nonces.(i), msgs.(i))) in
+      let results =
+        Domain_pool.parallel_map pool
+          ~f:(fun ~shard:_ (p, nonce, msg) ->
+            let t0 = Tel.now t.tel.bundle in
+            let wire = encode_prepared t p (make_body_with t ~nonce p msg) in
+            let t1 = Tel.now t.tel.bundle in
+            (wire, t0, t1))
+          jobs
+      in
+      let lc = t.tel.bundle.Tel.lifecycle in
+      Array.iteri
+        (fun i (wire, t0, t1) ->
+          let p = prepared.(i) in
+          Option.iter (fun f -> f ~signer:t.id ~op:msgs.(i) ~signature:wire) t.translog_sink;
+          t.stats.signatures <- t.stats.signatures + 1;
+          Metric.Counter.incr t.tel.c_sign;
+          Metric.Histogram.add t.tel.h_sign (t1 -. t0);
+          Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Sign_fast Tracer.Begin t0;
+          Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Sign_fast Tracer.End t1;
+          if Lifecycle.enabled lc then
+            Lifecycle.sign lc
+              ~trace_id:
+                (Trace.id ~signer:t.id ~batch_id:p.batch_id ~key_index:p.proof.Merkle.index)
+              ~origin:t.id ~birth_us:t0 ~dur_us:(t1 -. t0))
+        results;
+      Metric.Gauge.add t.tel.g_queue (float_of_int (-n));
+      Array.map (fun (wire, _, _) -> wire) results
+  | _ -> Array.map (fun msg -> sign t ?hint msg) msgs
 
 (* --- announcement-plane control surface (Control_plane.S) --- *)
 

@@ -116,6 +116,19 @@ val sign_ctx : t -> ?hint:int list -> string -> string * Dsig_telemetry.Trace_ct
     (for transports that propagate it, e.g. [Dsig_tcpnet]'s [Traced]
     frames). *)
 
+val sign_many : t -> ?hint:int list -> string array -> string array
+(** Sign a batch of messages, returning wire signatures in input order.
+    With {!Options.with_parallel}, the calling domain pops the prepared
+    keys, journals every key reservation in consumption order and
+    pre-draws the nonces; signature bodies and wire encodings are then
+    built on worker domains over contiguous key-index ranges (one range
+    per shard — no two domains ever touch the same one-time key), and
+    all accounting (translog, stats, metrics, lifecycle) folds back on
+    the calling domain. Without a pool this is a plain loop over
+    {!sign}. The signer itself stays single-domain: concurrent calls to
+    [sign]/[sign_many] on one signer are not supported — the pool
+    parallelizes {e within} a call. *)
+
 val background_step : t -> bool
 (** Refill at most one group whose queue is below S with one batch
     (Alg. 1 lines 6-11). Returns [true] if work was done. *)

@@ -4,6 +4,7 @@ module Eddsa = Dsig_ed25519.Eddsa
 module BU = Dsig_util.Bytesutil
 module Rng = Dsig_util.Rng
 module Retry = Dsig_util.Retry
+module Domain_pool = Dsig_util.Domain_pool
 module Tel = Dsig_telemetry.Telemetry
 module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
@@ -56,26 +57,76 @@ type tel = {
   g_cached : Metric.Gauge.t;
 }
 
+(* Domain-safety discipline (DESIGN.md §12). Every mutable table has an
+   owning mutex:
+
+     [cache_mu]  -> cache (per-signer batch caches)
+     [eddsa_mu]  -> eddsa_cache + eddsa_order
+     [ctl_mu]    -> requested + pending_acks + ack_deadline + announce_srtt_us
+     [stats_mu]  -> the public stats record
+     [rng_mu]    -> rng (Rng is not thread-safe)
+     [tel_mu]    -> tels (per-domain metric handles)
+
+   Two hard rules:
+   - NO mutex is ever held across a [send]: the control callback can
+     re-enter this verifier synchronously (System's in-process
+     loopback delivers a repair announcement inline), and OCaml
+     mutexes are not reentrant.
+   - Nesting is limited to ctl_mu -> rng_mu; everything else is taken
+     and released in isolation, so no ordering cycle can form. *)
 type t = {
   cfg : Config.t;
   id : int;
   pki : Pki.t;
+  cache_mu : Mutex.t;
   cache : (int, signer_cache) Hashtbl.t;
+  eddsa_mu : Mutex.t;
   eddsa_cache : (string, unit) Hashtbl.t;
   eddsa_order : string Queue.t; (* FIFO eviction for the EdDSA cache *)
+  rng_mu : Mutex.t;
   rng : Rng.t; (* real entropy: batch-verification soundness + jitter *)
   control : (Batch.control -> unit) option;
   request_policy : Retry.policy;
+  ctl_mu : Mutex.t;
   requested : (int * int64, Retry.state) Hashtbl.t; (* pull-repair pacing *)
   ack_delay : Options.ack_delay option;
   pending_acks : (int, Batch.ack list) Hashtbl.t; (* per signer, newest first *)
   mutable ack_deadline : float option; (* flush due time for pending acks *)
   mutable announce_srtt_us : float option; (* EWMA of announce RTT *)
+  stats_mu : Mutex.t;
   stats : stats;
-  tel : tel;
+  pool : Domain_pool.t option;
+  (* Metric cells are per-domain (Registry keys them by Domain.self and
+     merges on snapshot), so the handles resolved at creation time are
+     only valid on the creating domain. Worker domains resolve their
+     own set on first use. *)
+  tel0 : tel;
+  tel_domain : int;
+  tel_mu : Mutex.t;
+  tels : (int, tel) Hashtbl.t;
 }
 
 let eddsa_cache_capacity = 4096
+
+let make_tel telemetry =
+  {
+    bundle = telemetry;
+    c_fast = Tel.counter telemetry "dsig_verifier_fast_total";
+    c_slow = Tel.counter telemetry "dsig_verifier_slow_total";
+    c_rejected = Tel.counter telemetry "dsig_verifier_rejected_total";
+    c_cache_hits = Tel.counter telemetry "dsig_verifier_eddsa_cache_hits_total";
+    c_ann = Tel.counter telemetry "dsig_verifier_announcements_total";
+    c_slow_missing = Tel.counter telemetry "dsig_verifier_slow_missing_batch_total";
+    c_slow_miss = Tel.counter telemetry "dsig_verifier_slow_cache_miss_total";
+    c_requests = Tel.counter telemetry "dsig_verifier_batch_requests_total";
+    c_acks = Tel.counter telemetry "dsig_verifier_acks_total";
+    c_ack_frames = Tel.counter telemetry "dsig_verifier_ack_frames_total";
+    c_evict = Tel.counter telemetry "dsig_verifier_eddsa_cache_evictions_total";
+    h_fast = Tel.histogram telemetry "dsig_verifier_fast_us";
+    h_slow = Tel.histogram telemetry "dsig_verifier_slow_us";
+    h_deliver = Tel.histogram telemetry "dsig_verifier_deliver_us";
+    g_cached = Tel.gauge telemetry "dsig_verifier_cached_batches";
+  }
 
 let create cfg ~id ~pki ?control ?(options = Options.default) () =
   let telemetry = options.Options.telemetry in
@@ -84,17 +135,22 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
     cfg;
     id;
     pki;
+    cache_mu = Mutex.create ();
     cache = Hashtbl.create 16;
+    eddsa_mu = Mutex.create ();
     eddsa_cache = Hashtbl.create 256;
     eddsa_order = Queue.create ();
+    rng_mu = Mutex.create ();
     rng = Rng.system ();
     control;
     request_policy;
+    ctl_mu = Mutex.create ();
     requested = Hashtbl.create 16;
     ack_delay = options.Options.ack_delay;
     pending_acks = Hashtbl.create 8;
     ack_deadline = None;
     announce_srtt_us = None;
+    stats_mu = Mutex.create ();
     stats =
       {
         fast = 0;
@@ -109,25 +165,11 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
         ack_frames_sent = 0;
         eddsa_cache_evictions = 0;
       };
-    tel =
-      {
-        bundle = telemetry;
-        c_fast = Tel.counter telemetry "dsig_verifier_fast_total";
-        c_slow = Tel.counter telemetry "dsig_verifier_slow_total";
-        c_rejected = Tel.counter telemetry "dsig_verifier_rejected_total";
-        c_cache_hits = Tel.counter telemetry "dsig_verifier_eddsa_cache_hits_total";
-        c_ann = Tel.counter telemetry "dsig_verifier_announcements_total";
-        c_slow_missing = Tel.counter telemetry "dsig_verifier_slow_missing_batch_total";
-        c_slow_miss = Tel.counter telemetry "dsig_verifier_slow_cache_miss_total";
-        c_requests = Tel.counter telemetry "dsig_verifier_batch_requests_total";
-        c_acks = Tel.counter telemetry "dsig_verifier_acks_total";
-        c_ack_frames = Tel.counter telemetry "dsig_verifier_ack_frames_total";
-        c_evict = Tel.counter telemetry "dsig_verifier_eddsa_cache_evictions_total";
-        h_fast = Tel.histogram telemetry "dsig_verifier_fast_us";
-        h_slow = Tel.histogram telemetry "dsig_verifier_slow_us";
-        h_deliver = Tel.histogram telemetry "dsig_verifier_deliver_us";
-        g_cached = Tel.gauge telemetry "dsig_verifier_cached_batches";
-      };
+    pool = options.Options.parallel;
+    tel0 = make_tel telemetry;
+    tel_domain = (Domain.self () :> int);
+    tel_mu = Mutex.create ();
+    tels = Hashtbl.create 4;
   }
 
 let create_legacy cfg ~id ~pki ?(telemetry = Tel.default) ?control ?request_policy () =
@@ -140,8 +182,25 @@ let create_legacy cfg ~id ~pki ?(telemetry = Tel.default) ?control ?request_poli
   create cfg ~id ~pki ?control ~options ()
 
 let stats t = t.stats
+let with_stats t f = Mutex.protect t.stats_mu (fun () -> f t.stats)
 
-let signer_cache t signer =
+let tel t =
+  let d = (Domain.self () :> int) in
+  if d = t.tel_domain then t.tel0
+  else
+    Mutex.protect t.tel_mu (fun () ->
+        match Hashtbl.find_opt t.tels d with
+        | Some h -> h
+        | None ->
+            let h = make_tel t.tel0.bundle in
+            Hashtbl.add t.tels d h;
+            h)
+
+let now t = Tel.now t.tel0.bundle
+
+(* --- batch cache (under cache_mu) --- *)
+
+let signer_cache_locked t signer =
   match Hashtbl.find_opt t.cache signer with
   | Some c -> c
   | None ->
@@ -150,49 +209,71 @@ let signer_cache t signer =
       c
 
 let cached_batches t ~signer =
-  match Hashtbl.find_opt t.cache signer with None -> 0 | Some c -> Hashtbl.length c.batches
+  Mutex.protect t.cache_mu (fun () ->
+      match Hashtbl.find_opt t.cache signer with
+      | None -> 0
+      | Some c -> Hashtbl.length c.batches)
 
 let insert_batch t ~signer ~batch_id entry =
-  let c = signer_cache t signer in
-  if not (Hashtbl.mem c.batches batch_id) then begin
-    Hashtbl.replace c.batches batch_id entry;
-    Queue.add batch_id c.order;
-    Metric.Gauge.add t.tel.g_cached 1.0;
-    while Hashtbl.length c.batches > t.cfg.Config.cache_batches do
-      let victim = Queue.pop c.order in
-      Hashtbl.remove c.batches victim;
-      Metric.Gauge.add t.tel.g_cached (-1.0)
-    done
-  end
+  let delta =
+    Mutex.protect t.cache_mu (fun () ->
+        let c = signer_cache_locked t signer in
+        if Hashtbl.mem c.batches batch_id then 0
+        else begin
+          Hashtbl.replace c.batches batch_id entry;
+          Queue.add batch_id c.order;
+          let evicted = ref 0 in
+          while Hashtbl.length c.batches > t.cfg.Config.cache_batches do
+            let victim = Queue.pop c.order in
+            Hashtbl.remove c.batches victim;
+            incr evicted
+          done;
+          1 - !evicted
+        end)
+  in
+  if delta <> 0 then Metric.Gauge.add (tel t).g_cached (float_of_int delta)
 
 let lookup_batch t ~signer ~batch_id =
-  match Hashtbl.find_opt t.cache signer with
-  | None -> None
-  | Some c -> Hashtbl.find_opt c.batches batch_id
+  (* the returned record is immutable and never mutated after insert, so
+     it stays valid for the caller even if evicted concurrently *)
+  Mutex.protect t.cache_mu (fun () ->
+      match Hashtbl.find_opt t.cache signer with
+      | None -> None
+      | Some c -> Hashtbl.find_opt c.batches batch_id)
 
 (* EdDSA verification with the bulk-verification cache of §4.4: a hit
-   replaces a full verification by a 32-byte table lookup. *)
+   replaces a full verification by a 32-byte table lookup. The expensive
+   [Eddsa.verify] runs outside [eddsa_mu]. *)
 let eddsa_verify_cached t pk msg signature =
   if not t.cfg.Config.eddsa_verify_cache then Eddsa.verify pk msg signature
   else begin
     let key = Dsig_hashes.Blake3.digest (pk ^ signature ^ msg) in
-    if Hashtbl.mem t.eddsa_cache key then begin
-      t.stats.eddsa_cache_hits <- t.stats.eddsa_cache_hits + 1;
-      Metric.Counter.incr t.tel.c_cache_hits;
+    if Mutex.protect t.eddsa_mu (fun () -> Hashtbl.mem t.eddsa_cache key) then begin
+      with_stats t (fun s -> s.eddsa_cache_hits <- s.eddsa_cache_hits + 1);
+      Metric.Counter.incr (tel t).c_cache_hits;
       true
     end
     else if Eddsa.verify pk msg signature then begin
       (* bounded FIFO eviction, one victim per insert — a full wipe
          would re-verify up to 4096 entries right after (latency cliff) *)
-      if not (Hashtbl.mem t.eddsa_cache key) then begin
-        while Hashtbl.length t.eddsa_cache >= eddsa_cache_capacity do
-          let victim = Queue.pop t.eddsa_order in
-          Hashtbl.remove t.eddsa_cache victim;
-          t.stats.eddsa_cache_evictions <- t.stats.eddsa_cache_evictions + 1;
-          Metric.Counter.incr t.tel.c_evict
-        done;
-        Hashtbl.replace t.eddsa_cache key ();
-        Queue.add key t.eddsa_order
+      let evicted =
+        Mutex.protect t.eddsa_mu (fun () ->
+            if Hashtbl.mem t.eddsa_cache key then 0
+            else begin
+              let n = ref 0 in
+              while Hashtbl.length t.eddsa_cache >= eddsa_cache_capacity do
+                let victim = Queue.pop t.eddsa_order in
+                Hashtbl.remove t.eddsa_cache victim;
+                incr n
+              done;
+              Hashtbl.replace t.eddsa_cache key ();
+              Queue.add key t.eddsa_order;
+              !n
+            end)
+      in
+      if evicted > 0 then begin
+        with_stats t (fun s -> s.eddsa_cache_evictions <- s.eddsa_cache_evictions + evicted);
+        Metric.Counter.incr ~by:evicted (tel t).c_evict
       end;
       true
     end
@@ -202,7 +283,7 @@ let eddsa_verify_cached t pk msg signature =
 (* Lifecycle announce-plane event: one admit per batch, joining every
    signature of the batch via the sentinel trace id. *)
 let lifecycle_admit t (ann : Batch.announcement) ~latency_us =
-  let lc = t.tel.bundle.Tel.lifecycle in
+  let lc = t.tel0.bundle.Tel.lifecycle in
   if Lifecycle.enabled lc then
     Lifecycle.admit lc ~signer:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id ~latency_us
 
@@ -215,52 +296,67 @@ let lifecycle_admit t (ann : Batch.announcement) ~latency_us =
    RTT estimate) ACKs go out immediately — the historical behavior. *)
 
 let ack_frame_sent t ~acks =
-  t.stats.acks_sent <- t.stats.acks_sent + acks;
-  Metric.Counter.incr ~by:acks t.tel.c_acks;
-  t.stats.ack_frames_sent <- t.stats.ack_frames_sent + 1;
-  Metric.Counter.incr t.tel.c_ack_frames
+  with_stats t (fun s ->
+      s.acks_sent <- s.acks_sent + acks;
+      s.ack_frames_sent <- s.ack_frames_sent + 1);
+  let tl = tel t in
+  Metric.Counter.incr ~by:acks tl.c_acks;
+  Metric.Counter.incr tl.c_ack_frames
 
-let pending_ack_count t = Hashtbl.fold (fun _ acks n -> n + List.length acks) t.pending_acks 0
+let pending_ack_count t =
+  Mutex.protect t.ctl_mu (fun () ->
+      Hashtbl.fold (fun _ acks n -> n + List.length acks) t.pending_acks 0)
 
 let flush_acks ?(force = false) t ~now =
   match t.control with
   | None ->
-      Hashtbl.reset t.pending_acks;
-      t.ack_deadline <- None;
+      Mutex.protect t.ctl_mu (fun () ->
+          Hashtbl.reset t.pending_acks;
+          t.ack_deadline <- None);
       0
   | Some send ->
-      let due =
-        Hashtbl.length t.pending_acks > 0
-        && (force || match t.ack_deadline with None -> true | Some d -> now >= d)
+      (* Collect the frames under the lock, send them after releasing
+         it: [send] can synchronously re-enter this verifier (repair
+         announcement -> deliver -> enqueue_ack), which used to mutate
+         [pending_acks] in the middle of the Hashtbl.iter below — lost
+         or doubled ACKs single-domain, undefined multi-domain. *)
+      let frames =
+        Mutex.protect t.ctl_mu (fun () ->
+            let due =
+              Hashtbl.length t.pending_acks > 0
+              && (force || match t.ack_deadline with None -> true | Some d -> now >= d)
+            in
+            if not due then []
+            else begin
+              let fs = Hashtbl.fold (fun _ acks acc -> List.rev acks :: acc) t.pending_acks [] in
+              Hashtbl.reset t.pending_acks;
+              t.ack_deadline <- None;
+              fs
+            end)
       in
-      if not due then 0
-      else begin
-        let frames = ref 0 in
-        Hashtbl.iter
-          (fun _ acks ->
-            incr frames;
-            let acks = List.rev acks in
-            ack_frame_sent t ~acks:(List.length acks);
-            match acks with [ a ] -> send (Batch.Ack a) | l -> send (Batch.Acks l))
-          t.pending_acks;
-        Hashtbl.reset t.pending_acks;
-        t.ack_deadline <- None;
-        !frames
-      end
+      List.iter
+        (fun acks ->
+          ack_frame_sent t ~acks:(List.length acks);
+          match acks with [ a ] -> send (Batch.Ack a) | l -> send (Batch.Acks l))
+        frames;
+      List.length frames
 
 let ack_hold_us t =
   match t.ack_delay with
   | None -> 0.0
   | Some d -> (
-      match t.announce_srtt_us with
+      match Mutex.protect t.ctl_mu (fun () -> t.announce_srtt_us) with
       | None -> 0.0 (* no estimate yet: ACK immediately, the safe default *)
       | Some srtt -> Float.min d.Options.cap_us (d.Options.srtt_fraction *. srtt))
 
 let enqueue_ack t (ack : Batch.ack) ~hold =
-  let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending_acks ack.Batch.ack_signer) in
-  (* redeliveries re-ack the same batch; hold a single copy per window *)
-  if not (List.mem ack cur) then Hashtbl.replace t.pending_acks ack.Batch.ack_signer (ack :: cur);
-  if t.ack_deadline = None then t.ack_deadline <- Some (Tel.now t.tel.bundle +. hold)
+  let deadline = now t +. hold in
+  Mutex.protect t.ctl_mu (fun () ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending_acks ack.Batch.ack_signer) in
+      (* redeliveries re-ack the same batch; hold a single copy per window *)
+      if not (List.mem ack cur) then
+        Hashtbl.replace t.pending_acks ack.Batch.ack_signer (ack :: cur);
+      if t.ack_deadline = None then t.ack_deadline <- Some deadline)
 
 let send_or_enqueue_ack t ack =
   match t.control with
@@ -273,17 +369,18 @@ let send_or_enqueue_ack t ack =
       end
       else enqueue_ack t ack ~hold
 
-let announce_srtt_us t = t.announce_srtt_us
+let announce_srtt_us t = Mutex.protect t.ctl_mu (fun () -> t.announce_srtt_us)
 
 let observe_announce_latency t ~sent_us ~now =
   (* one-way announce latency doubled approximates the announce/ACK
      round trip the signer's re-announce ladder is pacing against *)
   let sample = 2.0 *. Float.max 0.0 (now -. sent_us) in
-  t.announce_srtt_us <-
-    Some
-      (match t.announce_srtt_us with
-      | None -> sample
-      | Some v -> (0.875 *. v) +. (0.125 *. sample))
+  Mutex.protect t.ctl_mu (fun () ->
+      t.announce_srtt_us <-
+        Some
+          (match t.announce_srtt_us with
+          | None -> sample
+          | Some v -> (0.875 *. v) +. (0.125 *. sample)))
 
 (* Cache an announcement whose EdDSA root signature has already been
    checked: validate any full keys against the signed leaves and insert.
@@ -291,8 +388,8 @@ let observe_announce_latency t ~sent_us ~now =
    coalesce the acknowledgements into one [Batch.Acks] frame instead. *)
 let admit_verified ?(send_ack = true) t (ann : Batch.announcement) root =
   begin
-    t.stats.announcements <- t.stats.announcements + 1;
-    Metric.Counter.incr t.tel.c_ann;
+    with_stats t (fun s -> s.announcements <- s.announcements + 1);
+    Metric.Counter.incr (tel t).c_ann;
         (* When full keys ride along (bandwidth reduction off), check
            they match the signed leaves before trusting them for the
            comparison-only fast path. *)
@@ -332,7 +429,8 @@ let admit_verified ?(send_ack = true) t (ann : Batch.announcement) root =
     insert_batch t ~signer:ann.Batch.signer_id ~batch_id:ann.Batch.ann_batch_id
       { root; keys; forests };
     (* the gap (if any) is repaired: stop pacing pull requests for it *)
-    Hashtbl.remove t.requested (ann.Batch.signer_id, ann.Batch.ann_batch_id);
+    Mutex.protect t.ctl_mu (fun () ->
+        Hashtbl.remove t.requested (ann.Batch.signer_id, ann.Batch.ann_batch_id));
     (* acknowledge so the signer stops re-announcing; sent on every
        successful delivery (idempotent) because a previous ACK may have
        been lost in transit *)
@@ -355,7 +453,7 @@ let announcement_root (ann : Batch.announcement) =
 
 let deliver ?sent_us t (ann : Batch.announcement) =
   (match sent_us with
-  | Some s -> observe_announce_latency t ~sent_us:s ~now:(Tel.now t.tel.bundle)
+  | Some s -> observe_announce_latency t ~sent_us:s ~now:(now t)
   | None -> ());
   match Pki.lookup t.pki ann.Batch.signer_id with
   | None ->
@@ -364,8 +462,8 @@ let deliver ?sent_us t (ann : Batch.announcement) =
             ann.Batch.signer_id);
       false
   | Some pk ->
-      let t0 = Tel.now t.tel.bundle in
-      Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.Begin t0;
+      let t0 = now t in
+      Tracer.record_at t.tel0.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.Begin t0;
       let root, msg = announcement_root ann in
       let ok =
         if Eddsa.verify pk msg ann.Batch.root_sig then begin
@@ -374,19 +472,23 @@ let deliver ?sent_us t (ann : Batch.announcement) =
         end
         else false
       in
-      let t1 = Tel.now t.tel.bundle in
-      Metric.Histogram.add t.tel.h_deliver (t1 -. t0);
-      Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.End t1;
+      let t1 = now t in
+      Metric.Histogram.add (tel t).h_deliver (t1 -. t0);
+      Tracer.record_at t.tel0.bundle.Tel.tracer ~tag:t.id Tracer.Announce_delivery Tracer.End t1;
       (* announce-to-admit: from the wire send stamp when the transport
          supplies one, else just the local delivery processing time *)
       if ok then
         lifecycle_admit t ann ~latency_us:(t1 -. Option.value sent_us ~default:t0);
       ok
 
+let split_rng t = Mutex.protect t.rng_mu (fun () -> Rng.split t.rng)
+
 (* Catch-up path: check many announcements' EdDSA root signatures with
-   one randomized batch verification (§4.4's amortization, applied to
-   the background plane); on a batch failure, fall back to individual
-   delivery so one bad announcement cannot poison the rest. *)
+   one randomized batch verification per worker domain (§4.4's
+   amortization, applied to the background plane); on a chunk failure,
+   fall back to individual delivery so one bad announcement cannot
+   poison the rest. All admits, ACKs and other control traffic happen
+   on the calling domain — the workers only run crypto. *)
 let deliver_many t anns =
   let entries =
     List.filter_map
@@ -398,47 +500,75 @@ let deliver_many t anns =
             Some (ann, root, pk, msg))
       anns
   in
+  let n = List.length entries in
+  let triples_of chunk =
+    List.map (fun (ann, _, pk, msg) -> (pk, msg, ann.Batch.root_sig)) chunk
+  in
+  let t0 = now t in
   (* The randomized batch-verification coefficients must be
      unpredictable to the adversary (§4.4's soundness argument): draw
      them from the per-verifier entropy-seeded generator, never from a
-     hash of public values. *)
-  let rng = Rng.split t.rng in
-  let triples = List.map (fun (ann, _, pk, msg) -> (pk, msg, ann.Batch.root_sig)) entries in
-  let t0 = Tel.now t.tel.bundle in
-  if entries <> [] && Eddsa.verify_batch rng triples then begin
-    let t1 = Tel.now t.tel.bundle in
-    List.iter
-      (fun (ann, root, _, _) ->
-        admit_verified ~send_ack:false t ann root;
-        lifecycle_admit t ann ~latency_us:(t1 -. t0))
-      entries;
-    (* coalesce acknowledgements: one Acks frame per signer instead of
-       one Ack frame per batch (reverse-path traffic in wide fan-outs) *)
-    (match t.control with
-    | None -> ()
-    | Some send ->
-        let by_signer = Hashtbl.create 8 in
+     hash of public values. Each worker gets its own pre-split rng. *)
+  let groups =
+    match t.pool with
+    | Some pool when n > 1 && Domain_pool.size pool > 1 ->
+        let arr = Array.of_list entries in
+        let shards = Stdlib.min (Domain_pool.size pool) n in
+        let chunks =
+          Array.init shards (fun s ->
+              let lo = s * n / shards and hi = (s + 1) * n / shards in
+              Array.to_list (Array.sub arr lo (hi - lo)))
+        in
+        let rngs = Array.init shards (fun _ -> split_rng t) in
+        let oks =
+          Domain_pool.parallel_map pool
+            ~f:(fun ~shard chunk -> chunk <> [] && Eddsa.verify_batch rngs.(shard) (triples_of chunk))
+            chunks
+        in
+        Array.to_list (Array.map2 (fun ok chunk -> (ok, chunk)) oks chunks)
+    | _ -> [ (entries <> [] && Eddsa.verify_batch (split_rng t) (triples_of entries), entries) ]
+  in
+  let t1 = now t in
+  let admitted = List.concat_map (fun (ok, chunk) -> if ok then chunk else []) groups in
+  let failed = List.concat_map (fun (ok, chunk) -> if ok then [] else chunk) groups in
+  List.iter
+    (fun (ann, root, _, _) ->
+      admit_verified ~send_ack:false t ann root;
+      lifecycle_admit t ann ~latency_us:(t1 -. t0))
+    admitted;
+  (* coalesce acknowledgements: one Acks frame per signer instead of
+     one Ack frame per batch (reverse-path traffic in wide fan-outs) *)
+  (match (t.control, admitted) with
+  | None, _ | _, [] -> ()
+  | Some send, _ ->
+      let by_signer = Hashtbl.create 8 in
+      List.iter
+        (fun (ann, _, _, _) ->
+          let s = ann.Batch.signer_id in
+          let ack =
+            { Batch.ack_verifier = t.id; ack_signer = s; ack_batch = ann.Batch.ann_batch_id }
+          in
+          Hashtbl.replace by_signer s
+            (ack :: Option.value ~default:[] (Hashtbl.find_opt by_signer s)))
+        admitted;
+      let hold = ack_hold_us t in
+      if hold > 0.0 then
+        Hashtbl.iter
+          (fun _ acks -> List.iter (fun a -> enqueue_ack t a ~hold) (List.rev acks))
+          by_signer
+      else begin
+        (* collect first: [send] may re-enter and must not observe a
+           half-iterated table (and by_signer is local anyway) *)
+        let frames = Hashtbl.fold (fun _ acks acc -> List.rev acks :: acc) by_signer [] in
         List.iter
-          (fun (ann, _, _, _) ->
-            let s = ann.Batch.signer_id in
-            let ack =
-              { Batch.ack_verifier = t.id; ack_signer = s; ack_batch = ann.Batch.ann_batch_id }
-            in
-            Hashtbl.replace by_signer s
-              (ack :: Option.value ~default:[] (Hashtbl.find_opt by_signer s)))
-          entries;
-        let hold = ack_hold_us t in
-        if hold > 0.0 then
-          Hashtbl.iter (fun _ acks -> List.iter (fun a -> enqueue_ack t a ~hold) (List.rev acks)) by_signer
-        else
-          Hashtbl.iter
-            (fun _ acks ->
-              ack_frame_sent t ~acks:(List.length acks);
-              send (Batch.Acks (List.rev acks)))
-            by_signer);
-    List.length entries
-  end
-  else List.length (List.filter (fun ann -> deliver t ann) anns)
+          (fun acks ->
+            ack_frame_sent t ~acks:(List.length acks);
+            send (Batch.Acks acks))
+          frames
+      end);
+  (* failed chunks: per-announcement delivery isolates the bad one(s) *)
+  List.length admitted
+  + List.length (List.filter (fun (ann, _, _, _) -> deliver t ann) failed)
 
 (* Reconstruct the full HORS public key from revealed secrets plus the
    complement carried in a factorized signature. Returns [None] when the
@@ -651,8 +781,8 @@ let merklified_fast_path t (w : Wire.t) msg =
   | _ -> None
 
 let reject t =
-  t.stats.rejected <- t.stats.rejected + 1;
-  Metric.Counter.incr t.tel.c_rejected;
+  with_stats t (fun s -> s.rejected <- s.rejected + 1);
+  Metric.Counter.incr (tel t).c_rejected;
   false
 
 (* Pull repair: emit a Batch_request for a gap in the announcement
@@ -663,72 +793,87 @@ let request_repair t ~signer ~batch_id =
   match t.control with
   | None -> ()
   | Some send ->
-      let now = Tel.now t.tel.bundle in
+      let now = now t in
       let key = (signer, batch_id) in
-      let emit () =
-        t.stats.requests_sent <- t.stats.requests_sent + 1;
-        Metric.Counter.incr t.tel.c_requests;
+      let emit =
+        Mutex.protect t.ctl_mu (fun () ->
+            match Hashtbl.find_opt t.requested key with
+            | None ->
+                (* unconditional size bound: gap states are tiny but an
+                   attacker could mint unknown (signer, batch) pairs *)
+                if Hashtbl.length t.requested >= 4096 then Hashtbl.reset t.requested;
+                let st =
+                  Mutex.protect t.rng_mu (fun () -> Retry.start t.request_policy ~rng:t.rng ~now)
+                in
+                Hashtbl.replace t.requested key st;
+                true
+            | Some st ->
+                if Retry.due st ~now then begin
+                  let st' =
+                    Mutex.protect t.rng_mu (fun () ->
+                        match Retry.next t.request_policy ~rng:t.rng st ~now with
+                        | Some st' -> st'
+                        | None ->
+                            (* budget exhausted: restart the backoff ladder
+                               rather than requesting forever at the floor
+                               rate *)
+                            Retry.start t.request_policy ~rng:t.rng ~now)
+                  in
+                  Hashtbl.replace t.requested key st';
+                  true
+                end
+                else false)
+      in
+      if emit then begin
+        with_stats t (fun s -> s.requests_sent <- s.requests_sent + 1);
+        Metric.Counter.incr (tel t).c_requests;
         send
           (Batch.Request { Batch.req_verifier = t.id; req_signer = signer; req_batch = batch_id })
-      in
-      (match Hashtbl.find_opt t.requested key with
-      | None ->
-          (* unconditional size bound: gap states are tiny but an
-             attacker could mint unknown (signer, batch) pairs *)
-          if Hashtbl.length t.requested >= 4096 then Hashtbl.reset t.requested;
-          Hashtbl.replace t.requested key (Retry.start t.request_policy ~rng:t.rng ~now);
-          emit ()
-      | Some st ->
-          if Retry.due st ~now then begin
-            let st' =
-              match Retry.next t.request_policy ~rng:t.rng st ~now with
-              | Some st' -> st'
-              | None ->
-                  (* budget exhausted: restart the backoff ladder rather
-                     than requesting forever at the floor rate *)
-                  Retry.start t.request_policy ~rng:t.rng ~now
-            in
-            Hashtbl.replace t.requested key st';
-            emit ()
-          end)
+      end
 
 (* Account for why a valid signature left the fast path: the batch was
    never delivered (announcement lost — repairable) vs cached but not
    matching this signature's root (eviction or cross-batch splice). *)
 let note_slow_gap t ~missing ~signer ~batch_id =
   if missing then begin
-    t.stats.slow_missing_batch <- t.stats.slow_missing_batch + 1;
-    Metric.Counter.incr t.tel.c_slow_missing;
+    with_stats t (fun s -> s.slow_missing_batch <- s.slow_missing_batch + 1);
+    Metric.Counter.incr (tel t).c_slow_missing;
     request_repair t ~signer ~batch_id
   end
   else begin
-    t.stats.slow_cache_miss <- t.stats.slow_cache_miss + 1;
-    Metric.Counter.incr t.tel.c_slow_miss
+    with_stats t (fun s -> s.slow_cache_miss <- s.slow_cache_miss + 1);
+    Metric.Counter.incr (tel t).c_slow_miss
   end
 
 (* Outcome of one verification, for the telemetry plane. *)
 type path = Fast | Slow | Rejected
 
-(* Returns the outcome plus the signature's (signer, batch, key) trace
-   identity when the wire decoded — what the lifecycle layer joins on. *)
-let verify_inner t ~msg wire_bytes =
+(* Classify one signature: the outcome, the signature's (signer, batch,
+   key) trace identity when the wire decoded (what the lifecycle layer
+   joins on), and for the slow path whether the batch was missing
+   entirely. Safe to call from any domain — everything here is pure
+   crypto plus reads/inserts under the table mutexes; control-plane
+   sends and per-path accounting happen in [account], on the calling
+   domain only. *)
+let classify t ~msg wire_bytes =
   match Wire.decode t.cfg wire_bytes with
-  | Error _ -> (Rejected, None)
+  | Error _ -> (Rejected, None, false)
   | Ok w -> (
       let ids = Some (w.Wire.signer_id, w.Wire.batch_id, Wire.key_index w) in
       match Pki.lookup t.pki w.Wire.signer_id with
-      | None -> (Rejected, ids)
+      | None -> (Rejected, ids, false)
       | Some signer_pk -> (
           match merklified_fast_path t w msg with
-          | Some ok -> ((if ok then Fast else Rejected), ids)
+          | Some ok -> ((if ok then Fast else Rejected), ids, false)
           | None -> (
               match implied_leaf t w msg with
-              | None -> (Rejected, ids)
+              | None -> (Rejected, ids, false)
               | Some leaf -> (
                   let root = Merkle.compute_root ~leaf w.Wire.batch_proof in
                   let hit = lookup_batch t ~signer:w.Wire.signer_id ~batch_id:w.Wire.batch_id in
                   match hit with
-                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root -> (Fast, ids)
+                  | Some { root = cached_root; _ } when BU.equal_ct root cached_root ->
+                      (Fast, ids, false)
                   | _ ->
                       (* Slow path (Alg. 2 lines 29-31): check the
                          embedded EdDSA signature inline. *)
@@ -740,14 +885,12 @@ let verify_inner t ~msg wire_bytes =
                         Log.L.debug (fun m ->
                             m "verifier %d: slow-path EdDSA check for signer %d batch %Ld" t.id
                               w.Wire.signer_id w.Wire.batch_id);
-                        note_slow_gap t ~missing:(Option.is_none hit) ~signer:w.Wire.signer_id
-                          ~batch_id:w.Wire.batch_id;
-                        (Slow, ids)
+                        (Slow, ids, Option.is_none hit)
                       end
-                      else (Rejected, ids)))))
+                      else (Rejected, ids, false)))))
 
 let lifecycle_verify t ?ctx ids ~t1 ~dur =
-  let lc = t.tel.bundle.Tel.lifecycle in
+  let lc = t.tel0.bundle.Tel.lifecycle in
   if Lifecycle.enabled lc then
     match ids with
     | None -> ()
@@ -761,34 +904,64 @@ let lifecycle_verify t ?ctx ids ~t1 ~dur =
           ~trace_id:(Trace.id ~signer ~batch_id ~key_index)
           ?origin ?birth_us ~at_us:t1 ~dur_us:dur ()
 
-let verify_with ?ctx t ~msg wire_bytes =
-  let t0 = Tel.now t.tel.bundle in
-  let outcome, ids = verify_inner t ~msg wire_bytes in
-  let t1 = Tel.now t.tel.bundle in
+(* Per-path accounting for one classified signature: stats, counters,
+   latency histograms, tracer spans, lifecycle joins, and the slow
+   path's pull-repair request. Runs on the calling domain. *)
+let account ?ctx t ~t0 ~t1 (outcome, ids, missing) =
+  let tl = tel t in
   let trace span =
-    Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
-    Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id span Tracer.End t1
+    Tracer.record_at tl.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
+    Tracer.record_at tl.bundle.Tel.tracer ~tag:t.id span Tracer.End t1
   in
   match outcome with
   | Fast ->
-      t.stats.fast <- t.stats.fast + 1;
-      Metric.Counter.incr t.tel.c_fast;
-      Metric.Histogram.add t.tel.h_fast (t1 -. t0);
+      with_stats t (fun s -> s.fast <- s.fast + 1);
+      Metric.Counter.incr tl.c_fast;
+      Metric.Histogram.add tl.h_fast (t1 -. t0);
       trace Tracer.Verify_fast;
       lifecycle_verify t ?ctx ids ~t1 ~dur:(t1 -. t0);
       true
   | Slow ->
-      t.stats.slow <- t.stats.slow + 1;
-      Metric.Counter.incr t.tel.c_slow;
-      Metric.Histogram.add t.tel.h_slow (t1 -. t0);
+      with_stats t (fun s -> s.slow <- s.slow + 1);
+      Metric.Counter.incr tl.c_slow;
+      Metric.Histogram.add tl.h_slow (t1 -. t0);
+      (match ids with
+      | Some (signer, batch_id, _) -> note_slow_gap t ~missing ~signer ~batch_id
+      | None -> ());
       trace Tracer.Verify_slow;
       lifecycle_verify t ?ctx ids ~t1 ~dur:(t1 -. t0);
       true
   | Rejected -> reject t
 
+let verify_with ?ctx t ~msg wire_bytes =
+  let t0 = now t in
+  let r = classify t ~msg wire_bytes in
+  let t1 = now t in
+  account ?ctx t ~t0 ~t1 r
+
 let verify t ~msg wire_bytes = verify_with t ~msg wire_bytes
 
 let verify_ctx t ~ctx ~msg wire_bytes = verify_with ~ctx t ~msg wire_bytes
+
+(* Batch verification across the worker pool: classification (the
+   expensive crypto) is sharded over contiguous index ranges, one per
+   domain, each stamping its own per-signature timings; the fold-back
+   does all accounting and control traffic on the calling domain, in
+   input order. Without a pool this is a plain loop. *)
+let verify_many t pairs =
+  match t.pool with
+  | Some pool when Array.length pairs > 1 && Domain_pool.size pool > 1 ->
+      let classified =
+        Domain_pool.parallel_map pool
+          ~f:(fun ~shard:_ (msg, wire_bytes) ->
+            let t0 = now t in
+            let r = classify t ~msg wire_bytes in
+            let t1 = now t in
+            (r, t0, t1))
+          pairs
+      in
+      Array.map (fun (r, t0, t1) -> account t ~t0 ~t1 r) classified
+  | _ -> Array.map (fun (msg, wire_bytes) -> verify_with t ~msg wire_bytes) pairs
 
 let can_verify_fast t wire_bytes =
   match Wire.peek_header wire_bytes with

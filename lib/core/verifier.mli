@@ -9,7 +9,15 @@
     cached; otherwise it falls back to verifying the embedded EdDSA
     signature on the critical path (slow path — the "incorrect hint"
     case of §8.2), optionally caching the result (§4.4 "speeding up bulk
-    verification"). *)
+    verification").
+
+    The verifier is {b domain-safe}: every mutable table (batch cache,
+    EdDSA cache, pull-repair pacing, pending ACKs, stats) is guarded by
+    its own mutex, metric handles are resolved per domain, and no lock
+    is ever held across a control-plane [send] (which may synchronously
+    re-enter the verifier through an in-process loopback). Concurrent
+    {!verify} / {!deliver} / {!flush_acks} calls from multiple domains
+    are safe; see DESIGN.md §12. *)
 
 type t
 
@@ -66,10 +74,12 @@ val deliver : ?sent_us:float -> t -> Batch.announcement -> bool
     plane measures from it instead of from delivery start. *)
 
 val deliver_many : t -> Batch.announcement list -> int
-(** Catch-up delivery: checks all root signatures with one randomized
-    Ed25519 batch verification, falling back to per-announcement checks
-    if the batch fails. Returns the number accepted. Acknowledgements
-    are coalesced into one {!Batch.Acks} frame per signer. *)
+(** Catch-up delivery: checks all root signatures with randomized
+    Ed25519 batch verification — one batch per worker domain when
+    {!Options.with_parallel} supplied a pool, one batch total otherwise
+    — falling back to per-announcement checks for any chunk that fails.
+    Returns the number accepted. Acknowledgements are coalesced into one
+    {!Batch.Acks} frame per signer. *)
 
 val verify : t -> msg:string -> string -> bool
 (** [verify t ~msg signature_bytes]. Self-standing: succeeds (slowly)
@@ -85,6 +95,18 @@ val verify_ctx : t -> ctx:Dsig_telemetry.Trace_ctx.t -> msg:string -> string -> 
     {!Dsig_telemetry.Trace_ctx}: the context's origin and birth stamp
     let the lifecycle span close end-to-end even when the signer lives
     in another process. *)
+
+val verify_many : t -> (string * string) array -> bool array
+(** [verify_many t pairs] verifies [(msg, signature_bytes)] pairs and
+    returns per-pair verdicts in input order. With
+    {!Options.with_parallel}, classification (decode, hashing, proof
+    folding, slow-path EdDSA) is sharded over the pool's worker domains
+    as contiguous index ranges; accounting, lifecycle joins and
+    control-plane sends (pull repair) are folded back onto the calling
+    domain. Without a pool this is a plain loop over {!verify}.
+    Equivalent to [Array.map] of {!verify} in observable behavior,
+    except that repair requests for the same gap may be paced slightly
+    differently (they are emitted after the whole batch classifies). *)
 
 val can_verify_fast : t -> string -> bool
 (** True if the signature's batch root is already cached (Alg. 2

@@ -29,6 +29,7 @@ type handles = {
   h_e2e : Metric.Histogram.t;
   c_started : Metric.Counter.t;
   c_completed : Metric.Counter.t;
+  c_neg_clamped : Metric.Counter.t;
 }
 
 type t = {
@@ -93,6 +94,7 @@ let resolve_handles t =
           h_e2e = Registry.histogram t.registry "dsig_lifecycle_e2e_us";
           c_started = Registry.counter t.registry "dsig_lifecycle_started_total";
           c_completed = Registry.counter t.registry "dsig_lifecycle_completed_total";
+          c_neg_clamped = Registry.counter t.registry "dsig_lifecycle_negative_clamped_total";
         }
       in
       t.handles <- Some h;
@@ -109,10 +111,23 @@ let enabled t = t.enabled
    any domain (foreground signer, background refill, reader threads),
    and the registry cells were resolved on the enabling domain. *)
 
+(* Durations come from the monotonic clock, but callers can still plug
+   a wall clock (or stamps can cross a process boundary with skewed
+   CLOCK_MONOTONIC after reboot); a negative span would land in bucket
+   0 and silently drag every percentile down, so clamp it to zero and
+   count it instead. Must be called under [mu]. *)
+let clamp_span h v =
+  if v < 0.0 then begin
+    Metric.Counter.incr h.c_neg_clamped;
+    0.0
+  end
+  else v
+
 let sign t ~trace_id ~origin ~birth_us ~dur_us =
   if t.enabled then begin
     let h = resolve_handles t in
     Mutex.lock t.mu;
+    let dur_us = clamp_span h dur_us in
     Metric.Histogram.add h.h_sign dur_us;
     Metric.Counter.incr h.c_started;
     t.started <- t.started + 1;
@@ -134,6 +149,7 @@ let admit t ~signer ~batch_id ~latency_us =
     (* only the first successful admit counts: re-deliveries of an
        already-cached batch do not change when it became usable *)
     if not (Hashtbl.mem t.admits key) then begin
+      let latency_us = clamp_span h latency_us in
       Metric.Histogram.add h.h_announce latency_us;
       Hashtbl.replace t.admits key latency_us;
       Queue.add key t.admit_order;
@@ -148,6 +164,7 @@ let verify t ~trace_id ?origin ?birth_us ~at_us ~dur_us () =
   if t.enabled then begin
     let h = resolve_handles t in
     Mutex.lock t.mu;
+    let dur_us = clamp_span h dur_us in
     Metric.Histogram.add h.h_verify dur_us;
     let announce = Hashtbl.find_opt t.admits (Trace_ctx.batch_key_of_id trace_id) in
     let birth, origin', sign_us =
@@ -162,7 +179,7 @@ let verify t ~trace_id ?origin ?birth_us ~at_us ~dur_us () =
     | None -> ()  (* verify-only observation: no span without a birth stamp *)
     | Some b ->
         let ann = match announce with Some a -> a | None -> Float.nan in
-        let e2e = at_us -. b in
+        let e2e = clamp_span h (at_us -. b) in
         t.spans.(t.total mod t.cap) <-
           {
             sp_trace_id = trace_id;

@@ -22,7 +22,14 @@
     [dsig_lifecycle_announce_us] / [dsig_lifecycle_verify_us] /
     [dsig_lifecycle_e2e_us] (plus [dsig_lifecycle_started_total] and
     [dsig_lifecycle_completed_total]), so they ride along in every
-    snapshot, JSON export and Prometheus scrape. *)
+    snapshot, JSON export and Prometheus scrape.
+
+    Spans are measured on the monotonic clock
+    ({!Tracer.mono_clock_us}), but stamps can still go backward when a
+    caller plugs a wall clock or a stamp crosses hosts; any negative
+    duration is clamped to zero and counted under
+    [dsig_lifecycle_negative_clamped_total] rather than silently
+    dragging the percentiles down. *)
 
 type t
 

@@ -5,7 +5,7 @@ type t = {
   mutable clock : unit -> float;
 }
 
-let create ?(clock = Tracer.wall_clock_us) ?trace_capacity ?span_capacity () =
+let create ?(clock = Tracer.mono_clock_us) ?trace_capacity ?span_capacity () =
   let registry = Registry.create () in
   {
     registry;

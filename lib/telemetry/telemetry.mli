@@ -22,7 +22,8 @@ type t = {
 }
 
 val create : ?clock:(unit -> float) -> ?trace_capacity:int -> ?span_capacity:int -> unit -> t
-(** [clock] defaults to the wall clock in microseconds;
+(** [clock] defaults to {!Tracer.mono_clock_us} (monotonic
+    microseconds: wall time steps under NTP and poisons durations);
     [span_capacity] bounds the lifecycle span ring (default 4096). *)
 
 val default : t

@@ -24,9 +24,15 @@ type t = {
 
 let wall_clock_us () = Unix.gettimeofday () *. 1e6
 
+(* CLOCK_MONOTONIC via bechamel's C stub: never steps (NTP slews it at
+   most), so durations computed from it are non-negative. It is also
+   system-wide — every process on the host shares the same origin — so
+   cross-process lifecycle stamps stay comparable. *)
+let mono_clock_us () = Int64.to_float (Monotonic_clock.now ()) /. 1e3
+
 let placeholder = { span = Span ""; phase = Begin; at_us = 0.0; tag = 0 }
 
-let create ?(capacity = 1024) ?(clock = wall_clock_us) () =
+let create ?(capacity = 1024) ?(clock = mono_clock_us) () =
   let cap = Stdlib.max 1 capacity in
   { mu = Mutex.create (); buf = Array.make cap placeholder; cap; total = 0; enabled = false; clock }
 

@@ -36,11 +36,17 @@ type event = {
 type t
 
 val wall_clock_us : unit -> float
-(** [Unix.gettimeofday] scaled to microseconds — the default clock. *)
+(** [Unix.gettimeofday] scaled to microseconds. Steps under NTP — use
+    only for display timestamps, never for durations. *)
+
+val mono_clock_us : unit -> float
+(** [CLOCK_MONOTONIC] scaled to microseconds — the default clock. Never
+    steps backward, and is shared by all processes on the host, so
+    cross-process span stamps remain comparable. *)
 
 val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
 (** [capacity] defaults to 1024 events (two per traced span). [clock]
-    defaults to the wall clock in microseconds. *)
+    defaults to {!mono_clock_us}. *)
 
 val set_clock : t -> (unit -> float) -> unit
 val enable : t -> unit

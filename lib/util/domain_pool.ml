@@ -1,0 +1,158 @@
+(* A fixed pool of worker domains with per-domain work queues and a
+   lock-free Michael-Scott completion queue. The shard discipline is
+   deliberate: [parallel_map] hands each worker one contiguous index
+   range of the input, so state partitioned by index (one-time key
+   ranges, cache stripes) is only ever touched by its owning domain. *)
+
+module Msq = struct
+  (* Michael-Scott queue (PODC '96) on OCaml 5 [Atomic]: multi-producer
+     multi-consumer, lock-free, unbounded. [value] is written once
+     before the node is published by a CAS, so readers that reach a node
+     through an atomic load see it initialized. *)
+  type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+  type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+  let create () =
+    let dummy = { value = None; next = Atomic.make None } in
+    { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+  let rec push t v =
+    let node = { value = Some v; next = Atomic.make None } in
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.next with
+    | Some next ->
+        (* tail is lagging: help it forward, then retry *)
+        ignore (Atomic.compare_and_set t.tail tail next);
+        push t v
+    | None ->
+        if Atomic.compare_and_set tail.next None (Some node) then
+          (* the enqueue is linearized; the tail swing is best-effort *)
+          ignore (Atomic.compare_and_set t.tail tail node)
+        else push t v
+
+  let rec pop t =
+    let head = Atomic.get t.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+        (* never let head overtake a lagging tail *)
+        let tail = Atomic.get t.tail in
+        if tail == head then ignore (Atomic.compare_and_set t.tail tail next);
+        if Atomic.compare_and_set t.head head next then next.value else pop t
+
+  let is_empty t = Atomic.get (Atomic.get t.head).next = None
+end
+
+type worker = { mu : Mutex.t; cv : Condition.t; jobs : (unit -> unit) Queue.t }
+
+type t = {
+  workers : worker array;
+  domains : unit Domain.t array;
+  stop : bool Atomic.t;
+  mutable joined : bool;
+}
+
+(* Workers exit only once stopped AND drained, so jobs submitted before
+   [shutdown] always run. Exceptions escaping a plain [submit] job are
+   discarded (callers that care wrap the job); [parallel_map] transports
+   them back to the caller. *)
+let worker_loop t i () =
+  let w = t.workers.(i) in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock w.mu;
+    while Queue.is_empty w.jobs && not (Atomic.get t.stop) do
+      Condition.wait w.cv w.mu
+    done;
+    let job = if Queue.is_empty w.jobs then None else Some (Queue.pop w.jobs) in
+    Mutex.unlock w.mu;
+    match job with
+    | Some job -> ( try job () with _ -> ())
+    | None -> continue_ := false
+  done
+
+let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?domains () =
+  let n =
+    match domains with
+    | None -> default_domains ()
+    | Some n when n < 1 || n > 64 -> invalid_arg "Domain_pool.create: domains must be in [1, 64]"
+    | Some n -> n
+  in
+  let workers =
+    Array.init n (fun _ -> { mu = Mutex.create (); cv = Condition.create (); jobs = Queue.create () })
+  in
+  let t = { workers; domains = [||]; stop = Atomic.make false; joined = false } in
+  let domains = Array.init n (fun i -> Domain.spawn (worker_loop t i)) in
+  { t with domains }
+
+let size t = Array.length t.workers
+
+let submit t ~shard job =
+  if Atomic.get t.stop then invalid_arg "Domain_pool.submit: pool is shut down";
+  let w = t.workers.(((shard mod size t) + size t) mod size t) in
+  Mutex.lock w.mu;
+  Queue.add job w.jobs;
+  Condition.signal w.cv;
+  Mutex.unlock w.mu
+
+type 'b completion = { lo : int; result : ('b array, exn) result }
+
+let parallel_map t ~f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let shards = Stdlib.min (size t) n in
+    let done_q : 'b completion Msq.t = Msq.create () in
+    for s = 0 to shards - 1 do
+      (* contiguous ownership: shard s covers [lo, hi) and nothing else *)
+      let lo = s * n / shards and hi = (s + 1) * n / shards in
+      submit t ~shard:s (fun () ->
+          let result =
+            try Ok (Array.init (hi - lo) (fun i -> f ~shard:s xs.(lo + i))) with e -> Error e
+          in
+          Msq.push done_q { lo; result })
+    done;
+    (* fold completions back on the calling domain *)
+    let received = ref [] in
+    let count = ref 0 in
+    while !count < shards do
+      match Msq.pop done_q with
+      | Some c ->
+          received := c :: !received;
+          incr count
+      | None -> Domain.cpu_relax ()
+    done;
+    (match
+       List.find_map (function { result = Error e; _ } -> Some e | _ -> None) !received
+     with
+    | Some e -> raise e
+    | None -> ());
+    let chunks =
+      List.filter_map
+        (function { lo; result = Ok r } -> Some (lo, r) | { result = Error _; _ } -> None)
+        !received
+    in
+    match chunks with
+    | [] -> [||]
+    | (_, r0) :: _ ->
+        (* every chunk is non-empty (shards <= n), so r0.(0) exists *)
+        let out = Array.make n r0.(0) in
+        List.iter (fun (lo, r) -> Array.blit r 0 out lo (Array.length r)) chunks;
+        out
+  end
+
+let shutdown t =
+  if not t.joined then begin
+    t.joined <- true;
+    Atomic.set t.stop true;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mu;
+        Condition.broadcast w.cv;
+        Mutex.unlock w.mu)
+      t.workers;
+    Array.iter Domain.join t.domains
+  end

@@ -1,0 +1,48 @@
+(** A fixed pool of worker domains with per-domain work queues.
+
+    Work is addressed by shard: [submit t ~shard job] always runs [job]
+    on the same worker domain for a given [shard mod size t], so state
+    partitioned by shard index is only ever touched by its owning
+    domain. [parallel_map] fans an array out over contiguous index
+    ranges (one per worker) and folds results back through a lock-free
+    Michael-Scott completion queue. *)
+
+module Msq : sig
+  (** Lock-free multi-producer multi-consumer Michael-Scott queue. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+end
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains] worker domains (default
+    [Domain.recommended_domain_count () - 1], at least 1). Raises
+    [Invalid_argument] outside [1, 64]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> shard:int -> (unit -> unit) -> unit
+(** Enqueue [job] on the worker owning [shard mod size t]. Jobs on one
+    shard run in submission order. Exceptions escaping [job] are
+    swallowed; transport them yourself if you care. Raises
+    [Invalid_argument] after [shutdown]. *)
+
+val parallel_map : t -> f:(shard:int -> 'a -> 'b) -> 'a array -> 'b array
+(** [parallel_map t ~f xs] applies [f] to every element, splitting [xs]
+    into [min (size t) (length xs)] contiguous chunks, one per worker
+    domain; element [i] of chunk [s] is computed on shard [s]'s domain.
+    The caller spins on the completion queue (with [Domain.cpu_relax])
+    until all chunks land. If any [f] raises, the first captured
+    exception is re-raised on the calling domain after all chunks
+    complete. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, drain queued jobs, and join all worker
+    domains. Idempotent. *)

@@ -388,6 +388,59 @@ let test_lifecycle_fifo_eviction () =
   (* span ring bounded at capacity, newest retained *)
   Alcotest.(check int) "span ring bounded" 2 (List.length (L.spans lc))
 
+(* Regression: an NTP step used to feed negative durations into the
+   lifecycle histograms (Tracer's default clock was gettimeofday).
+   Durations must now be clamped to zero and counted, and percentiles
+   must stay non-negative. *)
+let test_lifecycle_negative_span_clamped () =
+  let registry = Registry.create () in
+  let lc = L.create ~registry () in
+  L.enable lc;
+  let id = T.id ~signer:1 ~batch_id:1L ~key_index:0 in
+  (* a wall clock that stepped backward between begin and end *)
+  L.sign lc ~trace_id:id ~origin:1 ~birth_us:1_000.0 ~dur_us:(-250.0);
+  L.admit lc ~signer:1 ~batch_id:1L ~latency_us:(-30.0);
+  (* end stamp before the birth stamp: negative e2e *)
+  L.verify lc ~trace_id:id ~at_us:400.0 ~dur_us:(-5.0) ();
+  Alcotest.(check int) "span still completes" 1 (L.completed lc);
+  List.iter
+    (fun plane ->
+      let p99 = L.percentile lc plane 99.0 in
+      if not (p99 >= 0.0) then
+        Alcotest.failf "%s p99 went negative: %f" (L.plane_name plane) p99)
+    [ L.Sign; L.Announce; L.Verify; L.End_to_end ];
+  (match List.rev (L.spans lc) with
+  | sp :: _ ->
+      Alcotest.(check (float 1e-9)) "e2e clamped in span" 0.0 sp.L.sp_e2e_us;
+      Alcotest.(check (float 1e-9)) "verify clamped in span" 0.0 sp.L.sp_verify_us
+  | [] -> Alcotest.fail "no spans");
+  let snap = Registry.snapshot registry in
+  let clamped =
+    match Registry.Snapshot.find snap "dsig_lifecycle_negative_clamped_total" with
+    | Some (Registry.Snapshot.Counter n) -> Some n
+    | _ -> None
+  in
+  Alcotest.(check (option int)) "all four negatives counted" (Some 4) clamped
+
+(* The default tracer/telemetry clock must be monotonic now: two reads
+   never go backward even if the wall clock is stepped (which we cannot
+   force here, but monotonicity across many samples is the contract). *)
+let test_mono_clock_is_monotonic () =
+  let prev = ref (Tracer.mono_clock_us ()) in
+  for _ = 1 to 10_000 do
+    let now = Tracer.mono_clock_us () in
+    if now < !prev then Alcotest.failf "monotonic clock went backward: %f < %f" now !prev;
+    prev := now
+  done;
+  (* and it is the default: durations measured through Telemetry.time
+     on a fresh bundle are non-negative *)
+  let tel = Dsig_telemetry.Telemetry.create () in
+  let h = Dsig_telemetry.Telemetry.histogram tel "t_us" in
+  Dsig_telemetry.Telemetry.time tel h (fun () -> ());
+  let snap = M.Histogram.snapshot h in
+  Alcotest.(check bool) "one sample" true (snap.M.Histogram.n = 1);
+  Alcotest.(check bool) "non-negative" true (snap.M.Histogram.total >= 0.0)
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -430,5 +483,8 @@ let () =
           Alcotest.test_case "full requires admit before verify" `Quick
             test_lifecycle_full_requires_admit_first;
           Alcotest.test_case "pending tables FIFO-evict" `Quick test_lifecycle_fifo_eviction;
+          Alcotest.test_case "negative spans clamped and counted" `Quick
+            test_lifecycle_negative_span_clamped;
+          Alcotest.test_case "default clock is monotonic" `Quick test_mono_clock_is_monotonic;
         ] );
     ]

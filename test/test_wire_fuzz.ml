@@ -180,6 +180,67 @@ let test_acks_codec () =
       "M\xff\xff";
     ]
 
+(* Bounds audit of [Bytes.unsafe_*] call sites (ISSUE 7 satellite).
+   Every site in the tree is a [Bytes.unsafe_to_string] on a buffer the
+   function itself allocated and fully wrote — ownership transfer, safe
+   by construction. The only ones that read a {e prefix} of a fixed
+   64-byte block with an explicit caller-supplied length are the
+   incremental hash cores (blake3.ml's [words_of_block ... c.block_len],
+   sha256.ml's padding feed), where an off-by-one at a block boundary
+   would silently mis-hash short or truncated inputs. Pin the boundary
+   behavior: incremental hashing must agree with the one-shot digest at
+   every block-edge length and under arbitrary chunk splits. *)
+
+let boundary_lengths = [ 0; 1; 31; 32; 55; 56; 63; 64; 65; 127; 128; 129; 1023; 1024; 1025 ]
+
+let boundary_input n = String.init n (fun i -> Char.chr ((i * 131 + n) land 0xff))
+
+let incr_blake3 chunks =
+  let c = Dsig_hashes.Blake3.Incremental.create () in
+  List.iter (Dsig_hashes.Blake3.Incremental.feed c) chunks;
+  Dsig_hashes.Blake3.Incremental.finalize c
+
+let incr_sha256 chunks =
+  let c = Dsig_hashes.Sha256.init () in
+  List.iter (Dsig_hashes.Sha256.feed c) chunks;
+  Dsig_hashes.Sha256.finalize c
+
+let hex = Dsig_util.Bytesutil.to_hex
+
+let test_hash_boundaries () =
+  List.iter
+    (fun n ->
+      let s = boundary_input n in
+      let whole = [ s ] in
+      let bytewise = List.init n (fun i -> String.make 1 s.[i]) in
+      let halves = [ String.sub s 0 (n / 2); String.sub s (n / 2) (n - (n / 2)) ] in
+      List.iter
+        (fun chunks ->
+          Alcotest.(check string)
+            (Printf.sprintf "blake3 incremental agrees at %d" n)
+            (hex (Dsig_hashes.Blake3.digest s))
+            (hex (incr_blake3 chunks));
+          Alcotest.(check string)
+            (Printf.sprintf "sha256 incremental agrees at %d" n)
+            (hex (Dsig_hashes.Sha256.digest s))
+            (hex (incr_sha256 chunks)))
+        [ whole; bytewise; halves ])
+    boundary_lengths
+
+let hash_chunking_fuzz =
+  QCheck.Test.make ~name:"incremental hashing agrees under random chunking" ~count:500
+    QCheck.(pair (int_bound 2048) (small_list (int_bound 2048)))
+    (fun (n, cuts) ->
+      let s = boundary_input n in
+      let cuts = List.sort_uniq compare (0 :: n :: List.filter (fun c -> c <= n) cuts) in
+      let rec pieces = function
+        | a :: (b :: _ as rest) -> String.sub s a (b - a) :: pieces rest
+        | _ -> []
+      in
+      let chunks = pieces cuts in
+      incr_blake3 chunks = Dsig_hashes.Blake3.digest s
+      && incr_sha256 chunks = Dsig_hashes.Sha256.digest s)
+
 let acks_fuzz =
   QCheck.Test.make ~name:"acks frames roundtrip at any count" ~count:200
     QCheck.(int_bound Batch.max_acks_per_frame)
@@ -201,9 +262,10 @@ let () =
           Alcotest.test_case "valid roundtrips" `Quick test_roundtrip;
           Alcotest.test_case "control codec" `Quick test_control_codec;
           Alcotest.test_case "acks codec" `Quick test_acks_codec;
+          Alcotest.test_case "hash block boundaries" `Quick test_hash_boundaries;
         ]
         @ List.map
             (QCheck_alcotest.to_alcotest ~long:false)
-            [ arbitrary_total; mutated_total; acks_fuzz ]
+            [ arbitrary_total; mutated_total; acks_fuzz; hash_chunking_fuzz ]
       );
     ]
