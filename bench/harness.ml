@@ -95,9 +95,37 @@ let metrics : (string * float) list ref = ref []
 
 let metric name value = metrics := (name, value) :: !metrics
 
+(* First line of a command's stdout, or [default] if the command fails
+   or prints nothing — used for best-effort provenance (git rev, arch)
+   in the snapshot meta block. *)
+let command_line ~default cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> default in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when String.trim line <> "" -> String.trim line
+    | _ -> default
+  with Unix.Unix_error _ | Sys_error _ -> default
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
 let write_bench_snapshot path =
   let oc = open_out path in
-  output_string oc "{\n  \"schema\": \"dsig-bench-smoke-v1\",\n  \"metrics\": {\n";
+  output_string oc "{\n  \"schema\": \"dsig-bench-smoke-v2\",\n";
+  (* provenance: enough to tell whether a committed baseline and a fresh
+     snapshot are comparable (same host class, same domain budget) and
+     which checkout produced each *)
+  output_string oc "  \"meta\": {\n";
+  Printf.fprintf oc "    \"written_at\": %S,\n" (iso8601 (Unix.time ()));
+  Printf.fprintf oc "    \"git_rev\": %S,\n"
+    (command_line ~default:"unknown" "git rev-parse --short HEAD 2>/dev/null");
+  Printf.fprintf oc "    \"arch\": %S,\n" (command_line ~default:"unknown" "uname -m");
+  Printf.fprintf oc "    \"domains\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "    \"ocaml\": %S\n" Sys.ocaml_version;
+  output_string oc "  },\n  \"metrics\": {\n";
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !metrics) in
   List.iteri
     (fun i (name, v) ->

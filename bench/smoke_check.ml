@@ -1,8 +1,15 @@
 (* Smoke gate for the bench harness (`dune build @smoke`): after an
    --ops-shrunk run with --csv DIR, every figure's *-telemetry.json
    snapshot must carry the lifecycle summary keys the scrape endpoint
-   and offline tooling consume. Exits non-zero listing offending
-   files. *)
+   and offline tooling consume, and the emitted BENCH_smoke.json must
+   carry every plane's pinned metric plus its provenance meta block.
+   With a second argument — a committed baseline snapshot — the fresh
+   metrics are additionally held to the perf-trajectory tolerance
+   bands (Dsig_timeseries.Trajectory), so a regression beyond the band
+   fails @smoke, not just a missing key. Exits non-zero listing
+   offending files/metrics. *)
+
+module Trajectory = Dsig_timeseries.Trajectory
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -59,7 +66,12 @@ let metric_value s name =
       done;
       float_of_string_opt (String.trim (String.sub s start (!stop - start)))
 
-let check_bench_snapshot dir =
+(* the provenance block the snapshot writer stamps (schema v2) — a
+   baseline without it cannot be judged comparable to a fresh run *)
+let required_meta_keys =
+  [ "\"meta\""; "\"written_at\""; "\"git_rev\""; "\"arch\""; "\"domains\""; "\"ocaml\"" ]
+
+let check_bench_snapshot ?baseline dir =
   let path = Filename.concat dir "BENCH_smoke.json" in
   if not (Sys.file_exists path) then begin
     Printf.eprintf "smoke_check: %s missing\n" path;
@@ -68,6 +80,11 @@ let check_bench_snapshot dir =
   let ic = open_in path in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
+  let missing_meta = List.filter (fun k -> not (contains s k)) required_meta_keys in
+  if missing_meta <> [] then begin
+    List.iter (fun k -> Printf.eprintf "smoke_check: %s lacks meta key %s\n" path k) missing_meta;
+    exit 1
+  end;
   let missing = List.filter (fun k -> not (contains s k)) required_bench_metrics in
   if missing <> [] then begin
     List.iter (fun k -> Printf.eprintf "smoke_check: %s lacks metric %s\n" path k) missing;
@@ -85,10 +102,60 @@ let check_bench_snapshot dir =
       | Some v -> Printf.printf "smoke_check: %s = %.2f (floor %.2f)\n" name v floor)
     required_floors;
   Printf.printf "smoke_check: %s carries all %d pinned metrics\n" path
-    (List.length required_bench_metrics)
+    (List.length required_bench_metrics);
+  (* perf trajectory: hold the fresh metrics to the committed
+     baseline's tolerance bands *)
+  match baseline with
+  | None -> ()
+  | Some base_path ->
+      let read p =
+        let ic = open_in_bin p in
+        let b = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        b
+      in
+      let base_body =
+        try read base_path
+        with Sys_error e ->
+          Printf.eprintf "smoke_check: cannot read baseline: %s\n" e;
+          exit 1
+      in
+      (match (Trajectory.parse_snapshot base_body, Trajectory.parse_snapshot s) with
+      | Error e, _ ->
+          Printf.eprintf "smoke_check: baseline %s: %s\n" base_path e;
+          exit 1
+      | _, Error e ->
+          Printf.eprintf "smoke_check: fresh %s: %s\n" path e;
+          exit 1
+      | Ok baseline, Ok fresh -> (
+          (* keep in sync with the band list in trajectory.ml:
+             fsync-bound and coarsely-quantized figures get wider
+             bands than the 50% default *)
+          let tolerances =
+            [
+              ("store_sign_us", 3.0);
+              ("translog_checkpoint_us", 1.5);
+              ("translog_consistency_proof_us", 1.5);
+              ("translog_inclusion_proof_us", 1.5);
+            ]
+          in
+          let entries = Trajectory.compare_metrics ~tolerances ~baseline ~fresh () in
+          match Trajectory.failures entries with
+          | [] ->
+              Printf.printf "smoke_check: trajectory vs %s: %d metrics within band\n" base_path
+                (List.length entries)
+          | bad ->
+              print_string (Trajectory.render entries);
+              List.iter
+                (fun e ->
+                  Printf.eprintf "smoke_check: trajectory: %s %s\n" e.Trajectory.e_name
+                    (Trajectory.verdict_name e.Trajectory.e_verdict))
+                bad;
+              exit 1))
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "smoke-results" in
+  let baseline = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
   let entries =
     try Sys.readdir dir
     with Sys_error e ->
@@ -117,4 +184,4 @@ let () =
     List.iter (fun f -> Printf.eprintf "smoke_check: %s/%s lacks lifecycle keys\n" dir f) bad;
     exit 1
   end;
-  check_bench_snapshot dir
+  check_bench_snapshot ?baseline dir

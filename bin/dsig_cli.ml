@@ -388,6 +388,182 @@ let top_cmd =
     (Cmd.info "top" ~doc:"Watch per-plane signature lifecycle latencies from a scrape endpoint.")
     Term.(const top $ port_arg $ interval_arg $ count_arg $ d_arg $ batch_arg)
 
+(* --- timeline: sparkline history of sampled metric series --- *)
+
+(* Render the ring-buffered series behind a /timeseries route (or a
+   dumped JSON body) as one sparkline per metric. Counter series show
+   per-sample increments (the interesting signal); gauges show raw
+   values. *)
+let spark_cells = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let cell v =
+        if hi <= lo then spark_cells.(0)
+        else
+          let level = int_of_float ((v -. lo) /. (hi -. lo) *. 7.0 +. 0.5) in
+          spark_cells.(max 0 (min 7 level))
+      in
+      String.concat "" (List.map cell values)
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let timeline port file metric width interval count =
+  let module Ts = Dsig_timeseries in
+  let module Scrape = Dsig_tcpnet.Scrape in
+  let render ~tick ~source body =
+    match Ts.Sampler.of_json body with
+    | Error e ->
+        Printf.printf "timeline: %s does not parse as a timeseries dump: %s\n%!" source e;
+        1
+    | Ok rows ->
+        let rows =
+          List.filter (fun (name, _, _) -> string_contains name metric) rows
+        in
+        if tick > 1 then print_string "\027[H\027[2J";
+        Printf.printf "dsig timeline — %s — %d series%s\n\n" source (List.length rows)
+          (if metric = "" then "" else Printf.sprintf " matching %S" metric);
+        let name_w =
+          List.fold_left (fun acc (n, _, _) -> max acc (String.length n)) 6 rows
+        in
+        List.iter
+          (fun (name, kind, points) ->
+            let values = List.map snd points in
+            (* counters plot per-sample increments, clamped so a
+               restart's reset never draws a negative spike *)
+            let values =
+              match kind with
+              | Ts.Series.Gauge -> values
+              | Ts.Series.Counter -> (
+                  match values with
+                  | [] -> []
+                  | first :: _ ->
+                      List.rev
+                        (snd
+                           (List.fold_left
+                              (fun (prev, acc) v -> (v, Float.max 0.0 (v -. prev) :: acc))
+                              (first, []) values)))
+            in
+            let tail =
+              let n = List.length values in
+              if n <= width then values
+              else List.filteri (fun i _ -> i >= n - width) values
+            in
+            let last = match List.rev tail with v :: _ -> v | [] -> 0.0 in
+            Printf.printf "%-*s %-7s %s %.6g\n" name_w name
+              (Ts.Series.kind_to_string kind) (sparkline tail) last)
+          rows;
+        Printf.printf "\n%!";
+        0
+  in
+  match (port, file) with
+  | None, Some f ->
+      let ic = open_in_bin f in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      render ~tick:1 ~source:f body
+  | _ ->
+      (* like `top`: without --port, run a self-contained demo — a
+         signer/verifier pair whose registry a sampler folds every
+         tick, published through a local scrape server the watcher
+         then polls over real HTTP *)
+      let cleanup, p =
+        match port with
+        | Some p -> ((fun () -> ()), p)
+        | None ->
+            let module Tel = Dsig_telemetry.Telemetry in
+            let tel = Tel.create () in
+            let cfg = config_of ~d:4 ~batch:16 in
+            let rng = Dsig_util.Rng.create 17L in
+            let sk, pk = Dsig_ed25519.Eddsa.generate rng in
+            let pki = Dsig.Pki.create () in
+            Dsig.Pki.register pki ~id:0 pk;
+            let options = Dsig.Options.default |> Dsig.Options.with_telemetry tel in
+            let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~options ~verifiers:[ 1 ] () in
+            let verifier = Dsig.Verifier.create cfg ~id:1 ~pki ~options () in
+            let sampler = Ts.Sampler.create ~interval_us:10_000.0 tel.Tel.registry in
+            let vstats = Dsig.Verifier.stats verifier in
+            Ts.Sampler.probe sampler ~name:"demo_verifier_fast_total" ~kind:Ts.Series.Counter
+              (fun () -> float_of_int vstats.Dsig.Verifier.fast);
+            let alerts = Ts.Alert.create ~telemetry:tel sampler [] in
+            let stop = ref false in
+            let worker =
+              Thread.create
+                (fun () ->
+                  let i = ref 0 in
+                  while not !stop do
+                    incr i;
+                    Dsig.Signer.background_fill signer;
+                    List.iter
+                      (fun (_, a) -> ignore (Dsig.Verifier.deliver verifier a))
+                      (Dsig.Signer.drain_outbox signer);
+                    let msg = Printf.sprintf "timeline demo #%d" !i in
+                    let signature = Dsig.Signer.sign signer msg in
+                    ignore (Dsig.Verifier.verify verifier ~msg signature);
+                    if Ts.Sampler.sample sampler ~now_us:(Tel.now tel) then
+                      ignore (Ts.Alert.step alerts ~now_us:(Tel.now tel));
+                    Thread.delay 0.002
+                  done)
+                ()
+            in
+            let srv = Scrape.start ~telemetry:tel ~timeseries:sampler ~alerts ~port:0 () in
+            Printf.printf "demo scrape server on 127.0.0.1:%d (/timeseries /alerts)\n%!"
+              (Scrape.port srv);
+            ( (fun () ->
+                stop := true;
+                (try Thread.join worker with _ -> ());
+                Scrape.stop srv),
+              Scrape.port srv )
+      in
+      let rc = ref 0 in
+      let tick = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        incr tick;
+        (match Scrape.fetch ~port:p ~path:"/timeseries" with
+        | Ok body -> rc := render ~tick:!tick ~source:(Printf.sprintf "127.0.0.1:%d/timeseries" p) body
+        | Error e ->
+            Printf.printf "fetch 127.0.0.1:%d/timeseries failed: %s\n%!" p e;
+            rc := 1;
+            continue_ := false);
+        if count > 0 && !tick >= count then continue_ := false;
+        if !continue_ then Thread.delay interval
+      done;
+      cleanup ();
+      !rc
+
+let timeline_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Render a dumped /timeseries JSON body instead of polling.")
+
+let timeline_metric_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "m"; "metric" ] ~docv:"SUBSTRING" ~doc:"Only series whose name contains this.")
+
+let timeline_width_arg =
+  Arg.(value & opt int 60 & info [ "w"; "width" ] ~docv:"POINTS" ~doc:"Sparkline width in points.")
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Render sparkline metric history from a live /timeseries scrape route or a dumped \
+          JSON body.")
+    Term.(
+      const timeline $ port_arg $ timeline_file_arg $ timeline_metric_arg $ timeline_width_arg
+      $ interval_arg $ count_arg)
+
 (* --- monitor: independent split-view watching of a transparency log --- *)
 
 let monitor endpoints pk_hex log_id interval count =
@@ -604,6 +780,7 @@ let main_cmd =
       analyze_cmd;
       stats_cmd;
       top_cmd;
+      timeline_cmd;
       monitor_cmd;
       log_sign_cmd;
       log_audit_cmd;

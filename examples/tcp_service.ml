@@ -18,6 +18,7 @@ module Tcp = Dsig_tcpnet.Tcpnet
 module Scrape = Dsig_tcpnet.Scrape
 module Tel = Dsig_telemetry.Telemetry
 module Lifecycle = Dsig_telemetry.Lifecycle
+module Ts = Dsig_timeseries
 
 let () =
   let cfg = Config.make ~batch_size:16 ~queue_threshold:32 ~cache_batches:64 (Config.wots ~d:4) in
@@ -32,12 +33,30 @@ let () =
   let tel = Tel.create () in
   Lifecycle.enable tel.Tel.lifecycle;
 
+  (* time-series plane: a wall-clock sampler over the shared registry,
+     ticked by the signer's re-announce pump below (sample_hook rides
+     Runtime.step), plus an e2e-latency SLO alert over the sampled p99 *)
+  let sampler = Ts.Sampler.create ~interval_us:2_000.0 tel.Tel.registry in
+  let alerts =
+    Ts.Alert.create ~telemetry:tel sampler
+      [
+        Ts.Alert.rule ~name:"e2e_p99_latency"
+          ~fast:{ Ts.Alert.window_us = 1.0e6; max_burn = 1.0 }
+          ~slow:{ Ts.Alert.window_us = 5.0e6; max_burn = 1.0 }
+          (Ts.Alert.Latency
+             { series = "dsig_lifecycle_e2e_us:p99"; budget_us = 50_000.0 });
+      ]
+  in
+
   (* signer: foreground here, background plane on its own domain.
      Adaptive pacing: re-announce timers follow the measured loopback
      ACK round trip instead of the fixed global ladder. *)
   let options =
     Options.default |> Options.with_telemetry tel
     |> Options.with_pacing (Options.adaptive ())
+    |> Options.with_sample_hook (fun ~now_us ->
+           if Ts.Sampler.sample sampler ~now_us then
+             ignore (Ts.Alert.step alerts ~now_us))
   in
   let rt = Runtime.create cfg ~id:0 ~eddsa:sk ~seed:7L ~options () in
   let cp = Control_plane.of_runtime rt in
@@ -54,6 +73,14 @@ let () =
     Verifier.create cfg ~id:1 ~pki ~options:(Options.default |> Options.with_telemetry tel)
       ~control ()
   in
+  (* node-local probes: the verifier's fast/slow split sampled on the
+     same ticks as the registry metrics *)
+  let vstats = Verifier.stats verifier in
+  Ts.Sampler.probe sampler ~name:"service_verifier_fast_total" ~kind:Ts.Series.Counter
+    (fun () -> float_of_int vstats.Verifier.fast);
+  Ts.Sampler.probe sampler ~name:"service_verifier_slow_total" ~kind:Ts.Series.Counter
+    (fun () -> float_of_int vstats.Verifier.slow);
+
   let mu = Mutex.create () in
   let verified = ref 0 and rejected = ref 0 and announcements = ref 0 in
   let handle_signed ?ctx ~msg ~signature () =
@@ -102,11 +129,12 @@ let () =
 
   (* scrape endpoint: poll /planes (or run `dsig top -p PORT`) while the
      service is live *)
-  let scrape = Scrape.start ~telemetry:tel ~port:0 () in
+  let scrape = Scrape.start ~telemetry:tel ~timeseries:sampler ~alerts ~port:0 () in
   Printf.printf "verifier service listening on 127.0.0.1:%d\n" (Tcp.port server);
   Printf.printf "signer control listener on 127.0.0.1:%d\n" (Tcp.port control_server);
   Printf.printf
-    "scrape endpoint on http://127.0.0.1:%d (/metrics /metrics.json /trace /planes /health)\n"
+    "scrape endpoint on http://127.0.0.1:%d (/metrics /metrics.json /trace /planes /health \
+     /timeseries /alerts)\n"
     (Scrape.port scrape);
 
   let announce a =
@@ -179,6 +207,13 @@ let () =
   (match Scrape.fetch ~port:(Scrape.port scrape) ~path:"/health" with
   | Ok body -> Printf.printf "scrape /health: %s\n" body
   | Error e -> Printf.printf "scrape /health: %s\n" e);
+  (* the run's timelines: how many sampling ticks landed, and the alert
+     states (inspect interactively with `dsig timeline -p PORT`) *)
+  Printf.printf "timeseries: %d samples over %d series\n" (Ts.Sampler.samples sampler)
+    (List.length (Ts.Sampler.all sampler));
+  (match Scrape.fetch ~port:(Scrape.port scrape) ~path:"/alerts" with
+  | Ok body -> Printf.printf "scrape /alerts: %s\n" body
+  | Error e -> Printf.printf "scrape /alerts: %s\n" e);
   pump_stop := true;
   (try Thread.join pump with _ -> ());
   Scrape.stop scrape;

@@ -6,8 +6,36 @@ module Metric = Dsig_telemetry.Metric
 module Translog = Dsig_translog.Translog
 module Checkpoint = Dsig_translog.Checkpoint
 module Monitor = Dsig_translog.Monitor
+module Ts = Dsig_timeseries
 
 type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
+
+(* --- the per-node time-series plane --- *)
+
+type timeseries_opts = {
+  ts_poll_us : float;
+  ts_capacity : int;
+  ts_slow_share_budget : float;
+  ts_fast : Ts.Alert.window;
+  ts_slow : Ts.Alert.window;
+}
+
+(* sim-scale defaults: windows of a few virtual milliseconds, a 10%
+   slow-path budget, and a fire threshold of 2x budget — tuned so a
+   faultmatrix-style run (signing every ~150 µs) fires during a real
+   fault window but not on a single slow verification *)
+let timeseries ?(poll_us = 500.0) ?(capacity = 1024) ?(slow_share_budget = 0.1)
+    ?(fast_window_us = 3_000.0) ?(slow_window_us = 10_000.0) ?(max_burn = 2.0) () =
+  if poll_us < 0.0 then invalid_arg "Deploy.timeseries: poll_us must be non-negative";
+  {
+    ts_poll_us = poll_us;
+    ts_capacity = capacity;
+    ts_slow_share_budget = slow_share_budget;
+    ts_fast = { Ts.Alert.window_us = fast_window_us; max_burn };
+    ts_slow = { Ts.Alert.window_us = slow_window_us; max_burn };
+  }
+
+let slow_burn_rule = "node_slow_path_burn"
 
 (* announcements carry the virtual send time so delivery can record the
    time spent on the (modeled) wire *)
@@ -34,13 +62,15 @@ type t = {
   pki : Dsig.Pki.t;
   net : payload Net.t;
   transparency : transparency option;
+  tsplane : (Ts.Sampler.t * Ts.Alert.t) array option;
   mutable sent : int;
   mutable delivered : int;
 }
 
 let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
     ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) ?store_dir
-    ?translog_dir ?(translog_poll_us = 200.0) ?(log_id = 0) sim cfg ~n () =
+    ?translog_dir ?(translog_poll_us = 200.0) ?(log_id = 0) ?timeseries:ts_opts sim cfg ~n
+    () =
   let telemetry = options.Dsig.Options.telemetry in
   let pki = Dsig.Pki.create () in
   let master = Rng.create seed in
@@ -65,10 +95,48 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
             in
             Some { log; log_id; log_sk; log_pk; monitors; gossiped = 0; broadcast = ignore })
   in
+  (* per-node time-series plane: one sampler + alerter per party,
+     ticked by the signer's control-plane pump via Options.sample_hook,
+     so timelines advance on the same virtual clock as the
+     re-announcements they observe *)
+  let tsplane =
+    Option.map
+      (fun o ->
+        Array.init n (fun _ ->
+            let sampler =
+              Ts.Sampler.create ~capacity:o.ts_capacity ~interval_us:o.ts_poll_us
+                telemetry.Tel.registry
+            in
+            let alerter =
+              Ts.Alert.create ~telemetry sampler
+                [
+                  Ts.Alert.rule ~fast:o.ts_fast ~slow:o.ts_slow ~name:slow_burn_rule
+                    (Ts.Alert.Burn_rate
+                       {
+                         bad = "node_verifier_slow_total";
+                         total = "node_verifier_verifies_total";
+                         budget = o.ts_slow_share_budget;
+                       });
+                ]
+            in
+            (sampler, alerter)))
+      ts_opts
+  in
   (* per-node store subdirectories, so n parties on one host never share
      a journal; a restarted deployment pointed at the same [store_dir]
      resumes each node's key state *)
   let options_of id =
+    let options =
+      match tsplane with
+      | None -> options
+      | Some arr ->
+          let sampler, alerter = arr.(id) in
+          Dsig.Options.with_sample_hook
+            (fun ~now_us ->
+              if Ts.Sampler.sample sampler ~now_us then
+                ignore (Ts.Alert.step alerter ~now_us))
+            options
+    in
     let options =
       match transparency with
       | None -> options
@@ -123,8 +191,30 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
             Dsig.Verifier.create cfg ~id ~pki ~options ~control:(control_of id) ();
         })
   in
-  let t = { cfg; parties; pki; net; transparency; sent = 0; delivered = 0 } in
+  let t = { cfg; parties; pki; net; transparency; tsplane; sent = 0; delivered = 0 } in
   t_ref := Some t;
+  (* node-local probes: the registry's dsig_* series are shared across
+     the whole deployment, so the per-node fast/slow split comes from
+     probing each party's own stats records on the same tick *)
+  (match tsplane with
+  | None -> ()
+  | Some arr ->
+      Array.iteri
+        (fun id (sampler, _) ->
+          let v = parties.(id).verifier and s = parties.(id).signer in
+          let vstats = Dsig.Verifier.stats v and sstats = Dsig.Signer.stats s in
+          let counter name read = Ts.Sampler.probe sampler ~name ~kind:Ts.Series.Counter read in
+          counter "node_verifier_fast_total" (fun () -> float_of_int vstats.Dsig.Verifier.fast);
+          counter "node_verifier_slow_total" (fun () -> float_of_int vstats.Dsig.Verifier.slow);
+          counter "node_verifier_verifies_total" (fun () ->
+              float_of_int (vstats.Dsig.Verifier.fast + vstats.Dsig.Verifier.slow));
+          counter "node_verifier_rejected_total" (fun () ->
+              float_of_int vstats.Dsig.Verifier.rejected);
+          counter "node_signer_reannounces_total" (fun () ->
+              float_of_int sstats.Dsig.Signer.reannounces);
+          Ts.Sampler.probe sampler ~name:"node_signer_unacked" ~kind:Ts.Series.Gauge
+            (fun () -> float_of_int (Dsig.Signer.unacked_announcements s)))
+        arr);
   let c_ckpt_sent = Tel.counter telemetry "dsig_deploy_checkpoints_gossiped_total" in
   let c_ckpt_alarms = Tel.counter telemetry "dsig_deploy_checkpoint_alarms_total" in
   let observe_checkpoint id encoded =
@@ -236,6 +326,9 @@ let signer t i = t.parties.(i).signer
 let verifier t i = t.parties.(i).verifier
 let pki t = t.pki
 let net t = t.net
+
+let sampler t i = Option.map (fun arr -> fst arr.(i)) t.tsplane
+let alerter t i = Option.map (fun arr -> snd arr.(i)) t.tsplane
 
 let translog t = Option.map (fun tr -> tr.log) t.transparency
 let translog_pk t = Option.map (fun tr -> tr.log_pk) t.transparency

@@ -34,6 +34,31 @@ type payload =
           {!Dsig_translog.Checkpoint}), broadcast by the log operator
           (node 0) and fed to every party's split-view monitor. *)
 
+(** Configuration of the optional per-node time-series plane; build
+    with {!timeseries}. *)
+type timeseries_opts
+
+val timeseries :
+  ?poll_us:float ->
+  ?capacity:int ->
+  ?slow_share_budget:float ->
+  ?fast_window_us:float ->
+  ?slow_window_us:float ->
+  ?max_burn:float ->
+  unit ->
+  timeseries_opts
+(** Sim-scale defaults: sample every 500 virtual µs into 1024-point
+    rings, and alert (rule {!slow_burn_rule}) when the slow-path share
+    of verifications burns a [slow_share_budget] (default 0.1 = 10%
+    slow) error budget faster than [max_burn] (default 2.0) over both a
+    [fast_window_us] (default 3 ms) and a [slow_window_us] (default
+    10 ms) trailing window.
+    @raise Invalid_argument on a negative poll interval. *)
+
+val slow_burn_rule : string
+(** Name of the per-node slow-path burn-rate alert rule
+    (["node_slow_path_burn"]). *)
+
 val create :
   ?latency_us:float ->
   ?bg_poll_us:float ->
@@ -45,6 +70,7 @@ val create :
   ?translog_dir:string ->
   ?translog_poll_us:float ->
   ?log_id:int ->
+  ?timeseries:timeseries_opts ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -92,7 +118,26 @@ val create :
     receives [dsig_deploy_checkpoints_gossiped_total] and
     [dsig_deploy_checkpoint_alarms_total] counters plus the
     [dsig_translog_*] series. [log_id] (default 0) names the log in its
-    checkpoints. *)
+    checkpoints.
+
+    [timeseries] turns on the per-node time-series plane: every party
+    gets its own {!Dsig_timeseries.Sampler} (ticked by the signer's
+    re-announce pump through {!Dsig.Options.with_sample_hook}, so
+    timelines advance in virtual time) and a
+    {!Dsig_timeseries.Alert} with the {!slow_burn_rule} burn-rate rule
+    over that node's slow-path verification share. Besides the shared
+    registry metrics, each node's sampler records node-local probe
+    series ([node_verifier_fast_total], [node_verifier_slow_total],
+    [node_verifier_verifies_total], [node_verifier_rejected_total],
+    [node_signer_reannounces_total], [node_signer_unacked]) read from
+    its own signer/verifier stats — the series faultmatrix tests assert
+    dip-and-recover shapes on. Retrieve with {!sampler} / {!alerter}. *)
+
+val sampler : t -> int -> Dsig_timeseries.Sampler.t option
+(** Party [i]'s sampler ([None] without [?timeseries]). *)
+
+val alerter : t -> int -> Dsig_timeseries.Alert.t option
+(** Party [i]'s burn-rate alerter ([None] without [?timeseries]). *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t

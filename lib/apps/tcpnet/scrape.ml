@@ -8,6 +8,8 @@ type t = {
   actual_port : int;
   telemetry : Tel.t;
   health_budgets : (Lifecycle.plane * float) list;
+  timeseries : Dsig_timeseries.Sampler.t option;
+  alerts : Dsig_timeseries.Alert.t option;
   routes : (string -> (string * string * string) option) list;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
@@ -73,8 +75,19 @@ let health_body tel budgets =
   Buffer.add_string buf "]}";
   (all_ok, Buffer.contents buf)
 
-let route ?(health_budgets = default_health_budgets) tel path =
+let route ?(health_budgets = default_health_budgets) ?timeseries ?alerts tel path =
   match path with
+  (* the time-series plane mounts only when a sampler/alerter is
+     wired in: a plain scrape server answers 404 for these *)
+  | "/timeseries" ->
+      Option.map
+        (fun sampler ->
+          ("200 OK", "application/json", Dsig_timeseries.Sampler.to_json sampler))
+        timeseries
+  | "/alerts" ->
+      Option.map
+        (fun alerter -> ("200 OK", "application/json", Dsig_timeseries.Alert.to_json alerter))
+        alerts
   | "/metrics" ->
       Some ("200 OK", "text/plain; version=0.0.4", Export.prometheus (Tel.snapshot tel))
   | "/metrics.json" ->
@@ -152,7 +165,10 @@ let handle_conn t fd =
       | Some path -> (
           Metric.Counter.incr t.c_requests;
           let extra path = List.find_map (fun r -> r path) t.routes in
-          let builtin path = route ~health_budgets:t.health_budgets t.telemetry path in
+          let builtin path =
+            route ~health_budgets:t.health_budgets ?timeseries:t.timeseries
+              ?alerts:t.alerts t.telemetry path
+          in
           match
             match extra path with Some r -> Some r | None -> builtin path
           with
@@ -165,8 +181,8 @@ let handle_conn t fd =
               Tcpnet.really_write fd
                 (error_response t ~status:"500 Internal Server Error" (Printexc.to_string e))))
 
-let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budgets) ?(routes = [])
-    ~port () =
+let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budgets) ?timeseries
+    ?alerts ?(routes = []) ~port () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -180,6 +196,8 @@ let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budget
       actual_port;
       telemetry;
       health_budgets = health_budgets_us;
+      timeseries;
+      alerts;
       routes;
       stopping = false;
       accept_thread = None;

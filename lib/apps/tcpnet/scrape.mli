@@ -21,7 +21,13 @@
       [{"status":..,"planes":[{"plane":..,"n":..,"p99_us":..,
       "budget_us":..,"ok":..},..]}] served with 200 when every plane is
       within budget and 503 otherwise (a plane with no observations
-      fails — "no data" is not "healthy").
+      fails — "no data" is not "healthy");
+    - [/timeseries] — the sampler's ring-buffered metric history
+      ({!Dsig_timeseries.Sampler.to_json}), only when a sampler was
+      passed to {!start} (404 otherwise);
+    - [/alerts] — the SLO burn-rate alerter's current states and recent
+      transitions ({!Dsig_timeseries.Alert.to_json}), only when an
+      alerter was passed to {!start} (404 otherwise).
 
     Extra routes can be mounted at {!start} (e.g. the transparency log's
     [/checkpoint] — [Dsig_translog.Serve.checkpoint_route]); they are
@@ -37,6 +43,8 @@ type t
 val start :
   ?telemetry:Dsig_telemetry.Telemetry.t ->
   ?health_budgets_us:(Dsig_telemetry.Lifecycle.plane * float) list ->
+  ?timeseries:Dsig_timeseries.Sampler.t ->
+  ?alerts:Dsig_timeseries.Alert.t ->
   ?routes:(string -> (string * string * string) option) list ->
   port:int ->
   unit ->
@@ -46,7 +54,10 @@ val start :
     [dsig_scrape_requests_total] / [dsig_scrape_errors_total] on the
     same bundle. [health_budgets_us] sets the [/health] per-plane p99
     budgets (defaults: sign and verify 10 ms, announce and end-to-end
-    100 ms). [routes] mounts extra handlers, each mapping a path to
+    100 ms). [timeseries] / [alerts] mount the [/timeseries] and
+    [/alerts] routes; the server only reads them (something else —
+    usually an {!Dsig.Options.with_sample_hook} tick — drives the
+    sampling). [routes] mounts extra handlers, each mapping a path to
     [Some (status, content-type, body)] or [None] to decline; they are
     tried in order before the built-in routes, and one that raises is
     answered with a well-formed 500 rather than a dropped connection. *)

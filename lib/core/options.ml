@@ -36,6 +36,7 @@ type t = {
   ack_delay : ack_delay option;
   translog : (signer:int -> op:string -> signature:string -> unit) option;
   parallel : Dsig_util.Domain_pool.t option;
+  sample_hook : (now_us:float -> unit) option;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     ack_delay = None;
     translog = None;
     parallel = None;
+    sample_hook = None;
   }
 
 let with_telemetry telemetry t = { t with telemetry }
@@ -73,3 +75,4 @@ let with_ack_delay ?(srtt_fraction = 0.25) ~cap_us t =
 
 let with_translog sink t = { t with translog = Some sink }
 let with_parallel pool t = { t with parallel = Some pool }
+let with_sample_hook hook t = { t with sample_hook = Some hook }

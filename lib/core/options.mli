@@ -96,6 +96,10 @@ type t = {
   parallel : Dsig_util.Domain_pool.t option;
       (** worker-domain pool for batch signing/verifying ([None]
           (default) = everything on the calling domain) *)
+  sample_hook : (now_us:float -> unit) option;
+      (** observability tick: called at the top of every control-plane
+          [step ~now] with that step's clock ([None] (default) = no
+          hook) *)
 }
 
 val default : t
@@ -147,3 +151,14 @@ val with_parallel : Dsig_util.Domain_pool.t -> t -> t
     folded back on the calling domain (see DESIGN.md §12). The pool is
     shared, not owned: callers create it once and [shutdown] it
     themselves after every component using it is done. *)
+
+val with_sample_hook : (now_us:float -> unit) -> t -> t
+(** Piggyback an observability tick on the component's control-plane
+    pump: every [Signer.step] / [Runtime.step] call invokes the hook
+    first with its [~now]. Deployments use this to drive a
+    [Dsig_timeseries.Sampler] (and its alerter) off whatever clock
+    already paces re-announcements — simnet virtual time under
+    [Dsig_deploy], wall time in [examples/tcp_service] — without a
+    dedicated timer thread. The hook runs on the stepping thread and
+    must not raise; keep it cheap (samplers throttle themselves via
+    [interval_us]). *)

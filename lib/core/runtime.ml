@@ -50,6 +50,7 @@ type t = {
   keystate : Keystate.t option; (* journal has its own lock; both domains use it *)
   store_report : Keystate.report option;
   pool : Dsig_util.Domain_pool.t option; (* keygen fan-out for the background plane *)
+  sample_hook : (now_us:float -> unit) option; (* observability tick, see Options *)
   tel : tel;
 }
 
@@ -141,6 +142,7 @@ let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
       keystate;
       store_report;
       pool = options.Options.parallel;
+      sample_hook = options.Options.sample_hook;
       tel =
         {
           bundle = telemetry;
@@ -310,6 +312,9 @@ let deliver_request t (r : Batch.request) =
   else locked t (fun () -> Announce.lookup t.announce ~batch_id:r.Batch.req_batch)
 
 let step t ~now =
+  (* outside [mu]: the hook may take registry snapshots of metrics the
+     locked region updates *)
+  (match t.sample_hook with Some hook -> hook ~now_us:now | None -> ());
   let due =
     locked t (fun () ->
         let due = Announce.due ~now t.announce in

@@ -66,6 +66,7 @@ type t = {
   store_report : Keystate.report option;
   translog_sink : (signer:int -> op:string -> signature:string -> unit) option;
   pool : Domain_pool.t option; (* worker domains for keygen / sign_many *)
+  sample_hook : (now_us:float -> unit) option; (* observability tick, see Options *)
   stats : stats;
   tel : tel;
 }
@@ -125,6 +126,7 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
     store_report;
     translog_sink = options.Options.translog;
     pool = options.Options.parallel;
+    sample_hook = options.Options.sample_hook;
     stats = { signatures = 0; batches = 0; sync_refills = 0; reannounces = 0; requests_served = 0 };
     tel =
       {
@@ -467,6 +469,7 @@ let deliver_request t (r : Batch.request) =
         Some ann
 
 let step t ~now =
+  (match t.sample_hook with Some hook -> hook ~now_us:now | None -> ());
   let due = Announce.due ~now t.announce in
   (match due with
   | [] -> ()

@@ -171,18 +171,35 @@ let prometheus snap =
         Hashtbl.replace used name (n + 1);
         Printf.sprintf "%s_%d" name (n + 1)
   in
+  (* HELP docstrings escape backslash and newline per the exposition
+     format; carrying the raw registry name documents the sanitization *)
+  let help_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let header name ~raw kind =
+    line "# HELP %s DSig metric %s" name (help_escape raw);
+    line "# TYPE %s %s" name kind
+  in
   List.iter
-    (fun (name, v) ->
-      let name = dedupe (prom_name name) in
+    (fun (raw, v) ->
+      let name = dedupe (prom_name raw) in
       match v with
       | S.Counter n ->
-          line "# TYPE %s counter" name;
+          header name ~raw "counter";
           line "%s %d" name n
       | S.Gauge g ->
-          line "# TYPE %s gauge" name;
+          header name ~raw "gauge";
           line "%s %s" name (fnum g)
       | S.Histogram h ->
-          line "# TYPE %s histogram" name;
+          header name ~raw "histogram";
           let acc = ref 0 in
           for i = 0 to H.num_buckets - 2 do
             if h.H.counts.(i) > 0 then begin

@@ -30,9 +30,12 @@ val prom_name : string -> string
     [_] (["9p.lat-us"] → ["_9p_lat_us"]). Exposed for tests. *)
 
 val prometheus : Registry.Snapshot.t -> string
-(** Text exposition format: [# TYPE] comments, cumulative
-    [_bucket{le="..."}] series (non-empty buckets plus [+Inf]), [_sum]
-    and [_count] for histograms. Metric names are sanitized with
+(** Text exposition format: every family is announced with a [# HELP]
+    line (carrying the raw registry name, escaped) followed by
+    [# TYPE], then its samples — the ordering real Prometheus scrapers
+    expect. Histograms emit cumulative [_bucket{le="..."}] series
+    (non-empty buckets plus [+Inf]), [_sum] and [_count]. Metric names
+    are sanitized with
     {!prom_name}; when two raw names sanitize to the same string, later
     ones (in sorted snapshot order) get a [_2], [_3], … suffix so the
     exposition never repeats a series name. *)

@@ -1,0 +1,74 @@
+(** Multiwindow SLO burn-rate alerting over sampled {!Series}.
+
+    A rule watches one condition through two trailing windows — a fast
+    one for detection latency and a slow one so a brief blip cannot
+    page. The {e burn rate} is how fast the error budget is being
+    spent: burn 1.0 means failures arrive exactly at the budgeted
+    share, burn 14.4 exhausts a 30-day budget in 2.5 days. A rule
+    {e fires} when both windows exceed their thresholds and
+    {e resolves} when the fast window drops back under its threshold
+    (the slow window alone would keep a finished incident firing for
+    its whole width).
+
+    State transitions feed the owning telemetry registry
+    ([dsig_slo_alerts_fired_total], [dsig_slo_alerts_resolved_total],
+    [dsig_slo_alerts_firing]) and a bounded transition log, and the
+    whole state serializes to JSON for the Scrape [/alerts] route. *)
+
+type window = {
+  window_us : float;  (** trailing window width, microseconds *)
+  max_burn : float;  (** fire when the window's burn exceeds this *)
+}
+
+type condition =
+  | Burn_rate of { bad : string; total : string; budget : float }
+      (** [(delta bad / delta total) / budget] over the window, both
+          names resolved against the sampler's counter series. [budget]
+          is the tolerated bad share (e.g. [0.1] = up to 10% slow-path
+          verifications). No traffic in the window burns nothing. *)
+  | Latency of { series : string; budget_us : float }
+      (** windowed average of a gauge series (e.g. a sampled [:p99])
+          over the budget — burn 1.0 at exactly the budget. *)
+
+type event = Fired | Resolved
+
+val event_name : event -> string
+
+type rule
+
+val default_fast : window
+(** 5 min, max burn 14.4 — the classic page-now window. *)
+
+val default_slow : window
+(** 1 h, max burn 6.0. *)
+
+val rule : ?fast:window -> ?slow:window -> name:string -> condition -> rule
+(** @raise Invalid_argument on non-positive windows or budgets. *)
+
+type t
+
+val create : ?telemetry:Dsig_telemetry.Telemetry.t -> ?transition_cap:int -> Sampler.t -> rule list -> t
+(** Alert counters register in [telemetry]'s registry (default
+    {!Dsig_telemetry.Telemetry.default}); the transition log keeps the
+    last [transition_cap] (default 256) events. *)
+
+val rules : t -> rule list
+
+val step : t -> now_us:float -> (string * event) list
+(** Re-evaluate every rule against the sampler at [now_us]; returns the
+    transitions that happened on this step (usually []). Cheap enough
+    to call from the same hook that drives {!Sampler.sample}. *)
+
+val state : t -> string -> [ `Ok | `Firing of float ] option
+(** Current state of the named rule; [`Firing since_us] carries when it
+    fired. [None] for an unknown rule name. *)
+
+val firing : t -> string list
+
+val transitions : t -> (float * string * event) list
+(** Oldest first, bounded by [transition_cap]. *)
+
+val to_json : t -> string
+(** [{"schema":"dsig-alerts-v1","alerts":[...],"transitions":[...]}] —
+    the payload served by the Scrape [/alerts] route. Burn values are
+    the ones computed by the latest {!step}. *)

@@ -1,0 +1,188 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected '%s'" word)
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.src then fail c "short \\u escape";
+                let hex = String.sub c.src c.pos 4 in
+                c.pos <- c.pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail c "bad \\u escape"
+                in
+                (* enough for the control characters our own emitters
+                   produce; anything outside Latin-1 degrades to '?' *)
+                if code < 256 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_char buf '?'
+            | _ -> fail c "bad escape");
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if c.pos = start then fail c "expected number";
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some f -> Num f
+  | None -> fail c "malformed number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  try
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  with Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_string = function
+  | Str s -> Some s
+  | _ -> None
+
+let to_list = function
+  | List l -> Some l
+  | _ -> None
+
+let to_obj = function
+  | Obj o -> Some o
+  | _ -> None

@@ -1,0 +1,135 @@
+type kind = Counter | Gauge
+
+let kind_to_string = function Counter -> "counter" | Gauge -> "gauge"
+
+let kind_of_string = function
+  | "counter" -> Some Counter
+  | "gauge" -> Some Gauge
+  | _ -> None
+
+type t = {
+  name : string;
+  kind : kind;
+  capacity : int;
+  ts : float array;
+  vs : float array;
+  mutable head : int; (* index of the oldest live point *)
+  mutable len : int;
+  (* counter-reset bookkeeping: [offset] accumulates the pre-reset
+     height every time the raw sample drops, so the stored series stays
+     monotone even when the underlying process restarts from zero *)
+  mutable last_raw : float;
+  mutable offset : float;
+}
+
+let create ?(capacity = 512) ~name kind =
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  {
+    name;
+    kind;
+    capacity;
+    ts = Array.make capacity 0.0;
+    vs = Array.make capacity 0.0;
+    head = 0;
+    len = 0;
+    last_raw = 0.0;
+    offset = 0.0;
+  }
+
+let name t = t.name
+let kind t = t.kind
+let capacity t = t.capacity
+let length t = t.len
+
+let slot t i = (t.head + i) mod t.capacity
+
+let push t ~t_us v =
+  match Float.classify_float v with
+  | FP_nan | FP_infinite -> () (* never let a bad probe poison the ring *)
+  | _ -> begin
+    let v =
+      match t.kind with
+      | Gauge -> v
+      | Counter ->
+          if t.len = 0 then begin
+            t.last_raw <- v;
+            t.offset <- 0.0;
+            v
+          end
+          else begin
+            if v < t.last_raw then t.offset <- t.offset +. t.last_raw;
+            t.last_raw <- v;
+            t.offset +. v
+          end
+    in
+    let i = if t.len = t.capacity then t.head else slot t t.len in
+    t.ts.(i) <- t_us;
+    t.vs.(i) <- v;
+    if t.len = t.capacity then t.head <- (t.head + 1) mod t.capacity
+    else t.len <- t.len + 1
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Series.get: index out of range";
+  let j = slot t i in
+  (t.ts.(j), t.vs.(j))
+
+let last t = if t.len = 0 then None else Some (get t (t.len - 1))
+
+let points t = List.init t.len (fun i -> get t i)
+
+(* step-function read: value of the latest point at or before [at_us] *)
+let value_at t ~at_us =
+  let rec scan i =
+    if i < 0 then None
+    else
+      let ts, v = get t i in
+      if ts <= at_us then Some v else scan (i - 1)
+  in
+  scan (t.len - 1)
+
+let delta_over t ~from_us ~until_us =
+  if t.len = 0 then 0.0
+  else
+    match value_at t ~at_us:until_us with
+    | None -> 0.0
+    | Some b ->
+        (* a window opening before the buffer's history starts reads
+           the earliest retained point — a partial-window answer, never
+           an invented one *)
+        let a =
+          match value_at t ~at_us:from_us with
+          | Some a -> a
+          | None -> snd (get t 0)
+        in
+        let d = b -. a in
+        if t.kind = Counter then Float.max 0.0 d else d
+
+let rate_over t ~window_us ~now_us =
+  if window_us <= 0.0 then 0.0
+  else
+    delta_over t ~from_us:(now_us -. window_us) ~until_us:now_us
+    /. (window_us /. 1.0e6)
+
+let fold_window t ~from_us ~until_us ~init f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    let ts, v = get t i in
+    if ts >= from_us && ts <= until_us then acc := f !acc v
+  done;
+  !acc
+
+let window_avg t ~from_us ~until_us =
+  let n, sum =
+    fold_window t ~from_us ~until_us ~init:(0, 0.0) (fun (n, s) v ->
+        (n + 1, s +. v))
+  in
+  if n = 0 then None else Some (sum /. float_of_int n)
+
+let window_min t ~from_us ~until_us =
+  fold_window t ~from_us ~until_us ~init:None (fun acc v ->
+      match acc with Some m when m <= v -> acc | _ -> Some v)
+
+let window_max t ~from_us ~until_us =
+  fold_window t ~from_us ~until_us ~init:None (fun acc v ->
+      match acc with Some m when m >= v -> acc | _ -> Some v)

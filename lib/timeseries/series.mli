@@ -1,0 +1,68 @@
+(** A fixed-capacity ring buffer of [(timestamp_us, value)] samples for
+    one metric.
+
+    Series are the storage cell of the time-series plane: a {!Sampler}
+    pushes one point per metric per tick, the buffer holds the most
+    recent [capacity] points, and windowed queries ([delta_over],
+    [rate_over], [window_avg]/[min]/[max]) answer "what happened over
+    the last N microseconds" without ever growing memory.
+
+    Counter series are {e reset-adjusted}: when a raw sample drops below
+    its predecessor (process restart, stats re-zeroed) the lost height
+    is folded into a running offset so the stored series stays monotone
+    and windowed deltas / rates are never negative — the same treatment
+    Prometheus applies in [rate()]. *)
+
+type kind =
+  | Counter  (** cumulative, reset-adjusted to stay monotone *)
+  | Gauge  (** last-value, stored verbatim *)
+
+val kind_to_string : kind -> string
+(** ["counter"] / ["gauge"] — the wire spelling used in JSON exports. *)
+
+val kind_of_string : string -> kind option
+
+type t
+
+val create : ?capacity:int -> name:string -> kind -> t
+(** Default capacity 512 points. Oldest points are overwritten once the
+    ring is full. @raise Invalid_argument on a non-positive capacity. *)
+
+val name : t -> string
+val kind : t -> kind
+val capacity : t -> int
+
+val length : t -> int
+(** Live points, [0 <= length t <= capacity t] always. *)
+
+val push : t -> t_us:float -> float -> unit
+(** Append a sample. NaN / infinite values are dropped (a broken probe
+    must not poison the ring). Callers push monotonically increasing
+    timestamps; the queries assume it. *)
+
+val get : t -> int -> float * float
+(** [get t i] is the [i]-th live point, oldest first.
+    @raise Invalid_argument out of range. *)
+
+val last : t -> (float * float) option
+val points : t -> (float * float) list
+(** Oldest first. *)
+
+val value_at : t -> at_us:float -> float option
+(** Step-function read: value of the latest point at or before [at_us];
+    [None] if the window opens before any retained point. *)
+
+val delta_over : t -> from_us:float -> until_us:float -> float
+(** Increase over the window. For counters the result is clamped at 0
+    and reset-adjusted; a window reaching past retained history is
+    answered from the earliest point still held (partial-window
+    semantics, never an extrapolation). [0.] on an empty series. *)
+
+val rate_over : t -> window_us:float -> now_us:float -> float
+(** [delta_over] the trailing window, per {e second}. *)
+
+val window_avg : t -> from_us:float -> until_us:float -> float option
+val window_min : t -> from_us:float -> until_us:float -> float option
+val window_max : t -> from_us:float -> until_us:float -> float option
+(** Aggregates over the points whose timestamps fall inside the closed
+    window; [None] if no point does. *)

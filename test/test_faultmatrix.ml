@@ -64,6 +64,160 @@ let test_fault_matrix () =
   Alcotest.(check bool) "fast-path share back above 90%" true
     (float_of_int fast > 0.9 *. float_of_int healed_n)
 
+(* ISSUE 8 acceptance: with the per-node time-series plane on, a seeded
+   fault window leaves its shape in the node's timeline — the fast-path
+   share collapses while the network drops announcements and recovers
+   after heal (asserted per phase from the ring-buffered series, not
+   just at the endpoint) — and the node's SLO burn-rate alert fires
+   inside the fault window and resolves after it. *)
+module Ts = Dsig_timeseries
+
+let counter_value snap name =
+  match Dsig_telemetry.Registry.Snapshot.find snap name with
+  | Some (Dsig_telemetry.Registry.Snapshot.Counter n) -> n
+  | _ -> 0
+
+let series_of sampler name =
+  match Ts.Sampler.find sampler name with
+  | Some s -> s
+  | None -> Alcotest.failf "series missing: %s" name
+
+let phase_share sampler ~from_us ~until_us =
+  let fast =
+    Ts.Series.delta_over (series_of sampler "node_verifier_fast_total") ~from_us ~until_us
+  in
+  let total =
+    Ts.Series.delta_over
+      (series_of sampler "node_verifier_verifies_total")
+      ~from_us ~until_us
+  in
+  if total <= 0.0 then Alcotest.fail "no verifications recorded in phase";
+  fast /. total
+
+let test_timeline_dip_and_recover () =
+  let sim = Sim.create () in
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let retry =
+    Dsig_util.Retry.policy ~base_us:2_000.0 ~max_delay_us:8_000.0 ~max_attempts:100 ()
+  in
+  let options =
+    Options.default |> Options.with_telemetry telemetry |> Options.with_retry retry
+  in
+  (* alert windows sized to the signing cadence below: one signature per
+     150 µs, so the 9 ms fault phase spans the slow window exactly *)
+  let d =
+    Deploy.create sim cfg ~n:3 ~options ~reannounce_poll_us:100.0
+      ~timeseries:
+        (Deploy.timeseries ~poll_us:300.0 ~capacity:1024 ~slow_share_budget:0.1
+           ~fast_window_us:3_000.0 ~slow_window_us:9_000.0 ~max_burn:2.0 ())
+      ()
+  in
+  let sampler =
+    match Deploy.sampler d 1 with
+    | Some s -> s
+    | None -> Alcotest.fail "timeseries plane not mounted"
+  in
+  let alerter =
+    match Deploy.alerter d 1 with
+    | Some a -> a
+    | None -> Alcotest.fail "alerter not mounted"
+  in
+  Sim.run ~until:20_000.0 sim;
+  let run_phase label n =
+    let from_us = Sim.now sim in
+    for i = 1 to n do
+      let msg = Printf.sprintf "%s-%d" label i in
+      let s = Deploy.sign d ~signer:0 msg in
+      Alcotest.(check bool) "signature verifies" true (Deploy.verify d ~verifier:1 ~msg s);
+      Sim.run ~until:(Sim.now sim +. 150.0) sim
+    done;
+    (* one more sampling interval so the phase's last verifications are
+       on the timeline before the boundary is taken *)
+    Sim.run ~until:(Sim.now sim +. 600.0) sim;
+    (from_us, Sim.now sim)
+  in
+  let healthy_from, healthy_until = run_phase "healthy" 40 in
+  let fault_from = Sim.now sim in
+  Net.set_faults (Deploy.net d) ~drop:0.9 ~seed:42L ();
+  let faulted_from, faulted_until = run_phase "faulted" 60 in
+  Net.clear_faults (Deploy.net d);
+  let heal_at = Sim.now sim in
+  Sim.run ~until:(Sim.now sim +. 30_000.0) sim;
+  let healed_from, healed_until = run_phase "healed" 40 in
+  (* the timeline's shape: high fast-path share, collapse, recovery *)
+  let healthy = phase_share sampler ~from_us:healthy_from ~until_us:healthy_until in
+  let faulted = phase_share sampler ~from_us:faulted_from ~until_us:faulted_until in
+  let healed = phase_share sampler ~from_us:healed_from ~until_us:healed_until in
+  Alcotest.(check bool)
+    (Printf.sprintf "healthy phase is fast (%.2f >= 0.9)" healthy)
+    true (healthy >= 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "fault phase collapses (%.2f <= 0.6)" faulted)
+    true (faulted <= 0.6);
+  Alcotest.(check bool)
+    (Printf.sprintf "healed phase recovers (%.2f >= 0.9)" healed)
+    true (healed >= 0.9);
+  Alcotest.(check bool) "dip-and-recover shape" true
+    (faulted < healthy && faulted < healed);
+  (* the burn-rate alert saw the same incident: fired inside the fault
+     window, resolved after heal, and is quiet now *)
+  let fired_at =
+    List.filter_map
+      (fun (at, rule, ev) ->
+        if rule = Deploy.slow_burn_rule && ev = Ts.Alert.Fired then Some at else None)
+      (Ts.Alert.transitions alerter)
+  in
+  let resolved_at =
+    List.filter_map
+      (fun (at, rule, ev) ->
+        if rule = Deploy.slow_burn_rule && ev = Ts.Alert.Resolved then Some at else None)
+      (Ts.Alert.transitions alerter)
+  in
+  (match fired_at with
+  | [] -> Alcotest.fail "burn-rate alert never fired"
+  | at :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fired inside the fault window (%.0f in [%.0f, %.0f])" at
+           fault_from heal_at)
+        true
+        (at >= fault_from && at <= heal_at));
+  (match resolved_at with
+  | [] -> Alcotest.fail "burn-rate alert never resolved"
+  | _ ->
+      let last_resolve = List.nth resolved_at (List.length resolved_at - 1) in
+      Alcotest.(check bool) "resolved after heal began" true (last_resolve >= heal_at));
+  Alcotest.(check (option (of_pp Fmt.nop))) "alert quiet at the end"
+    (Some `Ok)
+    (Ts.Alert.state alerter Deploy.slow_burn_rule);
+  (* the transitions surfaced as telemetry counters too *)
+  let snap = Tel.snapshot telemetry in
+  Alcotest.(check bool) "fired counter > 0" true
+    (counter_value snap "dsig_slo_alerts_fired_total" > 0);
+  Alcotest.(check bool) "resolved counter > 0" true
+    (counter_value snap "dsig_slo_alerts_resolved_total" > 0);
+  (* rings stayed bounded over the whole run *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "series %s within capacity" (Ts.Series.name s))
+        true
+        (Ts.Series.length s <= Ts.Series.capacity s))
+    (Ts.Sampler.all sampler);
+  Alcotest.(check bool) "sampling actually happened" true (Ts.Sampler.samples sampler > 50);
+  (* the dumped JSON round-trips through the timeline reader *)
+  match Ts.Sampler.of_json (Ts.Sampler.to_json sampler) with
+  | Error e -> Alcotest.failf "timeline dump does not parse: %s" e
+  | Ok rows ->
+      let fast_row =
+        List.find_opt (fun (name, _, _) -> name = "node_verifier_fast_total") rows
+      in
+      (match fast_row with
+      | Some (_, kind, points) ->
+          Alcotest.(check bool) "dump keeps the counter kind" true (kind = Ts.Series.Counter);
+          Alcotest.(check bool) "dump carries history" true (List.length points > 10)
+      | None -> Alcotest.fail "node_verifier_fast_total missing from dump")
+
 (* lossless network: ACKs settle every announcement, nothing re-sent *)
 let test_quiescent_no_reannounce () =
   let sim = Sim.create () in
@@ -89,11 +243,6 @@ let test_quiescent_no_reannounce () =
    1 ms backoff base fires before the ~1.6 ms ACK round trip can
    possibly complete, so it resends every batch redundantly, while the
    learned per-destination RTO stays above the measured RTT. *)
-let counter_value snap name =
-  match Dsig_telemetry.Registry.Snapshot.find snap name with
-  | Some (Dsig_telemetry.Registry.Snapshot.Counter n) -> n
-  | _ -> 0
-
 let run_paced pacing_options =
   let sim = Sim.create () in
   let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
@@ -202,6 +351,8 @@ let suites =
     ( "faultmatrix",
       [
         Alcotest.test_case "drop+reorder+corrupt then heal" `Slow test_fault_matrix;
+        Alcotest.test_case "timeline dip-and-recover + burn-rate alert" `Slow
+          test_timeline_dip_and_recover;
         Alcotest.test_case "quiescent network needs no repair" `Quick
           test_quiescent_no_reannounce;
         Alcotest.test_case "adaptive pacing beats fixed ladder" `Slow

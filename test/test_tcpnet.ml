@@ -240,6 +240,60 @@ let valid_prom_line line =
            name
       && float_of_string_opt value <> None
 
+(* Every exposed family must be announced by a [# HELP] and a [# TYPE]
+   comment before its samples, and every sample must belong to an
+   announced family (histograms expose [name_bucket]/[_sum]/[_count]
+   under family [name]). Keeps this parser honest against the
+   exporter's header emission. *)
+let check_prom_families lines =
+  let word_after prefix l =
+    let pl = String.length prefix in
+    if String.length l > pl && String.sub l 0 pl = prefix then
+      let rest = String.sub l pl (String.length l - pl) in
+      match String.index_opt rest ' ' with
+      | Some i -> Some (String.sub rest 0 i)
+      | None -> Some rest
+    else None
+  in
+  let helped = Hashtbl.create 16 and typed = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      (match word_after "# HELP " l with Some n -> Hashtbl.replace helped n () | None -> ());
+      match word_after "# TYPE " l with Some n -> Hashtbl.replace typed n () | None -> ())
+    lines;
+  let family name =
+    let strip suffix =
+      let ns = String.length suffix and nn = String.length name in
+      if nn > ns && String.sub name (nn - ns) ns = suffix then
+        Some (String.sub name 0 (nn - ns))
+      else None
+    in
+    let candidates =
+      List.filter_map strip [ "_bucket"; "_sum"; "_count" ]
+      |> List.filter (Hashtbl.mem typed)
+    in
+    match candidates with f :: _ -> f | [] -> name
+  in
+  List.iteri
+    (fun i l ->
+      if l <> "" && l.[0] <> '#' then begin
+        let name =
+          match String.index_opt l '{' with
+          | Some j -> String.sub l 0 j
+          | None -> ( match String.index_opt l ' ' with Some j -> String.sub l 0 j | None -> l)
+        in
+        let f = family name in
+        if not (Hashtbl.mem typed f) then
+          Alcotest.failf "line %d: sample %s has no # TYPE for family %s" i name f;
+        if not (Hashtbl.mem helped f) then
+          Alcotest.failf "line %d: sample %s has no # HELP for family %s" i name f
+      end)
+    lines;
+  Hashtbl.iter
+    (fun n () ->
+      if not (Hashtbl.mem helped n) then Alcotest.failf "family %s has # TYPE but no # HELP" n)
+    typed
+
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -293,6 +347,7 @@ let test_scrape_endpoint () =
               if not (valid_prom_line l) then
                 Alcotest.failf "invalid prometheus line %d: %S" i l)
             lines;
+          check_prom_families lines;
           let has name =
             let n = String.length name in
             List.exists
@@ -383,6 +438,57 @@ let codec_fuzz =
         | _ -> false);
   ]
 
+(* The /timeseries and /alerts routes serve the mounted sampler's and
+   alerter's JSON (404 when not mounted). *)
+let test_scrape_timeseries_routes () =
+  let module Scrape = Dsig_tcpnet.Scrape in
+  let module Ts = Dsig_timeseries in
+  let tel = Dsig_telemetry.Telemetry.create () in
+  let sampler = Ts.Sampler.create tel.Dsig_telemetry.Telemetry.registry in
+  Ts.Sampler.probe sampler ~name:"svc_gauge" ~kind:Ts.Series.Gauge (fun () -> 4.5);
+  let alerts =
+    Ts.Alert.create ~telemetry:tel sampler
+      [
+        Ts.Alert.rule ~name:"probe_slo"
+          (Ts.Alert.Latency { series = "svc_gauge"; budget_us = 10.0 });
+      ]
+  in
+  ignore (Ts.Sampler.sample sampler ~now_us:1000.0);
+  ignore (Ts.Alert.step alerts ~now_us:1000.0);
+  let srv = Scrape.start ~telemetry:tel ~timeseries:sampler ~alerts ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Scrape.stop srv)
+    (fun () ->
+      let port = Scrape.port srv in
+      (match Scrape.fetch ~port ~path:"/timeseries" with
+      | Error e -> Alcotest.fail ("/timeseries: " ^ e)
+      | Ok body -> (
+          match Ts.Sampler.of_json body with
+          | Error e -> Alcotest.failf "/timeseries body does not parse: %s" e
+          | Ok rows ->
+              let _, kind, points =
+                List.find (fun (n, _, _) -> n = "svc_gauge") rows
+              in
+              Alcotest.(check bool) "probe kind survives" true (kind = Ts.Series.Gauge);
+              Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+                "probe points served" [ (1000.0, 4.5) ] points));
+      match Scrape.fetch ~port ~path:"/alerts" with
+      | Error e -> Alcotest.fail ("/alerts: " ^ e)
+      | Ok body ->
+          Alcotest.(check bool) "alerts schema" true (contains body "\"dsig-alerts-v1\"");
+          Alcotest.(check bool) "rule listed" true (contains body "\"probe_slo\""));
+  (* not mounted -> 404, same as any unknown path *)
+  let bare = Scrape.start ~telemetry:tel ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Scrape.stop bare)
+    (fun () ->
+      (match Scrape.fetch ~port:(Scrape.port bare) ~path:"/timeseries" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "/timeseries served without a sampler");
+      match Scrape.fetch ~port:(Scrape.port bare) ~path:"/alerts" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "/alerts served without an alerter")
+
 let suites =
   [
     ( "tcpnet",
@@ -394,6 +500,7 @@ let suites =
         Alcotest.test_case "reannounce/ack loop" `Quick test_reannounce_ack_loop;
         Alcotest.test_case "scrape endpoint" `Quick test_scrape_endpoint;
         Alcotest.test_case "health route verdicts" `Quick test_scrape_health;
+        Alcotest.test_case "timeseries/alerts routes" `Quick test_scrape_timeseries_routes;
       ]
       @ List.map (QCheck_alcotest.to_alcotest ~long:false) codec_fuzz );
   ]

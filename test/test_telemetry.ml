@@ -192,8 +192,10 @@ let test_golden_json_trace () =
 let test_golden_prometheus () =
   let snap = Registry.snapshot (golden_registry ()) in
   Alcotest.(check string) "prometheus"
-    "# TYPE depth gauge\n\
+    "# HELP depth DSig metric depth\n\
+     # TYPE depth gauge\n\
      depth 2.5\n\
+     # HELP lat_us DSig metric lat_us\n\
      # TYPE lat_us histogram\n\
      lat_us_bucket{le=\"1\"} 1\n\
      lat_us_bucket{le=\"4\"} 2\n\
@@ -201,6 +203,7 @@ let test_golden_prometheus () =
      lat_us_bucket{le=\"+Inf\"} 3\n\
      lat_us_sum 108\n\
      lat_us_count 3\n\
+     # HELP req_total DSig metric req_total\n\
      # TYPE req_total counter\n\
      req_total 3\n"
     (Export.prometheus snap)
@@ -261,10 +264,13 @@ let test_prometheus_sanitize () =
   M.Counter.incr ~by:3 (Registry.counter r "a.b");
   let snap = Registry.snapshot r in
   let expected =
-    "# TYPE _1bad_name counter\n\
+    "# HELP _1bad_name DSig metric 1bad.name\n\
+     # TYPE _1bad_name counter\n\
      _1bad_name 1\n\
+     # HELP a_b DSig metric a-b\n\
      # TYPE a_b counter\n\
      a_b 2\n\
+     # HELP a_b_2 DSig metric a.b\n\
      # TYPE a_b_2 counter\n\
      a_b_2 3\n"
   in

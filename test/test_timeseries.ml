@@ -1,0 +1,438 @@
+(* Tests for the time-series observability plane (lib/timeseries):
+   ring-buffered series with Prometheus-style counter-reset adjustment,
+   the registry sampler, multiwindow burn-rate alerting, and the
+   perf-trajectory comparison behind @trajectory / smoke_check. *)
+
+module Series = Dsig_timeseries.Series
+module Sampler = Dsig_timeseries.Sampler
+module Alert = Dsig_timeseries.Alert
+module Trajectory = Dsig_timeseries.Trajectory
+module Json_lite = Dsig_timeseries.Json_lite
+module Tel = Dsig_telemetry.Telemetry
+module Registry = Dsig_telemetry.Registry
+module Metric = Dsig_telemetry.Metric
+
+let feq = Alcotest.(check (float 1e-9))
+let feq_loose = Alcotest.(check (float 1e-6))
+
+(* --- Series: ring buffer --- *)
+
+let test_series_push_and_wrap () =
+  let s = Series.create ~capacity:4 ~name:"g" Series.Gauge in
+  Alcotest.(check int) "empty" 0 (Series.length s);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "no last" None (Series.last s);
+  for i = 1 to 6 do
+    Series.push s ~t_us:(float_of_int (i * 100)) (float_of_int i)
+  done;
+  Alcotest.(check int) "capacity bounds length" 4 (Series.length s);
+  Alcotest.(check int) "capacity" 4 (Series.capacity s);
+  (* oldest two points (1,2) were overwritten *)
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "last four points, oldest first"
+    [ (300.0, 3.0); (400.0, 4.0); (500.0, 5.0); (600.0, 6.0) ]
+    (Series.points s);
+  feq "get 0 is oldest" 3.0 (snd (Series.get s 0));
+  feq "get 3 is newest" 6.0 (snd (Series.get s 3));
+  Alcotest.check_raises "get out of range" (Invalid_argument "Series.get: index out of range")
+    (fun () -> ignore (Series.get s 4))
+
+let test_series_rejects_nonfinite () =
+  let s = Series.create ~name:"g" Series.Gauge in
+  Series.push s ~t_us:1.0 Float.nan;
+  Series.push s ~t_us:2.0 Float.infinity;
+  Series.push s ~t_us:3.0 Float.neg_infinity;
+  Alcotest.(check int) "non-finite samples dropped" 0 (Series.length s);
+  Series.push s ~t_us:4.0 1.5;
+  Alcotest.(check int) "finite sample lands" 1 (Series.length s)
+
+let test_series_counter_reset () =
+  let s = Series.create ~name:"c" Series.Counter in
+  List.iter
+    (fun (t, v) -> Series.push s ~t_us:t v)
+    [ (0.0, 0.0); (100.0, 5.0); (200.0, 10.0); (300.0, 2.0); (400.0, 7.0) ];
+  (* the reset at t=300 (10 -> 2) folds the lost height into the
+     offset: stored series is 0,5,10,12,17 — monotone *)
+  Alcotest.(check (list (float 0.0)))
+    "stored series is monotone across the reset"
+    [ 0.0; 5.0; 10.0; 12.0; 17.0 ]
+    (List.map snd (Series.points s));
+  feq "delta across the reset counts only real increase" 17.0
+    (Series.delta_over s ~from_us:0.0 ~until_us:400.0);
+  feq "delta over the reset step itself" 2.0 (Series.delta_over s ~from_us:200.0 ~until_us:300.0)
+
+let test_series_windows () =
+  let s = Series.create ~name:"c" Series.Counter in
+  List.iter
+    (fun (t, v) -> Series.push s ~t_us:t v)
+    [ (0.0, 0.0); (1000.0, 10.0); (2000.0, 30.0); (3000.0, 30.0) ];
+  feq "value_at steps" 10.0 (Option.get (Series.value_at s ~at_us:1500.0));
+  Alcotest.(check (option (float 0.0)))
+    "value_at before history" None
+    (Series.value_at s ~at_us:(-1.0));
+  feq "delta mid-window" 20.0 (Series.delta_over s ~from_us:1000.0 ~until_us:2000.0);
+  feq "partial window answers from earliest retained point" 30.0
+    (Series.delta_over s ~from_us:(-5000.0) ~until_us:3000.0);
+  (* 20 increments over the [1000,2000] us window = 20 per ms = 20000/s *)
+  feq_loose "rate per second" 20000.0 (Series.rate_over s ~window_us:1000.0 ~now_us:2000.0);
+  feq "flat tail has zero rate" 0.0 (Series.rate_over s ~window_us:1000.0 ~now_us:3000.0);
+  let g = Series.create ~name:"g" Series.Gauge in
+  List.iter (fun (t, v) -> Series.push g ~t_us:t v) [ (0.0, 1.0); (100.0, 3.0); (200.0, 2.0) ];
+  feq "window_avg" 2.0 (Option.get (Series.window_avg g ~from_us:0.0 ~until_us:200.0));
+  feq "window_min" 1.0 (Option.get (Series.window_min g ~from_us:0.0 ~until_us:200.0));
+  feq "window_max" 3.0 (Option.get (Series.window_max g ~from_us:0.0 ~until_us:200.0));
+  Alcotest.(check (option (float 0.0)))
+    "empty window" None
+    (Series.window_avg g ~from_us:300.0 ~until_us:400.0)
+
+(* qcheck: a counter fed arbitrary increments and restarts (raw value
+   re-zeroed) never yields a negative windowed delta or rate, and the
+   ring never exceeds its capacity *)
+let counter_never_negative =
+  QCheck.Test.make ~name:"counter deltas/rates never negative across resets" ~count:300
+    QCheck.(
+      pair (int_range 1 16)
+        (list_of_size Gen.(1 -- 80) (pair bool (int_range 0 1000))))
+    (fun (capacity, ops) ->
+      let s = Series.create ~capacity ~name:"c" Series.Counter in
+      let raw = ref 0 in
+      List.iteri
+        (fun i (reset, incr) ->
+          if reset then raw := 0;
+          raw := !raw + incr;
+          Series.push s ~t_us:(float_of_int (i * 100)) (float_of_int !raw))
+        ops;
+      let n = List.length ops in
+      let ok_len = Series.length s <= capacity in
+      let ok_monotone =
+        let pts = Series.points s in
+        List.for_all2
+          (fun (_, a) (_, b) -> b >= a)
+          (List.filteri (fun i _ -> i < List.length pts - 1) pts)
+          (List.tl pts)
+        || pts = []
+      in
+      let ok_windows = ref true in
+      for from = 0 to n - 1 do
+        let from_us = float_of_int (from * 100) in
+        let until_us = float_of_int ((n - 1) * 100) in
+        if Series.delta_over s ~from_us ~until_us < 0.0 then ok_windows := false;
+        if Series.rate_over s ~window_us:(until_us -. from_us +. 1.0) ~now_us:until_us < 0.0
+        then ok_windows := false
+      done;
+      ok_len && ok_monotone && !ok_windows)
+
+let gauge_capacity_invariant =
+  QCheck.Test.make ~name:"gauge ring keeps the newest points, never over capacity" ~count:300
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(0 -- 60) (float_range (-1e6) 1e6)))
+    (fun (capacity, vs) ->
+      let s = Series.create ~capacity ~name:"g" Series.Gauge in
+      List.iteri (fun i v -> Series.push s ~t_us:(float_of_int i) v) vs;
+      let expected =
+        let n = List.length vs in
+        List.filteri (fun i _ -> i >= n - capacity) vs
+      in
+      Series.length s <= capacity && List.map snd (Series.points s) = expected)
+
+(* --- Sampler --- *)
+
+let test_sampler_folds_registry () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "reqs_total" in
+  let g = Registry.gauge reg "queue_depth" in
+  let h = Registry.histogram reg "lat_us" in
+  let sampler = Sampler.create ~capacity:64 reg in
+  Metric.Counter.incr ~by:3 c;
+  Metric.Gauge.set g 7.0;
+  Metric.Histogram.add h 100.0;
+  Metric.Histogram.add h 200.0;
+  Alcotest.(check bool) "tick records" true (Sampler.sample sampler ~now_us:1000.0);
+  Metric.Counter.incr ~by:2 c;
+  Alcotest.(check bool) "second tick" true (Sampler.sample sampler ~now_us:2000.0);
+  Alcotest.(check int) "two recorded ticks" 2 (Sampler.samples sampler);
+  let series name = Option.get (Sampler.find sampler name) in
+  Alcotest.(check bool)
+    "counter series is a counter" true
+    (Series.kind (series "reqs_total") = Series.Counter);
+  feq "counter folds to its running value" 5.0 (snd (Option.get (Series.last (series "reqs_total"))));
+  feq "gauge last value" 7.0 (snd (Option.get (Series.last (series "queue_depth"))));
+  (* histogram derives :count (counter) and :p50/:p99 (gauges) *)
+  Alcotest.(check bool)
+    "histogram count series is a counter" true
+    (Series.kind (series "lat_us:count") = Series.Counter);
+  feq "histogram count" 2.0 (snd (Option.get (Series.last (series "lat_us:count"))));
+  Alcotest.(check bool)
+    "p50 <= p99" true
+    (snd (Option.get (Series.last (series "lat_us:p50")))
+    <= snd (Option.get (Series.last (series "lat_us:p99"))));
+  Alcotest.(check bool) "all is sorted" true
+    (let names = List.map Series.name (Sampler.all sampler) in
+     names = List.sort compare names)
+
+let test_sampler_throttle_and_probe () =
+  let reg = Registry.create () in
+  let sampler = Sampler.create ~interval_us:100.0 reg in
+  let calls = ref 0 in
+  Sampler.probe sampler ~name:"probe_gauge" ~kind:Series.Gauge (fun () ->
+      incr calls;
+      float_of_int !calls);
+  let broken_calls = ref 0 in
+  Sampler.probe sampler ~name:"probe_broken" ~kind:Series.Gauge (fun () ->
+      incr broken_calls;
+      if !broken_calls = 2 then failwith "probe blew up" else 1.0);
+  (* eager creation: the series exists before any tick *)
+  Alcotest.(check bool) "probe series exists eagerly" true
+    (Sampler.find sampler "probe_gauge" <> None);
+  Alcotest.(check bool) "tick 0 records" true (Sampler.sample sampler ~now_us:0.0);
+  Alcotest.(check bool) "tick 50 throttled" false (Sampler.sample sampler ~now_us:50.0);
+  Alcotest.(check int) "throttled tick skips probes" 1 !calls;
+  Alcotest.(check bool) "tick 100 records" true (Sampler.sample sampler ~now_us:100.0);
+  Alcotest.(check bool) "tick 250 records" true (Sampler.sample sampler ~now_us:250.0);
+  Alcotest.(check int) "three recorded ticks" 3 (Sampler.samples sampler);
+  (* the broken probe's exception dropped its own point only *)
+  Alcotest.(check int)
+    "broken probe holds 2 of 3 points" 2
+    (Series.length (Option.get (Sampler.find sampler "probe_broken")));
+  Alcotest.(check int)
+    "healthy probe holds all 3" 3
+    (Series.length (Option.get (Sampler.find sampler "probe_gauge")))
+
+let test_sampler_json_roundtrip () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "c_total" in
+  let sampler = Sampler.create reg in
+  Sampler.probe sampler ~name:"g \"quoted\"\n" ~kind:Series.Gauge (fun () -> 42.5);
+  Metric.Counter.incr ~by:9 c;
+  ignore (Sampler.sample sampler ~now_us:1000.0);
+  ignore (Sampler.sample sampler ~now_us:2000.0);
+  let js = Sampler.to_json sampler in
+  match Sampler.of_json js with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok rows ->
+      let find name = List.find (fun (n, _, _) -> n = name) rows in
+      let _, kind, points = find "c_total" in
+      Alcotest.(check bool) "kind survives" true (kind = Series.Counter);
+      Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+        "points survive"
+        [ (1000.0, 9.0); (2000.0, 9.0) ]
+        points;
+      let _, _, qpoints = find "g \"quoted\"\n" in
+      feq "escaped name and value survive" 42.5 (snd (List.hd qpoints))
+
+let test_json_lite () =
+  (match Json_lite.parse {|{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x\n\"y\""}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      let a = Option.get (Json_lite.member "a" j) in
+      Alcotest.(check (list (float 0.0)))
+        "numbers" [ 1.0; 2.5; -300.0 ]
+        (List.map (fun v -> Option.get (Json_lite.to_float v)) (Option.get (Json_lite.to_list a)));
+      let b = Option.get (Json_lite.member "b" j) in
+      Alcotest.(check bool) "null member" true (Json_lite.member "c" b = Some Json_lite.Null);
+      let e = Option.get (Json_lite.member "e" j) in
+      Alcotest.(check string) "escapes decode" "x\n\"y\"" (Option.get (Json_lite.to_string e)));
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Result.is_error (Json_lite.parse "{} junk"));
+  Alcotest.(check bool) "truncated rejected" true (Result.is_error (Json_lite.parse {|{"a": [1,|}));
+  Alcotest.(check bool) "bare value parses" true (Json_lite.parse "  -3.5e1 " = Ok (Json_lite.Num (-35.0)))
+
+(* --- Alert: burn-rate fire/resolve --- *)
+
+let test_alert_burn_rate () =
+  let tel = Tel.create () in
+  let reg = tel.Tel.registry in
+  let bad = Registry.counter reg "bad_total" in
+  let total = Registry.counter reg "all_total" in
+  let sampler = Sampler.create reg in
+  let alerts =
+    Alert.create ~telemetry:tel sampler
+      [
+        Alert.rule ~name:"slow_share"
+          ~fast:{ Alert.window_us = 1000.0; max_burn = 1.0 }
+          ~slow:{ Alert.window_us = 3000.0; max_burn = 1.0 }
+          (Alert.Burn_rate { bad = "bad_total"; total = "all_total"; budget = 0.5 });
+      ]
+  in
+  let tick now_us = ignore (Sampler.sample sampler ~now_us); Alert.step alerts ~now_us in
+  Alcotest.(check bool) "idle rule is Ok" true (tick 0.0 = [] && Alert.state alerts "slow_share" = Some `Ok);
+  (* every request bad: burn = (10/10)/0.5 = 2 > 1 in both windows *)
+  Metric.Counter.incr ~by:10 bad;
+  Metric.Counter.incr ~by:10 total;
+  Alcotest.(check bool) "fires when both windows exceed" true
+    (tick 1000.0 = [ ("slow_share", Alert.Fired) ]);
+  (match Alert.state alerts "slow_share" with
+  | Some (`Firing since) -> feq "firing since the violating tick" 1000.0 since
+  | _ -> Alcotest.fail "expected Firing");
+  Alcotest.(check (list string)) "firing list" [ "slow_share" ] (Alert.firing alerts);
+  (* clean traffic: fast window clears even though the slow window
+     still remembers the incident *)
+  Metric.Counter.incr ~by:10 total;
+  Alcotest.(check bool) "resolves when the fast window clears" true
+    (tick 2000.0 = [ ("slow_share", Alert.Resolved) ]);
+  Alcotest.(check bool) "state back to Ok" true (Alert.state alerts "slow_share" = Some `Ok);
+  Alcotest.(check bool) "unknown rule is None" true (Alert.state alerts "nope" = None);
+  (* transitions logged oldest-first; registry counters advanced *)
+  (match Alert.transitions alerts with
+  | [ (t1, "slow_share", Alert.Fired); (t2, "slow_share", Alert.Resolved) ] ->
+      feq "fired at" 1000.0 t1;
+      feq "resolved at" 2000.0 t2
+  | other -> Alcotest.failf "unexpected transitions (%d)" (List.length other));
+  let snap = Registry.snapshot reg in
+  Alcotest.(check bool) "fired counter" true
+    (Registry.Snapshot.find snap "dsig_slo_alerts_fired_total" = Some (Registry.Snapshot.Counter 1));
+  Alcotest.(check bool) "resolved counter" true
+    (Registry.Snapshot.find snap "dsig_slo_alerts_resolved_total"
+    = Some (Registry.Snapshot.Counter 1));
+  let js = Alert.to_json alerts in
+  Alcotest.(check bool) "json carries the schema" true
+    (Result.is_ok (Json_lite.parse js)
+    && Json_lite.(member "schema" (Result.get_ok (parse js)))
+       = Some (Json_lite.Str "dsig-alerts-v1"))
+
+let test_alert_latency () =
+  let tel = Tel.create () in
+  let sampler = Sampler.create tel.Tel.registry in
+  let lat = ref 10.0 in
+  Sampler.probe sampler ~name:"p99" ~kind:Series.Gauge (fun () -> !lat);
+  let alerts =
+    Alert.create ~telemetry:tel sampler
+      [
+        Alert.rule ~name:"lat"
+          ~fast:{ Alert.window_us = 1000.0; max_burn = 1.0 }
+          ~slow:{ Alert.window_us = 2000.0; max_burn = 1.0 }
+          (Alert.Latency { series = "p99"; budget_us = 100.0 });
+      ]
+  in
+  let tick now_us = ignore (Sampler.sample sampler ~now_us); Alert.step alerts ~now_us in
+  ignore (tick 0.0);
+  lat := 500.0;
+  (* the windowed average exceeds the budget across BOTH windows as
+     soon as a bad point lands in each *)
+  let e1 = tick 500.0 in
+  let e2 = tick 1000.0 in
+  Alcotest.(check bool) "fires on sustained high latency" true
+    (List.mem ("lat", Alert.Fired) (e1 @ e2));
+  lat := 10.0;
+  let rec drive t acc =
+    if t > 6000.0 then acc else drive (t +. 500.0) (acc @ tick t)
+  in
+  Alcotest.(check bool) "resolves once the fast window drains" true
+    (List.mem ("lat", Alert.Resolved) (drive 2000.0 []));
+  Alcotest.(check bool) "ends Ok" true (Alert.state alerts "lat" = Some `Ok)
+
+let test_alert_validation () =
+  Alcotest.check_raises "non-positive window rejected"
+    (Invalid_argument "Alert.rule: windows must be positive") (fun () ->
+      ignore
+        (Alert.rule ~name:"x"
+           ~fast:{ Alert.window_us = 0.0; max_burn = 1.0 }
+           (Alert.Latency { series = "s"; budget_us = 1.0 })))
+
+(* --- Trajectory --- *)
+
+let test_trajectory_directions () =
+  Alcotest.(check string) "us suffix" "lower-better"
+    (Trajectory.direction_name (Trajectory.direction_of_name "sign_us"));
+  Alcotest.(check string) "ops_per_sec" "higher-better"
+    (Trajectory.direction_name (Trajectory.direction_of_name "verify_ops_per_sec_4dom"));
+  Alcotest.(check string) "speedup" "higher-better"
+    (Trajectory.direction_name (Trajectory.direction_of_name "scale_sign_speedup_8dom"));
+  Alcotest.(check string) "other" "informational"
+    (Trajectory.direction_name (Trajectory.direction_of_name "wal_appends"))
+
+let verdict_of entries name =
+  (List.find (fun e -> e.Trajectory.e_name = name) entries).Trajectory.e_verdict
+
+let test_trajectory_compare () =
+  let baseline =
+    [ ("a_us", 100.0); ("b_us", 100.0); ("c_ops_per_sec", 100.0); ("gone_us", 5.0); ("zero", 0.0) ]
+  in
+  let fresh =
+    [ ("a_us", 200.0); ("b_us", 110.0); ("c_ops_per_sec", 160.0); ("brand_new_us", 1.0); ("zero", 3.0) ]
+  in
+  let entries = Trajectory.compare_metrics ~tolerance:0.5 ~baseline ~fresh () in
+  Alcotest.(check int) "one entry per name on either side" 6 (List.length entries);
+  Alcotest.(check bool) "latency doubling regresses" true (verdict_of entries "a_us" = Trajectory.Regressed);
+  Alcotest.(check bool) "within band" true (verdict_of entries "b_us" = Trajectory.Within);
+  Alcotest.(check bool) "throughput up improves" true
+    (verdict_of entries "c_ops_per_sec" = Trajectory.Improved);
+  Alcotest.(check bool) "missing metric flagged" true
+    (verdict_of entries "gone_us" = Trajectory.Missing_metric);
+  Alcotest.(check bool) "new metric flagged but passes" true
+    (verdict_of entries "brand_new_us" = Trajectory.New_metric);
+  Alcotest.(check bool) "zero baseline never gates" true (verdict_of entries "zero" = Trajectory.Within);
+  Alcotest.(check (list string))
+    "failures = regressions + missing" [ "a_us"; "gone_us" ]
+    (List.map (fun e -> e.Trajectory.e_name) (Trajectory.failures entries));
+  (* per-metric override: widen a_us's band and the regression passes *)
+  let entries' =
+    Trajectory.compare_metrics ~tolerance:0.5 ~tolerances:[ ("a_us", 2.0) ] ~baseline ~fresh ()
+  in
+  Alcotest.(check bool) "override widens the band" true (verdict_of entries' "a_us" = Trajectory.Within);
+  (* improvements in the lower-better direction also report Improved *)
+  let entries'' =
+    Trajectory.compare_metrics ~tolerance:0.5 ~baseline:[ ("x_us", 100.0) ]
+      ~fresh:[ ("x_us", 10.0) ] ()
+  in
+  Alcotest.(check bool) "latency drop improves" true (verdict_of entries'' "x_us" = Trajectory.Improved);
+  let rendered = Trajectory.render entries in
+  Alcotest.(check bool) "render names every metric" true
+    (List.for_all
+       (fun (n, _) ->
+         let nh = String.length rendered and nn = String.length n in
+         let rec go i = i + nn <= nh && (String.sub rendered i nn = n || go (i + 1)) in
+         go 0)
+       baseline)
+
+let test_trajectory_parse_snapshot () =
+  let body =
+    {|{
+  "schema": "dsig-bench-smoke-v2",
+  "meta": { "written_at": "2026-01-01T00:00:00Z", "git_rev": "abc1234", "arch": "x86_64", "domains": 8, "ocaml": "5.1.1" },
+  "metrics": { "sign_us": 12.5, "verify_ops_per_sec": 800.0, "skipped": null }
+}|}
+  in
+  (match Trajectory.parse_snapshot body with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok metrics ->
+      Alcotest.(check (list (pair string (float 0.0))))
+        "metrics extracted sorted, nulls skipped"
+        [ ("sign_us", 12.5); ("verify_ops_per_sec", 800.0) ]
+        (List.sort compare metrics));
+  let meta = Trajectory.meta_of_snapshot body in
+  Alcotest.(check (option string)) "meta git_rev" (Some "abc1234") (List.assoc_opt "git_rev" meta);
+  Alcotest.(check (option string)) "meta domains" (Some "8") (List.assoc_opt "domains" meta);
+  Alcotest.(check bool) "no metrics key is an error" true
+    (Result.is_error (Trajectory.parse_snapshot {|{"schema":"x"}|}))
+
+let () =
+  Alcotest.run "dsig timeseries"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "push, wraparound, get" `Quick test_series_push_and_wrap;
+          Alcotest.test_case "non-finite samples dropped" `Quick test_series_rejects_nonfinite;
+          Alcotest.test_case "counter reset adjustment" `Quick test_series_counter_reset;
+          Alcotest.test_case "windowed queries" `Quick test_series_windows;
+          QCheck_alcotest.to_alcotest ~long:false counter_never_negative;
+          QCheck_alcotest.to_alcotest ~long:false gauge_capacity_invariant;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "folds counters, gauges, histograms" `Quick test_sampler_folds_registry;
+          Alcotest.test_case "throttling and probes" `Quick test_sampler_throttle_and_probe;
+          Alcotest.test_case "to_json/of_json roundtrip" `Quick test_sampler_json_roundtrip;
+          Alcotest.test_case "json_lite parser" `Quick test_json_lite;
+        ] );
+      ( "alert",
+        [
+          Alcotest.test_case "burn-rate fires and resolves" `Quick test_alert_burn_rate;
+          Alcotest.test_case "latency rule fires and resolves" `Quick test_alert_latency;
+          Alcotest.test_case "rule validation" `Quick test_alert_validation;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "direction heuristics" `Quick test_trajectory_directions;
+          Alcotest.test_case "compare verdicts" `Quick test_trajectory_compare;
+          Alcotest.test_case "snapshot parsing" `Quick test_trajectory_parse_snapshot;
+        ] );
+    ]
