@@ -1,0 +1,75 @@
+(* Key lifecycle plane (DESIGN.md §14): the cost of the two operations a
+   deployment performs under duress. Rotation cutover is the foreground
+   stall of switching generations — confirm the journaled rotation,
+   drop the dying generation's queued keys, swap in the staged batch —
+   and must stay far below a single sign. Revocation propagation is the
+   virtual time from an authority issuing a signed [DSIGREV1] record on
+   one node of the 3-party simulated deployment until every node's
+   directory enforces it. *)
+
+open Dsig
+module Tel = Dsig_telemetry.Telemetry
+module Sim = Dsig_simnet.Sim
+module Deploy = Dsig_deploy.Deploy
+module Rotation = Dsig_keylife.Rotation
+
+let run () =
+  Harness.section "keylife: rotation cutover stall + revocation propagation";
+  (* --- rotation cutover (wall clock) --- *)
+  let tel = Tel.default in
+  let cfg = Config.make ~batch_size:32 ~queue_threshold:64 (Config.wots ~d:4) in
+  let rng = Dsig_util.Rng.create 17L in
+  let sk, _ = Dsig_ed25519.Eddsa.generate rng in
+  let options = Options.default |> Options.with_telemetry tel in
+  let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~options ~verifiers:[ 1 ] () in
+  let rot = Rotation.create ~clock:(fun () -> Tel.now tel) signer in
+  let rounds = max 4 (Harness.scaled 200 / 20) in
+  let total_us = ref 0.0 in
+  for _ = 1 to rounds do
+    ignore (Signer.sign signer "12345678");
+    (* staging (batch generation + announce) is background-plane work;
+       the foreground stall is the cutover itself — confirm the
+       journaled rotation, drop the dying generation's queue, swap in
+       the staged keys *)
+    ignore (Rotation.start rot);
+    let t0 = Tel.now tel in
+    ignore (Signer.cutover signer);
+    total_us := !total_us +. (Tel.now tel -. t0);
+    ignore (Rotation.step rot);
+    ignore (Signer.drain_outbox signer)
+  done;
+  let cutover_us = !total_us /. float_of_int rounds in
+  let epoch = Signer.epoch signer in
+  Signer.close signer;
+  (* --- revocation propagation (virtual time, 3-node deployment) --- *)
+  let sim = Sim.create () in
+  let vtel = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let d =
+    Deploy.create sim cfg ~n:3 ~options:(Options.default |> Options.with_telemetry vtel) ()
+  in
+  Sim.run ~until:1_000.0 sim;
+  for i = 1 to 4 do
+    ignore (Deploy.sign d ~signer:0 (Printf.sprintf "warm-%d" i));
+    Sim.run ~until:(Sim.now sim +. 150.0) sim
+  done;
+  let issued_at = Sim.now sim in
+  ignore (Deploy.revoke ~from_batch:1_000L d ~signer:0 ());
+  let enforced_everywhere () =
+    List.for_all (fun n -> Pki.revocation (Deploy.pki d n) 0 <> `None) [ 0; 1; 2 ]
+  in
+  while (not (enforced_everywhere ())) && Sim.now sim < issued_at +. 100_000.0 do
+    Sim.run ~until:(Sim.now sim +. 10.0) sim
+  done;
+  let propagate_us = Sim.now sim -. issued_at in
+  Deploy.close d;
+  Harness.print_table
+    ~header:[ "operation"; "latency us"; "note" ]
+    [
+      [ "rotation cutover"; Harness.us2 cutover_us;
+        Printf.sprintf "confirm+swap stall, %d rounds (epoch %d)" rounds epoch ];
+      [ "revocation propagate"; Harness.us2 propagate_us;
+        (if enforced_everywhere () then "issue -> all 3 directories barred"
+         else "TIMED OUT before full enforcement") ];
+    ];
+  Harness.metric "rotation_cutover_us" cutover_us;
+  Harness.metric "revocation_propagate_us" propagate_us

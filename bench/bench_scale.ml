@@ -42,7 +42,7 @@ let make_system ~pool () =
   let rng = Dsig_util.Rng.create 42L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let options =
     match pool with
     | None -> Options.default

@@ -43,6 +43,8 @@ let () =
     Bench_translog.run;
   register "scale" "multicore scale-out: sigs/sec & verifies/sec vs domain count"
     Bench_scale.run;
+  register "keylife" "key lifecycle: rotation cutover stall + revocation propagation"
+    Bench_keylife.run;
   (* declare the pacing and store series on the default bundle up front
      so every experiment's telemetry snapshot carries the keys scrapers
      key on, zero-valued until the owning experiment populates them *)

@@ -41,6 +41,8 @@ let required_bench_metrics =
     (* parallel plane (bench scale) *)
     "\"scale_sign_speedup_4dom\""; "\"scale_verify_speedup_4dom\"";
     "\"scale_verify_ops_per_sec_1dom\""; "\"scale_verify_ops_per_sec_4dom\"";
+    (* key lifecycle plane (bench keylife) *)
+    "\"rotation_cutover_us\""; "\"revocation_propagate_us\"";
   ]
 
 (* Value gates: metrics that must not only be present but clear a floor.
@@ -137,6 +139,7 @@ let check_bench_snapshot ?baseline dir =
               ("translog_checkpoint_us", 1.5);
               ("translog_consistency_proof_us", 1.5);
               ("translog_inclusion_proof_us", 1.5);
+              ("rotation_cutover_us", 3.0);
             ]
           in
           let entries = Trajectory.compare_metrics ~tolerances ~baseline ~fresh () in

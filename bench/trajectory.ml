@@ -44,6 +44,8 @@ let tolerances =
     ("translog_checkpoint_us", 1.5);
     ("translog_consistency_proof_us", 1.5);
     ("translog_inclusion_proof_us", 1.5);
+    (* sub-ms wall-clock stall, coarsely quantized at --ops 50 *)
+    ("rotation_cutover_us", 3.0);
   ]
 
 let () =

@@ -82,7 +82,7 @@ let sign_cmd =
 let verify pk_hex msg_spec sig_file d batch =
   let cfg = config_of ~d ~batch in
   let pki = Dsig.Pki.create () in
-  Dsig.Pki.register pki ~id:0 (BU.of_hex pk_hex);
+  Dsig.Pki.bind pki ~id:0 ~epoch:0 (BU.of_hex pk_hex);
   let verifier = Dsig.Verifier.create cfg ~id:1 ~pki () in
   let msg = load_msg msg_spec in
   let signature = read_file sig_file in
@@ -190,7 +190,7 @@ let log_audit log_file signer_pks d batch =
       | Some i ->
           let id = int_of_string (String.sub spec 0 i) in
           let pk = BU.of_hex (String.sub spec (i + 1) (String.length spec - i - 1)) in
-          Dsig.Pki.register pki ~id pk
+          Dsig.Pki.bind pki ~id ~epoch:0 pk
       | None -> failwith ("bad --signer spec: " ^ spec))
     signer_pks;
   match Dsig_audit.Logfile.load log_file with
@@ -234,7 +234,7 @@ let stats ops fmt trace d batch =
   let rng = Dsig_util.Rng.create 11L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Dsig.Pki.create () in
-  Dsig.Pki.register pki ~id:0 pk;
+  Dsig.Pki.bind pki ~id:0 ~epoch:0 pk;
   let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng
     ~options:(Dsig.Options.default |> Dsig.Options.with_telemetry tel)
     ~verifiers:[ 1 ] () in
@@ -297,7 +297,7 @@ let top port interval count d batch =
         let rng = Dsig_util.Rng.create 17L in
         let sk, pk = Dsig_ed25519.Eddsa.generate rng in
         let pki = Dsig.Pki.create () in
-        Dsig.Pki.register pki ~id:0 pk;
+        Dsig.Pki.bind pki ~id:0 ~epoch:0 pk;
         let signer =
           Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng
     ~options:(Dsig.Options.default |> Dsig.Options.with_telemetry tel)
@@ -485,7 +485,7 @@ let timeline port file metric width interval count =
             let rng = Dsig_util.Rng.create 17L in
             let sk, pk = Dsig_ed25519.Eddsa.generate rng in
             let pki = Dsig.Pki.create () in
-            Dsig.Pki.register pki ~id:0 pk;
+            Dsig.Pki.bind pki ~id:0 ~epoch:0 pk;
             let options = Dsig.Options.default |> Dsig.Options.with_telemetry tel in
             let signer = Dsig.Signer.create cfg ~id:0 ~eddsa:sk ~rng ~options ~verifiers:[ 1 ] () in
             let verifier = Dsig.Verifier.create cfg ~id:1 ~pki ~options () in
@@ -693,6 +693,13 @@ let print_scan (s : Keystate.scan) =
       Printf.printf "batch %Ld: size=%d high_water=%d\n" id b.Keystate.size b.Keystate.high_water)
     s.Keystate.scan_state;
   Printf.printf "next_batch_id: %Ld\n" s.Keystate.scan_next_batch_id;
+  Printf.printf "epoch: %d\n" s.Keystate.scan_epoch;
+  (match s.Keystate.scan_pending_rotation with
+  | None -> ()
+  | Some (e, b) -> Printf.printf "pending rotation: epoch %d at batch %Ld (unconfirmed)\n" e b);
+  List.iter
+    (fun (e, b) -> Printf.printf "rotation: epoch %d confirmed at batch %Ld\n" e b)
+    s.Keystate.scan_rotations;
   Printf.printf "clean shutdown: %b\n" s.Keystate.scan_clean
 
 let store_inspect dir =
@@ -767,6 +774,115 @@ let store_cmd =
               everything into a fresh snapshot and close clean.")
         Term.(const store_recover $ store_dir_arg $ group_commit_arg);
     ]
+(* --- impact: bound what a stolen key could have signed --- *)
+
+(* The compromise-containment query of the key-lifecycle plane: walk
+   the deployment's transparency log for the compromised signer's
+   signatures inside the suspected batch window. The window comes from
+   an explicit --from-batch/--until-batch pair, or from a rotation
+   EPOCH resolved against the signer's key-state journal (each
+   confirmed rotation record names the batch id its epoch started
+   at). *)
+let impact log_dir store_dir from_batch until_batch signer epoch =
+  let fail msg =
+    Printf.printf "%s\n" msg;
+    1
+  in
+  let window_of_epoch e =
+    match store_dir with
+    | None -> Error "an EPOCH argument needs --store to resolve rotation boundaries"
+    | Some dir -> (
+        match Dsig_store.Keystate.scan ~dir with
+        | Error err -> Error err
+        | Ok s -> (
+            let rots = s.Dsig_store.Keystate.scan_rotations in
+            let start = if e = 0 then Some 0L else List.assoc_opt e rots in
+            match start with
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "epoch %d has no rotation record in %s (rotations older than the last \
+                      snapshot are folded away — use --from-batch)"
+                     e dir)
+            | Some lo ->
+                Ok ((if e = 0 then None else Some lo), List.assoc_opt (e + 1) rots)))
+  in
+  let window =
+    match (from_batch, until_batch) with
+    | None, None -> ( match epoch with None -> Ok (None, None) | Some e -> window_of_epoch e)
+    | lo, hi -> Ok (lo, hi)
+  in
+  match window with
+  | Error e -> fail e
+  | Ok (from_batch, until_batch) -> (
+      match Dsig_translog.Translog.open_ ~fsync:false ~dir:log_dir () with
+      | Error e -> fail (Printf.sprintf "cannot open transparency log %s: %s" log_dir e)
+      | Ok (log, recovery) ->
+          (* a read-only open has no in-process checkpoints; the
+             recovered anchor pins what published heads attested *)
+          let r =
+            Dsig_keylife.Impact.analyze ~log ~signer ?from_batch ?until_batch
+              ~checkpoint_size:recovery.Dsig_translog.Translog.anchor_size ()
+          in
+          Dsig_translog.Translog.close log;
+          Format.printf "%a@?" Dsig_keylife.Impact.pp r;
+          0)
+
+let impact_log_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "log" ] ~docv:"DIR" ~doc:"Transparency-log directory to walk.")
+
+let impact_store_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"The signer's key-state store, used to resolve EPOCH to a batch window.")
+
+let impact_from_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "from-batch" ] ~docv:"B"
+        ~doc:"Explicit window start (inclusive batch id); overrides EPOCH.")
+
+let impact_until_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "until-batch" ] ~docv:"B" ~doc:"Explicit window end (exclusive batch id).")
+
+let impact_signer_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"SIGNER" ~doc:"Compromised signer id.")
+
+let impact_epoch_arg =
+  Arg.(
+    value
+    & pos 1 (some int) None
+    & info [] ~docv:"EPOCH"
+        ~doc:"Rotation epoch the stolen key belongs to (resolved via --store).")
+
+let impact_cmd =
+  Cmd.v
+    (Cmd.info "impact"
+       ~doc:"Bound what a stolen signer key could have signed (compromise containment)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Walks the deployment's transparency log, selecting signatures attributed to the \
+              compromised signer whose wire header falls inside the suspected batch window, \
+              and prints the affected set per batch plus how much of it is covered by the \
+              latest published checkpoint (provable to third parties via inclusion proofs).";
+           `P
+             "Without EPOCH or --from-batch, the whole history of the signer is reported \
+              (total key compromise).";
+         ])
+    Term.(
+      const impact $ impact_log_arg $ impact_store_arg $ impact_from_arg $ impact_until_arg
+      $ impact_signer_arg $ impact_epoch_arg)
 
 let main_cmd =
   Cmd.group
@@ -784,6 +900,7 @@ let main_cmd =
       monitor_cmd;
       log_sign_cmd;
       log_audit_cmd;
+      impact_cmd;
       store_cmd;
     ]
 

@@ -25,7 +25,7 @@ let () =
   let rng = Dsig_util.Rng.system () in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
 
   (* one telemetry bundle for both ends of the loopback deployment; the
      lifecycle aggregator joins sign, admit and verify events into
@@ -99,7 +99,7 @@ let () =
         | Tcp.Announcement a -> if Verifier.deliver verifier a then incr announcements
         | Tcp.Signed { msg; signature } -> handle_signed ~msg ~signature ()
         | Tcp.Traced (ctx, Tcp.Signed { msg; signature }) -> handle_signed ~ctx ~msg ~signature ()
-        | Tcp.Traced (_, _) | Tcp.Control _ | Tcp.Checkpoint _ -> ());
+        | Tcp.Traced (_, _) | Tcp.Control _ | Tcp.Checkpoint _ | Tcp.Revoke _ -> ());
         Mutex.unlock mu)
       ()
   in

@@ -21,7 +21,7 @@ let () =
   let rng = Dsig_util.Rng.system () in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
 
   Printf.printf "spawning background plane on its own domain (%d cores available)...\n"
     (Domain.recommended_domain_count ());

@@ -6,6 +6,7 @@ module Metric = Dsig_telemetry.Metric
 module Translog = Dsig_translog.Translog
 module Checkpoint = Dsig_translog.Checkpoint
 module Monitor = Dsig_translog.Monitor
+module Revocation = Dsig_keylife.Revocation
 module Ts = Dsig_timeseries
 
 type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
@@ -43,6 +44,7 @@ type payload =
   | P_announce of float * Dsig.Batch.announcement
   | P_control of Dsig.Batch.control
   | P_checkpoint of string
+  | P_revoke of string
 
 (* the transparency plane of one deployment: one shared log (every
    signer appends), one log identity, one monitor per party *)
@@ -59,10 +61,17 @@ type transparency = {
 type t = {
   cfg : Dsig.Config.t;
   parties : party array;
-  pki : Dsig.Pki.t;
+  (* one directory per node: a revocation is local knowledge until its
+     record arrives over the network, like every other control frame *)
+  pkis : Dsig.Pki.t array;
+  auth_sk : Eddsa.secret_key;
+  auth_pk : Eddsa.public_key;
+  telemetry : Tel.t;
   net : payload Net.t;
   transparency : transparency option;
   tsplane : (Ts.Sampler.t * Ts.Alert.t) array option;
+  c_rev_issued : Metric.Counter.t;
+  enforce_revocation : int -> string -> unit;
   mutable sent : int;
   mutable delivered : int;
 }
@@ -72,10 +81,17 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
     ?translog_dir ?(translog_poll_us = 200.0) ?(log_id = 0) ?timeseries:ts_opts sim cfg ~n
     () =
   let telemetry = options.Dsig.Options.telemetry in
-  let pki = Dsig.Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
-  Array.iteri (fun id (_, pk) -> Dsig.Pki.register pki ~id pk) keys;
+  (* deployment-level revoking authority — a distinct identity, so a
+     compromised signer key cannot sign its own un-revocation *)
+  let auth_sk, auth_pk = Eddsa.generate (Rng.split master) in
+  let pkis =
+    Array.init n (fun _ ->
+        let pki = Dsig.Pki.create () in
+        Array.iteri (fun id (_, pk) -> Dsig.Pki.bind pki ~id ~epoch:0 pk) keys;
+        pki)
+  in
   (* transparency plane: one shared durable log for the whole
      deployment, its own signing identity (distinct from every party's),
      and a monitor per party fed by gossiped checkpoints *)
@@ -188,10 +204,48 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
             Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
               ~groups:(groups id) ~options:(options_of id) ~verifiers:all ();
           verifier =
-            Dsig.Verifier.create cfg ~id ~pki ~options ~control:(control_of id) ();
+            Dsig.Verifier.create cfg ~id ~pki:pkis.(id) ~options ~control:(control_of id) ();
         })
   in
-  let t = { cfg; parties; pki; net; transparency; tsplane; sent = 0; delivered = 0 } in
+  (* revocation plane: records are enforced where they land — verify the
+     authority signature, tighten the node's own directory, purge the
+     node's cached batch roots past the boundary *)
+  let c_rev_issued = Tel.counter telemetry "dsig_revocation_issued_total" in
+  let c_rev_applied = Tel.counter telemetry "dsig_revocation_applied_total" in
+  let c_rev_replayed = Tel.counter telemetry "dsig_revocation_replayed_total" in
+  let c_rev_rejected = Tel.counter telemetry "dsig_revocation_rejected_total" in
+  let h_rev_prop = Tel.histogram telemetry "dsig_revocation_propagate_us" in
+  let enforce_revocation id encoded =
+    match
+      Revocation.enforce ~pki:pkis.(id) ~authority_pk:auth_pk
+        ~purge:(fun ~signer ~from_batch ->
+          ignore (Dsig.Verifier.purge_signer ?from_batch parties.(id).verifier ~signer))
+        encoded
+    with
+    | Revocation.Applied r ->
+        Metric.Counter.incr c_rev_applied;
+        Metric.Histogram.add h_rev_prop
+          (Float.max 0.0 (Tel.now telemetry -. Int64.to_float r.Revocation.rev_issued_us))
+    | Revocation.Replayed _ -> Metric.Counter.incr c_rev_replayed
+    | Revocation.Rejected _ -> Metric.Counter.incr c_rev_rejected
+  in
+  let t =
+    {
+      cfg;
+      parties;
+      pkis;
+      auth_sk;
+      auth_pk;
+      telemetry;
+      net;
+      transparency;
+      tsplane;
+      c_rev_issued;
+      enforce_revocation;
+      sent = 0;
+      delivered = 0;
+    }
+  in
   t_ref := Some t;
   (* node-local probes: the registry's dsig_* series are shared across
      the whole deployment, so the per-node fast/slow split comes from
@@ -295,6 +349,7 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
       Sim.spawn sim (fun () ->
           while true do
             match Net.recv net ~node:id with
+            | _src, _bytes, P_revoke encoded -> enforce_revocation id encoded
             | _src, _bytes, P_checkpoint encoded -> observe_checkpoint id encoded
             | _src, _bytes, P_control c ->
                 Dsig.Control_plane.deliver cp c
@@ -324,8 +379,34 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
 
 let signer t i = t.parties.(i).signer
 let verifier t i = t.parties.(i).verifier
-let pki t = t.pki
+let pki t i = t.pkis.(i)
+let authority_pk t = t.auth_pk
 let net t = t.net
+
+(* --- the revocation plane --- *)
+
+let revoke ?from_batch ?(epoch = 0) ?(src = 0) t ~signer () =
+  let r =
+    {
+      Revocation.rev_signer = signer;
+      rev_epoch = epoch;
+      rev_boundary = (match from_batch with None -> Revocation.Total | Some b -> Revocation.From b);
+      rev_issued_us = Int64.of_float (Tel.now t.telemetry);
+      rev_authority = src;
+    }
+  in
+  let encoded = Revocation.issue ~authority_sk:t.auth_sk r in
+  Metric.Counter.incr t.c_rev_issued;
+  (* the issuing node enforces immediately; everyone else learns over
+     the modeled wire, like any other control frame *)
+  t.enforce_revocation src encoded;
+  for dst = 0 to Array.length t.parties - 1 do
+    if dst <> src then
+      Net.send_async t.net ~src ~dst ~bytes:Revocation.size (P_revoke encoded)
+  done;
+  encoded
+
+let deliver_revocation t ~node encoded = t.enforce_revocation node encoded
 
 let sampler t i = Option.map (fun arr -> fst arr.(i)) t.tsplane
 let alerter t i = Option.map (fun arr -> snd arr.(i)) t.tsplane
@@ -393,3 +474,8 @@ let corrupting_mutate ~seed =
         (* a corrupted checkpoint either fails to decode (dropped by the
            receiver) or fails its signature at the monitor *)
         Some (P_checkpoint (flip_random_bit rng encoded))
+    | P_revoke encoded -> (
+        (* same discipline: undecodable frames model a length/tag-check
+           drop, decodable ones must fail the authority signature *)
+        let m = flip_random_bit rng encoded in
+        match Revocation.decode m with Ok _ -> Some (P_revoke m) | Error _ -> None)

@@ -33,6 +33,10 @@ type payload =
       (** A gossiped transparency-log checkpoint (encoded
           {!Dsig_translog.Checkpoint}), broadcast by the log operator
           (node 0) and fed to every party's split-view monitor. *)
+  | P_revoke of string
+      (** A signed revocation record (encoded
+          {!Dsig_keylife.Revocation}), broadcast by {!revoke} and
+          enforced on each receiving node's own directory. *)
 
 (** Configuration of the optional per-node time-series plane; build
     with {!timeseries}. *)
@@ -141,7 +145,44 @@ val alerter : t -> int -> Dsig_timeseries.Alert.t option
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t
-val pki : t -> Dsig.Pki.t
+
+val pki : t -> int -> Dsig.Pki.t
+(** Party [i]'s key directory. Each node holds its own {!Dsig.Pki} —
+    a revocation is local knowledge until its record reaches the node
+    over the network. *)
+
+(** {1 Revocation plane}
+
+    Signed {!Dsig_keylife.Revocation} records, broadcast as
+    {!P_revoke} frames over the same modeled network as everything
+    else, enforced independently on each receiving node: verify the
+    authority signature, tighten the node's directory
+    ({!Dsig.Pki.revoke} / {!Dsig.Pki.revoke_from}), purge the node's
+    cached batch roots past the boundary
+    ({!Dsig.Verifier.purge_signer}). The shared telemetry bundle
+    receives [dsig_revocation_issued_total] /
+    [dsig_revocation_applied_total] / [dsig_revocation_replayed_total]
+    / [dsig_revocation_rejected_total] counters and the
+    [dsig_revocation_propagate_us] histogram (issue-to-enforce latency
+    per node, in the bundle's time base). *)
+
+val authority_pk : t -> Dsig_ed25519.Eddsa.public_key
+(** The deployment's revoking-authority public key (distinct from every
+    party's identity). *)
+
+val revoke : ?from_batch:int64 -> ?epoch:int -> ?src:int -> t -> signer:int -> unit -> string
+(** Issue a revocation for [signer], enforce it immediately on [src]
+    (default 0) and broadcast it to every other node. Without
+    [from_batch] the revocation is total; with it, batches [>=
+    from_batch] are barred while earlier ones keep verifying. Returns
+    the encoded record (so tests can replay or corrupt it). Idempotent
+    end to end: re-delivering the record is detected and counted as a
+    replay. *)
+
+val deliver_revocation : t -> node:int -> string -> unit
+(** Hand an encoded record straight to one node's enforcement path,
+    bypassing the network — the injection point for replay and forgery
+    tests. *)
 
 val net : t -> payload Dsig_simnet.Net.t
 (** The underlying modeled network — inject faults with

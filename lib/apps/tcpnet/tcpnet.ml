@@ -33,6 +33,7 @@ type message =
   | Signed of { msg : string; signature : string }
   | Control of Dsig.Batch.control
   | Checkpoint of string
+  | Revoke of string
   | Traced of Trace.t * message
 
 let rec encode_message = function
@@ -44,6 +45,9 @@ let rec encode_message = function
   (* the payload is an encoded Dsig_translog.Checkpoint — carried
      opaquely so the transport stays independent of the log library *)
   | Checkpoint c -> "C" ^ c
+  (* an encoded Dsig_keylife.Revocation record, carried opaquely like
+     checkpoints — receivers verify the authority signature themselves *)
+  | Revoke r -> "V" ^ r
   | Traced (ctx, inner) -> "T" ^ Trace.encode ctx ^ encode_message inner
 
 let rec decode_message s =
@@ -54,6 +58,7 @@ let rec decode_message s =
     | 'A' -> Result.map (fun a -> Announcement a) (Dsig.Batch.decode_announcement body)
     | 'K' | 'R' | 'M' -> Result.map (fun c -> Control c) (Dsig.Batch.decode_control s)
     | 'C' -> if body = "" then Error "empty checkpoint frame" else Ok (Checkpoint body)
+    | 'V' -> if body = "" then Error "empty revocation frame" else Ok (Revoke body)
     | 'S' ->
         if String.length body < 4 then Error "short signed frame"
         else begin

@@ -19,6 +19,12 @@ type message =
           payload is an encoded [Dsig_translog.Checkpoint], carried
           opaquely — receivers decode and feed it to their monitor.
           Empty payloads are rejected by the decoder. *)
+  | Revoke of string
+      (** A signed key-revocation record (tag ['V']): the payload is an
+          encoded [Dsig_keylife.Revocation], carried opaquely —
+          receivers verify the authority signature and enforce it on
+          their own directory. Empty payloads are rejected by the
+          decoder. *)
   | Traced of Dsig_telemetry.Trace_ctx.t * message
       (** A message carrying its signature's 18-byte trace context
           (tag ['T'] + {!Dsig_telemetry.Trace_ctx.encode} + inner frame)

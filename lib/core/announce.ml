@@ -41,6 +41,7 @@ type t = {
   mutable gave_up : int;
   mutable redundant : int;
   mutable samples : int;
+  mutable dropped : int;
 }
 
 let create ?(policy = Retry.default) ?(pacing = Options.Fixed) ?(retain = 64) ~rng ~clock () =
@@ -66,6 +67,7 @@ let create ?(policy = Retry.default) ?(pacing = Options.Fixed) ?(retain = 64) ~r
     gave_up = 0;
     redundant = 0;
     samples = 0;
+    dropped = 0;
   }
 
 let adaptive t = match t.mode with Adaptive _ -> true | Fixed -> false
@@ -160,6 +162,28 @@ let ack t ~verifier ~batch_id =
 
 let lookup t ~batch_id =
   Option.map (fun e -> e.ann) (Hashtbl.find_opt t.entries batch_id)
+
+(* A revoked or rotated-out batch must stop consuming pacing tokens the
+   moment it dies: its pending transmissions are dropped outright (not
+   counted as gave-up — nobody is waiting for them anymore). The entry
+   itself stays retained so pull repair keeps serving previously issued
+   signatures. *)
+let drop t ~batch_id =
+  match Hashtbl.find_opt t.entries batch_id with
+  | None -> 0
+  | Some e ->
+      let n = Hashtbl.length e.waiting in
+      Hashtbl.reset e.waiting;
+      t.dropped <- t.dropped + n;
+      n
+
+let drop_before t ~batch_id =
+  Hashtbl.fold
+    (fun id e acc ->
+      if Int64.compare id batch_id < 0 && Hashtbl.length e.waiting > 0 then
+        acc + drop t ~batch_id:id
+      else acc)
+    t.entries 0
 
 let due_fixed t ~now =
   let out = ref [] in
@@ -258,11 +282,18 @@ let due ?now t =
   match t.mode with Fixed -> due_fixed t ~now | Adaptive a -> due_adaptive t a ~now
 
 let pending t = Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.waiting) t.entries 0
+
+let pending_for t ~batch_id =
+  match Hashtbl.find_opt t.entries batch_id with
+  | None -> None
+  | Some e -> Some (Hashtbl.length e.waiting)
+
 let batches t = Hashtbl.length t.entries
 let acked t = t.acked
 let gave_up t = t.gave_up
 let redundant (t : t) = t.redundant
 let samples t = t.samples
+let dropped t = t.dropped
 
 let srtt_us t ~dest =
   Option.bind (Hashtbl.find_opt t.dests dest) (fun ds -> Rtt.srtt_us ds.est)

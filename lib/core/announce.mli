@@ -74,6 +74,19 @@ val ack : t -> verifier:int -> batch_id:int64 -> ack_outcome
 val lookup : t -> batch_id:int64 -> Batch.announcement option
 (** Retained announcement for a batch, for serving pull requests. *)
 
+val drop : t -> batch_id:int64 -> int
+(** Stop re-announcing a revoked or rotated-out batch: its pending
+    transmissions are dropped (returned as a count, recorded in
+    {!dropped} — not {!gave_up}) so it stops consuming re-announce
+    pacing tokens. The announcement itself stays retained for pull
+    repair of previously issued signatures. Unknown batch ids return
+    [0]. *)
+
+val drop_before : t -> batch_id:int64 -> int
+(** {!drop} every retained batch with id strictly below [batch_id]
+    (rotation cutover); returns the total pending transmissions
+    dropped. *)
+
 val due : ?now:float -> t -> (int * Batch.announcement) list
 (** Destinations whose re-announcement timer has expired, paired with
     the announcement to re-send; advances each one's timer and
@@ -96,6 +109,9 @@ val due : ?now:float -> t -> (int * Batch.announcement) list
 val pending : t -> int
 (** Outstanding (batch, destination) pairs still awaiting an ACK. *)
 
+val pending_for : t -> batch_id:int64 -> int option
+(** Outstanding destinations for one batch; [None] if not retained. *)
+
 val batches : t -> int
 (** Batches currently retained. *)
 
@@ -110,6 +126,9 @@ val redundant : t -> int
 
 val samples : t -> int
 (** Clean RTT samples fed to destination estimators, ever. *)
+
+val dropped : t -> int
+(** Pending transmissions discarded by {!drop}, ever. *)
 
 val srtt_us : t -> dest:int -> float option
 (** [dest]'s smoothed round-trip estimate; [None] before any clean

@@ -16,8 +16,9 @@
 
     Each component reads the fields that concern it and ignores the
     rest, so one record configures a whole deployment ({!System},
-    [Dsig_deploy.Deploy]). The old constructors survive one release as
-    deprecated [create_legacy] shims. *)
+    [Dsig_deploy.Deploy]). This is the only constructor surface — the
+    pre-[Options] [create_legacy] shims and per-knob arguments are
+    gone. *)
 
 (** {1 Re-announce pacing} *)
 

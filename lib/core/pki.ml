@@ -1,24 +1,92 @@
+type binding = { epoch : int; key : Dsig_ed25519.Eddsa.public_key }
+type revocation = [ `None | `Total | `From of int64 ]
+
 type t = {
-  keys : (int, Dsig_ed25519.Eddsa.public_key) Hashtbl.t;
-  revoked : (int, unit) Hashtbl.t;
+  mu : Mutex.t;
+  (* per id, bindings sorted by descending epoch (head = active) *)
+  bindings : (int, binding list) Hashtbl.t;
+  revoked : (int, [ `Total | `From of int64 ]) Hashtbl.t;
 }
 
-let create () = { keys = Hashtbl.create 16; revoked = Hashtbl.create 4 }
+let create () =
+  { mu = Mutex.create (); bindings = Hashtbl.create 16; revoked = Hashtbl.create 4 }
 
-let register t ~id pk =
-  match Hashtbl.find_opt t.keys id with
-  | Some existing when existing <> pk -> invalid_arg "Pki.register: id already bound"
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bind t ~id ~epoch pk =
+  if epoch < 0 then invalid_arg "Pki.bind: epoch must be non-negative";
+  locked t @@ fun () ->
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.bindings id) in
+  match List.find_opt (fun b -> b.epoch = epoch) existing with
+  | Some b when b.key <> pk -> invalid_arg "Pki.bind: (id, epoch) already bound"
   | Some _ -> ()
-  | None -> Hashtbl.add t.keys id pk
+  | None ->
+      let merged =
+        List.sort (fun a b -> compare b.epoch a.epoch) ({ epoch; key = pk } :: existing)
+      in
+      Hashtbl.replace t.bindings id merged
 
-let is_revoked t id = Hashtbl.mem t.revoked id
+let active t id =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.bindings id with Some (b :: _) -> Some b | _ -> None
 
-let lookup t id = if is_revoked t id then None else Hashtbl.find_opt t.keys id
+let history t id =
+  locked t @@ fun () ->
+  Option.value ~default:[] (Hashtbl.find_opt t.bindings id) |> List.rev
+
+let revocation t id : revocation =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.revoked id with
+  | None -> `None
+  | Some (`Total | `From _ as r) -> (r :> revocation)
+
+let is_revoked t id =
+  locked t @@ fun () -> Hashtbl.find_opt t.revoked id = Some `Total
+
+let revoke t id = locked t @@ fun () -> Hashtbl.replace t.revoked id `Total
+
+let revoke_from t ~id ~batch =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.revoked id with
+  | Some `Total -> ()
+  | Some (`From b) when b <= batch -> ()
+  | Some (`From _) | None -> Hashtbl.replace t.revoked id (`From batch)
+
+(* The verification-path gate: the key for [id], unless the id is
+   totally revoked or [batch] falls at or past a revocation boundary. *)
+let allowed t ~id ~batch =
+  locked t @@ fun () ->
+  let barred =
+    match Hashtbl.find_opt t.revoked id with
+    | Some `Total -> true
+    | Some (`From b) -> batch >= b
+    | None -> false
+  in
+  if barred then None
+  else
+    match Hashtbl.find_opt t.bindings id with
+    | Some (b :: _) -> Some b.key
+    | _ -> None
 
 let ids t =
-  Hashtbl.fold (fun id _ acc -> if is_revoked t id then acc else id :: acc) t.keys []
+  locked t @@ fun () ->
+  Hashtbl.fold
+    (fun id bs acc ->
+      if bs <> [] && Hashtbl.find_opt t.revoked id <> Some `Total then id :: acc else acc)
+    t.bindings []
   |> List.sort compare
 
-let revoke t id = Hashtbl.replace t.revoked id ()
+let revoked t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.revoked [] |> List.sort compare
 
-let revoked t = Hashtbl.fold (fun id () acc -> id :: acc) t.revoked [] |> List.sort compare
+(* deprecated epoch-0 wrappers *)
+
+let register t ~id pk =
+  try bind t ~id ~epoch:0 pk
+  with Invalid_argument _ -> invalid_arg "Pki.register: id already bound"
+
+let lookup t id =
+  if is_revoked t id then None else Option.map (fun b -> b.key) (active t id)

@@ -162,15 +162,6 @@ let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
   state.domain <- Some (Domain.spawn (background_loop cfg ~id ~eddsa ~rng:bg_rng state));
   state
 
-let create_legacy cfg ~id ~eddsa ~seed ?(telemetry = Tel.default) ?retry ?(retain = 64) () =
-  let options =
-    Options.default |> Options.with_telemetry telemetry |> Options.with_retain retain
-  in
-  let options =
-    match retry with Some r -> Options.with_retry r options | None -> options
-  in
-  create cfg ~id ~eddsa ~seed ~options ()
-
 let pop_key t =
   Mutex.lock t.mu;
   if Queue.is_empty t.keys then Metric.Counter.incr t.tel.c_waits;
@@ -329,11 +320,6 @@ let step t ~now =
   (match due with [] -> () | _ :: _ -> Metric.Counter.incr ~by:(List.length due) t.tel.c_reann);
   due
 
-(* --- deprecated pre-Control_plane entry points --- *)
-
-let handle_ack t a = deliver_ack t a
-let handle_request t r = deliver_request t r
-let due_reannouncements t = step t ~now:(Tel.now t.tel.bundle)
 let unacked_announcements t = locked t (fun () -> Announce.pending t.announce)
 
 let store t = t.keystate

@@ -54,21 +54,6 @@ val create :
     background domain never slows the foreground signer; snapshots merge
     both. *)
 
-val create_legacy :
-  Config.t ->
-  id:int ->
-  eddsa:Dsig_ed25519.Eddsa.secret_key ->
-  seed:int64 ->
-  ?telemetry:Dsig_telemetry.Telemetry.t ->
-  ?retry:Dsig_util.Retry.policy ->
-  ?retain:int ->
-  unit ->
-  t
-[@@ocaml.deprecated "use Runtime.create with ?options (Options.t)"]
-(** Pre-Options constructor, kept one release: builds an {!Options.t}
-    from the scattered arguments and calls {!create}. An explicit
-    [retry] selects fixed pacing, as before. *)
-
 val sign : t -> string -> string
 (** Foreground-plane signing; thread-safe for a single foreground
     caller. Blocks (briefly, after warm-up never) when no key is ready.
@@ -120,18 +105,6 @@ val step : t -> now:float -> (int * Batch.announcement) list
 (** Re-announcements due at [now] (in the telemetry clock's time base);
     consuming the list advances each destination's backoff/RTO. Under
     adaptive pacing the list is bounded by the token bucket. *)
-
-(** {2 Deprecated pre-[Control_plane] entry points} *)
-
-val handle_ack : t -> Batch.ack -> unit
-[@@ocaml.deprecated "use Runtime.deliver_ack"]
-
-val handle_request : t -> Batch.request -> Batch.announcement option
-[@@ocaml.deprecated "use Runtime.deliver_request"]
-
-val due_reannouncements : t -> (int * Batch.announcement) list
-[@@ocaml.deprecated "use Runtime.step ~now"]
-(** {!step} at the telemetry clock's current time. *)
 
 val unacked_announcements : t -> int
 

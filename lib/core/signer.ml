@@ -20,6 +20,16 @@ type prepared = {
 
 type group = { members : int list (* sorted *); queue : prepared Queue.t }
 
+(* A pre-generated next-generation batch awaiting cutover (key
+   lifecycle plane): sealed and announced, but not yet serving keys. *)
+type staged = {
+  s_epoch : int;
+  s_batch_id : int64;
+  s_keys : prepared Queue.t;
+  s_size : int;
+  s_staged_at_us : float;
+}
+
 type stats = {
   mutable signatures : int;
   mutable batches : int;
@@ -40,12 +50,17 @@ type tel = {
   c_requests : Metric.Counter.t;
   c_giveups : Metric.Counter.t;
   c_redundant : Metric.Counter.t;
+  c_rot_staged : Metric.Counter.t;
+  c_rot_cutovers : Metric.Counter.t;
+  c_rot_dropped_keys : Metric.Counter.t;
   h_sign : Metric.Histogram.t;
   h_refill : Metric.Histogram.t;
+  h_cutover : Metric.Histogram.t;
   g_queue : Metric.Gauge.t;
   g_unacked : Metric.Gauge.t;
   g_rtt : Metric.Gauge.t;
   g_rto : Metric.Gauge.t;
+  g_epoch : Metric.Gauge.t;
   (* exporters have no label dimension, so per-destination series are
      name-suffixed (dsig_rtt_us_dest_<id>) and resolved lazily *)
   dest_gauges : (int, Metric.Gauge.t * Metric.Gauge.t) Hashtbl.t;
@@ -58,6 +73,8 @@ type t = {
   rng : Rng.t;
   groups : group list; (* default group last, so smaller matches win *)
   mutable batch_counter : int64;
+  mutable epoch : int; (* confirmed rotation epoch *)
+  mutable staged : staged option; (* pre-generated batch awaiting cutover *)
   send : dest:int -> Batch.announcement -> unit;
   outbox : (int * Batch.announcement) Queue.t;
   announce : Announce.t; (* ACK tracking + re-announce + request repair *)
@@ -114,6 +131,8 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
        used — the report already includes the crash gap *)
     batch_counter =
       (match store_report with Some r -> r.Keystate.next_batch_id | None -> 0L);
+    epoch = (match store_report with Some r -> r.Keystate.epoch | None -> 0);
+    staged = None;
     send;
     outbox;
     announce =
@@ -139,25 +158,20 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
         c_requests = Tel.counter telemetry "dsig_signer_batch_requests_total";
         c_giveups = Tel.counter telemetry "dsig_signer_announce_giveups_total";
         c_redundant = Tel.counter telemetry "dsig_reannounce_redundant_total";
+        c_rot_staged = Tel.counter telemetry "dsig_rotation_staged_total";
+        c_rot_cutovers = Tel.counter telemetry "dsig_rotation_cutovers_total";
+        c_rot_dropped_keys = Tel.counter telemetry "dsig_rotation_dropped_keys_total";
         h_sign = Tel.histogram telemetry "dsig_signer_sign_us";
         h_refill = Tel.histogram telemetry "dsig_signer_refill_us";
+        h_cutover = Tel.histogram telemetry "dsig_rotation_cutover_us";
         g_queue = Tel.gauge telemetry "dsig_signer_queue_depth";
         g_unacked = Tel.gauge telemetry "dsig_signer_unacked_announcements";
         g_rtt = Tel.gauge telemetry "dsig_rtt_us";
         g_rto = Tel.gauge telemetry "dsig_rto_us";
+        g_epoch = Tel.gauge telemetry "dsig_rotation_epoch";
         dest_gauges = Hashtbl.create 8;
       };
   }
-
-let create_legacy cfg ~id ~eddsa ~rng ?send ?groups ?(telemetry = Tel.default) ?retry
-    ?(retain = 64) ~verifiers () =
-  let options =
-    Options.default |> Options.with_telemetry telemetry |> Options.with_retain retain
-  in
-  let options =
-    match retry with Some r -> Options.with_retry r options | None -> options
-  in
-  create cfg ~id ~eddsa ~rng ?send ?groups ~options ~verifiers ()
 
 let id t = t.id
 let config t = t.cfg
@@ -227,9 +241,118 @@ let refill t group =
   Metric.Histogram.add t.tel.h_refill (t1 -. t0);
   Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Batch_gen Tracer.End t1
 
+let default_group t = List.nth t.groups (List.length t.groups - 1)
+
+(* --- zero-downtime rotation (key lifecycle plane) ---
+
+   [stage_next_batch] pre-generates the next-generation batch off the
+   critical path — journaling the propose record {e before} the seal so
+   a crash at any point recovers to exactly one live generation — and
+   announces its root over the ordinary announcement/ACK plane while
+   the current batch keeps serving. [cutover] then atomically swaps:
+   journal the confirm record, drop the dying batches' pending
+   re-announcements, discard their queued keys, and start serving the
+   staged generation. *)
+
+let stage_next_batch t =
+  if t.staged <> None then invalid_arg "Signer.stage_next_batch: rotation already staged";
+  let t0 = Tel.now t.tel.bundle in
+  let epoch = t.epoch + 1 in
+  let batch_id = t.batch_counter in
+  t.batch_counter <- Int64.add t.batch_counter 1L;
+  Option.iter (fun ks -> Keystate.propose_rotation ks ~epoch ~batch_id) t.keystate;
+  let batch =
+    Batch.make ~telemetry:t.tel.bundle ?pool:t.pool t.cfg ~signer_id:t.id ~batch_id
+      ~eddsa:t.eddsa ~rng:t.rng
+  in
+  Option.iter (fun ks -> Keystate.seal ks ~batch_id ~size:(Batch.size batch)) t.keystate;
+  t.stats.batches <- t.stats.batches + 1;
+  Metric.Counter.incr t.tel.c_batches;
+  let ann = Batch.announcement t.cfg batch in
+  let group = default_group t in
+  let dests = List.filter (fun dest -> dest <> t.id) group.members in
+  if dests <> [] then Announce.track t.announce ann ~dests;
+  List.iter (fun dest -> t.send ~dest ann) dests;
+  if dests <> [] then
+    Metric.Gauge.set t.tel.g_unacked (float_of_int (Announce.pending t.announce));
+  let keys = Queue.create () in
+  for i = 0 to Batch.size batch - 1 do
+    Queue.add
+      {
+        key = Batch.key batch i;
+        batch_id;
+        proof = Batch.proof batch i;
+        root_sig = Batch.root_signature batch;
+      }
+      keys
+  done;
+  t.staged <-
+    Some
+      { s_epoch = epoch; s_batch_id = batch_id; s_keys = keys; s_size = Batch.size batch;
+        s_staged_at_us = t0 };
+  Metric.Counter.incr t.tel.c_rot_staged;
+  Log.L.info (fun m ->
+      m "signer %d: staged rotation epoch %d (batch %Ld, %d keys)" t.id epoch batch_id
+        (Batch.size batch));
+  (epoch, batch_id)
+
+let staged_rotation t = Option.map (fun s -> (s.s_epoch, s.s_batch_id)) t.staged
+
+let staged_unacked t =
+  match t.staged with
+  | None -> None
+  | Some s -> (
+      match Announce.pending_for t.announce ~batch_id:s.s_batch_id with
+      | Some n -> Some n
+      | None -> Some 0)
+
+let cutover t =
+  match t.staged with
+  | None -> invalid_arg "Signer.cutover: no staged rotation"
+  | Some s ->
+      let t0 = Tel.now t.tel.bundle in
+      Option.iter
+        (fun ks -> Keystate.confirm_rotation ks ~epoch:s.s_epoch ~batch_id:s.s_batch_id)
+        t.keystate;
+      (* the dying generation stops re-announcing and its queued keys
+         are discarded — they can never sign under the new epoch *)
+      ignore (Announce.drop_before t.announce ~batch_id:s.s_batch_id);
+      let discarded = ref 0 in
+      List.iter
+        (fun g ->
+          discarded := !discarded + Queue.length g.queue;
+          Queue.clear g.queue)
+        t.groups;
+      if !discarded > 0 then begin
+        Metric.Counter.incr ~by:!discarded t.tel.c_rot_dropped_keys;
+        Metric.Gauge.add t.tel.g_queue (float_of_int (- !discarded))
+      end;
+      let group = default_group t in
+      Queue.transfer s.s_keys group.queue;
+      Metric.Gauge.add t.tel.g_queue (float_of_int s.s_size);
+      t.epoch <- s.s_epoch;
+      t.staged <- None;
+      Metric.Gauge.set t.tel.g_unacked (float_of_int (Announce.pending t.announce));
+      Metric.Counter.incr t.tel.c_rot_cutovers;
+      Metric.Gauge.set t.tel.g_epoch (float_of_int t.epoch);
+      let t1 = Tel.now t.tel.bundle in
+      Metric.Histogram.add t.tel.h_cutover (t1 -. t0);
+      Log.L.info (fun m ->
+          m "signer %d: rotation cutover to epoch %d (batch %Ld, %d stale keys dropped)" t.id
+            t.epoch s.s_batch_id !discarded);
+      t.epoch
+
+let epoch t = t.epoch
+
 let background_step t =
   match
-    List.find_opt (fun g -> Queue.length g.queue < t.cfg.Config.queue_threshold) t.groups
+    List.find_opt
+      (fun g ->
+        Queue.length g.queue < t.cfg.Config.queue_threshold
+        (* a staged rotation suppresses refills of the dying default
+           generation: cutover is imminent and would discard them *)
+        && not (t.staged <> None && g == default_group t))
+      t.groups
   with
   | None -> false
   | Some g ->
@@ -307,11 +430,17 @@ let sign_impl t ?hint msg =
   let group = select_group t hint in
   let synced = Queue.is_empty group.queue in
   if synced then begin
-    t.stats.sync_refills <- t.stats.sync_refills + 1;
-    Metric.Counter.incr t.tel.c_sync;
-    Log.L.warn (fun m ->
-        m "signer %d: key queue empty, refilling on the critical path" t.id);
-    refill t group
+    (* a drained default queue with a staged rotation cuts over instead
+       of refilling the dying generation — signing never blocks on
+       rotation for longer than the cutover itself *)
+    if t.staged <> None && group == default_group t then ignore (cutover t)
+    else begin
+      t.stats.sync_refills <- t.stats.sync_refills + 1;
+      Metric.Counter.incr t.tel.c_sync;
+      Log.L.warn (fun m ->
+          m "signer %d: key queue empty, refilling on the critical path" t.id);
+      refill t group
+    end
   end;
   let prepared = Queue.pop group.queue in
   let key_index = prepared.proof.Merkle.index in
@@ -364,6 +493,8 @@ let sign_many t ?hint msgs =
   match t.pool with
   | Some pool when n > 1 && Domain_pool.size pool > 1 ->
       let group = select_group t hint in
+      if t.staged <> None && Queue.length group.queue < n && group == default_group t then
+        ignore (cutover t);
       while Queue.length group.queue < n do
         t.stats.sync_refills <- t.stats.sync_refills + 1;
         Metric.Counter.incr t.tel.c_sync;
@@ -494,29 +625,5 @@ let step t ~now =
       Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Reannounce Tracer.Begin t0;
       Tracer.record_at t.tel.bundle.Tel.tracer ~tag:t.id Tracer.Reannounce Tracer.End t1);
   due
-
-(* --- deprecated pre-Control_plane entry points --- *)
-
-let handle_ack t a = deliver_ack t a
-
-let handle_request t (r : Batch.request) =
-  match deliver_request t r with
-  | None -> false
-  | Some ann ->
-      t.send ~dest:r.Batch.req_verifier ann;
-      true
-
-let handle_control t = function
-  | Batch.Ack a -> deliver_ack t a
-  | Batch.Acks l -> List.iter (deliver_ack t) l
-  | Batch.Request r -> (
-      match deliver_request t r with
-      | None -> ()
-      | Some ann -> t.send ~dest:r.Batch.req_verifier ann)
-
-let reannounce_step t =
-  let due = step t ~now:(Tel.now t.tel.bundle) in
-  List.iter (fun (dest, ann) -> t.send ~dest ann) due;
-  List.length due
 
 let unacked_announcements t = Announce.pending t.announce

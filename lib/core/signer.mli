@@ -29,11 +29,10 @@ val create :
   t
 (** [verifiers] is the set of all known processes (the default group).
     [groups] adds application-specific verifier groups (Alg. 1 line 2).
-    [send] delivers background announcements and pull-repair replies
-    issued through the deprecated [handle_*] entry points; it defaults
-    to a no-op (useful when announcements are collected via
-    {!drain_outbox}). The {!Control_plane.S} surface never sends — it
-    returns what to send.
+    [send] delivers background announcements (batch refills and staged
+    rotations); it defaults to a no-op (useful when announcements are
+    collected via {!drain_outbox}). The {!Control_plane.S} surface
+    never sends — it returns what to send.
 
     [options] (default {!Options.default}) supplies the telemetry
     bundle, the fixed-mode re-announce policy, the retention bound, and
@@ -61,27 +60,13 @@ val create :
     per-destination [.._dest_<id>] series), [dsig_signer_sign_us] and
     [dsig_signer_refill_us] latency histograms, the process-wide
     [dsig_signer_queue_depth] gauge (prepared keys across all groups and
-    signers sharing the handle), and — when the tracer is enabled —
-    [sign_fast] / [sign_sync_refill] / [batch_gen] / [eddsa_sign] /
-    [reannounce] spans tagged with the signer id. *)
-
-val create_legacy :
-  Config.t ->
-  id:int ->
-  eddsa:Dsig_ed25519.Eddsa.secret_key ->
-  rng:Dsig_util.Rng.t ->
-  ?send:(dest:int -> Batch.announcement -> unit) ->
-  ?groups:int list list ->
-  ?telemetry:Dsig_telemetry.Telemetry.t ->
-  ?retry:Dsig_util.Retry.policy ->
-  ?retain:int ->
-  verifiers:int list ->
-  unit ->
-  t
-[@@ocaml.deprecated "use Signer.create with ?options (Options.t)"]
-(** Pre-Options constructor, kept one release: builds an {!Options.t}
-    from the scattered arguments and calls {!create}. An explicit
-    [retry] selects fixed pacing, as before. *)
+    signers sharing the handle), the key-lifecycle series
+    ([dsig_rotation_staged_total] / [dsig_rotation_cutovers_total] /
+    [dsig_rotation_dropped_keys_total] counters, the
+    [dsig_rotation_cutover_us] histogram and the [dsig_rotation_epoch]
+    gauge), and — when the tracer is enabled — [sign_fast] /
+    [sign_sync_refill] / [batch_gen] / [eddsa_sign] / [reannounce]
+    spans tagged with the signer id. *)
 
 val id : t -> int
 val config : t -> Config.t
@@ -139,6 +124,45 @@ val background_fill : t -> unit
 val queue_length : t -> int list -> int
 (** Prepared keys available for the group matching the given hint. *)
 
+(** {1 Zero-downtime rotation (key lifecycle plane)}
+
+    Rotation pre-generates the next-generation batch while the current
+    one keeps serving, then cuts over atomically. The protocol is
+    propose -> confirm, journaled in the {!Dsig_store.Keystate} store
+    when one is configured: a crash at any point between
+    {!stage_next_batch} and {!cutover} recovers by retiring the staged
+    batch, so exactly one generation is ever live and no one-time key
+    is reused. A coordinator ({!Dsig_keylife.Rotation}) typically
+    drives the pair; both entry points are also safe to call directly.
+    Rotation targets the default group — with extra groups configured,
+    cutover discards {e every} group's queued keys (the whole old
+    generation retires). *)
+
+val stage_next_batch : t -> int * int64
+(** Generate, journal (propose, then seal) and announce the
+    next-generation batch without serving from it. Returns
+    [(epoch, batch_id)] of the staged generation.
+    @raise Invalid_argument if a rotation is already staged. *)
+
+val staged_rotation : t -> (int * int64) option
+(** The staged [(epoch, batch_id)], if a rotation is in flight. *)
+
+val staged_unacked : t -> int option
+(** Destinations that have not yet acknowledged the staged batch's
+    announcement; [None] when no rotation is staged. *)
+
+val cutover : t -> int
+(** Atomically cut over to the staged generation: journal (and sync)
+    the confirm record, stop re-announcing the dying batches
+    ({!Announce.drop}), discard their queued keys, and start serving
+    the staged keys. Returns the new epoch. The signer also cuts over
+    implicitly if the default queue drains while a rotation is staged,
+    so signing availability never waits on the coordinator.
+    @raise Invalid_argument if no rotation is staged. *)
+
+val epoch : t -> int
+(** The confirmed rotation epoch (0 until the first cutover). *)
+
 type stats = {
   mutable signatures : int;
   mutable batches : int;
@@ -182,24 +206,6 @@ val step : t -> now:float -> (int * Batch.announcement) list
     [dsig_signer_reannounces_total], and abandons destinations that
     exhaust the budget ([dsig_signer_announce_giveups_total]). Under
     adaptive pacing the list is bounded by the token bucket. *)
-
-(** {2 Deprecated pre-[Control_plane] entry points} *)
-
-val handle_ack : t -> Batch.ack -> unit
-[@@ocaml.deprecated "use Signer.deliver_ack"]
-
-val handle_request : t -> Batch.request -> bool
-[@@ocaml.deprecated "use Signer.deliver_request (caller sends the reply)"]
-(** Like {!deliver_request} but sends through the [send] callback;
-    [true] if a reply was sent. *)
-
-val handle_control : t -> Batch.control -> unit
-[@@ocaml.deprecated "use Control_plane.deliver"]
-
-val reannounce_step : t -> int
-[@@ocaml.deprecated "use Signer.step ~now (caller sends the pairs)"]
-(** Like {!step} at the telemetry clock's current time, but sends
-    through the [send] callback; returns the number of re-sends. *)
 
 val unacked_announcements : t -> int
 (** Outstanding (batch, destination) pairs still awaiting an ACK. *)

@@ -9,7 +9,7 @@ let create ?(groups = fun _ -> []) ?(seed = 7L) ?(auto_background = true) ?optio
   let pki = Pki.create () in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
-  Array.iteri (fun id (_, pk) -> Pki.register pki ~id pk) keys;
+  Array.iteri (fun id (_, pk) -> Pki.bind pki ~id ~epoch:0 pk) keys;
   let parties_ref = ref [||] in
   let send ~dest ann =
     let parties = !parties_ref in

@@ -172,15 +172,6 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
     tels = Hashtbl.create 4;
   }
 
-let create_legacy cfg ~id ~pki ?(telemetry = Tel.default) ?control ?request_policy () =
-  let options = Options.default |> Options.with_telemetry telemetry in
-  let options =
-    match request_policy with
-    | Some p -> Options.with_request_policy p options
-    | None -> options
-  in
-  create cfg ~id ~pki ?control ~options ()
-
 let stats t = t.stats
 let with_stats t f = Mutex.protect t.stats_mu (fun () -> f t.stats)
 
@@ -240,6 +231,53 @@ let lookup_batch t ~signer ~batch_id =
       match Hashtbl.find_opt t.cache signer with
       | None -> None
       | Some c -> Hashtbl.find_opt c.batches batch_id)
+
+(* Revocation enforcement: drop a signer's cached roots so a stolen
+   announcement admitted before the revocation arrived cannot keep
+   serving the fast path. With [from_batch] only batches at or past the
+   boundary go; without it the whole signer cache is purged. *)
+let purge_signer ?from_batch t ~signer =
+  let purged =
+    Mutex.protect t.cache_mu (fun () ->
+        match Hashtbl.find_opt t.cache signer with
+        | None -> 0
+        | Some c -> (
+            match from_batch with
+            | None ->
+                let n = Hashtbl.length c.batches in
+                Hashtbl.remove t.cache signer;
+                n
+            | Some boundary ->
+                let victims =
+                  Hashtbl.fold
+                    (fun id _ acc -> if Int64.compare id boundary >= 0 then id :: acc else acc)
+                    c.batches []
+                in
+                List.iter (Hashtbl.remove c.batches) victims;
+                (* rebuild the eviction order without the victims so FIFO
+                   accounting stays consistent with the table *)
+                let keep = Queue.create () in
+                Queue.iter (fun id -> if Hashtbl.mem c.batches id then Queue.add id keep) c.order;
+                Queue.clear c.order;
+                Queue.transfer keep c.order;
+                List.length victims))
+  in
+  (* stop pacing pull requests for anything we just dropped: the signer
+     is revoked, repair would only re-admit what we purged *)
+  Mutex.protect t.ctl_mu (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun ((s, b) as key) _ acc ->
+            let gone =
+              s = signer
+              && match from_batch with None -> true | Some bd -> Int64.compare b bd >= 0
+            in
+            if gone then key :: acc else acc)
+          t.requested []
+      in
+      List.iter (Hashtbl.remove t.requested) stale);
+  if purged > 0 then Metric.Gauge.add (tel t).g_cached (float_of_int (-purged));
+  purged
 
 (* EdDSA verification with the bulk-verification cache of §4.4: a hit
    replaces a full verification by a 32-byte table lookup. The expensive
@@ -455,7 +493,7 @@ let deliver ?sent_us t (ann : Batch.announcement) =
   (match sent_us with
   | Some s -> observe_announce_latency t ~sent_us:s ~now:(now t)
   | None -> ());
-  match Pki.lookup t.pki ann.Batch.signer_id with
+  match Pki.allowed t.pki ~id:ann.Batch.signer_id ~batch:ann.Batch.ann_batch_id with
   | None ->
       Log.L.warn (fun m ->
           m "verifier %d: dropping announcement from unknown/revoked signer %d" t.id
@@ -493,7 +531,7 @@ let deliver_many t anns =
   let entries =
     List.filter_map
       (fun ann ->
-        match Pki.lookup t.pki ann.Batch.signer_id with
+        match Pki.allowed t.pki ~id:ann.Batch.signer_id ~batch:ann.Batch.ann_batch_id with
         | None -> None
         | Some pk ->
             let root, msg = announcement_root ann in
@@ -860,7 +898,7 @@ let classify t ~msg wire_bytes =
   | Error _ -> (Rejected, None, false)
   | Ok w -> (
       let ids = Some (w.Wire.signer_id, w.Wire.batch_id, Wire.key_index w) in
-      match Pki.lookup t.pki w.Wire.signer_id with
+      match Pki.allowed t.pki ~id:w.Wire.signer_id ~batch:w.Wire.batch_id with
       | None -> (Rejected, ids, false)
       | Some signer_pk -> (
           match merklified_fast_path t w msg with

@@ -53,19 +53,6 @@ val create :
     tracer is enabled — [verify_fast] / [verify_slow] /
     [announce_delivery] spans tagged with the verifier id. *)
 
-val create_legacy :
-  Config.t ->
-  id:int ->
-  pki:Pki.t ->
-  ?telemetry:Dsig_telemetry.Telemetry.t ->
-  ?control:(Batch.control -> unit) ->
-  ?request_policy:Dsig_util.Retry.policy ->
-  unit ->
-  t
-[@@ocaml.deprecated "use Verifier.create with ?options (Options.t)"]
-(** Pre-Options constructor, kept one release: builds an {!Options.t}
-    from the scattered arguments and calls {!create}. *)
-
 val deliver : ?sent_us:float -> t -> Batch.announcement -> bool
 (** Process a background announcement; [false] if the signer is unknown
     or the EdDSA root signature is invalid (the announcement is then
@@ -137,6 +124,16 @@ val stats : t -> stats
 
 val cached_batches : t -> signer:int -> int
 (** Number of batches currently cached for a signer (tests). *)
+
+val purge_signer : ?from_batch:int64 -> t -> signer:int -> int
+(** Revocation enforcement hook: drop the signer's cached batch roots —
+    all of them, or only ids [>= from_batch] when the revocation carries
+    a batch boundary — and forget any pull-repair pacing state for the
+    purged batches, so an announcement admitted before the revocation
+    arrived cannot keep serving the fast path. Returns the number of
+    batches purged. The {!Pki} gate ({!Pki.allowed}) makes fresh
+    announcements and slow-path verifications fail independently; this
+    only evicts what was already cached. *)
 
 (** {1 ACK batching}
 

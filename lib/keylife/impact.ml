@@ -1,0 +1,102 @@
+module Translog = Dsig_translog.Translog
+module Checkpoint = Dsig_translog.Checkpoint
+module Wire = Dsig.Wire
+
+type report = {
+  imp_signer : int;
+  imp_from_batch : int64 option;
+  imp_until_batch : int64 option;
+  imp_log_entries : int;
+  imp_affected : int;
+  imp_batches : (int64 * int) list;
+  imp_first_index : int option;
+  imp_last_index : int option;
+  imp_undecodable : int;
+  imp_checkpointed : int;
+  imp_checkpoint_size : int;
+}
+
+let in_window ~from_batch ~until_batch batch =
+  (match from_batch with None -> true | Some lo -> Int64.compare batch lo >= 0)
+  && match until_batch with None -> true | Some hi -> Int64.compare batch hi < 0
+
+let analyze ~log ~signer ?from_batch ?until_batch ?(checkpoint_size = 0) () =
+  let n = Translog.size log in
+  let ckpt_size =
+    match Translog.latest_checkpoint log with
+    | Some cp -> Stdlib.max checkpoint_size cp.Checkpoint.tree_size
+    | None -> checkpoint_size
+  in
+  let affected = ref 0 in
+  let undecodable = ref 0 in
+  let checkpointed = ref 0 in
+  let first = ref None in
+  let last = ref None in
+  let batches = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    match Translog.entry log i with
+    | None -> ()
+    | Some e when e.Translog.signer = signer ->
+        (* the wire header carries (signer, batch): that is what decides
+           whether this signature falls inside the compromise window.
+           Headers that fail to parse are counted as affected — the
+           bound must be conservative. *)
+        let hit =
+          match Wire.peek_header e.Translog.signature with
+          | Some (_, batch) ->
+              if in_window ~from_batch ~until_batch batch then begin
+                Hashtbl.replace batches batch
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt batches batch));
+                true
+              end
+              else false
+          | None ->
+              incr undecodable;
+              true
+        in
+        if hit then begin
+          incr affected;
+          if i < ckpt_size then incr checkpointed;
+          if !first = None then first := Some i;
+          last := Some i
+        end
+    | Some _ -> ()
+  done;
+  {
+    imp_signer = signer;
+    imp_from_batch = from_batch;
+    imp_until_batch = until_batch;
+    imp_log_entries = n;
+    imp_affected = !affected;
+    imp_batches =
+      List.sort
+        (fun (a, _) (b, _) -> Int64.compare a b)
+        (Hashtbl.fold (fun b c acc -> (b, c) :: acc) batches []);
+    imp_first_index = !first;
+    imp_last_index = !last;
+    imp_undecodable = !undecodable;
+    imp_checkpointed = !checkpointed;
+    imp_checkpoint_size = ckpt_size;
+  }
+
+let pp ppf r =
+  let window =
+    match (r.imp_from_batch, r.imp_until_batch) with
+    | None, None -> "all batches"
+    | Some lo, None -> Printf.sprintf "batches >= %Ld" lo
+    | None, Some hi -> Printf.sprintf "batches < %Ld" hi
+    | Some lo, Some hi -> Printf.sprintf "batches [%Ld, %Ld)" lo hi
+  in
+  Format.fprintf ppf "signer %d, %s: %d of %d logged signatures affected@." r.imp_signer
+    window r.imp_affected r.imp_log_entries;
+  (match (r.imp_first_index, r.imp_last_index) with
+  | Some a, Some b -> Format.fprintf ppf "  log index range: [%d, %d]@." a b
+  | _ -> ());
+  if r.imp_undecodable > 0 then
+    Format.fprintf ppf "  %d undecodable wire headers (counted as affected)@."
+      r.imp_undecodable;
+  Format.fprintf ppf "  checkpoint coverage: %d/%d under the latest head (tree size %d)@."
+    r.imp_checkpointed r.imp_affected r.imp_checkpoint_size;
+  List.iter
+    (fun (b, c) -> Format.fprintf ppf "  batch %Ld: %d signature%s@." b c (if c = 1 then "" else "s"))
+    r.imp_batches

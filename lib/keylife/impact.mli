@@ -1,0 +1,51 @@
+(** Compromise containment: bound what a stolen key could have signed.
+
+    Walks the transparency log — the append-only record of every
+    signature the deployment issued — selecting entries attributed to
+    the compromised signer whose wire header falls inside the suspected
+    batch window, and reports the affected set together with how much of
+    it is already covered by a published checkpoint (and is therefore
+    provable to third parties via inclusion proofs).
+
+    The bound is conservative: log entries whose signature bytes no
+    longer parse still count as affected. *)
+
+type report = {
+  imp_signer : int;
+  imp_from_batch : int64 option;  (** window start (inclusive), if any *)
+  imp_until_batch : int64 option;  (** window end (exclusive), if any *)
+  imp_log_entries : int;  (** total entries walked *)
+  imp_affected : int;  (** entries inside the compromise window *)
+  imp_batches : (int64 * int) list;
+      (** affected signatures per batch id, ascending *)
+  imp_first_index : int option;  (** first affected log index *)
+  imp_last_index : int option;  (** last affected log index *)
+  imp_undecodable : int;
+      (** affected entries whose wire header failed to parse *)
+  imp_checkpointed : int;
+      (** affected entries below the latest checkpoint's tree size *)
+  imp_checkpoint_size : int;  (** latest checkpoint tree size; 0 = none *)
+}
+
+val analyze :
+  log:Dsig_translog.Translog.t ->
+  signer:int ->
+  ?from_batch:int64 ->
+  ?until_batch:int64 ->
+  ?checkpoint_size:int ->
+  unit ->
+  report
+(** Walk the whole log once. [from_batch]/[until_batch] bound the
+    compromise window ([from_batch] inclusive, [until_batch] exclusive
+    — batch ids come from the signature wire headers); with neither,
+    every signature by [signer] is affected (total compromise).
+
+    [checkpoint_size] (default 0) is a floor on the coverage horizon
+    for logs opened read-only: {!Dsig_translog.Translog.latest_checkpoint}
+    only knows checkpoints published by {e this} process, so offline
+    analyzers pass the recovered anchor size — the anchor is persisted
+    at checkpoint time, so everything under it was attested by some
+    published head. The larger of the two is used. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable rendering (the [dsig_cli impact] output). *)

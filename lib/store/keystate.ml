@@ -10,6 +10,8 @@ type record =
   | Batch_retired of int64
   | Checkpoint of int64
   | Clean_shutdown of int64
+  | Rotation_proposed of { epoch : int; batch_id : int64 }
+  | Rotation_confirmed of { epoch : int; batch_id : int64 }
 
 let encode_record = function
   | Key_reserved { batch_id; key_index } ->
@@ -19,6 +21,10 @@ let encode_record = function
   | Batch_retired batch_id -> BU.concat [ "\003"; BU.u64_le batch_id ]
   | Checkpoint seq -> BU.concat [ "\004"; BU.u64_le seq ]
   | Clean_shutdown next_batch_id -> BU.concat [ "\005"; BU.u64_le next_batch_id ]
+  | Rotation_proposed { epoch; batch_id } ->
+      BU.concat [ "\006"; BU.u64_le batch_id; BU.u32_le (Int32.of_int epoch) ]
+  | Rotation_confirmed { epoch; batch_id } ->
+      BU.concat [ "\007"; BU.u64_le batch_id; BU.u32_le (Int32.of_int epoch) ]
 
 let decode_record data =
   let len = String.length data in
@@ -40,6 +46,16 @@ let decode_record data =
     | '\003' -> need 8 (fun () -> Ok (Batch_retired (BU.get_u64_le data 1)))
     | '\004' -> need 8 (fun () -> Ok (Checkpoint (BU.get_u64_le data 1)))
     | '\005' -> need 8 (fun () -> Ok (Clean_shutdown (BU.get_u64_le data 1)))
+    | '\006' ->
+        need 12 (fun () ->
+            let epoch = Int32.to_int (BU.get_u32_le data 9) in
+            if epoch < 0 then bad "negative epoch"
+            else Ok (Rotation_proposed { epoch; batch_id = BU.get_u64_le data 1 }))
+    | '\007' ->
+        need 12 (fun () ->
+            let epoch = Int32.to_int (BU.get_u32_le data 9) in
+            if epoch < 0 then bad "negative epoch"
+            else Ok (Rotation_confirmed { epoch; batch_id = BU.get_u64_le data 1 }))
     | c -> bad (Printf.sprintf "unknown tag %d" (Char.code c))
 
 (* {1 Configuration} *)
@@ -85,10 +101,20 @@ type state = {
   mutable next : int64;
   mutable last_reserved : int64 option; (* batch of the newest reserve *)
   mutable clean : bool; (* last replayed record was a clean marker *)
+  mutable epoch : int; (* confirmed rotation epoch *)
+  mutable pending : (int * int64) option; (* proposed, unconfirmed rotation *)
 }
 
 let fresh_state () =
-  { table = Hashtbl.create 17; seal_order = []; next = 0L; last_reserved = None; clean = false }
+  {
+    table = Hashtbl.create 17;
+    seal_order = [];
+    next = 0L;
+    last_reserved = None;
+    clean = false;
+    epoch = 0;
+    pending = None;
+  }
 
 let state_of_snapshot (snap : Snapshot.t) =
   let st = fresh_state () in
@@ -99,6 +125,8 @@ let state_of_snapshot (snap : Snapshot.t) =
       st.seal_order <- b.id :: st.seal_order)
     snap.batches;
   st.next <- snap.next_batch_id;
+  st.epoch <- snap.epoch;
+  st.pending <- snap.pending_rotation;
   st
 
 let max_i64 a b = if Int64.compare a b >= 0 then a else b
@@ -134,6 +162,20 @@ let apply st = function
   | Clean_shutdown next_batch_id ->
       st.next <- max_i64 st.next next_batch_id;
       st.clean <- true
+  | Rotation_proposed { epoch; batch_id } ->
+      st.pending <- Some (epoch, batch_id);
+      st.next <- max_i64 st.next (Int64.add batch_id 1L);
+      st.clean <- false
+  | Rotation_confirmed { epoch; batch_id } ->
+      (* the cutover is one atomic record: everything sealed before the
+         staged batch retires with it *)
+      Hashtbl.iter
+        (fun id b -> if Int64.compare id batch_id < 0 then b.b_retired <- true)
+        st.table;
+      if epoch > st.epoch then st.epoch <- epoch;
+      st.pending <- None;
+      st.next <- max_i64 st.next (Int64.add batch_id 1L);
+      st.clean <- false
 
 let live_batches st =
   List.rev st.seal_order
@@ -208,6 +250,8 @@ type report = {
   burned : (int64 * int * int) list;
   resume : (int64 * int) list;
   next_batch_id : int64;
+  epoch : int;
+  rotation_rolled_back : (int * int64) option;
 }
 
 let first_safe_index report ~batch_id =
@@ -220,6 +264,7 @@ type tel = {
   c_burned : Metric.Counter.t;
   c_torn : Metric.Counter.t;
   c_snapshots : Metric.Counter.t;
+  c_rollbacks : Metric.Counter.t;
   g_segments : Metric.Gauge.t;
   bundle : Tel.t;
 }
@@ -254,6 +299,8 @@ let save_snapshot t ~covered =
       seq = covered;
       next_batch_id = t.st.next;
       batches = snapshot_batches t.st;
+      epoch = t.st.epoch;
+      pending_rotation = t.st.pending;
     };
   Metric.Counter.incr t.tel.c_snapshots
 
@@ -280,6 +327,7 @@ let open_ ?(telemetry = Tel.default) ?fingerprint cfg =
       c_burned = Tel.counter telemetry "dsig_store_burned_keys_total";
       c_torn = Tel.counter telemetry "dsig_store_torn_truncations_total";
       c_snapshots = Tel.counter telemetry "dsig_store_snapshots_total";
+      c_rollbacks = Tel.counter telemetry "dsig_rotation_rollbacks_total";
       g_segments = Tel.gauge telemetry "dsig_store_wal_segments";
       bundle = telemetry;
     }
@@ -338,6 +386,21 @@ let open_ ?(telemetry = Tel.default) ?fingerprint cfg =
         | None ->
             let clean = fresh_store || st.clean in
             let burned = if clean then [] else burn_gap st ~group_commit:cfg.group_commit in
+            (* a proposed-but-unconfirmed rotation never survives the
+               process: the staged batch's key material lived only in
+               memory, so recovery rolls the journal back to exactly one
+               live generation by retiring the staged batch *)
+            let rotation_rolled_back =
+              match st.pending with
+              | None -> None
+              | Some (e, bid) ->
+                  (match Hashtbl.find_opt st.table bid with
+                  | Some b -> b.b_retired <- true
+                  | None -> ());
+                  st.pending <- None;
+                  Metric.Counter.incr tel.c_rollbacks;
+                  Some (e, bid)
+            in
             if not clean then
               (* seals can be lost along with reserves: leave a batch-id
                  gap wide enough to cover every possibly-lost seal *)
@@ -382,6 +445,8 @@ let open_ ?(telemetry = Tel.default) ?fingerprint cfg =
                   burned;
                   resume;
                   next_batch_id = st.next;
+                  epoch = st.epoch;
+                  rotation_rolled_back;
                 } ))
 
 let check_open t what = if t.closed then invalid_arg ("Keystate." ^ what ^ ": store is closed")
@@ -419,6 +484,46 @@ let retire t ~batch_id =
         b.b_retired <- true
       end)
 
+(* {2 Rotation (key lifecycle plane)}
+
+   The cutover protocol is propose -> confirm. [propose_rotation] is
+   journaled before the staged batch's seal, so a crash between the two
+   leaves nothing to roll back; a crash after the seal but before
+   [confirm_rotation] recovers by retiring the staged batch (its key
+   material died with the process) — either way exactly one generation
+   stays live. [confirm_rotation] is a single atomic record whose
+   replay retires every earlier batch. *)
+
+let propose_rotation t ~epoch ~batch_id =
+  locked t (fun () ->
+      check_open t "propose_rotation";
+      if t.st.pending <> None then
+        invalid_arg "Keystate.propose_rotation: a rotation is already pending";
+      if epoch <= t.st.epoch then invalid_arg "Keystate.propose_rotation: epoch must advance";
+      Wal.append t.wal (encode_record (Rotation_proposed { epoch; batch_id }));
+      t.st.pending <- Some (epoch, batch_id);
+      t.st.next <- max_i64 t.st.next (Int64.add batch_id 1L))
+
+let confirm_rotation t ~epoch ~batch_id =
+  locked t (fun () ->
+      check_open t "confirm_rotation";
+      (match t.st.pending with
+      | Some (e, b) when e = epoch && Int64.equal b batch_id -> ()
+      | Some _ | None ->
+          invalid_arg "Keystate.confirm_rotation: no matching proposed rotation");
+      Wal.append t.wal (encode_record (Rotation_confirmed { epoch; batch_id }));
+      (* make the cutover durable now: once confirmed, keys from the
+         staged batch may leave the process immediately *)
+      Wal.sync t.wal;
+      Hashtbl.iter
+        (fun id b -> if Int64.compare id batch_id < 0 then b.b_retired <- true)
+        t.st.table;
+      if epoch > t.st.epoch then t.st.epoch <- epoch;
+      t.st.pending <- None)
+
+let epoch t = locked t (fun () -> t.st.epoch)
+let pending_rotation t = locked t (fun () -> t.st.pending)
+
 let checkpoint t =
   locked t (fun () ->
       check_open t "checkpoint";
@@ -455,6 +560,9 @@ type scan = {
   scan_next_batch_id : int64;
   scan_clean : bool;
   scan_torn : bool;
+  scan_epoch : int;
+  scan_pending_rotation : (int * int64) option;
+  scan_rotations : (int * int64) list;
 }
 
 let scan ~dir =
@@ -466,6 +574,7 @@ let scan ~dir =
         let snap_seq = match snap with Some s -> s.Snapshot.seq | None -> 0L in
         let st = match snap with Some s -> state_of_snapshot s | None -> fresh_state () in
         let error = ref None in
+        let rotations = ref [] in
         let segments =
           List.filter_map
             (fun seq ->
@@ -482,7 +591,12 @@ let scan ~dir =
                           if !error = None then
                             match decode_record payload with
                             | Error e -> error := Some (Printf.sprintf "%s: %s" (seg_name seq) e)
-                            | Ok record -> apply st record)
+                            | Ok record ->
+                                (match record with
+                                | Rotation_confirmed { epoch; batch_id } ->
+                                    rotations := (epoch, batch_id) :: !rotations
+                                | _ -> ());
+                                apply st record)
                         r.Wal.records;
                     Some (seq, r))
             (list_segments dir)
@@ -499,4 +613,7 @@ let scan ~dir =
                 scan_next_batch_id = st.next;
                 scan_clean = st.clean;
                 scan_torn = torn;
+                scan_epoch = st.epoch;
+                scan_pending_rotation = st.pending;
+                scan_rotations = List.rev !rotations;
               })

@@ -33,6 +33,11 @@ type record =
   | Batch_retired of int64  (** batch fully consumed or evicted *)
   | Checkpoint of int64  (** a snapshot covering WAL seq <= the payload *)
   | Clean_shutdown of int64  (** orderly close; payload = next batch id *)
+  | Rotation_proposed of { epoch : int; batch_id : int64 }
+      (** a staged next-generation batch, journaled before its seal *)
+  | Rotation_confirmed of { epoch : int; batch_id : int64 }
+      (** atomic cutover: replay retires every batch older than
+          [batch_id] *)
 
 val encode_record : record -> string
 val decode_record : string -> (record, string) result
@@ -68,6 +73,11 @@ type report = {
   resume : (int64 * int) list;
       (** (batch id, first safe key index) for every live batch *)
   next_batch_id : int64;
+  epoch : int;  (** confirmed rotation epoch *)
+  rotation_rolled_back : (int * int64) option;
+      (** a proposed-but-unconfirmed rotation that recovery resolved by
+          retiring the staged batch (its key material died with the
+          process), leaving exactly one live generation *)
 }
 
 val first_safe_index : report -> batch_id:int64 -> int option
@@ -115,6 +125,28 @@ val seal : t -> batch_id:int64 -> size:int -> unit
 val retire : t -> batch_id:int64 -> unit
 (** Journal that a batch will never sign again (evicted / exhausted). *)
 
+(** {2 Rotation (key lifecycle plane)}
+
+    Zero-downtime rotation journals a propose -> confirm pair around
+    the staged next-generation batch. Propose {e before} sealing the
+    staged batch; a crash at any point before {!confirm_rotation}
+    recovers by retiring the staged batch ([report.rotation_rolled_back]
+    and the [dsig_rotation_rollbacks_total] counter), so exactly one
+    generation is ever live. *)
+
+val propose_rotation : t -> epoch:int -> batch_id:int64 -> unit
+(** Journal that [batch_id] is the staged batch for [epoch].
+    @raise Invalid_argument if a rotation is already pending or [epoch]
+    does not advance the confirmed epoch. *)
+
+val confirm_rotation : t -> epoch:int -> batch_id:int64 -> unit
+(** Atomically cut over: journal (and sync) the confirm record, retire
+    every batch older than [batch_id], and advance the epoch.
+    @raise Invalid_argument without a matching pending propose. *)
+
+val epoch : t -> int
+val pending_rotation : t -> (int * int64) option
+
 val checkpoint : t -> unit
 (** Snapshot the current state (atomic rename), rotate to a fresh WAL
     segment, and prune segments the snapshot covers. *)
@@ -150,6 +182,12 @@ type scan = {
   scan_next_batch_id : int64;
   scan_clean : bool;
   scan_torn : bool;
+  scan_epoch : int;
+  scan_pending_rotation : (int * int64) option;
+  scan_rotations : (int * int64) list;
+      (** confirmed rotation records found in the journal, oldest first —
+          rotations older than the last snapshot are folded away and do
+          not appear *)
 }
 
 val scan : dir:string -> (scan, string) result

@@ -7,13 +7,16 @@
     recovery replays only the segments written after it and older ones
     can be pruned.
 
-    On-disk format: an 8-byte magic ["DSIGSNP1"], a u32 LE CRC-32 of the
+    On-disk format: an 8-byte magic ["DSIGSNP2"], a u32 LE CRC-32 of the
     body, then the body — covered seq (u64), next batch id (u64),
     fingerprint (u32 length + bytes), batch count (u32) and per batch:
     id (u64), size (u32), high-water + 1 (u32, 0 = none reserved),
-    retired flag (u8). Writes go to a temp file, fsync, then a rename —
-    a crash leaves either the old snapshot or the new one, never a
-    mix. *)
+    retired flag (u8); then the key-lifecycle tail — rotation epoch
+    (u32) and a pending-rotation record (u8 flag, then epoch u32 +
+    batch id u64 when set). ["DSIGSNP1"] snapshots (no tail) still
+    decode, at epoch 0 with no pending rotation. Writes go to a temp
+    file, fsync, then a rename — a crash leaves either the old snapshot
+    or the new one, never a mix. *)
 
 type batch = {
   id : int64;
@@ -27,6 +30,10 @@ type t = {
   seq : int64;  (** WAL segments with sequence <= [seq] are covered *)
   next_batch_id : int64;
   batches : batch list;
+  epoch : int;  (** confirmed rotation epoch (0 until the first cutover) *)
+  pending_rotation : (int * int64) option;
+      (** a journaled rotation propose (epoch, staged batch id) that has
+          not been confirmed — recovery rolls it back *)
 }
 
 val filename : string

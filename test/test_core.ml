@@ -50,7 +50,7 @@ let manual_party ?(hbss = Config.wots ~d:4) ~verifiers () =
   let rng = Dsig_util.Rng.create 11L in
   let pki = Pki.create () in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~verifiers () in
   let vs = List.map (fun id -> Verifier.create cfg ~id ~pki ()) verifiers in
   (cfg, signer, vs)

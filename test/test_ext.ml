@@ -29,7 +29,7 @@ let test_revocation () =
   let rng = Dsig_util.Rng.create 3L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:5 pk;
+  Pki.bind pki ~id:5 ~epoch:0 pk;
   Pki.revoke pki 5;
   let signer = Signer.create small_cfg ~id:5 ~eddsa:sk ~rng ~verifiers:[ 6 ] () in
   ignore (Signer.background_step signer);
@@ -330,7 +330,7 @@ let test_cross_runtime_interop () =
   let rng = Dsig_util.Rng.create 77L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let rt = Runtime.create small_cfg ~id:0 ~eddsa:sk ~seed:5L () in
   Fun.protect
     ~finally:(fun () -> Runtime.shutdown rt)

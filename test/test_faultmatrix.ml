@@ -346,6 +346,117 @@ let test_ack_batching_fewer_frames () =
     (Printf.sprintf "no extra re-announces (%d <= %d)" re1 re0)
     true (re1 <= re0)
 
+(* ISSUE 9 satellite: revoke a signer mid-flight while the network drops
+   20% of frames. The revocation record itself rides the same lossy
+   plane, so delivery is completed by an idempotent gossip re-send
+   (replays are detected, never re-applied). Afterwards no verifier
+   accepts a post-revocation signature — fast path (purged roots) or
+   slow path (directory boundary) — while every pre-revocation
+   signature keeps verifying. *)
+let test_revocation_under_faults () =
+  let sim = Sim.create () in
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let options = Options.default |> Options.with_telemetry telemetry in
+  let d = Deploy.create sim cfg ~n:3 ~options ~reannounce_poll_us:100.0 () in
+  Net.set_faults (Deploy.net d) ~drop:0.2 ~reorder:0.2 ~reorder_delay_us:300.0 ~seed:43L ();
+  Sim.run ~until:1_000.0 sim;
+  let pre = ref [] in
+  for i = 1 to 10 do
+    let msg = Printf.sprintf "pre-rev-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    pre := (msg, s) :: !pre;
+    Sim.run ~until:(Sim.now sim +. 150.0) sim
+  done;
+  List.iter
+    (fun (msg, s) ->
+      Alcotest.(check bool) "pre-revocation verifies under faults" true
+        (Deploy.verify d ~verifier:1 ~msg s))
+    !pre;
+  let boundary =
+    match Wire.peek_header (snd (List.hd !pre)) with
+    | Some (_, b) -> Int64.add b 1L
+    | None -> Alcotest.fail "unparseable wire header"
+  in
+  let encoded = Deploy.revoke ~from_batch:boundary d ~signer:0 () in
+  Sim.run ~until:(Sim.now sim +. 2_000.0) sim;
+  (* the lossy network may have eaten the broadcast for some node: the
+     gossip re-send is a direct replay of the same signed record, and
+     it must be idempotent wherever the first copy already landed *)
+  for node = 0 to 2 do
+    Deploy.deliver_revocation d ~node encoded;
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d enforces the boundary" node)
+      true
+      (Pki.revocation (Deploy.pki d node) 0 = `From boundary)
+  done;
+  let rec barred i =
+    if i > 80 then Alcotest.fail "never reached the barred batch"
+    else
+      let msg = Printf.sprintf "post-rev-%d" i in
+      let s = Deploy.sign d ~signer:0 msg in
+      Sim.run ~until:(Sim.now sim +. 150.0) sim;
+      match Wire.peek_header s with
+      | Some (_, b) when Int64.compare b boundary >= 0 -> (msg, s)
+      | _ -> barred (i + 1)
+  in
+  let msg, s = barred 0 in
+  Alcotest.(check bool) "verifier 1 rejects post-revocation" false
+    (Deploy.verify d ~verifier:1 ~msg s);
+  Alcotest.(check bool) "verifier 2 rejects post-revocation" false
+    (Deploy.verify d ~verifier:2 ~msg s);
+  List.iter
+    (fun (msg, s) ->
+      Alcotest.(check bool) "pre-revocation still verifies" true
+        (Deploy.verify d ~verifier:1 ~msg s);
+      Alcotest.(check bool) "pre-revocation still verifies (v2)" true
+        (Deploy.verify d ~verifier:2 ~msg s))
+    !pre;
+  Deploy.close d
+
+(* ISSUE 9 satellite: rotate the signing key under the same fault load.
+   Signing availability must hold through the whole cutover — every
+   signature issued before, during and after the rotation verifies
+   (dropped staged-batch announcements fall back to the slow path and
+   pull repair), and the epoch advances even if the ACK drain is starved
+   by the lossy network (the coordinator's wait bound cuts over). *)
+let test_rotation_under_faults () =
+  let sim = Sim.create () in
+  let telemetry = Tel.create ~clock:(fun () -> Sim.now sim) () in
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let options = Options.default |> Options.with_telemetry telemetry in
+  let d = Deploy.create sim cfg ~n:3 ~options ~reannounce_poll_us:100.0 () in
+  Net.set_faults (Deploy.net d) ~drop:0.2 ~reorder:0.2 ~reorder_delay_us:300.0 ~seed:44L ();
+  Sim.run ~until:1_000.0 sim;
+  let rot =
+    Dsig_keylife.Rotation.create ~max_wait_us:3_000.0
+      ~clock:(fun () -> Sim.now sim)
+      (Deploy.signer d 0)
+  in
+  let n = 60 in
+  let ok = ref 0 in
+  for i = 1 to n do
+    let msg = Printf.sprintf "rotating-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    if Deploy.verify d ~verifier:1 ~msg s then incr ok;
+    if i = 20 then ignore (Dsig_keylife.Rotation.start rot);
+    if Dsig_keylife.Rotation.in_flight rot then ignore (Dsig_keylife.Rotation.step rot);
+    Sim.run ~until:(Sim.now sim +. 150.0) sim
+  done;
+  Alcotest.(check bool) "rotation completed under faults" true
+    (not (Dsig_keylife.Rotation.in_flight rot));
+  Alcotest.(check int) "epoch advanced" 1 (Signer.epoch (Deploy.signer d 0));
+  Alcotest.(check int) "no sign/verify outage across the cutover" n !ok;
+  (* and the new generation keeps verifying once the faults lift *)
+  Net.clear_faults (Deploy.net d);
+  for i = 1 to 10 do
+    let msg = Printf.sprintf "rotated-%d" i in
+    let s = Deploy.sign d ~signer:0 msg in
+    Alcotest.(check bool) "post-rotation verifies" true (Deploy.verify d ~verifier:1 ~msg s);
+    Sim.run ~until:(Sim.now sim +. 150.0) sim
+  done;
+  Deploy.close d
+
 let suites =
   [
     ( "faultmatrix",
@@ -359,5 +470,9 @@ let suites =
           test_adaptive_beats_fixed;
         Alcotest.test_case "ack batching sends fewer frames" `Quick
           test_ack_batching_fewer_frames;
+        Alcotest.test_case "revocation mid-flight under drop" `Slow
+          test_revocation_under_faults;
+        Alcotest.test_case "rotation keeps availability under drop" `Slow
+          test_rotation_under_faults;
       ] );
   ]

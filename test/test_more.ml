@@ -114,7 +114,7 @@ let test_announcement_replay_idempotent () =
   let rng = Dsig_util.Rng.create 13L in
   let pki = Pki.create () in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~verifiers:[ 1 ] () in
   ignore (Signer.background_step signer);
   let _, ann = List.hd (Signer.drain_outbox signer) in

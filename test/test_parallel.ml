@@ -85,7 +85,7 @@ let make_signer ?pool ~telemetry () =
   let rng = Rng.create 7L in
   let sk, pk = Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let options = Options.default |> Options.with_telemetry telemetry in
   let options = match pool with Some p -> Options.with_parallel p options | None -> options in
   let signer = Signer.create cfg ~id:0 ~eddsa:sk ~rng ~options ~verifiers:[ 1 ] () in
@@ -250,7 +250,7 @@ let interleave_prop ops =
   let rng = Rng.create 21L in
   let sk, pk = Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let verifier_ref = ref None in
   let signer_ref = ref None in
   let withheld = Queue.create () in

@@ -9,7 +9,7 @@ let test_runtime_roundtrip () =
   let rng = Dsig_util.Rng.create 21L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:3 pk;
+  Pki.bind pki ~id:3 ~epoch:0 pk;
   let rt = Runtime.create cfg ~id:3 ~eddsa:sk ~seed:77L () in
   Fun.protect
     ~finally:(fun () -> Runtime.shutdown rt)

@@ -60,7 +60,7 @@ let test_kv_server_end_to_end () =
         (Dsig_kv.Store.exec (Dsig_kv.Kv_server.store server) (Dsig_kv.Store.Command.Get "color")
         = Dsig_kv.Store.Reply.Value "blue");
       (* third-party audit of the signed log *)
-      let auditor = Dsig.Verifier.create cfg ~id:50 ~pki:(Deploy.pki deploy) () in
+      let auditor = Dsig.Verifier.create cfg ~id:50 ~pki:(Deploy.pki deploy 0) () in
       let (valid, invalid), _ =
         Dsig_audit.Audit.audit
           (Dsig_kv.Kv_server.audit_log server)
@@ -143,7 +143,7 @@ let test_trading_server_end_to_end () =
         (Some (100, 6))
         (Dsig_trading.Orderbook.best_ask (Dsig_trading.Trading_server.book server));
       (* signed trail auditable *)
-      let auditor = Dsig.Verifier.create cfg ~id:60 ~pki:(Deploy.pki deploy) () in
+      let auditor = Dsig.Verifier.create cfg ~id:60 ~pki:(Deploy.pki deploy 0) () in
       let (valid, invalid), _ =
         Dsig_audit.Audit.audit
           (Dsig_trading.Trading_server.audit_log server)

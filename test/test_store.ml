@@ -177,6 +177,8 @@ let sample_snapshot =
         { Ksnapshot.id = 5L; size = 4; high_water = -1; retired = false };
         { Ksnapshot.id = 1L; size = 8; high_water = 7; retired = true };
       ];
+    epoch = 2;
+    pending_rotation = Some (3, 6L);
   }
 
 let test_snapshot_roundtrip () =
@@ -359,6 +361,99 @@ let keystate_crash_qcheck =
              Keystate.close t);
       !ok)
 
+(* The rotation crash matrix (ISSUE 9): kill the journal at an arbitrary
+   offset past the fsync horizon while a rotation is in flight. A crash
+   between [propose_rotation] and [confirm_rotation] must recover by
+   retiring the staged batch (its key material died with the process),
+   leaving the old generation as the single live one; a crash after the
+   confirm — which syncs — must land on the new generation with every
+   older batch retired. In both cases no spent one-time key index is
+   ever handed back. *)
+let rotation_crash_qcheck =
+  let open QCheck in
+  Test.make ~name:"rotation crash: one live generation, no key reuse" ~count:40
+    (triple (int_bound 10_000) (int_range 1 4) bool)
+    (fun (seed, group_commit, confirm) ->
+      with_dir @@ fun dir ->
+      let rng = Random.State.make [| seed; group_commit; Bool.to_int confirm |] in
+      let ok = ref true in
+      let fail fmt =
+        Printf.ksprintf (fun m -> ok := false; print_endline ("rotation crash: " ^ m)) fmt
+      in
+      let cfg = Keystate.config ~group_commit ~fsync:true dir in
+      let spent = ref [] in
+      let staged_id = ref 0L in
+      (match Keystate.open_ ~telemetry:(tel ()) ~fingerprint:"rot-fp" cfg with
+      | Error e -> fail "open: %s" e
+      | Ok (t, _) ->
+          (* the epoch-0 generation signs a little *)
+          let b0 = Keystate.next_batch_id t in
+          Keystate.seal t ~batch_id:b0 ~size:6;
+          for i = 0 to Random.State.int rng 3 - 1 do
+            Keystate.reserve t ~batch_id:b0 ~key_index:i;
+            spent := (b0, i) :: !spent
+          done;
+          (* stage the next generation: propose before the staged seal *)
+          let b1 = Keystate.next_batch_id t in
+          staged_id := b1;
+          Keystate.propose_rotation t ~epoch:1 ~batch_id:b1;
+          Keystate.seal t ~batch_id:b1 ~size:6;
+          if confirm then begin
+            Keystate.confirm_rotation t ~epoch:1 ~batch_id:b1;
+            (* post-cutover signatures leave the process immediately *)
+            for i = 0 to Random.State.int rng 3 do
+              Keystate.reserve t ~batch_id:b1 ~key_index:i;
+              spent := (b1, i) :: !spent
+            done
+          end;
+          (* SIGKILL + OS crash, losing an arbitrary unfsynced suffix *)
+          let path = Keystate.wal_path t in
+          let horizon = Keystate.synced_bytes t in
+          Keystate.crash t;
+          let size = (Unix.stat path).Unix.st_size in
+          Unix.truncate path (horizon + Random.State.int rng (size - horizon + 1)));
+      (if !ok then
+         match Keystate.open_ ~telemetry:(tel ()) ~fingerprint:"rot-fp" cfg with
+         | Error e -> fail "reopen: %s" e
+         | Ok (t, report) ->
+             let b1 = !staged_id in
+             if Keystate.pending_rotation t <> None then
+               fail "recovery left a rotation pending";
+             let live =
+               List.filter (fun (_, b) -> not b.Keystate.retired) (Keystate.batches t)
+             in
+             let old_live = List.exists (fun (id, _) -> id < b1) live in
+             let new_live = List.exists (fun (id, _) -> id >= b1) live in
+             if old_live && new_live then fail "two generations live after recovery";
+             (match report.Keystate.epoch with
+             | 1 ->
+                 if not confirm then fail "epoch advanced without a confirm";
+                 if old_live then fail "old generation live after confirmed cutover"
+             | 0 ->
+                 (* confirm_rotation syncs, so a confirm that ran is durable *)
+                 if confirm then fail "synced confirm was lost";
+                 if new_live then fail "staged batch live without a confirm";
+                 (match report.Keystate.rotation_rolled_back with
+                 | Some (1, id) when Int64.equal id b1 -> ()
+                 | Some (e, id) -> fail "rolled back the wrong rotation (%d, %Ld)" e id
+                 | None ->
+                     (* the propose itself was truncated away — then the
+                        staged seal (journaled after it) is gone too *)
+                     if List.mem_assoc b1 (Keystate.batches t) then
+                       fail "staged batch survived without a rollback report")
+             | e -> fail "unexpected epoch %d" e);
+             (* recovery must never hand back a key that left the process *)
+             List.iter
+               (fun (bid, first) ->
+                 List.iter
+                   (fun (b, i) ->
+                     if Int64.equal b bid && i >= first then
+                       fail "batch %Ld resumes at %d but index %d was signed" bid first i)
+                   !spent)
+               report.Keystate.resume;
+             Keystate.close t);
+      !ok)
+
 (* --- record codec totality --- *)
 
 let record_roundtrip_qcheck =
@@ -376,6 +471,12 @@ let record_roundtrip_qcheck =
         map (fun b -> Keystate.Batch_retired (Int64.of_int b)) (int_bound 1_000_000);
         map (fun s -> Keystate.Checkpoint (Int64.of_int s)) (int_bound 1_000_000);
         map (fun n -> Keystate.Clean_shutdown (Int64.of_int n)) (int_bound 1_000_000);
+        map
+          (fun (e, b) -> Keystate.Rotation_proposed { epoch = e; batch_id = Int64.of_int b })
+          (pair (int_bound 100_000) (int_bound 1_000_000));
+        map
+          (fun (e, b) -> Keystate.Rotation_confirmed { epoch = e; batch_id = Int64.of_int b })
+          (pair (int_bound 100_000) (int_bound 1_000_000));
       ]
   in
   Test.make ~name:"keystate record codec roundtrips" ~count:200 record (fun r ->
@@ -397,7 +498,7 @@ let make_signer ~dir ~rng_seed =
   let sk, pk = Dsig_ed25519.Eddsa.generate (Dsig_util.Rng.create 77L) in
   let rng = Dsig_util.Rng.create rng_seed in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let options =
     Options.default
     |> Options.with_telemetry (tel ())
@@ -561,6 +662,7 @@ let suites =
         QCheck_alcotest.to_alcotest ~long:false record_roundtrip_qcheck;
         QCheck_alcotest.to_alcotest ~long:false record_decode_total_qcheck;
         QCheck_alcotest.to_alcotest ~long:false keystate_crash_qcheck;
+        QCheck_alcotest.to_alcotest ~long:false rotation_crash_qcheck;
       ] );
     ( "store-integration",
       [

@@ -89,7 +89,7 @@ let test_tcp_roundtrip () =
   let rng = Dsig_util.Rng.create 9L in
   let sk, pk = Dsig_ed25519.Eddsa.generate rng in
   let pki = Pki.create () in
-  Pki.register pki ~id:0 pk;
+  Pki.bind pki ~id:0 ~epoch:0 pk;
   let verifier = Verifier.create cfg ~id:1 ~pki () in
   let mu = Mutex.create () in
   let verified = ref 0 and rejected = ref 0 in
@@ -103,7 +103,7 @@ let test_tcp_roundtrip () =
         | Dsig_tcpnet.Tcpnet.Traced (ctx, Dsig_tcpnet.Tcpnet.Signed { msg; signature }) ->
             if Verifier.verify_ctx verifier ~ctx ~msg signature then incr verified
             else incr rejected
-        | Dsig_tcpnet.Tcpnet.Traced _ | Dsig_tcpnet.Tcpnet.Control _ | Dsig_tcpnet.Tcpnet.Checkpoint _ -> ());
+        | Dsig_tcpnet.Tcpnet.Traced _ | Dsig_tcpnet.Tcpnet.Control _ | Dsig_tcpnet.Tcpnet.Checkpoint _ | Dsig_tcpnet.Tcpnet.Revoke _ -> ());
         Mutex.unlock mu)
       ()
   in
@@ -188,7 +188,7 @@ let test_reannounce_ack_loop () =
           ~on_message:(fun m ->
             match m with
             | Tcp.Control c -> ignore (Dsig.Control_plane.deliver cp c)
-            | Tcp.Announcement _ | Tcp.Signed _ | Tcp.Traced _ | Tcp.Checkpoint _ -> ())
+            | Tcp.Announcement _ | Tcp.Signed _ | Tcp.Traced _ | Tcp.Checkpoint _ | Tcp.Revoke _ -> ())
           ()
       in
       Fun.protect
@@ -199,7 +199,7 @@ let test_reannounce_ack_loop () =
             ~finally:(fun () -> Tcp.close ctrl_conn)
             (fun () ->
               let pki = Pki.create () in
-              Pki.register pki ~id:0 pk;
+              Pki.bind pki ~id:0 ~epoch:0 pk;
               let verifier =
                 Verifier.create cfg ~id:1 ~pki
                   ~options:Dsig.Options.(default |> with_telemetry tel)
