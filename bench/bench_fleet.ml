@@ -1,0 +1,94 @@
+(* Fleet overload plane (DESIGN.md §15): drive a population of signers
+   against admission-controlled verifiers at 1x/2x/4x the nominal load
+   and measure what the load-control loop preserves. "1x" is the
+   provisioned operating point — 50% of the fleet's fast-path
+   saturation, the headroom a real deployment runs with — so 2x sits at
+   saturation and 4x is a genuine 2x overload. The virtual clock makes
+   every number deterministic: goodput and shed ratios are functions of
+   the spec seed alone, which is what lets the smoke gate pin them. *)
+
+open Dsig
+module Fleet = Dsig_simnet.Fleet
+module Fleetrun = Dsig_deploy.Fleetrun
+module Admission = Dsig_loadctl.Admission
+
+let run () =
+  Harness.section "fleet: goodput and shed rate at 1x/2x/4x nominal load";
+  let cfg = Config.make ~batch_size:32 ~queue_threshold:64 (Config.wots ~d:4) in
+  let signers = Harness.scaled 200 in
+  let verifiers = max 3 (signers / 25) in
+  let service_us = 2_000.0 in
+  let duration_us = 400_000.0 in
+  let capacity = float_of_int verifiers *. 1.0e6 /. service_us in
+  let nominal = 0.5 *. capacity in
+  (* the CoDel target must clear one service time (a single queued item
+     already waits [service_us]); congestion means a standing queue of
+     several, persisting for a few round trips of the control loop *)
+  let per_verifier = 1.0e6 /. service_us in
+  let params =
+    {
+      Admission.default_params with
+      Admission.target_sojourn_us = 3.0 *. service_us;
+      interval_us = 25.0 *. service_us;
+      (* provision the rate limit like an operator would: a little above
+         the verifier's own service capacity, with gentle additive probing
+         — the library default (50k ops/s) is sized for real-time crypto
+         cost, not this fleet's modeled 2 ms service time *)
+      initial_rate_per_sec = 1.2 *. per_verifier;
+      min_rate_per_sec = 0.1 *. per_verifier;
+      max_rate_per_sec = 4.0 *. per_verifier;
+      additive_per_sec = 0.1 *. per_verifier;
+      burst = 16.0;
+    }
+  in
+  let run_at factor =
+    let spec =
+      {
+        Fleet.default_spec with
+        Fleet.signers;
+        verifiers;
+        fanout = min 3 verifiers;
+        base_rate_per_sec = factor *. nominal /. float_of_int signers;
+      }
+    in
+    (* a lossy announce plane (10% of announcement deliveries dropped
+       until re-announce heals them) keeps an organic Repair-class load
+       in the mix, so the shed metrics cover both admission classes *)
+    Fleetrun.run ~latency_us:5.0 ~announce_latency_us:40.0 ~announce_drop:0.1 ~service_us
+      ~params ~duration_us cfg (Fleet.create spec)
+  in
+  let r1 = run_at 1.0 in
+  let r2 = run_at 2.0 in
+  let r4 = run_at 4.0 in
+  let retention = if r1.Fleetrun.goodput_ops_per_sec > 0.0 then
+      r4.Fleetrun.goodput_ops_per_sec /. r1.Fleetrun.goodput_ops_per_sec
+    else 0.0
+  in
+  let row label (r : Fleetrun.result) =
+    [
+      label;
+      Printf.sprintf "%d" r.Fleetrun.offered;
+      Printf.sprintf "%d" r.Fleetrun.accepted;
+      Printf.sprintf "%.0f" r.Fleetrun.goodput_ops_per_sec;
+      Printf.sprintf "%.3f" r.Fleetrun.shed_ratio;
+      Printf.sprintf "%d" (Admission.shed_total r.Fleetrun.admission);
+      Harness.us2 r.Fleetrun.sojourn_p99_us;
+      Printf.sprintf "%d" r.Fleetrun.peak_pressure;
+    ]
+  in
+  Harness.print_table
+    ~header:
+      [ "load"; "offered"; "accepted"; "goodput/s"; "shed ratio"; "shed"; "p99 sojourn us";
+        "peak pressure" ]
+    [ row "1x" r1; row "2x" r2; row "4x" r4 ];
+  Printf.printf "%d signers x %d verifiers, %.0f us service, capacity %.0f ops/s, nominal %.0f ops/s\n"
+    signers verifiers service_us capacity nominal;
+  Printf.printf "goodput retention at 4x: %.2f (false accepts: %d/%d/%d)\n" retention
+    r1.Fleetrun.false_accepts r2.Fleetrun.false_accepts r4.Fleetrun.false_accepts;
+  Harness.metric "fleet_goodput_ops_per_sec_1x" r1.Fleetrun.goodput_ops_per_sec;
+  Harness.metric "fleet_goodput_ops_per_sec_2x" r2.Fleetrun.goodput_ops_per_sec;
+  Harness.metric "fleet_goodput_ops_per_sec_4x" r4.Fleetrun.goodput_ops_per_sec;
+  Harness.metric "fleet_shed_ratio_1x" r1.Fleetrun.shed_ratio;
+  Harness.metric "fleet_shed_ratio_2x" r2.Fleetrun.shed_ratio;
+  Harness.metric "fleet_shed_ratio_4x" r4.Fleetrun.shed_ratio;
+  Harness.metric "fleet_goodput_retention_4x" retention

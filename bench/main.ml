@@ -45,6 +45,8 @@ let () =
     Bench_scale.run;
   register "keylife" "key lifecycle: rotation cutover stall + revocation propagation"
     Bench_keylife.run;
+  register "fleet" "fleet-scale load control: goodput & shed rate at 1x/2x/4x overload"
+    Bench_fleet.run;
   (* declare the pacing and store series on the default bundle up front
      so every experiment's telemetry snapshot carries the keys scrapers
      key on, zero-valued until the owning experiment populates them *)
@@ -73,7 +75,19 @@ let () =
   ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_translog_entries");
   ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_translog_segments");
   ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_translog_append_us");
-  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_translog_proof_us")
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_translog_proof_us");
+  (* load-control plane (lib/loadctl) — the fleet bench runs on its own
+     virtual-clocked bundle, so declare the series scrapers key on here *)
+  List.iter
+    (fun n -> ignore (Dsig_telemetry.Telemetry.counter tel n))
+    [
+      "dsig_loadctl_admitted_total"; "dsig_loadctl_shed_total";
+      "dsig_loadctl_shed_verify_total"; "dsig_loadctl_shed_repair_total";
+    ];
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_loadctl_rate_per_sec");
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_loadctl_pressure");
+  ignore (Dsig_telemetry.Telemetry.gauge tel "dsig_loadctl_congested");
+  ignore (Dsig_telemetry.Telemetry.histogram tel "dsig_loadctl_sojourn_us")
 
 let print_host () =
   Harness.section "Host configuration (stand-in for Table 3; see DESIGN.md)";

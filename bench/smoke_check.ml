@@ -43,6 +43,10 @@ let required_bench_metrics =
     "\"scale_verify_ops_per_sec_1dom\""; "\"scale_verify_ops_per_sec_4dom\"";
     (* key lifecycle plane (bench keylife) *)
     "\"rotation_cutover_us\""; "\"revocation_propagate_us\"";
+    (* load-control plane (bench fleet) *)
+    "\"fleet_goodput_ops_per_sec_1x\""; "\"fleet_goodput_ops_per_sec_2x\"";
+    "\"fleet_goodput_ops_per_sec_4x\""; "\"fleet_shed_ratio_1x\""; "\"fleet_shed_ratio_2x\"";
+    "\"fleet_shed_ratio_4x\""; "\"fleet_goodput_retention_4x\"";
   ]
 
 (* Value gates: metrics that must not only be present but clear a floor.
@@ -50,7 +54,20 @@ let required_bench_metrics =
    — balanced shard ownership and lock-free fold-back give ~4x modeled
    overlap; a verifier serializing its shards on a global lock collapses
    it towards 1x. *)
-let required_floors = [ ("scale_verify_speedup_4dom", 2.5) ]
+let required_floors =
+  [
+    ("scale_verify_speedup_4dom", 2.5);
+    (* load-control canary: at 4x overload admission control must keep
+       at least half of the 1x goodput — an unbounded queue collapses
+       this toward zero as every sojourn blows past its deadline *)
+    ("fleet_goodput_retention_4x", 0.5);
+  ]
+
+(* Value gates in the other direction: metrics that must stay at or
+   under a ceiling. A fleet provisioned with 2x headroom must not shed
+   at its nominal operating point — any shedding at 1x means the
+   admission controller is tuned into false positives. *)
+let required_ceilings = [ ("fleet_shed_ratio_1x", 0.0) ]
 
 (* Extract "name": 1.234 from the flat snapshot JSON. *)
 let metric_value s name =
@@ -103,6 +120,17 @@ let check_bench_snapshot ?baseline dir =
           exit 1
       | Some v -> Printf.printf "smoke_check: %s = %.2f (floor %.2f)\n" name v floor)
     required_floors;
+  List.iter
+    (fun (name, ceiling) ->
+      match metric_value s name with
+      | None ->
+          Printf.eprintf "smoke_check: %s has no parsable value for %s\n" path name;
+          exit 1
+      | Some v when v > ceiling ->
+          Printf.eprintf "smoke_check: %s: %s = %.2f above ceiling %.2f\n" path name v ceiling;
+          exit 1
+      | Some v -> Printf.printf "smoke_check: %s = %.2f (ceiling %.2f)\n" name v ceiling)
+    required_ceilings;
   Printf.printf "smoke_check: %s carries all %d pinned metrics\n" path
     (List.length required_bench_metrics);
   (* perf trajectory: hold the fresh metrics to the committed

@@ -884,6 +884,83 @@ let impact_cmd =
       const impact $ impact_log_arg $ impact_store_arg $ impact_from_arg $ impact_until_arg
       $ impact_signer_arg $ impact_epoch_arg)
 
+(* --- loadctl: watch an admission controller's live state --- *)
+
+(* Poll a scrape endpoint's /loadctl route (Dsig_loadctl.Admission
+   state: adapted rate, congested flag, pressure byte, per-class
+   offered/shed counts) and print one JSON line per refresh. Without
+   --port, run a self-contained demo: an admission controller squeezed
+   well past its configured rate, published through a local scrape
+   server the watcher then polls over real HTTP. *)
+let loadctl_watch port interval count =
+  let module Scrape = Dsig_tcpnet.Scrape in
+  let module Admission = Dsig_loadctl.Admission in
+  let module Tel = Dsig_telemetry.Telemetry in
+  let cleanup, p =
+    match port with
+    | Some p -> ((fun () -> ()), p)
+    | None ->
+        let tel = Tel.create () in
+        let params =
+          {
+            Admission.default_params with
+            Admission.initial_rate_per_sec = 500.0;
+            min_rate_per_sec = 50.0;
+          }
+        in
+        let a = Admission.create ~params ~telemetry:tel () in
+        let stop = ref false in
+        let worker =
+          Thread.create
+            (fun () ->
+              while not !stop do
+                let now = Tel.now tel in
+                (* ~2000 verify offers/sec against a 500/sec bucket,
+                   with sojourns pinned above the CoDel target: the
+                   controller goes congested, AIMD bites, repair sheds *)
+                for _ = 1 to 10 do
+                  ignore (Admission.admit a ~now_us:now Admission.Verify)
+                done;
+                ignore (Admission.admit a ~now_us:now Admission.Repair);
+                Admission.observe a ~now_us:now
+                  ~sojourn_us:(2.0 *. params.Admission.target_sojourn_us);
+                Thread.delay 0.005
+              done)
+            ()
+        in
+        let srv = Scrape.start ~telemetry:tel ~loadctl:a ~port:0 () in
+        Printf.printf "demo scrape server on 127.0.0.1:%d (/loadctl)\n%!" (Scrape.port srv);
+        ( (fun () ->
+            stop := true;
+            (try Thread.join worker with _ -> ());
+            Scrape.stop srv),
+          Scrape.port srv )
+  in
+  let rc = ref 0 in
+  let tick = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr tick;
+    (match Scrape.fetch ~port:p ~path:"/loadctl" with
+    | Ok body -> Printf.printf "%s\n%!" body
+    | Error e ->
+        Printf.printf "fetch 127.0.0.1:%d/loadctl failed: %s\n%!" p e;
+        rc := 1;
+        continue_ := false);
+    if count > 0 && !tick >= count then continue_ := false;
+    if !continue_ then Thread.delay interval
+  done;
+  cleanup ();
+  !rc
+
+let loadctl_cmd =
+  Cmd.v
+    (Cmd.info "loadctl"
+       ~doc:
+         "Watch a verifier's admission-control state (adapted rate, congestion, pressure, \
+          per-class shed counts) from a scrape endpoint's /loadctl route.")
+    Term.(const loadctl_watch $ port_arg $ interval_arg $ count_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dsig" ~version:"1.0.0"
@@ -897,6 +974,7 @@ let main_cmd =
       stats_cmd;
       top_cmd;
       timeline_cmd;
+      loadctl_cmd;
       monitor_cmd;
       log_sign_cmd;
       log_audit_cmd;

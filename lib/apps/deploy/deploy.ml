@@ -8,6 +8,7 @@ module Checkpoint = Dsig_translog.Checkpoint
 module Monitor = Dsig_translog.Monitor
 module Revocation = Dsig_keylife.Revocation
 module Ts = Dsig_timeseries
+module Admission = Dsig_loadctl.Admission
 
 type party = { signer : Dsig.Signer.t; verifier : Dsig.Verifier.t }
 
@@ -37,6 +38,7 @@ let timeseries ?(poll_us = 500.0) ?(capacity = 1024) ?(slow_share_budget = 0.1)
   }
 
 let slow_burn_rule = "node_slow_path_burn"
+let shed_burn_rule = "node_shed_ratio_burn"
 
 (* announcements carry the virtual send time so delivery can record the
    time spent on the (modeled) wire *)
@@ -70,6 +72,7 @@ type t = {
   net : payload Net.t;
   transparency : transparency option;
   tsplane : (Ts.Sampler.t * Ts.Alert.t) array option;
+  admissions : Admission.t array option;
   c_rev_issued : Metric.Counter.t;
   enforce_revocation : int -> string -> unit;
   mutable sent : int;
@@ -78,9 +81,17 @@ type t = {
 
 let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
     ?(groups = fun _ -> []) ?(seed = 97L) ?(options = Dsig.Options.default) ?store_dir
-    ?translog_dir ?(translog_poll_us = 200.0) ?(log_id = 0) ?timeseries:ts_opts sim cfg ~n
-    () =
+    ?translog_dir ?(translog_poll_us = 200.0) ?(log_id = 0) ?timeseries:ts_opts ?loadctl
+    ?(shed_ratio_budget = 0.05) ?verifiers_of sim cfg ~n () =
   let telemetry = options.Dsig.Options.telemetry in
+  (* load-control plane: one admission controller per node — the
+     AIMD/CoDel state is per-verifier by design (each node sees its own
+     overload), so sharing one across parties would be wrong *)
+  let admissions =
+    Option.map
+      (fun params -> Array.init n (fun _ -> Admission.create ~params ~telemetry ()))
+      loadctl
+  in
   let master = Rng.create seed in
   let keys = Array.init n (fun _ -> Eddsa.generate (Rng.split master)) in
   (* deployment-level revoking authority — a distinct identity, so a
@@ -118,23 +129,41 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
   let tsplane =
     Option.map
       (fun o ->
-        Array.init n (fun _ ->
+        Array.init n (fun id ->
             let sampler =
               Ts.Sampler.create ~capacity:o.ts_capacity ~interval_us:o.ts_poll_us
                 telemetry.Tel.registry
             in
-            let alerter =
-              Ts.Alert.create ~telemetry sampler
-                [
-                  Ts.Alert.rule ~fast:o.ts_fast ~slow:o.ts_slow ~name:slow_burn_rule
-                    (Ts.Alert.Burn_rate
-                       {
-                         bad = "node_verifier_slow_total";
-                         total = "node_verifier_verifies_total";
-                         budget = o.ts_slow_share_budget;
-                       });
-                ]
+            let rules =
+              Ts.Alert.rule ~fast:o.ts_fast ~slow:o.ts_slow ~name:slow_burn_rule
+                (Ts.Alert.Burn_rate
+                   {
+                     bad = "node_verifier_slow_total";
+                     total = "node_verifier_verifies_total";
+                     budget = o.ts_slow_share_budget;
+                   })
+              ::
+              (if admissions = None then []
+               else
+                 [
+                   (* loadctl SLO: shedding is budgeted, not free — a
+                      node turning away more than [shed_ratio_budget]
+                      of its offered load faster than the burn
+                      thresholds pages like any other SLO breach *)
+                   Ts.Alert.rule ~fast:o.ts_fast ~slow:o.ts_slow ~name:shed_burn_rule
+                     (Ts.Alert.Burn_rate
+                        {
+                          bad = "node_loadctl_shed_total";
+                          total = "node_loadctl_offered_total";
+                          budget = shed_ratio_budget;
+                        });
+                 ])
             in
+            let alerter = Ts.Alert.create ~telemetry sampler rules in
+            Ts.Alert.on_transition alerter (fun ~at_us ~rule ev ->
+                Dsig.Log.L.info (fun m ->
+                    m "deploy node %d: alert %s %s at %.0f us" id rule
+                      (Ts.Alert.event_name ev) at_us));
             (sampler, alerter)))
       ts_opts
   in
@@ -196,15 +225,26 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
     | Some _ | None -> ()
   in
   let all = List.init n Fun.id in
+  (* fan-out restriction (fleet scale): a signer announces only to its
+     own verifier group instead of the whole deployment *)
+  let verifiers_for id =
+    match verifiers_of with None -> all | Some f -> (match f id with [] -> all | l -> l)
+  in
+  let voptions_of id =
+    match admissions with
+    | None -> options
+    | Some arr -> Dsig.Options.with_loadctl arr.(id) options
+  in
   let parties =
     Array.init n (fun id ->
         let sk, _ = keys.(id) in
         {
           signer =
             Dsig.Signer.create cfg ~id ~eddsa:sk ~rng:(Rng.split master) ~send:(send_of id)
-              ~groups:(groups id) ~options:(options_of id) ~verifiers:all ();
+              ~groups:(groups id) ~options:(options_of id) ~verifiers:(verifiers_for id) ();
           verifier =
-            Dsig.Verifier.create cfg ~id ~pki:pkis.(id) ~options ~control:(control_of id) ();
+            Dsig.Verifier.create cfg ~id ~pki:pkis.(id) ~options:(voptions_of id)
+              ~control:(control_of id) ();
         })
   in
   (* revocation plane: records are enforced where they land — verify the
@@ -240,6 +280,7 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
       net;
       transparency;
       tsplane;
+      admissions;
       c_rev_issued;
       enforce_revocation;
       sent = 0;
@@ -267,7 +308,17 @@ let create ?(latency_us = 1.0) ?(bg_poll_us = 5.0) ?(reannounce_poll_us = 50.0)
           counter "node_signer_reannounces_total" (fun () ->
               float_of_int sstats.Dsig.Signer.reannounces);
           Ts.Sampler.probe sampler ~name:"node_signer_unacked" ~kind:Ts.Series.Gauge
-            (fun () -> float_of_int (Dsig.Signer.unacked_announcements s)))
+            (fun () -> float_of_int (Dsig.Signer.unacked_announcements s));
+          match admissions with
+          | None -> ()
+          | Some adm ->
+              let a = adm.(id) in
+              counter "node_loadctl_offered_total" (fun () ->
+                  float_of_int (Admission.offered_total (Admission.stats a)));
+              counter "node_loadctl_shed_total" (fun () ->
+                  float_of_int (Admission.shed_total (Admission.stats a)));
+              Ts.Sampler.probe sampler ~name:"node_loadctl_pressure" ~kind:Ts.Series.Gauge
+                (fun () -> float_of_int (Admission.pressure a)))
         arr);
   let c_ckpt_sent = Tel.counter telemetry "dsig_deploy_checkpoints_gossiped_total" in
   let c_ckpt_alarms = Tel.counter telemetry "dsig_deploy_checkpoint_alarms_total" in
@@ -410,6 +461,7 @@ let deliver_revocation t ~node encoded = t.enforce_revocation node encoded
 
 let sampler t i = Option.map (fun arr -> fst arr.(i)) t.tsplane
 let alerter t i = Option.map (fun arr -> snd arr.(i)) t.tsplane
+let admission t i = Option.map (fun arr -> arr.(i)) t.admissions
 
 let translog t = Option.map (fun tr -> tr.log) t.transparency
 let translog_pk t = Option.map (fun tr -> tr.log_pk) t.transparency

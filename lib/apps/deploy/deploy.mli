@@ -63,6 +63,11 @@ val slow_burn_rule : string
 (** Name of the per-node slow-path burn-rate alert rule
     (["node_slow_path_burn"]). *)
 
+val shed_burn_rule : string
+(** Name of the per-node shed-ratio burn-rate alert rule
+    (["node_shed_ratio_burn"]), registered only when both [?timeseries]
+    and [?loadctl] are given. *)
+
 val create :
   ?latency_us:float ->
   ?bg_poll_us:float ->
@@ -75,6 +80,9 @@ val create :
   ?translog_poll_us:float ->
   ?log_id:int ->
   ?timeseries:timeseries_opts ->
+  ?loadctl:Dsig_loadctl.Admission.params ->
+  ?shed_ratio_budget:float ->
+  ?verifiers_of:(int -> int list) ->
   Dsig_simnet.Sim.t ->
   Dsig.Config.t ->
   n:int ->
@@ -135,13 +143,37 @@ val create :
     [node_verifier_verifies_total], [node_verifier_rejected_total],
     [node_signer_reannounces_total], [node_signer_unacked]) read from
     its own signer/verifier stats — the series faultmatrix tests assert
-    dip-and-recover shapes on. Retrieve with {!sampler} / {!alerter}. *)
+    dip-and-recover shapes on. Retrieve with {!sampler} / {!alerter}.
+    Every alerter logs its fire/resolve transitions through
+    {!Dsig.Log} ({!Dsig_timeseries.Alert.on_transition}).
+
+    [loadctl] turns on the load-control plane (DESIGN.md §15): every
+    node gets its {e own} {!Dsig_loadctl.Admission} controller with
+    these parameters, attached to its verifier via
+    {!Dsig.Options.with_loadctl} — verify calls are admitted against
+    per-class token buckets before any crypto, and outbound ACK frames
+    become {!Dsig.Batch.Credit} frames carrying the node's pressure
+    byte, which the receiving signer's adaptive pacer uses to slow
+    re-announcements toward that node. With [timeseries] also on, each
+    node's sampler probes [node_loadctl_offered_total] /
+    [node_loadctl_shed_total] counters and the [node_loadctl_pressure]
+    gauge, and the alerter gains the {!shed_burn_rule} burn-rate rule
+    over the node's shed ratio (budget [shed_ratio_budget], default
+    0.05).
+
+    [verifiers_of] restricts each signer's announcement fan-out to the
+    given verifier group instead of all [n] parties — at fleet scale a
+    signer announcing to a thousand nodes would melt the background
+    plane. An empty list falls back to everyone. *)
 
 val sampler : t -> int -> Dsig_timeseries.Sampler.t option
 (** Party [i]'s sampler ([None] without [?timeseries]). *)
 
 val alerter : t -> int -> Dsig_timeseries.Alert.t option
 (** Party [i]'s burn-rate alerter ([None] without [?timeseries]). *)
+
+val admission : t -> int -> Dsig_loadctl.Admission.t option
+(** Party [i]'s admission controller ([None] without [?loadctl]). *)
 
 val signer : t -> int -> Dsig.Signer.t
 val verifier : t -> int -> Dsig.Verifier.t
@@ -188,6 +220,12 @@ val net : t -> payload Dsig_simnet.Net.t
 (** The underlying modeled network — inject faults with
     {!Dsig_simnet.Net.set_faults} (pass {!corrupting_mutate} as the
     [mutate] hook) and lift them with {!Dsig_simnet.Net.clear_faults}. *)
+
+val flip_random_bit : Dsig_util.Rng.t -> string -> string
+(** Flip one uniformly random bit of [s] (identity on the empty
+    string) — the corruption primitive behind {!corrupting_mutate},
+    exported for drivers ({!Fleetrun}) that tamper with raw wire
+    signatures instead of decoded payloads. *)
 
 val corrupting_mutate : seed:int64 -> payload -> payload option
 (** Payload corruption for {!Dsig_simnet.Net.set_faults}: serializes the

@@ -10,6 +10,7 @@ type t = {
   health_budgets : (Lifecycle.plane * float) list;
   timeseries : Dsig_timeseries.Sampler.t option;
   alerts : Dsig_timeseries.Alert.t option;
+  loadctl : Dsig_loadctl.Admission.t option;
   routes : (string -> (string * string * string) option) list;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
@@ -75,7 +76,7 @@ let health_body tel budgets =
   Buffer.add_string buf "]}";
   (all_ok, Buffer.contents buf)
 
-let route ?(health_budgets = default_health_budgets) ?timeseries ?alerts tel path =
+let route ?(health_budgets = default_health_budgets) ?timeseries ?alerts ?loadctl tel path =
   match path with
   (* the time-series plane mounts only when a sampler/alerter is
      wired in: a plain scrape server answers 404 for these *)
@@ -95,6 +96,10 @@ let route ?(health_budgets = default_health_budgets) ?timeseries ?alerts tel pat
         ( "200 OK",
           "application/json",
           Export.json ~tracer:tel.Tel.tracer ~lifecycle:tel.Tel.lifecycle (Tel.snapshot tel) )
+  | "/loadctl" ->
+      Option.map
+        (fun a -> ("200 OK", "application/json", Dsig_loadctl.Admission.to_json a))
+        loadctl
   | "/trace" -> Some ("200 OK", "application/json", trace_body tel)
   | "/planes" -> Some ("200 OK", "text/plain", planes_body tel)
   | "/health" ->
@@ -167,7 +172,7 @@ let handle_conn t fd =
           let extra path = List.find_map (fun r -> r path) t.routes in
           let builtin path =
             route ~health_budgets:t.health_budgets ?timeseries:t.timeseries
-              ?alerts:t.alerts t.telemetry path
+              ?alerts:t.alerts ?loadctl:t.loadctl t.telemetry path
           in
           match
             match extra path with Some r -> Some r | None -> builtin path
@@ -182,7 +187,7 @@ let handle_conn t fd =
                 (error_response t ~status:"500 Internal Server Error" (Printexc.to_string e))))
 
 let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budgets) ?timeseries
-    ?alerts ?(routes = []) ~port () =
+    ?alerts ?loadctl ?(routes = []) ~port () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -198,6 +203,7 @@ let start ?(telemetry = Tel.default) ?(health_budgets_us = default_health_budget
       health_budgets = health_budgets_us;
       timeseries;
       alerts;
+      loadctl;
       routes;
       stopping = false;
       accept_thread = None;

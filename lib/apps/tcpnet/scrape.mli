@@ -27,7 +27,11 @@
       passed to {!start} (404 otherwise);
     - [/alerts] — the SLO burn-rate alerter's current states and recent
       transitions ({!Dsig_timeseries.Alert.to_json}), only when an
-      alerter was passed to {!start} (404 otherwise).
+      alerter was passed to {!start} (404 otherwise);
+    - [/loadctl] — the admission controller's live state
+      ({!Dsig_loadctl.Admission.to_json}: adapted rate, congested flag,
+      pressure byte, per-class offered/shed counts), only when a
+      controller was passed to {!start} (404 otherwise).
 
     Extra routes can be mounted at {!start} (e.g. the transparency log's
     [/checkpoint] — [Dsig_translog.Serve.checkpoint_route]); they are
@@ -45,6 +49,7 @@ val start :
   ?health_budgets_us:(Dsig_telemetry.Lifecycle.plane * float) list ->
   ?timeseries:Dsig_timeseries.Sampler.t ->
   ?alerts:Dsig_timeseries.Alert.t ->
+  ?loadctl:Dsig_loadctl.Admission.t ->
   ?routes:(string -> (string * string * string) option) list ->
   port:int ->
   unit ->
@@ -54,10 +59,10 @@ val start :
     [dsig_scrape_requests_total] / [dsig_scrape_errors_total] on the
     same bundle. [health_budgets_us] sets the [/health] per-plane p99
     budgets (defaults: sign and verify 10 ms, announce and end-to-end
-    100 ms). [timeseries] / [alerts] mount the [/timeseries] and
-    [/alerts] routes; the server only reads them (something else —
-    usually an {!Dsig.Options.with_sample_hook} tick — drives the
-    sampling). [routes] mounts extra handlers, each mapping a path to
+    100 ms). [timeseries] / [alerts] / [loadctl] mount the
+    [/timeseries], [/alerts] and [/loadctl] routes; the server only
+    reads them (something else — usually an
+    {!Dsig.Options.with_sample_hook} tick — drives the sampling). [routes] mounts extra handlers, each mapping a path to
     [Some (status, content-type, body)] or [None] to decline; they are
     tried in order before the built-in routes, and one that raises is
     answered with a well-formed 500 rather than a dropped connection. *)

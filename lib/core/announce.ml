@@ -21,9 +21,16 @@ type entry = {
 }
 
 (* Per-destination link state (kept across batches): the RTO estimator,
-   and the smallest clean round trip ever observed — the floor used to
-   flag re-sends that an already-in-flight ACK made redundant. *)
-type dest_state = { mutable est : Rtt.t; mutable min_rtt_us : float }
+   the smallest clean round trip ever observed — the floor used to flag
+   re-sends that an already-in-flight ACK made redundant — and the last
+   back-pressure level the destination advertised (Batch.Credit), which
+   decays after a few round trips unless refreshed. *)
+type dest_state = {
+  mutable est : Rtt.t;
+  mutable min_rtt_us : float;
+  mutable pressure : int; (* 0..255; 0 = unloaded *)
+  mutable pressure_until_us : float;
+}
 
 type mode = Fixed | Adaptive of Options.adaptive
 
@@ -77,11 +84,38 @@ let dest_state t dest =
   | Some s -> s
   | None ->
       let params = match t.mode with Adaptive a -> a.Options.rtt | Fixed -> Rtt.default in
-      let s = { est = Rtt.init params; min_rtt_us = infinity } in
+      let s =
+        { est = Rtt.init params; min_rtt_us = infinity; pressure = 0; pressure_until_us = 0.0 }
+      in
       Hashtbl.add t.dests dest s;
       s
 
 let rtt_params t = match t.mode with Adaptive a -> a.Options.rtt | Fixed -> Rtt.default
+
+(* Back-pressure from the destination's admission controller. A level
+   sticks for a few round trips (it is refreshed by every Credit frame
+   while ACK traffic flows) and then decays to zero, so a verifier that
+   went quiet — crashed, partitioned — does not stay "loaded" forever. *)
+let pressure_ttl_rtos = 4.0
+
+let note_pressure t ~dest ~pressure =
+  let ds = dest_state t dest in
+  let now = t.clock () in
+  ds.pressure <- max 0 (min 255 pressure);
+  ds.pressure_until_us <- now +. (pressure_ttl_rtos *. Rtt.rto_us (rtt_params t) ds.est)
+
+let live_pressure ds ~now = if now < ds.pressure_until_us then ds.pressure else 0
+
+let pressure_level t ~dest =
+  match Hashtbl.find_opt t.dests dest with
+  | None -> 0
+  | Some ds -> live_pressure ds ~now:(t.clock ())
+
+(* A loaded destination's re-announce interval stretches by up to 4x at
+   full pressure (255) — enough to halve-and-halve-again the probe rate
+   into a shedding verifier, while per-destination round-robin in
+   [due_adaptive] keeps other destinations served at full rate. *)
+let pressure_factor ds ~now = 1.0 +. (3.0 *. float_of_int (live_pressure ds ~now) /. 255.0)
 
 let track t (ann : Batch.announcement) ~dests =
   let now = t.clock () in
@@ -92,7 +126,8 @@ let track t (ann : Batch.announcement) ~dests =
         match t.mode with
         | Fixed -> (Some (Retry.start t.policy ~rng:t.rng ~now), infinity)
         | Adaptive _ ->
-            (None, now +. Rtt.rto_us (rtt_params t) (dest_state t dest).est)
+            let ds = dest_state t dest in
+            (None, now +. (pressure_factor ds ~now *. Rtt.rto_us (rtt_params t) ds.est))
       in
       Hashtbl.replace waiting dest
         { retry; next_due_us = next_due; attempts = 0; first_send_us = now; last_send_us = now })
@@ -267,7 +302,8 @@ let due_adaptive t (a : Options.adaptive) ~now =
               end;
               w.attempts <- w.attempts + 1;
               w.last_send_us <- now;
-              w.next_due_us <- now +. Rtt.rto_us a.Options.rtt ds.est;
+              w.next_due_us <-
+                now +. (pressure_factor ds ~now *. Rtt.rto_us a.Options.rtt ds.est);
               out := (dest, e.ann) :: !out;
               progress := true
             end

@@ -71,6 +71,20 @@ val ack : t -> verifier:int -> batch_id:int64 -> ack_outcome
     duplicate ACKs return [{ settled = false; _ }] and change
     nothing. *)
 
+val note_pressure : t -> dest:int -> pressure:int -> unit
+(** Record the back-pressure level [dest] advertised on a
+    [Batch.Credit] frame (clamped to [0, 255]). In adaptive mode a
+    loaded destination's re-announce interval stretches by up to 4x at
+    full pressure — pacing that one link down without starving others
+    (the token budget is spread round-robin per destination). The level
+    decays after a few RTOs unless refreshed by further Credit frames.
+    Fixed mode records the level (visible via {!pressure_level}) but
+    does not reschedule. *)
+
+val pressure_level : t -> dest:int -> int
+(** [dest]'s live advertised pressure, [0] once it has decayed or for
+    destinations that never advertised any. *)
+
 val lookup : t -> batch_id:int64 -> Batch.announcement option
 (** Retained announcement for a batch, for serving pull requests. *)
 

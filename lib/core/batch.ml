@@ -123,7 +123,11 @@ let encode_announcement a =
 
 type ack = { ack_verifier : int; ack_signer : int; ack_batch : int64 }
 type request = { req_verifier : int; req_signer : int; req_batch : int64 }
-type control = Ack of ack | Request of request | Acks of ack list
+type control =
+  | Ack of ack
+  | Request of request
+  | Acks of ack list
+  | Credit of { pressure : int; acks : ack list }
 
 let control_wire_bytes = 1 + 8 + 8 + 8
 let max_acks_per_frame = 4096
@@ -131,12 +135,13 @@ let max_acks_per_frame = 4096
 let control_bytes = function
   | Ack _ | Request _ -> control_wire_bytes
   | Acks l -> 1 + 2 + (24 * List.length l)
+  | Credit { acks; _ } -> 1 + 1 + 2 + (24 * List.length acks)
 
 let control_target = function
   | Ack a -> Some a.ack_signer
   | Request r -> Some r.req_signer
-  | Acks (a :: _) -> Some a.ack_signer
-  | Acks [] -> None
+  | Acks (a :: _) | Credit { acks = a :: _; _ } -> Some a.ack_signer
+  | Acks [] | Credit { acks = []; _ } -> None
 
 let encode_ack_fields buf a b d =
   Buffer.add_string buf (BU.u64_le (Int64.of_int a));
@@ -160,7 +165,19 @@ let encode_control c =
       List.iter
         (fun { ack_verifier; ack_signer; ack_batch } ->
           encode_ack_fields buf ack_verifier ack_signer ack_batch)
-        l);
+        l
+  | Credit { pressure; acks } ->
+      (* 'P': like 'M' but with the verifier's back-pressure byte ahead
+         of the count, so credit rides the existing ACK wire *)
+      Buffer.add_char buf 'P';
+      Buffer.add_char buf (Char.chr (max 0 (min 255 pressure)));
+      let n = List.length acks in
+      Buffer.add_char buf (Char.chr (n land 0xFF));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+      List.iter
+        (fun { ack_verifier; ack_signer; ack_batch } ->
+          encode_ack_fields buf ack_verifier ack_signer ack_batch)
+        acks);
   Buffer.contents buf
 
 let decode_control s =
@@ -192,6 +209,28 @@ let decode_control s =
                         ack_signer = Int64.to_int (BU.get_u64_le s (off + 8));
                         ack_batch = BU.get_u64_le s (off + 16);
                       })))
+        end
+    | 'P' ->
+        if len < 4 then Error "bad control size"
+        else begin
+          let pressure = Char.code s.[1] in
+          let n = Char.code s.[2] lor (Char.code s.[3] lsl 8) in
+          if n > max_acks_per_frame then Error "oversized ack batch"
+          else if len <> 4 + (24 * n) then Error "bad control size"
+          else
+            Ok
+              (Credit
+                 {
+                   pressure;
+                   acks =
+                     List.init n (fun i ->
+                         let off = 4 + (24 * i) in
+                         {
+                           ack_verifier = Int64.to_int (BU.get_u64_le s off);
+                           ack_signer = Int64.to_int (BU.get_u64_le s (off + 8));
+                           ack_batch = BU.get_u64_le s (off + 16);
+                         });
+                 })
         end
     | _ -> Error "bad control tag"
 

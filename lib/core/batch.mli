@@ -83,17 +83,24 @@ type control =
           body) — what {!Dsig.Verifier.deliver_many} emits after a
           catch-up so a wide fan-out costs one reverse frame per signer
           instead of one per batch. Single-[Ack] frames stay decodable. *)
+  | Credit of { pressure : int; acks : ack list }
+      (** The [Acks] frame extended with the verifier's back-pressure
+          byte ([0..255], see {!Dsig_loadctl.Admission.pressure}) — what
+          a verifier running admission control emits instead of
+          [Ack]/[Acks], so load information rides the existing ACK wire
+          for free. Old-format ['K']/['M'] frames remain decodable for
+          mixed-version fleets. *)
 
 val control_wire_bytes : int
 (** Encoded size of an [Ack]/[Request] (tag + three u64 fields). *)
 
 val control_bytes : control -> int
 (** Encoded size of any control message ([Acks] frames are
-    [3 + 24 * count] bytes). *)
+    [3 + 24 * count] bytes, [Credit] frames one byte more). *)
 
 val control_target : control -> int option
 (** The signer a control frame must be routed to ([None] only for an
-    empty [Acks]; [Acks] frames carry acks for a single signer). *)
+    empty [Acks]/[Credit]; both carry acks for a single signer). *)
 
 val max_acks_per_frame : int
 

@@ -3,6 +3,7 @@ module type S = sig
 
   val deliver_ack : t -> Batch.ack -> unit
   val deliver_request : t -> Batch.request -> Batch.announcement option
+  val note_pressure : t -> verifier:int -> pressure:int -> unit
   val step : t -> now:float -> (int * Batch.announcement) list
 end
 
@@ -17,6 +18,7 @@ let of_signer s = Handle ((module Signer_cp), s)
 let of_runtime r = Handle ((module Runtime_cp), r)
 let deliver_ack (Handle ((module M), x)) a = M.deliver_ack x a
 let deliver_request (Handle ((module M), x)) r = M.deliver_request x r
+let note_pressure (Handle ((module M), x)) ~verifier ~pressure = M.note_pressure x ~verifier ~pressure
 let step (Handle ((module M), x)) ~now = M.step x ~now
 
 let deliver t control =
@@ -26,6 +28,14 @@ let deliver t control =
       []
   | Batch.Acks l ->
       List.iter (deliver_ack t) l;
+      []
+  | Batch.Credit { pressure; acks } ->
+      (* all acks in a Credit frame come from one verifier; an empty
+         frame carries no routable origin and is dropped *)
+      (match acks with
+      | a :: _ -> note_pressure t ~verifier:a.Batch.ack_verifier ~pressure
+      | [] -> ());
+      List.iter (deliver_ack t) acks;
       []
   | Batch.Request r -> (
       match deliver_request t r with

@@ -21,6 +21,10 @@ module type S = sig
   (** The retained announcement to re-send to the requesting verifier,
       or [None] when not retained / not this signer. *)
 
+  val note_pressure : t -> verifier:int -> pressure:int -> unit
+  (** Record the back-pressure byte a verifier piggybacked on a
+      [Batch.Credit] frame (loadctl plane, DESIGN.md §15). *)
+
   val step : t -> now:float -> (int * Batch.announcement) list
   (** Re-announcements due at [now] (telemetry time base), as
       [(destination, announcement)] pairs the caller must send. *)
@@ -37,9 +41,12 @@ val of_runtime : Runtime.t -> t
 
 val deliver_ack : t -> Batch.ack -> unit
 val deliver_request : t -> Batch.request -> Batch.announcement option
+val note_pressure : t -> verifier:int -> pressure:int -> unit
 val step : t -> now:float -> (int * Batch.announcement) list
 
 val deliver : t -> Batch.control -> (int * Batch.announcement) list
 (** Dispatch a decoded control frame: ACKs (single or batched) are
-    absorbed, requests yield the [(destination, announcement)] repair
-    replies for the caller to send. *)
+    absorbed, [Credit] frames additionally record the sender's
+    back-pressure byte, requests yield the
+    [(destination, announcement)] repair replies for the caller to
+    send. *)

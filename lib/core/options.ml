@@ -37,6 +37,7 @@ type t = {
   translog : (signer:int -> op:string -> signature:string -> unit) option;
   parallel : Dsig_util.Domain_pool.t option;
   sample_hook : (now_us:float -> unit) option;
+  loadctl : Dsig_loadctl.Admission.t option;
 }
 
 let default =
@@ -51,6 +52,7 @@ let default =
     translog = None;
     parallel = None;
     sample_hook = None;
+    loadctl = None;
   }
 
 let with_telemetry telemetry t = { t with telemetry }
@@ -76,3 +78,4 @@ let with_ack_delay ?(srtt_fraction = 0.25) ~cap_us t =
 let with_translog sink t = { t with translog = Some sink }
 let with_parallel pool t = { t with parallel = Some pool }
 let with_sample_hook hook t = { t with sample_hook = Some hook }
+let with_loadctl admission t = { t with loadctl = Some admission }

@@ -101,6 +101,12 @@ type t = {
       (** observability tick: called at the top of every control-plane
           [step ~now] with that step's clock ([None] (default) = no
           hook) *)
+  loadctl : Dsig_loadctl.Admission.t option;
+      (** verifier-side admission controller ([None] (default) = admit
+          everything): work is classified fast-verify / slow-repair /
+          control and may be shed before any crypto runs, and ACKs are
+          upgraded to [Batch.Credit] frames carrying the pressure byte
+          (see DESIGN.md §15) *)
 }
 
 val default : t
@@ -163,3 +169,9 @@ val with_sample_hook : (now_us:float -> unit) -> t -> t
     dedicated timer thread. The hook runs on the stepping thread and
     must not raise; keep it cheap (samplers throttle themselves via
     [interval_us]). *)
+
+val with_loadctl : Dsig_loadctl.Admission.t -> t -> t
+(** Attach an admission controller to the verifier built from these
+    options. One controller per verifier: sharing an instance across
+    verifiers pools their admitted rate, which is almost never what a
+    deployment wants (per-node capacity differs). *)

@@ -29,6 +29,7 @@ type tel = {
   g_queue : Metric.Gauge.t;
   g_rtt : Metric.Gauge.t;
   g_rto : Metric.Gauge.t;
+  g_peer_pressure : Metric.Gauge.t;
   (* per-destination pacing series are name-suffixed (no label support
      in the exporters) and resolved lazily, under [mu] *)
   dest_gauges : (int, Metric.Gauge.t * Metric.Gauge.t) Hashtbl.t;
@@ -155,6 +156,7 @@ let create cfg ~id ~eddsa ~seed ?(options = Options.default) () =
           g_queue = Tel.gauge telemetry "dsig_runtime_queue_depth";
           g_rtt = Tel.gauge telemetry "dsig_rtt_us";
           g_rto = Tel.gauge telemetry "dsig_rto_us";
+          g_peer_pressure = Tel.gauge telemetry "dsig_runtime_peer_pressure";
           dest_gauges = Hashtbl.create 8;
         };
     }
@@ -297,6 +299,10 @@ let deliver_ack t (a : Batch.ack) =
       if o.Announce.redundant then Metric.Counter.incr t.tel.c_redundant
     end
   end
+
+let note_pressure t ~verifier ~pressure =
+  locked t (fun () -> Announce.note_pressure t.announce ~dest:verifier ~pressure);
+  Metric.Gauge.set t.tel.g_peer_pressure (float_of_int pressure)
 
 let deliver_request t (r : Batch.request) =
   if r.Batch.req_signer <> t.id then None

@@ -101,6 +101,10 @@ val deliver_request : t -> Batch.request -> Batch.announcement option
     [None] if the batch is no longer retained or names another signer.
     The caller sends the reply. *)
 
+val note_pressure : t -> verifier:int -> pressure:int -> unit
+(** Record the back-pressure byte [verifier] piggybacked on a
+    [Batch.Credit] frame; see {!Signer.note_pressure}. Thread-safe. *)
+
 val step : t -> now:float -> (int * Batch.announcement) list
 (** Re-announcements due at [now] (in the telemetry clock's time base);
     consuming the list advances each destination's backoff/RTO. Under

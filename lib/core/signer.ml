@@ -61,6 +61,7 @@ type tel = {
   g_rtt : Metric.Gauge.t;
   g_rto : Metric.Gauge.t;
   g_epoch : Metric.Gauge.t;
+  g_peer_pressure : Metric.Gauge.t;
   (* exporters have no label dimension, so per-destination series are
      name-suffixed (dsig_rtt_us_dest_<id>) and resolved lazily *)
   dest_gauges : (int, Metric.Gauge.t * Metric.Gauge.t) Hashtbl.t;
@@ -169,6 +170,7 @@ let create cfg ~id ~eddsa ~rng ?send ?(groups = []) ?(options = Options.default)
         g_rtt = Tel.gauge telemetry "dsig_rtt_us";
         g_rto = Tel.gauge telemetry "dsig_rto_us";
         g_epoch = Tel.gauge telemetry "dsig_rotation_epoch";
+        g_peer_pressure = Tel.gauge telemetry "dsig_signer_peer_pressure";
         dest_gauges = Hashtbl.create 8;
       };
   }
@@ -584,6 +586,10 @@ let deliver_ack t (a : Batch.ack) =
       if o.Announce.redundant then Metric.Counter.incr t.tel.c_redundant
     end
   end
+
+let note_pressure t ~verifier ~pressure =
+  Announce.note_pressure t.announce ~dest:verifier ~pressure;
+  Metric.Gauge.set t.tel.g_peer_pressure (float_of_int pressure)
 
 let deliver_request t (r : Batch.request) =
   if r.Batch.req_signer <> t.id then None

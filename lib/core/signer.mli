@@ -199,6 +199,14 @@ val deliver_request : t -> Batch.request -> Batch.announcement option
     (pull repair), or [None] if the batch is no longer retained or the
     request names another signer. The caller sends the reply. *)
 
+val note_pressure : t -> verifier:int -> pressure:int -> unit
+(** Record the back-pressure byte [verifier] piggybacked on a
+    [Batch.Credit] frame: under adaptive pacing that destination's
+    re-announce interval stretches (up to 4x at 255) until the level
+    decays or a lower one arrives (see {!Announce.note_pressure}).
+    Mirrors the latest level into the [dsig_signer_peer_pressure]
+    gauge. *)
+
 val step : t -> now:float -> (int * Batch.announcement) list
 (** Re-announcements due at [now] (in the telemetry clock's time base),
     as [(destination, announcement)] pairs the caller must send.

@@ -10,6 +10,7 @@ module Tracer = Dsig_telemetry.Tracer
 module Metric = Dsig_telemetry.Metric
 module Lifecycle = Dsig_telemetry.Lifecycle
 module Trace = Dsig_telemetry.Trace_ctx
+module Admission = Dsig_loadctl.Admission
 
 type cached_batch = {
   root : string;
@@ -96,6 +97,11 @@ type t = {
   stats_mu : Mutex.t;
   stats : stats;
   pool : Domain_pool.t option;
+  (* Optional load-control plane (Options.with_loadctl): admission is
+     consulted before crypto on the verify paths and its pressure byte
+     rides outbound ACK frames as [Batch.Credit]. The controller has
+     its own internal mutex — safe from any domain. *)
+  admission : Admission.t option;
   (* Metric cells are per-domain (Registry keys them by Domain.self and
      merges on snapshot), so the handles resolved at creation time are
      only valid on the creating domain. Worker domains resolve their
@@ -166,6 +172,7 @@ let create cfg ~id ~pki ?control ?(options = Options.default) () =
         eddsa_cache_evictions = 0;
       };
     pool = options.Options.parallel;
+    admission = options.Options.loadctl;
     tel0 = make_tel telemetry;
     tel_domain = (Domain.self () :> int);
     tel_mu = Mutex.create ();
@@ -345,6 +352,15 @@ let pending_ack_count t =
   Mutex.protect t.ctl_mu (fun () ->
       Hashtbl.fold (fun _ acks n -> n + List.length acks) t.pending_acks 0)
 
+(* With a load controller, every outbound acknowledgement frame carries
+   the verifier's current pressure byte ([Batch.Credit]) so loaded
+   destinations pace their signers down; without one, the historical
+   [Ack]/[Acks] frames go out unchanged. *)
+let control_frame_for_acks t acks =
+  match t.admission with
+  | Some a -> Batch.Credit { pressure = Admission.pressure a; acks }
+  | None -> ( match acks with [ a ] -> Batch.Ack a | l -> Batch.Acks l)
+
 let flush_acks ?(force = false) t ~now =
   match t.control with
   | None ->
@@ -375,7 +391,7 @@ let flush_acks ?(force = false) t ~now =
       List.iter
         (fun acks ->
           ack_frame_sent t ~acks:(List.length acks);
-          match acks with [ a ] -> send (Batch.Ack a) | l -> send (Batch.Acks l))
+          send (control_frame_for_acks t acks))
         frames;
       List.length frames
 
@@ -403,7 +419,7 @@ let send_or_enqueue_ack t ack =
       let hold = ack_hold_us t in
       if hold <= 0.0 then begin
         ack_frame_sent t ~acks:1;
-        send (Batch.Ack ack)
+        send (control_frame_for_acks t [ ack ])
       end
       else enqueue_ack t ack ~hold
 
@@ -489,10 +505,25 @@ let announcement_root (ann : Batch.announcement) =
   in
   (root, msg)
 
+(* Announcements and repair replies are control-class traffic: the
+   admission controller accounts them (offered totals, refill clock)
+   but never sheds them — losing an announcement would only convert
+   future fast-path verifications into slow paths, making overload
+   worse. The Shed arm is defensive. *)
+let control_admitted t =
+  match t.admission with
+  | None -> true
+  | Some a -> (
+      match Admission.admit a ~now_us:(now t) Admission.Control with
+      | Admission.Admit -> true
+      | Admission.Shed -> false)
+
 let deliver ?sent_us t (ann : Batch.announcement) =
   (match sent_us with
   | Some s -> observe_announce_latency t ~sent_us:s ~now:(now t)
   | None -> ());
+  if not (control_admitted t) then false
+  else
   match Pki.allowed t.pki ~id:ann.Batch.signer_id ~batch:ann.Batch.ann_batch_id with
   | None ->
       Log.L.warn (fun m ->
@@ -528,6 +559,7 @@ let split_rng t = Mutex.protect t.rng_mu (fun () -> Rng.split t.rng)
    poison the rest. All admits, ACKs and other control traffic happen
    on the calling domain — the workers only run crypto. *)
 let deliver_many t anns =
+  let anns = List.filter (fun _ -> control_admitted t) anns in
   let entries =
     List.filter_map
       (fun ann ->
@@ -601,7 +633,7 @@ let deliver_many t anns =
         List.iter
           (fun acks ->
             ack_frame_sent t ~acks:(List.length acks);
-            send (Batch.Acks acks))
+            send (control_frame_for_acks t acks))
           frames
       end);
   (* failed chunks: per-announcement delivery isolates the bad one(s) *)
@@ -946,6 +978,18 @@ let lifecycle_verify t ?ctx ids ~t1 ~dur =
    latency histograms, tracer spans, lifecycle joins, and the slow
    path's pull-repair request. Runs on the calling domain. *)
 let account ?ctx t ~t0 ~t1 (outcome, ids, missing) =
+  (* classification time is the verify span the CoDel detector watches:
+     a sustained rise above the sojourn target (cache misses cascading
+     into inline EdDSA) trips the controller into congestion.
+     Zero-width spans are skipped — under a virtual clock (simnet) the
+     crypto runs in zero virtual time, and a stream of 0 us samples
+     would pin the interval minimum at zero and mask the queue delay
+     fed through [observe_sojourn]. *)
+  (match t.admission with
+  | Some a ->
+      let dur = t1 -. t0 in
+      if dur > 0.0 then Admission.observe a ~now_us:t1 ~sojourn_us:dur
+  | None -> ());
   let tl = tel t in
   let trace span =
     Tracer.record_at tl.bundle.Tel.tracer ~tag:t.id span Tracer.Begin t0;
@@ -971,11 +1015,37 @@ let account ?ctx t ~t0 ~t1 (outcome, ids, missing) =
       true
   | Rejected -> reject t
 
+(* Admission class of one signature, decided before any crypto: a
+   decodable header whose batch root is already cached will take the
+   comparison-only fast path (class [Verify]); anything else risks the
+   slow path's inline EdDSA and possibly a pull repair (class
+   [Repair]), which is what gets shed first under overload. Malformed
+   headers class as [Verify] — they reject cheaply at decode. *)
+let admission_class t wire_bytes =
+  match Wire.peek_header wire_bytes with
+  | None -> Admission.Verify
+  | Some (signer, batch_id) ->
+      if lookup_batch t ~signer ~batch_id <> None then Admission.Verify else Admission.Repair
+
+(* Take the admission decision for one signature. [false] means Shed:
+   the caller reports verification failure without touching the crypto
+   (never a false accept — a shed signature is simply not accepted). *)
+let admitted t wire_bytes =
+  match t.admission with
+  | None -> true
+  | Some a -> (
+      match Admission.admit a ~now_us:(now t) (admission_class t wire_bytes) with
+      | Admission.Admit -> true
+      | Admission.Shed -> false)
+
 let verify_with ?ctx t ~msg wire_bytes =
-  let t0 = now t in
-  let r = classify t ~msg wire_bytes in
-  let t1 = now t in
-  account ?ctx t ~t0 ~t1 r
+  if not (admitted t wire_bytes) then false
+  else begin
+    let t0 = now t in
+    let r = classify t ~msg wire_bytes in
+    let t1 = now t in
+    account ?ctx t ~t0 ~t1 r
+  end
 
 let verify t ~msg wire_bytes = verify_with t ~msg wire_bytes
 
@@ -989,19 +1059,42 @@ let verify_ctx t ~ctx ~msg wire_bytes = verify_with ~ctx t ~msg wire_bytes
 let verify_many t pairs =
   match t.pool with
   | Some pool when Array.length pairs > 1 && Domain_pool.size pool > 1 ->
+      (* admission verdicts are taken sequentially on the calling
+         domain (token buckets drain in input order, same as the
+         no-pool loop); only the admitted signatures' crypto is
+         sharded. Shed entries stay [None] — no accounting. *)
+      let gated =
+        Array.map (fun ((_, wire_bytes) as pair) -> (admitted t wire_bytes, pair)) pairs
+      in
       let classified =
         Domain_pool.parallel_map pool
-          ~f:(fun ~shard:_ (msg, wire_bytes) ->
-            let t0 = now t in
-            let r = classify t ~msg wire_bytes in
-            let t1 = now t in
-            (r, t0, t1))
-          pairs
+          ~f:(fun ~shard:_ (go, (msg, wire_bytes)) ->
+            if not go then None
+            else begin
+              let t0 = now t in
+              let r = classify t ~msg wire_bytes in
+              let t1 = now t in
+              Some (r, t0, t1)
+            end)
+          gated
       in
-      Array.map (fun (r, t0, t1) -> account t ~t0 ~t1 r) classified
+      Array.map
+        (function None -> false | Some (r, t0, t1) -> account t ~t0 ~t1 r)
+        classified
   | _ -> Array.map (fun (msg, wire_bytes) -> verify_with t ~msg wire_bytes) pairs
 
 let can_verify_fast t wire_bytes =
   match Wire.peek_header wire_bytes with
   | None -> false
   | Some (signer, batch_id) -> lookup_batch t ~signer ~batch_id <> None
+
+(* --- load-control surface (Options.with_loadctl) --- *)
+
+let admission t = t.admission
+
+let observe_sojourn t ~sojourn_us =
+  match t.admission with
+  | Some a -> Admission.observe a ~now_us:(now t) ~sojourn_us
+  | None -> ()
+
+let pressure t = match t.admission with Some a -> Admission.pressure a | None -> 0

@@ -39,7 +39,15 @@ val create :
 
     [options] (default {!Options.default}) supplies the telemetry bundle
     and the pull-repair pacing policy; the other fields are signer-side
-    and ignored here. The telemetry bundle receives
+    and ignored here. With {!Options.with_loadctl}, the verifier also
+    carries a {!Dsig_loadctl.Admission} controller: verify calls are
+    classified ([Verify] when the batch root is cached, [Repair]
+    otherwise) and admitted against per-class token buckets {e before}
+    any crypto runs — a shed signature reports [false] without being
+    checked (never a false accept) — and every outbound acknowledgement
+    frame becomes a {!Batch.Credit} carrying the controller's pressure
+    byte, which signers feed to {!Signer.note_pressure} to pace their
+    re-announcements down (DESIGN.md §15). The telemetry bundle receives
     [dsig_verifier_fast_total] / [dsig_verifier_slow_total] /
     [dsig_verifier_rejected_total] / [dsig_verifier_eddsa_cache_hits_total] /
     [dsig_verifier_announcements_total] counters, the slow-path
@@ -156,3 +164,23 @@ val pending_ack_count : t -> int
 val announce_srtt_us : t -> float option
 (** The verifier-side smoothed announce round-trip estimate, if any
     announcement has arrived with a send stamp. *)
+
+(** {1 Load control}
+
+    Present only when the verifier was created with
+    {!Options.with_loadctl}; see {!Dsig_loadctl.Admission} and
+    DESIGN.md §15. *)
+
+val admission : t -> Dsig_loadctl.Admission.t option
+(** The attached admission controller, if any — read its {e shed}
+    counters and JSON snapshot from here. *)
+
+val observe_sojourn : t -> sojourn_us:float -> unit
+(** Feed an externally measured queueing delay (e.g. inbox sojourn in a
+    transport or simulator) into the controller's CoDel detector, in
+    addition to the verify spans it observes on its own. A no-op
+    without a controller. *)
+
+val pressure : t -> int
+(** The current back-pressure byte (0..255) outbound ACK frames carry;
+    0 without a controller. *)

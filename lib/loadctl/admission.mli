@@ -1,0 +1,93 @@
+(** Verifier-side admission control: per-class token buckets whose
+    refill rate adapts by AIMD on a CoDel-style queue-delay signal
+    (DESIGN.md §15).
+
+    The verifier classifies every unit of work — fast-path verify,
+    slow-path repair, control — and asks [admit] for a token before any
+    crypto runs. A [Shed] verdict means the work is refused outright
+    (counted, surfaced in telemetry, reflected in the exported
+    {!pressure} byte) rather than queued into a latency collapse.
+
+    Congestion is detected CoDel-style: callers feed queue-sojourn
+    samples through {!observe}; when the {e minimum} sojourn over a
+    whole interval stays above the target, the admitted rate is cut
+    multiplicatively, and each healthy (or idle) interval earns an
+    additive increase back towards the real capacity.
+
+    Shed order is fixed by construction: [Control] is never shed,
+    [Repair] (inline EdDSA) refills at a fraction of the verify rate
+    and is shed entirely while congested, [Verify] refills at the full
+    adapted rate. So under overload the slow path goes first and the
+    fast path degrades last — the graceful half of the paper's
+    fast/slow split.
+
+    All operations are thread- and domain-safe. *)
+
+type cls = Verify | Repair | Control
+
+val cls_name : cls -> string
+
+type verdict = Admit | Shed
+
+type params = {
+  target_sojourn_us : float;  (** CoDel target: sojourns above this signal congestion *)
+  interval_us : float;  (** CoDel interval the minimum sojourn is tracked over *)
+  initial_rate_per_sec : float;
+  min_rate_per_sec : float;
+  max_rate_per_sec : float;
+  additive_per_sec : float;  (** AIMD increase per uncongested second *)
+  beta : float;  (** AIMD multiplicative decrease factor, in (0, 1) *)
+  burst : float;  (** verify-bucket depth in tokens *)
+  repair_share : float;  (** repair rate and depth as a fraction of verify's *)
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> ?telemetry:Dsig_telemetry.Telemetry.t -> unit -> t
+(** Raises [Invalid_argument] on nonsensical parameters. Registers the
+    [dsig_loadctl_*] series on [telemetry] (default bundle otherwise);
+    instances sharing a bundle accumulate into the same series. *)
+
+val admit : t -> now_us:float -> cls -> verdict
+(** Take one token from the class bucket. [Control] always admits.
+    Timestamps come from the caller's clock (wall or virtual) and must
+    be monotone per instance. *)
+
+val observe : t -> now_us:float -> sojourn_us:float -> unit
+(** Feed one queue-delay sample (microseconds a unit of work waited
+    before service — or, where no queue is visible, the verify-span
+    duration). Negative and non-finite samples are ignored. *)
+
+val congested : t -> bool
+(** Whether the last closed interval's minimum sojourn exceeded the
+    target (the CoDel "standing queue" state). *)
+
+val rate_per_sec : t -> float
+(** The current AIMD-adapted admitted rate (verify-class tokens/sec). *)
+
+val pressure : t -> int
+(** Back-pressure summary in [0, 255]: 0 = unloaded, 255 = shedding
+    everything. Piggybacked on ACK frames ([Batch.Credit]) so signers
+    pace down loaded destinations. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  offered_verify : int;
+  shed_verify : int;
+  offered_repair : int;
+  shed_repair : int;
+  offered_control : int;
+  shed_control : int;  (** always 0: control is never shed *)
+}
+
+val stats : t -> stats
+val offered_total : stats -> int
+val shed_total : stats -> int
+
+val to_json : t -> string
+(** One-object JSON summary (schema ["dsig-loadctl-v1"]): adapted rate,
+    congested flag, pressure byte, per-class offered/shed counts. The
+    scrape endpoint serves this at [/loadctl]. *)

@@ -47,6 +47,7 @@ type t = {
   g_firing : Dsig_telemetry.Metric.Gauge.t;
   transitions : (float * string * event) Queue.t;
   transition_cap : int;
+  mutable callbacks : (at_us:float -> rule:string -> event -> unit) list;
 }
 
 let create ?(telemetry = Tel.default) ?(transition_cap = 256) sampler rules =
@@ -63,9 +64,11 @@ let create ?(telemetry = Tel.default) ?(transition_cap = 256) sampler rules =
     g_firing = Dsig_telemetry.Registry.gauge reg "dsig_slo_alerts_firing";
     transitions = Queue.create ();
     transition_cap;
+    callbacks = [];
   }
 
 let rules t = List.map fst t.rules
+let on_transition t f = t.callbacks <- t.callbacks @ [ f ]
 
 (* error-budget burn over one trailing window. For a burn-rate
    condition this is (bad/total)/budget — 1.0 means failures arrive
@@ -93,7 +96,10 @@ let burn_over t cond ~window_us ~now_us =
 let record_transition t ~now_us name ev =
   Queue.push (now_us, name, ev) t.transitions;
   if Queue.length t.transitions > t.transition_cap then
-    ignore (Queue.pop t.transitions)
+    ignore (Queue.pop t.transitions);
+  (* registration order; a raising callback aborts the step — alerting
+     sinks must be total *)
+  List.iter (fun f -> f ~at_us:now_us ~rule:name ev) t.callbacks
 
 let step t ~now_us =
   let changed =

@@ -54,6 +54,13 @@ val create : ?telemetry:Dsig_telemetry.Telemetry.t -> ?transition_cap:int -> Sam
 
 val rules : t -> rule list
 
+val on_transition : t -> (at_us:float -> rule:string -> event -> unit) -> unit
+(** Register a callback invoked synchronously from {!step} on every
+    fire/resolve transition, after the transition is logged; callbacks
+    run in registration order. Deployments use this to route alerts to
+    a log or an operator channel without polling {!transitions}. A
+    raising callback aborts the step — sinks must be total. *)
+
 val step : t -> now_us:float -> (string * event) list
 (** Re-evaluate every rule against the sampler at [now_us]; returns the
     transitions that happened on this step (usually []). Cheap enough

@@ -7,6 +7,24 @@ let kind_of_string = function
   | "gauge" -> Some Gauge
   | _ -> None
 
+(* Tiered retention (DESIGN.md §15): when the raw ring overwrites its
+   oldest point, that point is not lost — it folds into a pending
+   bucket, and every [compact_every] evictions the bucket is appended
+   to a second, coarser ring. A bucket keeps enough of the shape
+   (first/last for step reads and deltas, min/max/sum/count for
+   windowed aggregates) that queries reaching past raw history answer
+   conservatively instead of partially. *)
+type bucket = {
+  b_t_first : float;
+  b_t_last : float;
+  b_vfirst : float;
+  b_vlast : float;
+  b_min : float;
+  b_max : float;
+  b_sum : float;
+  b_n : int;
+}
+
 type t = {
   name : string;
   kind : kind;
@@ -20,10 +38,31 @@ type t = {
      monotone even when the underlying process restarts from zero *)
   mutable last_raw : float;
   mutable offset : float;
+  (* compacted tier: ring of closed buckets plus the one being filled.
+     [compact_every <= 0] disables the tier (evictions discard). *)
+  compact_every : int;
+  cbs : bucket array;
+  mutable chead : int;
+  mutable clen : int;
+  mutable pending : bucket option;
 }
 
-let create ?(capacity = 512) ~name kind =
+let no_bucket =
+  {
+    b_t_first = 0.0;
+    b_t_last = 0.0;
+    b_vfirst = 0.0;
+    b_vlast = 0.0;
+    b_min = 0.0;
+    b_max = 0.0;
+    b_sum = 0.0;
+    b_n = 0;
+  }
+
+let create ?(capacity = 512) ?(compact_every = 8) ?(compact_capacity = 256) ~name kind =
   if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  if compact_every > 0 && compact_capacity <= 0 then
+    invalid_arg "Series.create: compact_capacity must be positive";
   {
     name;
     kind;
@@ -34,6 +73,11 @@ let create ?(capacity = 512) ~name kind =
     len = 0;
     last_raw = 0.0;
     offset = 0.0;
+    compact_every;
+    cbs = Array.make (if compact_every > 0 then compact_capacity else 1) no_bucket;
+    chead = 0;
+    clen = 0;
+    pending = None;
   }
 
 let name t = t.name
@@ -43,6 +87,65 @@ let length t = t.len
 
 let slot t i = (t.head + i) mod t.capacity
 
+(* --- compacted tier --- *)
+
+let cslot t i = (t.chead + i) mod Array.length t.cbs
+
+let compacted_get t i =
+  if i < 0 || i >= t.clen then invalid_arg "Series.compacted_get: index out of range";
+  t.cbs.(cslot t i)
+
+let compacted_length t = t.clen
+let compacted t = List.init t.clen (fun i -> compacted_get t i)
+
+let append_bucket t b =
+  let i = if t.clen = Array.length t.cbs then t.chead else cslot t t.clen in
+  t.cbs.(i) <- b;
+  if t.clen = Array.length t.cbs then t.chead <- (t.chead + 1) mod Array.length t.cbs
+  else t.clen <- t.clen + 1
+
+let absorb_evicted t ~t_us v =
+  if t.compact_every > 0 then begin
+    let b =
+      match t.pending with
+      | None ->
+          {
+            b_t_first = t_us;
+            b_t_last = t_us;
+            b_vfirst = v;
+            b_vlast = v;
+            b_min = v;
+            b_max = v;
+            b_sum = v;
+            b_n = 1;
+          }
+      | Some b ->
+          {
+            b with
+            b_t_last = t_us;
+            b_vlast = v;
+            b_min = Float.min b.b_min v;
+            b_max = Float.max b.b_max v;
+            b_sum = b.b_sum +. v;
+            b_n = b.b_n + 1;
+          }
+    in
+    if b.b_n >= t.compact_every then begin
+      append_bucket t b;
+      t.pending <- None
+    end
+    else t.pending <- Some b
+  end
+
+(* buckets visible to queries: closed ones plus the partial pending
+   bucket — a window must never skip the evicted points accumulating
+   between flushes *)
+let iter_buckets t f =
+  for i = 0 to t.clen - 1 do
+    f (compacted_get t i)
+  done;
+  match t.pending with Some b -> f b | None -> ()
+
 let push t ~t_us v =
   match Float.classify_float v with
   | FP_nan | FP_infinite -> () (* never let a bad probe poison the ring *)
@@ -51,7 +154,7 @@ let push t ~t_us v =
       match t.kind with
       | Gauge -> v
       | Counter ->
-          if t.len = 0 then begin
+          if t.len = 0 && t.clen = 0 && t.pending = None then begin
             t.last_raw <- v;
             t.offset <- 0.0;
             v
@@ -63,6 +166,7 @@ let push t ~t_us v =
           end
     in
     let i = if t.len = t.capacity then t.head else slot t t.len in
+    if t.len = t.capacity then absorb_evicted t ~t_us:t.ts.(i) t.vs.(i);
     t.ts.(i) <- t_us;
     t.vs.(i) <- v;
     if t.len = t.capacity then t.head <- (t.head + 1) mod t.capacity
@@ -78,32 +182,45 @@ let last t = if t.len = 0 then None else Some (get t (t.len - 1))
 
 let points t = List.init t.len (fun i -> get t i)
 
-(* step-function read: value of the latest point at or before [at_us] *)
+(* step-function read: value of the latest point at or before [at_us].
+   Reads older than the raw ring resolve at bucket granularity from the
+   compacted tier (the last value of the latest bucket starting at or
+   before [at_us]). *)
 let value_at t ~at_us =
   let rec scan i =
-    if i < 0 then None
+    if i < 0 then begin
+      let best = ref None in
+      iter_buckets t (fun b -> if b.b_t_first <= at_us then best := Some b.b_vlast);
+      !best
+    end
     else
       let ts, v = get t i in
       if ts <= at_us then Some v else scan (i - 1)
   in
   scan (t.len - 1)
 
+(* the oldest value still retained in any tier *)
+let earliest_retained t =
+  let first = ref None in
+  iter_buckets t (fun b -> if !first = None then first := Some b.b_vfirst);
+  match !first with
+  | Some v -> Some v
+  | None -> if t.len = 0 then None else Some (snd (get t 0))
+
 let delta_over t ~from_us ~until_us =
-  if t.len = 0 then 0.0
-  else
-    match value_at t ~at_us:until_us with
-    | None -> 0.0
-    | Some b ->
-        (* a window opening before the buffer's history starts reads
-           the earliest retained point — a partial-window answer, never
-           an invented one *)
-        let a =
-          match value_at t ~at_us:from_us with
-          | Some a -> a
-          | None -> snd (get t 0)
-        in
-        let d = b -. a in
-        if t.kind = Counter then Float.max 0.0 d else d
+  match value_at t ~at_us:until_us with
+  | None -> 0.0
+  | Some b ->
+      (* a window opening before all retained history reads the
+         earliest retained point — a partial-window answer, never an
+         invented one *)
+      let a =
+        match value_at t ~at_us:from_us with
+        | Some a -> a
+        | None -> Option.value ~default:b (earliest_retained t)
+      in
+      let d = b -. a in
+      if t.kind = Counter then Float.max 0.0 d else d
 
 let rate_over t ~window_us ~now_us =
   if window_us <= 0.0 then 0.0
@@ -119,17 +236,39 @@ let fold_window t ~from_us ~until_us ~init f =
   done;
   !acc
 
+(* compacted buckets whose span intersects the window. Including a
+   bucket that only partially overlaps keeps the aggregates
+   conservative: the combined min can only be <= the true windowed min
+   and the combined max >= it — the invariants the qcheck suite pins. *)
+let fold_window_buckets t ~from_us ~until_us ~init f =
+  let acc = ref init in
+  iter_buckets t (fun b ->
+      if b.b_t_last >= from_us && b.b_t_first <= until_us then acc := f !acc b);
+  !acc
+
 let window_avg t ~from_us ~until_us =
   let n, sum =
     fold_window t ~from_us ~until_us ~init:(0, 0.0) (fun (n, s) v ->
         (n + 1, s +. v))
   in
+  let n, sum =
+    fold_window_buckets t ~from_us ~until_us ~init:(n, sum) (fun (n, s) b ->
+        (n + b.b_n, s +. b.b_sum))
+  in
   if n = 0 then None else Some (sum /. float_of_int n)
 
 let window_min t ~from_us ~until_us =
-  fold_window t ~from_us ~until_us ~init:None (fun acc v ->
-      match acc with Some m when m <= v -> acc | _ -> Some v)
+  let raw =
+    fold_window t ~from_us ~until_us ~init:None (fun acc v ->
+        match acc with Some m when m <= v -> acc | _ -> Some v)
+  in
+  fold_window_buckets t ~from_us ~until_us ~init:raw (fun acc b ->
+      match acc with Some m when m <= b.b_min -> acc | _ -> Some b.b_min)
 
 let window_max t ~from_us ~until_us =
-  fold_window t ~from_us ~until_us ~init:None (fun acc v ->
-      match acc with Some m when m >= v -> acc | _ -> Some v)
+  let raw =
+    fold_window t ~from_us ~until_us ~init:None (fun acc v ->
+        match acc with Some m when m >= v -> acc | _ -> Some v)
+  in
+  fold_window_buckets t ~from_us ~until_us ~init:raw (fun acc b ->
+      match acc with Some m when m >= b.b_max -> acc | _ -> Some b.b_max)

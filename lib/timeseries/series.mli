@@ -11,7 +11,18 @@
     its predecessor (process restart, stats re-zeroed) the lost height
     is folded into a running offset so the stored series stays monotone
     and windowed deltas / rates are never negative — the same treatment
-    Prometheus applies in [rate()]. *)
+    Prometheus applies in [rate()].
+
+    {b Tiered retention} (DESIGN.md §15): points evicted from the raw
+    ring are folded [compact_every]-to-one into a second ring of
+    {!bucket} summaries instead of being discarded. Windowed queries
+    transparently extend into the compacted tier: [value_at] and
+    [delta_over] resolve at bucket granularity past raw history, and
+    [window_min]/[window_max]/[window_avg] fold in every bucket whose
+    span intersects the window — so the combined min is [<=] the true
+    windowed minimum, the combined max [>=] the true maximum, and the
+    average always lies between them (the invariants the qcheck suite
+    pins). *)
 
 type kind =
   | Counter  (** cumulative, reset-adjusted to stay monotone *)
@@ -22,11 +33,30 @@ val kind_to_string : kind -> string
 
 val kind_of_string : string -> kind option
 
+type bucket = {
+  b_t_first : float;  (** timestamp of the bucket's first point *)
+  b_t_last : float;
+  b_vfirst : float;  (** value of the first point (tier-aware deltas) *)
+  b_vlast : float;  (** value of the last point (tier-aware step reads) *)
+  b_min : float;
+  b_max : float;
+  b_sum : float;
+  b_n : int;
+}
+(** One compacted bucket: the summary of [compact_every] consecutive
+    points evicted from the raw ring. *)
+
 type t
 
-val create : ?capacity:int -> name:string -> kind -> t
-(** Default capacity 512 points. Oldest points are overwritten once the
-    ring is full. @raise Invalid_argument on a non-positive capacity. *)
+val create :
+  ?capacity:int -> ?compact_every:int -> ?compact_capacity:int -> name:string -> kind -> t
+(** Default capacity 512 raw points, compacted 8-to-1 into a ring of
+    256 buckets (so the default series spans [512 + 8*256] points of
+    history, the older 4/5 at coarse resolution). [compact_every <= 0]
+    disables the compacted tier — evicted points are discarded, the
+    pre-§15 behavior. @raise Invalid_argument on a non-positive
+    [capacity], or a non-positive [compact_capacity] when compaction is
+    enabled. *)
 
 val name : t -> string
 val kind : t -> kind
@@ -49,14 +79,16 @@ val points : t -> (float * float) list
 (** Oldest first. *)
 
 val value_at : t -> at_us:float -> float option
-(** Step-function read: value of the latest point at or before [at_us];
-    [None] if the window opens before any retained point. *)
+(** Step-function read: value of the latest point at or before [at_us].
+    Reads older than the raw ring resolve at bucket granularity from
+    the compacted tier; [None] only before all retained history. *)
 
 val delta_over : t -> from_us:float -> until_us:float -> float
 (** Increase over the window. For counters the result is clamped at 0
-    and reset-adjusted; a window reaching past retained history is
-    answered from the earliest point still held (partial-window
-    semantics, never an extrapolation). [0.] on an empty series. *)
+    and reset-adjusted; a window reaching past retained history (both
+    tiers) is answered from the earliest point still held
+    (partial-window semantics, never an extrapolation). [0.] on an
+    empty series. *)
 
 val rate_over : t -> window_us:float -> now_us:float -> float
 (** [delta_over] the trailing window, per {e second}. *)
@@ -64,5 +96,16 @@ val rate_over : t -> window_us:float -> now_us:float -> float
 val window_avg : t -> from_us:float -> until_us:float -> float option
 val window_min : t -> from_us:float -> until_us:float -> float option
 val window_max : t -> from_us:float -> until_us:float -> float option
-(** Aggregates over the points whose timestamps fall inside the closed
-    window; [None] if no point does. *)
+(** Aggregates over the raw points whose timestamps fall inside the
+    closed window, plus every compacted bucket whose span intersects
+    it; [None] if neither tier contributes. Bucket inclusion is
+    conservative — see the tiered-retention note above. *)
+
+(** {1 Compacted tier introspection (tests, exports)} *)
+
+val compacted_length : t -> int
+(** Closed buckets currently held (the partially-filled pending bucket,
+    which queries do see, is not counted). *)
+
+val compacted : t -> bucket list
+(** Closed buckets, oldest first. *)

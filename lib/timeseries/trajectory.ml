@@ -16,11 +16,13 @@ let contains s sub =
 
 (* name-based heuristics matching the bench suite's conventions:
    latencies end in _us, throughputs carry _ops_per_sec, scaling
-   factors carry _speedup; anything else (entry counts, append totals)
-   is tracked but never gates *)
+   factors carry _speedup, goodput-retention fractions carry
+   _retention, shed fractions carry _shed_ratio; anything else (entry
+   counts, append totals) is tracked but never gates *)
 let direction_of_name name =
-  if contains name "_ops_per_sec" || contains name "_speedup" then Higher_better
-  else if has_suffix name "_us" then Lower_better
+  if contains name "_ops_per_sec" || contains name "_speedup" || contains name "_retention"
+  then Higher_better
+  else if has_suffix name "_us" || contains name "_shed_ratio" then Lower_better
   else Informational
 
 type verdict = Within | Improved | Regressed | New_metric | Missing_metric

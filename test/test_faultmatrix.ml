@@ -457,6 +457,91 @@ let test_rotation_under_faults () =
   done;
   Deploy.close d
 
+(* ISSUE 10 acceptance: a fleet hit by a 4x load spike degrades
+   gracefully — the slow (Repair) class sheds before the fast (Verify)
+   class, nothing falsely accepts even with corrupted traffic in the
+   mix, and once the spike passes the AIMD controller recovers to
+   steady state with zero shedding. All virtual time: deterministic. *)
+let test_fleet_spike_graceful_degradation () =
+  let module Fleet = Dsig_simnet.Fleet in
+  let module Fleetrun = Dsig_deploy.Fleetrun in
+  let module Admission = Dsig_loadctl.Admission in
+  (* small batches so batch boundaries (and thus announcement races)
+     are frequent; the lossy announce plane then keeps an organic
+     Repair-class stream flowing through every phase *)
+  let cfg = Config.make ~batch_size:4 ~queue_threshold:8 (Config.wots ~d:4) in
+  let signers = 30 and verifiers = 3 in
+  let service_us = 2_000.0 in
+  let per_verifier = 1.0e6 /. service_us in
+  let capacity = float_of_int verifiers *. per_verifier in
+  let nominal = 0.5 *. capacity in
+  (* reactive tuning: short CoDel interval and a hard beta so the
+     controller engages within a few tens of ms of the spike front,
+     generous additive so it re-opens within the recovery phase *)
+  let params =
+    {
+      Admission.target_sojourn_us = 3.0 *. service_us;
+      interval_us = 5.0 *. service_us;
+      initial_rate_per_sec = 1.2 *. per_verifier;
+      min_rate_per_sec = 0.3 *. per_verifier;
+      max_rate_per_sec = 4.0 *. per_verifier;
+      additive_per_sec = 2.0 *. per_verifier;
+      beta = 0.5;
+      burst = 16.0;
+      repair_share = 0.25;
+    }
+  in
+  (* phase grid 200 ms: phase 0 steady 1x, phase 1 exactly the 4x
+     spike, phase 2 drain, phase 3 the recovery window *)
+  let spec =
+    {
+      Fleet.default_spec with
+      Fleet.signers;
+      verifiers;
+      fanout = 3;
+      base_rate_per_sec = nominal /. float_of_int signers;
+      profile = Fleet.Spike { at_us = 200_000.0; dur_us = 200_000.0; magnitude = 4.0 };
+    }
+  in
+  let r =
+    Fleetrun.run ~latency_us:5.0 ~announce_latency_us:40.0 ~announce_drop:0.25 ~service_us
+      ~slow_service_us:(2.0 *. service_us) ~params ~duration_us:800_000.0 ~phase_us:200_000.0
+      ~corrupt_every:7 ~reannounce_poll_us:25_000.0 cfg (Fleet.create spec)
+  in
+  Alcotest.(check int) "four accounting phases" 4 (List.length r.Fleetrun.phases);
+  let phase i = List.nth r.Fleetrun.phases i in
+  let pre = phase 0 and spike = phase 1 and recovery = phase 3 in
+  let shed_in (p : Fleetrun.phase) = p.Fleetrun.p_shed_verify + p.Fleetrun.p_shed_repair in
+  (* corrupted messages never verify, under load or not *)
+  Alcotest.(check int) "no false accepts anywhere" 0 r.Fleetrun.false_accepts;
+  (* steady 1x (50% utilization) sheds nothing *)
+  Alcotest.(check int) "pre-spike phase sheds nothing" 0 (shed_in pre);
+  (* the spike overloads: shedding engages, and the Repair class (slow
+     path) sheds at a strictly higher ratio than the Verify class *)
+  Alcotest.(check bool) "spike phase sheds" true (shed_in spike > 0);
+  Alcotest.(check bool) "spike phase saw repair traffic" true (spike.Fleetrun.p_offered_repair > 0);
+  let ratio shed offered = if offered = 0 then 0.0 else float_of_int shed /. float_of_int offered in
+  let repair_ratio = ratio spike.Fleetrun.p_shed_repair spike.Fleetrun.p_offered_repair in
+  let verify_ratio = ratio spike.Fleetrun.p_shed_verify spike.Fleetrun.p_offered_verify in
+  Alcotest.(check bool) "slow path sheds first" true (repair_ratio > verify_ratio);
+  (* degradation is graceful: even at 2x saturation the fleet keeps
+     verifying a substantial share of its fast-path capacity, and the
+     sojourn of what it does accept stays bounded — shedding, not
+     unbounded queueing, absorbs the overload *)
+  let spike_goodput =
+    float_of_int spike.Fleetrun.p_accepted
+    /. ((spike.Fleetrun.p_until_us -. spike.Fleetrun.p_from_us) /. 1.0e6)
+  in
+  Alcotest.(check bool) "spike goodput above 40% of capacity" true
+    (spike_goodput >= 0.4 *. capacity);
+  Alcotest.(check bool) "accepted sojourn bounded during the spike" true
+    (spike.Fleetrun.p_sojourn_p99_us <= 25.0 *. service_us);
+  (* the spike ends at t=400ms; phase 2 drains and by the final phase
+     AIMD has re-opened — shed rate back to zero, sojourn at target *)
+  Alcotest.(check int) "recovery phase sheds nothing" 0 (shed_in recovery);
+  Alcotest.(check bool) "recovery sojourn back around the CoDel target" true
+    (recovery.Fleetrun.p_sojourn_p99_us <= 2.0 *. params.Admission.target_sojourn_us)
+
 let suites =
   [
     ( "faultmatrix",
@@ -474,5 +559,7 @@ let suites =
           test_revocation_under_faults;
         Alcotest.test_case "rotation keeps availability under drop" `Slow
           test_rotation_under_faults;
+        Alcotest.test_case "fleet 4x spike degrades gracefully" `Slow
+          test_fleet_spike_graceful_degradation;
       ] );
   ]

@@ -268,6 +268,11 @@ let interleave_prop ops =
     | _, None -> ()
     | Batch.Ack a, Some s -> Signer.deliver_ack s a
     | Batch.Acks l, Some s -> List.iter (Signer.deliver_ack s) l
+    | Batch.Credit { pressure; acks }, Some s ->
+        (match acks with
+        | a :: _ -> Signer.note_pressure s ~verifier:a.Batch.ack_verifier ~pressure
+        | [] -> ());
+        List.iter (Signer.deliver_ack s) acks
     | Batch.Request r, Some s ->
         (* pull repair replies synchronously: re-enters the verifier *)
         Option.iter deliver_ann (Signer.deliver_request s r)

@@ -133,6 +133,111 @@ let gauge_capacity_invariant =
       in
       Series.length s <= capacity && List.map snd (Series.points s) = expected)
 
+(* --- Series: tiered downsampling (§15) --- *)
+
+let test_series_compaction_gauge () =
+  let s = Series.create ~capacity:4 ~compact_every:2 ~compact_capacity:8 ~name:"g" Series.Gauge in
+  for i = 1 to 12 do
+    Series.push s ~t_us:(float_of_int (i * 100)) (float_of_int i)
+  done;
+  (* raw ring holds 9..12; the 8 evicted points closed 4 buckets *)
+  Alcotest.(check int) "raw tier" 4 (Series.length s);
+  Alcotest.(check int) "closed buckets" 4 (Series.compacted_length s);
+  (match Series.compacted s with
+  | b :: _ ->
+      feq "bucket t_first" 100.0 b.Series.b_t_first;
+      feq "bucket t_last" 200.0 b.Series.b_t_last;
+      feq "bucket vfirst" 1.0 b.Series.b_vfirst;
+      feq "bucket vlast" 2.0 b.Series.b_vlast;
+      feq "bucket min" 1.0 b.Series.b_min;
+      feq "bucket max" 2.0 b.Series.b_max;
+      feq "bucket sum" 3.0 b.Series.b_sum;
+      Alcotest.(check int) "bucket n" 2 b.Series.b_n
+  | [] -> Alcotest.fail "expected a closed bucket");
+  (* step reads older than the raw ring fall through to the buckets,
+     answering at bucket granularity (vlast of the covering bucket) *)
+  feq "value_at from compacted tier" 4.0 (Option.get (Series.value_at s ~at_us:350.0));
+  Alcotest.(check (option (float 0.0)))
+    "before all retained history" None
+    (Series.value_at s ~at_us:50.0);
+  (* windowed aggregates combine both tiers; bucket inclusion is
+     conservative (whole bucket counts once its span intersects), so
+     the min can only undershoot the true windowed min *)
+  feq "window_min spans tiers" 3.0 (Option.get (Series.window_min s ~from_us:350.0 ~until_us:950.0));
+  feq "window_max spans tiers" 9.0 (Option.get (Series.window_max s ~from_us:350.0 ~until_us:950.0));
+  (* the 13th push evicts point 9 into a *pending* (unclosed) bucket,
+     which queries must still see *)
+  Series.push s ~t_us:1300.0 13.0;
+  Alcotest.(check int) "pending bucket not counted as closed" 4 (Series.compacted_length s);
+  feq "pending bucket answers value_at" 9.0 (Option.get (Series.value_at s ~at_us:950.0))
+
+let test_series_compaction_counter () =
+  let s = Series.create ~capacity:2 ~compact_every:2 ~compact_capacity:4 ~name:"c" Series.Counter in
+  List.iter
+    (fun (t, v) -> Series.push s ~t_us:t v)
+    [ (0.0, 0.0); (100.0, 10.0); (200.0, 15.0); (300.0, 5.0); (400.0, 8.0) ];
+  (* reset at t=300 (15 -> 5): adjusted series 0,10,15,20,23; raw ring
+     holds (300,20),(400,23); evicted 0,10 closed a bucket and 15 is
+     pending — the reset offset survives eviction *)
+  Alcotest.(check int) "one closed bucket" 1 (Series.compacted_length s);
+  let b = List.hd (Series.compacted s) in
+  feq "bucket carries adjusted values" 10.0 b.Series.b_vlast;
+  (* a window opening before all retained history answers from the
+     earliest bucket point: full 0 -> 23 increase, reset included *)
+  feq "delta across both tiers and the reset" 23.0
+    (Series.delta_over s ~from_us:(-100.0) ~until_us:400.0);
+  (* opening inside the pending bucket reads its vlast (15): 23-15 *)
+  feq "delta from the pending bucket" 8.0 (Series.delta_over s ~from_us:250.0 ~until_us:400.0)
+
+(* qcheck: the tiered series' windowed aggregates bound the true
+   aggregates computed over the full (never-evicted) history — min can
+   only undershoot, max only overshoot, avg stays inside the tiered
+   [min,max] envelope *)
+let compaction_bounds_raw =
+  QCheck.Test.make ~name:"compacted windowed aggregates bound the raw history" ~count:300
+    QCheck.(
+      pair (int_range 1 6) (list_of_size Gen.(1 -- 80) (float_range (-1000.0) 1000.0)))
+    (fun (compact_every, vs) ->
+      let tiered =
+        Series.create ~capacity:4 ~compact_every ~compact_capacity:128 ~name:"t" Series.Gauge
+      in
+      let full =
+        Series.create ~capacity:(List.length vs) ~compact_every:0 ~name:"f" Series.Gauge
+      in
+      List.iteri
+        (fun i v ->
+          let t_us = float_of_int ((i + 1) * 100) in
+          Series.push tiered ~t_us v;
+          Series.push full ~t_us v)
+        vs;
+      let n = List.length vs in
+      let check_window ~from_us ~until_us =
+        match
+          ( Series.window_min full ~from_us ~until_us,
+            Series.window_max full ~from_us ~until_us )
+        with
+        | Some true_min, Some true_max -> (
+            match
+              ( Series.window_min tiered ~from_us ~until_us,
+                Series.window_max tiered ~from_us ~until_us,
+                Series.window_avg tiered ~from_us ~until_us )
+            with
+            | Some tmin, Some tmax, Some tavg ->
+                tmin <= true_min +. 1e-9
+                && tmax >= true_max -. 1e-9
+                && tavg >= tmin -. 1e-9
+                && tavg <= tmax +. 1e-9
+            | _ ->
+                (* raw points exist in the window, so the tiered series
+                   must answer from one tier or the other *)
+                false)
+        | _ -> true
+      in
+      check_window ~from_us:0.0 ~until_us:(float_of_int (n * 100))
+      && check_window ~from_us:(float_of_int (n / 3 * 100))
+           ~until_us:(float_of_int ((2 * n / 3) * 100))
+      && check_window ~from_us:(float_of_int (n * 50)) ~until_us:(float_of_int (n * 100)))
+
 (* --- Sampler --- *)
 
 let test_sampler_folds_registry () =
@@ -327,6 +432,47 @@ let test_alert_validation () =
            ~fast:{ Alert.window_us = 0.0; max_burn = 1.0 }
            (Alert.Latency { series = "s"; budget_us = 1.0 })))
 
+let test_alert_on_transition () =
+  let tel = Tel.create () in
+  let reg = tel.Tel.registry in
+  let bad = Registry.counter reg "shed_total" in
+  let total = Registry.counter reg "offered_total" in
+  let sampler = Sampler.create reg in
+  let alerts =
+    Alert.create ~telemetry:tel sampler
+      [
+        Alert.rule ~name:"shed_share"
+          ~fast:{ Alert.window_us = 1000.0; max_burn = 1.0 }
+          ~slow:{ Alert.window_us = 3000.0; max_burn = 1.0 }
+          (Alert.Burn_rate { bad = "shed_total"; total = "offered_total"; budget = 0.5 });
+      ]
+  in
+  let seen_a = ref [] and seen_b = ref [] in
+  (* two sinks, registration order must hold per transition *)
+  Alert.on_transition alerts (fun ~at_us ~rule ev ->
+      seen_a := (at_us, rule, ev, List.length !seen_b) :: !seen_a);
+  Alert.on_transition alerts (fun ~at_us ~rule ev -> seen_b := (at_us, rule, ev) :: !seen_b);
+  let tick now_us = ignore (Sampler.sample sampler ~now_us); Alert.step alerts ~now_us in
+  ignore (tick 0.0);
+  Alcotest.(check int) "no transition, no callback" 0 (List.length !seen_a);
+  Metric.Counter.incr ~by:10 bad;
+  Metric.Counter.incr ~by:10 total;
+  ignore (tick 1000.0);
+  Metric.Counter.incr ~by:10 total;
+  ignore (tick 2000.0);
+  (match List.rev !seen_a with
+  | [ (t1, "shed_share", Alert.Fired, b1); (t2, "shed_share", Alert.Resolved, b2) ] ->
+      feq "fired at" 1000.0 t1;
+      feq "resolved at" 2000.0 t2;
+      (* first sink ran before the second had seen the same event *)
+      Alcotest.(check int) "order on fire" 0 b1;
+      Alcotest.(check int) "order on resolve" 1 b2
+  | other -> Alcotest.failf "unexpected callback log (%d entries)" (List.length other));
+  Alcotest.(check int) "second sink saw both" 2 (List.length !seen_b);
+  (* callbacks agree with the polled transition log *)
+  Alcotest.(check bool) "matches transitions" true
+    (List.rev (List.map (fun (t, r, e) -> (t, r, e)) !seen_b) = Alert.transitions alerts)
+
 (* --- Trajectory --- *)
 
 let test_trajectory_directions () =
@@ -413,8 +559,11 @@ let () =
           Alcotest.test_case "non-finite samples dropped" `Quick test_series_rejects_nonfinite;
           Alcotest.test_case "counter reset adjustment" `Quick test_series_counter_reset;
           Alcotest.test_case "windowed queries" `Quick test_series_windows;
+          Alcotest.test_case "tiered compaction (gauge)" `Quick test_series_compaction_gauge;
+          Alcotest.test_case "tiered compaction (counter)" `Quick test_series_compaction_counter;
           QCheck_alcotest.to_alcotest ~long:false counter_never_negative;
           QCheck_alcotest.to_alcotest ~long:false gauge_capacity_invariant;
+          QCheck_alcotest.to_alcotest ~long:false compaction_bounds_raw;
         ] );
       ( "sampler",
         [
@@ -428,6 +577,7 @@ let () =
           Alcotest.test_case "burn-rate fires and resolves" `Quick test_alert_burn_rate;
           Alcotest.test_case "latency rule fires and resolves" `Quick test_alert_latency;
           Alcotest.test_case "rule validation" `Quick test_alert_validation;
+          Alcotest.test_case "on_transition callbacks" `Quick test_alert_on_transition;
         ] );
       ( "trajectory",
         [

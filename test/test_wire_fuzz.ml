@@ -49,6 +49,15 @@ let valid_announcement_frames =
             (List.init 3 (fun i ->
                  { Batch.ack_verifier = 1; ack_signer = 5; ack_batch = Int64.of_int i }))));
     Tcpnet.encode_message
+      (Tcpnet.Control
+         (Batch.Credit
+            {
+              pressure = 200;
+              acks =
+                List.init 3 (fun i ->
+                    { Batch.ack_verifier = 1; ack_signer = 5; ack_batch = Int64.of_int i });
+            }));
+    Tcpnet.encode_message
       (Tcpnet.Traced
          ( Dsig_telemetry.Trace_ctx.make ~signer:5 ~batch_id:42L ~key_index:2 ~origin:5
              ~birth_us:10.0,
@@ -241,6 +250,73 @@ let hash_chunking_fuzz =
       incr_blake3 chunks = Dsig_hashes.Blake3.digest s
       && incr_sha256 chunks = Dsig_hashes.Sha256.digest s)
 
+(* the pressure-bearing credit frame ('P', satellite of ISSUE 10): the
+   extended ACK frame that piggybacks the verifier's back-pressure
+   byte. Roundtrips at every pressure and ack count; truncations,
+   overcounts and tag confusion are rejected; and crucially the OLD
+   formats ('K' single-ack, 'M' coalesced) still decode unchanged — a
+   fleet upgrades one node at a time *)
+let test_credit_codec () =
+  let ack i = { Batch.ack_verifier = 4; ack_signer = 6; ack_batch = Int64.of_int (100 + i) } in
+  List.iter
+    (fun (p, n) ->
+      let c = Batch.Credit { pressure = p; acks = List.init n ack } in
+      let e = Batch.encode_control c in
+      Alcotest.(check int) "declared size" (Batch.control_bytes c) (String.length e);
+      match Batch.decode_control e with
+      | Ok c' ->
+          Alcotest.(check bool) (Printf.sprintf "credit(p=%d,n=%d) roundtrip" p n) true (c = c')
+      | Error e -> Alcotest.fail e)
+    [ (0, 0); (0, 1); (1, 3); (128, 7); (255, 100); (255, 0) ];
+  (* routing: a credit frame targets its acks' signer, none when empty *)
+  Alcotest.(check (option int)) "credit targets the signer" (Some 6)
+    (Batch.control_target (Batch.Credit { pressure = 9; acks = [ ack 0; ack 1 ] }));
+  Alcotest.(check (option int)) "empty credit targets nobody" None
+    (Batch.control_target (Batch.Credit { pressure = 9; acks = [] }));
+  (* old-format frames are untouched by the extension *)
+  (match Batch.decode_control (Batch.encode_control (Batch.Ack (ack 0))) with
+  | Ok (Batch.Ack _) -> ()
+  | _ -> Alcotest.fail "legacy 'K' frame no longer decodes as Ack");
+  (match Batch.decode_control (Batch.encode_control (Batch.Acks [ ack 0; ack 1 ])) with
+  | Ok (Batch.Acks _) -> ()
+  | _ -> Alcotest.fail "legacy 'M' frame no longer decodes as Acks");
+  (* malformed: truncated body, trailing garbage, count above the cap,
+     count pointing past the body *)
+  let good = Batch.encode_control (Batch.Credit { pressure = 7; acks = List.init 4 ack }) in
+  let overcount = Bytes.of_string good in
+  Bytes.set_uint16_le overcount 2 (Batch.max_acks_per_frame + 1);
+  let overdeclared = Bytes.of_string good in
+  Bytes.set_uint16_le overdeclared 2 5;
+  List.iter
+    (fun s ->
+      match Batch.decode_control s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed credit accepted")
+    [
+      String.sub good 0 (String.length good - 1);
+      good ^ "x";
+      Bytes.to_string overcount;
+      Bytes.to_string overdeclared;
+      "P"; "P\x00"; "P\x00\xff\xff";
+    ]
+
+let credit_fuzz =
+  QCheck.Test.make ~name:"credit frames roundtrip at any pressure and count" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound Batch.max_acks_per_frame))
+    (fun (p, n) ->
+      let c =
+        Batch.Credit
+          {
+            pressure = p;
+            acks =
+              List.init n (fun i ->
+                  { Batch.ack_verifier = 1; ack_signer = 2; ack_batch = Int64.of_int i });
+          }
+      in
+      match Batch.decode_control (Batch.encode_control c) with
+      | Ok c' -> c = c'
+      | Error _ -> false)
+
 let acks_fuzz =
   QCheck.Test.make ~name:"acks frames roundtrip at any count" ~count:200
     QCheck.(int_bound Batch.max_acks_per_frame)
@@ -262,10 +338,11 @@ let () =
           Alcotest.test_case "valid roundtrips" `Quick test_roundtrip;
           Alcotest.test_case "control codec" `Quick test_control_codec;
           Alcotest.test_case "acks codec" `Quick test_acks_codec;
+          Alcotest.test_case "credit codec" `Quick test_credit_codec;
           Alcotest.test_case "hash block boundaries" `Quick test_hash_boundaries;
         ]
         @ List.map
             (QCheck_alcotest.to_alcotest ~long:false)
-            [ arbitrary_total; mutated_total; acks_fuzz; hash_chunking_fuzz ]
+            [ arbitrary_total; mutated_total; acks_fuzz; credit_fuzz; hash_chunking_fuzz ]
       );
     ]
